@@ -1,0 +1,73 @@
+//! Microbenchmarks for the building blocks: RPE parsing and planning,
+//! interval algebra, snapshot ingestion, and the Gremlin wire protocol.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nepal_graph::{Interval, IntervalSet, SnapshotLoader, SnapshotNode, TemporalGraph};
+use nepal_gremlin::{parse_json, Json};
+use nepal_rpe::{parse_rpe, plan_rpe, HintEstimator};
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+use nepal_workload::onap_schema;
+
+const RPE: &str =
+    "VNF()->[HostedOn()]{1,3}->(VM(vm_id=55)|Docker(docker_id=66))->HostedOn(){1,2}->Host()";
+
+fn bench_rpe(c: &mut Criterion) {
+    let schema = onap_schema();
+    c.bench_function("rpe/parse", |b| b.iter(|| parse_rpe(std::hint::black_box(RPE)).unwrap()));
+    let ast = parse_rpe(RPE).unwrap();
+    c.bench_function("rpe/plan", |b| {
+        b.iter(|| plan_rpe(&schema, std::hint::black_box(&ast), &HintEstimator).unwrap())
+    });
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let a = IntervalSet::from_intervals((0..50).map(|i| Interval::new(i * 100, i * 100 + 60)).collect());
+    let b2 = IntervalSet::from_intervals((0..50).map(|i| Interval::new(i * 100 + 30, i * 100 + 90)).collect());
+    c.bench_function("interval/intersect-50x50", |b| {
+        b.iter(|| std::hint::black_box(&a).intersect(std::hint::black_box(&b2)))
+    });
+    c.bench_function("interval/union-50x50", |b| {
+        b.iter(|| std::hint::black_box(&a).union(std::hint::black_box(&b2)))
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let schema: Arc<Schema> =
+        Arc::new(parse_schema("node VM { ext: str unique, status: str }").unwrap());
+    let vm = schema.class_by_name("VM").unwrap();
+    let nodes: Vec<SnapshotNode> = (0..500)
+        .map(|i| SnapshotNode {
+            ext_id: format!("vm-{i}"),
+            class: vm,
+            fields: vec![Value::Str(format!("vm-{i}")), Value::Str("Green".into())],
+        })
+        .collect();
+    c.bench_function("snapshot/apply-500-unchanged", |b| {
+        let mut g = TemporalGraph::new(schema.clone());
+        let mut loader = SnapshotLoader::new();
+        loader.apply(&mut g, 0, &nodes, &[]).unwrap();
+        let mut ts = 1;
+        b.iter(|| {
+            ts += 1;
+            loader.apply(&mut g, ts, &nodes, &[]).unwrap()
+        })
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let doc = r#"{"requestId":"r-1","status":{"code":206,"message":""},"result":{"data":[{"id":1,"label":"Node:VM","properties":{"vm_id":55,"status":"Green"}},{"id":2,"label":"Node:Host","properties":{"host_id":7}}],"meta":{}}}"#;
+    c.bench_function("protocol/parse-response-frame", |b| {
+        b.iter(|| parse_json(std::hint::black_box(doc)).unwrap())
+    });
+    let j = parse_json(doc).unwrap();
+    c.bench_function("protocol/serialize-response-frame", |b| {
+        b.iter(|| std::hint::black_box(&j).to_string())
+    });
+    let _ = Json::Null;
+}
+
+criterion_group!(benches, bench_rpe, bench_intervals, bench_snapshot, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for the Table-3 in-text experiment: the effect of
+//! splitting the single legacy edge class into 66 `type_indicator`
+//! subclasses on the two slowest queries (§6). Also benches the anchored
+//! evaluator against a full-scan baseline — the ablation DESIGN.md calls
+//! out for anchor-first evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nepal_bench::table2_queries;
+use nepal_graph::{GraphView, TimeFilter};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, RpePlan, Seeds};
+use nepal_workload::{generate_legacy, LegacyParams, LegacyTopology};
+
+fn plan_of(topo: &LegacyTopology, rpe: &str) -> RpePlan {
+    plan_rpe(
+        topo.graph.schema(),
+        &parse_rpe(rpe).unwrap(),
+        &GraphEstimator { graph: &topo.graph },
+    )
+    .unwrap()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let base = LegacyParams { nodes: 20_000, edges: 90_000, ..Default::default() };
+    let single = generate_legacy(LegacyParams { edge_subclasses: 1, ..base.clone() });
+    let parted = generate_legacy(LegacyParams { edge_subclasses: 66, ..base });
+    let q_single = table2_queries(&single, 4, false, 1.0);
+    let q_parted = table2_queries(&parted, 4, true, 1.0);
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(15);
+    for name in ["Reverse path", "Bottom-up"] {
+        for (mode, topo, queries) in [
+            ("1class", &single, &q_single),
+            ("66classes", &parted, &q_parted),
+        ] {
+            let rpes = &queries.iter().find(|(n, _)| n == name).unwrap().1;
+            let plans: Vec<RpePlan> = rpes.iter().map(|r| plan_of(topo, r)).collect();
+            group.bench_function(format!("{name}/{mode}"), |b| {
+                let view = GraphView::new(&topo.graph, TimeFilter::Current);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for plan in &plans {
+                        total +=
+                            evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
+                    }
+                    total
+                })
+            });
+        }
+    }
+
+    // Ablation: anchored evaluation vs scanning every node as a source.
+    let topo = &single;
+    let anchor_q = {
+        let (_, rpes) = &q_single.iter().find(|(n, _)| n == "Top-down").unwrap().clone();
+        rpes[0].clone()
+    };
+    let plan = plan_of(topo, &anchor_q);
+    group.bench_function("anchored-vs-scan/anchored", |b| {
+        let view = GraphView::new(&topo.graph, TimeFilter::Current);
+        b.iter(|| evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default()).len())
+    });
+    let all_top: Vec<nepal_graph::Uid> = topo.levels[0].clone();
+    group.bench_function("anchored-vs-scan/scan-all-sources", |b| {
+        let view = GraphView::new(&topo.graph, TimeFilter::Current);
+        b.iter(|| evaluate(&view, &plan, Seeds::Sources(&all_top), &EvalOptions::default()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

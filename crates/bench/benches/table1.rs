@@ -1,0 +1,54 @@
+//! Criterion bench for Table 1: the five query families on the
+//! virtualized service graph (~2k nodes / ~11k edges), against the current
+//! snapshot and against the 60-day history database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nepal_bench::{build_virtualized, table1_queries};
+use nepal_graph::{GraphView, TimeFilter};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, RpePlan, Seeds};
+
+fn bench_table1(c: &mut Criterion) {
+    let (snap, hist) = build_virtualized(42);
+    let queries = table1_queries(&snap, 8);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for (name, rpes) in &queries {
+        // Pre-plan the instances once; measure evaluation (as §6 does).
+        let plans: Vec<RpePlan> = rpes
+            .iter()
+            .take(4)
+            .map(|r| {
+                plan_rpe(
+                    snap.graph.schema(),
+                    &parse_rpe(r).unwrap(),
+                    &GraphEstimator { graph: &snap.graph },
+                )
+                .unwrap()
+            })
+            .collect();
+        group.bench_function(format!("{name}/snapshot"), |b| {
+            let view = GraphView::new(&snap.graph, TimeFilter::Current);
+            b.iter(|| {
+                let mut total = 0usize;
+                for plan in &plans {
+                    total += evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
+                }
+                total
+            })
+        });
+        group.bench_function(format!("{name}/history"), |b| {
+            let view = GraphView::new(&hist, TimeFilter::Current);
+            b.iter(|| {
+                let mut total = 0usize;
+                for plan in &plans {
+                    total += evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

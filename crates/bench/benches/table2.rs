@@ -1,0 +1,45 @@
+//! Criterion bench for Table 2: the four legacy-topology query families.
+//! Runs on a 20k-node slice of the legacy graph so criterion's repeated
+//! sampling stays fast; `reproduce table2 [--full]` measures the large
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nepal_bench::table2_queries;
+use nepal_graph::{GraphView, TimeFilter};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, RpePlan, Seeds};
+use nepal_workload::{generate_legacy, LegacyParams};
+
+fn bench_table2(c: &mut Criterion) {
+    let topo = generate_legacy(LegacyParams { nodes: 20_000, edges: 90_000, ..Default::default() });
+    let queries = table2_queries(&topo, 6, false, 0.32);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(15);
+    for (name, rpes) in &queries {
+        let plans: Vec<RpePlan> = rpes
+            .iter()
+            .take(3)
+            .map(|r| {
+                plan_rpe(
+                    topo.graph.schema(),
+                    &parse_rpe(r).unwrap(),
+                    &GraphEstimator { graph: &topo.graph },
+                )
+                .unwrap()
+            })
+            .collect();
+        group.bench_function(name.clone(), |b| {
+            let view = GraphView::new(&topo.graph, TimeFilter::Current);
+            b.iter(|| {
+                let mut total = 0usize;
+                for plan in &plans {
+                    total += evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

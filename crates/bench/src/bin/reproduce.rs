@@ -1,0 +1,74 @@
+//! Regenerate every table of the paper's evaluation section.
+//!
+//! ```text
+//! reproduce [table1] [table2] [table3] [storage] [all]
+//!           [--full]          # paper-scale legacy graph (1.6M/7.1M)
+//!           [--instances N]   # query instances per type (default 50, as §6)
+//! ```
+
+use nepal_bench::{
+    format_ablation, format_query_table, format_storage, run_storage, run_table1, run_table2,
+    run_table3,
+};
+use nepal_workload::LegacyParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let instances = args
+        .iter()
+        .position(|a| a == "--instances")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50usize);
+    let named: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .collect();
+    let wants = |t: &str| {
+        named.is_empty() || named.iter().any(|a| *a == t || *a == "all")
+    };
+    let legacy_params = if full {
+        LegacyParams::full_scale()
+    } else {
+        LegacyParams::default()
+    };
+
+    println!(
+        "Nepal evaluation reproduction (instances per type: {instances}{})",
+        if full { ", FULL legacy scale" } else { "" }
+    );
+    println!("================================================================\n");
+
+    if wants("table1") {
+        let rows = run_table1(instances, 42);
+        println!(
+            "{}",
+            format_query_table(
+                "Table 1. Query response times, virtualized service graph (~2k nodes / ~11k edges).",
+                &rows
+            )
+        );
+    }
+    if wants("table2") {
+        let rows = run_table2(legacy_params.clone(), instances);
+        println!(
+            "{}",
+            format_query_table(
+                &format!(
+                    "Table 2. Query response times, legacy topology ({} nodes / {} edges).",
+                    legacy_params.nodes, legacy_params.edges
+                ),
+                &rows
+            )
+        );
+    }
+    if wants("table3") {
+        let rows = run_table3(legacy_params.clone(), instances);
+        println!("{}", format_ablation(&rows));
+    }
+    if wants("storage") {
+        let rows = run_storage(legacy_params);
+        println!("{}", format_storage(&rows));
+    }
+}

@@ -1,0 +1,336 @@
+//! The retargetable backend interface (§3.1/§5).
+//!
+//! Nepal is "a shim layer between network applications and one or more
+//! database systems": the engine plans queries once and evaluates each
+//! range variable against whichever backend holds its data — the native
+//! temporal store, the relational substrate (emitting SQL), or a Gremlin
+//! server reached over the wire protocol.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
+use nepal_gremlin::{evaluate_gremlin, GremlinClient, GremlinTime};
+use nepal_relational::{db_from_graph, evaluate_relational, RelDb};
+use nepal_rpe::anchor::apply_selectivity;
+use nepal_rpe::{BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
+use nepal_schema::{ClassId, Schema, Value};
+
+use crate::error::{NepalError, Result};
+
+/// A query-evaluation target.
+pub trait Backend: Send {
+    /// Human-readable backend kind.
+    fn kind(&self) -> &'static str;
+
+    /// The schema this backend serves.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// Evaluate a planned RPE under a time filter.
+    fn eval(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+    ) -> Result<Vec<Pathway>>;
+
+    /// Field values (and runtime class) of an element, for Select
+    /// post-processing.
+    fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)>;
+
+    /// Cardinality estimate for anchor costing.
+    fn estimate(&self, atom: &BoundAtom) -> f64;
+
+    /// Translator output produced by the last `eval` call (SQL statements
+    /// or Gremlin traversals), if this backend generates code.
+    fn last_generated(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native backend
+// ---------------------------------------------------------------------
+
+/// Backend over the in-process temporal graph store.
+pub struct NativeBackend {
+    pub graph: Arc<TemporalGraph>,
+}
+
+impl NativeBackend {
+    pub fn new(graph: Arc<TemporalGraph>) -> Self {
+        NativeBackend { graph }
+    }
+}
+
+impl Backend for NativeBackend {
+    fn kind(&self) -> &'static str {
+        "native"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.graph.schema()
+    }
+
+    fn eval(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+    ) -> Result<Vec<Pathway>> {
+        let view = GraphView::new(&self.graph, filter);
+        Ok(nepal_rpe::evaluate(&view, plan, seeds, opts))
+    }
+
+    fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
+        let class = self.graph.class_of(uid)?;
+        let view = GraphView::new(&self.graph, filter);
+        let fields = view.fields(uid)?.to_vec();
+        Some((class, fields))
+    }
+
+    fn estimate(&self, atom: &BoundAtom) -> f64 {
+        nepal_rpe::GraphEstimator { graph: &self.graph }.estimate(self.graph.schema(), atom)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relational backend
+// ---------------------------------------------------------------------
+
+/// Backend over the relational substrate (the Postgres target of §5.2).
+pub struct RelationalBackend {
+    pub db: RelDb,
+    schema: Arc<Schema>,
+    last_sql: Vec<String>,
+}
+
+impl RelationalBackend {
+    /// Load a temporal graph into a fresh relational database.
+    pub fn from_graph(graph: &TemporalGraph) -> Result<Self> {
+        let db = db_from_graph(graph).map_err(|e| NepalError::Backend(e.to_string()))?;
+        Ok(RelationalBackend { db, schema: graph.schema().clone(), last_sql: Vec::new() })
+    }
+}
+
+impl Backend for RelationalBackend {
+    fn kind(&self) -> &'static str {
+        "relational"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn eval(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+    ) -> Result<Vec<Pathway>> {
+        let res = evaluate_relational(&mut self.db, &self.schema, plan, filter, seeds, opts)
+            .map_err(|e| NepalError::Backend(e.to_string()))?;
+        self.last_sql = res.sql;
+        Ok(res.pathways)
+    }
+
+    fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
+        // Probe each class table's id_ index; class tables are named after
+        // the class, so the hit identifies the runtime class.
+        let schema = self.schema.clone();
+        for kind_root in [nepal_schema::NODE, nepal_schema::EDGE] {
+            let is_node = kind_root == nepal_schema::NODE;
+            let offset = nepal_relational::field_offset(is_node);
+            for class in schema.descendants(kind_root) {
+                let name = nepal_relational::table_name(&schema, class);
+                let tables = match filter {
+                    TimeFilter::Current => vec![name.clone()],
+                    _ => vec![name.clone(), nepal_relational::history_name(&name)],
+                };
+                for tname in tables {
+                    let Ok(t) = self.db.table_mut(&tname) else { continue };
+                    let ncols = t.cols.len();
+                    for rid in t.probe(0, &Value::Int(uid.0 as i64)) {
+                        let row = &t.rows[rid as usize];
+                        let from = match &row[ncols - 2] {
+                            Value::Ts(t) => *t,
+                            _ => continue,
+                        };
+                        let to = match &row[ncols - 1] {
+                            Value::Ts(t) => *t,
+                            _ => continue,
+                        };
+                        let ok = match filter {
+                            TimeFilter::Current => to == nepal_graph::FOREVER,
+                            TimeFilter::AsOf(at) => from <= at && at < to,
+                            TimeFilter::Range(_, b) => from <= b.saturating_add(1),
+                        };
+                        if ok {
+                            return Some((class, row[offset..ncols - 2].to_vec()));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn estimate(&self, atom: &BoundAtom) -> f64 {
+        if atom.unique_eq_pred(&self.schema).is_some() {
+            return 1.0;
+        }
+        let rows = self
+            .db
+            .subtree_rows(&nepal_relational::table_name(&self.schema, atom.class))
+            .max(1) as f64;
+        apply_selectivity(rows, atom)
+    }
+
+    fn last_generated(&self) -> Vec<String> {
+        self.last_sql.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gremlin backend
+// ---------------------------------------------------------------------
+
+/// Backend over a Gremlin server (in-process or TCP transport).
+pub struct GremlinBackend<T: nepal_gremlin::server::Transport> {
+    pub client: GremlinClient<T>,
+    schema: Arc<Schema>,
+    /// Apply the ExtendBlock loop-unrolling optimization (§5.2).
+    pub use_extend_block: bool,
+    last_trips: u64,
+}
+
+impl<T: nepal_gremlin::server::Transport> GremlinBackend<T> {
+    pub fn new(client: GremlinClient<T>, schema: Arc<Schema>) -> Self {
+        GremlinBackend { client, schema, use_extend_block: true, last_trips: 0 }
+    }
+
+    /// Round trips used by the last evaluation.
+    pub fn last_round_trips(&self) -> u64 {
+        self.last_trips
+    }
+}
+
+impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
+    fn kind(&self) -> &'static str {
+        "gremlin"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn eval(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+    ) -> Result<Vec<Pathway>> {
+        let time = match filter {
+            TimeFilter::Current => GremlinTime::Current,
+            TimeFilter::AsOf(t) => GremlinTime::AsOf(t),
+            TimeFilter::Range(_, _) => {
+                return Err(NepalError::Unsupported(
+                    "time-range queries require the relational or native backend (§5.3)".into(),
+                ))
+            }
+        };
+        let res = evaluate_gremlin(
+            &mut self.client,
+            &self.schema,
+            plan,
+            time,
+            seeds,
+            opts,
+            self.use_extend_block,
+        )
+        .map_err(|e| NepalError::Backend(e.to_string()))?;
+        self.last_trips = res.round_trips;
+        Ok(res.pathways)
+    }
+
+    fn fields(&mut self, uid: Uid, _filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
+        use nepal_gremlin::{GStep, Json};
+        let results = self.client.submit(&[GStep::V(vec![uid.0])]).ok()?;
+        let results = if results.is_empty() {
+            self.client.submit(&[GStep::E(vec![uid.0])]).ok()?
+        } else {
+            results
+        };
+        let j = results.first()?;
+        let label = j.get("label")?.as_str()?;
+        let class = self.schema.class_by_name(label)?;
+        let mut out = Vec::new();
+        let props = match j.get("properties") {
+            Some(Json::Obj(m)) => m.clone(),
+            _ => Default::default(),
+        };
+        for fd in self.schema.all_fields(class) {
+            out.push(
+                props
+                    .get(&fd.name)
+                    .map(nepal_gremlin::json::json_to_value)
+                    .unwrap_or(Value::Null),
+            );
+        }
+        Some((class, out))
+    }
+
+    fn estimate(&self, atom: &BoundAtom) -> f64 {
+        // No remote statistics API: fall back to schema hints.
+        nepal_rpe::HintEstimator.estimate(&self.schema, atom)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry for data integration
+// ---------------------------------------------------------------------
+
+/// A named collection of backends: the data-integration layer. Each PATHS
+/// variable may route to a different backend (`PATHS P USING legacy`), and
+/// the engine joins the resulting pathway sets in the shim (§3.1: "shipping
+/// partial results from one target database component to another").
+pub struct BackendRegistry {
+    backends: HashMap<String, Box<dyn Backend>>,
+    default: String,
+}
+
+impl BackendRegistry {
+    pub fn new(default_name: impl Into<String>, backend: Box<dyn Backend>) -> Self {
+        let default = default_name.into();
+        let mut backends = HashMap::new();
+        backends.insert(default.clone(), backend);
+        BackendRegistry { backends, default }
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, backend: Box<dyn Backend>) {
+        self.backends.insert(name.into(), backend);
+    }
+
+    pub fn default_name(&self) -> &str {
+        &self.default
+    }
+
+    pub fn get_mut(&mut self, name: Option<&str>) -> Result<&mut Box<dyn Backend>> {
+        let key = name.unwrap_or(&self.default);
+        self.backends
+            .get_mut(key)
+            .ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
+    }
+
+    pub fn get(&self, name: Option<&str>) -> Result<&dyn Backend> {
+        let key = name.unwrap_or(&self.default);
+        self.backends
+            .get(key)
+            .map(|b| b.as_ref())
+            .ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
+    }
+}

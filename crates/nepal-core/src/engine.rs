@@ -1,0 +1,850 @@
+//! The Nepal query engine.
+//!
+//! Executes parsed queries against the backend registry:
+//!
+//! 1. Plan each range variable's RPE (anchor selection uses the owning
+//!    backend's statistics, §5.1).
+//! 2. Order variables by anchor cost; a variable whose own anchor is
+//!    expensive *imports* its anchor from a join — "while range variable
+//!    Phys does not have explicit anchors, they are provided by the joins
+//!    against the anchored range variables D1 and D2" (§3.4).
+//! 3. Hash-join the per-variable pathway sets on the Where-clause equality
+//!    conditions, possibly across different backends (data integration).
+//! 4. Apply temporal semantics: query-level `AT a : b` requires all
+//!    coexisting results and reports the maximal joint assertion range;
+//!    per-variable `(@t)` scopes are independent (§4).
+//! 5. Evaluate `[Not] Exists` subqueries by decorrelation (inner query runs
+//!    once; correlated equalities become an anti-/semi-join).
+//! 6. Post-process the head: `Retrieve` returns pathways, `Select` runs the
+//!    result-processing layer, and the §4 temporal aggregates fold the
+//!    joint interval sets.
+
+use std::collections::{HashMap, HashSet};
+
+use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid};
+use nepal_rpe::{plan_rpe, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
+use nepal_schema::{Schema, Ts, Value};
+
+use crate::ast::{AggFn, Cond, Expr, Head, PathFn, QCmp, Query, SelectItem, TimeSpec};
+use crate::backend::{Backend, BackendRegistry};
+use crate::error::{NepalError, Result};
+use crate::parser::parse_query;
+
+/// Full-history probe range used by temporal aggregates when the query has
+/// no explicit `AT` clause.
+pub const FULL_RANGE: (Ts, Ts) = (i64::MIN / 4, i64::MAX / 4);
+
+/// One result row.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Pathway bindings in source-declaration order.
+    pub pathways: Vec<(String, Pathway)>,
+    /// `Select` output values (empty for `Retrieve`).
+    pub values: Vec<Value>,
+    /// Joint maximal assertion ranges (range queries and aggregates).
+    pub times: Option<IntervalSet>,
+}
+
+/// A query result.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<ResultRow>,
+}
+
+impl QueryResult {
+    /// Pathways bound to a variable across all rows (deduplicated).
+    pub fn pathways_of(&self, var: &str) -> Vec<&Pathway> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for (v, p) in &row.pathways {
+                if v == var && seen.insert(&p.elems) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+struct BackendEstimator<'a>(&'a dyn Backend);
+
+impl CardinalityEstimator for BackendEstimator<'_> {
+    fn estimate(&self, _schema: &Schema, atom: &BoundAtom) -> f64 {
+        self.0.estimate(atom)
+    }
+}
+
+/// The engine: a backend registry plus the query pipeline.
+pub struct Engine {
+    pub registry: BackendRegistry,
+    /// Options applied to every RPE evaluation.
+    pub eval_options: EvalOptions,
+    /// Named pathway views (§3.4: "Additional views can be defined").
+    views: HashMap<String, Query>,
+    view_depth: u8,
+}
+
+struct VarEval {
+    var: String,
+    backend: Option<String>,
+    filter: TimeFilter,
+    /// Participates in the query-level joint coexistence requirement.
+    joint: bool,
+    /// `None` for view-sourced variables (pathways pre-materialized).
+    plan: Option<RpePlan>,
+    pathways: Vec<Pathway>,
+    /// Pathways already filled in (view variables).
+    prefilled: bool,
+}
+
+fn spec_to_filter(spec: &TimeSpec) -> TimeFilter {
+    match spec {
+        TimeSpec::At(t) => TimeFilter::AsOf(*t),
+        TimeSpec::Range(a, b) => TimeFilter::Range(*a, *b),
+    }
+}
+
+impl Engine {
+    pub fn new(registry: BackendRegistry) -> Engine {
+        Engine {
+            registry,
+            eval_options: EvalOptions::default(),
+            views: HashMap::new(),
+            view_depth: 0,
+        }
+    }
+
+    /// Register a named pathway view: a stored query whose first retrieved
+    /// variable supplies the pathways when the view is ranged over
+    /// (`Retrieve V From myview V Where …`).
+    pub fn define_view(&mut self, name: impl Into<String>, query_text: &str) -> Result<()> {
+        let q = parse_query(query_text)?;
+        match &q.head {
+            Head::Retrieve(vars) if !vars.is_empty() => {}
+            _ => {
+                return Err(NepalError::Unsupported(
+                    "a view must be a Retrieve query".into(),
+                ))
+            }
+        }
+        self.views.insert(name.into(), q);
+        Ok(())
+    }
+
+    /// Parse and execute a query.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult> {
+        let q = parse_query(text)?;
+        self.execute(&q)
+    }
+
+    /// Execute a parsed query.
+    pub fn execute(&mut self, q: &Query) -> Result<QueryResult> {
+        let aggregate = matches!(
+            q.head,
+            Head::FirstTimeWhenExists | Head::LastTimeWhenExists | Head::WhenExists
+        );
+        // Temporal aggregates need interval sets: default to the full
+        // history range when no AT clause is present.
+        let query_time = match (&q.time, aggregate) {
+            (Some(t), _) => Some(*t),
+            (None, true) => Some(TimeSpec::Range(FULL_RANGE.0, FULL_RANGE.1)),
+            (None, false) => None,
+        };
+
+        // --- per-variable planning ---
+        let mut evals: Vec<VarEval> = Vec::new();
+        for s in &q.sources {
+            let (filter, joint) = match (&s.time, &query_time) {
+                (Some(t), _) => (spec_to_filter(t), false),
+                (None, Some(t)) => (spec_to_filter(t), matches!(t, TimeSpec::Range(_, _))),
+                (None, None) => (TimeFilter::Current, false),
+            };
+            if let Some(view_name) = &s.view {
+                // Materialize the view (recursively, with a depth guard).
+                let vq = self
+                    .views
+                    .get(view_name)
+                    .cloned()
+                    .ok_or_else(|| NepalError::UnknownBackend(format!("view `{view_name}`")))?;
+                if self.view_depth >= 8 {
+                    return Err(NepalError::Unsupported("view recursion too deep".into()));
+                }
+                self.view_depth += 1;
+                let result = self.execute(&vq);
+                self.view_depth -= 1;
+                let result = result?;
+                let first_var = match &vq.head {
+                    Head::Retrieve(vars) => vars[0].clone(),
+                    _ => unreachable!("define_view enforces Retrieve"),
+                };
+                let pathways: Vec<Pathway> = result
+                    .pathways_of(&first_var)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                evals.push(VarEval {
+                    var: s.var.clone(),
+                    backend: s.backend.clone(),
+                    filter,
+                    joint,
+                    plan: None,
+                    pathways,
+                    prefilled: true,
+                });
+                continue;
+            }
+            let rpe = q
+                .matches_of(&s.var)
+                .ok_or_else(|| NepalError::NoMatches(s.var.clone()))?;
+            let backend = self.registry.get(s.backend.as_deref())?;
+            let plan = plan_rpe(backend.schema(), rpe, &BackendEstimator(backend))?;
+            evals.push(VarEval {
+                var: s.var.clone(),
+                backend: s.backend.clone(),
+                filter,
+                joint,
+                plan: Some(plan),
+                pathways: Vec::new(),
+                prefilled: false,
+            });
+        }
+
+        // --- evaluation order: cheapest anchor first (views are free) ---
+        let cost_of = |e: &VarEval| e.plan.as_ref().map(|p| p.anchor.cost).unwrap_or(0.0);
+        let mut order: Vec<usize> = (0..evals.len()).collect();
+        order.sort_by(|&a, &b| cost_of(&evals[a]).total_cmp(&cost_of(&evals[b])));
+
+        // Equality conditions between path ends, used for anchor import.
+        let end_links: Vec<(PathFn, String, PathFn, String)> = q
+            .conds
+            .iter()
+            .filter_map(|c| match c {
+                Cond::Cmp(Expr::PathEnd(fa, va), QCmp::Eq, Expr::PathEnd(fb, vb)) => {
+                    Some((*fa, va.clone(), *fb, vb.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+
+        let mut evaluated: HashSet<String> = HashSet::new();
+        for &i in &order {
+            if evals[i].prefilled {
+                evaluated.insert(evals[i].var.clone());
+                continue;
+            }
+            let (var, filter, cost) = {
+                let e = &evals[i];
+                (e.var.clone(), e.filter, cost_of(e))
+            };
+            // Can we import an anchor from an already-evaluated variable?
+            let mut seed_nodes: Option<(PathFn, Vec<Uid>)> = None;
+            for (fa, va, fb, vb) in &end_links {
+                let (my_end, other_end, other_var) = if *va == var && evaluated.contains(vb) {
+                    (*fa, *fb, vb)
+                } else if *vb == var && evaluated.contains(va) {
+                    (*fb, *fa, va)
+                } else {
+                    continue;
+                };
+                let other = evals.iter().find(|e| &e.var == other_var).unwrap();
+                let mut uids: Vec<Uid> = other
+                    .pathways
+                    .iter()
+                    .map(|p| match other_end {
+                        PathFn::Source => p.source(),
+                        PathFn::Target => p.target(),
+                    })
+                    .collect();
+                uids.sort_unstable();
+                uids.dedup();
+                match &seed_nodes {
+                    Some((_, prev)) if prev.len() <= uids.len() => {}
+                    _ => seed_nodes = Some((my_end, uids)),
+                }
+            }
+            let use_seeds = match &seed_nodes {
+                Some((_, uids)) => (uids.len() as f64) < cost,
+                None => false,
+            };
+            let e = &evals[i];
+            let plan = e.plan.as_ref().expect("non-view variables have plans");
+            let backend = self.registry.get_mut(e.backend.as_deref())?;
+            let pathways = if use_seeds {
+                let (end, uids) = seed_nodes.as_ref().unwrap();
+                let seeds = match end {
+                    PathFn::Source => Seeds::Sources(uids),
+                    PathFn::Target => Seeds::Targets(uids),
+                };
+                backend.eval(plan, filter, seeds, &self.eval_options)?
+            } else {
+                backend.eval(plan, filter, Seeds::Anchor, &self.eval_options)?
+            };
+            let e = &mut evals[i];
+            e.pathways = pathways;
+            evaluated.insert(var);
+        }
+
+        // --- unary filters (conditions touching a single variable) ---
+        let singles: Vec<&Cond> = q
+            .conds
+            .iter()
+            .filter(|c| match c {
+                Cond::Cmp(a, _, b) => {
+                    let mut vars: Vec<&str> = a.vars();
+                    vars.extend(b.vars());
+                    vars.sort();
+                    vars.dedup();
+                    vars.len() == 1
+                }
+                _ => false,
+            })
+            .collect();
+        for cond in &singles {
+            if let Cond::Cmp(a, op, b) = cond {
+                let var = a.vars().first().copied().unwrap_or_else(|| b.vars()[0]).to_string();
+                let idx = evals.iter().position(|e| e.var == var).unwrap();
+                let filter = evals[idx].filter;
+                let backend_name = evals[idx].backend.clone();
+                let pathways = std::mem::take(&mut evals[idx].pathways);
+                let mut kept = Vec::new();
+                for p in pathways {
+                    let binding = vec![(var.clone(), &p)];
+                    let lhs = self.eval_expr(a, &binding, filter, backend_name.as_deref())?;
+                    let rhs = self.eval_expr(b, &binding, filter, backend_name.as_deref())?;
+                    let eq = lhs == rhs;
+                    if (*op == QCmp::Eq && eq) || (*op == QCmp::Ne && !eq) {
+                        kept.push(p);
+                    }
+                }
+                evals[idx].pathways = kept;
+            }
+        }
+
+        // --- join across variables ---
+        // Rows are index vectors aligned with `evals`.
+        let mut rows: Vec<Vec<usize>> = vec![vec![usize::MAX; evals.len()]];
+        let mut joined: HashSet<usize> = HashSet::new();
+        let binary_conds: Vec<&Cond> = q
+            .conds
+            .iter()
+            .filter(|c| match c {
+                Cond::Cmp(a, _, b) => {
+                    let mut vars: Vec<&str> = a.vars();
+                    vars.extend(b.vars());
+                    vars.sort();
+                    vars.dedup();
+                    vars.len() == 2
+                }
+                _ => false,
+            })
+            .collect();
+
+        for &i in &order {
+            let mut next_rows = Vec::new();
+            // Conditions applicable once var i joins.
+            let applicable: Vec<&&Cond> = binary_conds
+                .iter()
+                .filter(|c| {
+                    if let Cond::Cmp(a, _, b) = c {
+                        let mut vars: Vec<&str> = a.vars();
+                        vars.extend(b.vars());
+                        vars.iter().any(|v| *v == evals[i].var)
+                            && vars.iter().all(|v| {
+                                *v == evals[i].var
+                                    || joined.iter().any(|&j| evals[j].var == **v)
+                            })
+                    } else {
+                        false
+                    }
+                })
+                .collect();
+            for row in &rows {
+                'cand: for (pi, _p) in evals[i].pathways.iter().enumerate() {
+                    let mut trial = row.clone();
+                    trial[i] = pi;
+                    for cond in &applicable {
+                        if let Cond::Cmp(a, op, b) = **cond {
+                            let binding = self.binding_of(&evals, &trial);
+                            let lhs = self.eval_expr_b(a, &binding, &evals, &trial)?;
+                            let rhs = self.eval_expr_b(b, &binding, &evals, &trial)?;
+                            let eq = lhs == rhs;
+                            let ok = (*op == QCmp::Eq && eq) || (*op == QCmp::Ne && !eq);
+                            if !ok {
+                                continue 'cand;
+                            }
+                        }
+                    }
+                    next_rows.push(trial);
+                }
+            }
+            rows = next_rows;
+            joined.insert(i);
+        }
+
+        // --- joint temporal coexistence (query-level AT range) ---
+        let probe = match query_time {
+            Some(TimeSpec::Range(a, b)) => Some(Interval::new(a, b.saturating_add(1))),
+            _ => None,
+        };
+        let mut out_rows: Vec<ResultRow> = Vec::new();
+        'row: for row in &rows {
+            let mut joint: Option<IntervalSet> = None;
+            for (i, &pi) in row.iter().enumerate() {
+                if pi == usize::MAX {
+                    continue;
+                }
+                let e = &evals[i];
+                if !e.joint {
+                    continue;
+                }
+                if let Some(times) = &e.pathways[pi].times {
+                    joint = Some(match joint {
+                        None => times.clone(),
+                        Some(j) => j.intersect(times),
+                    });
+                    if joint.as_ref().unwrap().is_empty() {
+                        continue 'row;
+                    }
+                }
+            }
+            let times = match (&joint, &probe) {
+                (Some(j), Some(p)) => {
+                    let comps = j.components_overlapping(p);
+                    if comps.is_empty() {
+                        continue 'row;
+                    }
+                    Some(IntervalSet::from_intervals(comps))
+                }
+                _ => None,
+            };
+            let pathways: Vec<(String, Pathway)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &pi)| pi != usize::MAX)
+                .map(|(i, &pi)| {
+                    let mut p = evals[i].pathways[pi].clone();
+                    // Per-variable range scopes keep their own times.
+                    if evals[i].joint {
+                        p.times = times.clone();
+                    }
+                    (evals[i].var.clone(), p)
+                })
+                .collect();
+            out_rows.push(ResultRow { pathways, values: Vec::new(), times });
+        }
+
+        // --- EXISTS subqueries (decorrelated) ---
+        for cond in &q.conds {
+            if let Cond::Exists { negated, query } = cond {
+                out_rows = self.apply_exists(q, query, *negated, out_rows)?;
+            }
+        }
+
+        // --- head processing ---
+        self.finish_head(q, evals, out_rows)
+    }
+
+    fn binding_of<'a>(
+        &self,
+        evals: &'a [VarEval],
+        row: &[usize],
+    ) -> Vec<(String, &'a Pathway)> {
+        row.iter()
+            .enumerate()
+            .filter(|(_, &pi)| pi != usize::MAX)
+            .map(|(i, &pi)| (evals[i].var.clone(), &evals[i].pathways[pi]))
+            .collect()
+    }
+
+    fn eval_expr_b(
+        &mut self,
+        expr: &Expr,
+        binding: &[(String, &Pathway)],
+        evals: &[VarEval],
+        _row: &[usize],
+    ) -> Result<Value> {
+        // Find the variable's filter/backend for field lookups.
+        let (filter, backend) = match expr.vars().first() {
+            Some(v) => {
+                let e = evals.iter().find(|e| e.var == *v);
+                match e {
+                    Some(e) => (e.filter, e.backend.clone()),
+                    None => (TimeFilter::Current, None),
+                }
+            }
+            None => (TimeFilter::Current, None),
+        };
+        self.eval_expr(expr, binding, filter, backend.as_deref())
+    }
+
+    fn eval_expr(
+        &mut self,
+        expr: &Expr,
+        binding: &[(String, &Pathway)],
+        filter: TimeFilter,
+        backend: Option<&str>,
+    ) -> Result<Value> {
+        let lookup = |var: &str| -> Result<&Pathway> {
+            binding
+                .iter()
+                .find(|(v, _)| v == var)
+                .map(|(_, p)| *p)
+                .ok_or_else(|| NepalError::UnknownVariable(var.to_string()))
+        };
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::PathVar(v) => Err(NepalError::Unsupported(format!(
+                "bare pathway variable `{v}` is only valid inside count(…)"
+            ))),
+            Expr::Length(v) => Ok(Value::Int(lookup(v)?.len_edges() as i64)),
+            Expr::PathEnd(f, v) => {
+                let p = lookup(v)?;
+                let uid = match f {
+                    PathFn::Source => p.source(),
+                    PathFn::Target => p.target(),
+                };
+                Ok(Value::Int(uid.0 as i64))
+            }
+            Expr::PathEndField(f, v, field) => {
+                let p = lookup(v)?;
+                let uid = match f {
+                    PathFn::Source => p.source(),
+                    PathFn::Target => p.target(),
+                };
+                let b = self.registry.get_mut(backend)?;
+                let schema = b.schema().clone();
+                match b.fields(uid, filter) {
+                    None => Ok(Value::Null),
+                    Some((class, fields)) => {
+                        let (idx, _) = schema.resolve_field(class, field).ok_or_else(|| {
+                            NepalError::UnknownField {
+                                class: schema.class(class).name.clone(),
+                                field: field.clone(),
+                            }
+                        })?;
+                        Ok(fields.get(idx).cloned().unwrap_or(Value::Null))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decorrelated EXISTS: run the inner query without correlated
+    /// conditions, collect the inner key tuples, and semi-/anti-join.
+    fn apply_exists(
+        &mut self,
+        outer_q: &Query,
+        inner_q: &Query,
+        negated: bool,
+        rows: Vec<ResultRow>,
+    ) -> Result<Vec<ResultRow>> {
+        let inner_vars: Vec<&str> = inner_q.var_names();
+        let outer_vars: Vec<&str> = outer_q.var_names();
+        let mut local_conds = Vec::new();
+        let mut correlated: Vec<(Expr, Expr)> = Vec::new(); // (outer side, inner side)
+        for c in &inner_q.conds {
+            match c {
+                Cond::Cmp(a, op, b) if *op == QCmp::Eq => {
+                    let a_outer = a.vars().iter().any(|v| !inner_vars.contains(v) && outer_vars.contains(v));
+                    let b_outer = b.vars().iter().any(|v| !inner_vars.contains(v) && outer_vars.contains(v));
+                    match (a_outer, b_outer) {
+                        (true, false) => correlated.push((a.clone(), b.clone())),
+                        (false, true) => correlated.push((b.clone(), a.clone())),
+                        (false, false) => local_conds.push(c.clone()),
+                        (true, true) => {
+                            return Err(NepalError::Unsupported(
+                                "correlated condition referencing outer variables on both sides".into(),
+                            ))
+                        }
+                    }
+                }
+                other => local_conds.push(other.clone()),
+            }
+        }
+        let decorrelated = Query {
+            time: inner_q.time,
+            head: Head::Retrieve(inner_q.sources.iter().map(|s| s.var.clone()).collect()),
+            sources: inner_q.sources.clone(),
+            conds: local_conds,
+        };
+        let inner_result = self.execute(&decorrelated)?;
+        // Key set from the inner side of each correlated equality.
+        let mut keys: HashSet<Vec<Value>> = HashSet::new();
+        for row in &inner_result.rows {
+            let binding: Vec<(String, &Pathway)> =
+                row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+            let mut key = Vec::with_capacity(correlated.len());
+            let mut ok = true;
+            for (_, inner_expr) in &correlated {
+                match self.eval_expr(inner_expr, &binding, TimeFilter::Current, None) {
+                    Ok(v) => key.push(v),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                keys.insert(key);
+            }
+        }
+        let mut out = Vec::new();
+        for row in rows {
+            let binding: Vec<(String, &Pathway)> =
+                row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+            let mut key = Vec::with_capacity(correlated.len());
+            for (outer_expr, _) in &correlated {
+                key.push(self.eval_expr(outer_expr, &binding, TimeFilter::Current, None)?);
+            }
+            let exists = if correlated.is_empty() {
+                !inner_result.rows.is_empty()
+            } else {
+                keys.contains(&key)
+            };
+            if exists != negated {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fold every result row through the aggregate Select items.
+    fn eval_aggregates(
+        &mut self,
+        items: &[SelectItem],
+        evals: &[VarEval],
+        rows: &[ResultRow],
+    ) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(agg) = item.agg else {
+                out.push(match &item.expr {
+                    Expr::Literal(v) => v.clone(),
+                    _ => unreachable!("checked by caller"),
+                });
+                continue;
+            };
+            // Gather the per-row values of the argument expression.
+            let mut vals: Vec<Value> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let binding: Vec<(String, &Pathway)> =
+                    row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+                match &item.expr {
+                    Expr::PathVar(v) => {
+                        // count(P): one unit per row; distinct counts
+                        // distinct pathways.
+                        let p = binding
+                            .iter()
+                            .find(|(name, _)| name == v)
+                            .map(|(_, p)| *p)
+                            .ok_or_else(|| NepalError::UnknownVariable(v.clone()))?;
+                        vals.push(Value::List(
+                            p.elems.iter().map(|u| Value::Int(u.0 as i64)).collect(),
+                        ));
+                    }
+                    e => {
+                        let (filter, backend) = match e.vars().first() {
+                            Some(v) => evals
+                                .iter()
+                                .find(|x| x.var == *v)
+                                .map(|x| (x.filter, x.backend.clone()))
+                                .unwrap_or((TimeFilter::Current, None)),
+                            None => (TimeFilter::Current, None),
+                        };
+                        vals.push(self.eval_expr(e, &binding, filter, backend.as_deref())?);
+                    }
+                }
+            }
+            if item.distinct {
+                let mut seen = HashSet::new();
+                vals.retain(|v| seen.insert(v.clone()));
+            }
+            out.push(match agg {
+                AggFn::Count => Value::Int(vals.len() as i64),
+                AggFn::Min => vals.iter().min().cloned().unwrap_or(Value::Null),
+                AggFn::Max => vals.iter().max().cloned().unwrap_or(Value::Null),
+                AggFn::Sum | AggFn::Avg => {
+                    let nums: Vec<f64> = vals
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Int(i) => Some(*i as f64),
+                            Value::Float(f) => Some(*f),
+                            _ => None,
+                        })
+                        .collect();
+                    if nums.len() != vals.len() {
+                        return Err(NepalError::Unsupported(
+                            "sum/avg over non-numeric values".into(),
+                        ));
+                    }
+                    let total: f64 = nums.iter().sum();
+                    match agg {
+                        AggFn::Sum => {
+                            if total.fract() == 0.0 {
+                                Value::Int(total as i64)
+                            } else {
+                                Value::Float(total)
+                            }
+                        }
+                        _ => {
+                            if nums.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Float(total / nums.len() as f64)
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    fn finish_head(
+        &mut self,
+        q: &Query,
+        evals: Vec<VarEval>,
+        rows: Vec<ResultRow>,
+    ) -> Result<QueryResult> {
+        match &q.head {
+            Head::Retrieve(vars) => Ok(QueryResult {
+                columns: vars.clone(),
+                rows,
+            }),
+            Head::Select(items) => {
+                let columns: Vec<String> = items.iter().map(item_name).collect();
+                let aggregated = items.iter().any(|i| i.agg.is_some());
+                if aggregated {
+                    if let Some(bad) = items
+                        .iter()
+                        .find(|i| i.agg.is_none() && !matches!(i.expr, Expr::Literal(_)))
+                    {
+                        return Err(NepalError::Unsupported(format!(
+                            "cannot mix `{}` with aggregates (no GROUP BY in Nepal)",
+                            item_name(bad)
+                        )));
+                    }
+                    let values = self.eval_aggregates(items, &evals, &rows)?;
+                    return Ok(QueryResult {
+                        columns,
+                        rows: vec![ResultRow { pathways: Vec::new(), values, times: None }],
+                    });
+                }
+                let mut out = Vec::new();
+                for mut row in rows {
+                    let binding: Vec<(String, &Pathway)> =
+                        row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+                    let mut values = Vec::with_capacity(items.len());
+                    for item in items {
+                        let e = &item.expr;
+                        let (filter, backend) = match e.vars().first() {
+                            Some(v) => evals
+                                .iter()
+                                .find(|x| x.var == *v)
+                                .map(|x| (x.filter, x.backend.clone()))
+                                .unwrap_or((TimeFilter::Current, None)),
+                            None => (TimeFilter::Current, None),
+                        };
+                        values.push(self.eval_expr(e, &binding, filter, backend.as_deref())?);
+                    }
+                    row.values = values;
+                    out.push(row);
+                }
+                // Select deduplicates identical value rows (bag → set, as
+                // the paper's examples imply for "the names and ids").
+                let mut seen = HashSet::new();
+                out.retain(|r| seen.insert((r.values.clone(), r.times.clone())));
+                Ok(QueryResult { columns, rows: out })
+            }
+            Head::WhenExists | Head::FirstTimeWhenExists | Head::LastTimeWhenExists => {
+                // Union the joint assertion ranges over all rows.
+                let mut union = IntervalSet::empty();
+                for row in &rows {
+                    if let Some(t) = &row.times {
+                        union = union.union(t);
+                    }
+                }
+                let (columns, out_rows) = match q.head {
+                    Head::WhenExists => (
+                        vec!["when_exists".to_string()],
+                        if union.is_empty() {
+                            vec![]
+                        } else {
+                            vec![ResultRow {
+                                pathways: Vec::new(),
+                                values: Vec::new(),
+                                times: Some(union),
+                            }]
+                        },
+                    ),
+                    Head::FirstTimeWhenExists => {
+                        let rows = match union.first() {
+                            Some(t) => vec![ResultRow {
+                                pathways: Vec::new(),
+                                values: vec![Value::Ts(t)],
+                                times: Some(union),
+                            }],
+                            None => vec![],
+                        };
+                        (vec!["first_time".to_string()], rows)
+                    }
+                    Head::LastTimeWhenExists => {
+                        let rows = match union.last() {
+                            Some(iv) => {
+                                let v = if iv.is_current() {
+                                    Value::Null // still exists now
+                                } else {
+                                    Value::Ts(iv.to)
+                                };
+                                vec![ResultRow {
+                                    pathways: Vec::new(),
+                                    values: vec![v],
+                                    times: Some(union),
+                                }]
+                            }
+                            None => vec![],
+                        };
+                        (vec!["last_time".to_string()], rows)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(QueryResult { columns, rows: out_rows })
+            }
+        }
+    }
+}
+
+fn expr_name(e: &Expr) -> String {
+    match e {
+        Expr::PathEnd(PathFn::Source, v) => format!("source({v})"),
+        Expr::PathEnd(PathFn::Target, v) => format!("target({v})"),
+        Expr::PathEndField(PathFn::Source, v, f) => format!("source({v}).{f}"),
+        Expr::PathEndField(PathFn::Target, v, f) => format!("target({v}).{f}"),
+        Expr::Length(v) => format!("length({v})"),
+        Expr::PathVar(v) => v.clone(),
+        Expr::Literal(v) => v.to_string(),
+    }
+}
+
+fn item_name(item: &SelectItem) -> String {
+    let inner = expr_name(&item.expr);
+    match item.agg {
+        None => inner,
+        Some(agg) => {
+            let f = match agg {
+                AggFn::Count => "count",
+                AggFn::Min => "min",
+                AggFn::Max => "max",
+                AggFn::Sum => "sum",
+                AggFn::Avg => "avg",
+            };
+            if item.distinct {
+                format!("{f}(distinct {inner})")
+            } else {
+                format!("{f}({inner})")
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Path evolution queries (§4).
+//!
+//! "Another targeted query is the path evolution query, which tracks the
+//! changes of the field values in a specific pathway (i.e. with specific
+//! node and edge ids). Path evolution queries find use in visualization
+//! applications, in which a specific path returned by a query can be
+//! chosen and explored further."
+
+use nepal_graph::{Interval, TemporalGraph, Uid};
+use nepal_rpe::Pathway;
+use nepal_schema::{ClassId, Ts, Value};
+
+/// The field-value timeline of one pathway element.
+#[derive(Debug, Clone)]
+pub struct ElementEvolution {
+    pub uid: Uid,
+    pub class: ClassId,
+    pub class_name: String,
+    /// Versions (assertion interval, field values) ordered by time.
+    pub versions: Vec<(Interval, Vec<Value>)>,
+}
+
+/// A change event: which element changed, when, and which fields.
+#[derive(Debug, Clone)]
+pub struct ChangeEvent {
+    pub at: Ts,
+    pub uid: Uid,
+    pub class_name: String,
+    /// (field name, old value, new value); empty for insert/delete events.
+    pub changed: Vec<(String, Value, Value)>,
+    pub kind: ChangeKind,
+}
+
+/// What happened at a change event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    Inserted,
+    Updated,
+    Deleted,
+}
+
+/// The full evolution of a specific pathway, optionally restricted to a
+/// time window.
+pub fn path_evolution(
+    graph: &TemporalGraph,
+    pathway: &Pathway,
+    window: Option<(Ts, Ts)>,
+) -> Vec<ElementEvolution> {
+    let schema = graph.schema();
+    let mut out = Vec::new();
+    for &uid in &pathway.elems {
+        let Some(class) = graph.class_of(uid) else { continue };
+        let versions: Vec<(Interval, Vec<Value>)> = match window {
+            None => graph
+                .versions(uid)
+                .iter()
+                .map(|v| (v.span, v.fields.clone()))
+                .collect(),
+            Some((a, b)) => graph
+                .versions_overlapping(uid, &Interval::new(a, b.saturating_add(1)))
+                .iter()
+                .map(|v| (v.span, v.fields.clone()))
+                .collect(),
+        };
+        out.push(ElementEvolution {
+            uid,
+            class,
+            class_name: schema.class(class).name.clone(),
+            versions,
+        });
+    }
+    out
+}
+
+/// Flatten an evolution into a chronological change log — the view a
+/// troubleshooting UI renders next to a selected path.
+pub fn change_log(graph: &TemporalGraph, pathway: &Pathway) -> Vec<ChangeEvent> {
+    let schema = graph.schema();
+    let mut events = Vec::new();
+    for &uid in &pathway.elems {
+        let Some(class) = graph.class_of(uid) else { continue };
+        let class_name = schema.class(class).name.clone();
+        let fields = schema.all_fields(class);
+        let versions = graph.versions(uid);
+        for (i, v) in versions.iter().enumerate() {
+            if i == 0 {
+                events.push(ChangeEvent {
+                    at: v.span.from,
+                    uid,
+                    class_name: class_name.clone(),
+                    changed: Vec::new(),
+                    kind: ChangeKind::Inserted,
+                });
+            } else {
+                let prev = &versions[i - 1];
+                let changed: Vec<(String, Value, Value)> = prev
+                    .fields
+                    .iter()
+                    .zip(&v.fields)
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(idx, (a, b))| (fields[idx].name.clone(), a.clone(), b.clone()))
+                    .collect();
+                events.push(ChangeEvent {
+                    at: v.span.from,
+                    uid,
+                    class_name: class_name.clone(),
+                    changed,
+                    kind: ChangeKind::Updated,
+                });
+            }
+        }
+        if let Some(last) = versions.last() {
+            if !last.span.is_current() {
+                events.push(ChangeEvent {
+                    at: last.span.to,
+                    uid,
+                    class_name: class_name.clone(),
+                    changed: Vec::new(),
+                    kind: ChangeKind::Deleted,
+                });
+            }
+        }
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::dsl::parse_schema;
+    use std::sync::Arc;
+
+    #[test]
+    fn evolution_and_change_log() {
+        let s = Arc::new(parse_schema("node VM { vm_id: int unique, status: str }").unwrap());
+        let mut g = TemporalGraph::new(s.clone());
+        let c = s.class_by_name("VM").unwrap();
+        let u = g
+            .insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 100)
+            .unwrap();
+        g.update(u, &[(1, Value::Str("Red".into()))], 200).unwrap();
+        g.delete(u, 300).unwrap();
+
+        let p = Pathway::node(u);
+        let evo = path_evolution(&g, &p, None);
+        assert_eq!(evo.len(), 1);
+        assert_eq!(evo[0].versions.len(), 2);
+        assert_eq!(evo[0].class_name, "VM");
+
+        // Window restriction.
+        let evo_w = path_evolution(&g, &p, Some((210, 400)));
+        assert_eq!(evo_w[0].versions.len(), 1);
+
+        let log = change_log(&g, &p);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].kind, ChangeKind::Inserted);
+        assert_eq!(log[1].kind, ChangeKind::Updated);
+        assert_eq!(log[1].changed.len(), 1);
+        assert_eq!(log[1].changed[0].0, "status");
+        assert_eq!(log[2].kind, ChangeKind::Deleted);
+        assert_eq!(log[2].at, 300);
+    }
+}

@@ -1,0 +1,47 @@
+//! # nepal-core — the Nepal query system
+//!
+//! The top of the stack: the SQL-like Nepal query language with pathways
+//! as first-class citizens (§3.4), temporal queries (§4), and the
+//! retargetable execution architecture (§3.1/§5):
+//!
+//! - [`parser::parse_query`] — `Retrieve`/`Select` heads, `PATHS` range
+//!   variables (with per-variable `@` time scopes and `USING` backend
+//!   routing), `MATCHES` predicates, joins on `source()`/`target()`,
+//!   `[Not] Exists` subqueries, `AT` time points/ranges, and the §4
+//!   temporal aggregates.
+//! - [`backend::Backend`] — the retargetable evaluation interface with
+//!   native, relational (SQL-emitting), and Gremlin (wire-protocol)
+//!   implementations plus the [`backend::BackendRegistry`] for data
+//!   integration.
+//! - [`engine::Engine`] — planning, anchor import across joins, hash
+//!   joins, temporal coexistence semantics, decorrelated EXISTS, and the
+//!   result-processing layer.
+//! - [`evolution`] — path evolution queries and change logs.
+
+pub mod analysis;
+pub mod ast;
+pub mod backend;
+pub mod engine;
+pub mod error;
+pub mod evolution;
+pub mod parser;
+
+pub use analysis::{footprint, induced_paths, shared_fate, InducedSegment};
+pub use ast::{AggFn, Cond, Expr, Head, PathFn, QCmp, Query, SelectItem, SourceDecl, TimeSpec};
+pub use backend::{Backend, BackendRegistry, GremlinBackend, NativeBackend, RelationalBackend};
+pub use engine::{Engine, QueryResult, ResultRow, FULL_RANGE};
+pub use error::{NepalError, Result};
+pub use evolution::{change_log, path_evolution, ChangeEvent, ChangeKind, ElementEvolution};
+pub use parser::parse_query;
+
+use std::sync::Arc;
+
+use nepal_graph::TemporalGraph;
+
+/// Convenience: an engine over a single native temporal graph.
+pub fn engine_over(graph: Arc<TemporalGraph>) -> Engine {
+    Engine::new(BackendRegistry::new(
+        "native",
+        Box::new(NativeBackend::new(graph)),
+    ))
+}

@@ -1,0 +1,135 @@
+//! Aggregation over pathway sets — §8 future work ("aggregation and data
+//! exploration queries on pathway sets"), implemented as Select-level
+//! aggregate functions.
+
+use std::sync::Arc;
+
+use nepal_core::{engine_over, Engine, NepalError};
+use nepal_graph::TemporalGraph;
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+
+fn engine() -> Engine {
+    let s: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            node VNF { vnf_id: int unique }
+            node VM { vm_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            "#,
+        )
+        .unwrap(),
+    );
+    let c = |n: &str| s.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(s.clone());
+    let hosts: Vec<_> = (0..2)
+        .map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap())
+        .collect();
+    for i in 0..5i64 {
+        let vnf = g.insert_node(c("VNF"), vec![Value::Int(i)], 0).unwrap();
+        let vm = g.insert_node(c("VM"), vec![Value::Int(i)], 0).unwrap();
+        g.insert_edge(c("HostedOn"), vnf, vm, vec![], 0).unwrap();
+        // VNFs 0–2 land on host 0; 3–4 on host 1.
+        let h = hosts[if i < 3 { 0 } else { 1 }];
+        g.insert_edge(c("HostedOn"), vm, h, vec![], 0).unwrap();
+    }
+    engine_over(Arc::new(g))
+}
+
+const PLACEMENTS: &str = "P MATCHES VNF()->[HostedOn()]{1,4}->Host()";
+
+#[test]
+fn count_pathways() {
+    let mut eng = engine();
+    let r = eng
+        .query(&format!("Select count(P) From PATHS P Where {PLACEMENTS}"))
+        .unwrap();
+    assert_eq!(r.columns, vec!["count(P)"]);
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values[0], Value::Int(5));
+}
+
+#[test]
+fn count_distinct_targets() {
+    let mut eng = engine();
+    let r = eng
+        .query(&format!(
+            "Select count(distinct target(P)), count(target(P)) From PATHS P Where {PLACEMENTS}"
+        ))
+        .unwrap();
+    assert_eq!(r.rows[0].values[0], Value::Int(2)); // 2 hosts
+    assert_eq!(r.rows[0].values[1], Value::Int(5)); // 5 pathways
+}
+
+#[test]
+fn min_max_sum_avg_over_lengths_and_fields() {
+    let mut eng = engine();
+    let r = eng
+        .query(&format!(
+            "Select min(length(P)), max(length(P)), avg(length(P)), \
+                    sum(source(P).vnf_id), max(target(P).host_id) \
+             From PATHS P Where {PLACEMENTS}"
+        ))
+        .unwrap();
+    let v = &r.rows[0].values;
+    assert_eq!(v[0], Value::Int(2));
+    assert_eq!(v[1], Value::Int(2));
+    assert_eq!(v[2], Value::Float(2.0));
+    assert_eq!(v[3], Value::Int(10)); // 0+1+2+3+4
+    assert_eq!(v[4], Value::Int(1));
+}
+
+#[test]
+fn aggregates_respect_joins() {
+    let mut eng = engine();
+    // Count placements landing on host 0 only.
+    let r = eng
+        .query(
+            "Select count(P) From PATHS P, PATHS H \
+             Where P MATCHES VNF()->[HostedOn()]{1,4}->Host() \
+             And H MATCHES Host(host_id=0) \
+             And target(P) = source(H)",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0].values[0], Value::Int(3));
+}
+
+#[test]
+fn empty_result_aggregates() {
+    let mut eng = engine();
+    let r = eng
+        .query("Select count(P), min(length(P)) From PATHS P Where P MATCHES VNF(vnf_id=99)")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values[0], Value::Int(0));
+    assert_eq!(r.rows[0].values[1], Value::Null);
+}
+
+#[test]
+fn mixing_plain_and_aggregate_is_rejected() {
+    let mut eng = engine();
+    let err = eng
+        .query(&format!(
+            "Select source(P), count(P) From PATHS P Where {PLACEMENTS}"
+        ))
+        .unwrap_err();
+    assert!(matches!(err, NepalError::Unsupported(_)), "{err}");
+    // Literals are allowed alongside aggregates.
+    let r = eng
+        .query(&format!("Select 'total', count(P) From PATHS P Where {PLACEMENTS}"))
+        .unwrap();
+    assert_eq!(r.rows[0].values[0], Value::Str("total".into()));
+    // sum over non-numeric is rejected.
+    assert!(eng
+        .query(&format!("Select sum(source(P)) From PATHS P Where {PLACEMENTS}"))
+        .is_ok()); // node uids are ints — fine
+}
+
+#[test]
+fn bare_variable_outside_count_is_rejected() {
+    let mut eng = engine();
+    assert!(eng
+        .query(&format!("Select min(P) From PATHS P Where {PLACEMENTS}"))
+        .is_err());
+}

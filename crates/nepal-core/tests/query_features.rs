@@ -1,0 +1,238 @@
+//! Engine feature coverage beyond the paper's worked examples: comparison
+//! operators, per-variable range scopes, result-processing details, limits,
+//! and error reporting.
+
+use std::sync::Arc;
+
+use nepal_core::{engine_over, Engine, NepalError};
+use nepal_graph::TemporalGraph;
+use nepal_rpe::EvalOptions;
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{parse_ts, Schema, Value};
+
+fn fixture() -> (Engine, Arc<TemporalGraph>) {
+    let s: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            node VNF { vnf_id: int unique, name: str }
+            node VM { vm_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            "#,
+        )
+        .unwrap(),
+    );
+    let c = |n: &str| s.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(s.clone());
+    let t0 = parse_ts("2017-02-01 00:00").unwrap();
+    let h0 = g.insert_node(c("Host"), vec![Value::Int(0)], t0).unwrap();
+    let h1 = g.insert_node(c("Host"), vec![Value::Int(1)], t0).unwrap();
+    for i in 0..3i64 {
+        let vnf = g
+            .insert_node(c("VNF"), vec![Value::Int(i), Value::Str(format!("vnf-{i}"))], t0)
+            .unwrap();
+        let vm = g.insert_node(c("VM"), vec![Value::Int(i)], t0).unwrap();
+        g.insert_edge(c("HostedOn"), vnf, vm, vec![], t0).unwrap();
+        g.insert_edge(c("HostedOn"), vm, if i == 0 { h0 } else { h1 }, vec![], t0).unwrap();
+    }
+    // VNF 2's placement is torn down mid-February.
+    let vm2 = g.find_unique(c("VM"), 0, &Value::Int(2)).unwrap();
+    g.delete(vm2, parse_ts("2017-02-15 00:00").unwrap()).unwrap();
+    let graph = Arc::new(g);
+    (engine_over(graph.clone()), graph)
+}
+
+#[test]
+fn not_equal_comparisons() {
+    let (mut eng, _g) = fixture();
+    let r = eng
+        .query(
+            "Retrieve P, Q From PATHS P, PATHS Q \
+             Where P MATCHES VNF(vnf_id=0)->[HostedOn()]{1,4}->Host() \
+             And Q MATCHES VNF()->[HostedOn()]{1,4}->Host() \
+             And target(P) != target(Q)",
+        )
+        .unwrap();
+    // Q must land on a different host than P (host 1): only VNF 1 (VNF 2
+    // was deleted).
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn per_variable_range_scope_keeps_own_times() {
+    let (mut eng, _g) = fixture();
+    // A range-scoped variable reports its own maximal assertion intervals
+    // even without a query-level AT.
+    let r = eng
+        .query(
+            "Retrieve P From PATHS P(@'2017-02-10 00:00' : '2017-02-20 00:00') \
+             Where P MATCHES VNF(vnf_id=2)->[HostedOn()]{1,4}->Host()",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let times = r.rows[0].pathways[0].1.times.as_ref().expect("range-scoped var carries times");
+    assert_eq!(times.intervals().len(), 1);
+    assert_eq!(times.intervals()[0].to, parse_ts("2017-02-15 00:00").unwrap());
+}
+
+#[test]
+fn select_mixes_literals_and_functions() {
+    let (mut eng, _g) = fixture();
+    let r = eng
+        .query(
+            "Select source(P).name, length(P), 42, 'tag' From PATHS P \
+             Where P MATCHES VNF(vnf_id=0)->[HostedOn()]{1,4}->Host()",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["source(P).name", "length(P)", "42", "'tag'"]);
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values[1], Value::Int(2));
+    assert_eq!(r.rows[0].values[2], Value::Int(42));
+    assert_eq!(r.rows[0].values[3], Value::Str("tag".into()));
+}
+
+#[test]
+fn select_deduplicates_value_rows() {
+    let (mut eng, _g) = fixture();
+    // Both remaining placements end at SOME host; selecting a constant
+    // collapses to one row.
+    let r = eng
+        .query("Select 1 From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn eval_limit_is_respected() {
+    let (mut eng, _g) = fixture();
+    eng.eval_options = EvalOptions { limit: Some(1), max_elements: None };
+    let r = eng
+        .query("Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn error_paths_are_descriptive() {
+    let (mut eng, _g) = fixture();
+    // Unknown backend.
+    assert!(matches!(
+        eng.query("Retrieve P From PATHS P USING nodb Where P MATCHES VM()"),
+        Err(NepalError::UnknownBackend(_))
+    ));
+    // Unknown field in a Select expression.
+    assert!(matches!(
+        eng.query("Select source(P).bogus From PATHS P Where P MATCHES VM(vm_id=0)"),
+        Err(NepalError::UnknownField { .. })
+    ));
+    // Unknown class inside MATCHES surfaces the RPE error.
+    assert!(matches!(
+        eng.query("Retrieve P From PATHS P Where P MATCHES Nope()"),
+        Err(NepalError::Rpe(_))
+    ));
+    // Nullable RPE rejected at plan time (§3.3).
+    assert!(matches!(
+        eng.query("Retrieve P From PATHS P Where P MATCHES [VM()]{0,3}"),
+        Err(NepalError::Rpe(_))
+    ));
+}
+
+#[test]
+fn pathways_of_helper_deduplicates() {
+    let (mut eng, _g) = fixture();
+    let r = eng
+        .query(
+            "Retrieve P, Q From PATHS P, PATHS Q \
+             Where P MATCHES VNF(vnf_id=0)->[HostedOn()]{1,4}->Host() \
+             And Q MATCHES Host() \
+             And target(P) != source(Q)",
+        )
+        .unwrap();
+    // P is repeated across join rows but reported once.
+    assert_eq!(r.pathways_of("P").len(), 1);
+}
+
+#[test]
+fn field_comparison_between_variables() {
+    let (mut eng, _g) = fixture();
+    // Join on a field value rather than node identity.
+    let r = eng
+        .query(
+            "Retrieve P, Q From PATHS P, PATHS Q \
+             Where P MATCHES VNF(vnf_id=1) And Q MATCHES VM() \
+             And source(P).vnf_id = source(Q).vm_id",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn query_level_range_requires_joint_coexistence() {
+    // §4: "When using AT, all results must coexist during the associated
+    // time range, which is the maximal time range when all of the pathways
+    // coexisted."
+    let s: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            node VNF { vnf_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            "#,
+        )
+        .unwrap(),
+    );
+    let c = |n: &str| s.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(s.clone());
+    let t = |d: &str| parse_ts(d).unwrap();
+    let h = g.insert_node(c("Host"), vec![Value::Int(0)], t("2017-02-01 00:00")).unwrap();
+    // VNF 1 placed Feb 1 – Feb 20.
+    let v1 = g.insert_node(c("VNF"), vec![Value::Int(1)], t("2017-02-01 00:00")).unwrap();
+    let e1 = g.insert_edge(c("HostedOn"), v1, h, vec![], t("2017-02-01 00:00")).unwrap();
+    g.delete(e1, t("2017-02-20 00:00")).unwrap();
+    // VNF 2 placed Feb 10 – onwards: overlaps VNF 1 during Feb 10–20.
+    let v2 = g.insert_node(c("VNF"), vec![Value::Int(2)], t("2017-02-10 00:00")).unwrap();
+    g.insert_edge(c("HostedOn"), v2, h, vec![], t("2017-02-10 00:00")).unwrap();
+    // VNF 3 placed only Feb 25 – Feb 28: never coexists with VNF 1.
+    let v3 = g.insert_node(c("VNF"), vec![Value::Int(3)], t("2017-02-25 00:00")).unwrap();
+    let e3 = g.insert_edge(c("HostedOn"), v3, h, vec![], t("2017-02-25 00:00")).unwrap();
+    g.delete(e3, t("2017-02-28 00:00")).unwrap();
+    let mut eng = engine_over(Arc::new(g));
+
+    let run = |eng: &mut Engine, a: i64, b: i64| {
+        eng.query(&format!(
+            "AT '2017-02-01 00:00' : '2017-03-31 00:00' Retrieve P, Q \
+             From PATHS P, PATHS Q \
+             Where P MATCHES VNF(vnf_id={a})->HostedOn()->Host() \
+             And Q MATCHES VNF(vnf_id={b})->HostedOn()->Host() \
+             And target(P) = target(Q)",
+        ))
+        .unwrap()
+    };
+    // VNF1 + VNF2 coexisted Feb 10–20: one row with that joint range.
+    let r12 = run(&mut eng, 1, 2);
+    assert_eq!(r12.rows.len(), 1);
+    let times = r12.rows[0].times.as_ref().unwrap();
+    assert_eq!(times.intervals().len(), 1);
+    assert_eq!(times.intervals()[0].from, t("2017-02-10 00:00"));
+    assert_eq!(times.intervals()[0].to, t("2017-02-20 00:00"));
+    // VNF1 + VNF3 never coexisted: join row dropped entirely.
+    let r13 = run(&mut eng, 1, 3);
+    assert!(r13.rows.is_empty());
+    // Per-variable scopes instead: "there is no implicit temporal
+    // relationship between the range variables" — the pair survives, each
+    // side keeping its own maximal range.
+    let r_pervar = eng
+        .query(
+            "Retrieve P, Q \
+             From PATHS P(@'2017-02-01 00:00' : '2017-03-31 00:00'), \
+                  PATHS Q(@'2017-02-01 00:00' : '2017-03-31 00:00') \
+             Where P MATCHES VNF(vnf_id=1)->HostedOn()->Host() \
+             And Q MATCHES VNF(vnf_id=3)->HostedOn()->Host() \
+             And target(P) = target(Q)",
+        )
+        .unwrap();
+    assert_eq!(r_pervar.rows.len(), 1);
+    let p_times = &r_pervar.rows[0].pathways[0].1.times;
+    let q_times = &r_pervar.rows[0].pathways[1].1.times;
+    assert_ne!(p_times, q_times);
+}

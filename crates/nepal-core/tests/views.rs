@@ -1,0 +1,103 @@
+//! Named pathway views (§3.4): "The source is an unmaterialized view of
+//! pathways … the view PATHS is the set of all pathways. Additional views
+//! can be defined."
+
+use std::sync::Arc;
+
+use nepal_core::{engine_over, NepalError};
+use nepal_graph::TemporalGraph;
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+
+fn engine() -> (nepal_core::Engine, Arc<TemporalGraph>) {
+    let s: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            node VNF { vnf_id: int unique, status: str }
+            node VM { vm_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            "#,
+        )
+        .unwrap(),
+    );
+    let c = |n: &str| s.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(s.clone());
+    let hosts: Vec<_> = (0..2)
+        .map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap())
+        .collect();
+    for i in 0..4 {
+        let status = if i % 2 == 0 { "Active" } else { "Down" };
+        let vnf = g
+            .insert_node(c("VNF"), vec![Value::Int(i), Value::Str(status.into())], 0)
+            .unwrap();
+        let vm = g.insert_node(c("VM"), vec![Value::Int(i)], 0).unwrap();
+        g.insert_edge(c("HostedOn"), vnf, vm, vec![], 0).unwrap();
+        g.insert_edge(c("HostedOn"), vm, hosts[(i % 2) as usize], vec![], 0).unwrap();
+    }
+    let graph = Arc::new(g);
+    (engine_over(graph.clone()), graph)
+}
+
+#[test]
+fn view_supplies_pathways_without_matches() {
+    let (mut eng, _g) = engine();
+    eng.define_view(
+        "active_placements",
+        "Retrieve P From PATHS P Where P MATCHES VNF(status='Active')->[HostedOn()]{1,4}->Host()",
+    )
+    .unwrap();
+    // Range over the view — no MATCHES needed on V.
+    let r = eng
+        .query("Retrieve V From active_placements V")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2); // VNFs 0 and 2 are Active
+    // Views compose with joins and post-processing.
+    let r2 = eng
+        .query(
+            "Select source(V).vnf_id From active_placements V, PATHS H \
+             Where H MATCHES Host(host_id=0) And target(V) = source(H)",
+        )
+        .unwrap();
+    // Active VNFs 0 and 2 both land on host 0 (i % 2).
+    let mut got: Vec<Value> = r2.rows.iter().map(|r| r.values[0].clone()).collect();
+    got.sort();
+    assert_eq!(got, vec![Value::Int(0), Value::Int(2)]);
+}
+
+#[test]
+fn views_can_stack() {
+    let (mut eng, _g) = engine();
+    eng.define_view(
+        "placements",
+        "Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()",
+    )
+    .unwrap();
+    eng.define_view("all_placements", "Retrieve V From placements V").unwrap();
+    let r = eng.query("Retrieve X From all_placements X").unwrap();
+    assert_eq!(r.rows.len(), 4);
+}
+
+#[test]
+fn view_errors() {
+    let (mut eng, _g) = engine();
+    // Unknown view.
+    assert!(eng.query("Retrieve V From nope V").is_err());
+    // A view must be a Retrieve query.
+    assert!(matches!(
+        eng.define_view("bad", "Select source(P) From PATHS P Where P MATCHES VM()"),
+        Err(NepalError::Unsupported(_))
+    ));
+    // PATHS variables still require MATCHES.
+    assert!(matches!(
+        eng.query("Retrieve V From PATHS V"),
+        Err(NepalError::NoMatches(_))
+    ));
+    // Recursive views terminate with an error rather than hanging.
+    eng.define_view("a", "Retrieve V From b V").unwrap();
+    eng.define_view("b", "Retrieve V From a V").unwrap();
+    assert!(matches!(
+        eng.query("Retrieve V From a V"),
+        Err(NepalError::Unsupported(_))
+    ));
+}

@@ -1,0 +1,65 @@
+//! Error types for the temporal graph store.
+
+use std::fmt;
+
+use nepal_schema::{SchemaError, Ts};
+
+use crate::store::Uid;
+
+/// Errors raised by graph mutations and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The uid does not exist in the store.
+    UnknownUid(Uid),
+    /// A node operation was applied to an edge, or vice versa.
+    WrongKind { uid: Uid, expected: &'static str },
+    /// The entity is not asserted (alive) at the given time.
+    Dead { uid: Uid, at: Ts },
+    /// The schema's allowed-edge rules forbid this connection.
+    EdgeNotAllowed { edge_class: String, src_class: String, dst_class: String },
+    /// A unique-field constraint would be violated.
+    UniqueViolation { class: String, field: String },
+    /// Transaction times must be non-decreasing per entity.
+    NonMonotonicTs { uid: Uid, last: Ts, got: Ts },
+    /// Schema-level validation failure.
+    Schema(SchemaError),
+    /// The class is not a node (resp. edge) class.
+    BadClass(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownUid(u) => write!(f, "unknown uid {}", u.0),
+            GraphError::WrongKind { uid, expected } => {
+                write!(f, "uid {} is not a {expected}", uid.0)
+            }
+            GraphError::Dead { uid, at } => write!(f, "entity {} is not asserted at {at}", uid.0),
+            GraphError::EdgeNotAllowed { edge_class, src_class, dst_class } => write!(
+                f,
+                "schema forbids edge `{edge_class}` from `{src_class}` to `{dst_class}`"
+            ),
+            GraphError::UniqueViolation { class, field } => {
+                write!(f, "unique violation on `{class}.{field}`")
+            }
+            GraphError::NonMonotonicTs { uid, last, got } => write!(
+                f,
+                "non-monotonic transaction time for uid {}: last {last}, got {got}",
+                uid.0
+            ),
+            GraphError::Schema(e) => write!(f, "schema error: {e}"),
+            GraphError::BadClass(c) => write!(f, "bad class for operation: `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<SchemaError> for GraphError {
+    fn from(e: SchemaError) -> Self {
+        GraphError::Schema(e)
+    }
+}
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,268 @@
+//! Transaction-time interval algebra.
+//!
+//! Every node/edge version carries a half-open system-time interval
+//! `[from, to)`; an entity's *assertion set* is the union of its version
+//! intervals. Time-range queries (§4) intersect the assertion sets of all
+//! pathway elements to produce the **maximal** time ranges during which the
+//! pathway can be asserted in the database.
+
+use std::fmt;
+
+use nepal_schema::{format_ts, Ts};
+
+/// Sentinel for an open-ended interval ("still current").
+pub const FOREVER: Ts = Ts::MAX;
+
+/// A half-open transaction-time interval `[from, to)`.
+///
+/// `to == FOREVER` means the row is still asserted (the paper renders this
+/// as an absent end time, e.g. `times: ['2017-02-15 09:15', ]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    pub from: Ts,
+    pub to: Ts,
+}
+
+impl Interval {
+    /// `[from, to)`; panics if `from >= to` (empty intervals are not
+    /// representable — use [`IntervalSet::empty`]).
+    pub fn new(from: Ts, to: Ts) -> Interval {
+        assert!(from < to, "empty or inverted interval [{from}, {to})");
+        Interval { from, to }
+    }
+
+    /// `[from, ∞)`.
+    pub fn since(from: Ts) -> Interval {
+        Interval { from, to: FOREVER }
+    }
+
+    /// Does the interval contain the time point?
+    pub fn contains(&self, t: Ts) -> bool {
+        self.from <= t && t < self.to
+    }
+
+    /// Do two intervals overlap (share at least one point)?
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.from < other.to && other.from < self.to
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let from = self.from.max(other.from);
+        let to = self.to.min(other.to);
+        (from < to).then_some(Interval { from, to })
+    }
+
+    /// Is the interval open-ended?
+    pub fn is_current(&self) -> bool {
+        self.to == FOREVER
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_current() {
+            write!(f, "['{}', ]", format_ts(self.from))
+        } else {
+            write!(f, "['{}', '{}']", format_ts(self.from), format_ts(self.to))
+        }
+    }
+}
+
+/// A set of times represented as sorted, disjoint, non-adjacent intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    pub fn empty() -> IntervalSet {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    pub fn from_interval(iv: Interval) -> IntervalSet {
+        IntervalSet { ivs: vec![iv] }
+    }
+
+    /// Build from arbitrary intervals: sorts, merges overlapping/adjacent.
+    pub fn from_intervals(mut ivs: Vec<Interval>) -> IntervalSet {
+        ivs.sort();
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                Some(last) if iv.from <= last.to => {
+                    last.to = last.to.max(iv.to);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    pub fn contains(&self, t: Ts) -> bool {
+        // Binary search on `from`.
+        match self.ivs.binary_search_by(|iv| iv.from.cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ivs[i - 1].contains(t),
+        }
+    }
+
+    /// Append an interval known to start at-or-after every existing start
+    /// (the common case when walking versions in order); merges if adjacent.
+    pub fn push(&mut self, iv: Interval) {
+        match self.ivs.last_mut() {
+            Some(last) if iv.from <= last.to => {
+                last.to = last.to.max(iv.to);
+                // Maintain sortedness: if iv.from < last.from the caller
+                // violated the contract; fall back to full rebuild.
+                if iv.from < last.from {
+                    let ivs = std::mem::take(&mut self.ivs);
+                    let mut all = ivs;
+                    all.push(iv);
+                    *self = IntervalSet::from_intervals(all);
+                }
+            }
+            _ => self.ivs.push(iv),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = Vec::with_capacity(self.ivs.len() + other.ivs.len());
+        all.extend_from_slice(&self.ivs);
+        all.extend_from_slice(&other.ivs);
+        IntervalSet::from_intervals(all)
+    }
+
+    /// Set intersection (linear merge).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ivs.len() && j < other.ivs.len() {
+            if let Some(iv) = self.ivs[i].intersect(&other.ivs[j]) {
+                out.push(iv);
+            }
+            if self.ivs[i].to <= other.ivs[j].to {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Does the set overlap the given interval?
+    pub fn overlaps(&self, iv: &Interval) -> bool {
+        self.ivs.iter().any(|x| x.overlaps(iv))
+    }
+
+    /// Components of the set that overlap `iv` — the *maximal* assertion
+    /// ranges reported by time-range queries (deliberately **not** clamped
+    /// to `iv`: the paper's §4 example reports `['02-05 06:30','02-15
+    /// 09:45']` for a 9:00–11:00 query window).
+    pub fn components_overlapping(&self, iv: &Interval) -> Vec<Interval> {
+        self.ivs.iter().filter(|x| x.overlaps(iv)).copied().collect()
+    }
+
+    /// Earliest time point in the set, if any (First Time When Exists, §4).
+    pub fn first(&self) -> Option<Ts> {
+        self.ivs.first().map(|iv| iv.from)
+    }
+
+    /// Latest time point in the set: end of the last interval, or `None`
+    /// end if still current (Last Time When Exists, §4).
+    pub fn last(&self) -> Option<Interval> {
+        self.ivs.last().copied()
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Ts, b: Ts) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn merge_adjacent_and_overlapping() {
+        let s = IntervalSet::from_intervals(vec![iv(5, 10), iv(0, 5), iv(20, 30), iv(8, 12)]);
+        assert_eq!(s.intervals(), &[iv(0, 12), iv(20, 30)]);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = IntervalSet::from_intervals(vec![iv(0, 10), iv(20, 30)]);
+        let b = IntervalSet::from_intervals(vec![iv(5, 25)]);
+        assert_eq!(a.intersect(&b).intervals(), &[iv(5, 10), iv(20, 25)]);
+    }
+
+    #[test]
+    fn intersection_with_open_end() {
+        let a = IntervalSet::from_interval(Interval::since(10));
+        let b = IntervalSet::from_intervals(vec![iv(0, 15), Interval::since(100)]);
+        assert_eq!(
+            a.intersect(&b).intervals(),
+            &[iv(10, 15), Interval::since(100)]
+        );
+    }
+
+    #[test]
+    fn contains_uses_half_open_semantics() {
+        let s = IntervalSet::from_interval(iv(10, 20));
+        assert!(!s.contains(9));
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+    }
+
+    #[test]
+    fn components_overlapping_reports_maximal_ranges() {
+        // Mirrors the paper's example: assertion [06:30, 09:45) overlaps a
+        // [09:00, 11:00] query window and is reported un-clamped.
+        let s = IntervalSet::from_intervals(vec![iv(630, 945), Interval::since(915)]);
+        // from_intervals merges those two (overlap), so rebuild disjoint:
+        let s2 = IntervalSet::from_intervals(vec![iv(630, 900), Interval::since(915)]);
+        assert_eq!(s.components_overlapping(&iv(900, 1100)).len(), 1);
+        let comps = s2.components_overlapping(&iv(900, 1100));
+        assert_eq!(comps, vec![Interval::since(915)]);
+    }
+
+    #[test]
+    fn push_merges_in_order() {
+        let mut s = IntervalSet::empty();
+        s.push(iv(0, 5));
+        s.push(iv(5, 8)); // adjacent → merge
+        s.push(iv(10, 12));
+        assert_eq!(s.intervals(), &[iv(0, 8), iv(10, 12)]);
+    }
+
+    #[test]
+    fn first_and_last() {
+        let s = IntervalSet::from_intervals(vec![iv(3, 5), Interval::since(9)]);
+        assert_eq!(s.first(), Some(3));
+        assert!(s.last().unwrap().is_current());
+    }
+}

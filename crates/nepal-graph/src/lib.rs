@@ -1,0 +1,48 @@
+//! # nepal-graph — the native temporal graph store
+//!
+//! Transaction-time temporal graph storage for Nepal (§4/§5.3 of the
+//! paper): versioned, class-partitioned node/edge storage with adjacency
+//! and unique indexes, time-filtered views, an interval algebra for maximal
+//! assertion ranges, and the update-by-snapshot ingestion service.
+//!
+//! - [`store::TemporalGraph`] — the store and its mutation API.
+//! - [`view::GraphView`] / [`view::TimeFilter`] — current / as-of / range
+//!   scoped reads.
+//! - [`interval::IntervalSet`] — the temporal algebra behind time-range
+//!   query results.
+//! - [`snapshot::SnapshotLoader`] — diff-based ingestion of periodic full
+//!   snapshots.
+//! - [`journal`] — lossless save/load of the whole temporal graph.
+//!
+//! ## Example: time travel
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nepal_graph::TemporalGraph;
+//! use nepal_schema::dsl::parse_schema;
+//! use nepal_schema::Value;
+//!
+//! let schema = Arc::new(parse_schema("node VM { status: str }").unwrap());
+//! let vm_class = schema.class_by_name("VM").unwrap();
+//! let mut g = TemporalGraph::new(schema);
+//! let vm = g.insert_node(vm_class, vec![Value::Str("Green".into())], 100).unwrap();
+//! g.update(vm, &[(0, Value::Str("Red".into()))], 200).unwrap();
+//!
+//! // The current snapshot sees Red; time travel to 150 sees Green.
+//! assert_eq!(g.current_version(vm).unwrap().fields[0], Value::Str("Red".into()));
+//! assert_eq!(g.version_at(vm, 150).unwrap().fields[0], Value::Str("Green".into()));
+//! ```
+
+pub mod error;
+pub mod interval;
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+pub mod view;
+
+pub use error::{GraphError, Result};
+pub use interval::{Interval, IntervalSet, FOREVER};
+pub use journal::{load_from_file, load_graph as load_journal, save_graph as save_journal, save_to_file};
+pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};
+pub use store::{AdjEntry, EdgeEntry, NodeEntry, TemporalGraph, Uid, Version};
+pub use view::{GraphView, MatchTime, TimeFilter};

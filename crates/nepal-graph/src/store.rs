@@ -1,0 +1,771 @@
+//! The native temporal graph store.
+//!
+//! A transaction-time graph database (§4, §5.3): every node and edge carries
+//! a sequence of *versions*, each with its field values and a half-open
+//! system-time interval. The current snapshot is simply the set of versions
+//! whose interval is still open — so history queries and snapshot queries
+//! run against the same structure, and storing 60 days of history costs a
+//! few percent rather than 60 full copies (§6.1).
+//!
+//! Storage is **class-partitioned**: every class keeps its own extent list,
+//! which is what makes anchored scans over `VM()` ignore the millions of
+//! irrelevant legacy entities (the paper's Table-3 partitioning win).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nepal_schema::{ClassId, ClassKind, Schema, Ts, Value};
+
+use crate::error::{GraphError, Result};
+use crate::interval::{Interval, IntervalSet};
+
+/// Unique identifier of a node or edge. Uids are dense indices assigned by
+/// the store; nodes and edges share one uid space (as in the paper's
+/// `uid_list` path representation, which mixes both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u64);
+
+/// One version of an entity: field values asserted during `span`.
+#[derive(Debug, Clone)]
+pub struct Version {
+    pub fields: Vec<Value>,
+    pub span: Interval,
+}
+
+/// A stored node.
+#[derive(Debug, Clone)]
+pub struct NodeEntry {
+    pub uid: Uid,
+    pub class: ClassId,
+    /// Versions in chronological order; spans never overlap.
+    pub versions: Vec<Version>,
+}
+
+/// A stored edge. Endpoints are immutable for the lifetime of the uid
+/// (a moved connection is a delete + insert, as in real inventory feeds).
+#[derive(Debug, Clone)]
+pub struct EdgeEntry {
+    pub uid: Uid,
+    pub class: ClassId,
+    pub src: Uid,
+    pub dst: Uid,
+    pub versions: Vec<Version>,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Node(NodeEntry),
+    Edge(EdgeEntry),
+}
+
+impl Entry {
+    fn versions(&self) -> &[Version] {
+        match self {
+            Entry::Node(n) => &n.versions,
+            Entry::Edge(e) => &e.versions,
+        }
+    }
+
+    fn versions_mut(&mut self) -> &mut Vec<Version> {
+        match self {
+            Entry::Node(n) => &mut n.versions,
+            Entry::Edge(e) => &mut e.versions,
+        }
+    }
+
+    fn class(&self) -> ClassId {
+        match self {
+            Entry::Node(n) => n.class,
+            Entry::Edge(e) => e.class,
+        }
+    }
+}
+
+/// An adjacency record: the connecting edge and the opposite endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEntry {
+    pub edge: Uid,
+    pub other: Uid,
+}
+
+/// The temporal graph store.
+pub struct TemporalGraph {
+    schema: Arc<Schema>,
+    entries: Vec<Entry>,
+    /// uid → adjacency slot (nodes only; `u32::MAX` for edges).
+    adj_slot: Vec<u32>,
+    out_adj: Vec<Vec<AdjEntry>>,
+    in_adj: Vec<Vec<AdjEntry>>,
+    /// Per exact class: every uid ever created with that class.
+    extents: Vec<Vec<Uid>>,
+    /// Per exact class: number of currently asserted entities (statistics
+    /// for the anchor-costing optimizer, §5.1).
+    alive: Vec<u64>,
+    /// Unique index: (declaring class, field index) → value → holder uid.
+    unique: HashMap<(ClassId, usize), HashMap<Value, Uid>>,
+    /// Total number of versions ever stored (history accounting, §6.1).
+    version_count: u64,
+}
+
+impl TemporalGraph {
+    pub fn new(schema: Arc<Schema>) -> TemporalGraph {
+        let n = schema.num_classes();
+        TemporalGraph {
+            schema,
+            entries: Vec::new(),
+            adj_slot: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+            extents: vec![Vec::new(); n],
+            alive: vec![0; n],
+            unique: HashMap::new(),
+            version_count: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total number of uids (nodes + edges) ever created.
+    pub fn num_entities(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of stored versions (current + history).
+    pub fn num_versions(&self) -> u64 {
+        self.version_count
+    }
+
+    /// The class that declares layout index `idx` for `class` (the ancestor
+    /// whose own-field range contains `idx`). Unique indexes are keyed on
+    /// the declaring class so all subclasses share the constraint.
+    fn declaring_class(&self, class: ClassId, idx: usize) -> ClassId {
+        let mut chain = self.schema.ancestors(class);
+        chain.reverse(); // root → leaf
+        let mut offset = 0usize;
+        for c in chain {
+            let own = self.schema.class(c).own_fields.len();
+            if idx < offset + own {
+                return c;
+            }
+            offset += own;
+        }
+        class
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation API
+    // ------------------------------------------------------------------
+
+    fn check_unique_free(&self, class: ClassId, fields: &[Value]) -> Result<()> {
+        for idx in self.schema.unique_fields(class) {
+            let v = &fields[idx];
+            if v.is_null() {
+                continue;
+            }
+            let key = (self.declaring_class(class, idx), idx);
+            if let Some(m) = self.unique.get(&key) {
+                if m.contains_key(v) {
+                    return Err(GraphError::UniqueViolation {
+                        class: self.schema.class(class).name.clone(),
+                        field: self.schema.all_fields(class)[idx].name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_unique(&mut self, class: ClassId, fields: &[Value], uid: Uid) {
+        for idx in self.schema.unique_fields(class) {
+            let v = &fields[idx];
+            if v.is_null() {
+                continue;
+            }
+            let key = (self.declaring_class(class, idx), idx);
+            self.unique.entry(key).or_default().insert(v.clone(), uid);
+        }
+    }
+
+    fn unindex_unique(&mut self, class: ClassId, fields: &[Value]) {
+        for idx in self.schema.unique_fields(class) {
+            let v = &fields[idx];
+            if v.is_null() {
+                continue;
+            }
+            let key = (self.declaring_class(class, idx), idx);
+            if let Some(m) = self.unique.get_mut(&key) {
+                m.remove(v);
+            }
+        }
+    }
+
+    /// Insert a node of `class` asserted from `ts`.
+    pub fn insert_node(&mut self, class: ClassId, fields: Vec<Value>, ts: Ts) -> Result<Uid> {
+        if self.schema.kind(class) != ClassKind::Node {
+            return Err(GraphError::BadClass(self.schema.class(class).name.clone()));
+        }
+        self.schema.validate_record(class, &fields)?;
+        self.check_unique_free(class, &fields)?;
+        let uid = Uid(self.entries.len() as u64);
+        self.index_unique(class, &fields, uid);
+        self.entries.push(Entry::Node(NodeEntry {
+            uid,
+            class,
+            versions: vec![Version { fields, span: Interval::since(ts) }],
+        }));
+        let slot = self.out_adj.len() as u32;
+        self.adj_slot.push(slot);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.extents[class.0 as usize].push(uid);
+        self.alive[class.0 as usize] += 1;
+        self.version_count += 1;
+        Ok(uid)
+    }
+
+    /// Insert an edge of `class` from `src` to `dst`, asserted from `ts`.
+    /// Both endpoints must be currently asserted and the schema's
+    /// allowed-edge rules must permit the connection.
+    pub fn insert_edge(
+        &mut self,
+        class: ClassId,
+        src: Uid,
+        dst: Uid,
+        fields: Vec<Value>,
+        ts: Ts,
+    ) -> Result<Uid> {
+        if self.schema.kind(class) != ClassKind::Edge {
+            return Err(GraphError::BadClass(self.schema.class(class).name.clone()));
+        }
+        self.schema.validate_record(class, &fields)?;
+        let src_class = self.node(src)?.class;
+        let dst_class = self.node(dst)?.class;
+        if self.current_version(src).is_none() {
+            return Err(GraphError::Dead { uid: src, at: ts });
+        }
+        if self.current_version(dst).is_none() {
+            return Err(GraphError::Dead { uid: dst, at: ts });
+        }
+        if !self.schema.edge_allowed(class, src_class, dst_class) {
+            return Err(GraphError::EdgeNotAllowed {
+                edge_class: self.schema.class(class).name.clone(),
+                src_class: self.schema.class(src_class).name.clone(),
+                dst_class: self.schema.class(dst_class).name.clone(),
+            });
+        }
+        self.check_unique_free(class, &fields)?;
+        let uid = Uid(self.entries.len() as u64);
+        self.index_unique(class, &fields, uid);
+        self.entries.push(Entry::Edge(EdgeEntry {
+            uid,
+            class,
+            src,
+            dst,
+            versions: vec![Version { fields, span: Interval::since(ts) }],
+        }));
+        self.adj_slot.push(u32::MAX);
+        let (ss, ds) = (self.adj_slot[src.0 as usize] as usize, self.adj_slot[dst.0 as usize] as usize);
+        self.out_adj[ss].push(AdjEntry { edge: uid, other: dst });
+        self.in_adj[ds].push(AdjEntry { edge: uid, other: src });
+        self.extents[class.0 as usize].push(uid);
+        self.alive[class.0 as usize] += 1;
+        self.version_count += 1;
+        Ok(uid)
+    }
+
+    /// Update fields of a currently asserted entity: closes the current
+    /// version at `ts` and opens a new one.
+    pub fn update(&mut self, uid: Uid, changes: &[(usize, Value)], ts: Ts) -> Result<()> {
+        let entry = self
+            .entries
+            .get(uid.0 as usize)
+            .ok_or(GraphError::UnknownUid(uid))?;
+        let class = entry.class();
+        let cur = entry
+            .versions()
+            .last()
+            .filter(|v| v.span.is_current())
+            .ok_or(GraphError::Dead { uid, at: ts })?;
+        if ts < cur.span.from {
+            return Err(GraphError::NonMonotonicTs { uid, last: cur.span.from, got: ts });
+        }
+        let mut new_fields = cur.fields.clone();
+        for (idx, v) in changes {
+            if *idx >= new_fields.len() {
+                return Err(GraphError::Schema(nepal_schema::SchemaError::UnknownField {
+                    class: self.schema.class(class).name.clone(),
+                    field: format!("#{idx}"),
+                }));
+            }
+            new_fields[*idx] = v.clone();
+        }
+        self.schema.validate_record(class, &new_fields)?;
+        // Re-key unique index for changed unique fields.
+        let old_fields = cur.fields.clone();
+        for idx in self.schema.unique_fields(class) {
+            if old_fields[idx] == new_fields[idx] {
+                continue;
+            }
+            let key = (self.declaring_class(class, idx), idx);
+            if !new_fields[idx].is_null() {
+                if let Some(m) = self.unique.get(&key) {
+                    if let Some(&holder) = m.get(&new_fields[idx]) {
+                        if holder != uid {
+                            return Err(GraphError::UniqueViolation {
+                                class: self.schema.class(class).name.clone(),
+                                field: self.schema.all_fields(class)[idx].name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            let m = self.unique.entry(key).or_default();
+            if !old_fields[idx].is_null() {
+                m.remove(&old_fields[idx]);
+            }
+            if !new_fields[idx].is_null() {
+                m.insert(new_fields[idx].clone(), uid);
+            }
+        }
+        let entry = &mut self.entries[uid.0 as usize];
+        let versions = entry.versions_mut();
+        let last = versions.last_mut().unwrap();
+        if last.span.from == ts {
+            // Same-instant update: replace in place (no zero-length version).
+            last.fields = new_fields;
+        } else {
+            last.span = Interval::new(last.span.from, ts);
+            versions.push(Version { fields: new_fields, span: Interval::since(ts) });
+            self.version_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Delete (close the assertion of) an entity at `ts`. Deleting a node
+    /// cascades to all its currently asserted incident edges, mirroring the
+    /// referential behaviour of inventory feeds.
+    pub fn delete(&mut self, uid: Uid, ts: Ts) -> Result<()> {
+        let entry = self
+            .entries
+            .get(uid.0 as usize)
+            .ok_or(GraphError::UnknownUid(uid))?;
+        let is_node = matches!(entry, Entry::Node(_));
+        if is_node {
+            let slot = self.adj_slot[uid.0 as usize] as usize;
+            let incident: Vec<Uid> = self.out_adj[slot]
+                .iter()
+                .chain(self.in_adj[slot].iter())
+                .map(|a| a.edge)
+                .collect();
+            for e in incident {
+                if self.current_version(e).is_some() {
+                    self.close_entry(e, ts)?;
+                }
+            }
+        }
+        self.close_entry(uid, ts)
+    }
+
+    fn close_entry(&mut self, uid: Uid, ts: Ts) -> Result<()> {
+        let entry = &self.entries[uid.0 as usize];
+        let class = entry.class();
+        let cur = entry
+            .versions()
+            .last()
+            .filter(|v| v.span.is_current())
+            .ok_or(GraphError::Dead { uid, at: ts })?;
+        if ts < cur.span.from {
+            return Err(GraphError::NonMonotonicTs { uid, last: cur.span.from, got: ts });
+        }
+        let fields = cur.fields.clone();
+        self.unindex_unique(class, &fields);
+        let entry = &mut self.entries[uid.0 as usize];
+        let versions = entry.versions_mut();
+        let last = versions.last_mut().unwrap();
+        if last.span.from == ts {
+            // Inserted and deleted at the same instant: drop the version.
+            versions.pop();
+            self.version_count -= 1;
+            if versions.is_empty() {
+                // Entity never observable; keep the tombstone entry.
+            }
+        } else {
+            last.span = Interval::new(last.span.from, ts);
+        }
+        self.alive[class.0 as usize] = self.alive[class.0 as usize].saturating_sub(1);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup API
+    // ------------------------------------------------------------------
+
+    pub fn is_node(&self, uid: Uid) -> bool {
+        matches!(self.entries.get(uid.0 as usize), Some(Entry::Node(_)))
+    }
+
+    pub fn node(&self, uid: Uid) -> Result<&NodeEntry> {
+        match self.entries.get(uid.0 as usize) {
+            Some(Entry::Node(n)) => Ok(n),
+            Some(Entry::Edge(_)) => Err(GraphError::WrongKind { uid, expected: "node" }),
+            None => Err(GraphError::UnknownUid(uid)),
+        }
+    }
+
+    pub fn edge(&self, uid: Uid) -> Result<&EdgeEntry> {
+        match self.entries.get(uid.0 as usize) {
+            Some(Entry::Edge(e)) => Ok(e),
+            Some(Entry::Node(_)) => Err(GraphError::WrongKind { uid, expected: "edge" }),
+            None => Err(GraphError::UnknownUid(uid)),
+        }
+    }
+
+    pub fn class_of(&self, uid: Uid) -> Option<ClassId> {
+        self.entries.get(uid.0 as usize).map(|e| e.class())
+    }
+
+    pub fn versions(&self, uid: Uid) -> &[Version] {
+        self.entries
+            .get(uid.0 as usize)
+            .map(|e| e.versions())
+            .unwrap_or(&[])
+    }
+
+    /// The still-open version, if the entity is currently asserted.
+    pub fn current_version(&self, uid: Uid) -> Option<&Version> {
+        self.versions(uid).last().filter(|v| v.span.is_current())
+    }
+
+    /// The version asserted at time `ts`, if any.
+    pub fn version_at(&self, uid: Uid, ts: Ts) -> Option<&Version> {
+        let vs = self.versions(uid);
+        // Versions are sorted by span.from; binary search.
+        let idx = vs.partition_point(|v| v.span.from <= ts);
+        if idx == 0 {
+            return None;
+        }
+        let v = &vs[idx - 1];
+        v.span.contains(ts).then_some(v)
+    }
+
+    /// All versions whose span overlaps `iv`.
+    pub fn versions_overlapping(&self, uid: Uid, iv: &Interval) -> &[Version] {
+        let vs = self.versions(uid);
+        let lo = vs.partition_point(|v| v.span.to <= iv.from);
+        let hi = vs.partition_point(|v| v.span.from < iv.to);
+        &vs[lo..hi]
+    }
+
+    /// The entity's full assertion set (union of version spans).
+    pub fn alive_set(&self, uid: Uid) -> IntervalSet {
+        let mut s = IntervalSet::empty();
+        for v in self.versions(uid) {
+            s.push(v.span);
+        }
+        s
+    }
+
+    /// Every uid ever created with *exactly* class `class`.
+    pub fn extent_exact(&self, class: ClassId) -> &[Uid] {
+        &self.extents[class.0 as usize]
+    }
+
+    /// Iterate all uids of `class` and its subclasses.
+    pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Uid> + '_ {
+        self.schema
+            .descendants(class)
+            .into_iter()
+            .flat_map(|c| self.extents[c.0 as usize].to_vec())
+    }
+
+    /// Number of currently asserted entities of `class` incl. subclasses —
+    /// the optimizer's primary statistic.
+    pub fn alive_count(&self, class: ClassId) -> u64 {
+        self.schema
+            .descendants(class)
+            .into_iter()
+            .map(|c| self.alive[c.0 as usize])
+            .sum()
+    }
+
+    pub fn out_adj(&self, uid: Uid) -> &[AdjEntry] {
+        match self.adj_slot.get(uid.0 as usize) {
+            Some(&s) if s != u32::MAX => &self.out_adj[s as usize],
+            _ => &[],
+        }
+    }
+
+    pub fn in_adj(&self, uid: Uid) -> &[AdjEntry] {
+        match self.adj_slot.get(uid.0 as usize) {
+            Some(&s) if s != u32::MAX => &self.in_adj[s as usize],
+            _ => &[],
+        }
+    }
+
+    /// Unique-index point lookup: the currently asserted entity of `class`
+    /// (or a subclass) whose unique field `idx` equals `value`.
+    pub fn find_unique(&self, class: ClassId, idx: usize, value: &Value) -> Option<Uid> {
+        let key = (self.declaring_class(class, idx), idx);
+        let uid = *self.unique.get(&key)?.get(value)?;
+        // The index only holds alive entities, but the hit might be of a
+        // sibling subclass outside the queried concept; verify.
+        let c = self.class_of(uid)?;
+        self.schema.is_subclass(c, class).then_some(uid)
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk restore (journal loading)
+    // ------------------------------------------------------------------
+
+    /// Restore one entity during journal load. Entities must arrive in
+    /// dense uid order; versions must be chronologically sorted and
+    /// non-overlapping. Unique indexes are rebuilt afterwards via
+    /// [`TemporalGraph::rebuild_unique_index`].
+    pub(crate) fn restore_entity(
+        &mut self,
+        uid: Uid,
+        is_node: bool,
+        class: ClassId,
+        src: Uid,
+        dst: Uid,
+        versions: Vec<(Ts, Ts, Vec<Value>)>,
+    ) -> Result<()> {
+        if uid.0 as usize != self.entries.len() {
+            return Err(GraphError::BadClass(format!(
+                "journal uid {} out of order (expected {})",
+                uid.0,
+                self.entries.len()
+            )));
+        }
+        let mut vs: Vec<Version> = Vec::with_capacity(versions.len());
+        let mut last_to = i64::MIN;
+        for (from, to, fields) in versions {
+            if from >= to || from < last_to {
+                return Err(GraphError::BadClass(format!(
+                    "journal version span [{from},{to}) invalid for uid {}",
+                    uid.0
+                )));
+            }
+            last_to = to;
+            self.schema.validate_record(class, &fields)?;
+            vs.push(Version { fields, span: Interval::new(from, to) });
+        }
+        let alive = vs.last().is_some_and(|v| v.span.is_current());
+        if is_node {
+            self.entries.push(Entry::Node(NodeEntry { uid, class, versions: vs.clone() }));
+            let slot = self.out_adj.len() as u32;
+            self.adj_slot.push(slot);
+            self.out_adj.push(Vec::new());
+            self.in_adj.push(Vec::new());
+        } else {
+            if src.0 >= uid.0 || dst.0 >= uid.0 {
+                return Err(GraphError::BadClass(format!(
+                    "edge {} references not-yet-restored endpoint",
+                    uid.0
+                )));
+            }
+            self.node(src)?;
+            self.node(dst)?;
+            self.entries.push(Entry::Edge(EdgeEntry {
+                uid,
+                class,
+                src,
+                dst,
+                versions: vs.clone(),
+            }));
+            self.adj_slot.push(u32::MAX);
+            let ss = self.adj_slot[src.0 as usize] as usize;
+            let ds = self.adj_slot[dst.0 as usize] as usize;
+            self.out_adj[ss].push(AdjEntry { edge: uid, other: dst });
+            self.in_adj[ds].push(AdjEntry { edge: uid, other: src });
+        }
+        self.extents[class.0 as usize].push(uid);
+        if alive {
+            self.alive[class.0 as usize] += 1;
+        }
+        self.version_count += vs.len() as u64;
+        Ok(())
+    }
+
+    /// Rebuild the unique index from the currently asserted versions
+    /// (journal loading), failing on constraint violations.
+    pub(crate) fn rebuild_unique_index(&mut self) -> Result<()> {
+        self.unique.clear();
+        for raw in 0..self.entries.len() as u64 {
+            let uid = Uid(raw);
+            let class = self.entries[raw as usize].class();
+            let Some(v) = self.current_version(uid) else { continue };
+            let fields = v.fields.clone();
+            self.check_unique_free(class, &fields)?;
+            self.index_unique(class, &fields, uid);
+        }
+        Ok(())
+    }
+
+    /// Approximate heap bytes used by versioned storage — used by the
+    /// storage-overhead experiment (§6.1) to compare against materializing
+    /// daily snapshots.
+    pub fn approx_version_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for e in &self.entries {
+            for v in e.versions() {
+                total += 16 /* span */ + 24 /* vec hdr */ + 40 * v.fields.len() as u64;
+            }
+            total += 48; // entry overhead
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::dsl::parse_schema;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            parse_schema(
+                r#"
+                node VM { vm_id: int unique, status: str }
+                node Host { host_id: int unique }
+                edge HostedOn { }
+                allow HostedOn (VM -> Host)
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn vm(g: &mut TemporalGraph, id: i64, ts: Ts) -> Uid {
+        let c = g.schema().class_by_name("VM").unwrap();
+        g.insert_node(c, vec![Value::Int(id), Value::Str("Green".into())], ts)
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_update_delete_versioning() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s);
+        let u = vm(&mut g, 1, 100);
+        assert!(g.current_version(u).is_some());
+        g.update(u, &[(1, Value::Str("Red".into()))], 200).unwrap();
+        assert_eq!(g.versions(u).len(), 2);
+        // Time travel: at 150 the status is still Green.
+        assert_eq!(g.version_at(u, 150).unwrap().fields[1], Value::Str("Green".into()));
+        assert_eq!(g.version_at(u, 250).unwrap().fields[1], Value::Str("Red".into()));
+        g.delete(u, 300).unwrap();
+        assert!(g.current_version(u).is_none());
+        assert!(g.version_at(u, 250).is_some());
+        assert!(g.version_at(u, 300).is_none());
+        assert_eq!(g.alive_set(u).intervals(), &[Interval::new(100, 300)]);
+    }
+
+    #[test]
+    fn edge_rules_enforced_on_insert() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        let v = vm(&mut g, 1, 0);
+        let hc = s.class_by_name("Host").unwrap();
+        let h = g.insert_node(hc, vec![Value::Int(7)], 0).unwrap();
+        let ec = s.class_by_name("HostedOn").unwrap();
+        g.insert_edge(ec, v, h, vec![], 10).unwrap();
+        // Reverse direction forbidden by the allow rule.
+        let err = g.insert_edge(ec, h, v, vec![], 10).unwrap_err();
+        assert!(matches!(err, GraphError::EdgeNotAllowed { .. }));
+    }
+
+    #[test]
+    fn delete_node_cascades_to_edges() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        let v = vm(&mut g, 1, 0);
+        let hc = s.class_by_name("Host").unwrap();
+        let h = g.insert_node(hc, vec![Value::Int(7)], 0).unwrap();
+        let ec = s.class_by_name("HostedOn").unwrap();
+        let e = g.insert_edge(ec, v, h, vec![], 0).unwrap();
+        g.delete(h, 50).unwrap();
+        assert!(g.current_version(e).is_none());
+        assert!(g.version_at(e, 25).is_some());
+        // VM survives.
+        assert!(g.current_version(v).is_some());
+    }
+
+    #[test]
+    fn unique_constraint_blocks_garbage() {
+        // "strong typing and uniqueness constraints ... prevented us from
+        // loading garbage data into the graphs" (§6.1).
+        let s = schema();
+        let mut g = TemporalGraph::new(s);
+        vm(&mut g, 1, 0);
+        let c = g.schema().class_by_name("VM").unwrap();
+        let err = g
+            .insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 1)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn unique_released_after_delete_and_rekeyed_on_update() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s);
+        let u = vm(&mut g, 1, 0);
+        g.update(u, &[(0, Value::Int(2))], 10).unwrap();
+        // id 1 free again.
+        let u2 = vm(&mut g, 1, 20);
+        g.delete(u2, 30).unwrap();
+        let _u3 = vm(&mut g, 1, 40); // free after delete
+        let c = g.schema().class_by_name("VM").unwrap();
+        assert_eq!(g.find_unique(c, 0, &Value::Int(2)), Some(u));
+    }
+
+    #[test]
+    fn alive_counts_track_mutations() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        let c = s.class_by_name("VM").unwrap();
+        let u1 = vm(&mut g, 1, 0);
+        let _u2 = vm(&mut g, 2, 0);
+        assert_eq!(g.alive_count(c), 2);
+        g.delete(u1, 5).unwrap();
+        assert_eq!(g.alive_count(c), 1);
+        assert_eq!(g.alive_count(nepal_schema::NODE), 1);
+    }
+
+    #[test]
+    fn type_errors_rejected_at_insert() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        let c = s.class_by_name("VM").unwrap();
+        assert!(g
+            .insert_node(c, vec![Value::Str("oops".into()), Value::Str("x".into())], 0)
+            .is_err());
+        // Edge class used as node class.
+        let ec = s.class_by_name("HostedOn").unwrap();
+        assert!(matches!(g.insert_node(ec, vec![], 0), Err(GraphError::BadClass(_))));
+    }
+
+    #[test]
+    fn same_instant_update_replaces_version() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s);
+        let u = vm(&mut g, 1, 100);
+        g.update(u, &[(1, Value::Str("Red".into()))], 100).unwrap();
+        assert_eq!(g.versions(u).len(), 1);
+        assert_eq!(g.current_version(u).unwrap().fields[1], Value::Str("Red".into()));
+    }
+
+    #[test]
+    fn versions_overlapping_range() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s);
+        let u = vm(&mut g, 1, 0);
+        g.update(u, &[(1, Value::Str("A".into()))], 10).unwrap();
+        g.update(u, &[(1, Value::Str("B".into()))], 20).unwrap();
+        let vs = g.versions_overlapping(u, &Interval::new(5, 15));
+        assert_eq!(vs.len(), 2); // [0,10) and [10,20)
+        let vs = g.versions_overlapping(u, &Interval::new(25, 30));
+        assert_eq!(vs.len(), 1); // [20, ∞)
+    }
+}

@@ -1,0 +1,185 @@
+//! The Gremlin client: submits bytecode and assembles streamed results.
+//!
+//! Also provides [`Channel`], the result-forwarding primitive from §5.2:
+//! "we have implemented channels for our Python framework which collect
+//! results from one or more Gremlin queries and supplies them to one or
+//! more Gremlin queries" — the glue that implements `Union` operators when
+//! evaluating a Nepal plan against a Gremlin backend.
+
+use crate::json::Json;
+use crate::protocol::{read_frame, request, status, write_frame, ProtoError};
+use crate::server::Transport;
+use crate::traversal::{bytecode_to_json, GStep};
+
+/// A Gremlin client over any transport.
+pub struct GremlinClient<T: Transport> {
+    conn: T,
+    next_id: u64,
+    /// Number of submitted requests (round trips) — the metric the
+    /// ExtendBlock optimization exists to reduce.
+    pub round_trips: u64,
+}
+
+impl<T: Transport> GremlinClient<T> {
+    pub fn new(conn: T) -> Self {
+        GremlinClient { conn, next_id: 0, round_trips: 0 }
+    }
+
+    /// Submit a bytecode traversal and collect the full result stream.
+    pub fn submit(&mut self, steps: &[GStep]) -> Result<Vec<Json>, ProtoError> {
+        let req_body = bytecode_to_json(steps);
+        self.submit_raw("bytecode", req_body)
+    }
+
+    /// Submit a textual traversal (`g.V()…`) via the `eval` op.
+    pub fn submit_text(&mut self, traversal: &str) -> Result<Vec<Json>, ProtoError> {
+        self.submit_raw("eval", Json::Str(traversal.to_string()))
+    }
+
+    fn submit_raw(&mut self, op: &str, gremlin: Json) -> Result<Vec<Json>, ProtoError> {
+        self.next_id += 1;
+        self.round_trips += 1;
+        let id = format!("req-{}", self.next_id);
+        let mut req = request(&id, gremlin);
+        if let Json::Obj(m) = &mut req {
+            m.insert("op".into(), Json::Str(op.to_string()));
+        }
+        write_frame(&mut self.conn, &req)?;
+        let mut out = Vec::new();
+        loop {
+            let frame = read_frame(&mut self.conn)?;
+            let rid = frame.get("requestId").and_then(|j| j.as_str()).unwrap_or("");
+            if rid != id {
+                return Err(ProtoError::BadFrame(format!(
+                    "response for `{rid}`, expected `{id}`"
+                )));
+            }
+            let code = frame
+                .get("status")
+                .and_then(|s| s.get("code"))
+                .and_then(|c| c.as_u64())
+                .unwrap_or(0) as u32;
+            let msg = frame
+                .get("status")
+                .and_then(|s| s.get("message"))
+                .and_then(|m| m.as_str())
+                .unwrap_or("")
+                .to_string();
+            match code {
+                status::PARTIAL_CONTENT | status::SUCCESS => {
+                    if let Some(data) =
+                        frame.get("result").and_then(|r| r.get("data")).and_then(|d| d.as_arr())
+                    {
+                        out.extend(data.iter().cloned());
+                    }
+                    if code == status::SUCCESS {
+                        return Ok(out);
+                    }
+                }
+                status::NO_CONTENT => return Ok(out),
+                _ => return Err(ProtoError::Server(msg)),
+            }
+        }
+    }
+}
+
+/// A channel collects results from one or more queries and feeds them to
+/// the next query in the plan (the paper's `Union` implementation).
+#[derive(Debug, Default, Clone)]
+pub struct Channel {
+    items: Vec<Json>,
+}
+
+impl Channel {
+    pub fn new() -> Channel {
+        Channel::default()
+    }
+
+    /// Collect results from a query.
+    pub fn collect(&mut self, results: Vec<Json>) {
+        self.items.extend(results);
+    }
+
+    /// Drain the channel's contents for the next query.
+    pub fn drain(&mut self) -> Vec<Json> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// Distinct element ids currently in the channel.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .items
+            .iter()
+            .filter_map(|j| j.get("id").and_then(|i| i.as_u64()).or_else(|| j.as_u64()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+    use crate::server::{serve_in_process, GremlinServer};
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn shared() -> Arc<RwLock<PropertyGraph>> {
+        let mut g = PropertyGraph::new();
+        for i in 0..200 {
+            g.add_vertex(i, "Node:VM", BTreeMap::new());
+        }
+        Arc::new(RwLock::new(g))
+    }
+
+    #[test]
+    fn client_assembles_partial_frames() {
+        // 200 vertices → 4 frames of ≤64 at the protocol layer.
+        let mut client = GremlinClient::new(serve_in_process(shared()));
+        let results = client.submit(&[GStep::V(vec![]), GStep::Id]).unwrap();
+        assert_eq!(results.len(), 200);
+        assert_eq!(client.round_trips, 1);
+    }
+
+    #[test]
+    fn server_error_surfaces_as_proto_error() {
+        let mut client = GremlinClient::new(serve_in_process(shared()));
+        let err = client.submit(&[GStep::InV]).unwrap_err();
+        assert!(matches!(err, ProtoError::Server(_)));
+        // The connection survives the error.
+        let ok = client.submit(&[GStep::V(vec![0]), GStep::Id]).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn works_over_tcp_too() {
+        let server = GremlinServer::start(shared()).unwrap();
+        let mut client = GremlinClient::new(server.connect().unwrap());
+        let results = client
+            .submit(&[GStep::V(vec![]), GStep::Limit(5), GStep::Id])
+            .unwrap();
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn channel_collects_and_feeds() {
+        let mut ch = Channel::new();
+        ch.collect(vec![Json::obj(vec![("id", Json::Num(3.0))]), Json::Num(1.0)]);
+        ch.collect(vec![Json::Num(3.0)]);
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.ids(), vec![1, 3]);
+        assert_eq!(ch.drain().len(), 3);
+        assert!(ch.is_empty());
+    }
+}

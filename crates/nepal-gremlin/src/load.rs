@@ -1,0 +1,112 @@
+//! Loading a temporal graph into the property-graph backend.
+//!
+//! Labels are inheritance paths (`Node:Container:VM`, §5.2). Each element
+//! carries its field values as properties plus its assertion lifespan as
+//! `sys_from` / `sys_to` properties (`sys_to = OPEN_TS` while asserted).
+//!
+//! Property graphs do not version properties, so this backend stores the
+//! *latest* field values along with the full lifespan: `Current` queries
+//! are exact; `AsOf` queries are exact for topology/liveness and use the
+//! latest field values for predicates (the paper's Gremlin deployment had
+//! the same shape — full temporal support lived on the Postgres side,
+//! §5.3, with Gremlin property versioning cited only as related work).
+
+use std::collections::BTreeMap;
+
+use nepal_graph::{TemporalGraph, FOREVER};
+use nepal_schema::{Ts, EDGE, NODE};
+
+use crate::graph::PropertyGraph;
+use crate::json::{value_to_json, Json};
+
+/// Sentinel for "still asserted" — JSON numbers cannot carry `i64::MAX`
+/// exactly, so open intervals use this far-future microsecond timestamp
+/// (≈ year 2255), safely inside f64's exact-integer range.
+pub const OPEN_TS: Ts = 9_000_000_000_000_000;
+
+fn clamp_ts(t: Ts) -> Ts {
+    if t == FOREVER || t > OPEN_TS {
+        OPEN_TS
+    } else {
+        t
+    }
+}
+
+/// Build a property graph from a temporal graph.
+pub fn property_graph_from(g: &TemporalGraph) -> PropertyGraph {
+    let schema = g.schema().clone();
+    let mut pg = PropertyGraph::new();
+    for kind_root in [NODE, EDGE] {
+        let is_node = kind_root == NODE;
+        for class in schema.descendants(kind_root) {
+            let label = schema.path_name(class);
+            let field_names: Vec<String> =
+                schema.all_fields(class).iter().map(|f| f.name.clone()).collect();
+            for &uid in g.extent_exact(class) {
+                let versions = g.versions(uid);
+                let Some(last) = versions.last() else { continue };
+                let first = versions.first().unwrap();
+                let mut props: BTreeMap<String, Json> = field_names
+                    .iter()
+                    .zip(&last.fields)
+                    .map(|(n, v)| (n.clone(), value_to_json(v)))
+                    .collect();
+                props.insert("sys_from".into(), Json::Num(clamp_ts(first.span.from) as f64));
+                props.insert("sys_to".into(), Json::Num(clamp_ts(last.span.to) as f64));
+                if is_node {
+                    pg.add_vertex(uid.0, label.clone(), props);
+                } else {
+                    let e = g.edge(uid).expect("edge extent");
+                    pg.add_edge(uid.0, label.clone(), e.src.0, e.dst.0, props);
+                }
+            }
+        }
+    }
+    pg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::dsl::parse_schema;
+    use nepal_schema::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn loads_labels_props_and_lifespans() {
+        let s = Arc::new(
+            parse_schema(
+                r#"
+                node Container { status: str }
+                node VM : Container { vm_id: int unique }
+                node Host { host_id: int unique }
+                edge HostedOn { }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut g = TemporalGraph::new(s.clone());
+        let c = |n: &str| s.class_by_name(n).unwrap();
+        let vm = g
+            .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], 100)
+            .unwrap();
+        let h = g.insert_node(c("Host"), vec![Value::Int(7)], 100).unwrap();
+        let e = g.insert_edge(c("HostedOn"), vm, h, vec![], 100).unwrap();
+        g.update(vm, &[(0, Value::Str("Red".into()))], 200).unwrap();
+        g.delete(e, 300).unwrap();
+
+        let pg = property_graph_from(&g);
+        let v = pg.vertex(vm.0).unwrap();
+        assert_eq!(v.label, "Node:Container:VM");
+        // Latest field values.
+        assert_eq!(v.props.get("status"), Some(&Json::Str("Red".into())));
+        assert_eq!(v.props.get("sys_from"), Some(&Json::Num(100.0)));
+        assert_eq!(v.props.get("sys_to"), Some(&Json::Num(OPEN_TS as f64)));
+        // The deleted edge keeps its closed lifespan.
+        let ed = pg.edge(e.0).unwrap();
+        assert_eq!(ed.props.get("sys_to"), Some(&Json::Num(300.0)));
+        assert_eq!((ed.src, ed.dst), (vm.0, h.0));
+        // Prefix matching works on the loaded labels.
+        assert_eq!(pg.vertices_with_label_prefix("Node:Container").len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The wire protocol: GraphSON-lite request/response messages with
+//! Gremlin-Server-style framing and streamed partial results.
+//!
+//! Frame layout (mirroring the TinkerPop driver handshake):
+//! `u8 mime_len | mime bytes | u32-be payload_len | payload (JSON)`.
+//!
+//! Requests: `{"requestId": "…", "op": "bytecode", "processor":
+//! "traversal", "args": {"gremlin": <bytecode>, "aliases": {"g": "g"}}}`.
+//!
+//! Responses stream in batches: status 206 (partial content) frames carry
+//! `result.data` arrays, a final 200 (success) carries the last batch (or
+//! 204 no-content), and 500 (server error) carries the message.
+
+use std::io::{Read, Write};
+
+use crate::json::{parse_json, Json};
+
+/// The protocol mime type advertised in every frame.
+pub const MIME: &str = "application/vnd.nepal-gremlin-v1.0+json";
+
+/// Response status codes (the subset of Gremlin Server codes we use).
+pub mod status {
+    pub const SUCCESS: u32 = 200;
+    pub const NO_CONTENT: u32 = 204;
+    pub const PARTIAL_CONTENT: u32 = 206;
+    pub const SERVER_ERROR: u32 = 500;
+}
+
+/// Number of results per partial-content frame.
+pub const BATCH_SIZE: usize = 64;
+
+/// Protocol-level errors.
+#[derive(Debug)]
+pub enum ProtoError {
+    Io(std::io::Error),
+    BadFrame(String),
+    Server(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::BadFrame(m) => write!(f, "bad frame: {m}"),
+            ProtoError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Encode one frame.
+pub fn encode_frame(payload: &Json) -> Vec<u8> {
+    let body = payload.to_string().into_bytes();
+    let mut out = Vec::with_capacity(1 + MIME.len() + 4 + body.len());
+    out.push(MIME.len() as u8);
+    out.extend_from_slice(MIME.as_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Read one frame from a stream.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtoError> {
+    let mut b1 = [0u8; 1];
+    r.read_exact(&mut b1)?;
+    let mime_len = b1[0] as usize;
+    let mut mime = vec![0u8; mime_len];
+    r.read_exact(&mut mime)?;
+    if mime != MIME.as_bytes() {
+        return Err(ProtoError::BadFrame(format!(
+            "unexpected mime `{}`",
+            String::from_utf8_lossy(&mime)
+        )));
+    }
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_be_bytes(len4) as usize;
+    if len > 64 << 20 {
+        return Err(ProtoError::BadFrame(format!("oversized frame ({len} bytes)")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body).map_err(|e| ProtoError::BadFrame(e.to_string()))?;
+    parse_json(&text).map_err(|e| ProtoError::BadFrame(e.to_string()))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ProtoError> {
+    let bytes = encode_frame(payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Build a bytecode-submission request message.
+pub fn request(request_id: &str, bytecode: Json) -> Json {
+    Json::obj(vec![
+        ("requestId", Json::Str(request_id.to_string())),
+        ("op", Json::Str("bytecode".into())),
+        ("processor", Json::Str("traversal".into())),
+        (
+            "args",
+            Json::obj(vec![
+                ("gremlin", bytecode),
+                ("aliases", Json::obj(vec![("g", Json::Str("g".into()))])),
+            ]),
+        ),
+    ])
+}
+
+/// Build one response frame.
+pub fn response(request_id: &str, code: u32, message: &str, data: Vec<Json>) -> Json {
+    Json::obj(vec![
+        ("requestId", Json::Str(request_id.to_string())),
+        (
+            "status",
+            Json::obj(vec![
+                ("code", Json::Num(code as f64)),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+        (
+            "result",
+            Json::obj(vec![("data", Json::Arr(data)), ("meta", Json::obj(vec![]))]),
+        ),
+    ])
+}
+
+/// Split results into response frames: 0+ partials then a final frame.
+pub fn batch_responses(request_id: &str, results: Vec<Json>) -> Vec<Json> {
+    if results.is_empty() {
+        return vec![response(request_id, status::NO_CONTENT, "", Vec::new())];
+    }
+    let mut frames = Vec::new();
+    let mut iter = results.into_iter().peekable();
+    loop {
+        let mut batch = Vec::with_capacity(BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            match iter.next() {
+                Some(x) => batch.push(x),
+                None => break,
+            }
+        }
+        let last = iter.peek().is_none();
+        let code = if last { status::SUCCESS } else { status::PARTIAL_CONTENT };
+        frames.push(response(request_id, code, "", batch));
+        if last {
+            break;
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = request("r-1", Json::Arr(vec![]));
+        let bytes = encode_frame(&msg);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let back = read_frame(&mut cursor).unwrap();
+        assert_eq!(back.get("requestId").unwrap().as_str(), Some("r-1"));
+        assert_eq!(back.get("op").unwrap().as_str(), Some("bytecode"));
+    }
+
+    #[test]
+    fn wrong_mime_rejected() {
+        let msg = request("r-1", Json::Arr(vec![]));
+        let mut bytes = encode_frame(&msg);
+        bytes[1] = b'X'; // corrupt the mime string
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::BadFrame(_))));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let msg = request("r-1", Json::Arr(vec![]));
+        let bytes = encode_frame(&msg);
+        let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn batching_produces_partials_then_final() {
+        let results: Vec<Json> = (0..150).map(|i| Json::Num(i as f64)).collect();
+        let frames = batch_responses("r", results);
+        assert_eq!(frames.len(), 3);
+        let code = |f: &Json| f.get("status").unwrap().get("code").unwrap().as_u64().unwrap();
+        assert_eq!(code(&frames[0]), 206);
+        assert_eq!(code(&frames[1]), 206);
+        assert_eq!(code(&frames[2]), 200);
+        let n: usize = frames
+            .iter()
+            .map(|f| f.get("result").unwrap().get("data").unwrap().as_arr().unwrap().len())
+            .sum();
+        assert_eq!(n, 150);
+    }
+
+    #[test]
+    fn empty_results_are_no_content() {
+        let frames = batch_responses("r", Vec::new());
+        assert_eq!(frames.len(), 1);
+        assert_eq!(
+            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
+            Some(204)
+        );
+    }
+
+    #[test]
+    fn exact_batch_boundary() {
+        let results: Vec<Json> = (0..BATCH_SIZE).map(|i| Json::Num(i as f64)).collect();
+        let frames = batch_responses("r", results);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(
+            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
+            Some(200)
+        );
+    }
+}

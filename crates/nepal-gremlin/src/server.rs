@@ -1,0 +1,288 @@
+//! The mock Gremlin server: serves bytecode requests over TCP or an
+//! in-process duplex transport, streaming batched result frames.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::RwLock;
+
+use crate::graph::PropertyGraph;
+use crate::json::Json;
+use crate::protocol::{batch_responses, read_frame, response, status, write_frame, ProtoError};
+use crate::traversal::{bytecode_from_json, evaluate};
+
+/// A bidirectional byte transport (TCP stream or in-process pipe).
+pub trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// Shared handle to a served graph.
+pub type SharedGraph = Arc<RwLock<PropertyGraph>>;
+
+/// Handle one request message, producing the full response frame sequence.
+pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
+    let request_id = req
+        .get("requestId")
+        .and_then(|j| j.as_str())
+        .unwrap_or("")
+        .to_string();
+    let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("");
+    let gremlin = match req.get("args").and_then(|a| a.get("gremlin")) {
+        Some(b) => b,
+        None => {
+            return vec![response(
+                &request_id,
+                status::SERVER_ERROR,
+                "missing args.gremlin",
+                Vec::new(),
+            )]
+        }
+    };
+    // `bytecode` carries a step array; `eval` carries a textual traversal
+    // (the op every Gremlin console/driver uses).
+    let steps = match op {
+        "bytecode" => match bytecode_from_json(gremlin) {
+            Ok(s) => s,
+            Err(e) => return vec![response(&request_id, status::SERVER_ERROR, &e, Vec::new())],
+        },
+        "eval" => {
+            let text = match gremlin {
+                crate::json::Json::Str(t) => t,
+                _ => {
+                    return vec![response(
+                        &request_id,
+                        status::SERVER_ERROR,
+                        "eval expects a string traversal",
+                        Vec::new(),
+                    )]
+                }
+            };
+            match crate::lang::parse_traversal(text) {
+                Ok(s) => s,
+                Err(e) => {
+                    return vec![response(&request_id, status::SERVER_ERROR, &e.to_string(), Vec::new())]
+                }
+            }
+        }
+        other => {
+            return vec![response(
+                &request_id,
+                status::SERVER_ERROR,
+                &format!("unsupported op `{other}`"),
+                Vec::new(),
+            )]
+        }
+    };
+    let g = graph.read();
+    match evaluate(&g, &steps) {
+        Ok(results) => batch_responses(&request_id, results),
+        Err(e) => vec![response(&request_id, status::SERVER_ERROR, &e, Vec::new())],
+    }
+}
+
+/// Serve one connection until EOF.
+pub fn serve_connection(graph: SharedGraph, mut conn: impl Transport) {
+    loop {
+        let req = match read_frame(&mut conn) {
+            Ok(r) => r,
+            Err(_) => return, // EOF or protocol error → close connection
+        };
+        for frame in handle_request(&graph, &req) {
+            if write_frame(&mut conn, &frame).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// A running TCP Gremlin server.
+pub struct GremlinServer {
+    pub addr: std::net::SocketAddr,
+    handle: Option<thread::JoinHandle<()>>,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl GremlinServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and serve `graph` with a
+    /// thread per connection.
+    pub fn start(graph: SharedGraph) -> std::io::Result<GremlinServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sd = shutdown.clone();
+        listener.set_nonblocking(true)?;
+        let handle = thread::spawn(move || {
+            let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+            loop {
+                if sd.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        stream.set_nonblocking(false).ok();
+                        let g = graph.clone();
+                        workers.push(thread::spawn(move || serve_connection(g, stream)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Workers exit when their peers hang up.
+        });
+        Ok(GremlinServer { addr, handle: Some(handle), shutdown })
+    }
+
+    /// Connect a new client stream to this server.
+    pub fn connect(&self) -> std::io::Result<TcpStream> {
+        let s = TcpStream::connect(self.addr)?;
+        s.set_nodelay(true)?;
+        Ok(s)
+    }
+}
+
+impl Drop for GremlinServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// In-process duplex transport built from crossbeam channels — the
+/// zero-socket path used by unit tests and the embedded backend.
+pub struct PipeEnd {
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+/// Create a connected pair of in-process transports.
+pub fn pipe_pair() -> (PipeEnd, PipeEnd) {
+    let (atx, arx) = crossbeam::channel::unbounded();
+    let (btx, brx) = crossbeam::channel::unbounded();
+    (
+        PipeEnd { tx: atx, rx: brx, buf: Vec::new() },
+        PipeEnd { tx: btx, rx: arx, buf: Vec::new() },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.buf.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.buf = chunk,
+                Err(_) => return Ok(0), // EOF
+            }
+        }
+        let n = out.len().min(self.buf.len());
+        out[..n].copy_from_slice(&self.buf[..n]);
+        self.buf.drain(..n);
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Spawn an in-process server thread over a pipe; returns the client end.
+pub fn serve_in_process(graph: SharedGraph) -> PipeEnd {
+    let (client, server) = pipe_pair();
+    thread::spawn(move || serve_connection(graph, server));
+    client
+}
+
+#[allow(unused)]
+fn _proto_error_is_used(e: ProtoError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::protocol::request;
+    use crate::traversal::{bytecode_to_json, GStep};
+    use std::collections::BTreeMap;
+
+    fn shared() -> SharedGraph {
+        let mut g = PropertyGraph::new();
+        g.add_vertex(1, "Node:VM", BTreeMap::new());
+        g.add_vertex(2, "Node:Host", BTreeMap::new());
+        g.add_edge(3, "Edge:HostedOn", 1, 2, BTreeMap::new());
+        Arc::new(RwLock::new(g))
+    }
+
+    #[test]
+    fn handles_bytecode_request() {
+        let g = shared();
+        let req = request("q1", bytecode_to_json(&[GStep::V(vec![]), GStep::Count]));
+        let frames = handle_request(&g, &req);
+        assert_eq!(frames.len(), 1);
+        let data = frames[0].get("result").unwrap().get("data").unwrap().as_arr().unwrap();
+        assert_eq!(data[0], Json::Num(2.0));
+    }
+
+    #[test]
+    fn bad_op_and_bad_bytecode_are_500() {
+        let g = shared();
+        let mut req = request("q1", Json::Arr(vec![]));
+        if let Json::Obj(m) = &mut req {
+            m.insert("op".into(), Json::Str("eval".into()));
+        }
+        let frames = handle_request(&g, &req);
+        assert_eq!(
+            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
+            Some(500)
+        );
+        let req2 = request("q2", Json::Arr(vec![Json::Arr(vec![Json::Str("nope".into())])]));
+        let frames2 = handle_request(&g, &req2);
+        assert_eq!(
+            frames2[0].get("status").unwrap().get("code").unwrap().as_u64(),
+            Some(500)
+        );
+    }
+
+    #[test]
+    fn in_process_pipe_round_trip() {
+        let g = shared();
+        let mut client = serve_in_process(g);
+        let req = request("q1", bytecode_to_json(&[GStep::V(vec![1]), GStep::Id]));
+        write_frame(&mut client, &req).unwrap();
+        let resp = read_frame(&mut client).unwrap();
+        assert_eq!(resp.get("requestId").unwrap().as_str(), Some("q1"));
+        let data = resp.get("result").unwrap().get("data").unwrap().as_arr().unwrap();
+        assert_eq!(data[0], Json::Num(1.0));
+    }
+
+    #[test]
+    fn tcp_server_round_trip() {
+        let g = shared();
+        let server = GremlinServer::start(g).unwrap();
+        let mut conn = server.connect().unwrap();
+        let req = request("q1", bytecode_to_json(&[GStep::V(vec![]), GStep::Count]));
+        write_frame(&mut conn, &req).unwrap();
+        let resp = read_frame(&mut conn).unwrap();
+        let code = resp.get("status").unwrap().get("code").unwrap().as_u64();
+        assert_eq!(code, Some(200));
+        // A second request on the same connection (session reuse).
+        let req2 = request("q2", bytecode_to_json(&[GStep::V(vec![2]), GStep::Id]));
+        write_frame(&mut conn, &req2).unwrap();
+        let resp2 = read_frame(&mut conn).unwrap();
+        assert_eq!(resp2.get("requestId").unwrap().as_str(), Some("q2"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Errors for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// Table does not exist.
+    UnknownTable(String),
+    /// Column does not exist on the table.
+    UnknownColumn { table: String, column: String },
+    /// Row arity does not match the table's column count.
+    Arity { table: String, expected: usize, got: usize },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            RelError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            RelError::Arity { table, expected, got } => {
+                write!(f, "row arity mismatch on `{table}`: expected {expected}, got {got}")
+            }
+            RelError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias for relational operations.
+pub type Result<T> = std::result::Result<T, RelError>;

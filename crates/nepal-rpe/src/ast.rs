@@ -1,0 +1,143 @@
+//! Abstract syntax of Regular Pathway Expressions (§3.3).
+//!
+//! An RPE is built from *atoms* — class names with optional field
+//! predicates, e.g. `VM(status='Green')` — combined by concatenation
+//! (`->`), disjunction (`|`), and bounded repetition (`[r]{i,j}`). Atoms
+//! may name node classes or edge classes; Nepal treats the two
+//! symmetrically.
+
+use std::fmt;
+
+use nepal_schema::Value;
+
+/// Comparison operator in an atom predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Container/string membership: `field contains x`.
+    Contains,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => " contains ",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One field predicate inside an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    pub field: String,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.field, self.op, self.value)
+    }
+}
+
+/// An atom: a strongly-typed concept name plus predicates. The class name
+/// may be qualified (`VM:VMWare`); it refers to the named class *and all of
+/// its subclasses*, but predicates may reference only fields visible at the
+/// named class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    pub class: String,
+    pub preds: Vec<Pred>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.class)?;
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A regular pathway expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rpe {
+    Atom(Atom),
+    /// Concatenation `r1 -> r2 -> …` with the paper's 4-way boundary
+    /// semantics (a single unconstrained element may be skipped at each
+    /// boundary to restore node/edge alternation).
+    Seq(Vec<Rpe>),
+    /// Disjunction `(r1 | r2 | …)`.
+    Alt(Vec<Rpe>),
+    /// Bounded repetition `[r]{min,max}`.
+    Rep(Box<Rpe>, u32, u32),
+}
+
+impl Rpe {
+    /// Number of atoms in the expression.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Rpe::Atom(_) => 1,
+            Rpe::Seq(rs) | Rpe::Alt(rs) => rs.iter().map(|r| r.atom_count()).sum(),
+            Rpe::Rep(r, _, _) => r.atom_count(),
+        }
+    }
+
+    /// Visit every atom in the expression.
+    pub fn visit_atoms<'a>(&'a self, f: &mut impl FnMut(&'a Atom)) {
+        match self {
+            Rpe::Atom(a) => f(a),
+            Rpe::Seq(rs) | Rpe::Alt(rs) => rs.iter().for_each(|r| r.visit_atoms(f)),
+            Rpe::Rep(r, _, _) => r.visit_atoms(f),
+        }
+    }
+}
+
+impl fmt::Display for Rpe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rpe::Atom(a) => write!(f, "{a}"),
+            Rpe::Seq(rs) => {
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "->")?;
+                    }
+                    match r {
+                        Rpe::Alt(_) => write!(f, "({r})")?,
+                        _ => write!(f, "{r}")?,
+                    }
+                }
+                Ok(())
+            }
+            Rpe::Alt(rs) => {
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    match r {
+                        Rpe::Seq(_) | Rpe::Alt(_) => write!(f, "({r})")?,
+                        _ => write!(f, "{r}")?,
+                    }
+                }
+                Ok(())
+            }
+            Rpe::Rep(r, i, j) => write!(f, "[{r}]{{{i},{j}}}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors for RPE parsing, binding, and planning.
+
+use std::fmt;
+
+/// Errors raised by the RPE subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpeError {
+    /// Syntax error in the RPE text.
+    Parse { pos: usize, msg: String },
+    /// Atom references a class not present in the schema.
+    UnknownClass(String),
+    /// Predicate references a field not visible on the atom's class.
+    UnknownField { class: String, field: String },
+    /// Predicate literal type does not match the field type.
+    PredicateType { class: String, field: String, msg: String },
+    /// The RPE can match the empty pathway (only `{0,n}` repetition blocks),
+    /// which the paper's planner rejects as unanchorable (§3.3).
+    Nullable,
+    /// No anchor candidate could be found (should not happen for
+    /// non-nullable RPEs; kept for defensive completeness).
+    NoAnchor,
+    /// Repetition bounds are invalid (`i > j`, or `j` above the cap).
+    BadRepetition { min: u32, max: u32 },
+    /// The expanded RPE exceeds internal size limits.
+    TooLarge(usize),
+}
+
+impl fmt::Display for RpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpeError::Parse { pos, msg } => write!(f, "RPE parse error at byte {pos}: {msg}"),
+            RpeError::UnknownClass(c) => write!(f, "unknown class `{c}` in RPE atom"),
+            RpeError::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}` (atoms may only reference fields of the named concept)")
+            }
+            RpeError::PredicateType { class, field, msg } => {
+                write!(f, "bad predicate on `{class}.{field}`: {msg}")
+            }
+            RpeError::Nullable => write!(
+                f,
+                "RPE matches the empty pathway (repetition blocks with lower bound 0 only) and cannot be anchored"
+            ),
+            RpeError::NoAnchor => write!(f, "no anchor candidate found for RPE"),
+            RpeError::BadRepetition { min, max } => {
+                write!(f, "bad repetition bounds {{{min},{max}}}")
+            }
+            RpeError::TooLarge(n) => write!(f, "expanded RPE too large ({n} nodes)"),
+        }
+    }
+}
+
+impl std::error::Error for RpeError {}
+
+/// Result alias for RPE operations.
+pub type Result<T> = std::result::Result<T, RpeError>;

@@ -1,0 +1,571 @@
+//! The native anchored evaluator.
+//!
+//! Implements the paper's evaluation strategy (§5.1/§5.2) directly against
+//! the temporal graph store: a `Select` over the anchor atoms, then chained
+//! `Extend` operators forwards and backwards with per-row NFA state and
+//! uid-list cycle checks, and a `Union` merging the per-seed results.
+//!
+//! Temporal scope is threaded through every operator: under a
+//! [`TimeFilter::Range`] each partial pathway carries the intersection of
+//! its elements' maximal assertion intervals and is pruned the moment that
+//! intersection becomes empty.
+
+use std::collections::HashMap;
+
+use nepal_graph::{GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
+use nepal_graph::FOREVER;
+use nepal_schema::Schema;
+
+use crate::anchor::{apply_selectivity, CardinalityEstimator};
+use crate::bind::BoundAtom;
+use crate::nfa::Label;
+use crate::path::Pathway;
+use crate::plan::RpePlan;
+
+/// Where evaluation starts.
+#[derive(Debug, Clone, Copy)]
+pub enum Seeds<'a> {
+    /// Use the plan's anchor (the normal case).
+    Anchor,
+    /// Anchor "imported" from a join: pathways must *start* at these nodes
+    /// (e.g. `source(Phys) = target(D1)` in the paper's join example).
+    Sources(&'a [Uid]),
+    /// Pathways must *end* at these nodes.
+    Targets(&'a [Uid]),
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Stop after collecting this many pathways.
+    pub limit: Option<usize>,
+    /// Additional element-count cap on top of the RPE's own length limit.
+    pub max_elements: Option<usize>,
+}
+
+/// Times attached to a partial match: `None` in point mode (Current/AsOf),
+/// `Some` in range mode.
+type Times = Option<IntervalSet>;
+
+fn universal() -> IntervalSet {
+    IntervalSet::from_interval(Interval::new(i64::MIN, FOREVER))
+}
+
+fn times_intersect(a: &Times, b: &Times) -> (Times, bool) {
+    match (a, b) {
+        (None, None) => (None, true),
+        (Some(x), Some(y)) => {
+            let r = x.intersect(y);
+            let ok = !r.is_empty();
+            (Some(r), ok)
+        }
+        (Some(x), None) | (None, Some(x)) => (Some(x.clone()), true),
+    }
+}
+
+fn times_union(a: Times, b: &Times) -> Times {
+    match (a, b) {
+        (None, _) => None,
+        (Some(x), None) => Some(x),
+        (Some(x), Some(y)) => Some(x.union(y)),
+    }
+}
+
+/// One entry in an on-the-fly subset construction: an NFA state plus the
+/// times during which this state is reachable for the current partial path.
+type StateSet = Vec<(u32, Times)>;
+
+fn push_state(set: &mut StateSet, s: u32, t: Times) {
+    for (s2, t2) in set.iter_mut() {
+        if *s2 == s {
+            *t2 = times_union(std::mem::take(t2), &t);
+            return;
+        }
+    }
+    set.push((s, t));
+}
+
+/// Per-element memo of label match results.
+struct ElemMatcher<'a> {
+    view: &'a GraphView<'a>,
+    schema: &'a Schema,
+    atoms: &'a [BoundAtom],
+    range_mode: bool,
+    memo: HashMap<(Uid, Label), Option<Times>>,
+}
+
+impl<'a> ElemMatcher<'a> {
+    fn new(view: &'a GraphView<'a>, schema: &'a Schema, atoms: &'a [BoundAtom]) -> Self {
+        ElemMatcher {
+            view,
+            schema,
+            atoms,
+            range_mode: view.filter.is_range(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// `None` → element does not satisfy the label; `Some(times)` → it
+    /// does, with assertion times in range mode.
+    fn matches(&mut self, uid: Uid, is_node: bool, label: Label) -> Option<Times> {
+        // Fast path: kind and class mismatches are decided from two array
+        // reads, without touching versions or the memo. This is what makes
+        // class-partitioned storage pay off (§6: "the automatic elimination
+        // of many useless edges from the navigation joins").
+        if let Label::Atom(a) = label {
+            let atom = &self.atoms[a as usize];
+            if atom.is_node != is_node {
+                return None;
+            }
+            let class = self.view.graph.class_of(uid)?;
+            if !self.schema.is_subclass(class, atom.class) {
+                return None;
+            }
+        } else if matches!(label, Label::AnyNode) != is_node {
+            return None;
+        }
+        if let Some(hit) = self.memo.get(&(uid, label)) {
+            return hit.clone();
+        }
+        let result = self.compute(uid, is_node, label);
+        self.memo.insert((uid, label), result.clone());
+        result
+    }
+
+    fn compute(&self, uid: Uid, is_node: bool, label: Label) -> Option<Times> {
+        let to_times = |mt: MatchTime| -> Times {
+            match mt {
+                MatchTime::Point => None,
+                MatchTime::Intervals(set) => Some(set),
+            }
+        };
+        match label {
+            Label::AnyNode => {
+                if !is_node {
+                    return None;
+                }
+                self.view.matching(uid, |_| true).map(to_times)
+            }
+            Label::AnyEdge => {
+                if is_node {
+                    return None;
+                }
+                self.view.matching(uid, |_| true).map(to_times)
+            }
+            Label::Atom(a) => {
+                let atom = &self.atoms[a as usize];
+                if atom.is_node != is_node {
+                    return None;
+                }
+                let class = self.view.graph.class_of(uid)?;
+                if !self.schema.is_subclass(class, atom.class) {
+                    return None;
+                }
+                self.view.matching(uid, |f| atom.matches_fields(f)).map(to_times)
+            }
+        }
+        .map(|t| if self.range_mode && t.is_none() { Some(universal()) } else { t })
+    }
+}
+
+/// Step a state set forward over one element.
+fn step_fwd(plan: &RpePlan, m: &mut ElemMatcher, states: &StateSet, uid: Uid, is_node: bool) -> StateSet {
+    let mut next: StateSet = Vec::new();
+    for (s, t) in states {
+        for &(label, to) in &plan.nfa.trans[*s as usize] {
+            if let Some(lt) = m.matches(uid, is_node, label) {
+                let (nt, ok) = times_intersect(t, &lt);
+                if ok {
+                    push_state(&mut next, to, nt);
+                }
+            }
+        }
+    }
+    next
+}
+
+/// Step a state set backward over one element (states are *before*-states).
+fn step_bwd(plan: &RpePlan, m: &mut ElemMatcher, states: &StateSet, uid: Uid, is_node: bool) -> StateSet {
+    let mut next: StateSet = Vec::new();
+    for (s, t) in states {
+        for &(label, from) in &plan.nfa.rev[*s as usize] {
+            if let Some(lt) = m.matches(uid, is_node, label) {
+                let (nt, ok) = times_intersect(t, &lt);
+                if ok {
+                    push_state(&mut next, from, nt);
+                }
+            }
+        }
+    }
+    next
+}
+
+fn accepting_times(plan: &RpePlan, states: &StateSet) -> Option<Times> {
+    let mut found = false;
+    let mut acc: Times = None;
+    let mut first = true;
+    for (s, t) in states {
+        if plan.nfa.accepts[*s as usize] {
+            found = true;
+            if first {
+                acc = t.clone();
+                first = false;
+            } else {
+                acc = times_union(acc, t);
+            }
+        }
+    }
+    found.then_some(acc)
+}
+
+fn start_times(plan: &RpePlan, states: &StateSet) -> Option<Times> {
+    let mut found = false;
+    let mut acc: Times = None;
+    let mut first = true;
+    for (s, t) in states {
+        if *s == plan.nfa.start {
+            found = true;
+            if first {
+                acc = t.clone();
+                first = false;
+            } else {
+                acc = times_union(acc, t);
+            }
+        }
+    }
+    found.then_some(acc)
+}
+
+/// A completed half-match: the elements on one side of the seed (seed
+/// included on the forward side only) plus the times of the half.
+#[derive(Debug, Clone)]
+struct Half {
+    elems: Vec<Uid>,
+    times: Times,
+}
+
+struct Ctx<'a> {
+    view: &'a GraphView<'a>,
+    plan: &'a RpePlan,
+    cap: usize,
+}
+
+/// Depth-first forward extension. `path` ends with a node; `states` are the
+/// NFA states after consuming all of `path`.
+fn fwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &StateSet, out: &mut Vec<Half>) {
+    if let Some(times) = accepting_times(ctx.plan, states) {
+        out.push(Half { elems: path.clone(), times });
+    }
+    if path.len() + 2 > ctx.cap {
+        return;
+    }
+    let last = *path.last().unwrap();
+    for adj in ctx.view.graph.out_adj(last) {
+        if path.contains(&adj.edge) || path.contains(&adj.other) {
+            continue;
+        }
+        let s1 = step_fwd(ctx.plan, m, states, adj.edge, false);
+        if s1.is_empty() {
+            continue;
+        }
+        let s2 = step_fwd(ctx.plan, m, &s1, adj.other, true);
+        if s2.is_empty() {
+            continue;
+        }
+        path.push(adj.edge);
+        path.push(adj.other);
+        fwd_search(ctx, m, path, &s2, out);
+        path.pop();
+        path.pop();
+    }
+}
+
+/// Depth-first backward extension. `path` holds elements to the LEFT of the
+/// seed in right-to-left order (so `path.last()` is the leftmost element,
+/// always a node once non-empty); `states` are before-states.
+fn bwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &StateSet, leftmost_is_node: bool, out: &mut Vec<Half>) {
+    if leftmost_is_node {
+        if let Some(times) = start_times(ctx.plan, states) {
+            out.push(Half { elems: path.clone(), times });
+        }
+    }
+    if path.len() + 2 > ctx.cap {
+        return;
+    }
+    let leftmost = match path.last() {
+        Some(&u) => u,
+        None => return, // caller seeds with at least the anchor-adjacent node
+    };
+    for adj in ctx.view.graph.in_adj(leftmost) {
+        if path.contains(&adj.edge) || path.contains(&adj.other) {
+            continue;
+        }
+        let s1 = step_bwd(ctx.plan, m, states, adj.edge, false);
+        if s1.is_empty() {
+            continue;
+        }
+        let s2 = step_bwd(ctx.plan, m, &s1, adj.other, true);
+        if s2.is_empty() {
+            continue;
+        }
+        path.push(adj.edge);
+        path.push(adj.other);
+        bwd_search(ctx, m, path, &s2, true, out);
+        path.pop();
+        path.pop();
+    }
+}
+
+/// Scan the store for elements satisfying an anchor atom (`Select`).
+/// Uses the unique index when the atom has a unique-equality predicate.
+pub fn anchor_scan(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> Vec<(Uid, Times)> {
+    let range_mode = view.filter.is_range();
+    let to_times = |mt: MatchTime| -> Times {
+        match mt {
+            MatchTime::Point => {
+                if range_mode {
+                    Some(universal())
+                } else {
+                    None
+                }
+            }
+            MatchTime::Intervals(set) => Some(set),
+        }
+    };
+    // Unique-index fast path — only valid against the current snapshot,
+    // since the index tracks currently asserted holders.
+    if view.filter == TimeFilter::Current {
+        if let Some((idx, value)) = atom.unique_eq_pred(schema) {
+            if let Some(uid) = view.graph.find_unique(atom.class, idx, value) {
+                if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
+                    return vec![(uid, to_times(mt))];
+                }
+            }
+            return Vec::new();
+        }
+    }
+    let mut out = Vec::new();
+    for c in schema.descendants(atom.class) {
+        for &uid in view.graph.extent_exact(c) {
+            if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
+                out.push((uid, to_times(mt)));
+            }
+        }
+    }
+    out
+}
+
+fn finalize(view: &GraphView, times: Times) -> Option<Times> {
+    match (view.filter, times) {
+        (TimeFilter::Range(a, b), Some(set)) => {
+            let probe = Interval::new(a, b.saturating_add(1));
+            let comps = set.components_overlapping(&probe);
+            if comps.is_empty() {
+                None
+            } else {
+                Some(Some(IntervalSet::from_intervals(comps)))
+            }
+        }
+        (TimeFilter::Range(_, _), None) => None, // range mode must carry times
+        (_, _) => Some(None),
+    }
+}
+
+/// Evaluate a planned RPE under a time-filtered view.
+pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptions) -> Vec<Pathway> {
+    let schema = view.graph.schema().clone();
+    let cap = opts
+        .max_elements
+        .map(|m| m.min(plan.max_elements))
+        .unwrap_or(plan.max_elements);
+    let ctx = Ctx { view, plan, cap };
+    let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
+    // elems → merged times. BTreeMap-free: HashMap then sort at the end.
+    let mut results: HashMap<Vec<Uid>, Times> = HashMap::new();
+    let add_result = |elems: Vec<Uid>, times: Times, results: &mut HashMap<Vec<Uid>, Times>| {
+        results
+            .entry(elems)
+            .and_modify(|t| *t = times_union(std::mem::take(t), &times))
+            .or_insert(times);
+    };
+
+    match seeds {
+        Seeds::Anchor => {
+            for &occ in &plan.anchor.atoms {
+                let atom = &plan.atoms[occ as usize];
+                let candidates = anchor_scan(view, &schema, atom);
+                let seed_trans = plan.nfa.seeds_for(occ);
+                for (elem, times0) in &candidates {
+                    for tr in &seed_trans {
+                        // Forward halves (seed element included).
+                        let mut fwd: Vec<Half> = Vec::new();
+                        let mut bwd: Vec<Half> = Vec::new();
+                        if atom.is_node {
+                            let states: StateSet = vec![(tr.to, times0.clone())];
+                            let mut path = vec![*elem];
+                            fwd_search(&ctx, &mut m, &mut path, &states, &mut fwd);
+                            let bstates: StateSet = vec![(tr.from, times0.clone())];
+                            let mut bpath = Vec::new();
+                            // The seed node itself is the (current) leftmost
+                            // element; acceptance before extending is legal.
+                            if let Some(t) = start_times(plan, &bstates) {
+                                bwd.push(Half { elems: Vec::new(), times: t });
+                            }
+                            // Extend left of the seed node.
+                            for adj in view.graph.in_adj(*elem) {
+                                if adj.edge == *elem || adj.other == *elem {
+                                    continue;
+                                }
+                                let s1 = step_bwd(plan, &mut m, &bstates, adj.edge, false);
+                                if s1.is_empty() {
+                                    continue;
+                                }
+                                let s2 = step_bwd(plan, &mut m, &s1, adj.other, true);
+                                if s2.is_empty() {
+                                    continue;
+                                }
+                                bpath.push(adj.edge);
+                                bpath.push(adj.other);
+                                bwd_search(&ctx, &mut m, &mut bpath, &s2, true, &mut bwd);
+                                bpath.pop();
+                                bpath.pop();
+                            }
+                        } else {
+                            // Edge seed: forward must consume the edge's
+                            // target node; backward its source node.
+                            let e = match view.graph.edge(*elem) {
+                                Ok(e) => e,
+                                Err(_) => continue,
+                            };
+                            let states: StateSet = vec![(tr.to, times0.clone())];
+                            let s2 = step_fwd(plan, &mut m, &states, e.dst, true);
+                            if s2.is_empty() {
+                                continue;
+                            }
+                            let mut path = vec![*elem, e.dst];
+                            fwd_search(&ctx, &mut m, &mut path, &s2, &mut fwd);
+                            let bstates: StateSet = vec![(tr.from, times0.clone())];
+                            let b1 = step_bwd(plan, &mut m, &bstates, e.src, true);
+                            if b1.is_empty() {
+                                continue;
+                            }
+                            let mut bpath = vec![e.src];
+                            bwd_search(&ctx, &mut m, &mut bpath, &b1, true, &mut bwd);
+                        }
+                        // Union: cross-combine halves.
+                        for b in &bwd {
+                            'combine: for fh in &fwd {
+                                // Cycle check across the two halves.
+                                for u in &b.elems {
+                                    if fh.elems.contains(u) {
+                                        continue 'combine;
+                                    }
+                                }
+                                let (t, ok) = times_intersect(&b.times, &fh.times);
+                                if !ok {
+                                    continue;
+                                }
+                                let mut elems = b.elems.clone();
+                                elems.reverse();
+                                elems.extend_from_slice(&fh.elems);
+                                if elems.len() > cap {
+                                    continue;
+                                }
+                                add_result(elems, t, &mut results);
+                            }
+                        }
+                        if let Some(limit) = opts.limit {
+                            if results.len() >= limit {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Seeds::Sources(srcs) => {
+            for &src in srcs {
+                if !view.graph.is_node(src) {
+                    continue;
+                }
+                let init: StateSet = vec![(
+                    plan.nfa.start,
+                    if view.filter.is_range() { Some(universal()) } else { None },
+                )];
+                let s1 = step_fwd(plan, &mut m, &init, src, true);
+                if s1.is_empty() {
+                    continue;
+                }
+                let mut path = vec![src];
+                let mut fwd = Vec::new();
+                fwd_search(&ctx, &mut m, &mut path, &s1, &mut fwd);
+                for h in fwd {
+                    add_result(h.elems, h.times, &mut results);
+                }
+            }
+        }
+        Seeds::Targets(tgts) => {
+            let accept_states: StateSet = (0..plan.nfa.n_states as u32)
+                .filter(|&s| plan.nfa.accepts[s as usize])
+                .map(|s| {
+                    (s, if view.filter.is_range() { Some(universal()) } else { None })
+                })
+                .collect();
+            for &tgt in tgts {
+                if !view.graph.is_node(tgt) {
+                    continue;
+                }
+                let b1 = step_bwd(plan, &mut m, &accept_states, tgt, true);
+                if b1.is_empty() {
+                    continue;
+                }
+                let mut path = vec![tgt];
+                let mut bwd = Vec::new();
+                bwd_search(&ctx, &mut m, &mut path, &b1, true, &mut bwd);
+                for h in bwd {
+                    let mut elems = h.elems;
+                    elems.reverse();
+                    add_result(elems, h.times, &mut results);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Pathway> = Vec::new();
+    for (elems, times) in results {
+        if let Some(t) = finalize(view, times) {
+            out.push(Pathway { elems, times: t });
+        }
+    }
+    out.sort_by(|a, b| a.elems.cmp(&b.elems));
+    if let Some(limit) = opts.limit {
+        out.truncate(limit);
+    }
+    out
+}
+
+/// Live-statistics estimator backed by the store (§5.1: "database
+/// statistics are used if available; otherwise schema hints are used").
+pub struct GraphEstimator<'g> {
+    pub graph: &'g TemporalGraph,
+}
+
+impl CardinalityEstimator for GraphEstimator<'_> {
+    fn estimate(&self, schema: &Schema, atom: &BoundAtom) -> f64 {
+        if atom.unique_eq_pred(schema).is_some() {
+            return 1.0;
+        }
+        let count = self.graph.alive_count(atom.class);
+        let base = if count == 0 {
+            schema
+                .descendants(atom.class)
+                .into_iter()
+                .filter_map(|c| schema.class(c).hint_cardinality)
+                .sum::<u64>()
+                .max(1) as f64
+        } else {
+            count as f64
+        };
+        apply_selectivity(base, atom)
+    }
+}

@@ -1,0 +1,475 @@
+//! Text parser for Regular Pathway Expressions.
+//!
+//! Grammar (paper §3.3 plus the postfix repetition shorthand used in its
+//! examples, e.g. `Vertical(){1,6}`):
+//!
+//! ```text
+//! rpe      := seq
+//! seq      := alt ( '->' alt )*
+//! alt      := postfix ( '|' postfix )*
+//! postfix  := primary ( '{' NUM ',' NUM '}' )?
+//! primary  := atom | '(' rpe ')' | '[' rpe ']'
+//! atom     := IDENT '(' [ pred (',' pred)* ] ')'
+//! pred     := IDENT op literal
+//! op       := '=' | '!=' | '<' | '<=' | '>' | '>=' | 'contains'
+//! literal  := NUM | FLOAT | STRING | 'true' | 'false' | timestamp-string
+//! ```
+//!
+//! Class names may be qualified with `:` (`VM:VMWare`).
+
+use nepal_schema::{parse_ts, Value};
+
+use crate::ast::{Atom, CmpOp, Pred, Rpe};
+use crate::error::{Result, RpeError};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arrow,
+    Pipe,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                out.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                out.push((i, Tok::RBracket));
+                i += 1;
+            }
+            '{' => {
+                out.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push((i, Tok::RBrace));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '|' => {
+                out.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Ne));
+                    i += 2;
+                } else {
+                    return Err(RpeError::Parse { pos: i, msg: "expected `!=`".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Le));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Ge));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Gt));
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((i, Tok::Arrow));
+                    i += 2;
+                } else {
+                    // Negative number literal.
+                    let start = i;
+                    i += 1;
+                    let (tok, ni) = lex_number(text, start, i)?;
+                    out.push((start, tok));
+                    i = ni;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(RpeError::Parse {
+                                pos: start,
+                                msg: "unterminated string".into(),
+                            })
+                        }
+                    }
+                }
+                out.push((start, Tok::Str(s)));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let (tok, ni) = lex_number(text, start, i)?;
+                out.push((start, tok));
+                i = ni;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    // `:` supports qualified class names; `.` supports
+                    // dotted structured-data field paths in predicates.
+                    if d.is_alphanumeric() || d == '_' || d == ':' || d == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((start, Tok::Ident(text[start..i].trim_end_matches(':').to_string())));
+            }
+            other => {
+                return Err(RpeError::Parse { pos: i, msg: format!("unexpected `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(text: &str, start: usize, mut i: usize) -> Result<(Tok, usize)> {
+    let bytes = text.as_bytes();
+    let mut is_float = false;
+    while i < bytes.len() {
+        let d = bytes[i] as char;
+        if d.is_ascii_digit() {
+            i += 1;
+        } else if d == '.' && !is_float && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+            is_float = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let s = &text[start..i];
+    if is_float {
+        s.parse::<f64>()
+            .map(|f| (Tok::Float(f), i))
+            .map_err(|_| RpeError::Parse { pos: start, msg: "bad float".into() })
+    } else {
+        s.parse::<i64>()
+            .map(|n| (Tok::Int(n), i))
+            .map_err(|_| RpeError::Parse { pos: start, msg: "bad integer".into() })
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.1)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.1.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.0).unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(RpeError::Parse { pos: self.here(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == t => Ok(()),
+            got => Err(RpeError::Parse {
+                pos: self.here(),
+                msg: format!("expected {t:?}, got {got:?}"),
+            }),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Rpe> {
+        let mut parts: Vec<Rpe> = Vec::new();
+        loop {
+            // Concatenation is associative (§3.3), so nested sequences
+            // from parenthesized groups flatten to a canonical form.
+            match self.alt()? {
+                Rpe::Seq(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+            if self.peek() == Some(&Tok::Arrow) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Rpe::Seq(parts) })
+    }
+
+    fn alt(&mut self) -> Result<Rpe> {
+        let mut parts: Vec<Rpe> = Vec::new();
+        loop {
+            // Disjunction is associative and flattens likewise.
+            match self.postfix()? {
+                Rpe::Alt(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+            if self.peek() == Some(&Tok::Pipe) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Rpe::Alt(parts) })
+    }
+
+    fn postfix(&mut self) -> Result<Rpe> {
+        let inner = self.primary()?;
+        if self.peek() == Some(&Tok::LBrace) {
+            self.bump();
+            let min = match self.bump() {
+                Some(Tok::Int(n)) if n >= 0 => n as u32,
+                got => return self.err(format!("expected repetition lower bound, got {got:?}")),
+            };
+            // Accept both `{i,j}` and the paper's occasional `{i-j}` typo
+            // style is NOT accepted; comma required.
+            self.expect(Tok::Comma)?;
+            let max = match self.bump() {
+                Some(Tok::Int(n)) if n >= 0 => n as u32,
+                got => return self.err(format!("expected repetition upper bound, got {got:?}")),
+            };
+            self.expect(Tok::RBrace)?;
+            if min > max || max == 0 {
+                return Err(RpeError::BadRepetition { min, max });
+            }
+            Ok(Rpe::Rep(Box::new(inner), min, max))
+        } else {
+            Ok(inner)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Rpe> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let r = self.seq()?;
+                self.expect(Tok::RParen)?;
+                Ok(r)
+            }
+            Some(Tok::LBracket) => {
+                let r = self.seq()?;
+                self.expect(Tok::RBracket)?;
+                Ok(r)
+            }
+            Some(Tok::Ident(name)) => {
+                self.expect(Tok::LParen)?;
+                let mut preds = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        preds.push(self.pred()?);
+                        match self.peek() {
+                            Some(Tok::Comma) => {
+                                self.bump();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Rpe::Atom(Atom { class: name, preds }))
+            }
+            got => self.err(format!("expected atom or group, got {got:?}")),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred> {
+        let field = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            got => return self.err(format!("expected field name, got {got:?}")),
+        };
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::Ident(kw)) if kw == "contains" => CmpOp::Contains,
+            got => return self.err(format!("expected comparison operator, got {got:?}")),
+        };
+        let value = match self.bump() {
+            Some(Tok::Int(n)) => Value::Int(n),
+            Some(Tok::Float(f)) => Value::Float(f),
+            Some(Tok::Str(s)) => {
+                // A quoted literal that parses as a timestamp *and* looks
+                // like one is kept as a string; timestamp coercion happens
+                // at binding time against the declared field type.
+                Value::Str(s)
+            }
+            Some(Tok::Ident(kw)) if kw == "true" => Value::Bool(true),
+            Some(Tok::Ident(kw)) if kw == "false" => Value::Bool(false),
+            got => return self.err(format!("expected literal, got {got:?}")),
+        };
+        let _ = parse_ts; // used by binder; referenced to document the flow
+        Ok(Pred { field, op, value })
+    }
+}
+
+/// Parse an RPE from text.
+pub fn parse_rpe(text: &str) -> Result<Rpe> {
+    let toks = tokenize(text)?;
+    if toks.is_empty() {
+        return Err(RpeError::Parse { pos: 0, msg: "empty RPE".into() });
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let r = p.seq()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input after RPE");
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(src: &str) -> String {
+        parse_rpe(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_paper_examples() {
+        // §3.4 examples
+        parse_rpe("VNF()->VFC()->VM()->Host(id=23245)").unwrap();
+        parse_rpe("VNF()->[Vertical()]{1,6}->Host(id=23245)").unwrap();
+        parse_rpe("VNF(id=123)->Vertical(){1,6}->Host()").unwrap();
+        parse_rpe("ConnectsTo(){1,8}").unwrap();
+        parse_rpe("(VNF()|VFC())->[HostedOn(){1,5}]->VM()").unwrap();
+        parse_rpe("VM(status='Green')").unwrap();
+        parse_rpe(
+            "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "VNF()->[Vertical()]{1,6}->Host(id=23245)",
+            "(VM(id=55)|Docker(id=66))",
+            "VM(status='Green', vm_id>=10)",
+            "[HostedOn()|ConnectedTo()]{1,4}",
+        ] {
+            let once = rt(src);
+            let twice = rt(&once);
+            assert_eq!(once, twice, "not a fixpoint for {src}");
+        }
+    }
+
+    #[test]
+    fn qualified_class_names() {
+        let r = parse_rpe("VM:VMWare()").unwrap();
+        match r {
+            Rpe::Atom(a) => assert_eq!(a.class, "VM:VMWare"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_pipe_binds_tighter_than_arrow() {
+        let r = parse_rpe("A()->B()|C()->D()").unwrap();
+        match r {
+            Rpe::Seq(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], Rpe::Alt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bounds_and_syntax() {
+        assert!(matches!(parse_rpe("[A()]{3,1}"), Err(RpeError::BadRepetition { .. })));
+        assert!(matches!(parse_rpe("[A()]{0,0}"), Err(RpeError::BadRepetition { .. })));
+        assert!(parse_rpe("A()->").is_err());
+        assert!(parse_rpe("A(").is_err());
+        assert!(parse_rpe("A()->|B()").is_err());
+        assert!(parse_rpe("").is_err());
+    }
+
+    #[test]
+    fn predicate_literals() {
+        let r = parse_rpe("X(a=1, b!=2.5, c<'z', d contains 'sub', e=true)").unwrap();
+        match r {
+            Rpe::Atom(a) => {
+                assert_eq!(a.preds.len(), 5);
+                assert_eq!(a.preds[1].op, CmpOp::Ne);
+                assert_eq!(a.preds[3].op, CmpOp::Contains);
+                assert_eq!(a.preds[4].value, Value::Bool(true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let r = parse_rpe("X(a=-5)").unwrap();
+        match r {
+            Rpe::Atom(a) => assert_eq!(a.preds[0].value, Value::Int(-5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

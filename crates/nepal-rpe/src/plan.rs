@@ -1,0 +1,184 @@
+//! RPE query plans: bound atoms + compiled NFA + selected anchor.
+//!
+//! A plan corresponds to the paper's DAG of `Select` / `Extend` / `Union`
+//! operators (§5.1): the anchor scan is the `Select`, each NFA transition
+//! taken during evaluation is an `Extend` (forwards or backwards), and the
+//! per-seed result merge is the `Union`.
+
+use nepal_schema::{ClassId, Schema, NODE};
+
+use crate::anchor::{select_anchor, AnchorSet, CardinalityEstimator};
+use crate::ast::Rpe;
+use crate::bind::{bind, BoundAtom, Norm};
+use crate::error::Result;
+use crate::nfa::{compile, Label, Nfa};
+
+/// A fully planned RPE, ready for evaluation or translation.
+#[derive(Debug, Clone)]
+pub struct RpePlan {
+    /// Source text (best-effort reconstruction).
+    pub text: String,
+    pub atoms: Vec<BoundAtom>,
+    pub norm: Norm,
+    pub nfa: Nfa,
+    /// The selected (cheapest) anchor.
+    pub anchor: AnchorSet,
+    /// All candidate anchors, cheapest first (introspection/tests).
+    pub candidates: Vec<AnchorSet>,
+    /// Length limit in elements implied by the expression.
+    pub max_elements: usize,
+    /// Static type of `source(P)`: the least common ancestor of every class
+    /// that can begin a matching pathway.
+    pub source_class: ClassId,
+    /// Static type of `target(P)`.
+    pub target_class: ClassId,
+}
+
+fn lca_of_labels(schema: &Schema, atoms: &[BoundAtom], labels: &[Label]) -> ClassId {
+    // Wrapper AnyNode transitions exist unconditionally but can only fire
+    // when the expression actually begins/ends with an edge atom (otherwise
+    // the next consumed element would have the wrong kind). So: node atoms
+    // contribute their class; edge atoms contribute NODE (the implicit
+    // endpoint is unconstrained); AnyNode/AnyEdge labels are ignored.
+    let mut acc: Option<ClassId> = None;
+    for l in labels {
+        let c = match l {
+            Label::AnyNode | Label::AnyEdge => continue,
+            Label::Atom(a) => {
+                let at = &atoms[*a as usize];
+                if at.is_node {
+                    at.class
+                } else {
+                    NODE
+                }
+            }
+        };
+        acc = Some(match acc {
+            None => c,
+            Some(prev) => schema.lca(prev, c),
+        });
+    }
+    acc.unwrap_or(NODE)
+}
+
+/// Bind, normalize, compile, and anchor an RPE.
+pub fn plan_rpe(schema: &Schema, rpe: &Rpe, est: &dyn CardinalityEstimator) -> Result<RpePlan> {
+    let bound = bind(schema, rpe)?;
+    let kinds: Vec<bool> = bound.atoms.iter().map(|a| a.is_node).collect();
+    let nfa = compile(&bound.norm, &kinds);
+    let (anchor, candidates) = select_anchor(&bound.norm, &bound.atoms, schema, est)?;
+    let max_elements = nfa.max_elements();
+    let source_class = lca_of_labels(schema, &bound.atoms, &nfa.first_labels());
+    let target_class = lca_of_labels(schema, &bound.atoms, &nfa.last_labels());
+    Ok(RpePlan {
+        text: rpe.to_string(),
+        atoms: bound.atoms,
+        norm: bound.norm,
+        nfa,
+        anchor,
+        candidates,
+        max_elements,
+        source_class,
+        target_class,
+    })
+}
+
+impl RpePlan {
+    /// Human-readable operator listing in the paper's style.
+    pub fn operators(&self) -> Vec<String> {
+        let mut ops = Vec::new();
+        let anchor_desc: Vec<&str> = self
+            .anchor
+            .atoms
+            .iter()
+            .map(|&a| self.atoms[a as usize].display.as_str())
+            .collect();
+        ops.push(format!(
+            "Select: {} [est. cardinality {:.1}]",
+            anchor_desc.join(" | "),
+            self.anchor.cost
+        ));
+        let n_seeds: usize = self
+            .anchor
+            .atoms
+            .iter()
+            .map(|&a| self.nfa.seeds_for(a).len())
+            .sum();
+        ops.push(format!(
+            "Extend: forwards and backwards from the anchor, ≤{} elements",
+            self.max_elements
+        ));
+        if n_seeds > 1 || self.anchor.atoms.len() > 1 {
+            ops.push(format!("Union: merge results of {n_seeds} seed transitions"));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::HintEstimator;
+    use crate::parser::parse_rpe;
+    use nepal_schema::dsl::parse_schema;
+
+    fn schema() -> Schema {
+        parse_schema(
+            r#"
+            node Container { }
+            node VM : Container { vm_id: int unique }
+            node Docker : Container { docker_id: int unique }
+            node VNF { vnf_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            hint VNF 33
+            hint VM 2000
+            hint Host 200
+            hint HostedOn 11000
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn source_and_target_typing_via_lca() {
+        let s = schema();
+        let p = plan_rpe(
+            &s,
+            &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=5)").unwrap(),
+            &HintEstimator,
+        )
+        .unwrap();
+        assert_eq!(p.source_class, s.class_by_name("VNF").unwrap());
+        assert_eq!(p.target_class, s.class_by_name("Host").unwrap());
+        // Alternation of sibling classes → LCA.
+        let p2 = plan_rpe(
+            &s,
+            &parse_rpe("(VM(vm_id=1)|Docker(docker_id=2))").unwrap(),
+            &HintEstimator,
+        )
+        .unwrap();
+        assert_eq!(p2.source_class, s.class_by_name("Container").unwrap());
+    }
+
+    #[test]
+    fn edge_initial_rpe_types_source_as_node_root() {
+        let s = schema();
+        let p = plan_rpe(&s, &parse_rpe("HostedOn(){1,8}").unwrap(), &HintEstimator).unwrap();
+        assert_eq!(p.source_class, nepal_schema::NODE);
+        assert_eq!(p.target_class, nepal_schema::NODE);
+    }
+
+    #[test]
+    fn operator_listing_mentions_select() {
+        let s = schema();
+        let p = plan_rpe(
+            &s,
+            &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=23245)").unwrap(),
+            &HintEstimator,
+        )
+        .unwrap();
+        let ops = p.operators();
+        assert!(ops[0].starts_with("Select: Host(host_id=23245)"));
+    }
+}

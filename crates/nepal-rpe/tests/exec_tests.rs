@@ -1,0 +1,352 @@
+//! End-to-end tests of the anchored RPE evaluator against a small layered
+//! topology mirroring Fig. 2 of the paper: VNFs composed of VFCs hosted on
+//! VMs executing on Hosts, plus a physical Connects fabric.
+
+use std::sync::Arc;
+
+use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Seeds};
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+
+const SCHEMA: &str = r#"
+    node VNF { vnf_id: int unique, status: str optional }
+    node DNS : VNF { }
+    node Firewall : VNF { }
+    node VFC { vfc_id: int unique }
+    node Container { status: str optional }
+    node VM : Container { vm_id: int unique }
+    node Docker : Container { docker_id: int unique }
+    node Host { host_id: int unique }
+    node Switch { switch_id: int unique }
+    edge Vertical { }
+    edge ComposedOf : Vertical { }
+    edge HostedOn : Vertical { }
+    edge ConnectedTo { }
+    edge Connects : ConnectedTo { }
+    allow ComposedOf (VNF -> VFC)
+    allow HostedOn (VFC -> Container)
+    allow HostedOn (Container -> Host)
+    allow Connects (Host -> Switch)
+    allow Connects (Switch -> Host)
+    allow Connects (Switch -> Switch)
+"#;
+
+struct Fixture {
+    g: TemporalGraph,
+    vnf1: Uid,
+    vnf2: Uid,
+    host1: Uid,
+    host2: Uid,
+    vm1: Uid,
+}
+
+/// Two VNFs:
+///   VNF1 -ComposedOf-> VFC1 -HostedOn-> VM1 -HostedOn-> Host1
+///   VNF2 -ComposedOf-> VFC2 -HostedOn-> Docker1 -HostedOn-> Host2
+/// Physical fabric: Host1 <-> Switch <-> Host2 (Connects both directions).
+fn fixture() -> Fixture {
+    let schema: Arc<Schema> = Arc::new(parse_schema(SCHEMA).unwrap());
+    let c = |n: &str| schema.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(schema.clone());
+    let t = 1000;
+    let vnf1 = g.insert_node(c("DNS"), vec![Value::Int(1), Value::Null], t).unwrap();
+    let vnf2 = g.insert_node(c("Firewall"), vec![Value::Int(2), Value::Null], t).unwrap();
+    let vfc1 = g.insert_node(c("VFC"), vec![Value::Int(11)], t).unwrap();
+    let vfc2 = g.insert_node(c("VFC"), vec![Value::Int(12)], t).unwrap();
+    let vm1 = g
+        .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(21)], t)
+        .unwrap();
+    let dk1 = g
+        .insert_node(c("Docker"), vec![Value::Str("Green".into()), Value::Int(22)], t)
+        .unwrap();
+    let host1 = g.insert_node(c("Host"), vec![Value::Int(23245)], t).unwrap();
+    let host2 = g.insert_node(c("Host"), vec![Value::Int(34356)], t).unwrap();
+    let sw = g.insert_node(c("Switch"), vec![Value::Int(91)], t).unwrap();
+    let e = |g: &mut TemporalGraph, cls: &str, a: Uid, b: Uid| {
+        g.insert_edge(c(cls), a, b, vec![], t).unwrap()
+    };
+    e(&mut g, "ComposedOf", vnf1, vfc1);
+    e(&mut g, "ComposedOf", vnf2, vfc2);
+    e(&mut g, "HostedOn", vfc1, vm1);
+    e(&mut g, "HostedOn", vfc2, dk1);
+    e(&mut g, "HostedOn", vm1, host1);
+    e(&mut g, "HostedOn", dk1, host2);
+    e(&mut g, "Connects", host1, sw);
+    e(&mut g, "Connects", sw, host1);
+    e(&mut g, "Connects", host2, sw);
+    e(&mut g, "Connects", sw, host2);
+    Fixture { g, vnf1, vnf2, host1, host2, vm1 }
+}
+
+fn run(g: &TemporalGraph, rpe: &str) -> Vec<nepal_rpe::Pathway> {
+    let plan = plan_rpe(g.schema(), &parse_rpe(rpe).unwrap(), &GraphEstimator { graph: g }).unwrap();
+    let view = GraphView::new(g, TimeFilter::Current);
+    evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default())
+}
+
+#[test]
+fn explicit_layer_walk() {
+    // The paper's first example: the engineer spells out every layer.
+    let f = fixture();
+    let paths = run(&f.g, "VNF()->VFC()->VM()->Host(host_id=23245)");
+    assert_eq!(paths.len(), 1);
+    let p = &paths[0];
+    assert_eq!(p.source(), f.vnf1);
+    assert_eq!(p.target(), f.host1);
+    assert_eq!(p.elems.len(), 7); // 4 nodes + 3 edges
+}
+
+#[test]
+fn generic_vertical_walk_insulates_from_details() {
+    // Second example: Vertical{1,6} finds VNF1 regardless of whether the
+    // container is a VM or Docker.
+    let f = fixture();
+    let paths = run(&f.g, "VNF()->[Vertical()]{1,6}->Host(host_id=23245)");
+    assert!(paths.iter().any(|p| p.source() == f.vnf1 && p.target() == f.host1));
+    // VNF2 runs on host2, not host1.
+    assert!(!paths.iter().any(|p| p.source() == f.vnf2));
+    // And the Docker-hosted VNF2 is found on host 34356 with the SAME query.
+    let paths2 = run(&f.g, "VNF()->[Vertical()]{1,6}->Host(host_id=34356)");
+    assert!(paths2.iter().any(|p| p.source() == f.vnf2 && p.target() == f.host2));
+}
+
+#[test]
+fn subclass_atoms_narrow_the_concept() {
+    let f = fixture();
+    // Only the DNS VNF hosts on host1.
+    let paths = run(&f.g, "DNS()->[Vertical()]{1,6}->Host()");
+    assert!(paths.iter().all(|p| p.source() == f.vnf1));
+    // Container() generalizes over VM and Docker.
+    let paths = run(&f.g, "Container(status='Green')->HostedOn()->Host()");
+    assert_eq!(paths.len(), 2);
+}
+
+#[test]
+fn bottom_up_uses_backward_extends() {
+    // Same RPE, anchored at the Host end: the plan extends backwards.
+    let f = fixture();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("VNF()->[Vertical()]{1,6}->Host(host_id=23245)").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let anchor_atom = &plan.atoms[plan.anchor.atoms[0] as usize];
+    assert_eq!(anchor_atom.class_name, "Host");
+    let view = GraphView::new(&f.g, TimeFilter::Current);
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    assert!(paths.iter().any(|p| p.source() == f.vnf1));
+}
+
+#[test]
+fn horizontal_connects_walk() {
+    let f = fixture();
+    // Host1 to Host2 through the switch: 2 hops.
+    let paths = run(&f.g, "Host(host_id=23245)->[Connects()]{1,4}->Host(host_id=34356)");
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0].len_edges(), 2);
+}
+
+#[test]
+fn edge_atom_rpe_returns_endpoint_nodes() {
+    let f = fixture();
+    let paths = run(&f.g, "ComposedOf()");
+    assert_eq!(paths.len(), 2);
+    for p in &paths {
+        assert_eq!(p.elems.len(), 3); // n, e, n — implicit endpoints
+        assert!(f.g.is_node(p.source()));
+        assert!(f.g.is_node(p.target()));
+    }
+}
+
+#[test]
+fn node_node_concat_skips_one_edge() {
+    let f = fixture();
+    // VFC()->VM(): the HostedOn edge is implicitly skipped (§3.3 cond. 3).
+    let paths = run(&f.g, "VFC()->VM()");
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0].elems.len(), 3);
+    assert_eq!(paths[0].target(), f.vm1);
+}
+
+#[test]
+fn edge_edge_concat_skips_one_node() {
+    let f = fixture();
+    // ComposedOf()->HostedOn(): VFC in the middle is implicit (cond. 4).
+    let paths = run(&f.g, "ComposedOf()->HostedOn()");
+    assert_eq!(paths.len(), 2);
+    for p in &paths {
+        assert_eq!(p.elems.len(), 5);
+    }
+}
+
+#[test]
+fn alternation_anchor_merges_branches() {
+    let f = fixture();
+    let paths = run(
+        &f.g,
+        "VNF()->[Vertical()]{1,3}->(VM(vm_id=21)|Docker(docker_id=22))",
+    );
+    // VNF1 reaches VM1, VNF2 reaches Docker1.
+    assert!(paths.iter().any(|p| p.source() == f.vnf1));
+    assert!(paths.iter().any(|p| p.source() == f.vnf2));
+}
+
+#[test]
+fn seeded_sources_import_anchor_from_join() {
+    // The paper's join example: Phys MATCHES Connects(){1,8} has no anchor
+    // of its own; it is seeded from the join on source(Phys)=target(D1).
+    let f = fixture();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("Connects(){1,8}").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let view = GraphView::new(&f.g, TimeFilter::Current);
+    let seeds = [f.host1];
+    let paths = evaluate(&view, &plan, Seeds::Sources(&seeds), &EvalOptions::default());
+    assert!(!paths.is_empty());
+    assert!(paths.iter().all(|p| p.source() == f.host1));
+    assert!(paths.iter().any(|p| p.target() == f.host2));
+    // Targets seeding is symmetric.
+    let tgt = [f.host2];
+    let paths = evaluate(&view, &plan, Seeds::Targets(&tgt), &EvalOptions::default());
+    assert!(paths.iter().all(|p| p.target() == f.host2));
+    assert!(paths.iter().any(|p| p.source() == f.host1));
+}
+
+#[test]
+fn cycles_are_pruned() {
+    let f = fixture();
+    // Host1 -> ... -> Host1 would require revisiting the switch or host.
+    let paths = run(&f.g, "Host(host_id=23245)->[Connects()]{1,6}->Host(host_id=23245)");
+    assert!(paths.is_empty());
+}
+
+#[test]
+fn limit_truncates_results() {
+    let f = fixture();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("Container(status='Green')->HostedOn()->Host()").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let view = GraphView::new(&f.g, TimeFilter::Current);
+    let paths = evaluate(
+        &view,
+        &plan,
+        Seeds::Anchor,
+        &EvalOptions { limit: Some(1), max_elements: None },
+    );
+    assert_eq!(paths.len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Temporal evaluation
+// ---------------------------------------------------------------------
+
+#[test]
+fn as_of_sees_deleted_topology() {
+    let mut f = fixture();
+    // Delete VM1 at t=2000: the VNF1 vertical path disappears.
+    f.g.delete(f.vm1, 2000).unwrap();
+    let now = run(&f.g, "VNF()->[Vertical()]{1,6}->Host(host_id=23245)");
+    assert!(now.is_empty());
+    // But AT t=1500 the path is still there.
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("VNF()->[Vertical()]{1,6}->Host(host_id=23245)").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let view = GraphView::new(&f.g, TimeFilter::AsOf(1500));
+    let past = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    assert_eq!(past.len(), 1);
+}
+
+#[test]
+fn range_query_reports_maximal_intervals() {
+    let mut f = fixture();
+    f.g.delete(f.vm1, 2000).unwrap();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("VNF()->[Vertical()]{1,6}->Host(host_id=23245)").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    // Window [1500, 3000]: the pathway existed during [1000, 2000) — the
+    // reported interval is maximal, starting BEFORE the window.
+    let view = GraphView::new(&f.g, TimeFilter::Range(1500, 3000));
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    assert_eq!(paths.len(), 1);
+    let times = paths[0].times.as_ref().unwrap();
+    assert_eq!(times.intervals().len(), 1);
+    assert_eq!(times.intervals()[0].from, 1000);
+    assert_eq!(times.intervals()[0].to, 2000);
+    // Window entirely after the delete: no results.
+    let view = GraphView::new(&f.g, TimeFilter::Range(2500, 3000));
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    assert!(paths.is_empty());
+}
+
+#[test]
+fn range_query_interval_is_intersection_of_elements() {
+    let mut f = fixture();
+    // VNF2's ComposedOf edge appears later: re-create it at t=5000.
+    // (Simulate: delete vnf2's edge region by deleting vnf2 and reinserting.)
+    f.g.delete(f.vnf2, 3000).unwrap();
+    let c = f.g.schema().class_by_name("Firewall").unwrap();
+    let vnf2b = f.g.insert_node(c, vec![Value::Int(2), Value::Null], 5000).unwrap();
+    let co = f.g.schema().class_by_name("ComposedOf").unwrap();
+    // VFC2 uid: find via query instead of bookkeeping.
+    let vfc2 = run(&f.g, "VFC(vfc_id=12)")[0].source();
+    f.g.insert_edge(co, vnf2b, vfc2, vec![], 5000).unwrap();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("Firewall()->[Vertical()]{1,6}->Host(host_id=34356)").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let view = GraphView::new(&f.g, TimeFilter::Range(0, 10_000));
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    // Two distinct pathways (old and new VNF2 incarnations) with disjoint
+    // assertion ranges.
+    assert_eq!(paths.len(), 2);
+    let mut ivs: Vec<(i64, i64)> = paths
+        .iter()
+        .map(|p| {
+            let iv = p.times.as_ref().unwrap().intervals()[0];
+            (iv.from, iv.to)
+        })
+        .collect();
+    ivs.sort();
+    assert_eq!(ivs[0], (1000, 3000));
+    assert_eq!(ivs[1].0, 5000);
+}
+
+#[test]
+fn predicate_versions_constrain_times() {
+    let mut f = fixture();
+    // VM1 turns Red during [2000, 3000).
+    f.g.update(f.vm1, &[(0, Value::Str("Red".into()))], 2000).unwrap();
+    f.g.update(f.vm1, &[(0, Value::Str("Green".into()))], 3000).unwrap();
+    let plan = plan_rpe(
+        f.g.schema(),
+        &parse_rpe("VM(status='Green')->HostedOn()->Host(host_id=23245)").unwrap(),
+        &GraphEstimator { graph: &f.g },
+    )
+    .unwrap();
+    let view = GraphView::new(&f.g, TimeFilter::Range(0, 10_000));
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
+    assert_eq!(paths.len(), 1);
+    let times = paths[0].times.as_ref().unwrap();
+    // Green during [1000,2000) and [3000,∞): two maximal components.
+    assert_eq!(times.intervals().len(), 2);
+    assert_eq!(times.intervals()[0].from, 1000);
+    assert_eq!(times.intervals()[0].to, 2000);
+    assert_eq!(times.intervals()[1].from, 3000);
+    assert!(times.intervals()[1].is_current());
+}

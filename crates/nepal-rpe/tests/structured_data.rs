@@ -1,0 +1,115 @@
+//! Query access to structured data: dotted predicates into composite
+//! `data_type` fields and `contains` on containers — the §5 "under
+//! development" feature, implemented here.
+
+use std::sync::Arc;
+
+use nepal_graph::{GraphView, TemporalGraph, TimeFilter};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, RpeError, Seeds};
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+
+fn fixture() -> TemporalGraph {
+    let s: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            data geo { region: str, zone: int }
+            data portSpec { port_name: str, speed_gbps: int, location: geo }
+            node Port { port_id: int unique, spec: portSpec, tags: list<str> }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut g = TemporalGraph::new(s.clone());
+    let port = s.class_by_name("Port").unwrap();
+    let spec = |name: &str, speed: i64, region: &str, zone: i64| {
+        Value::Composite(vec![
+            Value::Str(name.into()),
+            Value::Int(speed),
+            Value::Composite(vec![Value::Str(region.into()), Value::Int(zone)]),
+        ])
+    };
+    let tags = |ts: &[&str]| Value::List(ts.iter().map(|t| Value::Str(t.to_string())).collect());
+    g.insert_node(
+        port,
+        vec![Value::Int(1), spec("eth0", 10, "east", 1), tags(&["prod", "edge"])],
+        0,
+    )
+    .unwrap();
+    g.insert_node(
+        port,
+        vec![Value::Int(2), spec("eth1", 100, "west", 2), tags(&["lab"])],
+        0,
+    )
+    .unwrap();
+    g.insert_node(
+        port,
+        vec![Value::Int(3), spec("eth2", 100, "east", 3), tags(&["prod"])],
+        0,
+    )
+    .unwrap();
+    g
+}
+
+fn ids(g: &TemporalGraph, rpe: &str) -> Vec<i64> {
+    let plan = plan_rpe(g.schema(), &parse_rpe(rpe).unwrap(), &GraphEstimator { graph: g }).unwrap();
+    let view = GraphView::new(g, TimeFilter::Current);
+    let mut out: Vec<i64> = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default())
+        .iter()
+        .map(|p| match &g.current_version(p.source()).unwrap().fields[0] {
+            Value::Int(i) => *i,
+            _ => unreachable!(),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn dotted_predicate_into_composite() {
+    let g = fixture();
+    assert_eq!(ids(&g, "Port(spec.speed_gbps>=100)"), vec![2, 3]);
+    assert_eq!(ids(&g, "Port(spec.port_name='eth0')"), vec![1]);
+}
+
+#[test]
+fn dotted_predicate_two_levels_deep() {
+    let g = fixture();
+    assert_eq!(ids(&g, "Port(spec.location.region='east')"), vec![1, 3]);
+    assert_eq!(
+        ids(&g, "Port(spec.location.region='east', spec.speed_gbps>=100)"),
+        vec![3]
+    );
+    assert_eq!(ids(&g, "Port(spec.location.zone>1)"), vec![2, 3]);
+}
+
+#[test]
+fn contains_on_list_field() {
+    let g = fixture();
+    assert_eq!(ids(&g, "Port(tags contains 'prod')"), vec![1, 3]);
+    assert_eq!(ids(&g, "Port(tags contains 'lab')"), vec![2]);
+}
+
+#[test]
+fn bad_paths_rejected_at_bind_time() {
+    let g = fixture();
+    let err = |rpe: &str| {
+        plan_rpe(
+            g.schema(),
+            &parse_rpe(rpe).unwrap(),
+            &GraphEstimator { graph: &g },
+        )
+        .unwrap_err()
+    };
+    assert!(matches!(err("Port(spec.nope=1)"), RpeError::UnknownField { .. }));
+    // Dotting into a scalar is a type error.
+    assert!(matches!(
+        err("Port(port_id.x=1)"),
+        RpeError::PredicateType { .. }
+    ));
+    // Type mismatch at the leaf.
+    assert!(matches!(
+        err("Port(spec.speed_gbps='fast')"),
+        RpeError::PredicateType { .. }
+    ));
+}

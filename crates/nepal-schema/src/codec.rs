@@ -1,0 +1,275 @@
+//! Canonical, self-delimiting text codec for [`Value`]s.
+//!
+//! Used by the graph journal (persistence) and anywhere a value must
+//! round-trip losslessly through text. The encoding is netstring-inspired:
+//! every value starts with a one-byte tag; strings are length-prefixed so
+//! no escaping is ever needed; floats are encoded via their bit pattern so
+//! round-trips are exact.
+//!
+//! ```text
+//! _            null          b1 / b0       bool
+//! i-42;        int           f3FF0000…;    float (hex bits)
+//! t1486800…;   timestamp     a9:10.0.0.1   ip (length-prefixed text)
+//! s5:hello     string        l2[i1;i2;]    list
+//! e…[…]        set           m…[k v …]     map        c…[…] composite
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::value::Value;
+
+/// Codec error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "value codec error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a value onto a string buffer.
+pub fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('_'),
+        Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        Value::Int(i) => {
+            let _ = write!(out, "i{i};");
+        }
+        Value::Float(f) => {
+            let _ = write!(out, "f{:016X};", f.to_bits());
+        }
+        Value::Ts(t) => {
+            let _ = write!(out, "t{t};");
+        }
+        Value::Ip(ip) => {
+            let s = ip.to_string();
+            let _ = write!(out, "a{}:{}", s.len(), s);
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "s{}:{}", s.len(), s);
+        }
+        Value::List(items) => seq('l', items, out),
+        Value::Set(items) => seq('e', items, out),
+        Value::Composite(items) => seq('c', items, out),
+        Value::Map(m) => {
+            let _ = write!(out, "m{}[", m.len());
+            for (k, val) in m {
+                encode_value(k, out);
+                encode_value(val, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn seq(tag: char, items: &[Value], out: &mut String) {
+    let _ = write!(out, "{tag}{}[", items.len());
+    for it in items {
+        encode_value(it, out);
+    }
+    out.push(']');
+}
+
+/// Encode to a fresh string.
+pub fn value_to_text(v: &Value) -> String {
+    let mut s = String::new();
+    encode_value(v, &mut s);
+    s
+}
+
+struct D<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> D<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, CodecError> {
+        Err(CodecError { pos: self.i, msg: msg.to_string() })
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.b.get(self.i).ok_or(CodecError { pos: self.i, msg: "eof".into() })?;
+        self.i += 1;
+        Ok(b)
+    }
+
+    fn int_until(&mut self, stop: u8) -> Result<i64, CodecError> {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != stop {
+            self.i += 1;
+        }
+        if self.i >= self.b.len() {
+            return self.err("unterminated number");
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| CodecError { pos: start, msg: "bad utf8".into() })?;
+        let n = s.parse().map_err(|_| CodecError { pos: start, msg: "bad number".into() })?;
+        self.i += 1; // consume stop byte
+        Ok(n)
+    }
+
+    fn usize_until(&mut self, stop: u8) -> Result<usize, CodecError> {
+        let n = self.int_until(stop)?;
+        usize::try_from(n).map_err(|_| CodecError { pos: self.i, msg: "negative length".into() })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a str, CodecError> {
+        if self.i + n > self.b.len() {
+            return self.err("truncated payload");
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + n])
+            .map_err(|_| CodecError { pos: self.i, msg: "bad utf8".into() })?;
+        self.i += n;
+        Ok(s)
+    }
+
+    fn value(&mut self) -> Result<Value, CodecError> {
+        match self.byte()? {
+            b'_' => Ok(Value::Null),
+            b'b' => match self.byte()? {
+                b'1' => Ok(Value::Bool(true)),
+                b'0' => Ok(Value::Bool(false)),
+                _ => self.err("bad bool"),
+            },
+            b'i' => Ok(Value::Int(self.int_until(b';')?)),
+            b't' => Ok(Value::Ts(self.int_until(b';')?)),
+            b'f' => {
+                let hex = self.take(16)?.to_string();
+                if self.byte()? != b';' {
+                    return self.err("bad float terminator");
+                }
+                let bits = u64::from_str_radix(&hex, 16)
+                    .map_err(|_| CodecError { pos: self.i, msg: "bad float bits".into() })?;
+                Ok(Value::Float(f64::from_bits(bits)))
+            }
+            b'a' => {
+                let n = self.usize_until(b':')?;
+                let s = self.take(n)?;
+                s.parse()
+                    .map(Value::Ip)
+                    .map_err(|_| CodecError { pos: self.i, msg: "bad ip".into() })
+            }
+            b's' => {
+                let n = self.usize_until(b':')?;
+                Ok(Value::Str(self.take(n)?.to_string()))
+            }
+            tag @ (b'l' | b'e' | b'c') => {
+                let n = self.usize_until(b'[')?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                if self.byte()? != b']' {
+                    return self.err("missing `]`");
+                }
+                Ok(match tag {
+                    b'l' => Value::List(items),
+                    b'e' => Value::Set(items),
+                    _ => Value::Composite(items),
+                })
+            }
+            b'm' => {
+                let n = self.usize_until(b'[')?;
+                let mut m = BTreeMap::new();
+                for _ in 0..n {
+                    let k = self.value()?;
+                    let v = self.value()?;
+                    m.insert(k, v);
+                }
+                if self.byte()? != b']' {
+                    return self.err("missing `]`");
+                }
+                Ok(Value::Map(m))
+            }
+            other => self.err(&format!("unknown tag `{}`", other as char)),
+        }
+    }
+}
+
+/// Decode one value from the start of `text`; returns it and the number of
+/// bytes consumed.
+pub fn decode_value(text: &str) -> Result<(Value, usize), CodecError> {
+    let mut d = D { b: text.as_bytes(), i: 0 };
+    let v = d.value()?;
+    Ok((v, d.i))
+}
+
+/// Decode a value that must span the whole input.
+pub fn value_from_text(text: &str) -> Result<Value, CodecError> {
+    let (v, used) = decode_value(text)?;
+    if used != text.len() {
+        return Err(CodecError { pos: used, msg: "trailing input".into() });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(v: Value) {
+        let text = value_to_text(&v);
+        let back = value_from_text(&text).unwrap_or_else(|e| panic!("{e} for `{text}`"));
+        assert_eq!(v, back, "round trip failed via `{text}`");
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let mut m = BTreeMap::new();
+        m.insert(Value::Str("k".into()), Value::List(vec![Value::Int(1)]));
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.1),
+            Value::Float(f64::NAN), // exact bits preserved
+            Value::Str("".into()),
+            Value::Str("colons:and;brackets][nested s5:fake".into()),
+            Value::Str("unicode ☃ héllo".into()),
+            Value::Ts(1_486_800_000_000_000),
+            Value::Ip("10.0.0.1".parse().unwrap()),
+            Value::Ip("::1".parse().unwrap()),
+            Value::List(vec![]),
+            Value::List(vec![Value::Null, Value::Str("x".into())]),
+            Value::set(vec![Value::Int(2), Value::Int(1)]),
+            Value::Map(m),
+            Value::Composite(vec![Value::Composite(vec![Value::Int(1)])]),
+        ] {
+            if let Value::Float(f) = v {
+                // NaN != NaN under PartialEq? Value uses total_cmp → equal.
+                let text = value_to_text(&Value::Float(f));
+                let back = value_from_text(&text).unwrap();
+                if let Value::Float(g) = back {
+                    assert_eq!(f.to_bits(), g.to_bits());
+                } else {
+                    panic!("wrong variant");
+                }
+                continue;
+            }
+            rt(v);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in ["", "x", "i42", "s5:abc", "l2[i1;]", "b2", "f1234;", "m1[i1;]"] {
+            assert!(value_from_text(bad).is_err(), "accepted `{bad}`");
+        }
+        assert!(value_from_text("i1;i2;").is_err()); // trailing input
+    }
+
+    #[test]
+    fn strings_never_need_escaping() {
+        // Adversarial content that would break delimiter-based formats.
+        rt(Value::Str(value_to_text(&Value::List(vec![Value::Int(1)]))));
+    }
+}

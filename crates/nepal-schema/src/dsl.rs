@@ -1,0 +1,412 @@
+//! Text DSL for Nepal schemas.
+//!
+//! The paper derives the Nepal schema language from TOSCA (`data_types`,
+//! `node_types`, `capability_types`). This module provides a compact textual
+//! equivalent with the same concepts — data types with containers, node and
+//! edge class hierarchies, allowed-edge rules, and cardinality hints:
+//!
+//! ```text
+//! # comment
+//! data routingTableEntry { address: ip, mask: int, interface: str }
+//! node Container        { status: str }
+//! node VM : Container   { vm_id: int unique }
+//! node Host             { host_id: int unique, routing: list<routingTableEntry> }
+//! edge Vertical         { }
+//! edge HostedOn : Vertical { }
+//! allow HostedOn (VM -> Host)
+//! hint VM 2000
+//! ```
+//!
+//! `node X` with no explicit parent derives from `Node`; `edge X` from
+//! `Edge`. Field modifiers: `unique`, `optional`.
+
+use crate::error::{Result, SchemaError};
+use crate::schema::{Schema, SchemaBuilder, EDGE, NODE};
+use crate::types::{FieldDef, FieldType};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Comma,
+    Lt,
+    Gt,
+    Arrow,
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let mut chars = line.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            let ln = lineno + 1;
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '{' => {
+                    chars.next();
+                    out.push((ln, Tok::LBrace));
+                }
+                '}' => {
+                    chars.next();
+                    out.push((ln, Tok::RBrace));
+                }
+                '(' => {
+                    chars.next();
+                    out.push((ln, Tok::LParen));
+                }
+                ')' => {
+                    chars.next();
+                    out.push((ln, Tok::RParen));
+                }
+                ':' => {
+                    chars.next();
+                    out.push((ln, Tok::Colon));
+                }
+                ',' | ';' => {
+                    chars.next();
+                    out.push((ln, Tok::Comma));
+                }
+                '<' => {
+                    chars.next();
+                    out.push((ln, Tok::Lt));
+                }
+                '>' => {
+                    chars.next();
+                    out.push((ln, Tok::Gt));
+                }
+                '-' => {
+                    chars.next();
+                    match chars.peek() {
+                        Some(&(_, '>')) => {
+                            chars.next();
+                            out.push((ln, Tok::Arrow));
+                        }
+                        _ => {
+                            return Err(SchemaError::Parse { line: ln, msg: "stray `-`".into() })
+                        }
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_digit() {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: u64 = line[start..end].parse().map_err(|_| SchemaError::Parse {
+                        line: ln,
+                        msg: "bad number".into(),
+                    })?;
+                    out.push((ln, Tok::Num(n)));
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((ln, Tok::Ident(line[start..end].to_string())));
+                }
+                other => {
+                    return Err(SchemaError::Parse {
+                        line: ln,
+                        msg: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [(usize, Tok)],
+    pos: usize,
+    builder: SchemaBuilder,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.0).unwrap_or(0)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.1.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => self.errf(&format!("expected {t:?}, got {got:?}")),
+        }
+    }
+
+    fn errf<T>(&self, msg: &str) -> Result<T> {
+        Err(SchemaError::Parse { line: self.line(), msg: msg.to_string() })
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => self.errf(&format!("expected identifier, got {got:?}")),
+        }
+    }
+
+    fn field_type(&mut self) -> Result<FieldType> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "bool" => FieldType::Bool,
+            "int" => FieldType::Int,
+            "float" => FieldType::Float,
+            "str" | "string" => FieldType::Str,
+            "ts" | "timestamp" => FieldType::Ts,
+            "ip" => FieldType::Ip,
+            "list" | "set" => {
+                self.expect(Tok::Lt)?;
+                let inner = self.field_type()?;
+                self.expect(Tok::Gt)?;
+                if name == "list" {
+                    FieldType::List(Box::new(inner))
+                } else {
+                    FieldType::Set(Box::new(inner))
+                }
+            }
+            "map" => {
+                self.expect(Tok::Lt)?;
+                let k = self.field_type()?;
+                self.expect(Tok::Comma)?;
+                let v = self.field_type()?;
+                self.expect(Tok::Gt)?;
+                FieldType::Map(Box::new(k), Box::new(v))
+            }
+            other => match self.builder.data_type_by_name(other) {
+                Some(id) => FieldType::Data(id),
+                None => return self.errf(&format!("unknown type `{other}`")),
+            },
+        })
+    }
+
+    /// Parse `{ name: type [unique] [optional], ... }`.
+    fn field_block(&mut self) -> Result<Vec<FieldDef>> {
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = self.ident()?;
+                    self.expect(Tok::Colon)?;
+                    let ty = self.field_type()?;
+                    let mut fd = FieldDef::new(name, ty);
+                    while let Some(Tok::Ident(m)) = self.peek() {
+                        match m.as_str() {
+                            "unique" => {
+                                fd = fd.unique();
+                                self.next();
+                            }
+                            "optional" => {
+                                fd = fd.optional();
+                                self.next();
+                            }
+                            _ => break,
+                        }
+                    }
+                    fields.push(fd);
+                }
+                got => return self.errf(&format!("expected field or `}}`, got {got:?}")),
+            }
+        }
+        Ok(fields)
+    }
+
+    fn class_ref(&mut self) -> Result<crate::schema::ClassId> {
+        let name = self.ident()?;
+        self.builder
+            .class_by_name(&name)
+            .ok_or(SchemaError::UnknownClass(name))
+    }
+
+    fn parse(mut self) -> Result<Schema> {
+        while let Some(tok) = self.peek().cloned() {
+            let kw = match tok {
+                Tok::Ident(s) => s,
+                other => return self.errf(&format!("expected declaration keyword, got {other:?}")),
+            };
+            self.next();
+            match kw.as_str() {
+                "data" => {
+                    let name = self.ident()?;
+                    let parent = if self.peek() == Some(&Tok::Colon) {
+                        self.next();
+                        let pname = self.ident()?;
+                        Some(
+                            self.builder
+                                .data_type_by_name(&pname)
+                                .ok_or(SchemaError::UnknownDataType(pname))?,
+                        )
+                    } else {
+                        None
+                    };
+                    let fields = self.field_block()?;
+                    self.builder.data_type(name, parent, fields)?;
+                }
+                "node" | "edge" => {
+                    let name = self.ident()?;
+                    let parent = if self.peek() == Some(&Tok::Colon) {
+                        self.next();
+                        self.class_ref()?
+                    } else if kw == "node" {
+                        NODE
+                    } else {
+                        EDGE
+                    };
+                    let fields = if self.peek() == Some(&Tok::LBrace) {
+                        self.field_block()?
+                    } else {
+                        Vec::new()
+                    };
+                    if kw == "node" {
+                        self.builder.node_class(name, parent, fields)?;
+                    } else {
+                        self.builder.edge_class(name, parent, fields)?;
+                    }
+                }
+                "allow" => {
+                    let edge = self.class_ref()?;
+                    self.expect(Tok::LParen)?;
+                    let from = self.class_ref()?;
+                    self.expect(Tok::Arrow)?;
+                    let to = self.class_ref()?;
+                    self.expect(Tok::RParen)?;
+                    self.builder.allow(edge, from, to)?;
+                }
+                "hint" => {
+                    let class = self.class_ref()?;
+                    match self.next() {
+                        Some(Tok::Num(n)) => self.builder.hint_cardinality(class, n),
+                        got => return self.errf(&format!("expected number, got {got:?}")),
+                    }
+                }
+                other => return self.errf(&format!("unknown declaration `{other}`")),
+            }
+        }
+        Ok(self.builder.finish())
+    }
+}
+
+/// Parse a schema DSL document into a [`Schema`].
+pub fn parse_schema(text: &str) -> Result<Schema> {
+    let toks = tokenize(text)?;
+    Parser { toks: &toks, pos: 0, builder: SchemaBuilder::new() }.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ClassKind;
+
+    const FIG3: &str = r#"
+        # Fig. 3 style underlay/overlay schema
+        data routingTableEntry { address: ip, mask: int, interface: str }
+        node Container { status: str }
+        node VM : Container { vm_id: int unique }
+        node VMWare : VM { }
+        node OnMetal : VM { }
+        node Docker : Container { }
+        node VNF { vnf_id: int unique, vnf_name: str optional }
+        node VFC { vfc_id: int unique }
+        node Host { host_id: int unique, routing: list<routingTableEntry> optional }
+        node Switch { switch_id: int unique }
+        edge Vertical { }
+        edge ComposedOf : Vertical { }
+        edge HostedOn : Vertical { }
+        edge OnVM : HostedOn { }
+        edge OnServer : HostedOn { }
+        edge ConnectedTo { }
+        edge ServerSwitch : ConnectedTo { server_interface: str, switch_interface: str }
+        allow ComposedOf (VNF -> VFC)
+        allow OnVM (VFC -> VM)
+        allow OnServer (VM -> Host)
+        allow ServerSwitch (Host -> Switch)
+        hint VM 2000
+    "#;
+
+    #[test]
+    fn parses_fig3_schema() {
+        let s = parse_schema(FIG3).unwrap();
+        let vm = s.class_by_name("VM").unwrap();
+        assert_eq!(s.kind(vm), ClassKind::Node);
+        assert_eq!(s.class(vm).hint_cardinality, Some(2000));
+        let onvm = s.class_by_name("OnVM").unwrap();
+        assert!(s.is_subclass(onvm, s.class_by_name("Vertical").unwrap()));
+        // VNF cannot be hosted directly on a Host (no such rule).
+        let host = s.class_by_name("Host").unwrap();
+        let vnf = s.class_by_name("VNF").unwrap();
+        assert!(!s.edge_allowed(s.class_by_name("HostedOn").unwrap(), vnf, host));
+        // Host.routing is a list of the composite data type.
+        let (_, fd) = s.resolve_field(host, "routing").unwrap();
+        assert!(!fd.required);
+    }
+
+    #[test]
+    fn unknown_parent_is_error() {
+        let e = parse_schema("node X : Nope { }").unwrap_err();
+        assert!(matches!(e, SchemaError::UnknownClass(_)));
+    }
+
+    #[test]
+    fn parse_error_carries_line() {
+        let e = parse_schema("node A { }\nnode B : { }").unwrap_err();
+        match e {
+            SchemaError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_cannot_derive_from_node() {
+        let e = parse_schema("node A { }\nedge E : A { }").unwrap_err();
+        assert!(matches!(e, SchemaError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn comments_and_semicolons_ok() {
+        let s = parse_schema("node A { x: int; y: str } # trailing").unwrap();
+        let a = s.class_by_name("A").unwrap();
+        assert_eq!(s.all_fields(a).len(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for schema definition and validation.
+
+use std::fmt;
+
+/// Errors raised while building, parsing, or validating against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A class name was registered twice.
+    DuplicateClass(String),
+    /// A data type name was registered twice.
+    DuplicateDataType(String),
+    /// Reference to a class that does not exist.
+    UnknownClass(String),
+    /// Reference to a data type that does not exist.
+    UnknownDataType(String),
+    /// A node class was derived from an edge class or vice versa.
+    KindMismatch { class: String, expected: &'static str },
+    /// A field name collides with a field inherited from an ancestor.
+    DuplicateField { class: String, field: String },
+    /// Reference to a field that does not exist on a class.
+    UnknownField { class: String, field: String },
+    /// A value did not conform to the declared field type.
+    TypeMismatch { field: String, expected: String, got: String },
+    /// A required field was missing when validating a record.
+    MissingField { class: String, field: String },
+    /// The data-type composition DAG contains a cycle.
+    CyclicDataType(String),
+    /// An `allow` rule references a class of the wrong kind.
+    BadEdgeRule(String),
+    /// Error while parsing the schema DSL text.
+    Parse { line: usize, msg: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            SchemaError::DuplicateDataType(n) => write!(f, "duplicate data type `{n}`"),
+            SchemaError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            SchemaError::UnknownDataType(n) => write!(f, "unknown data type `{n}`"),
+            SchemaError::KindMismatch { class, expected } => {
+                write!(f, "class `{class}` must be derived from {expected}")
+            }
+            SchemaError::DuplicateField { class, field } => {
+                write!(f, "field `{field}` already defined on an ancestor of `{class}`")
+            }
+            SchemaError::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            SchemaError::TypeMismatch { field, expected, got } => {
+                write!(f, "field `{field}` expects {expected}, got {got}")
+            }
+            SchemaError::MissingField { class, field } => {
+                write!(f, "record of class `{class}` is missing required field `{field}`")
+            }
+            SchemaError::CyclicDataType(n) => {
+                write!(f, "data type `{n}` participates in a composition cycle")
+            }
+            SchemaError::BadEdgeRule(m) => write!(f, "bad edge rule: {m}"),
+            SchemaError::Parse { line, msg } => write!(f, "schema parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Convenient result alias for schema operations.
+pub type Result<T> = std::result::Result<T, SchemaError>;

@@ -1,0 +1,55 @@
+//! # nepal-schema — strongly-typed concepts for the Nepal graph database
+//!
+//! This crate implements the Nepal data model of §3.2 of *"A Graph Database
+//! for a Virtualized Network Infrastructure"* (SIGMOD 2018): a TOSCA-derived
+//! schema system where **all nodes and edges have a strongly typed class**
+//! within single-rooted class hierarchies, composite data types with
+//! container fields, allowed-edge (capability) rules, and the abstraction
+//! machinery — subclass tests, least-common-ancestor typing, inheritance
+//! path names — that the query layer relies on.
+//!
+//! Highlights:
+//! - [`schema::Schema`] / [`schema::SchemaBuilder`]: the class system.
+//! - [`dsl::parse_schema`]: a compact text DSL equivalent to the TOSCA
+//!   subset the paper uses.
+//! - [`value::Value`] and [`types::FieldType`]: runtime values and their
+//!   declared types, including `list`/`set`/`map` containers and named
+//!   composite `data_types`.
+//! - [`time`]: transaction-time parsing/formatting (`'2017-02-15 10:00'`).
+//! - [`codec`]: the canonical value text codec used by graph persistence.
+//!
+//! ## Example
+//!
+//! ```
+//! use nepal_schema::dsl::parse_schema;
+//!
+//! let schema = parse_schema(r#"
+//!     node Container { status: str }
+//!     node VM : Container { vm_id: int unique }
+//!     node Host { host_id: int unique }
+//!     edge HostedOn { }
+//!     allow HostedOn (VM -> Host)
+//! "#).unwrap();
+//!
+//! let vm = schema.class_by_name("VM").unwrap();
+//! let container = schema.class_by_name("Container").unwrap();
+//! // Strongly-typed concepts: VM is a Container; its layout inherits
+//! // `status` and adds `vm_id`.
+//! assert!(schema.is_subclass(vm, container));
+//! assert_eq!(schema.path_name(vm), "Node:Container:VM");
+//! assert_eq!(schema.all_fields(vm).len(), 2);
+//! ```
+
+pub mod codec;
+pub mod dsl;
+pub mod error;
+pub mod schema;
+pub mod time;
+pub mod types;
+pub mod value;
+
+pub use error::{Result, SchemaError};
+pub use schema::{ClassDef, ClassId, ClassKind, EdgeRule, Schema, SchemaBuilder, EDGE, ENTITY, NODE};
+pub use time::{format_ts, parse_ts, Ts};
+pub use types::{DataTypeDef, DataTypeId, FieldDef, FieldType};
+pub use value::Value;

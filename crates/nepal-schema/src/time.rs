@@ -1,0 +1,136 @@
+//! Civil-time parsing/formatting for transaction timestamps.
+//!
+//! Nepal timestamps are transaction times (§4 of the paper) written in
+//! queries as `'YYYY-MM-DD HH:MM[:SS]'`. We represent them as microseconds
+//! since the Unix epoch in a plain `i64` so they are cheap to compare, store,
+//! and index. The conversion here implements the proleptic Gregorian
+//! calendar in UTC (days-from-civil algorithm), with no external crates.
+
+/// A transaction timestamp: microseconds since `1970-01-01 00:00:00` UTC.
+pub type Ts = i64;
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: i64 = 86_400 * MICROS_PER_SEC;
+
+/// Days since the epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Build a timestamp from civil date-time components (UTC).
+pub fn ts_from_civil(y: i64, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> Ts {
+    let days = days_from_civil(y, mo, d);
+    days * MICROS_PER_DAY + ((h as i64 * 3600 + mi as i64 * 60 + s as i64) * MICROS_PER_SEC)
+}
+
+/// Parse `'YYYY-MM-DD[ HH:MM[:SS]]'` (quotes optional) into a [`Ts`].
+///
+/// Returns `None` on any malformed component. Sub-second precision is not
+/// part of the query syntax in the paper and is not accepted.
+pub fn parse_ts(text: &str) -> Option<Ts> {
+    let t = text.trim().trim_matches('\'').trim();
+    let (date, time) = match t.split_once(' ') {
+        Some((d, tm)) => (d, Some(tm.trim())),
+        None => (t, None),
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp.next()?.parse().ok()?;
+    let mo: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (h, mi, s) = match time {
+        None => (0, 0, 0),
+        Some(tm) => {
+            let mut tp = tm.split(':');
+            let h: u32 = tp.next()?.parse().ok()?;
+            let mi: u32 = tp.next()?.parse().ok()?;
+            let s: u32 = match tp.next() {
+                Some(x) => x.parse().ok()?,
+                None => 0,
+            };
+            if tp.next().is_some() || h > 23 || mi > 59 || s > 60 {
+                return None;
+            }
+            (h, mi, s)
+        }
+    };
+    Some(ts_from_civil(y, mo, d, h, mi, s))
+}
+
+/// Format a [`Ts`] as `YYYY-MM-DD HH:MM:SS` (UTC).
+pub fn format_ts(ts: Ts) -> String {
+    let days = ts.div_euclid(MICROS_PER_DAY);
+    let rem = ts.rem_euclid(MICROS_PER_DAY) / MICROS_PER_SEC;
+    let (y, m, d) = civil_from_days(days);
+    let (h, mi, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(parse_ts("1970-01-01 00:00:00"), Some(0));
+    }
+
+    #[test]
+    fn parses_paper_examples() {
+        let t = parse_ts("'2017-02-15 10:00:00'").unwrap();
+        assert_eq!(format_ts(t), "2017-02-15 10:00:00");
+        // Minutes-only form used in §4.
+        let t2 = parse_ts("2017-02-15 10:00").unwrap();
+        assert_eq!(t, t2);
+        // Date-only form.
+        let t3 = parse_ts("2017-02-15").unwrap();
+        assert_eq!(format_ts(t3), "2017-02-15 00:00:00");
+    }
+
+    #[test]
+    fn round_trips_across_era_boundaries() {
+        for &(y, m, d) in &[(1969i64, 12u32, 31u32), (2000, 2, 29), (2100, 3, 1), (1900, 1, 1)] {
+            let ts = ts_from_civil(y, m, d, 13, 45, 59);
+            assert_eq!(format_ts(ts), format!("{y:04}-{m:02}-{d:02} 13:45:59"));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_ts("not a date"), None);
+        assert_eq!(parse_ts("2017-13-01"), None);
+        assert_eq!(parse_ts("2017-02-15 25:00"), None);
+        assert_eq!(parse_ts("2017-02-15 10:61"), None);
+    }
+
+    #[test]
+    fn ordering_matches_civil_ordering() {
+        let a = parse_ts("2017-02-15 09:59").unwrap();
+        let b = parse_ts("2017-02-15 10:00").unwrap();
+        assert!(a < b);
+    }
+}

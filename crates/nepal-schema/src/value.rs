@@ -1,0 +1,310 @@
+//! Runtime values stored in node and edge fields.
+//!
+//! Nepal is strongly typed: every field of every node/edge class has a
+//! declared [`FieldType`](crate::types::FieldType) and the stored [`Value`]
+//! must conform to it. Values form a total order (floats are ordered by
+//! `total_cmp`, variants by discriminant) so that they can be used as set
+//! members, map keys, and index keys.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::IpAddr;
+
+use crate::time::{format_ts, Ts};
+
+/// A dynamically typed runtime value.
+///
+/// The variants mirror the scalar and container types of the Nepal schema
+/// language (§3.2.1 of the paper): scalars, timestamps, IP addresses, and the
+/// containers `list`, `set`, and `map`, plus composite values of a named
+/// `data_type`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Explicit SQL-style null / absent optional value.
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Transaction-time or application timestamp (microseconds since epoch).
+    Ts(Ts),
+    /// IPv4 or IPv6 address.
+    Ip(IpAddr),
+    /// Ordered list container.
+    List(Vec<Value>),
+    /// Set container; kept sorted and deduplicated.
+    Set(Vec<Value>),
+    /// Map container; kept sorted by key.
+    Map(BTreeMap<Value, Value>),
+    /// Composite value of a schema `data_type`: named fields in declaration
+    /// order.
+    Composite(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Ts(_) => "ts",
+            Value::Ip(_) => "ip",
+            Value::List(_) => "list",
+            Value::Set(_) => "set",
+            Value::Map(_) => "map",
+            Value::Composite(_) => "composite",
+        }
+    }
+
+    fn discriminant(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Ts(_) => 5,
+            Value::Ip(_) => 6,
+            Value::List(_) => 7,
+            Value::Set(_) => 8,
+            Value::Map(_) => 9,
+            Value::Composite(_) => 10,
+        }
+    }
+
+    /// Build a set value: sorts and deduplicates the members.
+    pub fn set(mut members: Vec<Value>) -> Value {
+        members.sort();
+        members.dedup();
+        Value::Set(members)
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric comparison helper: Int and Float compare numerically with each
+    /// other (used by query predicates, *not* by the total order).
+    pub fn numeric_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            _ => None,
+        }
+    }
+
+    /// Predicate-level comparison: numeric coercion between Int and Float,
+    /// otherwise the total order restricted to same-variant values.
+    pub fn query_cmp(&self, other: &Value) -> Option<Ordering> {
+        if let Some(ord) = self.numeric_cmp(other) {
+            return Some(ord);
+        }
+        if self.discriminant() == other.discriminant() {
+            Some(self.cmp(other))
+        } else {
+            None
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Ts(a), Ts(b)) => a.cmp(b),
+            (Ip(a), Ip(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (Set(a), Set(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            (Composite(a), Composite(b)) => a.cmp(b),
+            _ => self.discriminant().cmp(&other.discriminant()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.discriminant());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Ts(t) => t.hash(state),
+            Value::Ip(ip) => ip.hash(state),
+            Value::List(v) | Value::Set(v) | Value::Composite(v) => {
+                for x in v {
+                    x.hash(state);
+                }
+            }
+            Value::Map(m) => {
+                for (k, v) in m {
+                    k.hash(state);
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Ts(t) => write!(f, "'{}'", format_ts(*t)),
+            Value::Ip(ip) => write!(f, "'{ip}'"),
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(v) => {
+                write!(f, "{{")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Composite(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_across_variants_is_stable() {
+        let mut vals = [Value::Str("a".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Int(3));
+    }
+
+    #[test]
+    fn float_nan_is_totally_ordered() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(1.0);
+        // total_cmp puts NaN above all numbers; importantly, no panic and
+        // reflexivity holds.
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn set_constructor_sorts_and_dedups() {
+        let s = Value::set(vec![Value::Int(2), Value::Int(1), Value::Int(2)]);
+        assert_eq!(s, Value::Set(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn numeric_cmp_coerces_int_float() {
+        assert_eq!(
+            Value::Int(2).query_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).query_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("x".into()).query_cmp(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::Str("vm-1".into()).to_string(), "'vm-1'");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # nepal-workload — topology and history generators for the evaluation
+//!
+//! Deterministic substitutes for the paper's proprietary AT&T data sets
+//! (§6), shaped to the statistics the paper reports:
+//!
+//! - [`onap::onap_schema`] — the 54-node-class / 12-edge-class ONAP-style
+//!   schema following Fig. 2's layered model.
+//! - [`virtualized::generate_virtualized`] — the virtualized network
+//!   service graph (~2,000 nodes / ~11,000 edges, 33 distinct VNFs).
+//! - [`legacy::generate_legacy`] — the legacy service-path topology
+//!   (1.6M / 7.1M at full scale) with `type_indicator`s, optional 66-way
+//!   edge-class partitioning, high-fanout service sinks, and noise hubs.
+//! - [`churn::apply_churn`] — multi-day maintenance churn calibrated to
+//!   the paper's 6% / 16% history-growth figures.
+
+pub mod churn;
+pub mod feed;
+pub mod legacy;
+pub mod onap;
+pub mod virtualized;
+
+pub use churn::{alive_edges, apply_churn, updatable_entities, ChurnParams, ChurnStats};
+pub use feed::InventoryFeed;
+pub use legacy::{
+    edge_class_for, generate_legacy, legacy_schema, LegacyParams, LegacyTopology, TI_SVC, TI_VERT,
+    TYPE_INDICATORS,
+};
+pub use onap::{onap_schema, ONAP_SCHEMA};
+pub use virtualized::{generate_virtualized, VirtParams, VirtTopology};

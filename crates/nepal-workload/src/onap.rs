@@ -1,0 +1,158 @@
+//! The ONAP-style schema used by the evaluation (§6): "The schema has 12
+//! edge classes and 54 node classes."
+//!
+//! The hierarchy follows the layered network model of Fig. 2 — Service and
+//! Logical design layers on top, Virtualization and Physical layers below —
+//! with the subclass variety the paper describes (many kinds of VNFs,
+//! VFCs, containers, hosts, and switches).
+
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::Schema;
+
+/// Schema text for the virtualized-service model. Kept as a constant so
+/// examples and docs can show it verbatim.
+pub const ONAP_SCHEMA: &str = r#"
+# ---- composite data types -------------------------------------------
+data routingTableEntry { address: ip, mask: int, interface: str }
+data portSpec { port_name: str, speed_gbps: int }
+
+# ---- Service layer ---------------------------------------------------
+node Service            { service_id: int unique, customer: str }
+node VpnService : Service { }
+node MobilityService : Service { }
+node DnsService : Service { }
+
+# ---- Logical layer: VNFs and their components ------------------------
+node VNF                { vnf_id: int unique, vnf_name: str optional, status: str optional }
+node DnsVNF : VNF       { zone: str optional }
+node FirewallVNF : VNF  { ruleset: str optional }
+node RouterVNF : VNF    { }
+node LoadBalancerVNF : VNF { }
+node EpcVNF : VNF       { }
+node GatewayVNF : VNF   { }
+node NatVNF : VNF       { }
+node IdsVNF : VNF       { }
+node ProxyVNF : VNF     { }
+node CdnVNF : VNF       { }
+
+node VFC                { vfc_id: int unique, role: str optional }
+node ProxyVFC : VFC     { }
+node WebServerVFC : VFC { }
+node DbVFC : VFC        { }
+node CacheVFC : VFC     { }
+node WorkerVFC : VFC    { }
+node ControlVFC : VFC   { }
+node LoggerVFC : VFC    { }
+node VduVFC : VFC       { }
+
+# ---- Virtualization layer --------------------------------------------
+node Container          { status: str optional, image: str optional }
+node VM : Container     { vm_id: int unique }
+node VMWare : VM        { }
+node OnMetal : VM       { }
+node KvmVM : VM         { }
+node Docker : Container { docker_id: int unique }
+
+node VirtualNetwork     { vnet_id: int unique, cidr: str optional }
+node TenantNetwork : VirtualNetwork { }
+node ProviderNetwork : VirtualNetwork { }
+node VirtualRouter      { vrouter_id: int unique }
+node VirtualPort        { vport_id: int unique, spec: portSpec optional }
+
+# ---- Physical layer ---------------------------------------------------
+node Host               { host_id: int unique, rack: str optional, routing: list<routingTableEntry> optional }
+node ComputeHost : Host { }
+node StorageHost : Host { }
+node ControlHost : Host { }
+node Switch             { switch_id: int unique }
+node TorSwitch : Switch { }
+node SpineSwitch : Switch { }
+node LeafSwitch : Switch { }
+node AccessSwitch : Switch { }
+node Router             { router_id: int unique }
+node CoreRouter : Router { }
+node EdgeRouter : Router { }
+node PhysicalPort       { pport_id: int unique }
+node Chassis            { chassis_id: int unique }
+node LineCard           { card_id: int unique }
+node PowerUnit          { power_id: int unique }
+node Datacenter         { dc_id: int unique, region: str optional }
+node Rack               { rack_id: int unique }
+node Pod                { pod_id: int unique }
+
+# ---- Edge classes (12 including the Node/Edge roots' children) --------
+edge Vertical           { }
+edge ComposedOf : Vertical { }
+edge HostedOn : Vertical   { }
+edge OnVM : HostedOn       { }
+edge OnServer : HostedOn   { }
+edge PartOf : Vertical     { }
+edge ConnectedTo        { if_a: str optional, if_b: str optional }
+edge Connects : ConnectedTo      { }
+edge VmNetwork : ConnectedTo     { ip_address: ip optional }
+edge NetworkVRouter : ConnectedTo { }
+edge ServerSwitch : ConnectedTo  { server_interface: str optional, switch_interface: str optional }
+edge SwitchSwitch : ConnectedTo  { }
+
+# ---- allowed topology (Fig. 3 style capability rules) ------------------
+allow ComposedOf (Service -> VNF)
+allow ComposedOf (VNF -> VFC)
+allow OnVM (VFC -> Container)
+allow OnServer (Container -> Host)
+allow PartOf (Host -> Rack)
+allow PartOf (Rack -> Datacenter)
+allow VmNetwork (Container -> VirtualNetwork)
+allow VmNetwork (VirtualNetwork -> Container)
+allow NetworkVRouter (VirtualNetwork -> VirtualRouter)
+allow NetworkVRouter (VirtualRouter -> VirtualNetwork)
+allow ServerSwitch (Host -> Switch)
+allow ServerSwitch (Switch -> Host)
+allow SwitchSwitch (Switch -> Switch)
+allow Connects (Switch -> Router)
+allow Connects (Router -> Switch)
+allow Connects (Router -> Router)
+"#;
+
+/// Parse the built-in ONAP-style schema.
+pub fn onap_schema() -> Schema {
+    parse_schema(ONAP_SCHEMA).expect("built-in schema must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::{ClassKind, EDGE, NODE};
+
+    #[test]
+    fn has_papers_class_counts() {
+        let s = onap_schema();
+        // §6: "The schema has 12 edge classes and 54 node classes."
+        let nodes = s.descendants(NODE).len() - 1; // exclude the Node root
+        let edges = s.descendants(EDGE).len() - 1;
+        assert_eq!(nodes, 54, "node classes");
+        assert_eq!(edges, 12, "edge classes");
+    }
+
+    #[test]
+    fn hierarchy_shape() {
+        let s = onap_schema();
+        let onvm = s.class_by_name("OnVM").unwrap();
+        let vertical = s.class_by_name("Vertical").unwrap();
+        assert!(s.is_subclass(onvm, vertical));
+        assert_eq!(s.kind(onvm), ClassKind::Edge);
+        let vmware = s.class_by_name("VMWare").unwrap();
+        assert_eq!(s.path_name(vmware), "Node:Container:VM:VMWare");
+    }
+
+    #[test]
+    fn topology_rules_enforced() {
+        let s = onap_schema();
+        let onserver = s.class_by_name("OnServer").unwrap();
+        let vm = s.class_by_name("VM").unwrap();
+        let host = s.class_by_name("ComputeHost").unwrap();
+        let vnf = s.class_by_name("DnsVNF").unwrap();
+        assert!(s.edge_allowed(onserver, vm, host));
+        // "one cannot directly link a VNF to a physical_server".
+        assert!(!s.edge_allowed(onserver, vnf, host));
+    }
+}

@@ -1,0 +1,320 @@
+//! Generator for the virtualized network service topology (§6, first data
+//! set): "about 2,000 nodes and 11,000 edges in the current snapshot",
+//! with only 33 distinct VNFs, over the ONAP-style schema.
+//!
+//! The shape follows Fig. 2's layered model: Services composed of VNFs
+//! (Service layer), VNFs composed of VFCs (Logical layer), VFCs hosted on
+//! containers attached to virtual networks and routers (Virtualization
+//! layer), and containers executing on hosts cabled through a ToR/spine
+//! fabric with routers (Physical layer).
+
+use std::sync::Arc;
+
+use nepal_graph::{TemporalGraph, Uid};
+use nepal_schema::{ClassId, Schema, Ts, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::onap::onap_schema;
+
+/// Generator parameters; defaults reproduce the paper's scale.
+#[derive(Debug, Clone)]
+pub struct VirtParams {
+    pub services: usize,
+    pub vnfs_per_service: usize,
+    pub vfcs_per_vnf: usize,
+    pub containers_per_vfc: usize,
+    pub vnets_per_container: usize,
+    pub hosts: usize,
+    pub tor_switches: usize,
+    pub spine_switches: usize,
+    pub routers: usize,
+    pub vnets: usize,
+    pub vrouters: usize,
+    pub racks: usize,
+    pub datacenters: usize,
+    pub seed: u64,
+    /// Base transaction time for the initial load.
+    pub start_ts: Ts,
+}
+
+impl Default for VirtParams {
+    fn default() -> Self {
+        VirtParams {
+            services: 11,
+            vnfs_per_service: 3, // → 33 distinct VNFs, as in §6
+            vfcs_per_vnf: 9,
+            containers_per_vfc: 5,
+            vnets_per_container: 2,
+            hosts: 120,
+            tor_switches: 24,
+            spine_switches: 6,
+            routers: 4,
+            vnets: 160,
+            vrouters: 40,
+            racks: 12,
+            datacenters: 2,
+            seed: 42,
+            start_ts: 1_486_800_000_000_000, // 2017-02-11 ~08:00 UTC
+        }
+    }
+}
+
+/// A generated virtualized-service topology with element rosters for
+/// query-instance sampling.
+pub struct VirtTopology {
+    pub graph: TemporalGraph,
+    pub services: Vec<Uid>,
+    pub vnfs: Vec<Uid>,
+    pub vfcs: Vec<Uid>,
+    pub containers: Vec<Uid>,
+    pub hosts: Vec<Uid>,
+    pub switches: Vec<Uid>,
+    pub routers: Vec<Uid>,
+    pub vnets: Vec<Uid>,
+    pub vrouters: Vec<Uid>,
+    pub params: VirtParams,
+}
+
+struct Gen {
+    g: TemporalGraph,
+    rng: StdRng,
+    ts: Ts,
+}
+
+impl Gen {
+    fn class(&self, name: &str) -> ClassId {
+        self.g.schema().class_by_name(name).expect("class in onap schema")
+    }
+
+    fn node(&mut self, class: &str, fields: Vec<Value>) -> Uid {
+        let c = self.class(class);
+        self.g.insert_node(c, fields, self.ts).expect("generator produces valid nodes")
+    }
+
+    fn edge(&mut self, class: &str, a: Uid, b: Uid, fields: Vec<Value>) -> Uid {
+        let c = self.class(class);
+        self.g
+            .insert_edge(c, a, b, fields, self.ts)
+            .expect("generator respects the allowed-edge rules")
+    }
+
+    fn pick(&mut self, v: &[Uid]) -> Uid {
+        v[self.rng.gen_range(0..v.len())]
+    }
+}
+
+/// Generate the virtualized-service graph.
+pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
+    let schema: Arc<Schema> = Arc::new(onap_schema());
+    let mut gen = Gen {
+        g: TemporalGraph::new(schema),
+        rng: StdRng::seed_from_u64(params.seed),
+        ts: params.start_ts,
+    };
+    let mut next_id = 1_000i64;
+    let mut id = || {
+        next_id += 1;
+        Value::Int(next_id)
+    };
+
+    // --- Physical layer ---
+    let dc_classes = ["Datacenter"];
+    let datacenters: Vec<Uid> = (0..params.datacenters)
+        .map(|i| {
+            gen.node(dc_classes[0], vec![id(), Value::Str(format!("region-{i}"))])
+        })
+        .collect();
+    let racks: Vec<Uid> = (0..params.racks).map(|_| gen.node("Rack", vec![id()])).collect();
+    for (i, &r) in racks.iter().enumerate() {
+        let dc = datacenters[i % datacenters.len()];
+        gen.edge("PartOf", r, dc, vec![]);
+    }
+    let host_classes = ["ComputeHost", "StorageHost", "ControlHost"];
+    let hosts: Vec<Uid> = (0..params.hosts)
+        .map(|i| {
+            let cls = host_classes[i % 10 % host_classes.len().min(3)];
+            // 80% compute, the rest storage/control.
+            let cls = if i % 10 < 8 { "ComputeHost" } else { cls };
+            let h = gen.node(
+                cls,
+                vec![id(), Value::Str(format!("rack-{}", i % params.racks)), Value::Null],
+            );
+            h
+        })
+        .collect();
+    for (i, &h) in hosts.iter().enumerate() {
+        gen.edge("PartOf", h, racks[i % racks.len()], vec![]);
+    }
+    let tors: Vec<Uid> = (0..params.tor_switches).map(|_| gen.node("TorSwitch", vec![id()])).collect();
+    let spines: Vec<Uid> =
+        (0..params.spine_switches).map(|_| gen.node("SpineSwitch", vec![id()])).collect();
+    let routers: Vec<Uid> = (0..params.routers)
+        .map(|i| gen.node(if i % 2 == 0 { "CoreRouter" } else { "EdgeRouter" }, vec![id()]))
+        .collect();
+    // Hosts dual-home to two ToRs, both directions (communication fabric).
+    for (i, &h) in hosts.iter().enumerate() {
+        for k in 0..2 {
+            let t = tors[(i + k) % tors.len()];
+            gen.edge("ServerSwitch", h, t, vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+            gen.edge("ServerSwitch", t, h, vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+        }
+    }
+    // Each ToR uplinks to two spines (both directions).
+    for (i, &t) in tors.iter().enumerate() {
+        for k in 0..3 {
+            let s = spines[(i + k) % spines.len()];
+            gen.edge("SwitchSwitch", t, s, vec![Value::Null, Value::Null]);
+            gen.edge("SwitchSwitch", s, t, vec![Value::Null, Value::Null]);
+        }
+    }
+    for &s in &spines {
+        for &r in &routers {
+            gen.edge("Connects", s, r, vec![Value::Null, Value::Null]);
+            gen.edge("Connects", r, s, vec![Value::Null, Value::Null]);
+        }
+    }
+
+    // --- Virtualization layer ---
+    let vnets: Vec<Uid> = (0..params.vnets)
+        .map(|i| {
+            let cls = if i % 4 == 0 { "ProviderNetwork" } else { "TenantNetwork" };
+            gen.node(cls, vec![id(), Value::Str(format!("10.{}.0.0/16", i))])
+        })
+        .collect();
+    let vrouters: Vec<Uid> = (0..params.vrouters).map(|_| gen.node("VirtualRouter", vec![id()])).collect();
+    for (i, &vn) in vnets.iter().enumerate() {
+        let vr = vrouters[i % vrouters.len()];
+        gen.edge("NetworkVRouter", vn, vr, vec![Value::Null, Value::Null]);
+        gen.edge("NetworkVRouter", vr, vnets[(i + 1) % vnets.len()], vec![Value::Null, Value::Null]);
+    }
+
+    // --- Service + Logical layers ---
+    let svc_classes = ["VpnService", "MobilityService", "DnsService"];
+    let vnf_classes = [
+        "DnsVNF", "FirewallVNF", "RouterVNF", "LoadBalancerVNF", "EpcVNF", "GatewayVNF",
+        "NatVNF", "IdsVNF", "ProxyVNF", "CdnVNF",
+    ];
+    let vfc_classes = [
+        "ProxyVFC", "WebServerVFC", "DbVFC", "CacheVFC", "WorkerVFC", "ControlVFC", "LoggerVFC",
+        "VduVFC",
+    ];
+    let container_classes = ["VMWare", "OnMetal", "KvmVM", "Docker"];
+    let mut services = Vec::new();
+    let mut vnfs = Vec::new();
+    let mut vfcs = Vec::new();
+    let mut containers = Vec::new();
+    for si in 0..params.services {
+        let svc = gen.node(
+            svc_classes[si % svc_classes.len()],
+            vec![id(), Value::Str(format!("customer-{si}"))],
+        );
+        services.push(svc);
+        for vi in 0..params.vnfs_per_service {
+            let vnf_cls = vnf_classes[(si * params.vnfs_per_service + vi) % vnf_classes.len()];
+            let extra_nulls = match vnf_cls {
+                "DnsVNF" | "FirewallVNF" => 1,
+                _ => 0,
+            };
+            let mut fields = vec![id(), Value::Str(format!("vnf-{si}-{vi}")), Value::Str("Active".into())];
+            fields.extend(std::iter::repeat_n(Value::Null, extra_nulls));
+            let vnf = gen.node(vnf_cls, fields);
+            gen.edge("ComposedOf", svc, vnf, vec![]);
+            vnfs.push(vnf);
+            for fi in 0..params.vfcs_per_vnf {
+                let vfc = gen.node(
+                    vfc_classes[fi % vfc_classes.len()],
+                    vec![id(), Value::Str(format!("role-{fi}"))],
+                );
+                gen.edge("ComposedOf", vnf, vfc, vec![]);
+                vfcs.push(vfc);
+                for _ci in 0..params.containers_per_vfc {
+                    let cls = container_classes[gen.rng.gen_range(0..container_classes.len())];
+                    let cont = gen.node(
+                        cls,
+                        vec![Value::Str("Green".into()), Value::Str("img-1.4".into()), id()],
+                    );
+                    gen.edge("OnVM", vfc, cont, vec![]);
+                    let host = gen.pick(&hosts);
+                    gen.edge("OnServer", cont, host, vec![]);
+                    for _ni in 0..params.vnets_per_container {
+                        let vn = gen.pick(&vnets);
+                        // Virtual connectivity is symmetric.
+                        gen.edge("VmNetwork", cont, vn, vec![Value::Null, Value::Null, Value::Null]);
+                        gen.edge("VmNetwork", vn, cont, vec![Value::Null, Value::Null, Value::Null]);
+                    }
+                    containers.push(cont);
+                }
+            }
+        }
+    }
+
+    let mut switches = tors;
+    switches.extend(spines);
+    VirtTopology {
+        graph: gen.g,
+        services,
+        vnfs,
+        vfcs,
+        containers,
+        hosts,
+        switches,
+        routers,
+        vnets,
+        vrouters,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::{EDGE, NODE};
+
+    #[test]
+    fn default_scale_matches_the_paper() {
+        let topo = generate_virtualized(VirtParams::default());
+        let g = &topo.graph;
+        let nodes = g.alive_count(NODE);
+        let edges = g.alive_count(EDGE);
+        // §6: "about 2,000 nodes and 11,000 edges".
+        assert!((1800..=2300).contains(&nodes), "nodes = {nodes}");
+        assert!((9500..=12500).contains(&edges), "edges = {edges}");
+        assert_eq!(topo.vnfs.len(), 33, "33 distinct VNFs (§6)");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate_virtualized(VirtParams::default());
+        let b = generate_virtualized(VirtParams::default());
+        assert_eq!(a.graph.num_entities(), b.graph.num_entities());
+        assert_eq!(a.hosts, b.hosts);
+        let c = generate_virtualized(VirtParams { seed: 7, ..Default::default() });
+        assert_eq!(a.graph.num_entities(), c.graph.num_entities()); // structure fixed
+    }
+
+    #[test]
+    fn layered_paths_exist() {
+        use nepal_graph::{GraphView, TimeFilter};
+        use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Seeds};
+        let topo = generate_virtualized(VirtParams::default());
+        let g = &topo.graph;
+        let plan = plan_rpe(
+            g.schema(),
+            &parse_rpe("VNF()->[Vertical()]{1,6}->Host()").unwrap(),
+            &GraphEstimator { graph: g },
+        )
+        .unwrap();
+        let view = GraphView::new(g, TimeFilter::Current);
+        // Seed from one VNF to keep the test fast.
+        let seeds = [topo.vnfs[0]];
+        let paths = evaluate(&view, &plan, Seeds::Sources(&seeds), &EvalOptions::default());
+        assert!(!paths.is_empty(), "top-down vertical paths must exist");
+        // All targets are hosts.
+        let host_cls = g.schema().class_by_name("Host").unwrap();
+        for p in &paths {
+            let c = g.class_of(p.target()).unwrap();
+            assert!(g.schema().is_subclass(c, host_cls));
+        }
+    }
+}

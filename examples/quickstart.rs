@@ -1,0 +1,94 @@
+//! Quickstart: define a schema, load a small inventory, and run path
+//! queries — the Fig. 3 scenario from the paper.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use nepal::core::engine_over;
+use nepal::graph::TemporalGraph;
+use nepal::schema::dsl::parse_schema;
+use nepal::schema::{Schema, Value};
+
+fn main() {
+    // 1. A Nepal schema: strongly-typed node/edge classes with
+    //    inheritance, plus allowed-edge (capability) rules.
+    let schema: Arc<Schema> = Arc::new(
+        parse_schema(
+            r#"
+            node VNF      { vnf_id: int unique, vnf_name: str }
+            node DNS : VNF { }
+            node VFC      { vfc_id: int unique }
+            node Container { status: str }
+            node VM : Container  { vm_id: int unique }
+            node Docker : Container { docker_id: int unique }
+            node Host     { host_id: int unique }
+            edge Vertical { }
+            edge ComposedOf : Vertical { }
+            edge HostedOn : Vertical { }
+            allow ComposedOf (VNF -> VFC)
+            allow HostedOn (VFC -> Container)
+            allow HostedOn (Container -> Host)
+            "#,
+        )
+        .expect("schema parses"),
+    );
+    let c = |n: &str| schema.class_by_name(n).unwrap();
+
+    // 2. Load a little inventory (timestamps are transaction times).
+    let mut g = TemporalGraph::new(schema.clone());
+    let t0 = nepal::schema::parse_ts("2017-02-01 09:00").unwrap();
+    let vnf = g
+        .insert_node(c("DNS"), vec![Value::Int(123), Value::Str("dns-east".into())], t0)
+        .unwrap();
+    let vfc = g.insert_node(c("VFC"), vec![Value::Int(11)], t0).unwrap();
+    let vm = g
+        .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], t0)
+        .unwrap();
+    let host = g.insert_node(c("Host"), vec![Value::Int(23245)], t0).unwrap();
+    g.insert_edge(c("ComposedOf"), vnf, vfc, vec![], t0).unwrap();
+    g.insert_edge(c("HostedOn"), vfc, vm, vec![], t0).unwrap();
+    g.insert_edge(c("HostedOn"), vm, host, vec![], t0).unwrap();
+
+    // The schema would reject a VNF hosted directly on a Host:
+    let err = g.insert_edge(c("HostedOn"), vnf, host, vec![], t0).unwrap_err();
+    println!("schema enforcement: {err}\n");
+
+    let graph = Arc::new(g);
+    let mut engine = engine_over(graph.clone());
+
+    // 3. The paper's first example: which VNFs land on host 23245?
+    let q = "Retrieve P From PATHS P \
+             WHERE P MATCHES VNF()->[Vertical()]{1,6}->Host(host_id=23245)";
+    println!("query: {q}");
+    let result = engine.query(q).unwrap();
+    for row in &result.rows {
+        for (var, p) in &row.pathways {
+            println!("  {var}: {}", p.display(&graph));
+        }
+    }
+
+    // 4. Select post-processing: names instead of pathways.
+    let q2 = "Select source(P).vnf_name From PATHS P \
+              WHERE P MATCHES VNF()->[Vertical()]{1,6}->Host(host_id=23245)";
+    println!("\nquery: {q2}");
+    let result = engine.query(q2).unwrap();
+    for row in &result.rows {
+        println!("  affected VNF: {}", row.values[0]);
+    }
+
+    // 5. The inspectable plan: Select / Extend / Union operators.
+    use nepal::rpe::{parse_rpe, plan_rpe, GraphEstimator};
+    let plan = plan_rpe(
+        graph.schema(),
+        &parse_rpe("VNF()->[Vertical()]{1,6}->Host(host_id=23245)").unwrap(),
+        &GraphEstimator { graph: &graph },
+    )
+    .unwrap();
+    println!("\noperator plan:");
+    for op in plan.operators() {
+        println!("  {op}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Interactive Nepal shell.
+//!
+//! ```text
+//! cargo run --release --bin nepal-repl            # virtualized demo inventory
+//! cargo run --release --bin nepal-repl -- legacy  # legacy topology
+//! ```
+//!
+//! Commands:
+//! ```text
+//! :help                  this help
+//! :schema                list node/edge classes
+//! :plan <rpe>            show the Select/Extend/Union plan for an RPE
+//! :sql <query>           run on the relational backend and show its SQL
+//! :stats                 graph statistics
+//! :quit                  exit
+//! <anything else>        executed as a Nepal query
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use nepal::core::{BackendRegistry, Engine, NativeBackend, RelationalBackend};
+use nepal::graph::TemporalGraph;
+use nepal::rpe::{parse_rpe, plan_rpe, GraphEstimator};
+use nepal::workload::{generate_legacy, generate_virtualized, LegacyParams, VirtParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let graph: Arc<TemporalGraph> = if args.iter().any(|a| a == "legacy") {
+        eprintln!("loading legacy topology (20k nodes)…");
+        Arc::new(
+            generate_legacy(LegacyParams { nodes: 20_000, edges: 90_000, ..Default::default() })
+                .graph,
+        )
+    } else {
+        eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
+        Arc::new(generate_virtualized(VirtParams::default()).graph)
+    };
+    let mut registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
+    registry.add(
+        "pg",
+        Box::new(RelationalBackend::from_graph(&graph).expect("relational load")),
+    );
+    let mut engine = Engine::new(registry);
+    eprintln!("ready. :help for commands.\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("nepal> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":help" {
+            println!(
+                ":schema | :stats | :plan <rpe> | :sql <query> | :quit | <Nepal query>\n\
+                 example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)"
+            );
+            continue;
+        }
+        if line == ":schema" {
+            let s = graph.schema();
+            println!("node classes:");
+            for c in s.node_classes() {
+                if c != nepal::schema::NODE {
+                    println!("  {}", s.path_name(c));
+                }
+            }
+            println!("edge classes:");
+            for c in s.edge_classes() {
+                if c != nepal::schema::EDGE {
+                    println!("  {}", s.path_name(c));
+                }
+            }
+            continue;
+        }
+        if line == ":stats" {
+            println!(
+                "entities: {}  versions: {}  nodes alive: {}  edges alive: {}",
+                graph.num_entities(),
+                graph.num_versions(),
+                graph.alive_count(nepal::schema::NODE),
+                graph.alive_count(nepal::schema::EDGE)
+            );
+            continue;
+        }
+        if let Some(rpe_text) = line.strip_prefix(":plan ") {
+            match parse_rpe(rpe_text)
+                .map_err(|e| e.to_string())
+                .and_then(|r| {
+                    plan_rpe(graph.schema(), &r, &GraphEstimator { graph: &graph })
+                        .map_err(|e| e.to_string())
+                }) {
+                Ok(plan) => {
+                    for op in plan.operators() {
+                        println!("  {op}");
+                    }
+                    println!(
+                        "  source: {}  target: {}  length limit: {} elements",
+                        graph.schema().path_name(plan.source_class),
+                        graph.schema().path_name(plan.target_class),
+                        plan.max_elements
+                    );
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":sql ") {
+            match run(&mut engine, q) {
+                Ok(()) => {
+                    for stmt in engine.registry.get(Some("pg")).map(|b| b.last_generated()).unwrap_or_default() {
+                        println!("{stmt}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Err(e) = run_and_print(&mut engine, &graph, line) {
+            println!("error: {e}");
+        }
+    }
+}
+
+fn run(engine: &mut Engine, q: &str) -> Result<(), String> {
+    // Force the pg backend for :sql by appending USING pg to each source —
+    // parse, rewrite, execute.
+    let mut parsed = nepal::core::parse_query(q).map_err(|e| e.to_string())?;
+    for s in &mut parsed.sources {
+        s.backend = Some("pg".to_string());
+    }
+    engine.execute(&parsed).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn run_and_print(
+    engine: &mut Engine,
+    graph: &Arc<TemporalGraph>,
+    q: &str,
+) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let result = engine.query(q).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    println!("-- {} row(s) in {:.3} ms", result.rows.len(), elapsed.as_secs_f64() * 1e3);
+    for (i, row) in result.rows.iter().enumerate() {
+        if i >= 20 {
+            println!("   … ({} more rows)", result.rows.len() - 20);
+            break;
+        }
+        if !row.values.is_empty() {
+            let vals: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+            println!("   {}", vals.join(" | "));
+        } else {
+            for (var, p) in &row.pathways {
+                println!("   {var}: {}", p.display(graph));
+            }
+        }
+        if let Some(times) = &row.times {
+            println!("      times: {times}");
+        }
+    }
+    Ok(())
+}

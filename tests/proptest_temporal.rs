@@ -1,0 +1,169 @@
+//! Property tests for the temporal machinery: interval-set algebra laws,
+//! time-slice consistency against an operation replay, and snapshot-diff
+//! idempotence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nepal::graph::{Interval, IntervalSet, SnapshotLoader, SnapshotNode, TemporalGraph, Uid};
+use nepal::schema::dsl::parse_schema;
+use nepal::schema::{Schema, Value};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0i64..200, 1i64..60).prop_map(|(a, len)| Interval::new(a, a + len))
+}
+
+fn set_strategy() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec(interval_strategy(), 0..8).prop_map(IntervalSet::from_intervals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interval_set_invariants(ivs in proptest::collection::vec(interval_strategy(), 0..10)) {
+        let s = IntervalSet::from_intervals(ivs.clone());
+        // Sorted, disjoint, non-adjacent.
+        for w in s.intervals().windows(2) {
+            prop_assert!(w[0].to < w[1].from, "not disjoint/sorted: {:?}", s);
+        }
+        // Membership agrees with the raw inputs.
+        for t in 0..270 {
+            let raw = ivs.iter().any(|iv| iv.contains(t));
+            prop_assert_eq!(s.contains(t), raw, "contains({}) mismatch", t);
+        }
+    }
+
+    #[test]
+    fn union_and_intersection_laws(a in set_strategy(), b in set_strategy()) {
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        prop_assert_eq!(&u, &b.union(&a), "union commutes");
+        prop_assert_eq!(&i, &b.intersect(&a), "intersection commutes");
+        prop_assert_eq!(&a.union(&a), &a, "union idempotent");
+        prop_assert_eq!(&a.intersect(&a), &a, "intersection idempotent");
+        for t in 0..270 {
+            prop_assert_eq!(u.contains(t), a.contains(t) || b.contains(t));
+            prop_assert_eq!(i.contains(t), a.contains(t) && b.contains(t));
+        }
+    }
+
+    #[test]
+    fn distributivity(a in set_strategy(), b in set_strategy(), c in set_strategy()) {
+        let left = a.intersect(&b.union(&c));
+        let right = a.intersect(&b).union(&a.intersect(&c));
+        prop_assert_eq!(left, right);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Time-slice consistency: as_of(t) == replay of operations ≤ t.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { status: String },
+    Update { target: usize, status: String },
+    Delete { target: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        "[a-d]{1,3}".prop_map(|status| Op::Insert { status }),
+        ((0usize..12), "[a-d]{1,3}").prop_map(|(target, status)| Op::Update { target, status }),
+        (0usize..12).prop_map(|target| Op::Delete { target }),
+    ]
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(parse_schema("node VM { status: str }").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn as_of_matches_operation_replay(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let s = schema();
+        let vm = s.class_by_name("VM").unwrap();
+        let mut g = TemporalGraph::new(s);
+        let mut uids: Vec<Uid> = Vec::new();
+        // Apply ops at ts = 10, 20, 30, …
+        let mut applied: Vec<(i64, Op, Option<Uid>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let ts = (i as i64 + 1) * 10;
+            match op {
+                Op::Insert { status } => {
+                    let u = g.insert_node(vm, vec![Value::Str(status.clone())], ts).unwrap();
+                    uids.push(u);
+                    applied.push((ts, op.clone(), Some(u)));
+                }
+                Op::Update { target, status } => {
+                    if uids.is_empty() { continue; }
+                    let u = uids[target % uids.len()];
+                    if g.update(u, &[(0, Value::Str(status.clone()))], ts).is_ok() {
+                        applied.push((ts, op.clone(), Some(u)));
+                    }
+                }
+                Op::Delete { target } => {
+                    if uids.is_empty() { continue; }
+                    let u = uids[target % uids.len()];
+                    if g.delete(u, ts).is_ok() {
+                        applied.push((ts, op.clone(), Some(u)));
+                    }
+                }
+            }
+        }
+        // Replay to every probe time and compare with version_at.
+        for probe in [5i64, 15, 25, 55, 105, 1000] {
+            let mut expect: HashMap<Uid, Option<String>> = HashMap::new();
+            for (ts, op, uid) in &applied {
+                if *ts > probe { break; }
+                let u = uid.unwrap();
+                match op {
+                    Op::Insert { status } | Op::Update { status, .. } => {
+                        expect.insert(u, Some(status.clone()));
+                    }
+                    Op::Delete { .. } => {
+                        expect.insert(u, None);
+                    }
+                }
+            }
+            for &u in &uids {
+                let got = g.version_at(u, probe).map(|v| match &v.fields[0] {
+                    Value::Str(s) => s.clone(),
+                    _ => unreachable!(),
+                });
+                let want = expect.get(&u).cloned().flatten();
+                prop_assert_eq!(got, want, "uid {:?} at t={}", u, probe);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_application_is_idempotent(
+        statuses in proptest::collection::vec("[a-c]{1,2}", 1..10)
+    ) {
+        let s = schema();
+        let vm = s.class_by_name("VM").unwrap();
+        let mut g = TemporalGraph::new(s);
+        let mut loader = SnapshotLoader::new();
+        let nodes: Vec<SnapshotNode> = statuses
+            .iter()
+            .enumerate()
+            .map(|(i, st)| SnapshotNode {
+                ext_id: format!("n{i}"),
+                class: vm,
+                fields: vec![Value::Str(st.clone())],
+            })
+            .collect();
+        let first = loader.apply(&mut g, 10, &nodes, &[]).unwrap();
+        prop_assert_eq!(first.inserted, nodes.len());
+        let versions_after_first = g.num_versions();
+        // Re-applying the identical snapshot is a no-op.
+        let second = loader.apply(&mut g, 20, &nodes, &[]).unwrap();
+        prop_assert_eq!(second.inserted + second.updated + second.deleted, 0);
+        prop_assert_eq!(g.num_versions(), versions_after_first);
+    }
+}
