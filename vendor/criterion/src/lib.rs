@@ -1,0 +1,127 @@
+//! Offline stand-in for the `criterion` API subset Nepal's benches use.
+//!
+//! Keeps the same calling shape (`Criterion`, `benchmark_group`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) but replaces the
+//! statistical machinery with a simple calibrated timing loop: warm up,
+//! then run the routine until both a minimum iteration count and a minimum
+//! wall-clock budget are met, and report mean ns/iter on stdout.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { min_iters: sample_size.max(1) as u64, ns_per_iter: 0.0, iters: 0 };
+    f(&mut bencher);
+    println!("bench {name:<44} {:>12.1} ns/iter ({} iters)", bencher.ns_per_iter, bencher.iters);
+}
+
+pub struct Bencher {
+    min_iters: u64,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < self.min_iters || start.elapsed() < budget {
+            std::hint::black_box(routine());
+            n += 1;
+        }
+        self.iters = n;
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / n as f64;
+    }
+}
+
+/// Re-exported so call sites can use `criterion::black_box` if they prefer
+/// it over `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter(|| 2 * 2));
+        group.finish();
+    }
+}
