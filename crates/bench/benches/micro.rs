@@ -1,26 +1,25 @@
 //! Microbenchmarks for the building blocks: RPE parsing and planning,
-//! interval algebra, snapshot ingestion, and the Gremlin wire protocol.
+//! interval algebra, snapshot ingestion, the Gremlin wire protocol, and
+//! the profiling overhead (disabled vs. enabled).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nepal_core::engine_over;
 use nepal_graph::{Interval, IntervalSet, SnapshotLoader, SnapshotNode, TemporalGraph};
 use nepal_gremlin::{parse_json, Json};
 use nepal_rpe::{parse_rpe, plan_rpe, HintEstimator};
 use nepal_schema::dsl::parse_schema;
 use nepal_schema::{Schema, Value};
-use nepal_workload::onap_schema;
+use nepal_workload::{generate_virtualized, onap_schema, VirtParams};
 
-const RPE: &str =
-    "VNF()->[HostedOn()]{1,3}->(VM(vm_id=55)|Docker(docker_id=66))->HostedOn(){1,2}->Host()";
+const RPE: &str = "VNF()->[HostedOn()]{1,3}->(VM(vm_id=55)|Docker(docker_id=66))->HostedOn(){1,2}->Host()";
 
 fn bench_rpe(c: &mut Criterion) {
     let schema = onap_schema();
     c.bench_function("rpe/parse", |b| b.iter(|| parse_rpe(std::hint::black_box(RPE)).unwrap()));
     let ast = parse_rpe(RPE).unwrap();
-    c.bench_function("rpe/plan", |b| {
-        b.iter(|| plan_rpe(&schema, std::hint::black_box(&ast), &HintEstimator).unwrap())
-    });
+    c.bench_function("rpe/plan", |b| b.iter(|| plan_rpe(&schema, std::hint::black_box(&ast), &HintEstimator).unwrap()));
 }
 
 fn bench_intervals(c: &mut Criterion) {
@@ -29,14 +28,11 @@ fn bench_intervals(c: &mut Criterion) {
     c.bench_function("interval/intersect-50x50", |b| {
         b.iter(|| std::hint::black_box(&a).intersect(std::hint::black_box(&b2)))
     });
-    c.bench_function("interval/union-50x50", |b| {
-        b.iter(|| std::hint::black_box(&a).union(std::hint::black_box(&b2)))
-    });
+    c.bench_function("interval/union-50x50", |b| b.iter(|| std::hint::black_box(&a).union(std::hint::black_box(&b2))));
 }
 
 fn bench_snapshot(c: &mut Criterion) {
-    let schema: Arc<Schema> =
-        Arc::new(parse_schema("node VM { ext: str unique, status: str }").unwrap());
+    let schema: Arc<Schema> = Arc::new(parse_schema("node VM { ext: str unique, status: str }").unwrap());
     let vm = schema.class_by_name("VM").unwrap();
     let nodes: Vec<SnapshotNode> = (0..500)
         .map(|i| SnapshotNode {
@@ -59,15 +55,26 @@ fn bench_snapshot(c: &mut Criterion) {
 
 fn bench_protocol(c: &mut Criterion) {
     let doc = r#"{"requestId":"r-1","status":{"code":206,"message":""},"result":{"data":[{"id":1,"label":"Node:VM","properties":{"vm_id":55,"status":"Green"}},{"id":2,"label":"Node:Host","properties":{"host_id":7}}],"meta":{}}}"#;
-    c.bench_function("protocol/parse-response-frame", |b| {
-        b.iter(|| parse_json(std::hint::black_box(doc)).unwrap())
-    });
+    c.bench_function("protocol/parse-response-frame", |b| b.iter(|| parse_json(std::hint::black_box(doc)).unwrap()));
     let j = parse_json(doc).unwrap();
-    c.bench_function("protocol/serialize-response-frame", |b| {
-        b.iter(|| std::hint::black_box(&j).to_string())
-    });
+    c.bench_function("protocol/serialize-response-frame", |b| b.iter(|| std::hint::black_box(&j).to_string()));
     let _ = Json::Null;
 }
 
-criterion_group!(benches, bench_rpe, bench_intervals, bench_snapshot, bench_protocol);
+fn bench_profiling_overhead(c: &mut Criterion) {
+    // The same query, executed through the plain path (profiling disabled:
+    // no clock reads, no OpStats) and the profiled path. The acceptance
+    // target is <5% overhead for the *disabled* path relative to the seed,
+    // which these two series make visible side by side.
+    let topo = generate_virtualized(VirtParams::default());
+    let mut engine = engine_over(Arc::new(topo.graph));
+    let q = "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()";
+    let parsed = nepal_core::parse_query(q).unwrap();
+    c.bench_function("profile/execute-disabled", |b| b.iter(|| engine.execute(std::hint::black_box(&parsed)).unwrap()));
+    c.bench_function("profile/execute-enabled", |b| {
+        b.iter(|| engine.execute_profiled(std::hint::black_box(&parsed)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_rpe, bench_intervals, bench_snapshot, bench_protocol, bench_profiling_overhead);
 criterion_main!(benches);

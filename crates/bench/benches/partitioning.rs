@@ -11,12 +11,7 @@ use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, RpeP
 use nepal_workload::{generate_legacy, LegacyParams, LegacyTopology};
 
 fn plan_of(topo: &LegacyTopology, rpe: &str) -> RpePlan {
-    plan_rpe(
-        topo.graph.schema(),
-        &parse_rpe(rpe).unwrap(),
-        &GraphEstimator { graph: &topo.graph },
-    )
-    .unwrap()
+    plan_rpe(topo.graph.schema(), &parse_rpe(rpe).unwrap(), &GraphEstimator { graph: &topo.graph }).unwrap()
 }
 
 fn bench_partitioning(c: &mut Criterion) {
@@ -28,10 +23,7 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioning");
     group.sample_size(15);
     for name in ["Reverse path", "Bottom-up"] {
-        for (mode, topo, queries) in [
-            ("1class", &single, &q_single),
-            ("66classes", &parted, &q_parted),
-        ] {
+        for (mode, topo, queries) in [("1class", &single, &q_single), ("66classes", &parted, &q_parted)] {
             let rpes = &queries.iter().find(|(n, _)| n == name).unwrap().1;
             let plans: Vec<RpePlan> = rpes.iter().map(|r| plan_of(topo, r)).collect();
             group.bench_function(format!("{name}/{mode}"), |b| {
@@ -39,8 +31,7 @@ fn bench_partitioning(c: &mut Criterion) {
                 b.iter(|| {
                     let mut total = 0usize;
                     for plan in &plans {
-                        total +=
-                            evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
+                        total += evaluate(&view, plan, Seeds::Anchor, &EvalOptions::default()).len();
                     }
                     total
                 })

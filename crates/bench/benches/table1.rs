@@ -18,12 +18,7 @@ fn bench_table1(c: &mut Criterion) {
             .iter()
             .take(4)
             .map(|r| {
-                plan_rpe(
-                    snap.graph.schema(),
-                    &parse_rpe(r).unwrap(),
-                    &GraphEstimator { graph: &snap.graph },
-                )
-                .unwrap()
+                plan_rpe(snap.graph.schema(), &parse_rpe(r).unwrap(), &GraphEstimator { graph: &snap.graph }).unwrap()
             })
             .collect();
         group.bench_function(format!("{name}/snapshot"), |b| {

@@ -19,12 +19,7 @@ fn bench_table2(c: &mut Criterion) {
             .iter()
             .take(3)
             .map(|r| {
-                plan_rpe(
-                    topo.graph.schema(),
-                    &parse_rpe(r).unwrap(),
-                    &GraphEstimator { graph: &topo.graph },
-                )
-                .unwrap()
+                plan_rpe(topo.graph.schema(), &parse_rpe(r).unwrap(), &GraphEstimator { graph: &topo.graph }).unwrap()
             })
             .collect();
         group.bench_function(name.clone(), |b| {

@@ -4,10 +4,11 @@
 //! reproduce [table1] [table2] [table3] [storage] [all]
 //!           [--full]          # paper-scale legacy graph (1.6M/7.1M)
 //!           [--instances N]   # query instances per type (default 50, as §6)
+//!           [--json]          # also write BENCH_table1.json / BENCH_table2.json
 //! ```
 
 use nepal_bench::{
-    format_ablation, format_query_table, format_storage, run_storage, run_table1, run_table2,
+    format_ablation, format_query_table, format_storage, query_rows_json, run_storage, run_table1, run_table2,
     run_table3,
 };
 use nepal_workload::LegacyParams;
@@ -15,24 +16,16 @@ use nepal_workload::LegacyParams;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
     let instances = args
         .iter()
         .position(|a| a == "--instances")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(50usize);
-    let named: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
-        .collect();
-    let wants = |t: &str| {
-        named.is_empty() || named.iter().any(|a| *a == t || *a == "all")
-    };
-    let legacy_params = if full {
-        LegacyParams::full_scale()
-    } else {
-        LegacyParams::default()
-    };
+    let named: Vec<&String> = args.iter().filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err()).collect();
+    let wants = |t: &str| named.is_empty() || named.iter().any(|a| *a == t || *a == "all");
+    let legacy_params = if full { LegacyParams::full_scale() } else { LegacyParams::default() };
 
     println!(
         "Nepal evaluation reproduction (instances per type: {instances}{})",
@@ -49,6 +42,9 @@ fn main() {
                 &rows
             )
         );
+        if json {
+            write_json("BENCH_table1.json", &query_rows_json(&rows));
+        }
     }
     if wants("table2") {
         let rows = run_table2(legacy_params.clone(), instances);
@@ -62,6 +58,9 @@ fn main() {
                 &rows
             )
         );
+        if json {
+            write_json("BENCH_table2.json", &query_rows_json(&rows));
+        }
     }
     if wants("table3") {
         let rows = run_table3(legacy_params.clone(), instances);
@@ -70,5 +69,12 @@ fn main() {
     if wants("storage") {
         let rows = run_storage(legacy_params);
         println!("{}", format_storage(&rows));
+    }
+}
+
+fn write_json(path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }

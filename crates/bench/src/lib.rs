@@ -15,8 +15,8 @@ use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
 use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Seeds};
 use nepal_schema::Value;
 use nepal_workload::{
-    apply_churn, generate_legacy, generate_virtualized, updatable_entities,
-    ChurnParams, LegacyParams, LegacyTopology, VirtParams, VirtTopology,
+    apply_churn, generate_legacy, generate_virtualized, updatable_entities, ChurnParams, LegacyParams, LegacyTopology,
+    VirtParams, VirtTopology,
 };
 
 /// One row of a Table-1/2 style report.
@@ -37,8 +37,7 @@ fn run_instances(g: &TemporalGraph, rpes: &[String]) -> (usize, f64, f64) {
     let mut used = 0usize;
     for rpe_text in rpes {
         let rpe = parse_rpe(rpe_text).expect("bench RPE parses");
-        let plan =
-            plan_rpe(g.schema(), &rpe, &GraphEstimator { graph: g }).expect("bench RPE plans");
+        let plan = plan_rpe(g.schema(), &rpe, &GraphEstimator { graph: g }).expect("bench RPE plans");
         let t0 = Instant::now();
         let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -68,13 +67,7 @@ pub fn build_virtualized(seed: u64) -> (VirtTopology, TemporalGraph) {
     let snap = generate_virtualized(VirtParams { seed, ..Default::default() });
     let mut hist_topo = generate_virtualized(VirtParams { seed, ..Default::default() });
     let updatable = updatable_entities(&hist_topo.graph, "status");
-    apply_churn(
-        &mut hist_topo.graph,
-        &updatable,
-        &[],
-        hist_topo.params.start_ts,
-        &ChurnParams::virtualized_default(),
-    );
+    apply_churn(&mut hist_topo.graph, &updatable, &[], hist_topo.params.start_ts, &ChurnParams::virtualized_default());
     (snap, hist_topo.graph)
 }
 
@@ -105,8 +98,7 @@ pub fn table1_queries(topo: &VirtTopology, instances: usize) -> Vec<(String, Vec
         .copied()
         .filter(|&c| {
             let cls = g.class_of(c).unwrap();
-            g.schema()
-                .is_subclass(cls, g.schema().class_by_name("VM").unwrap())
+            g.schema().is_subclass(cls, g.schema().class_by_name("VM").unwrap())
         })
         .collect();
     let vm_vm: Vec<String> = (0..instances)
@@ -154,13 +146,7 @@ pub fn build_legacy(params: LegacyParams) -> (LegacyTopology, TemporalGraph) {
     let snap = generate_legacy(params.clone());
     let mut hist = generate_legacy(params);
     let updatable = updatable_entities(&hist.graph, "type_indicator");
-    apply_churn(
-        &mut hist.graph,
-        &updatable,
-        &[],
-        hist.params.start_ts,
-        &ChurnParams::legacy_default(),
-    );
+    apply_churn(&mut hist.graph, &updatable, &[], hist.params.start_ts, &ChurnParams::legacy_default());
     (snap, hist.graph)
 }
 
@@ -315,10 +301,7 @@ pub fn run_storage(legacy_params: LegacyParams) -> Vec<StorageRow> {
 pub fn format_query_table(title: &str, rows: &[QueryRow]) -> String {
     let mut s = String::new();
     s.push_str(&format!("{title}\n"));
-    s.push_str(&format!(
-        "{:<16} {:>5} {:>12} {:>14} {:>14}\n",
-        "Type", "#inst", "# paths", "Time snap", "Time hist"
-    ));
+    s.push_str(&format!("{:<16} {:>5} {:>12} {:>14} {:>14}\n", "Type", "#inst", "# paths", "Time snap", "Time hist"));
     for r in rows {
         s.push_str(&format!(
             "{:<16} {:>5} {:>12.1} {:>11.3} ms {:>11.3} ms\n",
@@ -328,14 +311,26 @@ pub fn format_query_table(title: &str, rows: &[QueryRow]) -> String {
     s
 }
 
+/// Render Table-1/2 rows as a JSON array (the `reproduce --json` output).
+pub fn query_rows_json(rows: &[QueryRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":{:?},\"instances\":{},\"avg_paths\":{:.2},\
+                 \"avg_ms_snapshot\":{:.3},\"avg_ms_history\":{:.3}}}",
+                r.name, r.instances, r.avg_paths, r.avg_ms_snap, r.avg_ms_hist
+            )
+        })
+        .collect();
+    format!("[\n  {}\n]\n", items.join(",\n  "))
+}
+
 /// Render the ablation report.
 pub fn format_ablation(rows: &[AblationRow]) -> String {
     let mut s = String::new();
     s.push_str("Table 3 (in-text §6): 1 edge class vs 66 edge subclasses\n");
-    s.push_str(&format!(
-        "{:<16} {:>16} {:>16} {:>9}\n",
-        "Type", "1 class", "66 subclasses", "speedup"
-    ));
+    s.push_str(&format!("{:<16} {:>16} {:>16} {:>9}\n", "Type", "1 class", "66 subclasses", "speedup"));
     for r in rows {
         s.push_str(&format!(
             "{:<16} {:>13.3} ms {:>13.3} ms {:>8.1}x\n",

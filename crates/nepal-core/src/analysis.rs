@@ -102,9 +102,7 @@ pub fn induced_paths(
 ) -> Result<Vec<InducedSegment>> {
     let nodes: Vec<Uid> = path.nodes().collect();
     if nodes.len() < 2 {
-        return Err(NepalError::Unsupported(
-            "induced_paths needs a pathway with at least two nodes".into(),
-        ));
+        return Err(NepalError::Unsupported("induced_paths needs a pathway with at least two nodes".into()));
     }
     let connect_rpe = format!("{connect_concept}(){{1,{connect_hops}}}");
     let connect_plan = plan_for(backend, &connect_rpe)?;
@@ -115,13 +113,9 @@ pub fn induced_paths(
         let fb = footprint(backend, b, vertical_concept, target_concept, vertical_hops, filter)?;
         let fb_set: std::collections::HashSet<Uid> = fb.iter().copied().collect();
         // Same-element footprints count as zero-hop connectivity.
-        let mut lower_paths: Vec<Pathway> = fa
-            .iter()
-            .filter(|u| fb_set.contains(u))
-            .map(|&u| Pathway::node(u))
-            .collect();
-        let connected =
-            backend.eval(&connect_plan, filter, Seeds::Sources(&fa), &EvalOptions::default())?;
+        let mut lower_paths: Vec<Pathway> =
+            fa.iter().filter(|u| fb_set.contains(u)).map(|&u| Pathway::node(u)).collect();
+        let connected = backend.eval(&connect_plan, filter, Seeds::Sources(&fa), &EvalOptions::default())?;
         lower_paths.extend(connected.into_iter().filter(|p| fb_set.contains(&p.target())));
         out.push(InducedSegment { upper: (a, b), lower_paths });
     }
@@ -192,9 +186,7 @@ mod tests {
     #[test]
     fn induced_path_connects_the_footprints() {
         let (mut b, path, ha, hb, _) = fixture();
-        let segments =
-            induced_paths(&mut b, &path, "Vertical", "Host", 6, "Connects", 4, TimeFilter::Current)
-                .unwrap();
+        let segments = induced_paths(&mut b, &path, "Vertical", "Host", 6, "Connects", 4, TimeFilter::Current).unwrap();
         assert_eq!(segments.len(), 1);
         let seg = &segments[0];
         assert_eq!(seg.lower_paths.len(), 1);
@@ -207,7 +199,6 @@ mod tests {
     fn single_node_pathway_rejected() {
         let (mut b, _p, ha, _, _) = fixture();
         let p = Pathway::node(ha);
-        assert!(induced_paths(&mut b, &p, "Vertical", "Host", 6, "Connects", 4, TimeFilter::Current)
-            .is_err());
+        assert!(induced_paths(&mut b, &p, "Vertical", "Host", 6, "Connects", 4, TimeFilter::Current).is_err());
     }
 }

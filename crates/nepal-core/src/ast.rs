@@ -63,10 +63,7 @@ impl Expr {
     /// Pathway variables referenced by the expression.
     pub fn vars(&self) -> Vec<&str> {
         match self {
-            Expr::PathEnd(_, v)
-            | Expr::PathEndField(_, v, _)
-            | Expr::Length(v)
-            | Expr::PathVar(v) => vec![v],
+            Expr::PathEnd(_, v) | Expr::PathEndField(_, v, _) | Expr::Length(v) | Expr::PathVar(v) => vec![v],
             Expr::Literal(_) => vec![],
         }
     }

@@ -8,9 +8,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
 use nepal_gremlin::{evaluate_gremlin, GremlinClient, GremlinTime};
+use nepal_obs::{ExecTrace, OpStats};
 use nepal_relational::{db_from_graph, evaluate_relational, RelDb};
 use nepal_rpe::anchor::apply_selectivity;
 use nepal_rpe::{BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
@@ -27,13 +29,21 @@ pub trait Backend: Send {
     fn schema(&self) -> &Arc<Schema>;
 
     /// Evaluate a planned RPE under a time filter.
-    fn eval(
+    fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>>;
+
+    /// Evaluate with a profiling trace attached. Backends that can report
+    /// per-operator statistics override this; the default just delegates
+    /// to [`Backend::eval`] and records nothing.
+    fn eval_traced(
         &mut self,
         plan: &RpePlan,
         filter: TimeFilter,
         seeds: Seeds,
         opts: &EvalOptions,
-    ) -> Result<Vec<Pathway>>;
+        _trace: &mut ExecTrace,
+    ) -> Result<Vec<Pathway>> {
+        self.eval(plan, filter, seeds, opts)
+    }
 
     /// Field values (and runtime class) of an element, for Select
     /// post-processing.
@@ -73,15 +83,21 @@ impl Backend for NativeBackend {
         self.graph.schema()
     }
 
-    fn eval(
+    fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>> {
+        let view = GraphView::new(&self.graph, filter);
+        Ok(nepal_rpe::evaluate(&view, plan, seeds, opts))
+    }
+
+    fn eval_traced(
         &mut self,
         plan: &RpePlan,
         filter: TimeFilter,
         seeds: Seeds,
         opts: &EvalOptions,
+        trace: &mut ExecTrace,
     ) -> Result<Vec<Pathway>> {
         let view = GraphView::new(&self.graph, filter);
-        Ok(nepal_rpe::evaluate(&view, plan, seeds, opts))
+        Ok(nepal_rpe::evaluate_traced(&view, plan, seeds, opts, Some(trace)))
     }
 
     fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
@@ -124,15 +140,31 @@ impl Backend for RelationalBackend {
         &self.schema
     }
 
-    fn eval(
+    fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>> {
+        let res = evaluate_relational(&mut self.db, &self.schema, plan, filter, seeds, opts)
+            .map_err(|e| NepalError::Backend(e.to_string()))?;
+        self.last_sql = res.sql;
+        Ok(res.pathways)
+    }
+
+    fn eval_traced(
         &mut self,
         plan: &RpePlan,
         filter: TimeFilter,
         seeds: Seeds,
         opts: &EvalOptions,
+        trace: &mut ExecTrace,
     ) -> Result<Vec<Pathway>> {
+        let t0 = Instant::now();
         let res = evaluate_relational(&mut self.db, &self.schema, plan, filter, seeds, opts)
             .map_err(|e| NepalError::Backend(e.to_string()))?;
+        trace.bump("rel_rows_scanned", res.rows_scanned);
+        trace.bump("rel_rows_joined", res.rows_joined);
+        let mut op = OpStats::new("Select+Extend", "SQL pipeline over class tables");
+        op.rows_in = res.rows_scanned;
+        op.rows_out = res.pathways.len() as u64;
+        op.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        trace.ops.push(op);
         self.last_sql = res.sql;
         Ok(res.pathways)
     }
@@ -182,10 +214,7 @@ impl Backend for RelationalBackend {
         if atom.unique_eq_pred(&self.schema).is_some() {
             return 1.0;
         }
-        let rows = self
-            .db
-            .subtree_rows(&nepal_relational::table_name(&self.schema, atom.class))
-            .max(1) as f64;
+        let rows = self.db.subtree_rows(&nepal_relational::table_name(&self.schema, atom.class)).max(1) as f64;
         apply_selectivity(rows, atom)
     }
 
@@ -227,13 +256,7 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
         &self.schema
     }
 
-    fn eval(
-        &mut self,
-        plan: &RpePlan,
-        filter: TimeFilter,
-        seeds: Seeds,
-        opts: &EvalOptions,
-    ) -> Result<Vec<Pathway>> {
+    fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>> {
         let time = match filter {
             TimeFilter::Current => GremlinTime::Current,
             TimeFilter::AsOf(t) => GremlinTime::AsOf(t),
@@ -243,28 +266,44 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
                 ))
             }
         };
-        let res = evaluate_gremlin(
-            &mut self.client,
-            &self.schema,
-            plan,
-            time,
-            seeds,
-            opts,
-            self.use_extend_block,
-        )
-        .map_err(|e| NepalError::Backend(e.to_string()))?;
+        let res = evaluate_gremlin(&mut self.client, &self.schema, plan, time, seeds, opts, self.use_extend_block)
+            .map_err(|e| NepalError::Backend(e.to_string()))?;
         self.last_trips = res.round_trips;
         Ok(res.pathways)
+    }
+
+    fn eval_traced(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        trace: &mut ExecTrace,
+    ) -> Result<Vec<Pathway>> {
+        let before = self.client.wire_stats();
+        let t0 = Instant::now();
+        let pathways = self.eval(plan, filter, seeds, opts)?;
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let after = self.client.wire_stats();
+        trace.bump("gremlin_requests", after.requests - before.requests);
+        trace.bump("gremlin_frames_sent", after.frames_sent - before.frames_sent);
+        trace.bump("gremlin_frames_received", after.frames_received - before.frames_received);
+        trace.bump("gremlin_bytes_sent", after.bytes_sent - before.bytes_sent);
+        trace.bump("gremlin_bytes_received", after.bytes_received - before.bytes_received);
+        trace.bump("gremlin_partial_batches", after.partial_batches - before.partial_batches);
+        trace.bump("gremlin_round_trips", self.last_trips);
+        let mut op = OpStats::new("Select+Extend", "Gremlin traversals over the wire");
+        op.rows_in = after.requests - before.requests;
+        op.rows_out = pathways.len() as u64;
+        op.elapsed_ns = elapsed_ns;
+        trace.ops.push(op);
+        Ok(pathways)
     }
 
     fn fields(&mut self, uid: Uid, _filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
         use nepal_gremlin::{GStep, Json};
         let results = self.client.submit(&[GStep::V(vec![uid.0])]).ok()?;
-        let results = if results.is_empty() {
-            self.client.submit(&[GStep::E(vec![uid.0])]).ok()?
-        } else {
-            results
-        };
+        let results = if results.is_empty() { self.client.submit(&[GStep::E(vec![uid.0])]).ok()? } else { results };
         let j = results.first()?;
         let label = j.get("label")?.as_str()?;
         let class = self.schema.class_by_name(label)?;
@@ -274,12 +313,7 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
             _ => Default::default(),
         };
         for fd in self.schema.all_fields(class) {
-            out.push(
-                props
-                    .get(&fd.name)
-                    .map(nepal_gremlin::json::json_to_value)
-                    .unwrap_or(Value::Null),
-            );
+            out.push(props.get(&fd.name).map(nepal_gremlin::json::json_to_value).unwrap_or(Value::Null));
         }
         Some((class, out))
     }
@@ -321,16 +355,11 @@ impl BackendRegistry {
 
     pub fn get_mut(&mut self, name: Option<&str>) -> Result<&mut Box<dyn Backend>> {
         let key = name.unwrap_or(&self.default);
-        self.backends
-            .get_mut(key)
-            .ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
+        self.backends.get_mut(key).ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
     }
 
     pub fn get(&self, name: Option<&str>) -> Result<&dyn Backend> {
         let key = name.unwrap_or(&self.default);
-        self.backends
-            .get(key)
-            .map(|b| b.as_ref())
-            .ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
+        self.backends.get(key).map(|b| b.as_ref()).ok_or_else(|| NepalError::UnknownBackend(key.to_string()))
     }
 }

@@ -20,8 +20,10 @@
 //!    joint interval sets.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid};
+use nepal_obs::{AnchorCandidate, JoinStep, MetricsRegistry, QueryProfile, SlowQueryLog, VarProfile};
 use nepal_rpe::{plan_rpe, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
 use nepal_schema::{Schema, Ts, Value};
 
@@ -81,6 +83,11 @@ pub struct Engine {
     pub registry: BackendRegistry,
     /// Options applied to every RPE evaluation.
     pub eval_options: EvalOptions,
+    /// Engine-level metrics: query counts, latency histograms, slow-log
+    /// depth. Render with [`MetricsRegistry::render_prometheus`].
+    pub metrics: MetricsRegistry,
+    /// Ring buffer of recent queries slower than its threshold.
+    pub slow_log: SlowQueryLog,
     /// Named pathway views (§3.4: "Additional views can be defined").
     views: HashMap<String, Query>,
     view_depth: u8,
@@ -111,6 +118,8 @@ impl Engine {
         Engine {
             registry,
             eval_options: EvalOptions::default(),
+            metrics: MetricsRegistry::new(),
+            slow_log: SlowQueryLog::default(),
             views: HashMap::new(),
             view_depth: 0,
         }
@@ -123,28 +132,70 @@ impl Engine {
         let q = parse_query(query_text)?;
         match &q.head {
             Head::Retrieve(vars) if !vars.is_empty() => {}
-            _ => {
-                return Err(NepalError::Unsupported(
-                    "a view must be a Retrieve query".into(),
-                ))
-            }
+            _ => return Err(NepalError::Unsupported("a view must be a Retrieve query".into())),
         }
         self.views.insert(name.into(), q);
         Ok(())
     }
 
-    /// Parse and execute a query.
+    /// Parse and execute a query, recording engine metrics.
     pub fn query(&mut self, text: &str) -> Result<QueryResult> {
-        let q = parse_query(text)?;
-        self.execute(&q)
+        let t0 = Instant::now();
+        let result = parse_query(text).and_then(|q| self.execute(&q));
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        self.record_query_metrics(text, total_ns, result.as_ref().ok().map(|r| r.rows.len() as u64));
+        result
+    }
+
+    /// Parse and execute a query with full profiling (the `EXPLAIN ANALYZE`
+    /// path): phase timings, anchor candidates, per-operator statistics.
+    pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, QueryProfile)> {
+        let t0 = Instant::now();
+        let parsed = parse_query(text);
+        let parse_ns = t0.elapsed().as_nanos() as u64;
+        let outcome = parsed.and_then(|q| self.execute_profiled(&q));
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        self.record_query_metrics(text, total_ns, outcome.as_ref().ok().map(|(r, _)| r.rows.len() as u64));
+        let (result, mut profile) = outcome?;
+        profile.query = text.to_string();
+        profile.parse_ns = parse_ns;
+        profile.total_ns = total_ns;
+        Ok((result, profile))
+    }
+
+    fn record_query_metrics(&mut self, text: &str, total_ns: u64, rows: Option<u64>) {
+        self.metrics.counter("nepal_queries_total", "Queries executed").inc();
+        match rows {
+            Some(n) => {
+                self.metrics.histogram("nepal_query_duration_ns", "Query latency in nanoseconds").observe(total_ns);
+                self.metrics.histogram("nepal_query_result_rows", "Result rows per query").observe(n);
+                self.slow_log.record(text, total_ns, n);
+                let len = self.slow_log.len() as i64;
+                self.metrics.gauge("nepal_slow_log_len", "Entries in the slow-query log").set(len);
+            }
+            None => {
+                self.metrics.counter("nepal_query_errors_total", "Queries that returned an error").inc();
+            }
+        }
     }
 
     /// Execute a parsed query.
     pub fn execute(&mut self, q: &Query) -> Result<QueryResult> {
-        let aggregate = matches!(
-            q.head,
-            Head::FirstTimeWhenExists | Head::LastTimeWhenExists | Head::WhenExists
-        );
+        self.execute_inner(q, None)
+    }
+
+    /// Execute a parsed query, collecting a [`QueryProfile`].
+    pub fn execute_profiled(&mut self, q: &Query) -> Result<(QueryResult, QueryProfile)> {
+        let mut profile = QueryProfile::default();
+        let t0 = Instant::now();
+        let result = self.execute_inner(q, Some(&mut profile))?;
+        profile.total_ns = t0.elapsed().as_nanos() as u64;
+        profile.result_rows = result.rows.len() as u64;
+        Ok((result, profile))
+    }
+
+    fn execute_inner(&mut self, q: &Query, mut profile: Option<&mut QueryProfile>) -> Result<QueryResult> {
+        let aggregate = matches!(q.head, Head::FirstTimeWhenExists | Head::LastTimeWhenExists | Head::WhenExists);
         // Temporal aggregates need interval sets: default to the full
         // history range when no AT clause is present.
         let query_time = match (&q.time, aggregate) {
@@ -154,6 +205,8 @@ impl Engine {
         };
 
         // --- per-variable planning ---
+        let profiled = profile.is_some();
+        let tplan_phase = profiled.then(Instant::now);
         let mut evals: Vec<VarEval> = Vec::new();
         for s in &q.sources {
             let (filter, joint) = match (&s.time, &query_time) {
@@ -179,11 +232,15 @@ impl Engine {
                     Head::Retrieve(vars) => vars[0].clone(),
                     _ => unreachable!("define_view enforces Retrieve"),
                 };
-                let pathways: Vec<Pathway> = result
-                    .pathways_of(&first_var)
-                    .into_iter()
-                    .cloned()
-                    .collect();
+                let pathways: Vec<Pathway> = result.pathways_of(&first_var).into_iter().cloned().collect();
+                if let Some(p) = profile.as_deref_mut() {
+                    p.vars.push(VarProfile {
+                        var: s.var.clone(),
+                        backend: format!("view `{view_name}`"),
+                        pathways: pathways.len() as u64,
+                        ..Default::default()
+                    });
+                }
                 evals.push(VarEval {
                     var: s.var.clone(),
                     backend: s.backend.clone(),
@@ -195,11 +252,28 @@ impl Engine {
                 });
                 continue;
             }
-            let rpe = q
-                .matches_of(&s.var)
-                .ok_or_else(|| NepalError::NoMatches(s.var.clone()))?;
+            let rpe = q.matches_of(&s.var).ok_or_else(|| NepalError::NoMatches(s.var.clone()))?;
             let backend = self.registry.get(s.backend.as_deref())?;
+            let tplan = profiled.then(Instant::now);
             let plan = plan_rpe(backend.schema(), rpe, &BackendEstimator(backend))?;
+            if let Some(p) = profile.as_deref_mut() {
+                let anchors = plan
+                    .candidates
+                    .iter()
+                    .map(|set| AnchorCandidate {
+                        desc: plan.anchor_desc(set),
+                        cost: set.cost,
+                        chosen: set.atoms == plan.anchor.atoms && set.cost == plan.anchor.cost,
+                    })
+                    .collect();
+                p.vars.push(VarProfile {
+                    var: s.var.clone(),
+                    backend: s.backend.clone().unwrap_or_else(|| self.registry.default_name().to_string()),
+                    plan_ns: tplan.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                    anchors,
+                    ..Default::default()
+                });
+            }
             evals.push(VarEval {
                 var: s.var.clone(),
                 backend: s.backend.clone(),
@@ -210,6 +284,11 @@ impl Engine {
                 prefilled: false,
             });
         }
+
+        if let (Some(p), Some(t)) = (profile.as_deref_mut(), tplan_phase) {
+            p.plan_ns = t.elapsed().as_nanos() as u64;
+        }
+        let texec_phase = profiled.then(Instant::now);
 
         // --- evaluation order: cheapest anchor first (views are free) ---
         let cost_of = |e: &VarEval| e.plan.as_ref().map(|p| p.anchor.cost).unwrap_or(0.0);
@@ -271,16 +350,27 @@ impl Engine {
             let e = &evals[i];
             let plan = e.plan.as_ref().expect("non-view variables have plans");
             let backend = self.registry.get_mut(e.backend.as_deref())?;
-            let pathways = if use_seeds {
+            let seeds = if use_seeds {
                 let (end, uids) = seed_nodes.as_ref().unwrap();
-                let seeds = match end {
+                match end {
                     PathFn::Source => Seeds::Sources(uids),
                     PathFn::Target => Seeds::Targets(uids),
-                };
-                backend.eval(plan, filter, seeds, &self.eval_options)?
+                }
             } else {
-                backend.eval(plan, filter, Seeds::Anchor, &self.eval_options)?
+                Seeds::Anchor
             };
+            let teval = profiled.then(Instant::now);
+            let pathways = match profile.as_deref_mut() {
+                Some(p) => backend.eval_traced(plan, filter, seeds, &self.eval_options, &mut p.vars[i].trace)?,
+                None => backend.eval(plan, filter, seeds, &self.eval_options)?,
+            };
+            if let Some(p) = profile.as_deref_mut() {
+                let vp = &mut p.vars[i];
+                vp.eval_ns = teval.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                vp.imported_seeds = use_seeds.then(|| seed_nodes.as_ref().unwrap().1.len() as u64);
+                vp.pathways = pathways.len() as u64;
+                vp.generated = backend.last_generated();
+            }
             let e = &mut evals[i];
             e.pathways = pathways;
             evaluated.insert(var);
@@ -342,6 +432,8 @@ impl Engine {
             .collect();
 
         for &i in &order {
+            let tjoin = profiled.then(Instant::now);
+            let probe_rows = rows.len() as u64;
             let mut next_rows = Vec::new();
             // Conditions applicable once var i joins.
             let applicable: Vec<&&Cond> = binary_conds
@@ -351,10 +443,7 @@ impl Engine {
                         let mut vars: Vec<&str> = a.vars();
                         vars.extend(b.vars());
                         vars.iter().any(|v| *v == evals[i].var)
-                            && vars.iter().all(|v| {
-                                *v == evals[i].var
-                                    || joined.iter().any(|&j| evals[j].var == **v)
-                            })
+                            && vars.iter().all(|v| *v == evals[i].var || joined.iter().any(|&j| evals[j].var == **v))
                     } else {
                         false
                     }
@@ -381,6 +470,15 @@ impl Engine {
             }
             rows = next_rows;
             joined.insert(i);
+            if let Some(p) = profile.as_deref_mut() {
+                p.joins.push(JoinStep {
+                    var: evals[i].var.clone(),
+                    probe_rows,
+                    build_rows: evals[i].pathways.len() as u64,
+                    emitted: rows.len() as u64,
+                    elapsed_ns: tjoin.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                });
+            }
         }
 
         // --- joint temporal coexistence (query-level AT range) ---
@@ -389,6 +487,7 @@ impl Engine {
             _ => None,
         };
         let mut out_rows: Vec<ResultRow> = Vec::new();
+        let mut coexistence_pruned = 0u64;
         'row: for row in &rows {
             let mut joint: Option<IntervalSet> = None;
             for (i, &pi) in row.iter().enumerate() {
@@ -405,6 +504,7 @@ impl Engine {
                         Some(j) => j.intersect(times),
                     });
                     if joint.as_ref().unwrap().is_empty() {
+                        coexistence_pruned += 1;
                         continue 'row;
                     }
                 }
@@ -413,6 +513,7 @@ impl Engine {
                 (Some(j), Some(p)) => {
                     let comps = j.components_overlapping(p);
                     if comps.is_empty() {
+                        coexistence_pruned += 1;
                         continue 'row;
                     }
                     Some(IntervalSet::from_intervals(comps))
@@ -436,9 +537,20 @@ impl Engine {
         }
 
         // --- EXISTS subqueries (decorrelated) ---
+        let mut exists_pruned = 0u64;
         for cond in &q.conds {
             if let Cond::Exists { negated, query } = cond {
+                let before = out_rows.len();
                 out_rows = self.apply_exists(q, query, *negated, out_rows)?;
+                exists_pruned += (before - out_rows.len()) as u64;
+            }
+        }
+
+        if let Some(p) = profile {
+            p.coexistence_pruned = coexistence_pruned;
+            p.exists_pruned = exists_pruned;
+            if let Some(t) = texec_phase {
+                p.exec_ns = t.elapsed().as_nanos() as u64;
             }
         }
 
@@ -446,11 +558,7 @@ impl Engine {
         self.finish_head(q, evals, out_rows)
     }
 
-    fn binding_of<'a>(
-        &self,
-        evals: &'a [VarEval],
-        row: &[usize],
-    ) -> Vec<(String, &'a Pathway)> {
+    fn binding_of<'a>(&self, evals: &'a [VarEval], row: &[usize]) -> Vec<(String, &'a Pathway)> {
         row.iter()
             .enumerate()
             .filter(|(_, &pi)| pi != usize::MAX)
@@ -495,9 +603,9 @@ impl Engine {
         };
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
-            Expr::PathVar(v) => Err(NepalError::Unsupported(format!(
-                "bare pathway variable `{v}` is only valid inside count(…)"
-            ))),
+            Expr::PathVar(v) => {
+                Err(NepalError::Unsupported(format!("bare pathway variable `{v}` is only valid inside count(…)")))
+            }
             Expr::Length(v) => Ok(Value::Int(lookup(v)?.len_edges() as i64)),
             Expr::PathEnd(f, v) => {
                 let p = lookup(v)?;
@@ -518,11 +626,9 @@ impl Engine {
                 match b.fields(uid, filter) {
                     None => Ok(Value::Null),
                     Some((class, fields)) => {
-                        let (idx, _) = schema.resolve_field(class, field).ok_or_else(|| {
-                            NepalError::UnknownField {
-                                class: schema.class(class).name.clone(),
-                                field: field.clone(),
-                            }
+                        let (idx, _) = schema.resolve_field(class, field).ok_or_else(|| NepalError::UnknownField {
+                            class: schema.class(class).name.clone(),
+                            field: field.clone(),
                         })?;
                         Ok(fields.get(idx).cloned().unwrap_or(Value::Null))
                     }
@@ -573,8 +679,7 @@ impl Engine {
         // Key set from the inner side of each correlated equality.
         let mut keys: HashSet<Vec<Value>> = HashSet::new();
         for row in &inner_result.rows {
-            let binding: Vec<(String, &Pathway)> =
-                row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+            let binding: Vec<(String, &Pathway)> = row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
             let mut key = Vec::with_capacity(correlated.len());
             let mut ok = true;
             for (_, inner_expr) in &correlated {
@@ -592,17 +697,12 @@ impl Engine {
         }
         let mut out = Vec::new();
         for row in rows {
-            let binding: Vec<(String, &Pathway)> =
-                row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+            let binding: Vec<(String, &Pathway)> = row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
             let mut key = Vec::with_capacity(correlated.len());
             for (outer_expr, _) in &correlated {
                 key.push(self.eval_expr(outer_expr, &binding, TimeFilter::Current, None)?);
             }
-            let exists = if correlated.is_empty() {
-                !inner_result.rows.is_empty()
-            } else {
-                keys.contains(&key)
-            };
+            let exists = if correlated.is_empty() { !inner_result.rows.is_empty() } else { keys.contains(&key) };
             if exists != negated {
                 out.push(row);
             }
@@ -611,12 +711,7 @@ impl Engine {
     }
 
     /// Fold every result row through the aggregate Select items.
-    fn eval_aggregates(
-        &mut self,
-        items: &[SelectItem],
-        evals: &[VarEval],
-        rows: &[ResultRow],
-    ) -> Result<Vec<Value>> {
+    fn eval_aggregates(&mut self, items: &[SelectItem], evals: &[VarEval], rows: &[ResultRow]) -> Result<Vec<Value>> {
         let mut out = Vec::with_capacity(items.len());
         for item in items {
             let Some(agg) = item.agg else {
@@ -629,8 +724,7 @@ impl Engine {
             // Gather the per-row values of the argument expression.
             let mut vals: Vec<Value> = Vec::with_capacity(rows.len());
             for row in rows {
-                let binding: Vec<(String, &Pathway)> =
-                    row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+                let binding: Vec<(String, &Pathway)> = row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
                 match &item.expr {
                     Expr::PathVar(v) => {
                         // count(P): one unit per row; distinct counts
@@ -640,9 +734,7 @@ impl Engine {
                             .find(|(name, _)| name == v)
                             .map(|(_, p)| *p)
                             .ok_or_else(|| NepalError::UnknownVariable(v.clone()))?;
-                        vals.push(Value::List(
-                            p.elems.iter().map(|u| Value::Int(u.0 as i64)).collect(),
-                        ));
+                        vals.push(Value::List(p.elems.iter().map(|u| Value::Int(u.0 as i64)).collect()));
                     }
                     e => {
                         let (filter, backend) = match e.vars().first() {
@@ -675,9 +767,7 @@ impl Engine {
                         })
                         .collect();
                     if nums.len() != vals.len() {
-                        return Err(NepalError::Unsupported(
-                            "sum/avg over non-numeric values".into(),
-                        ));
+                        return Err(NepalError::Unsupported("sum/avg over non-numeric values".into()));
                     }
                     let total: f64 = nums.iter().sum();
                     match agg {
@@ -702,25 +792,14 @@ impl Engine {
         Ok(out)
     }
 
-    fn finish_head(
-        &mut self,
-        q: &Query,
-        evals: Vec<VarEval>,
-        rows: Vec<ResultRow>,
-    ) -> Result<QueryResult> {
+    fn finish_head(&mut self, q: &Query, evals: Vec<VarEval>, rows: Vec<ResultRow>) -> Result<QueryResult> {
         match &q.head {
-            Head::Retrieve(vars) => Ok(QueryResult {
-                columns: vars.clone(),
-                rows,
-            }),
+            Head::Retrieve(vars) => Ok(QueryResult { columns: vars.clone(), rows }),
             Head::Select(items) => {
                 let columns: Vec<String> = items.iter().map(item_name).collect();
                 let aggregated = items.iter().any(|i| i.agg.is_some());
                 if aggregated {
-                    if let Some(bad) = items
-                        .iter()
-                        .find(|i| i.agg.is_none() && !matches!(i.expr, Expr::Literal(_)))
-                    {
+                    if let Some(bad) = items.iter().find(|i| i.agg.is_none() && !matches!(i.expr, Expr::Literal(_))) {
                         return Err(NepalError::Unsupported(format!(
                             "cannot mix `{}` with aggregates (no GROUP BY in Nepal)",
                             item_name(bad)
@@ -734,8 +813,7 @@ impl Engine {
                 }
                 let mut out = Vec::new();
                 for mut row in rows {
-                    let binding: Vec<(String, &Pathway)> =
-                        row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
+                    let binding: Vec<(String, &Pathway)> = row.pathways.iter().map(|(v, p)| (v.clone(), p)).collect();
                     let mut values = Vec::with_capacity(items.len());
                     for item in items {
                         let e = &item.expr;
@@ -772,20 +850,14 @@ impl Engine {
                         if union.is_empty() {
                             vec![]
                         } else {
-                            vec![ResultRow {
-                                pathways: Vec::new(),
-                                values: Vec::new(),
-                                times: Some(union),
-                            }]
+                            vec![ResultRow { pathways: Vec::new(), values: Vec::new(), times: Some(union) }]
                         },
                     ),
                     Head::FirstTimeWhenExists => {
                         let rows = match union.first() {
-                            Some(t) => vec![ResultRow {
-                                pathways: Vec::new(),
-                                values: vec![Value::Ts(t)],
-                                times: Some(union),
-                            }],
+                            Some(t) => {
+                                vec![ResultRow { pathways: Vec::new(), values: vec![Value::Ts(t)], times: Some(union) }]
+                            }
                             None => vec![],
                         };
                         (vec!["first_time".to_string()], rows)
@@ -798,11 +870,7 @@ impl Engine {
                                 } else {
                                     Value::Ts(iv.to)
                                 };
-                                vec![ResultRow {
-                                    pathways: Vec::new(),
-                                    values: vec![v],
-                                    times: Some(union),
-                                }]
+                                vec![ResultRow { pathways: Vec::new(), values: vec![v], times: Some(union) }]
                             }
                             None => vec![],
                         };

@@ -41,33 +41,20 @@ pub enum ChangeKind {
 
 /// The full evolution of a specific pathway, optionally restricted to a
 /// time window.
-pub fn path_evolution(
-    graph: &TemporalGraph,
-    pathway: &Pathway,
-    window: Option<(Ts, Ts)>,
-) -> Vec<ElementEvolution> {
+pub fn path_evolution(graph: &TemporalGraph, pathway: &Pathway, window: Option<(Ts, Ts)>) -> Vec<ElementEvolution> {
     let schema = graph.schema();
     let mut out = Vec::new();
     for &uid in &pathway.elems {
         let Some(class) = graph.class_of(uid) else { continue };
         let versions: Vec<(Interval, Vec<Value>)> = match window {
-            None => graph
-                .versions(uid)
-                .iter()
-                .map(|v| (v.span, v.fields.clone()))
-                .collect(),
+            None => graph.versions(uid).iter().map(|v| (v.span, v.fields.clone())).collect(),
             Some((a, b)) => graph
                 .versions_overlapping(uid, &Interval::new(a, b.saturating_add(1)))
                 .iter()
                 .map(|v| (v.span, v.fields.clone()))
                 .collect(),
         };
-        out.push(ElementEvolution {
-            uid,
-            class,
-            class_name: schema.class(class).name.clone(),
-            versions,
-        });
+        out.push(ElementEvolution { uid, class, class_name: schema.class(class).name.clone(), versions });
     }
     out
 }
@@ -137,9 +124,7 @@ mod tests {
         let s = Arc::new(parse_schema("node VM { vm_id: int unique, status: str }").unwrap());
         let mut g = TemporalGraph::new(s.clone());
         let c = s.class_by_name("VM").unwrap();
-        let u = g
-            .insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 100)
-            .unwrap();
+        let u = g.insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 100).unwrap();
         g.update(u, &[(1, Value::Str("Red".into()))], 200).unwrap();
         g.delete(u, 300).unwrap();
 

@@ -32,7 +32,7 @@ pub use backend::{Backend, BackendRegistry, GremlinBackend, NativeBackend, Relat
 pub use engine::{Engine, QueryResult, ResultRow, FULL_RANGE};
 pub use error::{NepalError, Result};
 pub use evolution::{change_log, path_evolution, ChangeEvent, ChangeKind, ElementEvolution};
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_statement, Statement};
 
 use std::sync::Arc;
 
@@ -40,8 +40,5 @@ use nepal_graph::TemporalGraph;
 
 /// Convenience: an engine over a single native temporal graph.
 pub fn engine_over(graph: Arc<TemporalGraph>) -> Engine {
-    Engine::new(BackendRegistry::new(
-        "native",
-        Box::new(NativeBackend::new(graph)),
-    ))
+    Engine::new(BackendRegistry::new("native", Box::new(NativeBackend::new(graph))))
 }

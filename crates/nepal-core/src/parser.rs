@@ -124,10 +124,7 @@ impl<'a> P<'a> {
     fn timestamp(&mut self) -> Result<i64> {
         let start = self.pos;
         let text = self.quoted()?;
-        parse_ts(&text).ok_or(NepalError::Parse {
-            pos: start,
-            msg: format!("bad timestamp `{text}`"),
-        })
+        parse_ts(&text).ok_or(NepalError::Parse { pos: start, msg: format!("bad timestamp `{text}`") })
     }
 
     /// `'ts'` or `'ts' : 'ts'`.
@@ -221,10 +218,7 @@ impl<'a> P<'a> {
         if self.rest().starts_with('\'') {
             return Ok(Expr::Literal(Value::Str(self.quoted()?)));
         }
-        if self
-            .peek_char()
-            .is_some_and(|c| c.is_ascii_digit() || c == '-')
-        {
+        if self.peek_char().is_some_and(|c| c.is_ascii_digit() || c == '-') {
             return self.number();
         }
         let save = self.pos;
@@ -292,11 +286,7 @@ impl<'a> P<'a> {
             // `PATHS` is the built-in view; any other identifier names a
             // user-defined view (§3.4).
             let view_name = self.ident()?;
-            let view = if view_name.eq_ignore_ascii_case("paths") {
-                None
-            } else {
-                Some(view_name)
-            };
+            let view = if view_name.eq_ignore_ascii_case("paths") { None } else { Some(view_name) };
             let var = self.ident()?;
             let mut backend = None;
             if self.try_kw("using") {
@@ -347,10 +337,7 @@ impl<'a> P<'a> {
                     let rest = &self.s[i..];
                     if rest.len() >= 3
                         && rest[..3].eq_ignore_ascii_case("and")
-                        && rest[3..]
-                            .chars()
-                            .next()
-                            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+                        && rest[3..].chars().next().is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
                         && i > start
                         && !(bytes[i - 1] as char).is_alphanumeric()
                         && bytes[i - 1] != b'_'
@@ -499,16 +486,37 @@ pub fn parse_query(text: &str) -> Result<Query> {
     Ok(q)
 }
 
+/// A top-level statement: a query, optionally wrapped in `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    /// `EXPLAIN ANALYZE <query>`: execute the query and report its profile.
+    ExplainAnalyze(Query),
+}
+
+/// Parse a statement: `[EXPLAIN ANALYZE] <query>`.
+pub fn parse_statement(text: &str) -> Result<Statement> {
+    let mut p = P { s: text, pos: 0 };
+    let explain = p.try_kw("EXPLAIN");
+    if explain && !p.try_kw("ANALYZE") {
+        return p.err("expected ANALYZE after EXPLAIN");
+    }
+    let q = p.query()?;
+    p.ws();
+    if p.pos != p.s.len() {
+        return p.err("trailing input after query");
+    }
+    validate(&q)?;
+    Ok(if explain { Statement::ExplainAnalyze(q) } else { Statement::Query(q) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parses_paper_example_1() {
-        let q = parse_query(
-            "Retrieve P From PATHS P WHERE P MATCHES VNF()->VFC()->VM()->Host(id=23245)",
-        )
-        .unwrap();
+        let q = parse_query("Retrieve P From PATHS P WHERE P MATCHES VNF()->VFC()->VM()->Host(id=23245)").unwrap();
         assert_eq!(q.head, Head::Retrieve(vec!["P".into()]));
         assert_eq!(q.sources.len(), 1);
         assert!(q.matches_of("P").is_some());
@@ -596,27 +604,18 @@ mod tests {
             ("Last Time When Exists", Head::LastTimeWhenExists),
             ("When Exists", Head::WhenExists),
         ] {
-            let q = parse_query(&format!(
-                "{src} From PATHS P Where P MATCHES VM(vm_id=5)"
-            ))
-            .unwrap();
+            let q = parse_query(&format!("{src} From PATHS P Where P MATCHES VM(vm_id=5)")).unwrap();
             assert_eq!(q.head, head);
         }
     }
 
     #[test]
     fn parses_select_field_access() {
-        let q = parse_query(
-            "Select source(V).name, source(V).id From PATHS V Where V MATCHES VM()",
-        )
-        .unwrap();
+        let q = parse_query("Select source(V).name, source(V).id From PATHS V Where V MATCHES VM()").unwrap();
         match &q.head {
             Head::Select(es) => {
                 assert_eq!(es.len(), 2);
-                assert_eq!(
-                    es[0],
-                    SelectItem::plain(Expr::PathEndField(PathFn::Source, "V".into(), "name".into()))
-                );
+                assert_eq!(es[0], SelectItem::plain(Expr::PathEndField(PathFn::Source, "V".into(), "name".into())));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -624,10 +623,7 @@ mod tests {
 
     #[test]
     fn parses_backend_routing() {
-        let q = parse_query(
-            "Retrieve P From PATHS P USING legacy Where P MATCHES VM()",
-        )
-        .unwrap();
+        let q = parse_query("Retrieve P From PATHS P USING legacy Where P MATCHES VM()").unwrap();
         assert_eq!(q.sources[0].backend.as_deref(), Some("legacy"));
     }
 
@@ -637,10 +633,7 @@ mod tests {
             parse_query("Retrieve Q From PATHS P Where P MATCHES VM()"),
             Err(NepalError::UnknownVariable(_))
         ));
-        assert!(matches!(
-            parse_query("Retrieve P From PATHS P"),
-            Err(NepalError::NoMatches(_))
-        ));
+        assert!(matches!(parse_query("Retrieve P From PATHS P"), Err(NepalError::NoMatches(_))));
         assert!(matches!(
             parse_query("Retrieve P From PATHS P Where P MATCHES VM() And source(Z) = target(P)"),
             Err(NepalError::UnknownVariable(_))

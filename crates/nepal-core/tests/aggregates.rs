@@ -23,9 +23,7 @@ fn engine() -> Engine {
     );
     let c = |n: &str| s.class_by_name(n).unwrap();
     let mut g = TemporalGraph::new(s.clone());
-    let hosts: Vec<_> = (0..2)
-        .map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap())
-        .collect();
+    let hosts: Vec<_> = (0..2).map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap()).collect();
     for i in 0..5i64 {
         let vnf = g.insert_node(c("VNF"), vec![Value::Int(i)], 0).unwrap();
         let vm = g.insert_node(c("VM"), vec![Value::Int(i)], 0).unwrap();
@@ -42,9 +40,7 @@ const PLACEMENTS: &str = "P MATCHES VNF()->[HostedOn()]{1,4}->Host()";
 #[test]
 fn count_pathways() {
     let mut eng = engine();
-    let r = eng
-        .query(&format!("Select count(P) From PATHS P Where {PLACEMENTS}"))
-        .unwrap();
+    let r = eng.query(&format!("Select count(P) From PATHS P Where {PLACEMENTS}")).unwrap();
     assert_eq!(r.columns, vec!["count(P)"]);
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].values[0], Value::Int(5));
@@ -54,9 +50,7 @@ fn count_pathways() {
 fn count_distinct_targets() {
     let mut eng = engine();
     let r = eng
-        .query(&format!(
-            "Select count(distinct target(P)), count(target(P)) From PATHS P Where {PLACEMENTS}"
-        ))
+        .query(&format!("Select count(distinct target(P)), count(target(P)) From PATHS P Where {PLACEMENTS}"))
         .unwrap();
     assert_eq!(r.rows[0].values[0], Value::Int(2)); // 2 hosts
     assert_eq!(r.rows[0].values[1], Value::Int(5)); // 5 pathways
@@ -98,9 +92,7 @@ fn aggregates_respect_joins() {
 #[test]
 fn empty_result_aggregates() {
     let mut eng = engine();
-    let r = eng
-        .query("Select count(P), min(length(P)) From PATHS P Where P MATCHES VNF(vnf_id=99)")
-        .unwrap();
+    let r = eng.query("Select count(P), min(length(P)) From PATHS P Where P MATCHES VNF(vnf_id=99)").unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].values[0], Value::Int(0));
     assert_eq!(r.rows[0].values[1], Value::Null);
@@ -109,27 +101,18 @@ fn empty_result_aggregates() {
 #[test]
 fn mixing_plain_and_aggregate_is_rejected() {
     let mut eng = engine();
-    let err = eng
-        .query(&format!(
-            "Select source(P), count(P) From PATHS P Where {PLACEMENTS}"
-        ))
-        .unwrap_err();
+    let err = eng.query(&format!("Select source(P), count(P) From PATHS P Where {PLACEMENTS}")).unwrap_err();
     assert!(matches!(err, NepalError::Unsupported(_)), "{err}");
     // Literals are allowed alongside aggregates.
-    let r = eng
-        .query(&format!("Select 'total', count(P) From PATHS P Where {PLACEMENTS}"))
-        .unwrap();
+    let r = eng.query(&format!("Select 'total', count(P) From PATHS P Where {PLACEMENTS}")).unwrap();
     assert_eq!(r.rows[0].values[0], Value::Str("total".into()));
     // sum over non-numeric is rejected.
-    assert!(eng
-        .query(&format!("Select sum(source(P)) From PATHS P Where {PLACEMENTS}"))
-        .is_ok()); // node uids are ints — fine
+    assert!(eng.query(&format!("Select sum(source(P)) From PATHS P Where {PLACEMENTS}")).is_ok());
+    // node uids are ints — fine
 }
 
 #[test]
 fn bare_variable_outside_count_is_rejected() {
     let mut eng = engine();
-    assert!(eng
-        .query(&format!("Select min(P) From PATHS P Where {PLACEMENTS}"))
-        .is_err());
+    assert!(eng.query(&format!("Select min(P) From PATHS P Where {PLACEMENTS}")).is_err());
 }

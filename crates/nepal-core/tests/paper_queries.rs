@@ -43,37 +43,20 @@ fn fixture() -> Fx {
     let c = |n: &str| s.class_by_name(n).unwrap();
     let mut g = TemporalGraph::new(s.clone());
     let t = nepal_schema::parse_ts("2017-02-01 00:00").unwrap();
-    let vnf123 = g
-        .insert_node(c("DNS"), vec![Value::Int(123), Value::Str("dns-east".into())], t)
-        .unwrap();
-    let vnf234 = g
-        .insert_node(c("Firewall"), vec![Value::Int(234), Value::Str("fw-west".into())], t)
-        .unwrap();
+    let vnf123 = g.insert_node(c("DNS"), vec![Value::Int(123), Value::Str("dns-east".into())], t).unwrap();
+    let vnf234 = g.insert_node(c("Firewall"), vec![Value::Int(234), Value::Str("fw-west".into())], t).unwrap();
     let vfc1 = g.insert_node(c("VFC"), vec![Value::Int(11)], t).unwrap();
     let vfc2 = g.insert_node(c("VFC"), vec![Value::Int(12)], t).unwrap();
-    let vm_a = g
-        .insert_node(
-            c("VM"),
-            vec![Value::Str("Green".into()), Value::Int(21), Value::Str("vm-a".into())],
-            t,
-        )
-        .unwrap();
-    let dk = g
-        .insert_node(c("Docker"), vec![Value::Str("Green".into()), Value::Int(22)], t)
-        .unwrap();
+    let vm_a =
+        g.insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(21), Value::Str("vm-a".into())], t).unwrap();
+    let dk = g.insert_node(c("Docker"), vec![Value::Str("Green".into()), Value::Int(22)], t).unwrap();
     let vm_free = g
-        .insert_node(
-            c("VM"),
-            vec![Value::Str("Green".into()), Value::Int(23), Value::Str("vm-free".into())],
-            t,
-        )
+        .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(23), Value::Str("vm-free".into())], t)
         .unwrap();
     let host1 = g.insert_node(c("Host"), vec![Value::Int(23245)], t).unwrap();
     let host2 = g.insert_node(c("Host"), vec![Value::Int(34356)], t).unwrap();
     let sw = g.insert_node(c("Switch"), vec![Value::Int(91)], t).unwrap();
-    let e = |g: &mut TemporalGraph, cls: &str, a: Uid, b: Uid| {
-        g.insert_edge(c(cls), a, b, vec![], t).unwrap()
-    };
+    let e = |g: &mut TemporalGraph, cls: &str, a: Uid, b: Uid| g.insert_edge(c(cls), a, b, vec![], t).unwrap();
     e(&mut g, "ComposedOf", vnf123, vfc1);
     e(&mut g, "ComposedOf", vnf234, vfc2);
     e(&mut g, "HostedOn", vfc1, vm_a);
@@ -95,9 +78,7 @@ fn engine(fx: &Fx) -> Engine {
 #[test]
 fn example_1_explicit_layers() {
     let fx = fixture();
-    let r = engine(&fx)
-        .query("Retrieve P From PATHS P WHERE P MATCHES VNF()->VFC()->VM()->Host(id5=23245)")
-        .unwrap();
+    let r = engine(&fx).query("Retrieve P From PATHS P WHERE P MATCHES VNF()->VFC()->VM()->Host(id5=23245)").unwrap();
     assert_eq!(r.rows.len(), 1);
     let (_, p) = &r.rows[0].pathways[0];
     assert_eq!(p.source(), fx.vnf123);
@@ -107,17 +88,10 @@ fn example_1_explicit_layers() {
 #[test]
 fn example_2_generic_vertical() {
     let fx = fixture();
-    let r = engine(&fx)
-        .query("Retrieve P From PATHS P WHERE P MATCHES VNF()->[Vertical()]{1,6}->Host(id5=23245)")
-        .unwrap();
-    assert!(r
-        .rows
-        .iter()
-        .any(|row| row.pathways[0].1.source() == fx.vnf123));
-    assert!(!r
-        .rows
-        .iter()
-        .any(|row| row.pathways[0].1.source() == fx.vnf234));
+    let r =
+        engine(&fx).query("Retrieve P From PATHS P WHERE P MATCHES VNF()->[Vertical()]{1,6}->Host(id5=23245)").unwrap();
+    assert!(r.rows.iter().any(|row| row.pathways[0].1.source() == fx.vnf123));
+    assert!(!r.rows.iter().any(|row| row.pathways[0].1.source() == fx.vnf234));
 }
 
 #[test]
@@ -314,9 +288,7 @@ fn temporal_aggregates() {
         .unwrap();
     assert_eq!(r.rows[0].values[0], Value::Null);
     // Never-existing pathway: no rows.
-    let r = engine(&fx)
-        .query("First Time When Exists From PATHS P Where P MATCHES VNF(id=999)")
-        .unwrap();
+    let r = engine(&fx).query("First Time When Exists From PATHS P Where P MATCHES VNF(id=999)").unwrap();
     assert!(r.rows.is_empty());
 }
 

@@ -28,9 +28,7 @@ fn fixture() -> (Engine, Arc<TemporalGraph>) {
     let h0 = g.insert_node(c("Host"), vec![Value::Int(0)], t0).unwrap();
     let h1 = g.insert_node(c("Host"), vec![Value::Int(1)], t0).unwrap();
     for i in 0..3i64 {
-        let vnf = g
-            .insert_node(c("VNF"), vec![Value::Int(i), Value::Str(format!("vnf-{i}"))], t0)
-            .unwrap();
+        let vnf = g.insert_node(c("VNF"), vec![Value::Int(i), Value::Str(format!("vnf-{i}"))], t0).unwrap();
         let vm = g.insert_node(c("VM"), vec![Value::Int(i)], t0).unwrap();
         g.insert_edge(c("HostedOn"), vnf, vm, vec![], t0).unwrap();
         g.insert_edge(c("HostedOn"), vm, if i == 0 { h0 } else { h1 }, vec![], t0).unwrap();
@@ -96,9 +94,7 @@ fn select_deduplicates_value_rows() {
     let (mut eng, _g) = fixture();
     // Both remaining placements end at SOME host; selecting a constant
     // collapses to one row.
-    let r = eng
-        .query("Select 1 From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()")
-        .unwrap();
+    let r = eng.query("Select 1 From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()").unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -106,9 +102,7 @@ fn select_deduplicates_value_rows() {
 fn eval_limit_is_respected() {
     let (mut eng, _g) = fixture();
     eng.eval_options = EvalOptions { limit: Some(1), max_elements: None };
-    let r = eng
-        .query("Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()")
-        .unwrap();
+    let r = eng.query("Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()").unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -126,15 +120,9 @@ fn error_paths_are_descriptive() {
         Err(NepalError::UnknownField { .. })
     ));
     // Unknown class inside MATCHES surfaces the RPE error.
-    assert!(matches!(
-        eng.query("Retrieve P From PATHS P Where P MATCHES Nope()"),
-        Err(NepalError::Rpe(_))
-    ));
+    assert!(matches!(eng.query("Retrieve P From PATHS P Where P MATCHES Nope()"), Err(NepalError::Rpe(_))));
     // Nullable RPE rejected at plan time (§3.3).
-    assert!(matches!(
-        eng.query("Retrieve P From PATHS P Where P MATCHES [VM()]{0,3}"),
-        Err(NepalError::Rpe(_))
-    ));
+    assert!(matches!(eng.query("Retrieve P From PATHS P Where P MATCHES [VM()]{0,3}"), Err(NepalError::Rpe(_))));
 }
 
 #[test]

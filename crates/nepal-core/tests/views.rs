@@ -23,14 +23,10 @@ fn engine() -> (nepal_core::Engine, Arc<TemporalGraph>) {
     );
     let c = |n: &str| s.class_by_name(n).unwrap();
     let mut g = TemporalGraph::new(s.clone());
-    let hosts: Vec<_> = (0..2)
-        .map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap())
-        .collect();
+    let hosts: Vec<_> = (0..2).map(|i| g.insert_node(c("Host"), vec![Value::Int(i)], 0).unwrap()).collect();
     for i in 0..4 {
         let status = if i % 2 == 0 { "Active" } else { "Down" };
-        let vnf = g
-            .insert_node(c("VNF"), vec![Value::Int(i), Value::Str(status.into())], 0)
-            .unwrap();
+        let vnf = g.insert_node(c("VNF"), vec![Value::Int(i), Value::Str(status.into())], 0).unwrap();
         let vm = g.insert_node(c("VM"), vec![Value::Int(i)], 0).unwrap();
         g.insert_edge(c("HostedOn"), vnf, vm, vec![], 0).unwrap();
         g.insert_edge(c("HostedOn"), vm, hosts[(i % 2) as usize], vec![], 0).unwrap();
@@ -48,11 +44,9 @@ fn view_supplies_pathways_without_matches() {
     )
     .unwrap();
     // Range over the view — no MATCHES needed on V.
-    let r = eng
-        .query("Retrieve V From active_placements V")
-        .unwrap();
+    let r = eng.query("Retrieve V From active_placements V").unwrap();
     assert_eq!(r.rows.len(), 2); // VNFs 0 and 2 are Active
-    // Views compose with joins and post-processing.
+                                 // Views compose with joins and post-processing.
     let r2 = eng
         .query(
             "Select source(V).vnf_id From active_placements V, PATHS H \
@@ -68,11 +62,7 @@ fn view_supplies_pathways_without_matches() {
 #[test]
 fn views_can_stack() {
     let (mut eng, _g) = engine();
-    eng.define_view(
-        "placements",
-        "Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()",
-    )
-    .unwrap();
+    eng.define_view("placements", "Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()").unwrap();
     eng.define_view("all_placements", "Retrieve V From placements V").unwrap();
     let r = eng.query("Retrieve X From all_placements X").unwrap();
     assert_eq!(r.rows.len(), 4);
@@ -89,15 +79,9 @@ fn view_errors() {
         Err(NepalError::Unsupported(_))
     ));
     // PATHS variables still require MATCHES.
-    assert!(matches!(
-        eng.query("Retrieve V From PATHS V"),
-        Err(NepalError::NoMatches(_))
-    ));
+    assert!(matches!(eng.query("Retrieve V From PATHS V"), Err(NepalError::NoMatches(_))));
     // Recursive views terminate with an error rather than hanging.
     eng.define_view("a", "Retrieve V From b V").unwrap();
     eng.define_view("b", "Retrieve V From a V").unwrap();
-    assert!(matches!(
-        eng.query("Retrieve V From a V"),
-        Err(NepalError::Unsupported(_))
-    ));
+    assert!(matches!(eng.query("Retrieve V From a V"), Err(NepalError::Unsupported(_))));
 }

@@ -35,18 +35,15 @@ impl fmt::Display for GraphError {
                 write!(f, "uid {} is not a {expected}", uid.0)
             }
             GraphError::Dead { uid, at } => write!(f, "entity {} is not asserted at {at}", uid.0),
-            GraphError::EdgeNotAllowed { edge_class, src_class, dst_class } => write!(
-                f,
-                "schema forbids edge `{edge_class}` from `{src_class}` to `{dst_class}`"
-            ),
+            GraphError::EdgeNotAllowed { edge_class, src_class, dst_class } => {
+                write!(f, "schema forbids edge `{edge_class}` from `{src_class}` to `{dst_class}`")
+            }
             GraphError::UniqueViolation { class, field } => {
                 write!(f, "unique violation on `{class}.{field}`")
             }
-            GraphError::NonMonotonicTs { uid, last, got } => write!(
-                f,
-                "non-monotonic transaction time for uid {}: last {last}, got {got}",
-                uid.0
-            ),
+            GraphError::NonMonotonicTs { uid, last, got } => {
+                write!(f, "non-monotonic transaction time for uid {}: last {last}, got {got}", uid.0)
+            }
             GraphError::Schema(e) => write!(f, "schema error: {e}"),
             GraphError::BadClass(c) => write!(f, "bad class for operation: `{c}`"),
         }

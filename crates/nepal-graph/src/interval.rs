@@ -223,10 +223,7 @@ mod tests {
     fn intersection_with_open_end() {
         let a = IntervalSet::from_interval(Interval::since(10));
         let b = IntervalSet::from_intervals(vec![iv(0, 15), Interval::since(100)]);
-        assert_eq!(
-            a.intersect(&b).intervals(),
-            &[iv(10, 15), Interval::since(100)]
-        );
+        assert_eq!(a.intersect(&b).intervals(), &[iv(10, 15), Interval::since(100)]);
     }
 
     #[test]

@@ -50,8 +50,7 @@ pub fn save_graph<W: Write>(g: &TemporalGraph, w: &mut W) -> Result<()> {
             writeln!(w, "N {raw} {path} {}", versions.len()).map_err(io_err)?;
         } else {
             let e = g.edge(uid)?;
-            writeln!(w, "E {raw} {path} {} {} {}", e.src.0, e.dst.0, versions.len())
-                .map_err(io_err)?;
+            writeln!(w, "E {raw} {path} {} {} {}", e.src.0, e.dst.0, versions.len()).map_err(io_err)?;
         }
         for v in versions {
             write!(w, "V {} {} {}", v.span.from, v.span.to, v.fields.len()).map_err(io_err)?;
@@ -76,22 +75,15 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
     let mut pending: Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)> = None;
     let mut versions: Vec<(i64, i64, Vec<Value>)> = Vec::new();
     let flush = |g: &mut TemporalGraph,
-                     pending: &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
-                     versions: &mut Vec<(i64, i64, Vec<Value>)>,
-                     lineno: usize|
+                 pending: &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
+                 versions: &mut Vec<(i64, i64, Vec<Value>)>,
+                 lineno: usize|
      -> Result<()> {
         if let Some((is_node, uid, class, src, dst, n)) = pending.take() {
             if versions.len() != n {
                 return Err(format_err(lineno, "version count mismatch"));
             }
-            g.restore_entity(
-                Uid(uid),
-                is_node,
-                class,
-                Uid(src),
-                Uid(dst),
-                std::mem::take(versions),
-            )?;
+            g.restore_entity(Uid(uid), is_node, class, Uid(src), Uid(dst), std::mem::take(versions))?;
         }
         Ok(())
     };
@@ -107,14 +99,11 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
             Some("N") | Some("E") => {
                 flush(&mut g, &mut pending, &mut versions, lineno)?;
                 let is_node = line.starts_with('N');
-                let uid: u64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| format_err(lineno, "bad uid"))?;
+                let uid: u64 =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| format_err(lineno, "bad uid"))?;
                 let path = parts.next().ok_or_else(|| format_err(lineno, "missing class"))?;
-                let class = schema
-                    .class_by_name(path)
-                    .ok_or_else(|| format_err(lineno, &format!("unknown class `{path}`")))?;
+                let class =
+                    schema.class_by_name(path).ok_or_else(|| format_err(lineno, &format!("unknown class `{path}`")))?;
                 let expected_kind = if is_node { ClassKind::Node } else { ClassKind::Edge };
                 if schema.kind(class) != expected_kind {
                     return Err(format_err(lineno, "class kind mismatch"));
@@ -122,35 +111,22 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
                 let (src, dst) = if is_node {
                     (0, 0)
                 } else {
-                    let s: u64 = parts
-                        .next()
-                        .and_then(|x| x.parse().ok())
-                        .ok_or_else(|| format_err(lineno, "bad src"))?;
-                    let d: u64 = parts
-                        .next()
-                        .and_then(|x| x.parse().ok())
-                        .ok_or_else(|| format_err(lineno, "bad dst"))?;
+                    let s: u64 =
+                        parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad src"))?;
+                    let d: u64 =
+                        parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad dst"))?;
                     (s, d)
                 };
-                let n: usize = parts
-                    .next()
-                    .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| format_err(lineno, "bad version count"))?;
+                let n: usize =
+                    parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad version count"))?;
                 pending = Some((is_node, uid, class, src, dst, n));
             }
             Some("V") => {
-                let from: i64 = parts
-                    .next()
-                    .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| format_err(lineno, "bad from"))?;
-                let to: i64 = parts
-                    .next()
-                    .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| format_err(lineno, "bad to"))?;
-                let n: usize = parts
-                    .next()
-                    .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| format_err(lineno, "bad field count"))?;
+                let from: i64 =
+                    parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad from"))?;
+                let to: i64 = parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad to"))?;
+                let n: usize =
+                    parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad field count"))?;
                 // The rest of the line holds the encoded values, after the
                 // fourth space-separated token (`V from to n`).
                 let mut rest = if n == 0 {
@@ -171,8 +147,7 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
                 let mut fields = Vec::with_capacity(n);
                 for _ in 0..n {
                     rest = rest.trim_start();
-                    let (v, used) = decode_value(rest)
-                        .map_err(|e| format_err(lineno, &format!("bad value: {e}")))?;
+                    let (v, used) = decode_value(rest).map_err(|e| format_err(lineno, &format!("bad value: {e}")))?;
                     fields.push(v);
                     rest = &rest[used..];
                 }
@@ -231,11 +206,7 @@ mod tests {
         let v1 = g
             .insert_node(
                 vm,
-                vec![
-                    Value::Int(1),
-                    Value::Str("Green".into()),
-                    Value::Composite(vec![Value::Str("east".into())]),
-                ],
+                vec![Value::Int(1), Value::Str("Green".into()), Value::Composite(vec![Value::Str("east".into())])],
                 100,
             )
             .unwrap();
@@ -243,9 +214,7 @@ mod tests {
         let e = g.insert_edge(ho, v1, h1, vec![], 110).unwrap();
         g.update(v1, &[(1, Value::Str("Red".into()))], 200).unwrap();
         g.delete(e, 300).unwrap();
-        let v2 = g
-            .insert_node(vm, vec![Value::Int(2), Value::Str("Green".into()), Value::Null], 150)
-            .unwrap();
+        let v2 = g.insert_node(vm, vec![Value::Int(2), Value::Str("Green".into()), Value::Null], 150).unwrap();
         g.delete(v2, 400).unwrap();
         g
     }
@@ -282,12 +251,8 @@ mod tests {
         // a still-alive entity fails, of a dead one succeeds.
         let mut g2 = g2;
         let vm = g.schema().class_by_name("VM").unwrap();
-        assert!(g2
-            .insert_node(vm, vec![Value::Int(1), Value::Str("x".into()), Value::Null], 500)
-            .is_err());
-        assert!(g2
-            .insert_node(vm, vec![Value::Int(2), Value::Str("x".into()), Value::Null], 500)
-            .is_ok());
+        assert!(g2.insert_node(vm, vec![Value::Int(1), Value::Str("x".into()), Value::Null], 500).is_err());
+        assert!(g2.insert_node(vm, vec![Value::Int(2), Value::Str("x".into()), Value::Null], 500).is_ok());
     }
 
     #[test]
@@ -310,9 +275,7 @@ mod tests {
     #[test]
     fn malformed_journals_rejected() {
         let s = fixture().schema().clone();
-        let try_load = |text: &str| {
-            load_graph(s.clone(), &mut std::io::Cursor::new(text.as_bytes().to_vec()))
-        };
+        let try_load = |text: &str| load_graph(s.clone(), &mut std::io::Cursor::new(text.as_bytes().to_vec()));
         assert!(try_load("").is_err());
         assert!(try_load("WRONGMAGIC\n").is_err());
         assert!(try_load("NEPALJ1\nX 0 VM 1\n").is_err());

@@ -82,12 +82,7 @@ impl SnapshotLoader {
         // --- delete phase: edges first, then nodes (cascade-safe) ---
         let edge_seen: HashSet<&str> = edges.iter().map(|e| e.ext_id.as_str()).collect();
         let node_seen: HashSet<&str> = nodes.iter().map(|n| n.ext_id.as_str()).collect();
-        let stale_edges: Vec<String> = self
-            .edges
-            .keys()
-            .filter(|k| !edge_seen.contains(k.as_str()))
-            .cloned()
-            .collect();
+        let stale_edges: Vec<String> = self.edges.keys().filter(|k| !edge_seen.contains(k.as_str())).cloned().collect();
         for k in stale_edges {
             let uid = self.edges.remove(&k).unwrap();
             if g.current_version(uid).is_some() {
@@ -95,12 +90,7 @@ impl SnapshotLoader {
             }
             stats.deleted += 1;
         }
-        let stale_nodes: Vec<String> = self
-            .nodes
-            .keys()
-            .filter(|k| !node_seen.contains(k.as_str()))
-            .cloned()
-            .collect();
+        let stale_nodes: Vec<String> = self.nodes.keys().filter(|k| !node_seen.contains(k.as_str())).cloned().collect();
         for k in stale_nodes {
             let uid = self.nodes.remove(&k).unwrap();
             if g.current_version(uid).is_some() {
@@ -145,16 +135,14 @@ impl SnapshotLoader {
 
         // --- edge upsert phase (endpoints must already be resolved) ---
         for e in edges {
-            let src = self
-                .nodes
-                .get(&e.src_ext)
-                .copied()
-                .ok_or_else(|| crate::error::GraphError::BadClass(format!("unresolved endpoint `{}`", e.src_ext)))?;
-            let dst = self
-                .nodes
-                .get(&e.dst_ext)
-                .copied()
-                .ok_or_else(|| crate::error::GraphError::BadClass(format!("unresolved endpoint `{}`", e.dst_ext)))?;
+            let src =
+                self.nodes.get(&e.src_ext).copied().ok_or_else(|| {
+                    crate::error::GraphError::BadClass(format!("unresolved endpoint `{}`", e.src_ext))
+                })?;
+            let dst =
+                self.nodes.get(&e.dst_ext).copied().ok_or_else(|| {
+                    crate::error::GraphError::BadClass(format!("unresolved endpoint `{}`", e.dst_ext))
+                })?;
             match self.edges.get(&e.ext_id).copied() {
                 Some(uid)
                     if g.class_of(uid) == Some(e.class)
@@ -221,46 +209,26 @@ mod tests {
     }
 
     fn e(id: &str, class: ClassId, s: &str, d: &str) -> SnapshotEdge {
-        SnapshotEdge {
-            ext_id: id.into(),
-            class,
-            src_ext: s.into(),
-            dst_ext: d.into(),
-            fields: vec![],
-        }
+        SnapshotEdge { ext_id: id.into(), class, src_ext: s.into(), dst_ext: d.into(), fields: vec![] }
     }
 
     #[test]
     fn snapshot_diff_produces_minimal_history() {
         let (mut g, vm, link) = setup();
         let mut loader = SnapshotLoader::new();
-        let s1 = loader
-            .apply(
-                &mut g,
-                100,
-                &[n("a", vm, "Green"), n("b", vm, "Green")],
-                &[e("ab", link, "a", "b")],
-            )
-            .unwrap();
+        let s1 =
+            loader.apply(&mut g, 100, &[n("a", vm, "Green"), n("b", vm, "Green")], &[e("ab", link, "a", "b")]).unwrap();
         assert_eq!(s1, SnapshotStats { inserted: 3, ..Default::default() });
 
         // Identical snapshot: nothing changes, no new versions.
         let before = g.num_versions();
-        let s2 = loader
-            .apply(
-                &mut g,
-                200,
-                &[n("a", vm, "Green"), n("b", vm, "Green")],
-                &[e("ab", link, "a", "b")],
-            )
-            .unwrap();
+        let s2 =
+            loader.apply(&mut g, 200, &[n("a", vm, "Green"), n("b", vm, "Green")], &[e("ab", link, "a", "b")]).unwrap();
         assert_eq!(s2.unchanged, 3);
         assert_eq!(g.num_versions(), before);
 
         // Field change + removal.
-        let s3 = loader
-            .apply(&mut g, 300, &[n("a", vm, "Red")], &[])
-            .unwrap();
+        let s3 = loader.apply(&mut g, 300, &[n("a", vm, "Red")], &[]).unwrap();
         assert_eq!(s3.updated, 1);
         assert_eq!(s3.deleted, 2); // edge ab + node b
         let a = loader.node_uid("a").unwrap();
@@ -290,21 +258,11 @@ mod tests {
         let (mut g, vm, link) = setup();
         let mut loader = SnapshotLoader::new();
         loader
-            .apply(
-                &mut g,
-                100,
-                &[n("a", vm, "G"), n("b", vm, "G"), n("c", vm, "G")],
-                &[e("x", link, "a", "b")],
-            )
+            .apply(&mut g, 100, &[n("a", vm, "G"), n("b", vm, "G"), n("c", vm, "G")], &[e("x", link, "a", "b")])
             .unwrap();
         let old_edge = loader.edge_uid("x").unwrap();
         loader
-            .apply(
-                &mut g,
-                200,
-                &[n("a", vm, "G"), n("b", vm, "G"), n("c", vm, "G")],
-                &[e("x", link, "a", "c")],
-            )
+            .apply(&mut g, 200, &[n("a", vm, "G"), n("b", vm, "G"), n("c", vm, "G")], &[e("x", link, "a", "c")])
             .unwrap();
         let new_edge = loader.edge_uid("x").unwrap();
         assert_ne!(old_edge, new_edge);

@@ -228,14 +228,7 @@ impl TemporalGraph {
     /// Insert an edge of `class` from `src` to `dst`, asserted from `ts`.
     /// Both endpoints must be currently asserted and the schema's
     /// allowed-edge rules must permit the connection.
-    pub fn insert_edge(
-        &mut self,
-        class: ClassId,
-        src: Uid,
-        dst: Uid,
-        fields: Vec<Value>,
-        ts: Ts,
-    ) -> Result<Uid> {
+    pub fn insert_edge(&mut self, class: ClassId, src: Uid, dst: Uid, fields: Vec<Value>, ts: Ts) -> Result<Uid> {
         if self.schema.kind(class) != ClassKind::Edge {
             return Err(GraphError::BadClass(self.schema.class(class).name.clone()));
         }
@@ -278,16 +271,9 @@ impl TemporalGraph {
     /// Update fields of a currently asserted entity: closes the current
     /// version at `ts` and opens a new one.
     pub fn update(&mut self, uid: Uid, changes: &[(usize, Value)], ts: Ts) -> Result<()> {
-        let entry = self
-            .entries
-            .get(uid.0 as usize)
-            .ok_or(GraphError::UnknownUid(uid))?;
+        let entry = self.entries.get(uid.0 as usize).ok_or(GraphError::UnknownUid(uid))?;
         let class = entry.class();
-        let cur = entry
-            .versions()
-            .last()
-            .filter(|v| v.span.is_current())
-            .ok_or(GraphError::Dead { uid, at: ts })?;
+        let cur = entry.versions().last().filter(|v| v.span.is_current()).ok_or(GraphError::Dead { uid, at: ts })?;
         if ts < cur.span.from {
             return Err(GraphError::NonMonotonicTs { uid, last: cur.span.from, got: ts });
         }
@@ -347,18 +333,12 @@ impl TemporalGraph {
     /// cascades to all its currently asserted incident edges, mirroring the
     /// referential behaviour of inventory feeds.
     pub fn delete(&mut self, uid: Uid, ts: Ts) -> Result<()> {
-        let entry = self
-            .entries
-            .get(uid.0 as usize)
-            .ok_or(GraphError::UnknownUid(uid))?;
+        let entry = self.entries.get(uid.0 as usize).ok_or(GraphError::UnknownUid(uid))?;
         let is_node = matches!(entry, Entry::Node(_));
         if is_node {
             let slot = self.adj_slot[uid.0 as usize] as usize;
-            let incident: Vec<Uid> = self.out_adj[slot]
-                .iter()
-                .chain(self.in_adj[slot].iter())
-                .map(|a| a.edge)
-                .collect();
+            let incident: Vec<Uid> =
+                self.out_adj[slot].iter().chain(self.in_adj[slot].iter()).map(|a| a.edge).collect();
             for e in incident {
                 if self.current_version(e).is_some() {
                     self.close_entry(e, ts)?;
@@ -371,11 +351,7 @@ impl TemporalGraph {
     fn close_entry(&mut self, uid: Uid, ts: Ts) -> Result<()> {
         let entry = &self.entries[uid.0 as usize];
         let class = entry.class();
-        let cur = entry
-            .versions()
-            .last()
-            .filter(|v| v.span.is_current())
-            .ok_or(GraphError::Dead { uid, at: ts })?;
+        let cur = entry.versions().last().filter(|v| v.span.is_current()).ok_or(GraphError::Dead { uid, at: ts })?;
         if ts < cur.span.from {
             return Err(GraphError::NonMonotonicTs { uid, last: cur.span.from, got: ts });
         }
@@ -427,10 +403,7 @@ impl TemporalGraph {
     }
 
     pub fn versions(&self, uid: Uid) -> &[Version] {
-        self.entries
-            .get(uid.0 as usize)
-            .map(|e| e.versions())
-            .unwrap_or(&[])
+        self.entries.get(uid.0 as usize).map(|e| e.versions()).unwrap_or(&[])
     }
 
     /// The still-open version, if the entity is currently asserted.
@@ -474,20 +447,13 @@ impl TemporalGraph {
 
     /// Iterate all uids of `class` and its subclasses.
     pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Uid> + '_ {
-        self.schema
-            .descendants(class)
-            .into_iter()
-            .flat_map(|c| self.extents[c.0 as usize].to_vec())
+        self.schema.descendants(class).into_iter().flat_map(|c| self.extents[c.0 as usize].to_vec())
     }
 
     /// Number of currently asserted entities of `class` incl. subclasses —
     /// the optimizer's primary statistic.
     pub fn alive_count(&self, class: ClassId) -> u64 {
-        self.schema
-            .descendants(class)
-            .into_iter()
-            .map(|c| self.alive[c.0 as usize])
-            .sum()
+        self.schema.descendants(class).into_iter().map(|c| self.alive[c.0 as usize]).sum()
     }
 
     pub fn out_adj(&self, uid: Uid) -> &[AdjEntry] {
@@ -561,20 +527,11 @@ impl TemporalGraph {
             self.in_adj.push(Vec::new());
         } else {
             if src.0 >= uid.0 || dst.0 >= uid.0 {
-                return Err(GraphError::BadClass(format!(
-                    "edge {} references not-yet-restored endpoint",
-                    uid.0
-                )));
+                return Err(GraphError::BadClass(format!("edge {} references not-yet-restored endpoint", uid.0)));
             }
             self.node(src)?;
             self.node(dst)?;
-            self.entries.push(Entry::Edge(EdgeEntry {
-                uid,
-                class,
-                src,
-                dst,
-                versions: vs.clone(),
-            }));
+            self.entries.push(Entry::Edge(EdgeEntry { uid, class, src, dst, versions: vs.clone() }));
             self.adj_slot.push(u32::MAX);
             let ss = self.adj_slot[src.0 as usize] as usize;
             let ds = self.adj_slot[dst.0 as usize] as usize;
@@ -640,8 +597,7 @@ mod tests {
 
     fn vm(g: &mut TemporalGraph, id: i64, ts: Ts) -> Uid {
         let c = g.schema().class_by_name("VM").unwrap();
-        g.insert_node(c, vec![Value::Int(id), Value::Str("Green".into())], ts)
-            .unwrap()
+        g.insert_node(c, vec![Value::Int(id), Value::Str("Green".into())], ts).unwrap()
     }
 
     #[test]
@@ -700,9 +656,7 @@ mod tests {
         let mut g = TemporalGraph::new(s);
         vm(&mut g, 1, 0);
         let c = g.schema().class_by_name("VM").unwrap();
-        let err = g
-            .insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 1)
-            .unwrap_err();
+        let err = g.insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 1).unwrap_err();
         assert!(matches!(err, GraphError::UniqueViolation { .. }));
     }
 
@@ -738,9 +692,7 @@ mod tests {
         let s = schema();
         let mut g = TemporalGraph::new(s.clone());
         let c = s.class_by_name("VM").unwrap();
-        assert!(g
-            .insert_node(c, vec![Value::Str("oops".into()), Value::Str("x".into())], 0)
-            .is_err());
+        assert!(g.insert_node(c, vec![Value::Str("oops".into()), Value::Str("x".into())], 0).is_err());
         // Edge class used as node class.
         let ec = s.class_by_name("HostedOn").unwrap();
         assert!(matches!(g.insert_node(ec, vec![], 0), Err(GraphError::BadClass(_))));

@@ -72,10 +72,7 @@ impl<'g> GraphView<'g> {
             TimeFilter::AsOf(t) => self.graph.version_at(uid, t).map(|v| v.fields.as_slice()),
             TimeFilter::Range(a, b) => {
                 let probe = Interval::new(a, b.saturating_add(1));
-                self.graph
-                    .versions_overlapping(uid, &probe)
-                    .last()
-                    .map(|v| v.fields.as_slice())
+                self.graph.versions_overlapping(uid, &probe).last().map(|v| v.fields.as_slice())
             }
         }
     }
@@ -131,12 +128,8 @@ impl<'g> GraphView<'g> {
         }
         // Keep the maximal components that contain any satisfying-in-window
         // interval.
-        let comps: Vec<Interval> = all
-            .intervals()
-            .iter()
-            .filter(|c| set.intervals().iter().any(|s| c.overlaps(s)))
-            .copied()
-            .collect();
+        let comps: Vec<Interval> =
+            all.intervals().iter().filter(|c| set.intervals().iter().any(|s| c.overlaps(s))).copied().collect();
         IntervalSet::from_intervals(comps)
     }
 
@@ -146,31 +139,22 @@ impl<'g> GraphView<'g> {
         match self.filter {
             TimeFilter::Current => self.graph.current_version(uid).is_some(),
             TimeFilter::AsOf(t) => self.graph.version_at(uid, t).is_some(),
-            TimeFilter::Range(a, b) => !self
-                .graph
-                .versions_overlapping(uid, &Interval::new(a, b.saturating_add(1)))
-                .is_empty(),
+            TimeFilter::Range(a, b) => {
+                !self.graph.versions_overlapping(uid, &Interval::new(a, b.saturating_add(1))).is_empty()
+            }
         }
     }
 
     /// Outgoing adjacency of a node, filtered to edges alive under the view.
     pub fn out_edges(&self, uid: Uid) -> impl Iterator<Item = AdjEntry> + '_ {
         let me = *self;
-        self.graph
-            .out_adj(uid)
-            .iter()
-            .copied()
-            .filter(move |a| me.alive(a.edge))
+        self.graph.out_adj(uid).iter().copied().filter(move |a| me.alive(a.edge))
     }
 
     /// Incoming adjacency of a node, filtered to edges alive under the view.
     pub fn in_edges(&self, uid: Uid) -> impl Iterator<Item = AdjEntry> + '_ {
         let me = *self;
-        self.graph
-            .in_adj(uid)
-            .iter()
-            .copied()
-            .filter(move |a| me.alive(a.edge))
+        self.graph.in_adj(uid).iter().copied().filter(move |a| me.alive(a.edge))
     }
 
     /// All uids of `class` (and subclasses) alive under this view.
@@ -194,14 +178,10 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (TemporalGraph, Uid) {
-        let s = Arc::new(
-            parse_schema("node VM { vm_id: int unique, status: str }").unwrap(),
-        );
+        let s = Arc::new(parse_schema("node VM { vm_id: int unique, status: str }").unwrap());
         let mut g = TemporalGraph::new(s.clone());
         let c = s.class_by_name("VM").unwrap();
-        let u = g
-            .insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 100)
-            .unwrap();
+        let u = g.insert_node(c, vec![Value::Int(1), Value::Str("Green".into())], 100).unwrap();
         g.update(u, &[(1, Value::Str("Red".into()))], 200).unwrap();
         g.update(u, &[(1, Value::Str("Green".into()))], 300).unwrap();
         (g, u)
@@ -214,7 +194,8 @@ mod tests {
         assert!(GraphView::new(&g, TimeFilter::AsOf(150)).matching(u, green).is_some());
         assert!(GraphView::new(&g, TimeFilter::AsOf(250)).matching(u, green).is_none());
         assert!(GraphView::new(&g, TimeFilter::Current).matching(u, green).is_some());
-        assert!(GraphView::new(&g, TimeFilter::AsOf(50)).matching(u, green).is_none()); // before birth
+        assert!(GraphView::new(&g, TimeFilter::AsOf(50)).matching(u, green).is_none());
+        // before birth
     }
 
     #[test]

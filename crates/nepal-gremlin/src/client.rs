@@ -7,9 +7,23 @@
 //! evaluating a Nepal plan against a Gremlin backend.
 
 use crate::json::Json;
-use crate::protocol::{read_frame, request, status, write_frame, ProtoError};
+use crate::protocol::{read_frame_counted, request, status, write_frame_counted, ProtoError};
 use crate::server::Transport;
 use crate::traversal::{bytecode_to_json, GStep};
+
+/// Cumulative wire-level counters for one client connection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WireStats {
+    /// Requests submitted (== round trips).
+    pub requests: u64,
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    /// Status-206 frames received (streamed result batches before the
+    /// terminal frame).
+    pub partial_batches: u64,
+}
 
 /// A Gremlin client over any transport.
 pub struct GremlinClient<T: Transport> {
@@ -18,11 +32,18 @@ pub struct GremlinClient<T: Transport> {
     /// Number of submitted requests (round trips) — the metric the
     /// ExtendBlock optimization exists to reduce.
     pub round_trips: u64,
+    /// Wire-level counters, cumulative over the connection's lifetime.
+    pub wire: WireStats,
 }
 
 impl<T: Transport> GremlinClient<T> {
     pub fn new(conn: T) -> Self {
-        GremlinClient { conn, next_id: 0, round_trips: 0 }
+        GremlinClient { conn, next_id: 0, round_trips: 0, wire: WireStats::default() }
+    }
+
+    /// Snapshot of the connection's wire counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire
     }
 
     /// Submit a bytecode traversal and collect the full result stream.
@@ -39,37 +60,33 @@ impl<T: Transport> GremlinClient<T> {
     fn submit_raw(&mut self, op: &str, gremlin: Json) -> Result<Vec<Json>, ProtoError> {
         self.next_id += 1;
         self.round_trips += 1;
+        self.wire.requests += 1;
         let id = format!("req-{}", self.next_id);
         let mut req = request(&id, gremlin);
         if let Json::Obj(m) = &mut req {
             m.insert("op".into(), Json::Str(op.to_string()));
         }
-        write_frame(&mut self.conn, &req)?;
+        let sent = write_frame_counted(&mut self.conn, &req)?;
+        self.wire.frames_sent += 1;
+        self.wire.bytes_sent += sent;
         let mut out = Vec::new();
         loop {
-            let frame = read_frame(&mut self.conn)?;
+            let (frame, received) = read_frame_counted(&mut self.conn)?;
+            self.wire.frames_received += 1;
+            self.wire.bytes_received += received;
             let rid = frame.get("requestId").and_then(|j| j.as_str()).unwrap_or("");
             if rid != id {
-                return Err(ProtoError::BadFrame(format!(
-                    "response for `{rid}`, expected `{id}`"
-                )));
+                return Err(ProtoError::BadFrame(format!("response for `{rid}`, expected `{id}`")));
             }
-            let code = frame
-                .get("status")
-                .and_then(|s| s.get("code"))
-                .and_then(|c| c.as_u64())
-                .unwrap_or(0) as u32;
-            let msg = frame
-                .get("status")
-                .and_then(|s| s.get("message"))
-                .and_then(|m| m.as_str())
-                .unwrap_or("")
-                .to_string();
+            let code = frame.get("status").and_then(|s| s.get("code")).and_then(|c| c.as_u64()).unwrap_or(0) as u32;
+            let msg =
+                frame.get("status").and_then(|s| s.get("message")).and_then(|m| m.as_str()).unwrap_or("").to_string();
             match code {
                 status::PARTIAL_CONTENT | status::SUCCESS => {
-                    if let Some(data) =
-                        frame.get("result").and_then(|r| r.get("data")).and_then(|d| d.as_arr())
-                    {
+                    if code == status::PARTIAL_CONTENT {
+                        self.wire.partial_batches += 1;
+                    }
+                    if let Some(data) = frame.get("result").and_then(|r| r.get("data")).and_then(|d| d.as_arr()) {
                         out.extend(data.iter().cloned());
                     }
                     if code == status::SUCCESS {
@@ -107,11 +124,8 @@ impl Channel {
 
     /// Distinct element ids currently in the channel.
     pub fn ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .items
-            .iter()
-            .filter_map(|j| j.get("id").and_then(|i| i.as_u64()).or_else(|| j.as_u64()))
-            .collect();
+        let mut ids: Vec<u64> =
+            self.items.iter().filter_map(|j| j.get("id").and_then(|i| i.as_u64()).or_else(|| j.as_u64())).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -166,9 +180,7 @@ mod tests {
     fn works_over_tcp_too() {
         let server = GremlinServer::start(shared()).unwrap();
         let mut client = GremlinClient::new(server.connect().unwrap());
-        let results = client
-            .submit(&[GStep::V(vec![]), GStep::Limit(5), GStep::Id])
-            .unwrap();
+        let results = client.submit(&[GStep::V(vec![]), GStep::Limit(5), GStep::Id]).unwrap();
         assert_eq!(results.len(), 5);
     }
 

@@ -113,11 +113,7 @@ struct GremlinEval<'a, T: Transport> {
 impl<'a, T: Transport> GremlinEval<'a, T> {
     fn alive_steps(&self) -> Vec<GStep> {
         match self.time {
-            GremlinTime::Current => vec![GStep::Has(
-                "sys_to".into(),
-                GCmp::Gte,
-                Json::Num(OPEN_TS as f64),
-            )],
+            GremlinTime::Current => vec![GStep::Has("sys_to".into(), GCmp::Gte, Json::Num(OPEN_TS as f64))],
             GremlinTime::AsOf(t) => vec![
                 GStep::Has("sys_from".into(), GCmp::Lte, Json::Num(t as f64)),
                 GStep::Has("sys_to".into(), GCmp::Gt, Json::Num(t as f64)),
@@ -129,11 +125,7 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
     /// pushing equality predicates down as `has()` steps.
     fn select(&mut self, atom_idx: u32) -> Result<Vec<u64>, ProtoError> {
         let atom = &self.plan.atoms[atom_idx as usize];
-        let mut steps: Vec<GStep> = if atom.is_node {
-            vec![GStep::V(vec![])]
-        } else {
-            vec![GStep::E(vec![])]
-        };
+        let mut steps: Vec<GStep> = if atom.is_node { vec![GStep::V(vec![])] } else { vec![GStep::E(vec![])] };
         steps.push(GStep::HasLabelPrefix(self.prefixes[atom_idx as usize].clone()));
         for p in &atom.preds {
             if p.op == nepal_rpe::CmpOp::Eq {
@@ -162,13 +154,7 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
         let missing: Vec<u64> = ids
             .iter()
             .copied()
-            .filter(|id| {
-                if outgoing {
-                    !self.out_cache.contains_key(id)
-                } else {
-                    !self.in_cache.contains_key(id)
-                }
-            })
+            .filter(|id| if outgoing { !self.out_cache.contains_key(id) } else { !self.in_cache.contains_key(id) })
             .collect();
         if missing.is_empty() {
             return Ok(());
@@ -222,11 +208,8 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
     fn step_states(&self, states: &[u32], id: u64, forwards: bool) -> Vec<u32> {
         let mut next = Vec::new();
         for &s in states {
-            let trans: &[(Label, u32)] = if forwards {
-                &self.plan.nfa.trans[s as usize]
-            } else {
-                &self.plan.nfa.rev[s as usize]
-            };
+            let trans: &[(Label, u32)] =
+                if forwards { &self.plan.nfa.trans[s as usize] } else { &self.plan.nfa.rev[s as usize] };
             for &(label, t) in trans {
                 if self.matches(id, label) && !next.contains(&t) {
                     next.push(t);
@@ -259,11 +242,8 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
                 }
             }
             // Batch-fetch adjacency for every frontier head.
-            let heads: Vec<u64> = frontier
-                .iter()
-                .filter(|(p, _)| p.len() + 2 <= cap)
-                .map(|(p, _)| *p.last().unwrap())
-                .collect();
+            let heads: Vec<u64> =
+                frontier.iter().filter(|(p, _)| p.len() + 2 <= cap).map(|(p, _)| *p.last().unwrap()).collect();
             self.fetch_adj(&heads, forwards)?;
             let mut next_frontier = Vec::new();
             for (path, states) in frontier {
@@ -368,11 +348,7 @@ pub fn evaluate_gremlin<T: Transport>(
     use_extend_block: bool,
 ) -> Result<GremlinExecResult, ProtoError> {
     let start_trips = client.round_trips;
-    let prefixes: Vec<String> = plan
-        .atoms
-        .iter()
-        .map(|a| schema.path_name(a.class))
-        .collect();
+    let prefixes: Vec<String> = plan.atoms.iter().map(|a| schema.path_name(a.class)).collect();
     let mut ev = GremlinEval {
         client,
         plan,
@@ -395,18 +371,13 @@ pub fn evaluate_gremlin<T: Transport>(
                 let ids = ev.select(anchor_atom)?;
                 if !ids.is_empty() {
                     let prefix = ev.prefixes[edge_atom as usize].clone();
-                    let mut body = vec![
-                        if anchored_first { GStep::OutE(Some(prefix)) } else { GStep::InE(Some(prefix)) },
-                    ];
+                    let mut body =
+                        vec![if anchored_first { GStep::OutE(Some(prefix)) } else { GStep::InE(Some(prefix)) }];
                     body.extend(ev.alive_steps());
                     body.push(if anchored_first { GStep::InV } else { GStep::OutV });
                     body.extend(ev.alive_steps());
                     body.push(GStep::SimplePath);
-                    let steps = vec![
-                        GStep::V(ids),
-                        GStep::Repeat(body, min, max),
-                        GStep::Path,
-                    ];
+                    let steps = vec![GStep::V(ids), GStep::Repeat(body, min, max), GStep::Path];
                     let raw = ev.client.submit(&steps)?;
                     let other = &plan.atoms[other_atom as usize];
                     let other_prefix = ev.prefixes[other_atom as usize].clone();
@@ -523,9 +494,7 @@ pub fn evaluate_gremlin<T: Transport>(
                     ev.elems.insert(id, info);
                 }
             }
-            let accepts: Vec<u32> = (0..plan.nfa.n_states as u32)
-                .filter(|&s| plan.nfa.accepts[s as usize])
-                .collect();
+            let accepts: Vec<u32> = (0..plan.nfa.n_states as u32).filter(|&s| plan.nfa.accepts[s as usize]).collect();
             for id in ids {
                 let b1 = ev.step_states(&accepts, id, false);
                 if b1.is_empty() {
@@ -545,10 +514,8 @@ pub fn evaluate_gremlin<T: Transport>(
 }
 
 fn finish(results: HashSet<Vec<u64>>, opts: &EvalOptions, round_trips: u64) -> GremlinExecResult {
-    let mut pathways: Vec<Pathway> = results
-        .into_iter()
-        .map(|elems| Pathway { elems: elems.into_iter().map(Uid).collect(), times: None })
-        .collect();
+    let mut pathways: Vec<Pathway> =
+        results.into_iter().map(|elems| Pathway { elems: elems.into_iter().map(Uid).collect(), times: None }).collect();
     pathways.sort_by(|a, b| a.elems.cmp(&b.elems));
     if let Some(limit) = opts.limit {
         pathways.truncate(limit);

@@ -52,14 +52,7 @@ impl PropertyGraph {
         self.vertices.insert(id, GVertex { id, label, props });
     }
 
-    pub fn add_edge(
-        &mut self,
-        id: u64,
-        label: impl Into<String>,
-        src: u64,
-        dst: u64,
-        props: BTreeMap<String, Json>,
-    ) {
+    pub fn add_edge(&mut self, id: u64, label: impl Into<String>, src: u64, dst: u64, props: BTreeMap<String, Json>) {
         let label = label.into();
         self.label_index_e.entry(label.clone()).or_default().push(id);
         self.edges.insert(id, GEdge { id, label, src, dst, props });
@@ -106,9 +99,7 @@ impl PropertyGraph {
 /// Does `label` denote the concept `prefix` or a subclass of it?
 pub fn label_matches_prefix(label: &str, prefix: &str) -> bool {
     label == prefix
-        || (label.len() > prefix.len()
-            && label.starts_with(prefix)
-            && label.as_bytes()[prefix.len()] == b':')
+        || (label.len() > prefix.len() && label.starts_with(prefix) && label.as_bytes()[prefix.len()] == b':')
 }
 
 fn prefix_scan(index: &BTreeMap<String, Vec<u64>>, prefix: &str) -> Vec<u64> {

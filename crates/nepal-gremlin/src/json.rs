@@ -300,9 +300,7 @@ impl<'a> P<'a> {
             self.i += 1;
         }
         let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        txt.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { pos: start, msg: "bad number".into() })
+        txt.parse::<f64>().map(Json::Num).map_err(|_| JsonError { pos: start, msg: "bad number".into() })
     }
 }
 
@@ -336,22 +334,12 @@ pub fn value_to_json(v: &Value) -> Json {
         Value::Ts(t) => Json::obj(vec![("@ts", Json::Num(*t as f64))]),
         Value::Ip(ip) => Json::obj(vec![("@ip", Json::Str(ip.to_string()))]),
         Value::List(items) => Json::Arr(items.iter().map(value_to_json).collect()),
-        Value::Set(items) => Json::obj(vec![(
-            "@set",
-            Json::Arr(items.iter().map(value_to_json).collect()),
-        )]),
+        Value::Set(items) => Json::obj(vec![("@set", Json::Arr(items.iter().map(value_to_json).collect()))]),
         Value::Map(m) => Json::obj(vec![(
             "@map",
-            Json::Arr(
-                m.iter()
-                    .map(|(k, v)| Json::Arr(vec![value_to_json(k), value_to_json(v)]))
-                    .collect(),
-            ),
+            Json::Arr(m.iter().map(|(k, v)| Json::Arr(vec![value_to_json(k), value_to_json(v)])).collect()),
         )]),
-        Value::Composite(fields) => Json::obj(vec![(
-            "@comp",
-            Json::Arr(fields.iter().map(value_to_json).collect()),
-        )]),
+        Value::Composite(fields) => Json::obj(vec![("@comp", Json::Arr(fields.iter().map(value_to_json).collect()))]),
     }
 }
 
@@ -379,9 +367,7 @@ pub fn json_to_value(j: &Json) -> Value {
                             return Value::Ip(ip);
                         }
                     }
-                    ("@set", Json::Arr(a)) => {
-                        return Value::set(a.iter().map(json_to_value).collect())
-                    }
+                    ("@set", Json::Arr(a)) => return Value::set(a.iter().map(json_to_value).collect()),
                     ("@map", Json::Arr(a)) => {
                         let mut out = std::collections::BTreeMap::new();
                         for pair in a {
@@ -393,9 +379,7 @@ pub fn json_to_value(j: &Json) -> Value {
                         }
                         return Value::Map(out);
                     }
-                    ("@comp", Json::Arr(a)) => {
-                        return Value::Composite(a.iter().map(json_to_value).collect())
-                    }
+                    ("@comp", Json::Arr(a)) => return Value::Composite(a.iter().map(json_to_value).collect()),
                     _ => {}
                 }
             }

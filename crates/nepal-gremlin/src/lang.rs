@@ -201,18 +201,16 @@ fn build(calls: Vec<(String, Vec<Arg>)>) -> Result<Vec<GStep>, LangError> {
         match name.as_str() {
             "V" => out.push(GStep::V(ids_of(&args)?)),
             "E" => out.push(GStep::E(ids_of(&args)?)),
-            "hasLabel" | "hasLabelPrefix" => out.push(GStep::HasLabelPrefix(
-                label_of(&args).ok_or_else(|| e("hasLabel needs a string"))?,
-            )),
+            "hasLabel" | "hasLabelPrefix" => {
+                out.push(GStep::HasLabelPrefix(label_of(&args).ok_or_else(|| e("hasLabel needs a string"))?))
+            }
             "has" => {
                 let key = match args.first() {
                     Some(Arg::Str(s)) => s.clone(),
                     _ => return Err(e("has() needs a property key")),
                 };
                 match args.get(1) {
-                    Some(Arg::Pred(cmp, inner)) => {
-                        out.push(GStep::Has(key, *cmp, arg_json(inner)?))
-                    }
+                    Some(Arg::Pred(cmp, inner)) => out.push(GStep::Has(key, *cmp, arg_json(inner)?)),
                     Some(lit) => out.push(GStep::Has(key, GCmp::Eq, arg_json(lit)?)),
                     None => return Err(e("has() needs a value")),
                 }
@@ -248,9 +246,7 @@ fn build(calls: Vec<(String, Vec<Arg>)>) -> Result<Vec<GStep>, LangError> {
                 out.push(GStep::Limit(n));
             }
             "count" => out.push(GStep::Count),
-            "values" => out.push(GStep::Values(
-                label_of(&args).ok_or_else(|| e("values() needs a key"))?,
-            )),
+            "values" => out.push(GStep::Values(label_of(&args).ok_or_else(|| e("values() needs a key"))?)),
             "id" => out.push(GStep::Id),
             other => return Err(e(&format!("unknown step `{other}`"))),
         }
@@ -316,8 +312,7 @@ mod tests {
     #[test]
     fn parses_predicates_and_hops() {
         let g = graph();
-        let steps =
-            parse_traversal("g.V().hasLabel('Node:Host').has('vm_id', gte(8)).id()").unwrap();
+        let steps = parse_traversal("g.V().hasLabel('Node:Host').has('vm_id', gte(8)).id()").unwrap();
         let r = evaluate(&g, &steps).unwrap();
         assert_eq!(r, vec![Json::Num(3.0)]);
         let steps = parse_traversal("g.V(1).outE('Edge:Vertical').inV().id()").unwrap();
@@ -328,10 +323,7 @@ mod tests {
     #[test]
     fn parses_repeat_times() {
         let g = graph();
-        let steps = parse_traversal(
-            "g.V(1).repeat(__.outE().inV().simplePath()).times(2).emit().path()",
-        )
-        .unwrap();
+        let steps = parse_traversal("g.V(1).repeat(__.outE().inV().simplePath()).times(2).emit().path()").unwrap();
         let r = evaluate(&g, &steps).unwrap();
         // Depth 1: 1→2; depth 2: 1→2→3.
         assert_eq!(r.len(), 2);

@@ -25,12 +25,12 @@ pub mod protocol;
 pub mod server;
 pub mod traversal;
 
-pub use client::{Channel, GremlinClient};
+pub use client::{Channel, GremlinClient, WireStats};
 pub use exec::{evaluate_gremlin, GremlinExecResult, GremlinTime};
 pub use graph::{label_matches_prefix, GEdge, GVertex, PropertyGraph};
 pub use json::{parse_json, Json};
 pub use lang::{parse_traversal, LangError};
 pub use load::{property_graph_from, OPEN_TS};
 pub use protocol::{ProtoError, MIME};
-pub use server::{pipe_pair, serve_in_process, GremlinServer, SharedGraph};
+pub use server::{pipe_pair, serve_in_process, serve_in_process_stats, GremlinServer, ServerStats, SharedGraph};
 pub use traversal::{bytecode_from_json, bytecode_to_json, GCmp, GStep};

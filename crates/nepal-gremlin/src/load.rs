@@ -40,17 +40,13 @@ pub fn property_graph_from(g: &TemporalGraph) -> PropertyGraph {
         let is_node = kind_root == NODE;
         for class in schema.descendants(kind_root) {
             let label = schema.path_name(class);
-            let field_names: Vec<String> =
-                schema.all_fields(class).iter().map(|f| f.name.clone()).collect();
+            let field_names: Vec<String> = schema.all_fields(class).iter().map(|f| f.name.clone()).collect();
             for &uid in g.extent_exact(class) {
                 let versions = g.versions(uid);
                 let Some(last) = versions.last() else { continue };
                 let first = versions.first().unwrap();
-                let mut props: BTreeMap<String, Json> = field_names
-                    .iter()
-                    .zip(&last.fields)
-                    .map(|(n, v)| (n.clone(), value_to_json(v)))
-                    .collect();
+                let mut props: BTreeMap<String, Json> =
+                    field_names.iter().zip(&last.fields).map(|(n, v)| (n.clone(), value_to_json(v))).collect();
                 props.insert("sys_from".into(), Json::Num(clamp_ts(first.span.from) as f64));
                 props.insert("sys_to".into(), Json::Num(clamp_ts(last.span.to) as f64));
                 if is_node {
@@ -87,9 +83,7 @@ mod tests {
         );
         let mut g = TemporalGraph::new(s.clone());
         let c = |n: &str| s.class_by_name(n).unwrap();
-        let vm = g
-            .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], 100)
-            .unwrap();
+        let vm = g.insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], 100).unwrap();
         let h = g.insert_node(c("Host"), vec![Value::Int(7)], 100).unwrap();
         let e = g.insert_edge(c("HostedOn"), vm, h, vec![], 100).unwrap();
         g.update(vm, &[(0, Value::Str("Red".into()))], 200).unwrap();

@@ -24,6 +24,9 @@ pub mod status {
     pub const NO_CONTENT: u32 = 204;
     pub const PARTIAL_CONTENT: u32 = 206;
     pub const SERVER_ERROR: u32 = 500;
+    /// Request frame could not be decoded (Gremlin Server's request
+    /// serialization error).
+    pub const MALFORMED_REQUEST: u32 = 597;
 }
 
 /// Number of results per partial-content frame.
@@ -68,16 +71,18 @@ pub fn encode_frame(payload: &Json) -> Vec<u8> {
 
 /// Read one frame from a stream.
 pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtoError> {
+    read_frame_counted(r).map(|(j, _)| j)
+}
+
+/// [`read_frame`] plus the number of wire bytes the frame occupied.
+pub fn read_frame_counted(r: &mut impl Read) -> Result<(Json, u64), ProtoError> {
     let mut b1 = [0u8; 1];
     r.read_exact(&mut b1)?;
     let mime_len = b1[0] as usize;
     let mut mime = vec![0u8; mime_len];
     r.read_exact(&mut mime)?;
     if mime != MIME.as_bytes() {
-        return Err(ProtoError::BadFrame(format!(
-            "unexpected mime `{}`",
-            String::from_utf8_lossy(&mime)
-        )));
+        return Err(ProtoError::BadFrame(format!("unexpected mime `{}`", String::from_utf8_lossy(&mime))));
     }
     let mut len4 = [0u8; 4];
     r.read_exact(&mut len4)?;
@@ -87,16 +92,23 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtoError> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    let wire_bytes = (1 + mime_len + 4 + len) as u64;
     let text = String::from_utf8(body).map_err(|e| ProtoError::BadFrame(e.to_string()))?;
-    parse_json(&text).map_err(|e| ProtoError::BadFrame(e.to_string()))
+    let json = parse_json(&text).map_err(|e| ProtoError::BadFrame(e.to_string()))?;
+    Ok((json, wire_bytes))
 }
 
 /// Write one frame to a stream.
 pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ProtoError> {
+    write_frame_counted(w, payload).map(|_| ())
+}
+
+/// [`write_frame`] plus the number of wire bytes written.
+pub fn write_frame_counted(w: &mut impl Write, payload: &Json) -> Result<u64, ProtoError> {
     let bytes = encode_frame(payload);
     w.write_all(&bytes)?;
     w.flush()?;
-    Ok(())
+    Ok(bytes.len() as u64)
 }
 
 /// Build a bytecode-submission request message.
@@ -105,13 +117,7 @@ pub fn request(request_id: &str, bytecode: Json) -> Json {
         ("requestId", Json::Str(request_id.to_string())),
         ("op", Json::Str("bytecode".into())),
         ("processor", Json::Str("traversal".into())),
-        (
-            "args",
-            Json::obj(vec![
-                ("gremlin", bytecode),
-                ("aliases", Json::obj(vec![("g", Json::Str("g".into()))])),
-            ]),
-        ),
+        ("args", Json::obj(vec![("gremlin", bytecode), ("aliases", Json::obj(vec![("g", Json::Str("g".into()))]))])),
     ])
 }
 
@@ -119,17 +125,8 @@ pub fn request(request_id: &str, bytecode: Json) -> Json {
 pub fn response(request_id: &str, code: u32, message: &str, data: Vec<Json>) -> Json {
     Json::obj(vec![
         ("requestId", Json::Str(request_id.to_string())),
-        (
-            "status",
-            Json::obj(vec![
-                ("code", Json::Num(code as f64)),
-                ("message", Json::Str(message.to_string())),
-            ]),
-        ),
-        (
-            "result",
-            Json::obj(vec![("data", Json::Arr(data)), ("meta", Json::obj(vec![]))]),
-        ),
+        ("status", Json::obj(vec![("code", Json::Num(code as f64)), ("message", Json::Str(message.to_string()))])),
+        ("result", Json::obj(vec![("data", Json::Arr(data)), ("meta", Json::obj(vec![]))])),
     ])
 }
 
@@ -198,10 +195,8 @@ mod tests {
         assert_eq!(code(&frames[0]), 206);
         assert_eq!(code(&frames[1]), 206);
         assert_eq!(code(&frames[2]), 200);
-        let n: usize = frames
-            .iter()
-            .map(|f| f.get("result").unwrap().get("data").unwrap().as_arr().unwrap().len())
-            .sum();
+        let n: usize =
+            frames.iter().map(|f| f.get("result").unwrap().get("data").unwrap().as_arr().unwrap().len()).sum();
         assert_eq!(n, 150);
     }
 
@@ -209,10 +204,7 @@ mod tests {
     fn empty_results_are_no_content() {
         let frames = batch_responses("r", Vec::new());
         assert_eq!(frames.len(), 1);
-        assert_eq!(
-            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
-            Some(204)
-        );
+        assert_eq!(frames[0].get("status").unwrap().get("code").unwrap().as_u64(), Some(204));
     }
 
     #[test]
@@ -220,9 +212,6 @@ mod tests {
         let results: Vec<Json> = (0..BATCH_SIZE).map(|i| Json::Num(i as f64)).collect();
         let frames = batch_responses("r", results);
         assert_eq!(frames.len(), 1);
-        assert_eq!(
-            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
-            Some(200)
-        );
+        assert_eq!(frames[0].get("status").unwrap().get("code").unwrap().as_u64(), Some(200));
     }
 }

@@ -3,6 +3,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -10,8 +11,36 @@ use parking_lot::RwLock;
 
 use crate::graph::PropertyGraph;
 use crate::json::Json;
-use crate::protocol::{batch_responses, read_frame, response, status, write_frame, ProtoError};
+use crate::protocol::{batch_responses, read_frame_counted, response, status, write_frame_counted, ProtoError};
 use crate::traversal::{bytecode_from_json, evaluate};
+
+/// Shared server-side wire counters (one instance per server, updated by
+/// every connection thread).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub frames_sent: AtomicU64,
+    pub bytes_received: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    /// Frames that failed to decode (bad mime, bad JSON, oversized).
+    pub malformed_frames: AtomicU64,
+    /// Requests whose evaluation panicked (answered with status 500).
+    pub evaluation_panics: AtomicU64,
+}
+
+impl ServerStats {
+    /// Counter snapshot as (name, value) pairs, for metric export.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("frames_sent", self.frames_sent.load(Ordering::Relaxed)),
+            ("bytes_received", self.bytes_received.load(Ordering::Relaxed)),
+            ("bytes_sent", self.bytes_sent.load(Ordering::Relaxed)),
+            ("malformed_frames", self.malformed_frames.load(Ordering::Relaxed)),
+            ("evaluation_panics", self.evaluation_panics.load(Ordering::Relaxed)),
+        ]
+    }
+}
 
 /// A bidirectional byte transport (TCP stream or in-process pipe).
 pub trait Transport: Read + Write + Send {}
@@ -22,22 +51,11 @@ pub type SharedGraph = Arc<RwLock<PropertyGraph>>;
 
 /// Handle one request message, producing the full response frame sequence.
 pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
-    let request_id = req
-        .get("requestId")
-        .and_then(|j| j.as_str())
-        .unwrap_or("")
-        .to_string();
+    let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
     let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("");
     let gremlin = match req.get("args").and_then(|a| a.get("gremlin")) {
         Some(b) => b,
-        None => {
-            return vec![response(
-                &request_id,
-                status::SERVER_ERROR,
-                "missing args.gremlin",
-                Vec::new(),
-            )]
-        }
+        None => return vec![response(&request_id, status::SERVER_ERROR, "missing args.gremlin", Vec::new())],
     };
     // `bytecode` carries a step array; `eval` carries a textual traversal
     // (the op every Gremlin console/driver uses).
@@ -60,18 +78,11 @@ pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
             };
             match crate::lang::parse_traversal(text) {
                 Ok(s) => s,
-                Err(e) => {
-                    return vec![response(&request_id, status::SERVER_ERROR, &e.to_string(), Vec::new())]
-                }
+                Err(e) => return vec![response(&request_id, status::SERVER_ERROR, &e.to_string(), Vec::new())],
             }
         }
         other => {
-            return vec![response(
-                &request_id,
-                status::SERVER_ERROR,
-                &format!("unsupported op `{other}`"),
-                Vec::new(),
-            )]
+            return vec![response(&request_id, status::SERVER_ERROR, &format!("unsupported op `{other}`"), Vec::new())]
         }
     };
     let g = graph.read();
@@ -81,16 +92,55 @@ pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
     }
 }
 
+/// [`handle_request`] with a panic barrier: a panicking evaluation is
+/// answered with a status-500 frame instead of killing the connection
+/// thread, so one poisoned request cannot take the server down.
+pub fn handle_request_guarded(graph: &SharedGraph, req: &Json, stats: &ServerStats) -> Vec<Json> {
+    let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request(graph, req)));
+    match result {
+        Ok(frames) => frames,
+        Err(_) => {
+            stats.evaluation_panics.fetch_add(1, Ordering::Relaxed);
+            vec![response(&request_id, status::SERVER_ERROR, "internal error: request evaluation panicked", Vec::new())]
+        }
+    }
+}
+
 /// Serve one connection until EOF.
-pub fn serve_connection(graph: SharedGraph, mut conn: impl Transport) {
+pub fn serve_connection(graph: SharedGraph, conn: impl Transport) {
+    serve_connection_stats(graph, conn, &ServerStats::default())
+}
+
+/// [`serve_connection`] recording wire counters into shared stats. A frame
+/// that fails to decode is answered with a status-597 error frame before
+/// the connection closes (the byte stream is desynchronized past it); an
+/// evaluation panic is answered with status 500 and the connection lives on.
+pub fn serve_connection_stats(graph: SharedGraph, mut conn: impl Transport, stats: &ServerStats) {
     loop {
-        let req = match read_frame(&mut conn) {
-            Ok(r) => r,
-            Err(_) => return, // EOF or protocol error → close connection
-        };
-        for frame in handle_request(&graph, &req) {
-            if write_frame(&mut conn, &frame).is_err() {
+        let req = match read_frame_counted(&mut conn) {
+            Ok((r, n)) => {
+                stats.bytes_received.fetch_add(n, Ordering::Relaxed);
+                r
+            }
+            Err(ProtoError::BadFrame(m)) => {
+                // Decodable framing failed: tell the peer why, then close —
+                // we can no longer find the next frame boundary.
+                stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                let frame = response("", status::MALFORMED_REQUEST, &format!("malformed frame: {m}"), Vec::new());
+                let _ = write_frame_counted(&mut conn, &frame);
                 return;
+            }
+            Err(_) => return, // EOF or I/O error → close connection
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        for frame in handle_request_guarded(&graph, &req, stats) {
+            match write_frame_counted(&mut conn, &frame) {
+                Ok(n) => {
+                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(_) => return,
             }
         }
     }
@@ -99,6 +149,8 @@ pub fn serve_connection(graph: SharedGraph, mut conn: impl Transport) {
 /// A running TCP Gremlin server.
 pub struct GremlinServer {
     pub addr: std::net::SocketAddr,
+    /// Wire counters aggregated across all connections.
+    pub stats: Arc<ServerStats>,
     handle: Option<thread::JoinHandle<()>>,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
 }
@@ -110,7 +162,9 @@ impl GremlinServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
         let sd = shutdown.clone();
+        let server_stats = stats.clone();
         listener.set_nonblocking(true)?;
         let handle = thread::spawn(move || {
             let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
@@ -123,7 +177,8 @@ impl GremlinServer {
                         stream.set_nodelay(true).ok();
                         stream.set_nonblocking(false).ok();
                         let g = graph.clone();
-                        workers.push(thread::spawn(move || serve_connection(g, stream)));
+                        let st = server_stats.clone();
+                        workers.push(thread::spawn(move || serve_connection_stats(g, stream, &st)));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(std::time::Duration::from_millis(2));
@@ -133,7 +188,7 @@ impl GremlinServer {
             }
             // Workers exit when their peers hang up.
         });
-        Ok(GremlinServer { addr, handle: Some(handle), shutdown })
+        Ok(GremlinServer { addr, stats, handle: Some(handle), shutdown })
     }
 
     /// Connect a new client stream to this server.
@@ -165,10 +220,7 @@ pub struct PipeEnd {
 pub fn pipe_pair() -> (PipeEnd, PipeEnd) {
     let (atx, arx) = crossbeam::channel::unbounded();
     let (btx, brx) = crossbeam::channel::unbounded();
-    (
-        PipeEnd { tx: atx, rx: brx, buf: Vec::new() },
-        PipeEnd { tx: btx, rx: arx, buf: Vec::new() },
-    )
+    (PipeEnd { tx: atx, rx: brx, buf: Vec::new() }, PipeEnd { tx: btx, rx: arx, buf: Vec::new() })
 }
 
 impl Read for PipeEnd {
@@ -188,9 +240,7 @@ impl Read for PipeEnd {
 
 impl Write for PipeEnd {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.tx
-            .send(data.to_vec())
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))?;
+        self.tx.send(data.to_vec()).map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))?;
         Ok(data.len())
     }
 
@@ -201,9 +251,16 @@ impl Write for PipeEnd {
 
 /// Spawn an in-process server thread over a pipe; returns the client end.
 pub fn serve_in_process(graph: SharedGraph) -> PipeEnd {
+    serve_in_process_stats(graph).0
+}
+
+/// [`serve_in_process`] also returning the server's shared wire counters.
+pub fn serve_in_process_stats(graph: SharedGraph) -> (PipeEnd, Arc<ServerStats>) {
     let (client, server) = pipe_pair();
-    thread::spawn(move || serve_connection(graph, server));
-    client
+    let stats = Arc::new(ServerStats::default());
+    let st = stats.clone();
+    thread::spawn(move || serve_connection_stats(graph, server, &st));
+    (client, stats)
 }
 
 #[allow(unused)]
@@ -215,7 +272,7 @@ fn _proto_error_is_used(e: ProtoError) -> String {
 mod tests {
     use super::*;
     use crate::json::Json;
-    use crate::protocol::request;
+    use crate::protocol::{read_frame, request, write_frame};
     use crate::traversal::{bytecode_to_json, GStep};
     use std::collections::BTreeMap;
 
@@ -245,16 +302,10 @@ mod tests {
             m.insert("op".into(), Json::Str("eval".into()));
         }
         let frames = handle_request(&g, &req);
-        assert_eq!(
-            frames[0].get("status").unwrap().get("code").unwrap().as_u64(),
-            Some(500)
-        );
+        assert_eq!(frames[0].get("status").unwrap().get("code").unwrap().as_u64(), Some(500));
         let req2 = request("q2", Json::Arr(vec![Json::Arr(vec![Json::Str("nope".into())])]));
         let frames2 = handle_request(&g, &req2);
-        assert_eq!(
-            frames2[0].get("status").unwrap().get("code").unwrap().as_u64(),
-            Some(500)
-        );
+        assert_eq!(frames2[0].get("status").unwrap().get("code").unwrap().as_u64(), Some(500));
     }
 
     #[test]

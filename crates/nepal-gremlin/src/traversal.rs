@@ -229,8 +229,8 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                         let edges = if outgoing { g.out_edges(v) } else { g.in_edges(v) };
                         for &eid in edges {
                             if let Some(p) = prefix {
-                                let l = &g.edge(eid).unwrap().label;
-                                if !label_matches_prefix(l, p) {
+                                let Some(e) = g.edge(eid) else { continue };
+                                if !label_matches_prefix(&e.label, p) {
                                     continue;
                                 }
                             }
@@ -247,7 +247,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                 let mut next = Vec::new();
                 for t in &ts {
                     if let ElemRef::E(eid) = t.elem {
-                        let e = g.edge(eid).unwrap();
+                        let Some(e) = g.edge(eid) else { continue };
                         let v = if head { e.dst } else { e.src };
                         let mut path = t.path.clone();
                         path.push(ElemRef::V(v));
@@ -305,10 +305,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
 
     Ok(match terminator {
         Some(GStep::Count) => vec![Json::Num(ts.len() as f64)],
-        Some(GStep::Values(key)) => ts
-            .iter()
-            .filter_map(|t| get_prop(g, t.elem, key).cloned())
-            .collect(),
+        Some(GStep::Values(key)) => ts.iter().filter_map(|t| get_prop(g, t.elem, key).cloned()).collect(),
         Some(GStep::Id) => ts
             .iter()
             .map(|t| match t.elem {
@@ -317,12 +314,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
             .collect(),
         _ if want_path => ts
             .iter()
-            .map(|t| {
-                Json::obj(vec![(
-                    "path",
-                    Json::Arr(t.path.iter().map(|e| elem_json(g, *e, true)).collect()),
-                )])
-            })
+            .map(|t| Json::obj(vec![("path", Json::Arr(t.path.iter().map(|e| elem_json(g, *e, true)).collect()))]))
             .collect(),
         _ => ts.iter().map(|t| elem_json(g, t.elem, true)).collect(),
     })
@@ -347,7 +339,8 @@ fn run_body(g: &PropertyGraph, body: &[GStep], start: &Traverser) -> Result<Vec<
                         let edges = if outgoing { g.out_edges(v) } else { g.in_edges(v) };
                         for &eid in edges {
                             if let Some(p) = prefix {
-                                if !label_matches_prefix(&g.edge(eid).unwrap().label, p) {
+                                let Some(e) = g.edge(eid) else { continue };
+                                if !label_matches_prefix(&e.label, p) {
                                     continue;
                                 }
                             }
@@ -364,7 +357,7 @@ fn run_body(g: &PropertyGraph, body: &[GStep], start: &Traverser) -> Result<Vec<
                 let mut next = Vec::new();
                 for t in &ts {
                     if let ElemRef::E(eid) = t.elem {
-                        let e = g.edge(eid).unwrap();
+                        let Some(e) = g.edge(eid) else { continue };
                         let v = if head { e.dst } else { e.src };
                         let mut path = t.path.clone();
                         path.push(ElemRef::V(v));
@@ -402,23 +395,16 @@ fn step_to_json(s: &GStep) -> Json {
     match s {
         GStep::V(ids) => Json::Arr(vec![Json::Str("V".into()), ids_json(ids)]),
         GStep::E(ids) => Json::Arr(vec![Json::Str("E".into()), ids_json(ids)]),
-        GStep::HasLabelPrefix(p) => {
-            Json::Arr(vec![Json::Str("hasLabelPrefix".into()), Json::Str(p.clone())])
+        GStep::HasLabelPrefix(p) => Json::Arr(vec![Json::Str("hasLabelPrefix".into()), Json::Str(p.clone())]),
+        GStep::Has(k, c, v) => {
+            Json::Arr(vec![Json::Str("has".into()), Json::Str(k.clone()), Json::Str(c.name().into()), v.clone()])
         }
-        GStep::Has(k, c, v) => Json::Arr(vec![
-            Json::Str("has".into()),
-            Json::Str(k.clone()),
-            Json::Str(c.name().into()),
-            v.clone(),
-        ]),
-        GStep::OutE(p) => Json::Arr(vec![
-            Json::Str("outE".into()),
-            p.as_ref().map(|x| Json::Str(x.clone())).unwrap_or(Json::Null),
-        ]),
-        GStep::InE(p) => Json::Arr(vec![
-            Json::Str("inE".into()),
-            p.as_ref().map(|x| Json::Str(x.clone())).unwrap_or(Json::Null),
-        ]),
+        GStep::OutE(p) => {
+            Json::Arr(vec![Json::Str("outE".into()), p.as_ref().map(|x| Json::Str(x.clone())).unwrap_or(Json::Null)])
+        }
+        GStep::InE(p) => {
+            Json::Arr(vec![Json::Str("inE".into()), p.as_ref().map(|x| Json::Str(x.clone())).unwrap_or(Json::Null)])
+        }
         GStep::InV => Json::Arr(vec![Json::Str("inV".into())]),
         GStep::OutV => Json::Arr(vec![Json::Str("outV".into())]),
         GStep::Repeat(body, min, max) => Json::Arr(vec![
@@ -444,11 +430,7 @@ pub fn bytecode_from_json(j: &Json) -> Result<Vec<GStep>, String> {
 }
 
 fn parse_ids(j: &Json) -> Result<Vec<u64>, String> {
-    j.as_arr()
-        .ok_or("ids must be an array")?
-        .iter()
-        .map(|x| x.as_u64().ok_or_else(|| "bad id".to_string()))
-        .collect()
+    j.as_arr().ok_or("ids must be an array")?.iter().map(|x| x.as_u64().ok_or_else(|| "bad id".to_string())).collect()
 }
 
 fn step_from_json(j: &Json) -> Result<GStep, String> {
@@ -458,9 +440,7 @@ fn step_from_json(j: &Json) -> Result<GStep, String> {
     Ok(match name {
         "V" => GStep::V(parse_ids(arg(1)?)?),
         "E" => GStep::E(parse_ids(arg(1)?)?),
-        "hasLabelPrefix" => {
-            GStep::HasLabelPrefix(arg(1)?.as_str().ok_or("bad prefix")?.to_string())
-        }
+        "hasLabelPrefix" => GStep::HasLabelPrefix(arg(1)?.as_str().ok_or("bad prefix")?.to_string()),
         "has" => GStep::Has(
             arg(1)?.as_str().ok_or("bad key")?.to_string(),
             GCmp::from_name(arg(2)?.as_str().ok_or("bad cmp")?).ok_or("unknown cmp")?,
@@ -526,16 +506,8 @@ mod tests {
     #[test]
     fn hop_and_path() {
         let g = graph();
-        let r = evaluate(
-            &g,
-            &[
-                GStep::V(vec![1]),
-                GStep::OutE(Some("Edge:Vertical".into())),
-                GStep::InV,
-                GStep::Path,
-            ],
-        )
-        .unwrap();
+        let r = evaluate(&g, &[GStep::V(vec![1]), GStep::OutE(Some("Edge:Vertical".into())), GStep::InV, GStep::Path])
+            .unwrap();
         assert_eq!(r.len(), 1);
         let path = r[0].get("path").unwrap().as_arr().unwrap();
         assert_eq!(path.len(), 3);
@@ -551,11 +523,7 @@ mod tests {
             &g,
             &[
                 GStep::V(vec![1]),
-                GStep::Repeat(
-                    vec![GStep::OutE(Some("Edge:Vertical".into())), GStep::InV],
-                    1,
-                    3,
-                ),
+                GStep::Repeat(vec![GStep::OutE(Some("Edge:Vertical".into())), GStep::InV], 1, 3),
                 GStep::Id,
             ],
         )
@@ -572,11 +540,7 @@ mod tests {
             &g,
             &[
                 GStep::V(vec![1]),
-                GStep::Repeat(
-                    vec![GStep::OutE(Some("Edge:Vertical".into())), GStep::InV, GStep::SimplePath],
-                    4,
-                    4,
-                ),
+                GStep::Repeat(vec![GStep::OutE(Some("Edge:Vertical".into())), GStep::InV, GStep::SimplePath], 4, 4),
                 GStep::Id,
             ],
         )
@@ -588,11 +552,7 @@ mod tests {
     #[test]
     fn ine_and_outv_walk_backwards() {
         let g = graph();
-        let r = evaluate(
-            &g,
-            &[GStep::V(vec![4]), GStep::InE(None), GStep::OutV, GStep::Id],
-        )
-        .unwrap();
+        let r = evaluate(&g, &[GStep::V(vec![4]), GStep::InE(None), GStep::OutV, GStep::Id]).unwrap();
         assert_eq!(r, vec![Json::Num(3.0)]);
     }
 
@@ -601,11 +561,7 @@ mod tests {
         let g = graph();
         let r = evaluate(&g, &[GStep::V(vec![]), GStep::Count]).unwrap();
         assert_eq!(r, vec![Json::Num(4.0)]);
-        let r = evaluate(
-            &g,
-            &[GStep::V(vec![3]), GStep::Values("status".into())],
-        )
-        .unwrap();
+        let r = evaluate(&g, &[GStep::V(vec![3]), GStep::Values("status".into())]).unwrap();
         assert_eq!(r, vec![Json::Str("Green".into())]);
         let r = evaluate(&g, &[GStep::V(vec![]), GStep::Limit(2), GStep::Count]).unwrap();
         assert_eq!(r, vec![Json::Num(2.0)]);

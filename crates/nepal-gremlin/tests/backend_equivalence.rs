@@ -8,8 +8,7 @@ use std::sync::Arc;
 
 use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
 use nepal_gremlin::{
-    evaluate_gremlin, property_graph_from, serve_in_process, GremlinClient, GremlinServer,
-    GremlinTime,
+    evaluate_gremlin, property_graph_from, serve_in_process, GremlinClient, GremlinServer, GremlinTime,
 };
 use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Pathway, Seeds};
 use nepal_schema::dsl::parse_schema;
@@ -90,16 +89,8 @@ fn check(g: &TemporalGraph, q: &str, native_filter: TimeFilter, gtime: GremlinTi
     let native = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
     let pg = Arc::new(RwLock::new(property_graph_from(g)));
     let mut client = GremlinClient::new(serve_in_process(pg));
-    let res = evaluate_gremlin(
-        &mut client,
-        g.schema(),
-        &plan,
-        gtime,
-        Seeds::Anchor,
-        &EvalOptions::default(),
-        block,
-    )
-    .unwrap();
+    let res =
+        evaluate_gremlin(&mut client, g.schema(), &plan, gtime, Seeds::Anchor, &EvalOptions::default(), block).unwrap();
     assert_eq!(
         key(&native),
         key(&res.pathways),
@@ -186,14 +177,8 @@ fn extend_block_reduces_round_trips() {
 #[test]
 fn seeded_evaluation_over_tcp() {
     let g = random_graph(3, 8);
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("Connects(){1,3}").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
-    let hosts: Vec<Uid> = GraphView::new(&g, TimeFilter::Current)
-        .scan_class(g.schema().class_by_name("Host").unwrap());
+    let plan = plan_rpe(g.schema(), &parse_rpe("Connects(){1,3}").unwrap(), &GraphEstimator { graph: &g }).unwrap();
+    let hosts: Vec<Uid> = GraphView::new(&g, TimeFilter::Current).scan_class(g.schema().class_by_name("Host").unwrap());
     let seeds = [hosts[0]];
     let view = GraphView::new(&g, TimeFilter::Current);
     let native = evaluate(&view, &plan, Seeds::Sources(&seeds), &EvalOptions::default());
@@ -235,9 +220,7 @@ fn textual_eval_op_over_the_wire() {
     let pg = Arc::new(RwLock::new(property_graph_from(&g)));
     let server = GremlinServer::start(pg).unwrap();
     let mut client = GremlinClient::new(server.connect().unwrap());
-    let via_text = client
-        .submit_text("g.V().hasLabel('Node:VM').id()")
-        .unwrap();
+    let via_text = client.submit_text("g.V().hasLabel('Node:VM').id()").unwrap();
     let via_bytecode = client
         .submit(&[
             nepal_gremlin::GStep::V(vec![]),

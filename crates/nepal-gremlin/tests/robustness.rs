@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Arc;
 
-use nepal_gremlin::{parse_json, parse_traversal, GremlinClient, GremlinServer, GStep, PropertyGraph};
+use nepal_gremlin::{parse_json, parse_traversal, GStep, GremlinClient, GremlinServer, PropertyGraph};
 use parking_lot::RwLock;
 
 fn server() -> GremlinServer {
@@ -44,10 +44,7 @@ fn truncated_frame_is_detected_by_the_reader() {
     let bytes = nepal_gremlin::protocol::encode_frame(&msg);
     for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
         let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
-        assert!(
-            nepal_gremlin::protocol::read_frame(&mut cursor).is_err(),
-            "cut at {cut} should fail"
-        );
+        assert!(nepal_gremlin::protocol::read_frame(&mut cursor).is_err(), "cut at {cut} should fail");
     }
 }
 
@@ -118,6 +115,48 @@ fn traversal_parser_never_panics_on_mutations() {
             let _ = parse_traversal(&text); // must not panic
         }
     }
+}
+
+#[test]
+fn malformed_json_payload_gets_a_597_error_frame_not_a_panic() {
+    let server = server();
+    let mut conn = server.connect().unwrap();
+    // Valid framing (correct mime, correct length prefix), invalid JSON body.
+    let mime = nepal_gremlin::MIME.as_bytes();
+    let body = b"{this is not json";
+    let mut bytes = Vec::new();
+    bytes.push(mime.len() as u8);
+    bytes.extend_from_slice(mime);
+    bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(body);
+    conn.write_all(&bytes).unwrap();
+
+    let frame = nepal_gremlin::protocol::read_frame(&mut conn).unwrap();
+    let status = frame.get("status").unwrap();
+    assert_eq!(status.get("code").unwrap().as_u64(), Some(597));
+    let msg = status.get("message").unwrap().as_str().unwrap();
+    assert!(msg.contains("malformed frame"), "{msg}");
+    assert_eq!(server.stats.malformed_frames.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    // The listener is still alive for new connections.
+    let mut client = GremlinClient::new(server.connect().unwrap());
+    assert_eq!(client.submit(&[GStep::V(vec![1]), GStep::Id]).unwrap().len(), 1);
+}
+
+#[test]
+fn unsupported_op_gets_a_500_error_frame_not_a_panic() {
+    use nepal_gremlin::Json;
+    let server = server();
+    let mut conn = server.connect().unwrap();
+    let req = Json::obj(vec![
+        ("requestId", Json::Str("r-bad".into())),
+        ("op", Json::Str("definitely-not-an-op".into())),
+        ("args", Json::obj(vec![("gremlin", Json::Arr(vec![]))])),
+    ]);
+    nepal_gremlin::protocol::write_frame(&mut conn, &req).unwrap();
+    let frame = nepal_gremlin::protocol::read_frame(&mut conn).unwrap();
+    assert_eq!(frame.get("status").unwrap().get("code").unwrap().as_u64(), Some(500));
+    assert_eq!(frame.get("requestId").unwrap().as_str(), Some("r-bad"));
 }
 
 #[test]

@@ -1,0 +1,22 @@
+//! Observability for Nepal: engine metrics and query profiling.
+//!
+//! Dependency-free by design (the build environment is offline). Two
+//! halves:
+//!
+//! - [`metrics`] — atomic [`Counter`]/[`Gauge`]/[`Histogram`] primitives in
+//!   a [`MetricsRegistry`], renderable as Prometheus text exposition format
+//!   or JSON. Histograms use log₂ buckets, sized for nanosecond latencies.
+//! - [`profile`] — the [`QueryProfile`] trace threaded through the query
+//!   pipeline: parse/plan/execute phase timings, the anchor candidates the
+//!   planner considered with their costs, per-operator
+//!   rows-in/rows-out/duration for every `Select`/`Extend`/`Union`, join
+//!   build/probe sizes, and free-form backend counters. Plus the bounded
+//!   [`SlowQueryLog`] ring buffer.
+
+pub mod metrics;
+pub mod profile;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{
+    fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,
+};

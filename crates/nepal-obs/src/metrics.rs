@@ -1,0 +1,335 @@
+//! Atomic metric primitives and the process-wide registry.
+//!
+//! All primitives are lock-free on the hot path (a single
+//! `fetch_add(Relaxed)`); the registry itself takes a mutex only on
+//! registration and rendering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets. Bucket `i` counts observations `v` with
+/// `2^(i-1) < v ≤ 2^i` (bucket 0 counts `v ≤ 1`), so 64 buckets cover the
+/// full `u64` range — nanosecond latencies up to ~584 years.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram for latency-style observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        // Smallest i with v <= 2^i.
+        (64 - v.saturating_sub(1).leading_zeros()) as usize
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = Self::bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts with their inclusive upper bounds, up to and
+    /// including the last non-empty bucket.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                let bound = if i >= 63 { u64::MAX } else { 1u64 << i };
+                out.push((bound, n));
+            }
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// Named metrics, rendered in Prometheus text exposition format or JSON.
+///
+/// Cheap to share: handles returned by `counter`/`gauge`/`histogram` are
+/// `Arc`s that bypass the registry lock entirely on update.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' }).collect()
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create a counter. The help text of the first registration
+    /// wins; registering an existing name with a different metric type
+    /// panics (a programming error, not runtime input).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = entries
+            .entry(sanitize(name))
+            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Counter(Arc::new(Counter::default())) });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = entries
+            .entry(sanitize(name))
+            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Gauge(Arc::new(Gauge::default())) });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = entries.entry(sanitize(name)).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::default())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Prometheus text exposition format: `# HELP` / `# TYPE` headers
+    /// followed by samples, histograms as cumulative `_bucket{le="…"}`
+    /// series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, entry) in entries.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", entry.help.replace('\n', " ")));
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (bound, n) in h.buckets() {
+                        cumulative += n;
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object keyed by metric name. Histograms carry
+    /// `{"count", "sum", "buckets": [[le, n], …]}`.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, entry) in entries.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match &entry.metric {
+                Metric::Counter(c) => out.push_str(&format!("\"{name}\":{}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("\"{name}\":{}", g.get())),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[", h.count(), h.sum()));
+                    let mut bfirst = true;
+                    for (bound, n) in h.buckets() {
+                        if !bfirst {
+                            out.push(',');
+                        }
+                        bfirst = false;
+                        out.push_str(&format!("[{bound},{n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("nepal_queries_total", "Total queries executed");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying counter.
+        assert_eq!(reg.counter("nepal_queries_total", "ignored").get(), 5);
+        let g = reg.gauge("nepal_backends", "Registered backends");
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1); // ≤ 2^0
+        h.observe(2); // ≤ 2^1
+        h.observe(3); // ≤ 2^2
+        h.observe(1024); // ≤ 2^10
+        h.observe(1025); // ≤ 2^11
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2055);
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 1), (1024, 1), (2048, 1)]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_valid_exposition_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter("nepal_queries_total", "Total queries executed").add(7);
+        reg.gauge("nepal_slow_log_len", "Entries in the slow-query log").set(2);
+        let h = reg.histogram("nepal_query_ns", "Query latency in ns");
+        h.observe(100);
+        h.observe(5000);
+        let text = reg.render_prometheus();
+
+        // Line-oriented: every line is a comment or `name{labels} value`.
+        let mut help_seen = 0;
+        let mut type_seen = 0;
+        for line in text.lines() {
+            assert!(!line.trim().is_empty());
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                assert!(rest.contains(' '));
+                help_seen += 1;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let _name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "{kind}");
+                type_seen += 1;
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            let name_part = series.split('{').next().unwrap();
+            assert!(
+                name_part.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name_part:?}"
+            );
+        }
+        assert_eq!(help_seen, 3);
+        assert_eq!(type_seen, 3);
+
+        // Histogram series are cumulative and end with +Inf == count.
+        assert!(text.contains("nepal_query_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("nepal_query_ns_sum 5100"));
+        assert!(text.contains("nepal_query_ns_count 2"));
+        // Specific samples.
+        assert!(text.contains("nepal_queries_total 7"));
+        assert!(text.contains("nepal_slow_log_len 2"));
+    }
+
+    #[test]
+    fn json_rendering_includes_all_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "a").add(3);
+        reg.histogram("b_ns", "b").observe(9);
+        let json = reg.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a_total\":3"));
+        assert!(json.contains("\"b_ns\":{\"count\":1,\"sum\":9,\"buckets\":[[16,1]]}"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        let reg = MetricsRegistry::new();
+        reg.counter("weird name-with.chars", "x").inc();
+        assert!(reg.render_prometheus().contains("weird_name_with_chars 1"));
+    }
+}

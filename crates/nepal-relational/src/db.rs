@@ -103,11 +103,7 @@ impl RelDb {
 
     /// Total row count over a subtree (statistics for anchor costing).
     pub fn subtree_rows(&self, name: &str) -> usize {
-        self.subtree(name)
-            .iter()
-            .filter_map(|t| self.tables.get(t))
-            .map(|t| t.len())
-            .sum()
+        self.subtree(name).iter().filter_map(|t| self.tables.get(t)).map(|t| t.len()).sum()
     }
 }
 
@@ -162,14 +158,8 @@ mod tests {
     fn duplicate_and_missing_tables_error() {
         let mut db = RelDb::new();
         db.create_table(Table::new("x", cols()), None).unwrap();
-        assert!(matches!(
-            db.create_table(Table::new("x", cols()), None),
-            Err(RelError::DuplicateTable(_))
-        ));
-        assert!(matches!(
-            db.create_table(Table::new("y", cols()), Some("nope")),
-            Err(RelError::UnknownTable(_))
-        ));
+        assert!(matches!(db.create_table(Table::new("x", cols()), None), Err(RelError::DuplicateTable(_))));
+        assert!(matches!(db.create_table(Table::new("y", cols()), Some("nope")), Err(RelError::UnknownTable(_))));
         assert!(matches!(db.table("zzz"), Err(RelError::UnknownTable(_))));
     }
 }

@@ -27,6 +27,10 @@ use crate::load::{field_offset, history_name, table_name};
 pub struct RelResult {
     pub pathways: Vec<Pathway>,
     pub sql: Vec<String>,
+    /// Version rows examined by `Select` scans over class tables.
+    pub rows_scanned: u64,
+    /// Candidate rows probed by `Extend` equi-joins (before predicates).
+    pub rows_joined: u64,
 }
 
 /// A frontier row (one partial path).
@@ -60,6 +64,8 @@ struct Evaluator<'a> {
     filter: TimeFilter,
     sql: Vec<String>,
     temp_counter: u32,
+    rows_scanned: u64,
+    rows_joined: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -119,22 +125,15 @@ impl<'a> Evaluator<'a> {
             let t = self.db.table(tname).unwrap();
             let n = t.cols.len();
             let concept = tname.trim_end_matches("__history").to_string();
+            self.rows_scanned += t.rows.len() as u64;
             for r in &t.rows {
                 let (from, to) = (as_ts(&r[n - 2]), as_ts(&r[n - 1]));
                 if !version_ok(self.filter, from, to) || !preds_ok(self.plan, label, r, is_node) {
                     continue;
                 }
                 let uid = as_i64(&r[0]);
-                let (pending, source) = if is_node {
-                    (None, None)
-                } else {
-                    (Some(as_i64(&r[2])), Some(as_i64(&r[1])))
-                };
-                let (t_from, t_to) = if self.filter.is_range() {
-                    (Some(from), Some(to))
-                } else {
-                    (None, None)
-                };
+                let (pending, source) = if is_node { (None, None) } else { (Some(as_i64(&r[2])), Some(as_i64(&r[1]))) };
+                let (t_from, t_to) = if self.filter.is_range() { (Some(from), Some(to)) } else { (None, None) };
                 rows.push((
                     Row {
                         seed_uid: uid,
@@ -186,6 +185,7 @@ impl<'a> Evaluator<'a> {
                     continue; // must consume the pending node first
                 }
                 let rids = t.probe(probe_col, &Value::Int(row.curr));
+                self.rows_joined += rids.len() as u64;
                 for rid in rids {
                     let r = &t.rows[rid as usize];
                     let (from, to) = (as_ts(&r[n - 2]), as_ts(&r[n - 1]));
@@ -244,6 +244,7 @@ impl<'a> Evaluator<'a> {
                     None => continue,
                 };
                 let rids = t.probe(0, &Value::Int(p));
+                self.rows_joined += rids.len() as u64;
                 for rid in rids {
                     let r = &t.rows[rid as usize];
                     let (from, to) = (as_ts(&r[n - 2]), as_ts(&r[n - 1]));
@@ -439,10 +440,7 @@ fn topo_order(plan: &RpePlan, forwards: bool) -> Vec<u32> {
     order
 }
 
-fn finalize_times(
-    filter: TimeFilter,
-    combos: Vec<(Option<Ts>, Option<Ts>)>,
-) -> Option<Option<IntervalSet>> {
+fn finalize_times(filter: TimeFilter, combos: Vec<(Option<Ts>, Option<Ts>)>) -> Option<Option<IntervalSet>> {
     match filter {
         TimeFilter::Range(a, b) => {
             let probe = Interval::new(a, b.saturating_add(1));
@@ -477,7 +475,8 @@ pub fn evaluate_relational(
     seeds: Seeds,
     opts: &EvalOptions,
 ) -> Result<RelResult> {
-    let mut ev = Evaluator { db, schema, plan, filter, sql: Vec::new(), temp_counter: 0 };
+    let mut ev =
+        Evaluator { db, schema, plan, filter, sql: Vec::new(), temp_counter: 0, rows_scanned: 0, rows_joined: 0 };
     let range = filter.is_range();
     let init_times = |rows: &mut Vec<Row>| {
         if !range {
@@ -529,10 +528,7 @@ pub fn evaluate_relational(
                     for b in &bwd {
                         bwd_by_seed.entry(b.seed_uid).or_default().push(b);
                     }
-                    ev.sql.push(format!(
-                        "-- Union: join forward/backward frontiers on seed (transition {})",
-                        tr_idx
-                    ));
+                    ev.sql.push(format!("-- Union: join forward/backward frontiers on seed (transition {})", tr_idx));
                     'fwd: for f in &fwd {
                         let Some(bs) = bwd_by_seed.get(&f.seed_uid) else { continue };
                         for b in bs {
@@ -641,10 +637,7 @@ pub fn evaluate_relational(
     let mut pathways = Vec::new();
     for (elems, combos) in merged {
         if let Some(times) = finalize_times(filter, combos) {
-            pathways.push(Pathway {
-                elems: elems.into_iter().map(|u| Uid(u as u64)).collect(),
-                times,
-            });
+            pathways.push(Pathway { elems: elems.into_iter().map(|u| Uid(u as u64)).collect(), times });
         }
     }
     pathways.sort_by(|a, b| a.elems.cmp(&b.elems));
@@ -652,6 +645,7 @@ pub fn evaluate_relational(
         pathways.truncate(limit);
     }
     let sql = std::mem::take(&mut ev.sql);
+    let (rows_scanned, rows_joined) = (ev.rows_scanned, ev.rows_joined);
     ev.db.drop_temps();
-    Ok(RelResult { pathways, sql })
+    Ok(RelResult { pathways, sql, rows_scanned, rows_joined })
 }

@@ -73,11 +73,8 @@ pub fn create_schema(db: &mut RelDb, schema: &Schema) -> Result<Vec<String>> {
     for kind_root in [NODE, EDGE] {
         for class in schema.descendants(kind_root) {
             let name = table_name(schema, class);
-            let parent = schema
-                .class(class)
-                .parent
-                .filter(|p| *p != nepal_schema::ENTITY)
-                .map(|p| table_name(schema, p));
+            let parent =
+                schema.class(class).parent.filter(|p| *p != nepal_schema::ENTITY).map(|p| table_name(schema, p));
             let t = Table::new(name.clone(), class_cols(schema, class));
             ddl.push(t.ddl(parent.as_deref()));
             db.create_table(t, parent.as_deref())?;
@@ -153,9 +150,7 @@ mod tests {
         );
         let mut g = TemporalGraph::new(s.clone());
         let c = |n: &str| s.class_by_name(n).unwrap();
-        let vm = g
-            .insert_node(c("VMWare"), vec![Value::Int(1), Value::Str("Green".into())], 100)
-            .unwrap();
+        let vm = g.insert_node(c("VMWare"), vec![Value::Int(1), Value::Str("Green".into())], 100).unwrap();
         let h = g.insert_node(c("Host"), vec![Value::Int(7)], 100).unwrap();
         g.insert_edge(c("HostedOn"), vm, h, vec![], 100).unwrap();
         g.update(vm, &[(1, Value::Str("Red".into()))], 200).unwrap();

@@ -577,16 +577,9 @@ fn rows_of(db: &RelDb, table: &str) -> Result<(Vec<ColDef>, Vec<Vec<Value>>)> {
         if db.has_table(&hist) {
             let (hcols, hrows) = rows_of(db, &hist)?;
             // Project history rows onto the base column set by name.
-            let map: Vec<Option<usize>> = cols
-                .iter()
-                .map(|c| hcols.iter().position(|h| h.name == c.name))
-                .collect();
+            let map: Vec<Option<usize>> = cols.iter().map(|c| hcols.iter().position(|h| h.name == c.name)).collect();
             for r in hrows {
-                rows.push(
-                    map.iter()
-                        .map(|m| m.map(|i| r[i].clone()).unwrap_or(Value::Null))
-                        .collect(),
-                );
+                rows.push(map.iter().map(|m| m.map(|i| r[i].clone()).unwrap_or(Value::Null)).collect());
             }
         }
         return Ok((cols, rows));
@@ -599,14 +592,9 @@ fn rows_of(db: &RelDb, table: &str) -> Result<(Vec<ColDef>, Vec<Vec<Value>>)> {
         if sub == table {
             rows.extend(t.rows.iter().cloned());
         } else {
-            let map: Vec<Option<usize>> =
-                cols.iter().map(|c| t.col_idx(&c.name).ok()).collect();
+            let map: Vec<Option<usize>> = cols.iter().map(|c| t.col_idx(&c.name).ok()).collect();
             for r in &t.rows {
-                rows.push(
-                    map.iter()
-                        .map(|m| m.map(|i| r[i].clone()).unwrap_or(Value::Null))
-                        .collect(),
-                );
+                rows.push(map.iter().map(|m| m.map(|i| r[i].clone()).unwrap_or(Value::Null)).collect());
             }
         }
     }
@@ -636,28 +624,17 @@ fn eval_expr(e: &SqlExpr, scope: &Scope) -> Result<Value> {
                 for a in scope.bindings.keys() {
                     if let Some(v) = lookup(a) {
                         if found.is_some() {
-                            return Err(RelError::UnknownColumn {
-                                table: "<ambiguous>".into(),
-                                column: col.clone(),
-                            });
+                            return Err(RelError::UnknownColumn { table: "<ambiguous>".into(), column: col.clone() });
                         }
                         found = Some(v);
                     }
                 }
-                found.ok_or_else(|| RelError::UnknownColumn {
-                    table: "<scope>".into(),
-                    column: col.clone(),
-                })?
+                found.ok_or_else(|| RelError::UnknownColumn { table: "<scope>".into(), column: col.clone() })?
             } else {
-                lookup(alias).ok_or_else(|| RelError::UnknownColumn {
-                    table: alias.clone(),
-                    column: col.clone(),
-                })?
+                lookup(alias).ok_or_else(|| RelError::UnknownColumn { table: alias.clone(), column: col.clone() })?
             }
         }
-        SqlExpr::Array(items) => Value::List(
-            items.iter().map(|i| eval_expr(i, scope)).collect::<Result<Vec<_>>>()?,
-        ),
+        SqlExpr::Array(items) => Value::List(items.iter().map(|i| eval_expr(i, scope)).collect::<Result<Vec<_>>>()?),
         SqlExpr::Concat(a, b) => {
             let (av, bv) = (eval_expr(a, scope)?, eval_expr(b, scope)?);
             match (av, bv) {
@@ -720,12 +697,12 @@ fn eval_expr(e: &SqlExpr, scope: &Scope) -> Result<Value> {
                 _ => Value::Bool(false),
             }
         }
-        SqlExpr::And(a, b) => Value::Bool(
-            eval_expr(a, scope)? == Value::Bool(true) && eval_expr(b, scope)? == Value::Bool(true),
-        ),
-        SqlExpr::Or(a, b) => Value::Bool(
-            eval_expr(a, scope)? == Value::Bool(true) || eval_expr(b, scope)? == Value::Bool(true),
-        ),
+        SqlExpr::And(a, b) => {
+            Value::Bool(eval_expr(a, scope)? == Value::Bool(true) && eval_expr(b, scope)? == Value::Bool(true))
+        }
+        SqlExpr::Or(a, b) => {
+            Value::Bool(eval_expr(a, scope)? == Value::Bool(true) || eval_expr(b, scope)? == Value::Bool(true))
+        }
         SqlExpr::Not(a) => Value::Bool(eval_expr(a, scope)? != Value::Bool(true)),
     })
 }
@@ -740,11 +717,8 @@ fn default_name(e: &SqlExpr, i: usize) -> String {
 /// Execute one SELECT; returns the result as an anonymous table.
 pub fn execute_select(db: &RelDb, q: &Select) -> Result<Table> {
     // Materialize each FROM source.
-    let sources: Vec<Source> = q
-        .from
-        .iter()
-        .map(|(t, a)| rows_of(db, t).map(|(c, r)| (a.clone(), c, r)))
-        .collect::<Result<Vec<_>>>()?;
+    let sources: Vec<Source> =
+        q.from.iter().map(|(t, a)| rows_of(db, t).map(|(c, r)| (a.clone(), c, r))).collect::<Result<Vec<_>>>()?;
     // Output columns.
     let mut out_cols: Vec<ColDef> = Vec::new();
     if q.star {
@@ -753,10 +727,7 @@ pub fn execute_select(db: &RelDb, q: &Select) -> Result<Table> {
         }
     }
     for (i, (e, alias)) in q.items.iter().enumerate() {
-        out_cols.push(ColDef::new(
-            alias.clone().unwrap_or_else(|| default_name(e, i)),
-            ColType::Jsonb,
-        ));
+        out_cols.push(ColDef::new(alias.clone().unwrap_or_else(|| default_name(e, i)), ColType::Jsonb));
     }
     let mut result = Table::new("<select>", out_cols);
     // Nested-loop cross product with filter (test-scale executor).
@@ -769,10 +740,7 @@ pub fn execute_select(db: &RelDb, q: &Select) -> Result<Table> {
     ) -> Result<()> {
         if level == sources.len() {
             let s = Scope {
-                bindings: scope
-                    .iter()
-                    .map(|(k, (c, r))| (k.as_str(), (c.as_slice(), r.as_slice())))
-                    .collect(),
+                bindings: scope.iter().map(|(k, (c, r))| (k.as_str(), (c.as_slice(), r.as_slice()))).collect(),
             };
             if let Some(w) = &q.where_ {
                 if eval_expr(w, &s)? != Value::Bool(true) {
@@ -880,9 +848,7 @@ mod tests {
     #[test]
     fn where_and_projection() {
         let mut db = fresh_db();
-        let t = execute_sql(&mut db, "SELECT V.id_, V.status FROM vm V WHERE V.vm_id = 55")
-            .unwrap()
-            .unwrap();
+        let t = execute_sql(&mut db, "SELECT V.id_, V.status FROM vm V WHERE V.vm_id = 55").unwrap().unwrap();
         assert_eq!(t.rows.len(), 1);
         assert_eq!(t.rows[0], vec![Value::Int(1), Value::Str("Green".into())]);
         // Bare column names resolve when unambiguous.
@@ -967,12 +933,9 @@ mod tests {
     #[test]
     fn comments_and_booleans() {
         let mut db = fresh_db();
-        let t = execute_sql(
-            &mut db,
-            "-- leading comment\nSELECT vm_id FROM vm WHERE true AND NOT false -- trailing",
-        )
-        .unwrap()
-        .unwrap();
+        let t = execute_sql(&mut db, "-- leading comment\nSELECT vm_id FROM vm WHERE true AND NOT false -- trailing")
+            .unwrap()
+            .unwrap();
         assert_eq!(t.rows.len(), 2);
     }
 }

@@ -72,19 +72,12 @@ impl Table {
         self.cols
             .iter()
             .position(|c| c.name == name)
-            .ok_or_else(|| RelError::UnknownColumn {
-                table: self.name.clone(),
-                column: name.to_string(),
-            })
+            .ok_or_else(|| RelError::UnknownColumn { table: self.name.clone(), column: name.to_string() })
     }
 
     pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.cols.len() {
-            return Err(RelError::Arity {
-                table: self.name.clone(),
-                expected: self.cols.len(),
-                got: row.len(),
-            });
+            return Err(RelError::Arity { table: self.name.clone(), expected: self.cols.len(), got: row.len() });
         }
         // Keep any existing index in sync.
         let rid = self.rows.len() as u32;
@@ -116,10 +109,7 @@ impl Table {
     }
 
     /// Sequential scan with a row predicate.
-    pub fn scan<'a>(
-        &'a self,
-        pred: impl Fn(&[Value]) -> bool + 'a,
-    ) -> impl Iterator<Item = &'a Vec<Value>> + 'a {
+    pub fn scan<'a>(&'a self, pred: impl Fn(&[Value]) -> bool + 'a) -> impl Iterator<Item = &'a Vec<Value>> + 'a {
         self.rows.iter().filter(move |r| pred(r))
     }
 
@@ -138,10 +128,7 @@ mod tests {
     use super::*;
 
     fn t() -> Table {
-        let mut t = Table::new(
-            "vm",
-            vec![ColDef::new("id_", ColType::BigInt), ColDef::new("status", ColType::Text)],
-        );
+        let mut t = Table::new("vm", vec![ColDef::new("id_", ColType::BigInt), ColDef::new("status", ColType::Text)]);
         t.insert(vec![Value::Int(1), Value::Str("Green".into())]).unwrap();
         t.insert(vec![Value::Int(2), Value::Str("Red".into())]).unwrap();
         t.insert(vec![Value::Int(3), Value::Str("Green".into())]).unwrap();
@@ -174,10 +161,7 @@ mod tests {
     fn ddl_renders_inherits() {
         let t = Table::new("vmware", vec![ColDef::new("id_", ColType::BigInt)]);
         assert_eq!(t.ddl(Some("vm")), "CREATE TABLE vmware(id_ bigint) INHERITS(vm);");
-        let arr = Table::new(
-            "tmp",
-            vec![ColDef::new("uid_list", ColType::Array(Box::new(ColType::BigInt)))],
-        );
+        let arr = Table::new("tmp", vec![ColDef::new("uid_list", ColType::Array(Box::new(ColType::BigInt)))]);
         assert!(arr.ddl(None).contains("uid_list bigint[]"));
     }
 }

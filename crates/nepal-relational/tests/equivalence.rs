@@ -46,18 +46,13 @@ fn random_graph(seed: u64, n_per_class: usize) -> TemporalGraph {
         vnfs.push(g.insert_node(c("VNF"), vec![Value::Int(i as i64)], 0).unwrap());
         vfcs.push(g.insert_node(c("VFC"), vec![Value::Int(i as i64)], 0).unwrap());
         let status = if rng() % 2 == 0 { "Green" } else { "Red" };
-        vms.push(
-            g.insert_node(c("VM"), vec![Value::Int(i as i64), Value::Str(status.into())], 0)
-                .unwrap(),
-        );
+        vms.push(g.insert_node(c("VM"), vec![Value::Int(i as i64), Value::Str(status.into())], 0).unwrap());
         hosts.push(g.insert_node(c("Host"), vec![Value::Int(i as i64)], 0).unwrap());
     }
     let mut edges = Vec::new();
     for i in 0..n_per_class {
         let pick = |v: &Vec<Uid>, r: u64| v[(r as usize) % v.len()];
-        edges.push(
-            g.insert_edge(c("ComposedOf"), vnfs[i], pick(&vfcs, rng()), vec![], 1).unwrap(),
-        );
+        edges.push(g.insert_edge(c("ComposedOf"), vnfs[i], pick(&vfcs, rng()), vec![], 1).unwrap());
         edges.push(g.insert_edge(c("HostedOn"), vfcs[i], pick(&vms, rng()), vec![], 1).unwrap());
         edges.push(g.insert_edge(c("HostedOn"), vms[i], pick(&hosts, rng()), vec![], 1).unwrap());
         let a = pick(&hosts, rng());
@@ -85,12 +80,7 @@ fn random_graph(seed: u64, n_per_class: usize) -> TemporalGraph {
 fn key(paths: &[Pathway]) -> Vec<(Vec<u64>, Option<String>)> {
     let mut v: Vec<(Vec<u64>, Option<String>)> = paths
         .iter()
-        .map(|p| {
-            (
-                p.elems.iter().map(|u| u.0).collect(),
-                p.times.as_ref().map(|t| t.to_string()),
-            )
-        })
+        .map(|p| (p.elems.iter().map(|u| u.0).collect(), p.times.as_ref().map(|t| t.to_string())))
         .collect();
     v.sort();
     v
@@ -101,8 +91,7 @@ fn check_equivalence(g: &TemporalGraph, rpe: &str, filter: TimeFilter) {
     let view = GraphView::new(g, filter);
     let native = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
     let mut db = db_from_graph(g).unwrap();
-    let rel = evaluate_relational(&mut db, g.schema(), &plan, filter, Seeds::Anchor, &EvalOptions::default())
-        .unwrap();
+    let rel = evaluate_relational(&mut db, g.schema(), &plan, filter, Seeds::Anchor, &EvalOptions::default()).unwrap();
     assert_eq!(
         key(&native),
         key(&rel.pathways),
@@ -160,12 +149,7 @@ fn range_equivalence_with_maximal_intervals() {
 #[test]
 fn seeded_evaluation_equivalence() {
     let g = random_graph(7, 8);
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("Connects(){1,4}").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
+    let plan = plan_rpe(g.schema(), &parse_rpe("Connects(){1,4}").unwrap(), &GraphEstimator { graph: &g }).unwrap();
     let hosts: Vec<Uid> = {
         let view = GraphView::new(&g, TimeFilter::Current);
         view.scan_class(g.schema().class_by_name("Host").unwrap())
@@ -209,15 +193,9 @@ fn emitted_sql_has_paper_shape() {
     )
     .unwrap();
     let mut db = db_from_graph(&g).unwrap();
-    let rel = evaluate_relational(
-        &mut db,
-        g.schema(),
-        &plan,
-        TimeFilter::Current,
-        Seeds::Anchor,
-        &EvalOptions::default(),
-    )
-    .unwrap();
+    let rel =
+        evaluate_relational(&mut db, g.schema(), &plan, TimeFilter::Current, Seeds::Anchor, &EvalOptions::default())
+            .unwrap();
     let sql = rel.sql.join("\n");
     assert!(sql.contains("create TEMP table tmp_select_node_1"), "{sql}");
     assert!(sql.contains("ARRAY[N.id_] as uid_list"), "{sql}");
@@ -249,11 +227,10 @@ fn emitted_sql_parses_with_the_sql_engine() {
     .unwrap();
     let mut db = db_from_graph(&g).unwrap();
     for filter in [TimeFilter::Current, TimeFilter::AsOf(500)] {
-        let rel = evaluate_relational(&mut db, g.schema(), &plan, filter, Seeds::Anchor, &EvalOptions::default())
-            .unwrap();
+        let rel =
+            evaluate_relational(&mut db, g.schema(), &plan, filter, Seeds::Anchor, &EvalOptions::default()).unwrap();
         for stmt in &rel.sql {
-            nepal_relational::parse_sql(stmt)
-                .unwrap_or_else(|e| panic!("emitted SQL does not parse: {e}\n{stmt}"));
+            nepal_relational::parse_sql(stmt).unwrap_or_else(|e| panic!("emitted SQL does not parse: {e}\n{stmt}"));
         }
     }
 }
@@ -274,15 +251,8 @@ fn structured_data_predicates_cross_backend() {
     let mut g = TemporalGraph::new(s.clone());
     let port = s.class_by_name("Port").unwrap();
     for (i, region) in ["east", "west", "east"].iter().enumerate() {
-        g.insert_node(
-            port,
-            vec![
-                Value::Int(i as i64),
-                Value::Composite(vec![Value::Str(region.to_string())]),
-            ],
-            0,
-        )
-        .unwrap();
+        g.insert_node(port, vec![Value::Int(i as i64), Value::Composite(vec![Value::Str(region.to_string())])], 0)
+            .unwrap();
     }
     check_equivalence(&g, "Port(loc.region='east')", TimeFilter::Current);
     check_equivalence(&g, "Port(loc.region='west')", TimeFilter::Current);

@@ -40,11 +40,8 @@ impl CardinalityEstimator for HintEstimator {
         if atom.unique_eq_pred(schema).is_some() {
             return 1.0;
         }
-        let base: u64 = schema
-            .descendants(atom.class)
-            .into_iter()
-            .filter_map(|c| schema.class(c).hint_cardinality)
-            .sum();
+        let base: u64 =
+            schema.descendants(atom.class).into_iter().filter_map(|c| schema.class(c).hint_cardinality).sum();
         let base = if base == 0 { 10_000.0 } else { base as f64 };
         apply_selectivity(base, atom)
     }
@@ -81,12 +78,7 @@ impl AnchorSet {
     }
 }
 
-fn candidates(
-    norm: &Norm,
-    atoms: &[BoundAtom],
-    schema: &Schema,
-    est: &dyn CardinalityEstimator,
-) -> Vec<AnchorSet> {
+fn candidates(norm: &Norm, atoms: &[BoundAtom], schema: &Schema, est: &dyn CardinalityEstimator) -> Vec<AnchorSet> {
     match norm {
         Norm::Atom(a) => vec![AnchorSet::of(vec![*a], atoms, schema, est)],
         Norm::Seq(parts) => {
@@ -101,10 +93,7 @@ fn candidates(
             let mut union: Vec<u32> = Vec::new();
             for p in parts {
                 let cands = candidates(p, atoms, schema, est);
-                let best = cands
-                    .into_iter()
-                    .min_by(|a, b| a.cost.total_cmp(&b.cost))
-                    .expect("non-empty alternative");
+                let best = cands.into_iter().min_by(|a, b| a.cost.total_cmp(&b.cost)).expect("non-empty alternative");
                 union.extend(best.atoms);
             }
             vec![AnchorSet::of(union, atoms, schema, est)]
@@ -174,15 +163,10 @@ mod tests {
         // Paper's example: the anchor of
         //   VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()
         // is the pair {VM(id=55), Docker(id=66)}.
-        let (best, _, atoms) = anchor_for(
-            "VNF()->[HostedOn()]{1,3}->(VM(vm_id=55)|Docker(docker_id=66))->HostedOn(){1,2}->Host()",
-        );
+        let (best, _, atoms) =
+            anchor_for("VNF()->[HostedOn()]{1,3}->(VM(vm_id=55)|Docker(docker_id=66))->HostedOn(){1,2}->Host()");
         assert_eq!(best.atoms.len(), 2);
-        let names: Vec<&str> = best
-            .atoms
-            .iter()
-            .map(|&a| atoms[a as usize].class_name.as_str())
-            .collect();
+        let names: Vec<&str> = best.atoms.iter().map(|&a| atoms[a as usize].class_name.as_str()).collect();
         assert!(names.contains(&"VM"));
         assert!(names.contains(&"Docker"));
         assert_eq!(best.cost, 2.0);

@@ -181,17 +181,15 @@ fn literal_compatible(ty: &FieldType, v: &Value, op: CmpOp) -> bool {
 }
 
 fn bind_atom(schema: &Schema, atom: &Atom) -> Result<BoundAtom> {
-    let class = schema
-        .class_by_name(&atom.class)
-        .ok_or_else(|| RpeError::UnknownClass(atom.class.clone()))?;
+    let class = schema.class_by_name(&atom.class).ok_or_else(|| RpeError::UnknownClass(atom.class.clone()))?;
     let is_node = schema.kind(class) == ClassKind::Node;
     let mut preds = Vec::with_capacity(atom.preds.len());
     for p in &atom.preds {
         let mut segments = p.field.split('.');
         let base = segments.next().expect("split yields at least one segment");
-        let (idx, fd) = schema.resolve_field(class, base).ok_or_else(|| {
-            RpeError::UnknownField { class: atom.class.clone(), field: p.field.clone() }
-        })?;
+        let (idx, fd) = schema
+            .resolve_field(class, base)
+            .ok_or_else(|| RpeError::UnknownField { class: atom.class.clone(), field: p.field.clone() })?;
         // Dotted segments walk through composite data types.
         let mut sub_path = Vec::new();
         let mut ty = fd.ty.clone();
@@ -207,21 +205,17 @@ fn bind_atom(schema: &Schema, atom: &Atom) -> Result<BoundAtom> {
                 }
             };
             let layout = schema.data_types().all_fields(dt);
-            let pos = layout.iter().position(|f| f.name == seg).ok_or_else(|| {
-                RpeError::UnknownField {
-                    class: atom.class.clone(),
-                    field: p.field.clone(),
-                }
-            })?;
+            let pos = layout
+                .iter()
+                .position(|f| f.name == seg)
+                .ok_or_else(|| RpeError::UnknownField { class: atom.class.clone(), field: p.field.clone() })?;
             ty = layout[pos].ty.clone();
             sub_path.push(pos);
         }
-        let value = coerce_literal(&ty, p.value.clone()).ok_or_else(|| {
-            RpeError::PredicateType {
-                class: atom.class.clone(),
-                field: p.field.clone(),
-                msg: format!("cannot coerce {} to {}", p.value, ty),
-            }
+        let value = coerce_literal(&ty, p.value.clone()).ok_or_else(|| RpeError::PredicateType {
+            class: atom.class.clone(),
+            field: p.field.clone(),
+            msg: format!("cannot coerce {} to {}", p.value, ty),
         })?;
         if !literal_compatible(&ty, &value, p.op) {
             return Err(RpeError::PredicateType {
@@ -230,21 +224,9 @@ fn bind_atom(schema: &Schema, atom: &Atom) -> Result<BoundAtom> {
                 msg: format!("{} is not comparable to {}", value.kind_name(), ty),
             });
         }
-        preds.push(BoundPred {
-            field_idx: idx,
-            field_name: p.field.clone(),
-            sub_path,
-            op: p.op,
-            value,
-        });
+        preds.push(BoundPred { field_idx: idx, field_name: p.field.clone(), sub_path, op: p.op, value });
     }
-    Ok(BoundAtom {
-        class,
-        class_name: atom.class.clone(),
-        is_node,
-        preds,
-        display: atom.to_string(),
-    })
+    Ok(BoundAtom { class, class_name: atom.class.clone(), is_node, preds, display: atom.to_string() })
 }
 
 fn lower(schema: &Schema, rpe: &Rpe, atoms: &mut Vec<BoundAtom>) -> Result<Work> {
@@ -254,18 +236,8 @@ fn lower(schema: &Schema, rpe: &Rpe, atoms: &mut Vec<BoundAtom>) -> Result<Work>
             atoms.push(bound);
             Work::Atom(atoms.len() as u32 - 1)
         }
-        Rpe::Seq(parts) => Work::Seq(
-            parts
-                .iter()
-                .map(|p| lower(schema, p, atoms))
-                .collect::<Result<Vec<_>>>()?,
-        ),
-        Rpe::Alt(parts) => Work::Alt(
-            parts
-                .iter()
-                .map(|p| lower(schema, p, atoms))
-                .collect::<Result<Vec<_>>>()?,
-        ),
+        Rpe::Seq(parts) => Work::Seq(parts.iter().map(|p| lower(schema, p, atoms)).collect::<Result<Vec<_>>>()?),
+        Rpe::Alt(parts) => Work::Alt(parts.iter().map(|p| lower(schema, p, atoms)).collect::<Result<Vec<_>>>()?),
         Rpe::Rep(inner, min, max) => {
             if *min > *max || *max == 0 || *max > MAX_REPETITION {
                 return Err(RpeError::BadRepetition { min: *min, max: *max });
@@ -438,20 +410,14 @@ mod tests {
     #[test]
     fn fully_nullable_rejected() {
         // The paper's example: [VNF()]{0,4}->[Vertical()]{0,4} has no anchor.
-        assert!(matches!(
-            bind_src("[VM()]{0,4}->[Vertical()]{0,4}"),
-            Err(RpeError::Nullable)
-        ));
+        assert!(matches!(bind_src("[VM()]{0,4}->[Vertical()]{0,4}"), Err(RpeError::Nullable)));
         assert!(matches!(bind_src("[VM()]{0,3}"), Err(RpeError::Nullable)));
     }
 
     #[test]
     fn unknown_class_and_field_rejected() {
         assert!(matches!(bind_src("Nope()"), Err(RpeError::UnknownClass(_))));
-        assert!(matches!(
-            bind_src("VM(nonfield=1)"),
-            Err(RpeError::UnknownField { .. })
-        ));
+        assert!(matches!(bind_src("VM(nonfield=1)"), Err(RpeError::UnknownField { .. })));
     }
 
     #[test]
@@ -460,10 +426,7 @@ mod tests {
         assert!(matches!(b.atoms[0].preds[0].value, Value::Ts(_)));
         assert!(matches!(b.atoms[0].preds[1].value, Value::Ip(_)));
         // Type mismatch detected.
-        assert!(matches!(
-            bind_src("VM(status=5)"),
-            Err(RpeError::PredicateType { .. })
-        ));
+        assert!(matches!(bind_src("VM(status=5)"), Err(RpeError::PredicateType { .. })));
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for RpeError {
             RpeError::Parse { pos, msg } => write!(f, "RPE parse error at byte {pos}: {msg}"),
             RpeError::UnknownClass(c) => write!(f, "unknown class `{c}` in RPE atom"),
             RpeError::UnknownField { class, field } => {
-                write!(f, "class `{class}` has no field `{field}` (atoms may only reference fields of the named concept)")
+                write!(
+                    f,
+                    "class `{class}` has no field `{field}` (atoms may only reference fields of the named concept)"
+                )
             }
             RpeError::PredicateType { class, field, msg } => {
                 write!(f, "bad predicate on `{class}.{field}`: {msg}")

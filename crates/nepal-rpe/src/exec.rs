@@ -11,9 +11,11 @@
 //! intersection becomes empty.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use nepal_graph::{GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
 use nepal_graph::FOREVER;
+use nepal_graph::{GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
+use nepal_obs::{ExecTrace, OpStats};
 use nepal_schema::Schema;
 
 use crate::anchor::{apply_selectivity, CardinalityEstimator};
@@ -92,6 +94,10 @@ struct ElemMatcher<'a> {
     atoms: &'a [BoundAtom],
     range_mode: bool,
     memo: HashMap<(Uid, Label), Option<Times>>,
+    /// Partial matches dropped because their interval intersection became
+    /// empty (§5 temporal pruning). A plain increment — counted even
+    /// untraced, and only reported when a trace is attached.
+    temporal_prunes: u64,
 }
 
 impl<'a> ElemMatcher<'a> {
@@ -102,6 +108,7 @@ impl<'a> ElemMatcher<'a> {
             atoms,
             range_mode: view.filter.is_range(),
             memo: HashMap::new(),
+            temporal_prunes: 0,
         }
     }
 
@@ -177,6 +184,8 @@ fn step_fwd(plan: &RpePlan, m: &mut ElemMatcher, states: &StateSet, uid: Uid, is
                 let (nt, ok) = times_intersect(t, &lt);
                 if ok {
                     push_state(&mut next, to, nt);
+                } else {
+                    m.temporal_prunes += 1;
                 }
             }
         }
@@ -193,6 +202,8 @@ fn step_bwd(plan: &RpePlan, m: &mut ElemMatcher, states: &StateSet, uid: Uid, is
                 let (nt, ok) = times_intersect(t, &lt);
                 if ok {
                     push_state(&mut next, from, nt);
+                } else {
+                    m.temporal_prunes += 1;
                 }
             }
         }
@@ -283,7 +294,14 @@ fn fwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &Stat
 /// Depth-first backward extension. `path` holds elements to the LEFT of the
 /// seed in right-to-left order (so `path.last()` is the leftmost element,
 /// always a node once non-empty); `states` are before-states.
-fn bwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &StateSet, leftmost_is_node: bool, out: &mut Vec<Half>) {
+fn bwd_search(
+    ctx: &Ctx,
+    m: &mut ElemMatcher,
+    path: &mut Vec<Uid>,
+    states: &StateSet,
+    leftmost_is_node: bool,
+    out: &mut Vec<Half>,
+) {
     if leftmost_is_node {
         if let Some(times) = start_times(ctx.plan, states) {
             out.push(Half { elems: path.clone(), times });
@@ -319,6 +337,13 @@ fn bwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &Stat
 /// Scan the store for elements satisfying an anchor atom (`Select`).
 /// Uses the unique index when the atom has a unique-equality predicate.
 pub fn anchor_scan(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> Vec<(Uid, Times)> {
+    anchor_scan_counted(view, schema, atom).0
+}
+
+/// [`anchor_scan`] plus the number of stored elements examined, so a trace
+/// can report the `Select` operator's input cardinality (1 on the
+/// unique-index fast path, the extent size on the scan path).
+pub fn anchor_scan_counted(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> (Vec<(Uid, Times)>, u64) {
     let range_mode = view.filter.is_range();
     let to_times = |mt: MatchTime| -> Times {
         match mt {
@@ -338,21 +363,24 @@ pub fn anchor_scan(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> Vec<(
         if let Some((idx, value)) = atom.unique_eq_pred(schema) {
             if let Some(uid) = view.graph.find_unique(atom.class, idx, value) {
                 if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
-                    return vec![(uid, to_times(mt))];
+                    return (vec![(uid, to_times(mt))], 1);
                 }
+                return (Vec::new(), 1);
             }
-            return Vec::new();
+            return (Vec::new(), 0);
         }
     }
     let mut out = Vec::new();
+    let mut scanned = 0u64;
     for c in schema.descendants(atom.class) {
         for &uid in view.graph.extent_exact(c) {
+            scanned += 1;
             if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
                 out.push((uid, to_times(mt)));
             }
         }
     }
-    out
+    (out, scanned)
 }
 
 fn finalize(view: &GraphView, times: Times) -> Option<Times> {
@@ -373,37 +401,126 @@ fn finalize(view: &GraphView, times: Times) -> Option<Times> {
 
 /// Evaluate a planned RPE under a time-filtered view.
 pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptions) -> Vec<Pathway> {
+    evaluate_traced(view, plan, seeds, opts, None)
+}
+
+/// [`evaluate`] with an optional [`ExecTrace`] collecting one [`OpStats`]
+/// per §5 operator instance plus free-form counters (temporal prunes, memo
+/// size). With `trace == None` no clock is ever read; the only residual
+/// cost of instrumentation on the untraced path is plain integer
+/// increments.
+pub fn evaluate_traced(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    mut trace: Option<&mut ExecTrace>,
+) -> Vec<Pathway> {
+    let enabled = trace.is_some();
     let schema = view.graph.schema().clone();
-    let cap = opts
-        .max_elements
-        .map(|m| m.min(plan.max_elements))
-        .unwrap_or(plan.max_elements);
+    let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let ctx = Ctx { view, plan, cap };
     let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
     // elems → merged times. BTreeMap-free: HashMap then sort at the end.
     let mut results: HashMap<Vec<Uid>, Times> = HashMap::new();
     let add_result = |elems: Vec<Uid>, times: Times, results: &mut HashMap<Vec<Uid>, Times>| {
-        results
-            .entry(elems)
-            .and_modify(|t| *t = times_union(std::mem::take(t), &times))
-            .or_insert(times);
+        results.entry(elems).and_modify(|t| *t = times_union(std::mem::take(t), &times)).or_insert(times);
     };
 
     match seeds {
         Seeds::Anchor => {
             for &occ in &plan.anchor.atoms {
                 let atom = &plan.atoms[occ as usize];
-                let candidates = anchor_scan(view, &schema, atom);
+                let t_sel = enabled.then(Instant::now);
+                let (candidates, scanned) = anchor_scan_counted(view, &schema, atom);
+                if let Some(trc) = trace.as_deref_mut() {
+                    let mut op = OpStats::new("Select", &atom.display);
+                    op.rows_in = scanned;
+                    op.rows_out = candidates.len() as u64;
+                    op.elapsed_ns = t_sel.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    trc.ops.push(op);
+                }
                 let seed_trans = plan.nfa.seeds_for(occ);
+                let (mut fwd_halves, mut bwd_halves) = (0u64, 0u64);
+                let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
+                let (mut union_in, mut union_ns) = (0u64, 0u64);
+                let union_before = results.len() as u64;
                 for (elem, times0) in &candidates {
+                    let edge_ends = if atom.is_node {
+                        None
+                    } else {
+                        match view.graph.edge(*elem) {
+                            Ok(e) => Some((e.src, e.dst)),
+                            Err(_) => continue,
+                        }
+                    };
+                    // ε-elimination can leave the anchor occurrence on
+                    // several transitions; the forward half depends only on
+                    // the target state, so search each distinct state once
+                    // (`None` marks a state the edge seed cannot even step
+                    // into) and skip duplicate (from, to) pairs outright.
+                    let mut fwd_runs: Vec<(u32, Option<Vec<Half>>)> = Vec::new();
+                    let mut seen_pairs: Vec<(u32, u32)> = Vec::new();
                     for tr in &seed_trans {
-                        // Forward halves (seed element included).
-                        let mut fwd: Vec<Half> = Vec::new();
+                        if seen_pairs.contains(&(tr.from, tr.to)) {
+                            continue;
+                        }
+                        seen_pairs.push((tr.from, tr.to));
                         let mut bwd: Vec<Half> = Vec::new();
-                        if atom.is_node {
-                            let states: StateSet = vec![(tr.to, times0.clone())];
-                            let mut path = vec![*elem];
-                            fwd_search(&ctx, &mut m, &mut path, &states, &mut fwd);
+                        let fwd_idx = match fwd_runs.iter().position(|(s, _)| *s == tr.to) {
+                            Some(i) => i,
+                            None => {
+                                let states: StateSet = vec![(tr.to, times0.clone())];
+                                let run = if let Some((_, dst)) = edge_ends {
+                                    // Edge seed: forward must consume the
+                                    // edge's target node first.
+                                    let s2 = step_fwd(plan, &mut m, &states, dst, true);
+                                    if s2.is_empty() {
+                                        None
+                                    } else {
+                                        let mut fwd: Vec<Half> = Vec::new();
+                                        let mut path = vec![*elem, dst];
+                                        let t0 = enabled.then(Instant::now);
+                                        fwd_search(&ctx, &mut m, &mut path, &s2, &mut fwd);
+                                        if let Some(t) = t0 {
+                                            fwd_ns += t.elapsed().as_nanos() as u64;
+                                        }
+                                        Some(fwd)
+                                    }
+                                } else {
+                                    let mut fwd: Vec<Half> = Vec::new();
+                                    let mut path = vec![*elem];
+                                    let t0 = enabled.then(Instant::now);
+                                    fwd_search(&ctx, &mut m, &mut path, &states, &mut fwd);
+                                    if let Some(t) = t0 {
+                                        fwd_ns += t.elapsed().as_nanos() as u64;
+                                    }
+                                    Some(fwd)
+                                };
+                                if let Some(fwd) = &run {
+                                    fwd_halves += fwd.len() as u64;
+                                }
+                                fwd_runs.push((tr.to, run));
+                                fwd_runs.len() - 1
+                            }
+                        };
+                        if fwd_runs[fwd_idx].1.is_none() {
+                            continue;
+                        }
+                        if let Some((src, _)) = edge_ends {
+                            let bstates: StateSet = vec![(tr.from, times0.clone())];
+                            let b1 = step_bwd(plan, &mut m, &bstates, src, true);
+                            if b1.is_empty() {
+                                continue;
+                            }
+                            let mut bpath = vec![src];
+                            let t0 = enabled.then(Instant::now);
+                            bwd_search(&ctx, &mut m, &mut bpath, &b1, true, &mut bwd);
+                            if let Some(t) = t0 {
+                                bwd_ns += t.elapsed().as_nanos() as u64;
+                            }
+                        } else {
+                            let t0 = enabled.then(Instant::now);
                             let bstates: StateSet = vec![(tr.from, times0.clone())];
                             let mut bpath = Vec::new();
                             // The seed node itself is the (current) leftmost
@@ -430,31 +547,17 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
                                 bpath.pop();
                                 bpath.pop();
                             }
-                        } else {
-                            // Edge seed: forward must consume the edge's
-                            // target node; backward its source node.
-                            let e = match view.graph.edge(*elem) {
-                                Ok(e) => e,
-                                Err(_) => continue,
-                            };
-                            let states: StateSet = vec![(tr.to, times0.clone())];
-                            let s2 = step_fwd(plan, &mut m, &states, e.dst, true);
-                            if s2.is_empty() {
-                                continue;
+                            if let Some(t) = t0 {
+                                bwd_ns += t.elapsed().as_nanos() as u64;
                             }
-                            let mut path = vec![*elem, e.dst];
-                            fwd_search(&ctx, &mut m, &mut path, &s2, &mut fwd);
-                            let bstates: StateSet = vec![(tr.from, times0.clone())];
-                            let b1 = step_bwd(plan, &mut m, &bstates, e.src, true);
-                            if b1.is_empty() {
-                                continue;
-                            }
-                            let mut bpath = vec![e.src];
-                            bwd_search(&ctx, &mut m, &mut bpath, &b1, true, &mut bwd);
                         }
+                        let fwd = fwd_runs[fwd_idx].1.as_ref().expect("checked above");
+                        bwd_halves += bwd.len() as u64;
+                        union_in += (bwd.len() * fwd.len()) as u64;
                         // Union: cross-combine halves.
+                        let t0 = enabled.then(Instant::now);
                         for b in &bwd {
-                            'combine: for fh in &fwd {
+                            'combine: for fh in fwd {
                                 // Cycle check across the two halves.
                                 for u in &b.elems {
                                     if fh.elems.contains(u) {
@@ -463,6 +566,7 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
                                 }
                                 let (t, ok) = times_intersect(&b.times, &fh.times);
                                 if !ok {
+                                    m.temporal_prunes += 1;
                                     continue;
                                 }
                                 let mut elems = b.elems.clone();
@@ -474,6 +578,9 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
                                 add_result(elems, t, &mut results);
                             }
                         }
+                        if let Some(t) = t0 {
+                            union_ns += t.elapsed().as_nanos() as u64;
+                        }
                         if let Some(limit) = opts.limit {
                             if results.len() >= limit {
                                 break;
@@ -481,35 +588,72 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
                         }
                     }
                 }
+                if let Some(trc) = trace.as_deref_mut() {
+                    let n_cand = candidates.len() as u64;
+                    let mut op = OpStats::new("Extend(fwd)", &atom.display);
+                    op.rows_in = n_cand;
+                    op.rows_out = fwd_halves;
+                    op.elapsed_ns = fwd_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                    let mut op = OpStats::new("Extend(bwd)", &atom.display);
+                    op.rows_in = n_cand;
+                    op.rows_out = bwd_halves;
+                    op.elapsed_ns = bwd_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                    let mut op = OpStats::new("Union", &atom.display);
+                    op.rows_in = union_in;
+                    op.rows_out = results.len() as u64 - union_before;
+                    op.elapsed_ns = union_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                }
             }
         }
         Seeds::Sources(srcs) => {
+            let t0 = enabled.then(Instant::now);
+            let mut seeded = 0u64;
+            let mut halves = 0u64;
             for &src in srcs {
                 if !view.graph.is_node(src) {
                     continue;
                 }
-                let init: StateSet = vec![(
-                    plan.nfa.start,
-                    if view.filter.is_range() { Some(universal()) } else { None },
-                )];
+                let init: StateSet =
+                    vec![(plan.nfa.start, if view.filter.is_range() { Some(universal()) } else { None })];
                 let s1 = step_fwd(plan, &mut m, &init, src, true);
                 if s1.is_empty() {
                     continue;
                 }
+                seeded += 1;
                 let mut path = vec![src];
                 let mut fwd = Vec::new();
                 fwd_search(&ctx, &mut m, &mut path, &s1, &mut fwd);
+                halves += fwd.len() as u64;
                 for h in fwd {
                     add_result(h.elems, h.times, &mut results);
                 }
             }
+            if let Some(trc) = trace.as_deref_mut() {
+                let mut op = OpStats::new("Select", "imported source seeds");
+                op.rows_in = srcs.len() as u64;
+                op.rows_out = seeded;
+                trc.ops.push(op);
+                let mut op = OpStats::new("Extend(fwd)", "from imported sources");
+                op.rows_in = seeded;
+                op.rows_out = halves;
+                op.elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                op.depth = 1;
+                trc.ops.push(op);
+            }
         }
         Seeds::Targets(tgts) => {
+            let t0 = enabled.then(Instant::now);
+            let mut seeded = 0u64;
+            let mut halves = 0u64;
             let accept_states: StateSet = (0..plan.nfa.n_states as u32)
                 .filter(|&s| plan.nfa.accepts[s as usize])
-                .map(|s| {
-                    (s, if view.filter.is_range() { Some(universal()) } else { None })
-                })
+                .map(|s| (s, if view.filter.is_range() { Some(universal()) } else { None }))
                 .collect();
             for &tgt in tgts {
                 if !view.graph.is_node(tgt) {
@@ -519,16 +663,35 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
                 if b1.is_empty() {
                     continue;
                 }
+                seeded += 1;
                 let mut path = vec![tgt];
                 let mut bwd = Vec::new();
                 bwd_search(&ctx, &mut m, &mut path, &b1, true, &mut bwd);
+                halves += bwd.len() as u64;
                 for h in bwd {
                     let mut elems = h.elems;
                     elems.reverse();
                     add_result(elems, h.times, &mut results);
                 }
             }
+            if let Some(trc) = trace.as_deref_mut() {
+                let mut op = OpStats::new("Select", "imported target seeds");
+                op.rows_in = tgts.len() as u64;
+                op.rows_out = seeded;
+                trc.ops.push(op);
+                let mut op = OpStats::new("Extend(bwd)", "from imported targets");
+                op.rows_in = seeded;
+                op.rows_out = halves;
+                op.elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                op.depth = 1;
+                trc.ops.push(op);
+            }
         }
+    }
+
+    if let Some(trc) = trace {
+        trc.bump("temporal_prunes", m.temporal_prunes);
+        trc.bump("match_memo_entries", m.memo.len() as u64);
     }
 
     let mut out: Vec<Pathway> = Vec::new();

@@ -254,11 +254,7 @@ impl Nfa {
     /// All transitions carrying the given atom occurrence — the seed points
     /// of an anchored evaluation.
     pub fn seeds_for(&self, atom: u32) -> Vec<Transition> {
-        self.transitions
-            .iter()
-            .filter(|t| t.label == Label::Atom(atom))
-            .copied()
-            .collect()
+        self.transitions.iter().filter(|t| t.label == Label::Atom(atom)).copied().collect()
     }
 
     /// Classes of elements that can be consumed first (for `source(P)`

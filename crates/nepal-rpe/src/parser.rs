@@ -142,12 +142,7 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
                             s.push(b as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(RpeError::Parse {
-                                pos: start,
-                                msg: "unterminated string".into(),
-                            })
-                        }
+                        None => return Err(RpeError::Parse { pos: start, msg: "unterminated string".into() }),
                     }
                 }
                 out.push((start, Tok::Str(s)));
@@ -172,9 +167,7 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
                 }
                 out.push((start, Tok::Ident(text[start..i].trim_end_matches(':').to_string())));
             }
-            other => {
-                return Err(RpeError::Parse { pos: i, msg: format!("unexpected `{other}`") })
-            }
+            other => return Err(RpeError::Parse { pos: i, msg: format!("unexpected `{other}`") }),
         }
     }
     Ok(out)
@@ -235,10 +228,7 @@ impl Parser {
     fn expect(&mut self, t: Tok) -> Result<()> {
         match self.bump() {
             Some(got) if got == t => Ok(()),
-            got => Err(RpeError::Parse {
-                pos: self.here(),
-                msg: format!("expected {t:?}, got {got:?}"),
-            }),
+            got => Err(RpeError::Parse { pos: self.here(), msg: format!("expected {t:?}, got {got:?}") }),
         }
     }
 
@@ -399,10 +389,7 @@ mod tests {
         parse_rpe("ConnectsTo(){1,8}").unwrap();
         parse_rpe("(VNF()|VFC())->[HostedOn(){1,5}]->VM()").unwrap();
         parse_rpe("VM(status='Green')").unwrap();
-        parse_rpe(
-            "VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()",
-        )
-        .unwrap();
+        parse_rpe("VNF()->[HostedOn()]{1,3}->(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()").unwrap();
     }
 
     #[test]

@@ -84,30 +84,20 @@ pub fn plan_rpe(schema: &Schema, rpe: &Rpe, est: &dyn CardinalityEstimator) -> R
 }
 
 impl RpePlan {
+    /// Render an anchor set's atoms, e.g. `VM(vm_id=55) | Docker(docker_id=66)`.
+    pub fn anchor_desc(&self, set: &AnchorSet) -> String {
+        let parts: Vec<&str> = set.atoms.iter().map(|&a| self.atoms[a as usize].display.as_str()).collect();
+        parts.join(" | ")
+    }
+
     /// Human-readable operator listing in the paper's style.
     pub fn operators(&self) -> Vec<String> {
         let mut ops = Vec::new();
-        let anchor_desc: Vec<&str> = self
-            .anchor
-            .atoms
-            .iter()
-            .map(|&a| self.atoms[a as usize].display.as_str())
-            .collect();
-        ops.push(format!(
-            "Select: {} [est. cardinality {:.1}]",
-            anchor_desc.join(" | "),
-            self.anchor.cost
-        ));
-        let n_seeds: usize = self
-            .anchor
-            .atoms
-            .iter()
-            .map(|&a| self.nfa.seeds_for(a).len())
-            .sum();
-        ops.push(format!(
-            "Extend: forwards and backwards from the anchor, ≤{} elements",
-            self.max_elements
-        ));
+        let anchor_desc: Vec<&str> =
+            self.anchor.atoms.iter().map(|&a| self.atoms[a as usize].display.as_str()).collect();
+        ops.push(format!("Select: {} [est. cardinality {:.1}]", anchor_desc.join(" | "), self.anchor.cost));
+        let n_seeds: usize = self.anchor.atoms.iter().map(|&a| self.nfa.seeds_for(a).len()).sum();
+        ops.push(format!("Extend: forwards and backwards from the anchor, ≤{} elements", self.max_elements));
         if n_seeds > 1 || self.anchor.atoms.len() > 1 {
             ops.push(format!("Union: merge results of {n_seeds} seed transitions"));
         }
@@ -143,21 +133,11 @@ mod tests {
     #[test]
     fn source_and_target_typing_via_lca() {
         let s = schema();
-        let p = plan_rpe(
-            &s,
-            &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=5)").unwrap(),
-            &HintEstimator,
-        )
-        .unwrap();
+        let p = plan_rpe(&s, &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=5)").unwrap(), &HintEstimator).unwrap();
         assert_eq!(p.source_class, s.class_by_name("VNF").unwrap());
         assert_eq!(p.target_class, s.class_by_name("Host").unwrap());
         // Alternation of sibling classes → LCA.
-        let p2 = plan_rpe(
-            &s,
-            &parse_rpe("(VM(vm_id=1)|Docker(docker_id=2))").unwrap(),
-            &HintEstimator,
-        )
-        .unwrap();
+        let p2 = plan_rpe(&s, &parse_rpe("(VM(vm_id=1)|Docker(docker_id=2))").unwrap(), &HintEstimator).unwrap();
         assert_eq!(p2.source_class, s.class_by_name("Container").unwrap());
     }
 
@@ -172,12 +152,8 @@ mod tests {
     #[test]
     fn operator_listing_mentions_select() {
         let s = schema();
-        let p = plan_rpe(
-            &s,
-            &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=23245)").unwrap(),
-            &HintEstimator,
-        )
-        .unwrap();
+        let p =
+            plan_rpe(&s, &parse_rpe("VNF()->[HostedOn()]{1,6}->Host(host_id=23245)").unwrap(), &HintEstimator).unwrap();
         let ops = p.operators();
         assert!(ops[0].starts_with("Select: Host(host_id=23245)"));
     }

@@ -21,12 +21,9 @@ fn chain(n: usize) -> (TemporalGraph, Vec<Uid>) {
     );
     let c = |x: &str| s.class_by_name(x).unwrap();
     let mut g = TemporalGraph::new(s.clone());
-    let nodes: Vec<Uid> = (0..n)
-        .map(|i| g.insert_node(c("N"), vec![Value::Int(i as i64)], 0).unwrap())
-        .collect();
+    let nodes: Vec<Uid> = (0..n).map(|i| g.insert_node(c("N"), vec![Value::Int(i as i64)], 0).unwrap()).collect();
     for w in nodes.windows(2) {
-        g.insert_edge(c("L"), w[0], w[1], vec![Value::Int((w[0].0 % 10) as i64)], 0)
-            .unwrap();
+        g.insert_edge(c("L"), w[0], w[1], vec![Value::Int((w[0].0 % 10) as i64)], 0).unwrap();
     }
     (g, nodes)
 }
@@ -34,12 +31,8 @@ fn chain(n: usize) -> (TemporalGraph, Vec<Uid>) {
 #[test]
 fn max_elements_option_caps_expansion() {
     let (g, _) = chain(10);
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("N(nid=0)->[L()]{1,8}->N()").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
+    let plan =
+        plan_rpe(g.schema(), &parse_rpe("N(nid=0)->[L()]{1,8}->N()").unwrap(), &GraphEstimator { graph: &g }).unwrap();
     let view = GraphView::new(&g, TimeFilter::Current);
     let all = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
     assert_eq!(all.len(), 8); // 1..8 hops down the chain
@@ -56,12 +49,8 @@ fn max_elements_option_caps_expansion() {
 #[test]
 fn limit_option_truncates_deterministically() {
     let (g, _) = chain(10);
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("N(nid=0)->[L()]{1,8}->N()").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
+    let plan =
+        plan_rpe(g.schema(), &parse_rpe("N(nid=0)->[L()]{1,8}->N()").unwrap(), &GraphEstimator { graph: &g }).unwrap();
     let view = GraphView::new(&g, TimeFilter::Current);
     let l3 = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(3), max_elements: None });
     assert_eq!(l3.len(), 3);
@@ -104,12 +93,9 @@ fn unique_index_respects_deletions() {
 fn edge_field_predicates_filter_traversal() {
     let (g, _) = chain(12);
     // Only edges with weight >= 5 qualify: those leaving N5..N9 (uid%10).
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("N(nid=5)->[L(weight>=5)]{1,3}->N()").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
+    let plan =
+        plan_rpe(g.schema(), &parse_rpe("N(nid=5)->[L(weight>=5)]{1,3}->N()").unwrap(), &GraphEstimator { graph: &g })
+            .unwrap();
     let view = GraphView::new(&g, TimeFilter::Current);
     let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());
     assert!(!paths.is_empty());
@@ -126,12 +112,7 @@ fn edge_field_predicates_filter_traversal() {
 #[test]
 fn seeds_with_unknown_or_edge_uids_are_ignored() {
     let (g, nodes) = chain(5);
-    let plan = plan_rpe(
-        g.schema(),
-        &parse_rpe("L(){1,2}").unwrap(),
-        &GraphEstimator { graph: &g },
-    )
-    .unwrap();
+    let plan = plan_rpe(g.schema(), &parse_rpe("L(){1,2}").unwrap(), &GraphEstimator { graph: &g }).unwrap();
     let view = GraphView::new(&g, TimeFilter::Current);
     // An edge uid and an out-of-range uid as "source nodes": no panic,
     // no results from them.

@@ -54,18 +54,12 @@ fn fixture() -> Fixture {
     let vnf2 = g.insert_node(c("Firewall"), vec![Value::Int(2), Value::Null], t).unwrap();
     let vfc1 = g.insert_node(c("VFC"), vec![Value::Int(11)], t).unwrap();
     let vfc2 = g.insert_node(c("VFC"), vec![Value::Int(12)], t).unwrap();
-    let vm1 = g
-        .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(21)], t)
-        .unwrap();
-    let dk1 = g
-        .insert_node(c("Docker"), vec![Value::Str("Green".into()), Value::Int(22)], t)
-        .unwrap();
+    let vm1 = g.insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(21)], t).unwrap();
+    let dk1 = g.insert_node(c("Docker"), vec![Value::Str("Green".into()), Value::Int(22)], t).unwrap();
     let host1 = g.insert_node(c("Host"), vec![Value::Int(23245)], t).unwrap();
     let host2 = g.insert_node(c("Host"), vec![Value::Int(34356)], t).unwrap();
     let sw = g.insert_node(c("Switch"), vec![Value::Int(91)], t).unwrap();
-    let e = |g: &mut TemporalGraph, cls: &str, a: Uid, b: Uid| {
-        g.insert_edge(c(cls), a, b, vec![], t).unwrap()
-    };
+    let e = |g: &mut TemporalGraph, cls: &str, a: Uid, b: Uid| g.insert_edge(c(cls), a, b, vec![], t).unwrap();
     e(&mut g, "ComposedOf", vnf1, vfc1);
     e(&mut g, "ComposedOf", vnf2, vfc2);
     e(&mut g, "HostedOn", vfc1, vm1);
@@ -184,10 +178,7 @@ fn edge_edge_concat_skips_one_node() {
 #[test]
 fn alternation_anchor_merges_branches() {
     let f = fixture();
-    let paths = run(
-        &f.g,
-        "VNF()->[Vertical()]{1,3}->(VM(vm_id=21)|Docker(docker_id=22))",
-    );
+    let paths = run(&f.g, "VNF()->[Vertical()]{1,3}->(VM(vm_id=21)|Docker(docker_id=22))");
     // VNF1 reaches VM1, VNF2 reaches Docker1.
     assert!(paths.iter().any(|p| p.source() == f.vnf1));
     assert!(paths.iter().any(|p| p.source() == f.vnf2));
@@ -198,12 +189,7 @@ fn seeded_sources_import_anchor_from_join() {
     // The paper's join example: Phys MATCHES Connects(){1,8} has no anchor
     // of its own; it is seeded from the join on source(Phys)=target(D1).
     let f = fixture();
-    let plan = plan_rpe(
-        f.g.schema(),
-        &parse_rpe("Connects(){1,8}").unwrap(),
-        &GraphEstimator { graph: &f.g },
-    )
-    .unwrap();
+    let plan = plan_rpe(f.g.schema(), &parse_rpe("Connects(){1,8}").unwrap(), &GraphEstimator { graph: &f.g }).unwrap();
     let view = GraphView::new(&f.g, TimeFilter::Current);
     let seeds = [f.host1];
     let paths = evaluate(&view, &plan, Seeds::Sources(&seeds), &EvalOptions::default());
@@ -235,12 +221,7 @@ fn limit_truncates_results() {
     )
     .unwrap();
     let view = GraphView::new(&f.g, TimeFilter::Current);
-    let paths = evaluate(
-        &view,
-        &plan,
-        Seeds::Anchor,
-        &EvalOptions { limit: Some(1), max_elements: None },
-    );
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(1), max_elements: None });
     assert_eq!(paths.len(), 1);
 }
 

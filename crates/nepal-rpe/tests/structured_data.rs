@@ -30,24 +30,9 @@ fn fixture() -> TemporalGraph {
         ])
     };
     let tags = |ts: &[&str]| Value::List(ts.iter().map(|t| Value::Str(t.to_string())).collect());
-    g.insert_node(
-        port,
-        vec![Value::Int(1), spec("eth0", 10, "east", 1), tags(&["prod", "edge"])],
-        0,
-    )
-    .unwrap();
-    g.insert_node(
-        port,
-        vec![Value::Int(2), spec("eth1", 100, "west", 2), tags(&["lab"])],
-        0,
-    )
-    .unwrap();
-    g.insert_node(
-        port,
-        vec![Value::Int(3), spec("eth2", 100, "east", 3), tags(&["prod"])],
-        0,
-    )
-    .unwrap();
+    g.insert_node(port, vec![Value::Int(1), spec("eth0", 10, "east", 1), tags(&["prod", "edge"])], 0).unwrap();
+    g.insert_node(port, vec![Value::Int(2), spec("eth1", 100, "west", 2), tags(&["lab"])], 0).unwrap();
+    g.insert_node(port, vec![Value::Int(3), spec("eth2", 100, "east", 3), tags(&["prod"])], 0).unwrap();
     g
 }
 
@@ -76,10 +61,7 @@ fn dotted_predicate_into_composite() {
 fn dotted_predicate_two_levels_deep() {
     let g = fixture();
     assert_eq!(ids(&g, "Port(spec.location.region='east')"), vec![1, 3]);
-    assert_eq!(
-        ids(&g, "Port(spec.location.region='east', spec.speed_gbps>=100)"),
-        vec![3]
-    );
+    assert_eq!(ids(&g, "Port(spec.location.region='east', spec.speed_gbps>=100)"), vec![3]);
     assert_eq!(ids(&g, "Port(spec.location.zone>1)"), vec![2, 3]);
 }
 
@@ -93,23 +75,10 @@ fn contains_on_list_field() {
 #[test]
 fn bad_paths_rejected_at_bind_time() {
     let g = fixture();
-    let err = |rpe: &str| {
-        plan_rpe(
-            g.schema(),
-            &parse_rpe(rpe).unwrap(),
-            &GraphEstimator { graph: &g },
-        )
-        .unwrap_err()
-    };
+    let err = |rpe: &str| plan_rpe(g.schema(), &parse_rpe(rpe).unwrap(), &GraphEstimator { graph: &g }).unwrap_err();
     assert!(matches!(err("Port(spec.nope=1)"), RpeError::UnknownField { .. }));
     // Dotting into a scalar is a type error.
-    assert!(matches!(
-        err("Port(port_id.x=1)"),
-        RpeError::PredicateType { .. }
-    ));
+    assert!(matches!(err("Port(port_id.x=1)"), RpeError::PredicateType { .. }));
     // Type mismatch at the leaf.
-    assert!(matches!(
-        err("Port(spec.speed_gbps='fast')"),
-        RpeError::PredicateType { .. }
-    ));
+    assert!(matches!(err("Port(spec.speed_gbps='fast')"), RpeError::PredicateType { .. }));
 }

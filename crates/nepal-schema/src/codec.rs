@@ -152,9 +152,7 @@ impl<'a> D<'a> {
             b'a' => {
                 let n = self.usize_until(b':')?;
                 let s = self.take(n)?;
-                s.parse()
-                    .map(Value::Ip)
-                    .map_err(|_| CodecError { pos: self.i, msg: "bad ip".into() })
+                s.parse().map(Value::Ip).map_err(|_| CodecError { pos: self.i, msg: "bad ip".into() })
             }
             b's' => {
                 let n = self.usize_until(b':')?;

@@ -92,9 +92,7 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
                             chars.next();
                             out.push((ln, Tok::Arrow));
                         }
-                        _ => {
-                            return Err(SchemaError::Parse { line: ln, msg: "stray `-`".into() })
-                        }
+                        _ => return Err(SchemaError::Parse { line: ln, msg: "stray `-`".into() }),
                     }
                 }
                 c if c.is_ascii_digit() => {
@@ -108,10 +106,9 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
                             break;
                         }
                     }
-                    let n: u64 = line[start..end].parse().map_err(|_| SchemaError::Parse {
-                        line: ln,
-                        msg: "bad number".into(),
-                    })?;
+                    let n: u64 = line[start..end]
+                        .parse()
+                        .map_err(|_| SchemaError::Parse { line: ln, msg: "bad number".into() })?;
                     out.push((ln, Tok::Num(n)));
                 }
                 c if c.is_alphanumeric() || c == '_' => {
@@ -127,12 +124,7 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
                     }
                     out.push((ln, Tok::Ident(line[start..end].to_string())));
                 }
-                other => {
-                    return Err(SchemaError::Parse {
-                        line: ln,
-                        msg: format!("unexpected character `{other}`"),
-                    })
-                }
+                other => return Err(SchemaError::Parse { line: ln, msg: format!("unexpected character `{other}`") }),
             }
         }
     }
@@ -255,9 +247,7 @@ impl<'a> Parser<'a> {
 
     fn class_ref(&mut self) -> Result<crate::schema::ClassId> {
         let name = self.ident()?;
-        self.builder
-            .class_by_name(&name)
-            .ok_or(SchemaError::UnknownClass(name))
+        self.builder.class_by_name(&name).ok_or(SchemaError::UnknownClass(name))
     }
 
     fn parse(mut self) -> Result<Schema> {
@@ -273,11 +263,7 @@ impl<'a> Parser<'a> {
                     let parent = if self.peek() == Some(&Tok::Colon) {
                         self.next();
                         let pname = self.ident()?;
-                        Some(
-                            self.builder
-                                .data_type_by_name(&pname)
-                                .ok_or(SchemaError::UnknownDataType(pname))?,
-                        )
+                        Some(self.builder.data_type_by_name(&pname).ok_or(SchemaError::UnknownDataType(pname))?)
                     } else {
                         None
                     };
@@ -294,11 +280,7 @@ impl<'a> Parser<'a> {
                     } else {
                         EDGE
                     };
-                    let fields = if self.peek() == Some(&Tok::LBrace) {
-                        self.field_block()?
-                    } else {
-                        Vec::new()
-                    };
+                    let fields = if self.peek() == Some(&Tok::LBrace) { self.field_block()? } else { Vec::new() };
                     if kw == "node" {
                         self.builder.node_class(name, parent, fields)?;
                     } else {

@@ -109,8 +109,7 @@ impl Schema {
 
     /// `true` iff `a` equals `b` or is (transitively) derived from `b`.
     pub fn is_subclass(&self, a: ClassId, b: ClassId) -> bool {
-        self.tin[b.0 as usize] <= self.tin[a.0 as usize]
-            && self.tin[a.0 as usize] <= self.tout[b.0 as usize]
+        self.tin[b.0 as usize] <= self.tin[a.0 as usize] && self.tin[a.0 as usize] <= self.tout[b.0 as usize]
     }
 
     /// All classes in the subtree rooted at `id`, including `id` itself.
@@ -162,11 +161,7 @@ impl Schema {
         let mut chain = self.ancestors(id);
         chain.pop(); // drop Entity
         chain.reverse();
-        chain
-            .iter()
-            .map(|c| self.class(*c).name.as_str())
-            .collect::<Vec<_>>()
-            .join(":")
+        chain.iter().map(|c| self.class(*c).name.as_str()).collect::<Vec<_>>().join(":")
     }
 
     /// The complete field layout of a class: ancestors' fields first, then
@@ -177,20 +172,12 @@ impl Schema {
 
     /// Resolve a field by name on a class; returns its layout index.
     pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<(usize, &FieldDef)> {
-        self.layouts[class.0 as usize]
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
+        self.layouts[class.0 as usize].iter().enumerate().find(|(_, f)| f.name == name)
     }
 
     /// Layout indexes of all unique fields of a class.
     pub fn unique_fields(&self, class: ClassId) -> Vec<usize> {
-        self.layouts[class.0 as usize]
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.unique)
-            .map(|(i, _)| i)
-            .collect()
+        self.layouts[class.0 as usize].iter().enumerate().filter(|(_, f)| f.unique).map(|(i, _)| i).collect()
     }
 
     pub fn data_types(&self) -> &DataTypeRegistry {
@@ -210,11 +197,9 @@ impl Schema {
         if self.edge_rules.is_empty() {
             return true;
         }
-        self.edge_rules.iter().any(|r| {
-            self.is_subclass(edge, r.edge)
-                && self.is_subclass(src, r.from)
-                && self.is_subclass(dst, r.to)
-        })
+        self.edge_rules
+            .iter()
+            .any(|r| self.is_subclass(edge, r.edge) && self.is_subclass(src, r.from) && self.is_subclass(dst, r.to))
     }
 
     /// Validate a full record of class `class` against the layout:
@@ -239,11 +224,9 @@ impl Schema {
                 continue;
             }
             self.data_types.validate_value(&fd.ty, v).map_err(|e| match e {
-                SchemaError::TypeMismatch { expected, got, .. } => SchemaError::TypeMismatch {
-                    field: fd.name.clone(),
-                    expected,
-                    got,
-                },
+                SchemaError::TypeMismatch { expected, got, .. } => {
+                    SchemaError::TypeMismatch { field: fd.name.clone(), expected, got }
+                }
                 other => other,
             })?;
         }
@@ -326,10 +309,7 @@ impl SchemaBuilder {
         }
         for f in &def.own_fields {
             if seen.contains(&f.name.as_str()) || def.own_fields.iter().filter(|g| g.name == f.name).count() > 1 {
-                return Err(SchemaError::DuplicateField {
-                    class: def.name.clone(),
-                    field: f.name.clone(),
-                });
+                return Err(SchemaError::DuplicateField { class: def.name.clone(), field: f.name.clone() });
             }
         }
         let id = ClassId(self.classes.len() as u32);
@@ -355,12 +335,7 @@ impl SchemaBuilder {
 
     /// Register a node class derived from `parent` (use [`NODE`] for direct
     /// children of the root).
-    pub fn node_class(
-        &mut self,
-        name: impl Into<String>,
-        parent: ClassId,
-        fields: Vec<FieldDef>,
-    ) -> Result<ClassId> {
+    pub fn node_class(&mut self, name: impl Into<String>, parent: ClassId, fields: Vec<FieldDef>) -> Result<ClassId> {
         let name = name.into();
         if parent != NODE {
             let p = &self.classes[parent.0 as usize];
@@ -379,12 +354,7 @@ impl SchemaBuilder {
 
     /// Register an edge class derived from `parent` (use [`EDGE`] for direct
     /// children of the root).
-    pub fn edge_class(
-        &mut self,
-        name: impl Into<String>,
-        parent: ClassId,
-        fields: Vec<FieldDef>,
-    ) -> Result<ClassId> {
+    pub fn edge_class(&mut self, name: impl Into<String>, parent: ClassId, fields: Vec<FieldDef>) -> Result<ClassId> {
         let name = name.into();
         if parent != EDGE {
             let p = &self.classes[parent.0 as usize];
@@ -409,11 +379,8 @@ impl SchemaBuilder {
 
     /// Declare that `edge` (and subclasses) may connect `from` to `to`.
     pub fn allow(&mut self, edge: ClassId, from: ClassId, to: ClassId) -> Result<()> {
-        let (e, f, t) = (
-            self.classes[edge.0 as usize].kind,
-            self.classes[from.0 as usize].kind,
-            self.classes[to.0 as usize].kind,
-        );
+        let (e, f, t) =
+            (self.classes[edge.0 as usize].kind, self.classes[from.0 as usize].kind, self.classes[to.0 as usize].kind);
         if e != ClassKind::Edge || edge == ENTITY {
             return Err(SchemaError::BadEdgeRule("edge position must be an edge class".into()));
         }
@@ -491,15 +458,11 @@ mod tests {
     fn sample() -> Schema {
         let mut b = SchemaBuilder::new();
         let container = b.node_class("Container", NODE, vec![FieldDef::new("status", FieldType::Str)]).unwrap();
-        let vm = b
-            .node_class("VM", container, vec![FieldDef::new("vm_id", FieldType::Int).unique()])
-            .unwrap();
+        let vm = b.node_class("VM", container, vec![FieldDef::new("vm_id", FieldType::Int).unique()]).unwrap();
         let _vmware = b.node_class("VMWare", vm, vec![]).unwrap();
         let _onmetal = b.node_class("OnMetal", vm, vec![]).unwrap();
         let _docker = b.node_class("Docker", container, vec![]).unwrap();
-        let host = b
-            .node_class("Host", NODE, vec![FieldDef::new("host_id", FieldType::Int).unique()])
-            .unwrap();
+        let host = b.node_class("Host", NODE, vec![FieldDef::new("host_id", FieldType::Int).unique()]).unwrap();
         let vertical = b.edge_class("Vertical", EDGE, vec![]).unwrap();
         let hosted = b.edge_class("HostedOn", vertical, vec![]).unwrap();
         let connected = b.edge_class("ConnectedTo", EDGE, vec![]).unwrap();
@@ -568,7 +531,7 @@ mod tests {
         assert!(s.edge_allowed(hosted, vmware, host)); // subclass source OK
         assert!(!s.edge_allowed(hosted, docker, host)); // Docker not a VM
         assert!(!s.edge_allowed(hosted, host, vm)); // direction matters
-        // The paper: "one cannot directly link a VNF to a physical_server".
+                                                    // The paper: "one cannot directly link a VNF to a physical_server".
         let vertical = s.class_by_name("Vertical").unwrap();
         assert!(!s.edge_allowed(vertical, vm, host)); // rule is on HostedOn, not Vertical
     }
@@ -579,12 +542,9 @@ mod tests {
         let vm = s.class_by_name("VM").unwrap();
         s.validate_record(vm, &[Value::Str("Green".into()), Value::Int(55)]).unwrap();
         assert!(s.validate_record(vm, &[Value::Int(55)]).is_err()); // arity
-        assert!(s
-            .validate_record(vm, &[Value::Int(1), Value::Int(55)])
-            .is_err()); // type
-        assert!(s
-            .validate_record(vm, &[Value::Null, Value::Int(55)])
-            .is_err()); // required
+        assert!(s.validate_record(vm, &[Value::Int(1), Value::Int(55)]).is_err()); // type
+        assert!(s.validate_record(vm, &[Value::Null, Value::Int(55)]).is_err());
+        // required
     }
 
     #[test]

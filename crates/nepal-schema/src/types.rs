@@ -39,10 +39,7 @@ pub enum FieldType {
 impl FieldType {
     /// `true` if this is a scalar (non-container, non-composite) type.
     pub fn is_scalar(&self) -> bool {
-        !matches!(
-            self,
-            FieldType::List(_) | FieldType::Set(_) | FieldType::Map(_, _) | FieldType::Data(_)
-        )
+        !matches!(self, FieldType::List(_) | FieldType::Set(_) | FieldType::Map(_, _) | FieldType::Data(_))
     }
 }
 
@@ -126,10 +123,7 @@ impl DataTypeRegistry {
     }
 
     pub fn by_name(&self, name: &str) -> Option<DataTypeId> {
-        self.defs
-            .iter()
-            .position(|d| d.name == name)
-            .map(|i| DataTypeId(i as u32))
+        self.defs.iter().position(|d| d.name == name).map(|i| DataTypeId(i as u32))
     }
 
     /// Register a new data type. Because a data type may only reference
@@ -161,11 +155,7 @@ impl DataTypeRegistry {
     /// Validate a [`Value`] against a [`FieldType`].
     pub fn validate_value(&self, ty: &FieldType, v: &Value) -> Result<()> {
         let err = |expected: String| {
-            Err(SchemaError::TypeMismatch {
-                field: String::new(),
-                expected,
-                got: v.kind_name().to_string(),
-            })
+            Err(SchemaError::TypeMismatch { field: String::new(), expected, got: v.kind_name().to_string() })
         };
         match (ty, v) {
             (_, Value::Null) => Ok(()), // nullability checked at record level
@@ -196,11 +186,9 @@ impl DataTypeRegistry {
                 }
                 for (fd, fv) in defs.iter().zip(fields) {
                     self.validate_value(&fd.ty, fv).map_err(|e| match e {
-                        SchemaError::TypeMismatch { expected, got, .. } => SchemaError::TypeMismatch {
-                            field: fd.name.clone(),
-                            expected,
-                            got,
-                        },
+                        SchemaError::TypeMismatch { expected, got, .. } => {
+                            SchemaError::TypeMismatch { field: fd.name.clone(), expected, got }
+                        }
                         other => other,
                     })?;
                 }
@@ -234,16 +222,12 @@ mod tests {
     #[test]
     fn paper_routing_table_entry_validates() {
         let (reg, id) = reg_with_routing_entry();
-        let entry = Value::Composite(vec![
-            Value::Ip("10.0.0.1".parse().unwrap()),
-            Value::Int(24),
-            Value::Str("eth0".into()),
-        ]);
+        let entry =
+            Value::Composite(vec![Value::Ip("10.0.0.1".parse().unwrap()), Value::Int(24), Value::Str("eth0".into())]);
         reg.validate_value(&FieldType::Data(id), &entry).unwrap();
         // List[routingTableEntry] routingTable — the paper's example.
         let table = Value::List(vec![entry]);
-        reg.validate_value(&FieldType::List(Box::new(FieldType::Data(id))), &table)
-            .unwrap();
+        reg.validate_value(&FieldType::List(Box::new(FieldType::Data(id))), &table).unwrap();
     }
 
     #[test]
@@ -288,11 +272,7 @@ mod tests {
     fn container_element_types_checked() {
         let reg = DataTypeRegistry::default();
         let ty = FieldType::List(Box::new(FieldType::Int));
-        assert!(reg
-            .validate_value(&ty, &Value::List(vec![Value::Str("no".into())]))
-            .is_err());
-        assert!(reg
-            .validate_value(&ty, &Value::List(vec![Value::Int(1), Value::Int(2)]))
-            .is_ok());
+        assert!(reg.validate_value(&ty, &Value::List(vec![Value::Str("no".into())])).is_err());
+        assert!(reg.validate_value(&ty, &Value::List(vec![Value::Int(1), Value::Int(2)])).is_ok());
     }
 }

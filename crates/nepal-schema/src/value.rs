@@ -259,11 +259,7 @@ mod tests {
 
     #[test]
     fn total_order_across_variants_is_stable() {
-        let mut vals = [Value::Str("a".into()),
-            Value::Int(3),
-            Value::Null,
-            Value::Bool(true),
-            Value::Float(1.5)];
+        let mut vals = [Value::Str("a".into()), Value::Int(3), Value::Null, Value::Bool(true), Value::Float(1.5)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -288,23 +284,14 @@ mod tests {
 
     #[test]
     fn numeric_cmp_coerces_int_float() {
-        assert_eq!(
-            Value::Int(2).query_cmp(&Value::Float(2.0)),
-            Some(Ordering::Equal)
-        );
-        assert_eq!(
-            Value::Float(1.5).query_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(2).query_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).query_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(Value::Str("x".into()).query_cmp(&Value::Int(2)), None);
     }
 
     #[test]
     fn display_is_readable() {
         assert_eq!(Value::Str("vm-1".into()).to_string(), "'vm-1'");
-        assert_eq!(
-            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
-            "[1, 2]"
-        );
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
     }
 }

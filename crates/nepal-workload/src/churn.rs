@@ -149,19 +149,10 @@ mod tests {
     fn virtualized_history_growth_near_six_percent() {
         let mut topo = generate_virtualized(VirtParams::default());
         let updatable = updatable_entities(&topo.graph, "status");
-        let stats = apply_churn(
-            &mut topo.graph,
-            &updatable,
-            &[],
-            topo.params.start_ts,
-            &ChurnParams::virtualized_default(),
-        );
+        let stats =
+            apply_churn(&mut topo.graph, &updatable, &[], topo.params.start_ts, &ChurnParams::virtualized_default());
         // §6: "The full history is 6% larger than the current snapshot."
-        assert!(
-            (0.03..=0.10).contains(&stats.history_growth),
-            "growth = {:.3}",
-            stats.history_growth
-        );
+        assert!((0.03..=0.10).contains(&stats.history_growth), "growth = {:.3}", stats.history_growth);
         assert!(stats.updates > 0);
     }
 

@@ -123,8 +123,7 @@ impl InventoryFeed {
                 break;
             }
             let ei = self.migratable[self.rng.gen_range(0..self.migratable.len())];
-            let tgt =
-                self.migration_targets[self.rng.gen_range(0..self.migration_targets.len())].clone();
+            let tgt = self.migration_targets[self.rng.gen_range(0..self.migration_targets.len())].clone();
             let e = &mut self.edges[ei];
             if e.dst_ext != tgt {
                 e.dst_ext = tgt;
@@ -204,10 +203,7 @@ mod tests {
         assert!(target.num_versions() > versions_before);
         // Time travel works across the feed history: day-0 state intact.
         let onserver = src.schema().class_by_name("OnServer").unwrap();
-        let day0_alive = target
-            .extent(onserver)
-            .filter(|&u| target.version_at(u, 1_000_000).is_some())
-            .count() as u64;
+        let day0_alive = target.extent(onserver).filter(|&u| target.version_at(u, 1_000_000).is_some()).count() as u64;
         assert_eq!(day0_alive, src.alive_count(onserver));
     }
 }

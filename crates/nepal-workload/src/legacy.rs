@@ -22,8 +22,8 @@
 use std::sync::Arc;
 
 use nepal_graph::{TemporalGraph, Uid};
-use nepal_schema::{Schema, SchemaBuilder, Ts, Value, EDGE, NODE};
 use nepal_schema::{FieldDef, FieldType};
+use nepal_schema::{Schema, SchemaBuilder, Ts, Value, EDGE, NODE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,19 +90,10 @@ pub fn legacy_schema(edge_subclasses: usize) -> Schema {
     b.node_class(
         "LegacyNode",
         NODE,
-        vec![
-            FieldDef::new("node_id", FieldType::Int).unique(),
-            FieldDef::new("type_indicator", FieldType::Str),
-        ],
+        vec![FieldDef::new("node_id", FieldType::Int).unique(), FieldDef::new("type_indicator", FieldType::Str)],
     )
     .unwrap();
-    let base = b
-        .edge_class(
-            "LegacyEdge",
-            EDGE,
-            vec![FieldDef::new("type_indicator", FieldType::Str)],
-        )
-        .unwrap();
+    let base = b.edge_class("LegacyEdge", EDGE, vec![FieldDef::new("type_indicator", FieldType::Str)]).unwrap();
     if edge_subclasses > 1 {
         for k in 0..edge_subclasses {
             b.edge_class(format!("T{k}"), base, vec![]).unwrap();
@@ -143,12 +134,8 @@ pub fn generate_legacy(params: LegacyParams) -> LegacyTopology {
         levels[li] = (0..*size)
             .map(|_| {
                 next_id += 1;
-                g.insert_node(
-                    node_cls,
-                    vec![Value::Int(next_id), Value::Str(format!("level{li}"))],
-                    ts,
-                )
-                .expect("legacy node")
+                g.insert_node(node_cls, vec![Value::Int(next_id), Value::Str(format!("level{li}"))], ts)
+                    .expect("legacy node")
             })
             .collect();
     }
@@ -191,11 +178,7 @@ pub fn generate_legacy(params: LegacyParams) -> LegacyTopology {
         let fanout = 1 + (i % 2);
         for _ in 0..fanout {
             // Zipf-ish: with p=0.5 aim at a sink, else a random node ahead.
-            let dst = if rng.gen_bool(0.5) {
-                l1[rng.gen_range(0..n_sinks)]
-            } else {
-                l1[rng.gen_range(0..l1.len())]
-            };
+            let dst = if rng.gen_bool(0.5) { l1[rng.gen_range(0..n_sinks)] } else { l1[rng.gen_range(0..l1.len())] };
             let before = edges_left;
             add_edge(&mut g, TI_SVC, src, dst, &mut edges_left);
             svc_spent += before - edges_left;
@@ -215,14 +198,7 @@ pub fn generate_legacy(params: LegacyParams) -> LegacyTopology {
     }
 
     let svc_sinks = l1[..n_sinks].to_vec();
-    LegacyTopology {
-        graph: g,
-        svc_sources: l1,
-        svc_sinks,
-        hubs,
-        levels,
-        params,
-    }
+    LegacyTopology { graph: g, svc_sources: l1, svc_sinks, hubs, levels, params }
 }
 
 #[cfg(test)]
@@ -249,10 +225,7 @@ mod tests {
         assert!(s.class_by_name("T65").is_some());
         let base = s.class_by_name("LegacyEdge").unwrap();
         // All typed edges still count under the base concept.
-        assert_eq!(
-            topo.graph.alive_count(base),
-            topo.graph.alive_count(EDGE)
-        );
+        assert_eq!(topo.graph.alive_count(base), topo.graph.alive_count(EDGE));
         // Vertical edges are a small, separately scannable extent.
         let t0 = s.class_by_name("T0").unwrap();
         assert!(topo.graph.alive_count(t0) > 0);
@@ -263,14 +236,10 @@ mod tests {
     fn hubs_have_pathological_in_degree() {
         let topo = generate_legacy(small());
         let g = &topo.graph;
-        let hub_deg: usize = topo.hubs.iter().map(|h| g.in_adj(*h).len()).sum::<usize>()
-            / topo.hubs.len();
+        let hub_deg: usize = topo.hubs.iter().map(|h| g.in_adj(*h).len()).sum::<usize>() / topo.hubs.len();
         let normal = topo.levels[3][topo.hubs.len() + 1];
         let normal_deg = g.in_adj(normal).len();
-        assert!(
-            hub_deg > normal_deg * 20,
-            "hub avg in-degree {hub_deg} vs normal {normal_deg}"
-        );
+        assert!(hub_deg > normal_deg * 20, "hub avg in-degree {hub_deg} vs normal {normal_deg}");
     }
 
     #[test]

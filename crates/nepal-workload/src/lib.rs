@@ -22,8 +22,7 @@ pub mod virtualized;
 pub use churn::{alive_edges, apply_churn, updatable_entities, ChurnParams, ChurnStats};
 pub use feed::InventoryFeed;
 pub use legacy::{
-    edge_class_for, generate_legacy, legacy_schema, LegacyParams, LegacyTopology, TI_SVC, TI_VERT,
-    TYPE_INDICATORS,
+    edge_class_for, generate_legacy, legacy_schema, LegacyParams, LegacyTopology, TI_SVC, TI_VERT, TYPE_INDICATORS,
 };
 pub use onap::{onap_schema, ONAP_SCHEMA};
 pub use virtualized::{generate_virtualized, VirtParams, VirtTopology};

@@ -94,9 +94,7 @@ impl Gen {
 
     fn edge(&mut self, class: &str, a: Uid, b: Uid, fields: Vec<Value>) -> Uid {
         let c = self.class(class);
-        self.g
-            .insert_edge(c, a, b, fields, self.ts)
-            .expect("generator respects the allowed-edge rules")
+        self.g.insert_edge(c, a, b, fields, self.ts).expect("generator respects the allowed-edge rules")
     }
 
     fn pick(&mut self, v: &[Uid]) -> Uid {
@@ -107,11 +105,7 @@ impl Gen {
 /// Generate the virtualized-service graph.
 pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
     let schema: Arc<Schema> = Arc::new(onap_schema());
-    let mut gen = Gen {
-        g: TemporalGraph::new(schema),
-        rng: StdRng::seed_from_u64(params.seed),
-        ts: params.start_ts,
-    };
+    let mut gen = Gen { g: TemporalGraph::new(schema), rng: StdRng::seed_from_u64(params.seed), ts: params.start_ts };
     let mut next_id = 1_000i64;
     let mut id = || {
         next_id += 1;
@@ -121,9 +115,7 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
     // --- Physical layer ---
     let dc_classes = ["Datacenter"];
     let datacenters: Vec<Uid> = (0..params.datacenters)
-        .map(|i| {
-            gen.node(dc_classes[0], vec![id(), Value::Str(format!("region-{i}"))])
-        })
+        .map(|i| gen.node(dc_classes[0], vec![id(), Value::Str(format!("region-{i}"))]))
         .collect();
     let racks: Vec<Uid> = (0..params.racks).map(|_| gen.node("Rack", vec![id()])).collect();
     for (i, &r) in racks.iter().enumerate() {
@@ -136,10 +128,7 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
             let cls = host_classes[i % 10 % host_classes.len().min(3)];
             // 80% compute, the rest storage/control.
             let cls = if i % 10 < 8 { "ComputeHost" } else { cls };
-            let h = gen.node(
-                cls,
-                vec![id(), Value::Str(format!("rack-{}", i % params.racks)), Value::Null],
-            );
+            let h = gen.node(cls, vec![id(), Value::Str(format!("rack-{}", i % params.racks)), Value::Null]);
             h
         })
         .collect();
@@ -147,8 +136,7 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
         gen.edge("PartOf", h, racks[i % racks.len()], vec![]);
     }
     let tors: Vec<Uid> = (0..params.tor_switches).map(|_| gen.node("TorSwitch", vec![id()])).collect();
-    let spines: Vec<Uid> =
-        (0..params.spine_switches).map(|_| gen.node("SpineSwitch", vec![id()])).collect();
+    let spines: Vec<Uid> = (0..params.spine_switches).map(|_| gen.node("SpineSwitch", vec![id()])).collect();
     let routers: Vec<Uid> = (0..params.routers)
         .map(|i| gen.node(if i % 2 == 0 { "CoreRouter" } else { "EdgeRouter" }, vec![id()]))
         .collect();
@@ -192,23 +180,26 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
     // --- Service + Logical layers ---
     let svc_classes = ["VpnService", "MobilityService", "DnsService"];
     let vnf_classes = [
-        "DnsVNF", "FirewallVNF", "RouterVNF", "LoadBalancerVNF", "EpcVNF", "GatewayVNF",
-        "NatVNF", "IdsVNF", "ProxyVNF", "CdnVNF",
+        "DnsVNF",
+        "FirewallVNF",
+        "RouterVNF",
+        "LoadBalancerVNF",
+        "EpcVNF",
+        "GatewayVNF",
+        "NatVNF",
+        "IdsVNF",
+        "ProxyVNF",
+        "CdnVNF",
     ];
-    let vfc_classes = [
-        "ProxyVFC", "WebServerVFC", "DbVFC", "CacheVFC", "WorkerVFC", "ControlVFC", "LoggerVFC",
-        "VduVFC",
-    ];
+    let vfc_classes =
+        ["ProxyVFC", "WebServerVFC", "DbVFC", "CacheVFC", "WorkerVFC", "ControlVFC", "LoggerVFC", "VduVFC"];
     let container_classes = ["VMWare", "OnMetal", "KvmVM", "Docker"];
     let mut services = Vec::new();
     let mut vnfs = Vec::new();
     let mut vfcs = Vec::new();
     let mut containers = Vec::new();
     for si in 0..params.services {
-        let svc = gen.node(
-            svc_classes[si % svc_classes.len()],
-            vec![id(), Value::Str(format!("customer-{si}"))],
-        );
+        let svc = gen.node(svc_classes[si % svc_classes.len()], vec![id(), Value::Str(format!("customer-{si}"))]);
         services.push(svc);
         for vi in 0..params.vnfs_per_service {
             let vnf_cls = vnf_classes[(si * params.vnfs_per_service + vi) % vnf_classes.len()];
@@ -222,18 +213,12 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
             gen.edge("ComposedOf", svc, vnf, vec![]);
             vnfs.push(vnf);
             for fi in 0..params.vfcs_per_vnf {
-                let vfc = gen.node(
-                    vfc_classes[fi % vfc_classes.len()],
-                    vec![id(), Value::Str(format!("role-{fi}"))],
-                );
+                let vfc = gen.node(vfc_classes[fi % vfc_classes.len()], vec![id(), Value::Str(format!("role-{fi}"))]);
                 gen.edge("ComposedOf", vnf, vfc, vec![]);
                 vfcs.push(vfc);
                 for _ci in 0..params.containers_per_vfc {
                     let cls = container_classes[gen.rng.gen_range(0..container_classes.len())];
-                    let cont = gen.node(
-                        cls,
-                        vec![Value::Str("Green".into()), Value::Str("img-1.4".into()), id()],
-                    );
+                    let cont = gen.node(cls, vec![Value::Str("Green".into()), Value::Str("img-1.4".into()), id()]);
                     gen.edge("OnVM", vfc, cont, vec![]);
                     let host = gen.pick(&hosts);
                     gen.edge("OnServer", cont, host, vec![]);
@@ -251,19 +236,7 @@ pub fn generate_virtualized(params: VirtParams) -> VirtTopology {
 
     let mut switches = tors;
     switches.extend(spines);
-    VirtTopology {
-        graph: gen.g,
-        services,
-        vnfs,
-        vfcs,
-        containers,
-        hosts,
-        switches,
-        routers,
-        vnets,
-        vrouters,
-        params,
-    }
+    VirtTopology { graph: gen.g, services, vnfs, vfcs, containers, hosts, switches, routers, vnets, vrouters, params }
 }
 
 #[cfg(test)]
@@ -299,12 +272,9 @@ mod tests {
         use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Seeds};
         let topo = generate_virtualized(VirtParams::default());
         let g = &topo.graph;
-        let plan = plan_rpe(
-            g.schema(),
-            &parse_rpe("VNF()->[Vertical()]{1,6}->Host()").unwrap(),
-            &GraphEstimator { graph: g },
-        )
-        .unwrap();
+        let plan =
+            plan_rpe(g.schema(), &parse_rpe("VNF()->[Vertical()]{1,6}->Host()").unwrap(), &GraphEstimator { graph: g })
+                .unwrap();
         let view = GraphView::new(g, TimeFilter::Current);
         // Seed from one VNF to keep the test fast.
         let seeds = [topo.vnfs[0]];

@@ -29,11 +29,7 @@ fn main() {
         _ => unreachable!(),
     };
     let (vnf_a, vnf_b) = (topo.vnfs[0], topo.vnfs[1]);
-    println!(
-        "service-layer flow: VNF {} -> VNF {}\n",
-        vnf_id(vnf_a),
-        vnf_id(vnf_b)
-    );
+    println!("service-layer flow: VNF {} -> VNF {}\n", vnf_id(vnf_a), vnf_id(vnf_b));
 
     // Step 1: the VNFs' physical footprints ("Calculating service
     // dependencies on physical infrastructure").
@@ -87,9 +83,6 @@ fn main() {
     println!("\nmost-shared physical elements across the induced paths:");
     for (uid, count) in hot.into_iter().take(5) {
         let class = graph.class_of(nepal::graph::Uid(uid)).unwrap();
-        println!(
-            "  {}#{uid} appears in {count} induced paths",
-            graph.schema().class(class).name
-        );
+        println!("  {}#{uid} appears in {count} induced paths", graph.schema().class(class).name);
     }
 }

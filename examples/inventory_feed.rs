@@ -28,10 +28,7 @@ fn main() {
     let mut loader = SnapshotLoader::new();
     let (n, e) = feed.emit();
     let day0 = loader.apply(&mut g, feed.day_ts(), n, e).unwrap();
-    println!(
-        "day 0: inserted {} entities from the initial snapshot",
-        day0.inserted
-    );
+    println!("day 0: inserted {} entities from the initial snapshot", day0.inserted);
 
     // Two weeks of daily deliveries: a few status flips and container
     // migrations per day.
@@ -41,11 +38,7 @@ fn main() {
         let stats = loader.apply(&mut g, feed.day_ts(), n, e).unwrap();
         println!(
             "day {:>2}: +{} / ~{} / -{}   ({} unchanged rows diffed away)",
-            day,
-            stats.inserted,
-            stats.updated,
-            stats.deleted,
-            stats.unchanged
+            day, stats.inserted, stats.updated, stats.deleted, stats.unchanged
         );
     }
     println!(
@@ -61,30 +54,20 @@ fn main() {
     nepal::graph::save_to_file(&g, &path).unwrap();
     let size = std::fs::metadata(&path).unwrap().len();
     let reloaded = nepal::graph::load_from_file(g.schema().clone(), &path).unwrap();
-    println!(
-        "journal: wrote {} KB to {}, reloaded {} versions",
-        size / 1024,
-        path.display(),
-        reloaded.num_versions()
-    );
+    println!("journal: wrote {} KB to {}, reloaded {} versions", size / 1024, path.display(), reloaded.num_versions());
 
     // Queries work identically on the reloaded store — including time
     // travel back to the feed's first delivery.
     let graph = Arc::new(reloaded);
     let mut engine = engine_over(graph.clone());
-    let now = engine
-        .query("Select count(P) From PATHS P Where P MATCHES Container()->OnServer()->Host()")
-        .unwrap();
+    let now = engine.query("Select count(P) From PATHS P Where P MATCHES Container()->OnServer()->Host()").unwrap();
     let then = engine
         .query(
             "AT '2017-02-01 04:00' Select count(P) From PATHS P \
              Where P MATCHES Container()->OnServer()->Host()",
         )
         .unwrap();
-    println!(
-        "placements now: {}   placements on day 0: {}",
-        now.rows[0].values[0], then.rows[0].values[0]
-    );
+    println!("placements now: {}   placements on day 0: {}", now.rows[0].values[0], then.rows[0].values[0]);
     let moved = engine
         .query(
             "Select count(P) From PATHS P(@'2017-02-01 04:00'), PATHS Q \

@@ -40,13 +40,9 @@ fn main() {
     // 2. Load a little inventory (timestamps are transaction times).
     let mut g = TemporalGraph::new(schema.clone());
     let t0 = nepal::schema::parse_ts("2017-02-01 09:00").unwrap();
-    let vnf = g
-        .insert_node(c("DNS"), vec![Value::Int(123), Value::Str("dns-east".into())], t0)
-        .unwrap();
+    let vnf = g.insert_node(c("DNS"), vec![Value::Int(123), Value::Str("dns-east".into())], t0).unwrap();
     let vfc = g.insert_node(c("VFC"), vec![Value::Int(11)], t0).unwrap();
-    let vm = g
-        .insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], t0)
-        .unwrap();
+    let vm = g.insert_node(c("VM"), vec![Value::Str("Green".into()), Value::Int(55)], t0).unwrap();
     let host = g.insert_node(c("Host"), vec![Value::Int(23245)], t0).unwrap();
     g.insert_edge(c("ComposedOf"), vnf, vfc, vec![], t0).unwrap();
     g.insert_edge(c("HostedOn"), vfc, vm, vec![], t0).unwrap();

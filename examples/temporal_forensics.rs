@@ -14,9 +14,7 @@ use std::sync::Arc;
 
 use nepal::core::engine_over;
 use nepal::schema::{format_ts, Value};
-use nepal::workload::{
-    apply_churn, generate_virtualized, updatable_entities, ChurnParams, VirtParams,
-};
+use nepal::workload::{apply_churn, generate_virtualized, updatable_entities, ChurnParams, VirtParams};
 
 fn main() {
     let mut topo = generate_virtualized(VirtParams::default());
@@ -64,17 +62,10 @@ fn main() {
              Where P MATCHES VNF(vnf_id={vnf_id})->[Vertical()]{{1,4}}->Container(status='Green')"
         ))
         .unwrap();
-    println!(
-        "\nGreen placements during [{w1}, {w2}]: {} pathways",
-        r.rows.len()
-    );
+    println!("\nGreen placements during [{w1}, {w2}]: {} pathways", r.rows.len());
     for row in r.rows.iter().take(4) {
         let p = &row.pathways[0].1;
-        println!(
-            "  {} asserted {}",
-            p.display(&graph),
-            row.times.as_ref().map(|t| t.to_string()).unwrap_or_default()
-        );
+        println!("  {} asserted {}", p.display(&graph), row.times.as_ref().map(|t| t.to_string()).unwrap_or_default());
     }
 
     // The §4 two-snapshot join: same VNF placed on the same host at both
@@ -96,10 +87,7 @@ fn main() {
              And source(P) = source(Q)"
         ))
         .unwrap();
-    println!(
-        "\nVNFs on host {host_id} at BOTH 2017-02-15 and 2017-04-01: {}",
-        r.rows.len()
-    );
+    println!("\nVNFs on host {host_id} at BOTH 2017-02-15 and 2017-04-01: {}", r.rows.len());
 
     // Path evolution for one pathway: the §4 visualization drill-down.
     let r = engine
@@ -111,11 +99,6 @@ fn main() {
     let path = &r.rows[0].pathways[0].1;
     println!("\nevolution of {}:", path.display(&graph));
     for ev in nepal::core::path_evolution(&graph, path, None) {
-        println!(
-            "  {}#{}: {} versions",
-            ev.class_name,
-            ev.uid.0,
-            ev.versions.len()
-        );
+        println!("  {}#{}: {} versions", ev.class_name, ev.uid.0, ev.versions.len());
     }
 }

@@ -95,11 +95,7 @@ fn main() {
         .unwrap();
     for row in when.rows.iter().take(4) {
         let p = &row.pathways[0].1;
-        println!(
-            "   {} asserted {}",
-            p.display(&graph),
-            row.times.as_ref().map(|t| t.to_string()).unwrap_or_default()
-        );
+        println!("   {} asserted {}", p.display(&graph), row.times.as_ref().map(|t| t.to_string()).unwrap_or_default());
     }
 
     println!("\n== Path evolution: what changed along the old path? ==");
@@ -110,10 +106,7 @@ fn main() {
                 nepal::schema::format_ts(ev.at),
                 ev.class_name,
                 ev.uid.0,
-                ev.changed
-                    .iter()
-                    .map(|(f, a, b)| format!("{f}: {a} -> {b}"))
-                    .collect::<Vec<_>>()
+                ev.changed.iter().map(|(f, a, b)| format!("{f}: {a} -> {b}")).collect::<Vec<_>>()
             ),
             nepal::core::ChangeKind::Deleted => {
                 println!("   {} {}#{} DELETED", nepal::schema::format_ts(ev.at), ev.class_name, ev.uid.0)
@@ -137,5 +130,17 @@ fn main() {
     for row in fate.rows.iter().take(8) {
         println!("     {}", row.values[0]);
     }
+
+    println!("\n== Why was that slow? EXPLAIN ANALYZE the footprint query ==");
+    let (_, profile) = engine
+        .query_profiled(&format!(
+            "Retrieve P From PATHS P \
+             Where P MATCHES VNF(vnf_id={vnf_id})->[Vertical()]{{1,6}}->Host()"
+        ))
+        .unwrap();
+    print!("{}", profile.render());
+
+    println!("\n== Engine metrics after the session (Prometheus format) ==");
+    print!("{}", engine.metrics.render_prometheus());
     let _ = TemporalGraph::new(graph.schema().clone()); // keep type in scope
 }

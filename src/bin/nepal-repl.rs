@@ -11,16 +11,21 @@
 //! :schema                list node/edge classes
 //! :plan <rpe>            show the Select/Extend/Union plan for an RPE
 //! :sql <query>           run on the relational backend and show its SQL
+//! :profile <query>       run with profiling and print the operator trace
+//! :metrics               engine metrics in Prometheus text format
+//! :slow                  recent slow queries (ring buffer)
 //! :stats                 graph statistics
 //! :quit                  exit
+//! EXPLAIN ANALYZE <q>    execute <q> and print its profile
 //! <anything else>        executed as a Nepal query
 //! ```
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use nepal::core::{BackendRegistry, Engine, NativeBackend, RelationalBackend};
+use nepal::core::{parse_statement, BackendRegistry, Engine, NativeBackend, RelationalBackend, Statement};
 use nepal::graph::TemporalGraph;
+use nepal::obs::fmt_ns;
 use nepal::rpe::{parse_rpe, plan_rpe, GraphEstimator};
 use nepal::workload::{generate_legacy, generate_virtualized, LegacyParams, VirtParams};
 
@@ -28,19 +33,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let graph: Arc<TemporalGraph> = if args.iter().any(|a| a == "legacy") {
         eprintln!("loading legacy topology (20k nodes)…");
-        Arc::new(
-            generate_legacy(LegacyParams { nodes: 20_000, edges: 90_000, ..Default::default() })
-                .graph,
-        )
+        Arc::new(generate_legacy(LegacyParams { nodes: 20_000, edges: 90_000, ..Default::default() }).graph)
     } else {
         eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
         Arc::new(generate_virtualized(VirtParams::default()).graph)
     };
     let mut registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
-    registry.add(
-        "pg",
-        Box::new(RelationalBackend::from_graph(&graph).expect("relational load")),
-    );
+    match RelationalBackend::from_graph(&graph) {
+        Ok(pg) => registry.add("pg", Box::new(pg)),
+        Err(e) => eprintln!("warning: relational backend unavailable ({e}); :sql disabled"),
+    }
     let mut engine = Engine::new(registry);
     eprintln!("ready. :help for commands.\n");
 
@@ -64,8 +66,11 @@ fn main() {
         }
         if line == ":help" {
             println!(
-                ":schema | :stats | :plan <rpe> | :sql <query> | :quit | <Nepal query>\n\
-                 example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)"
+                ":schema | :stats | :plan <rpe> | :sql <query> | :profile <query> | :metrics | :slow | :quit\n\
+                 EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
+                 <anything else>           executed as a Nepal query\n\
+                 example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)\n\
+                 example: EXPLAIN ANALYZE Retrieve P From PATHS P Where P MATCHES VM()->[Vertical()]{{1,4}}->Host()"
             );
             continue;
         }
@@ -95,13 +100,30 @@ fn main() {
             );
             continue;
         }
+        if line == ":metrics" {
+            print!("{}", engine.metrics.render_prometheus());
+            continue;
+        }
+        if line == ":slow" {
+            if engine.slow_log.is_empty() {
+                println!("no queries above {} yet", fmt_ns(engine.slow_log.threshold_ns()));
+            } else {
+                for e in engine.slow_log.entries() {
+                    println!("{:>10}  {:>6} row(s)  {}", fmt_ns(e.total_ns), e.result_rows, e.query);
+                }
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":profile ") {
+            if let Err(e) = run_profiled(&mut engine, &graph, q) {
+                println!("error: {e}");
+            }
+            continue;
+        }
         if let Some(rpe_text) = line.strip_prefix(":plan ") {
-            match parse_rpe(rpe_text)
-                .map_err(|e| e.to_string())
-                .and_then(|r| {
-                    plan_rpe(graph.schema(), &r, &GraphEstimator { graph: &graph })
-                        .map_err(|e| e.to_string())
-                }) {
+            match parse_rpe(rpe_text).map_err(|e| e.to_string()).and_then(|r| {
+                plan_rpe(graph.schema(), &r, &GraphEstimator { graph: &graph }).map_err(|e| e.to_string())
+            }) {
                 Ok(plan) => {
                     for op in plan.operators() {
                         println!("  {op}");
@@ -128,8 +150,33 @@ fn main() {
             }
             continue;
         }
-        if let Err(e) = run_and_print(&mut engine, &graph, line) {
-            println!("error: {e}");
+        if line == ":profile" {
+            println!("usage: :profile <query>");
+            continue;
+        }
+        if line.starts_with(':') {
+            println!("unknown command {}; :help lists commands", line.split_whitespace().next().unwrap_or(line));
+            continue;
+        }
+        // EXPLAIN ANALYZE or a plain query.
+        match parse_statement(line) {
+            Ok(Statement::ExplainAnalyze(_)) => {
+                let q = line
+                    .trim_start()
+                    .get("EXPLAIN".len()..)
+                    .map(|r| r.trim_start())
+                    .and_then(|r| r.get("ANALYZE".len()..))
+                    .unwrap_or(line);
+                if let Err(e) = run_profiled(&mut engine, &graph, q.trim()) {
+                    println!("error: {e}");
+                }
+            }
+            Ok(Statement::Query(_)) => {
+                if let Err(e) = run_and_print(&mut engine, &graph, line) {
+                    println!("error: {e}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
         }
     }
 }
@@ -145,18 +192,26 @@ fn run(engine: &mut Engine, q: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run_and_print(
-    engine: &mut Engine,
-    graph: &Arc<TemporalGraph>,
-    q: &str,
-) -> Result<(), String> {
+fn run_profiled(engine: &mut Engine, graph: &Arc<TemporalGraph>, q: &str) -> Result<(), String> {
+    let (result, profile) = engine.query_profiled(q).map_err(|e| e.to_string())?;
+    print!("{}", profile.render());
+    print_rows(&result, graph, 5);
+    Ok(())
+}
+
+fn run_and_print(engine: &mut Engine, graph: &Arc<TemporalGraph>, q: &str) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let result = engine.query(q).map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     println!("-- {} row(s) in {:.3} ms", result.rows.len(), elapsed.as_secs_f64() * 1e3);
+    print_rows(&result, graph, 20);
+    Ok(())
+}
+
+fn print_rows(result: &nepal::core::QueryResult, graph: &Arc<TemporalGraph>, limit: usize) {
     for (i, row) in result.rows.iter().enumerate() {
-        if i >= 20 {
-            println!("   … ({} more rows)", result.rows.len() - 20);
+        if i >= limit {
+            println!("   … ({} more rows)", result.rows.len() - limit);
             break;
         }
         if !row.values.is_empty() {
@@ -171,5 +226,4 @@ fn run_and_print(
             println!("      times: {times}");
         }
     }
-    Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`relational`] | the Postgres-style backend substrate (SQL-emitting) |
 //! | [`gremlin`] | property graph + traversal machine + wire protocol |
 //! | [`core`] | the query language, engine, backends, federation |
+//! | [`obs`] | metrics registry, query profiles, slow-query log |
 //! | [`workload`] | evaluation topology & churn generators |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@
 pub use nepal_core as core;
 pub use nepal_graph as graph;
 pub use nepal_gremlin as gremlin;
+pub use nepal_obs as obs;
 pub use nepal_relational as relational;
 pub use nepal_rpe as rpe;
 pub use nepal_schema as schema;

@@ -4,10 +4,7 @@
 
 use std::sync::Arc;
 
-use nepal::core::{
-    engine_over, Backend, BackendRegistry, Engine, GremlinBackend, NativeBackend,
-    RelationalBackend,
-};
+use nepal::core::{engine_over, Backend, BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend};
 use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer};
 use nepal::schema::Value;
 use nepal::workload::{generate_virtualized, VirtParams};
@@ -46,11 +43,8 @@ fn all_three_backends_agree_through_the_engine() {
             .iter()
             .map(|q| {
                 let r = engine.query(q).unwrap();
-                let mut v: Vec<Vec<u64>> = r
-                    .rows
-                    .iter()
-                    .map(|row| row.pathways[0].1.elems.iter().map(|u| u.0).collect())
-                    .collect();
+                let mut v: Vec<Vec<u64>> =
+                    r.rows.iter().map(|row| row.pathways[0].1.elems.iter().map(|u| u.0).collect()).collect();
                 v.sort();
                 v
             })
@@ -87,9 +81,7 @@ fn translator_snapshots() {
         _ => unreachable!(),
     };
     engine
-        .query(&format!(
-            "Retrieve P From PATHS P Where P MATCHES VNF(vnf_id={vnf_id})->[Vertical()]{{1,6}}->Host()"
-        ))
+        .query(&format!("Retrieve P From PATHS P Where P MATCHES VNF(vnf_id={vnf_id})->[Vertical()]{{1,6}}->Host()"))
         .unwrap();
     let sql = engine.registry.get(Some("pg")).unwrap().last_generated().join("\n");
     for needle in [
@@ -123,10 +115,8 @@ fn wire_protocol_survives_concurrent_clients() {
             let mut client = GremlinClient::new(conn);
             let mut total = 0usize;
             for _ in 0..20 {
-                total += client
-                    .submit(&[nepal::gremlin::GStep::V(vec![]), nepal::gremlin::GStep::Count])
-                    .unwrap()
-                    .len();
+                total +=
+                    client.submit(&[nepal::gremlin::GStep::V(vec![]), nepal::gremlin::GStep::Count]).unwrap().len();
             }
             total
         });
@@ -172,10 +162,7 @@ fn backend_trait_objects_compose() {
     let topo = small_topo();
     let graph = Arc::new(topo.graph);
     let mut registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
-    registry.add(
-        "pg",
-        Box::new(RelationalBackend::from_graph(&graph).unwrap()) as Box<dyn Backend>,
-    );
+    registry.add("pg", Box::new(RelationalBackend::from_graph(&graph).unwrap()) as Box<dyn Backend>);
     let mut engine = Engine::new(registry);
     let r = engine
         .query(

@@ -70,9 +70,7 @@ fn normalize(v: &Value) -> Value {
         Value::List(x) => Value::List(x.iter().map(normalize).collect()),
         Value::Set(x) => Value::set(x.iter().map(normalize).collect()),
         Value::Composite(x) => Value::Composite(x.iter().map(normalize).collect()),
-        Value::Map(m) => Value::Map(
-            m.iter().map(|(k, v)| (normalize(k), normalize(v))).collect(),
-        ),
+        Value::Map(m) => Value::Map(m.iter().map(|(k, v)| (normalize(k), normalize(v))).collect()),
         other => other.clone(),
     }
 }

@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use nepal::graph::{GraphView, TemporalGraph, TimeFilter, Uid};
-use nepal::rpe::{
-    evaluate, parse_rpe, plan_rpe, BoundAtom, EvalOptions, GraphEstimator, Norm, Rpe, Seeds,
-};
+use nepal::rpe::{evaluate, parse_rpe, plan_rpe, BoundAtom, EvalOptions, GraphEstimator, Norm, Rpe, Seeds};
 use nepal::schema::dsl::parse_schema;
 use nepal::schema::{Schema, Value};
 use proptest::prelude::*;
@@ -24,12 +22,7 @@ const SCHEMA: &str = r#"
 
 /// A direct recursive implementation of §3.3 satisfaction over the
 /// normalized (repetition-free) form, using the same bound atoms.
-fn ref_matches_norm(
-    g: &TemporalGraph,
-    atoms: &[BoundAtom],
-    norm: &Norm,
-    path: &[Uid],
-) -> bool {
+fn ref_matches_norm(g: &TemporalGraph, atoms: &[BoundAtom], norm: &Norm, path: &[Uid]) -> bool {
     match norm {
         Norm::Atom(a) => {
             if path.len() != 1 {
@@ -52,18 +45,10 @@ fn ref_matches_norm(
         Norm::Alt(parts) => parts.iter().any(|p| ref_matches_norm(g, atoms, p, path)),
         Norm::Seq(parts) => {
             // Left-fold binary concatenation with the 4-way split rule.
-            fn concat(
-                g: &TemporalGraph,
-                atoms: &[BoundAtom],
-                left: &[Norm],
-                right: &Norm,
-                path: &[Uid],
-            ) -> bool {
+            fn concat(g: &TemporalGraph, atoms: &[BoundAtom], left: &[Norm], right: &Norm, path: &[Uid]) -> bool {
                 for k in 0..=path.len() {
                     // Adjacent split (conditions 1/2).
-                    if seq_matches(g, atoms, left, &path[..k])
-                        && ref_matches_norm(g, atoms, right, &path[k..])
-                    {
+                    if seq_matches(g, atoms, left, &path[..k]) && ref_matches_norm(g, atoms, right, &path[k..]) {
                         return true;
                     }
                     // Skip exactly one element at the boundary (3/4).
@@ -76,12 +61,7 @@ fn ref_matches_norm(
                 }
                 false
             }
-            fn seq_matches(
-                g: &TemporalGraph,
-                atoms: &[BoundAtom],
-                parts: &[Norm],
-                path: &[Uid],
-            ) -> bool {
+            fn seq_matches(g: &TemporalGraph, atoms: &[BoundAtom], parts: &[Norm], path: &[Uid]) -> bool {
                 match parts.len() {
                     0 => false,
                     1 => ref_matches_norm(g, atoms, &parts[0], path),
@@ -117,10 +97,8 @@ fn ref_matches(g: &TemporalGraph, atoms: &[BoundAtom], norm: &Norm, path: &[Uid]
 /// Enumerate every simple alternating pathway up to `max_elems` elements.
 fn all_pathways(g: &TemporalGraph, max_elems: usize) -> Vec<Vec<Uid>> {
     let mut out = Vec::new();
-    let nodes: Vec<Uid> = (0..g.num_entities() as u64)
-        .map(Uid)
-        .filter(|&u| g.is_node(u) && g.current_version(u).is_some())
-        .collect();
+    let nodes: Vec<Uid> =
+        (0..g.num_entities() as u64).map(Uid).filter(|&u| g.is_node(u) && g.current_version(u).is_some()).collect();
     fn dfs(g: &TemporalGraph, path: &mut Vec<Uid>, max: usize, out: &mut Vec<Vec<Uid>>) {
         out.push(path.clone());
         if path.len() + 2 > max {
@@ -208,10 +186,7 @@ fn check_rpe_on_graph(g: &TemporalGraph, rpe_text: &str) {
     let plan = plan_rpe(g.schema(), &rpe, &GraphEstimator { graph: g }).unwrap();
     let view = GraphView::new(g, TimeFilter::Current);
     let engine_paths: std::collections::HashSet<Vec<Uid>> =
-        evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default())
-            .into_iter()
-            .map(|p| p.elems)
-            .collect();
+        evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default()).into_iter().map(|p| p.elems).collect();
     // Reference: brute-force over every simple pathway up to the plan's
     // length limit.
     let mut ref_paths = std::collections::HashSet::new();
@@ -222,13 +197,11 @@ fn check_rpe_on_graph(g: &TemporalGraph, rpe_text: &str) {
     }
     // The engine may legitimately find longer matches than the brute-force
     // bound; compare only up to the enumeration limit.
-    let engine_limited: std::collections::HashSet<Vec<Uid>> = engine_paths
-        .iter()
-        .filter(|p| p.len() <= plan.max_elements.min(7))
-        .cloned()
-        .collect();
+    let engine_limited: std::collections::HashSet<Vec<Uid>> =
+        engine_paths.iter().filter(|p| p.len() <= plan.max_elements.min(7)).cloned().collect();
     assert_eq!(
-        ref_paths, engine_limited,
+        ref_paths,
+        engine_limited,
         "semantics mismatch for `{rpe_text}`:\n  reference-only: {:?}\n  engine-only: {:?}",
         ref_paths.difference(&engine_limited).collect::<Vec<_>>(),
         engine_limited.difference(&ref_paths).collect::<Vec<_>>(),

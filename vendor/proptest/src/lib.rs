@@ -277,8 +277,8 @@ pub mod strategy {
         type Value = String;
 
         fn generate(&self, rng: &mut TestRng) -> String {
-            let (chars, min, max) = parse_char_class_pattern(self)
-                .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+            let (chars, min, max) =
+                parse_char_class_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
             let len = min + rng.below((max - min + 1) as u64) as usize;
             (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
         }
@@ -483,6 +483,7 @@ mod tests {
     fn recursive_strategy_mixes_depths() {
         #[derive(Debug)]
         enum Tree {
+            #[allow(dead_code)]
             Leaf(i64),
             Node(Vec<Tree>),
         }
@@ -492,9 +493,9 @@ mod tests {
                 Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
-            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| crate::collection::vec(inner, 0..4).prop_map(Tree::Node));
         let mut rng = crate::test_runner::TestRng::deterministic(9);
         let mut max_depth = 0;
         for _ in 0..300 {

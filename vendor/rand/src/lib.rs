@@ -83,12 +83,7 @@ pub mod rngs {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;
             StdRng {
-                s: [
-                    splitmix64(&mut state),
-                    splitmix64(&mut state),
-                    splitmix64(&mut state),
-                    splitmix64(&mut state),
-                ],
+                s: [splitmix64(&mut state), splitmix64(&mut state), splitmix64(&mut state), splitmix64(&mut state)],
             }
         }
     }
