@@ -8,8 +8,8 @@
 //! ```
 
 use nepal_bench::{
-    format_ablation, format_query_table, format_storage, query_rows_json, run_storage, run_table1, run_table2,
-    run_table3,
+    format_ablation, format_query_table, format_storage, metrics_snapshot_json, query_rows_json, run_storage,
+    run_table1, run_table2, run_table3,
 };
 use nepal_workload::LegacyParams;
 
@@ -44,6 +44,7 @@ fn main() {
         );
         if json {
             write_json("BENCH_table1.json", &query_rows_json(&rows));
+            write_json("BENCH_metrics.json", &metrics_snapshot_json(42));
         }
     }
     if wants("table2") {

@@ -297,6 +297,28 @@ pub fn run_storage(legacy_params: LegacyParams) -> Vec<StorageRow> {
     out
 }
 
+/// Run one instance of each Table-1 query family through a full [`Engine`]
+/// over the virtualized graph and return the engine's metrics (plus the
+/// store gauges) as JSON — the `reproduce --json` BENCH_metrics.json output.
+pub fn metrics_snapshot_json(seed: u64) -> String {
+    use nepal_core::{BackendRegistry, Engine, NativeBackend};
+    use std::sync::Arc;
+
+    let (snap, _) = build_virtualized(seed);
+    let queries = table1_queries(&snap, 1);
+    let graph = Arc::new(snap.graph);
+    let registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
+    let mut engine = Engine::new(registry);
+    let store_gauges = nepal_graph::StoreGauges::register(&engine.metrics);
+    for (_, rpes) in &queries {
+        if let Some(rpe) = rpes.first() {
+            let _ = engine.query(&format!("Retrieve P From PATHS P Where P MATCHES {rpe}"));
+        }
+    }
+    store_gauges.refresh(&graph);
+    engine.metrics.render_json()
+}
+
 /// Render a Table-1/2 style report.
 pub fn format_query_table(title: &str, rows: &[QueryRow]) -> String {
     let mut s = String::new();

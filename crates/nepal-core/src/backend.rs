@@ -11,9 +11,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
-use nepal_gremlin::{evaluate_gremlin, GremlinClient, GremlinTime};
-use nepal_obs::{ExecTrace, OpStats};
-use nepal_relational::{db_from_graph, evaluate_relational, RelDb};
+use nepal_gremlin::{evaluate_gremlin_spanned, GremlinClient, GremlinTime};
+use nepal_obs::{ExecTrace, OpStats, SpanHandle};
+use nepal_relational::{db_from_graph, evaluate_relational_spanned, RelDb};
 use nepal_rpe::anchor::apply_selectivity;
 use nepal_rpe::{BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
 use nepal_schema::{ClassId, Schema, Value};
@@ -43,6 +43,25 @@ pub trait Backend: Send {
         _trace: &mut ExecTrace,
     ) -> Result<Vec<Pathway>> {
         self.eval(plan, filter, seeds, opts)
+    }
+
+    /// Evaluate with full observability: an optional profiling trace plus a
+    /// span to hang operator child spans off. The default routes to
+    /// [`Backend::eval_traced`]/[`Backend::eval`] and ignores the span;
+    /// backends with spanned evaluators override this.
+    fn eval_obs(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        trace: Option<&mut ExecTrace>,
+        _span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        match trace {
+            Some(t) => self.eval_traced(plan, filter, seeds, opts, t),
+            None => self.eval(plan, filter, seeds, opts),
+        }
     }
 
     /// Field values (and runtime class) of an element, for Select
@@ -100,6 +119,19 @@ impl Backend for NativeBackend {
         Ok(nepal_rpe::evaluate_traced(&view, plan, seeds, opts, Some(trace)))
     }
 
+    fn eval_obs(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        trace: Option<&mut ExecTrace>,
+        span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        let view = GraphView::new(&self.graph, filter);
+        Ok(nepal_rpe::evaluate_obs(&view, plan, seeds, opts, trace, span))
+    }
+
     fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
         let class = self.graph.class_of(uid)?;
         let view = GraphView::new(&self.graph, filter);
@@ -141,10 +173,7 @@ impl Backend for RelationalBackend {
     }
 
     fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>> {
-        let res = evaluate_relational(&mut self.db, &self.schema, plan, filter, seeds, opts)
-            .map_err(|e| NepalError::Backend(e.to_string()))?;
-        self.last_sql = res.sql;
-        Ok(res.pathways)
+        self.eval_obs(plan, filter, seeds, opts, None, &SpanHandle::none())
     }
 
     fn eval_traced(
@@ -155,16 +184,32 @@ impl Backend for RelationalBackend {
         opts: &EvalOptions,
         trace: &mut ExecTrace,
     ) -> Result<Vec<Pathway>> {
-        let t0 = Instant::now();
-        let res = evaluate_relational(&mut self.db, &self.schema, plan, filter, seeds, opts)
+        self.eval_obs(plan, filter, seeds, opts, Some(trace), &SpanHandle::none())
+    }
+
+    fn eval_obs(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        trace: Option<&mut ExecTrace>,
+        span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        let t0 = trace.is_some().then(Instant::now);
+        let res = evaluate_relational_spanned(&mut self.db, &self.schema, plan, filter, seeds, opts, span)
             .map_err(|e| NepalError::Backend(e.to_string()))?;
-        trace.bump("rel_rows_scanned", res.rows_scanned);
-        trace.bump("rel_rows_joined", res.rows_joined);
-        let mut op = OpStats::new("Select+Extend", "SQL pipeline over class tables");
-        op.rows_in = res.rows_scanned;
-        op.rows_out = res.pathways.len() as u64;
-        op.elapsed_ns = t0.elapsed().as_nanos() as u64;
-        trace.ops.push(op);
+        if let Some(trace) = trace {
+            trace.bump("rel_rows_scanned", res.rows_scanned);
+            trace.bump("rel_rows_joined", res.rows_joined);
+            let mut op = OpStats::new("Select+Extend", "SQL pipeline over class tables");
+            op.rows_in = res.rows_scanned;
+            op.rows_out = res.pathways.len() as u64;
+            op.elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            trace.ops.push(op);
+        }
+        span.attr("rows_scanned", res.rows_scanned);
+        span.attr("rows_joined", res.rows_joined);
         self.last_sql = res.sql;
         Ok(res.pathways)
     }
@@ -257,19 +302,7 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
     }
 
     fn eval(&mut self, plan: &RpePlan, filter: TimeFilter, seeds: Seeds, opts: &EvalOptions) -> Result<Vec<Pathway>> {
-        let time = match filter {
-            TimeFilter::Current => GremlinTime::Current,
-            TimeFilter::AsOf(t) => GremlinTime::AsOf(t),
-            TimeFilter::Range(_, _) => {
-                return Err(NepalError::Unsupported(
-                    "time-range queries require the relational or native backend (§5.3)".into(),
-                ))
-            }
-        };
-        let res = evaluate_gremlin(&mut self.client, &self.schema, plan, time, seeds, opts, self.use_extend_block)
-            .map_err(|e| NepalError::Backend(e.to_string()))?;
-        self.last_trips = res.round_trips;
-        Ok(res.pathways)
+        self.eval_obs(plan, filter, seeds, opts, None, &SpanHandle::none())
     }
 
     fn eval_traced(
@@ -280,24 +313,58 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
         opts: &EvalOptions,
         trace: &mut ExecTrace,
     ) -> Result<Vec<Pathway>> {
-        let before = self.client.wire_stats();
-        let t0 = Instant::now();
-        let pathways = self.eval(plan, filter, seeds, opts)?;
-        let elapsed_ns = t0.elapsed().as_nanos() as u64;
-        let after = self.client.wire_stats();
-        trace.bump("gremlin_requests", after.requests - before.requests);
-        trace.bump("gremlin_frames_sent", after.frames_sent - before.frames_sent);
-        trace.bump("gremlin_frames_received", after.frames_received - before.frames_received);
-        trace.bump("gremlin_bytes_sent", after.bytes_sent - before.bytes_sent);
-        trace.bump("gremlin_bytes_received", after.bytes_received - before.bytes_received);
-        trace.bump("gremlin_partial_batches", after.partial_batches - before.partial_batches);
-        trace.bump("gremlin_round_trips", self.last_trips);
-        let mut op = OpStats::new("Select+Extend", "Gremlin traversals over the wire");
-        op.rows_in = after.requests - before.requests;
-        op.rows_out = pathways.len() as u64;
-        op.elapsed_ns = elapsed_ns;
-        trace.ops.push(op);
-        Ok(pathways)
+        self.eval_obs(plan, filter, seeds, opts, Some(trace), &SpanHandle::none())
+    }
+
+    fn eval_obs(
+        &mut self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        trace: Option<&mut ExecTrace>,
+        span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        let time = match filter {
+            TimeFilter::Current => GremlinTime::Current,
+            TimeFilter::AsOf(t) => GremlinTime::AsOf(t),
+            TimeFilter::Range(_, _) => {
+                return Err(NepalError::Unsupported(
+                    "time-range queries require the relational or native backend (§5.3)".into(),
+                ))
+            }
+        };
+        let before = trace.is_some().then(|| self.client.wire_stats());
+        let t0 = trace.is_some().then(Instant::now);
+        let res = evaluate_gremlin_spanned(
+            &mut self.client,
+            &self.schema,
+            plan,
+            time,
+            seeds,
+            opts,
+            self.use_extend_block,
+            span,
+        )
+        .map_err(|e| NepalError::Backend(e.to_string()))?;
+        self.last_trips = res.round_trips;
+        span.attr("round_trips", res.round_trips);
+        if let (Some(trace), Some(before), Some(t0)) = (trace, before, t0) {
+            let after = self.client.wire_stats();
+            trace.bump("gremlin_requests", after.requests - before.requests);
+            trace.bump("gremlin_frames_sent", after.frames_sent - before.frames_sent);
+            trace.bump("gremlin_frames_received", after.frames_received - before.frames_received);
+            trace.bump("gremlin_bytes_sent", after.bytes_sent - before.bytes_sent);
+            trace.bump("gremlin_bytes_received", after.bytes_received - before.bytes_received);
+            trace.bump("gremlin_partial_batches", after.partial_batches - before.partial_batches);
+            trace.bump("gremlin_round_trips", self.last_trips);
+            let mut op = OpStats::new("Select+Extend", "Gremlin traversals over the wire");
+            op.rows_in = after.requests - before.requests;
+            op.rows_out = res.pathways.len() as u64;
+            op.elapsed_ns = t0.elapsed().as_nanos() as u64;
+            trace.ops.push(op);
+        }
+        Ok(res.pathways)
     }
 
     fn fields(&mut self, uid: Uid, _filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {

@@ -20,11 +20,14 @@
 //!    joint interval sets.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid};
-use nepal_obs::{AnchorCandidate, JoinStep, MetricsRegistry, QueryProfile, SlowQueryLog, VarProfile};
-use nepal_rpe::{plan_rpe, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
+use nepal_obs::{
+    AnchorCandidate, JoinStep, MetricsRegistry, QueryProfile, SlowQueryLog, SpanHandle, Tracer, VarProfile,
+};
+use nepal_rpe::{plan_rpe_spanned, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
 use nepal_schema::{Schema, Ts, Value};
 
 use crate::ast::{AggFn, Cond, Expr, Head, PathFn, QCmp, Query, SelectItem, TimeSpec};
@@ -84,10 +87,14 @@ pub struct Engine {
     /// Options applied to every RPE evaluation.
     pub eval_options: EvalOptions,
     /// Engine-level metrics: query counts, latency histograms, slow-log
-    /// depth. Render with [`MetricsRegistry::render_prometheus`].
-    pub metrics: MetricsRegistry,
+    /// depth. Render with [`MetricsRegistry::render_prometheus`]. Shared
+    /// (`Arc`) so a telemetry endpoint can serve it concurrently.
+    pub metrics: Arc<MetricsRegistry>,
     /// Ring buffer of recent queries slower than its threshold.
-    pub slow_log: SlowQueryLog,
+    pub slow_log: Arc<SlowQueryLog>,
+    /// Span tracer: every `query` call becomes a hierarchical trace when
+    /// enabled; when disabled the whole span machinery is a no-op.
+    pub tracer: Tracer,
     /// Named pathway views (§3.4: "Additional views can be defined").
     views: HashMap<String, Query>,
     view_depth: u8,
@@ -118,8 +125,9 @@ impl Engine {
         Engine {
             registry,
             eval_options: EvalOptions::default(),
-            metrics: MetricsRegistry::new(),
-            slow_log: SlowQueryLog::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            slow_log: Arc::new(SlowQueryLog::default()),
+            tracer: Tracer::new(),
             views: HashMap::new(),
             view_depth: 0,
         }
@@ -138,11 +146,20 @@ impl Engine {
         Ok(())
     }
 
-    /// Parse and execute a query, recording engine metrics.
+    /// Parse and execute a query, recording engine metrics. When the
+    /// engine's tracer is enabled, the whole call becomes one hierarchical
+    /// trace (parse → plan → execute, down to backend operator spans).
     pub fn query(&mut self, text: &str) -> Result<QueryResult> {
+        let root = self.tracer.start_trace(text);
         let t0 = Instant::now();
-        let result = parse_query(text).and_then(|q| self.execute(&q));
+        let parse_span = root.child("parse");
+        let parsed = parse_query(text);
+        drop(parse_span);
+        let result = parsed.and_then(|q| self.execute_inner(&q, None, &root));
         let total_ns = t0.elapsed().as_nanos() as u64;
+        if let Ok(r) = &result {
+            root.attr("rows", r.rows.len());
+        }
         self.record_query_metrics(text, total_ns, result.as_ref().ok().map(|r| r.rows.len() as u64));
         result
     }
@@ -150,11 +167,24 @@ impl Engine {
     /// Parse and execute a query with full profiling (the `EXPLAIN ANALYZE`
     /// path): phase timings, anchor candidates, per-operator statistics.
     pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, QueryProfile)> {
+        let root = self.tracer.start_trace(text);
         let t0 = Instant::now();
+        let parse_span = root.child("parse");
         let parsed = parse_query(text);
+        drop(parse_span);
         let parse_ns = t0.elapsed().as_nanos() as u64;
-        let outcome = parsed.and_then(|q| self.execute_profiled(&q));
+        let outcome = parsed.and_then(|q| {
+            let mut profile = QueryProfile::default();
+            let te = Instant::now();
+            let result = self.execute_inner(&q, Some(&mut profile), &root)?;
+            profile.total_ns = te.elapsed().as_nanos() as u64;
+            profile.result_rows = result.rows.len() as u64;
+            Ok((result, profile))
+        });
         let total_ns = t0.elapsed().as_nanos() as u64;
+        if let Ok((r, _)) = &outcome {
+            root.attr("rows", r.rows.len());
+        }
         self.record_query_metrics(text, total_ns, outcome.as_ref().ok().map(|(r, _)| r.rows.len() as u64));
         let (result, mut profile) = outcome?;
         profile.query = text.to_string();
@@ -181,20 +211,25 @@ impl Engine {
 
     /// Execute a parsed query.
     pub fn execute(&mut self, q: &Query) -> Result<QueryResult> {
-        self.execute_inner(q, None)
+        self.execute_inner(q, None, &SpanHandle::none())
     }
 
     /// Execute a parsed query, collecting a [`QueryProfile`].
     pub fn execute_profiled(&mut self, q: &Query) -> Result<(QueryResult, QueryProfile)> {
         let mut profile = QueryProfile::default();
         let t0 = Instant::now();
-        let result = self.execute_inner(q, Some(&mut profile))?;
+        let result = self.execute_inner(q, Some(&mut profile), &SpanHandle::none())?;
         profile.total_ns = t0.elapsed().as_nanos() as u64;
         profile.result_rows = result.rows.len() as u64;
         Ok((result, profile))
     }
 
-    fn execute_inner(&mut self, q: &Query, mut profile: Option<&mut QueryProfile>) -> Result<QueryResult> {
+    fn execute_inner(
+        &mut self,
+        q: &Query,
+        mut profile: Option<&mut QueryProfile>,
+        span: &SpanHandle,
+    ) -> Result<QueryResult> {
         let aggregate = matches!(q.head, Head::FirstTimeWhenExists | Head::LastTimeWhenExists | Head::WhenExists);
         // Temporal aggregates need interval sets: default to the full
         // history range when no AT clause is present.
@@ -207,6 +242,7 @@ impl Engine {
         // --- per-variable planning ---
         let profiled = profile.is_some();
         let tplan_phase = profiled.then(Instant::now);
+        let plan_span = span.child("plan");
         let mut evals: Vec<VarEval> = Vec::new();
         for s in &q.sources {
             let (filter, joint) = match (&s.time, &query_time) {
@@ -255,7 +291,10 @@ impl Engine {
             let rpe = q.matches_of(&s.var).ok_or_else(|| NepalError::NoMatches(s.var.clone()))?;
             let backend = self.registry.get(s.backend.as_deref())?;
             let tplan = profiled.then(Instant::now);
-            let plan = plan_rpe(backend.schema(), rpe, &BackendEstimator(backend))?;
+            let var_span = plan_span.child(&format!("plan:{}", s.var));
+            let plan = plan_rpe_spanned(backend.schema(), rpe, &BackendEstimator(backend), &var_span)?;
+            var_span.attr("anchor_cost", format!("{:.1}", plan.anchor.cost));
+            drop(var_span);
             if let Some(p) = profile.as_deref_mut() {
                 let anchors = plan
                     .candidates
@@ -285,10 +324,12 @@ impl Engine {
             });
         }
 
+        drop(plan_span);
         if let (Some(p), Some(t)) = (profile.as_deref_mut(), tplan_phase) {
             p.plan_ns = t.elapsed().as_nanos() as u64;
         }
         let texec_phase = profiled.then(Instant::now);
+        let exec_span = span.child("execute");
 
         // --- evaluation order: cheapest anchor first (views are free) ---
         let cost_of = |e: &VarEval| e.plan.as_ref().map(|p| p.anchor.cost).unwrap_or(0.0);
@@ -360,10 +401,16 @@ impl Engine {
                 Seeds::Anchor
             };
             let teval = profiled.then(Instant::now);
+            let var_span = exec_span.child(&format!("eval:{var}"));
+            var_span.attr("backend", backend.kind());
             let pathways = match profile.as_deref_mut() {
-                Some(p) => backend.eval_traced(plan, filter, seeds, &self.eval_options, &mut p.vars[i].trace)?,
-                None => backend.eval(plan, filter, seeds, &self.eval_options)?,
+                Some(p) => {
+                    backend.eval_obs(plan, filter, seeds, &self.eval_options, Some(&mut p.vars[i].trace), &var_span)?
+                }
+                None => backend.eval_obs(plan, filter, seeds, &self.eval_options, None, &var_span)?,
             };
+            var_span.attr("pathways", pathways.len());
+            drop(var_span);
             if let Some(p) = profile.as_deref_mut() {
                 let vp = &mut p.vars[i];
                 vp.eval_ns = teval.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
@@ -375,6 +422,7 @@ impl Engine {
             e.pathways = pathways;
             evaluated.insert(var);
         }
+        drop(exec_span);
 
         // --- unary filters (conditions touching a single variable) ---
         let singles: Vec<&Cond> = q
@@ -431,8 +479,10 @@ impl Engine {
             })
             .collect();
 
+        let join_phase_span = span.child("join");
         for &i in &order {
             let tjoin = profiled.then(Instant::now);
+            let join_span = join_phase_span.child(&format!("join:{}", evals[i].var));
             let probe_rows = rows.len() as u64;
             let mut next_rows = Vec::new();
             // Conditions applicable once var i joins.
@@ -470,6 +520,10 @@ impl Engine {
             }
             rows = next_rows;
             joined.insert(i);
+            join_span.attr("probe_rows", probe_rows);
+            join_span.attr("build_rows", evals[i].pathways.len());
+            join_span.attr("emitted", rows.len());
+            drop(join_span);
             if let Some(p) = profile.as_deref_mut() {
                 p.joins.push(JoinStep {
                     var: evals[i].var.clone(),
@@ -480,8 +534,10 @@ impl Engine {
                 });
             }
         }
+        drop(join_phase_span);
 
         // --- joint temporal coexistence (query-level AT range) ---
+        let coex_span = span.child("coexistence");
         let probe = match query_time {
             Some(TimeSpec::Range(a, b)) => Some(Interval::new(a, b.saturating_add(1))),
             _ => None,
@@ -536,7 +592,11 @@ impl Engine {
             out_rows.push(ResultRow { pathways, values: Vec::new(), times });
         }
 
+        coex_span.attr("pruned", coexistence_pruned);
+        drop(coex_span);
+
         // --- EXISTS subqueries (decorrelated) ---
+        let exists_span = span.child("exists");
         let mut exists_pruned = 0u64;
         for cond in &q.conds {
             if let Cond::Exists { negated, query } = cond {
@@ -545,6 +605,8 @@ impl Engine {
                 exists_pruned += (before - out_rows.len()) as u64;
             }
         }
+        exists_span.attr("pruned", exists_pruned);
+        drop(exists_span);
 
         if let Some(p) = profile {
             p.coexistence_pruned = coexistence_pruned;
@@ -555,7 +617,10 @@ impl Engine {
         }
 
         // --- head processing ---
-        self.finish_head(q, evals, out_rows)
+        let head_span = span.child("head");
+        let result = self.finish_head(q, evals, out_rows);
+        drop(head_span);
+        result
     }
 
     fn binding_of<'a>(&self, evals: &'a [VarEval], row: &[usize]) -> Vec<(String, &'a Pathway)> {

@@ -133,5 +133,5 @@ fn metrics_and_slow_log_record_queries() {
     assert!(text.contains("nepal_query_errors_total 1"), "{text}");
     assert!(text.contains("nepal_query_duration_ns_count 1"), "{text}");
     assert_eq!(eng.slow_log.len(), 1);
-    assert_eq!(eng.slow_log.entries().next().unwrap().query, Q);
+    assert_eq!(eng.slow_log.entries()[0].query, Q);
 }

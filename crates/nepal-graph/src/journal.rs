@@ -37,6 +37,12 @@ fn format_err(line: usize, msg: &str) -> GraphError {
     GraphError::BadClass(format!("journal format error at line {line}: {msg}"))
 }
 
+/// Number of lines [`save_graph`] would emit for `g` — one header, one per
+/// entity, one per version. A cheap persistence-size gauge.
+pub fn journal_lines(g: &TemporalGraph) -> u64 {
+    1 + g.num_entities() as u64 + g.num_versions()
+}
+
 /// Write the complete graph to `w`.
 pub fn save_graph<W: Write>(g: &TemporalGraph, w: &mut W) -> Result<()> {
     let schema = g.schema();

@@ -1,0 +1,99 @@
+//! Store-level gauges: the temporal store's size and churn, exported
+//! through a [`MetricsRegistry`] so the telemetry endpoint can serve them
+//! alongside the engine's query metrics.
+
+use std::sync::Arc;
+
+use nepal_obs::{Gauge, MetricsRegistry};
+
+use crate::journal::journal_lines;
+use crate::snapshot::SnapshotLoader;
+use crate::store::TemporalGraph;
+
+/// Gauges describing one [`TemporalGraph`]. Register once, then call
+/// [`StoreGauges::refresh`] whenever current values are wanted (e.g. from a
+/// telemetry refresher hook before rendering `/metrics`).
+pub struct StoreGauges {
+    nodes: Arc<Gauge>,
+    edges: Arc<Gauge>,
+    node_versions: Arc<Gauge>,
+    edge_versions: Arc<Gauge>,
+    alive_nodes: Arc<Gauge>,
+    alive_edges: Arc<Gauge>,
+    journal_lines: Arc<Gauge>,
+    snapshot_hits: Arc<Gauge>,
+    snapshot_misses: Arc<Gauge>,
+}
+
+impl StoreGauges {
+    /// Create the gauge family inside `metrics`.
+    pub fn register(metrics: &MetricsRegistry) -> StoreGauges {
+        StoreGauges {
+            nodes: metrics.gauge("nepal_store_nodes", "Node uids ever created"),
+            edges: metrics.gauge("nepal_store_edges", "Edge uids ever created"),
+            node_versions: metrics.gauge("nepal_store_node_versions", "Stored node versions, current + history"),
+            edge_versions: metrics.gauge("nepal_store_edge_versions", "Stored edge versions, current + history"),
+            alive_nodes: metrics.gauge("nepal_store_alive_nodes", "Nodes currently asserted"),
+            alive_edges: metrics.gauge("nepal_store_alive_edges", "Edges currently asserted"),
+            journal_lines: metrics.gauge("nepal_store_journal_lines", "Lines a full journal save would emit"),
+            snapshot_hits: metrics.gauge("nepal_snapshot_cache_hits", "Snapshot upserts resolved to live entities"),
+            snapshot_misses: metrics.gauge("nepal_snapshot_cache_misses", "Snapshot upserts that inserted fresh"),
+        }
+    }
+
+    /// Update the store gauges from the graph's current state.
+    pub fn refresh(&self, g: &TemporalGraph) {
+        let c = g.counts();
+        self.nodes.set(c.nodes as i64);
+        self.edges.set(c.edges as i64);
+        self.node_versions.set(c.node_versions as i64);
+        self.edge_versions.set(c.edge_versions as i64);
+        self.alive_nodes.set(c.alive_nodes as i64);
+        self.alive_edges.set(c.alive_edges as i64);
+        self.journal_lines.set(journal_lines(g) as i64);
+    }
+
+    /// Update the snapshot-cache gauges from a loader's counters.
+    pub fn observe_snapshot(&self, loader: &SnapshotLoader) {
+        self.snapshot_hits.set(loader.cache_hits() as i64);
+        self.snapshot_misses.set(loader.cache_misses() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nepal_schema::dsl::parse_schema;
+    use nepal_schema::Value;
+
+    #[test]
+    fn gauges_track_store_and_snapshot_state() {
+        let schema = Arc::new(parse_schema("node VM { status: str }").unwrap());
+        let vm = schema.class_by_name("VM").unwrap();
+        let mut g = TemporalGraph::new(schema);
+        let a = g.insert_node(vm, vec![Value::Str("Green".into())], 100).unwrap();
+        g.update(a, &[(0, Value::Str("Red".into()))], 200).unwrap();
+        let b = g.insert_node(vm, vec![Value::Str("Green".into())], 100).unwrap();
+        g.delete(b, 300).unwrap();
+
+        let metrics = MetricsRegistry::new();
+        let gauges = StoreGauges::register(&metrics);
+        gauges.refresh(&g);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("nepal_store_nodes 2"), "{text}");
+        assert!(text.contains("nepal_store_node_versions 3"), "{text}");
+        assert!(text.contains("nepal_store_alive_nodes 1"), "{text}");
+        // 1 header + 2 entities + 3 versions.
+        assert!(text.contains("nepal_store_journal_lines 6"), "{text}");
+
+        let mut loader = SnapshotLoader::new();
+        let node =
+            crate::snapshot::SnapshotNode { ext_id: "x".into(), class: vm, fields: vec![Value::Str("Green".into())] };
+        loader.apply(&mut g, 400, std::slice::from_ref(&node), &[]).unwrap();
+        loader.apply(&mut g, 500, &[node], &[]).unwrap();
+        gauges.observe_snapshot(&loader);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("nepal_snapshot_cache_hits 1"), "{text}");
+        assert!(text.contains("nepal_snapshot_cache_misses 1"), "{text}");
+    }
+}

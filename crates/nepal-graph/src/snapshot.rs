@@ -47,11 +47,26 @@ pub struct SnapshotStats {
 pub struct SnapshotLoader {
     nodes: HashMap<String, Uid>,
     edges: HashMap<String, Uid>,
+    /// Upserts whose external id resolved to a live entity of the same
+    /// shape (updated in place or unchanged).
+    cache_hits: u64,
+    /// Upserts that had to insert fresh (unknown id, class change, rewire).
+    cache_misses: u64,
 }
 
 impl SnapshotLoader {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cumulative upsert-cache hits across all applied snapshots.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Cumulative upsert-cache misses across all applied snapshots.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// Resolve an external node id loaded by a previous snapshot.
@@ -103,6 +118,7 @@ impl SnapshotLoader {
         for n in nodes {
             match self.nodes.get(&n.ext_id).copied() {
                 Some(uid) if g.class_of(uid) == Some(n.class) && g.current_version(uid).is_some() => {
+                    self.cache_hits += 1;
                     let cur = g.current_version(uid).unwrap().fields.clone();
                     let changes: Vec<(usize, Value)> = cur
                         .iter()
@@ -119,6 +135,7 @@ impl SnapshotLoader {
                     }
                 }
                 prior => {
+                    self.cache_misses += 1;
                     if let Some(uid) = prior {
                         // Class changed (or zombie mapping): replace.
                         if g.current_version(uid).is_some() {
@@ -150,6 +167,7 @@ impl SnapshotLoader {
                         && g.edge(uid)?.src == src
                         && g.edge(uid)?.dst == dst =>
                 {
+                    self.cache_hits += 1;
                     let cur = g.current_version(uid).unwrap().fields.clone();
                     let changes: Vec<(usize, Value)> = cur
                         .iter()
@@ -166,6 +184,7 @@ impl SnapshotLoader {
                     }
                 }
                 prior => {
+                    self.cache_misses += 1;
                     if let Some(uid) = prior {
                         if g.current_version(uid).is_some() {
                             g.delete(uid, ts)?;

@@ -88,6 +88,21 @@ pub struct AdjEntry {
     pub other: Uid,
 }
 
+/// Per-kind storage totals (see [`TemporalGraph::counts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounts {
+    pub nodes: u64,
+    pub edges: u64,
+    /// Stored node versions, current + history.
+    pub node_versions: u64,
+    /// Stored edge versions, current + history.
+    pub edge_versions: u64,
+    /// Nodes whose latest version is still asserted.
+    pub alive_nodes: u64,
+    /// Edges whose latest version is still asserted.
+    pub alive_edges: u64,
+}
+
 /// The temporal graph store.
 pub struct TemporalGraph {
     schema: Arc<Schema>,
@@ -135,6 +150,28 @@ impl TemporalGraph {
     /// Total number of stored versions (current + history).
     pub fn num_versions(&self) -> u64 {
         self.version_count
+    }
+
+    /// Per-kind storage totals, for metric export.
+    pub fn counts(&self) -> StoreCounts {
+        let mut c = StoreCounts::default();
+        for entry in &self.entries {
+            let versions = entry.versions();
+            let alive = versions.last().is_some_and(|v| v.span.is_current());
+            match entry {
+                Entry::Node(_) => {
+                    c.nodes += 1;
+                    c.node_versions += versions.len() as u64;
+                    c.alive_nodes += alive as u64;
+                }
+                Entry::Edge(_) => {
+                    c.edges += 1;
+                    c.edge_versions += versions.len() as u64;
+                    c.alive_edges += alive as u64;
+                }
+            }
+        }
+        c
     }
 
     /// The class that declares layout index `idx` for `class` (the ancestor

@@ -6,6 +6,8 @@
 //! more Gremlin queries" — the glue that implements `Union` operators when
 //! evaluating a Nepal plan against a Gremlin backend.
 
+use nepal_obs::{SpanHandle, TRACK_SERVER};
+
 use crate::json::Json;
 use crate::protocol::{read_frame_counted, request, status, write_frame_counted, ProtoError};
 use crate::server::Transport;
@@ -48,32 +50,59 @@ impl<T: Transport> GremlinClient<T> {
 
     /// Submit a bytecode traversal and collect the full result stream.
     pub fn submit(&mut self, steps: &[GStep]) -> Result<Vec<Json>, ProtoError> {
+        self.submit_spanned(steps, &SpanHandle::none())
+    }
+
+    /// [`GremlinClient::submit`] under a live span: the round trip becomes
+    /// a `gremlin:round-trip` child span, the server is asked to time the
+    /// request, and its reported phases are grafted into the trace as
+    /// remote spans on the server track (correlated by request id).
+    pub fn submit_spanned(&mut self, steps: &[GStep], span: &SpanHandle) -> Result<Vec<Json>, ProtoError> {
         let req_body = bytecode_to_json(steps);
-        self.submit_raw("bytecode", req_body)
+        self.submit_raw("bytecode", req_body, span)
     }
 
     /// Submit a textual traversal (`g.V()…`) via the `eval` op.
     pub fn submit_text(&mut self, traversal: &str) -> Result<Vec<Json>, ProtoError> {
-        self.submit_raw("eval", Json::Str(traversal.to_string()))
+        self.submit_text_spanned(traversal, &SpanHandle::none())
     }
 
-    fn submit_raw(&mut self, op: &str, gremlin: Json) -> Result<Vec<Json>, ProtoError> {
+    /// [`GremlinClient::submit_text`] under a live span.
+    pub fn submit_text_spanned(&mut self, traversal: &str, span: &SpanHandle) -> Result<Vec<Json>, ProtoError> {
+        self.submit_raw("eval", Json::Str(traversal.to_string()), span)
+    }
+
+    fn submit_raw(&mut self, op: &str, gremlin: Json, span: &SpanHandle) -> Result<Vec<Json>, ProtoError> {
         self.next_id += 1;
         self.round_trips += 1;
         self.wire.requests += 1;
         let id = format!("req-{}", self.next_id);
+        let rt_span = span.child("gremlin:round-trip");
+        rt_span.attr("request_id", &id);
+        rt_span.attr("op", op);
         let mut req = request(&id, gremlin);
         if let Json::Obj(m) = &mut req {
             m.insert("op".into(), Json::Str(op.to_string()));
+            // Ask the server for per-request timings so one trace covers
+            // both sides of the wire.
+            if rt_span.is_active() {
+                if let Some(Json::Obj(args)) = m.get_mut("args") {
+                    args.insert("trace".into(), Json::Bool(true));
+                }
+            }
         }
         let sent = write_frame_counted(&mut self.conn, &req)?;
         self.wire.frames_sent += 1;
         self.wire.bytes_sent += sent;
         let mut out = Vec::new();
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
         loop {
             let (frame, received) = read_frame_counted(&mut self.conn)?;
             self.wire.frames_received += 1;
             self.wire.bytes_received += received;
+            frames += 1;
+            bytes += received;
             let rid = frame.get("requestId").and_then(|j| j.as_str()).unwrap_or("");
             if rid != id {
                 return Err(ProtoError::BadFrame(format!("response for `{rid}`, expected `{id}`")));
@@ -90,12 +119,44 @@ impl<T: Transport> GremlinClient<T> {
                         out.extend(data.iter().cloned());
                     }
                     if code == status::SUCCESS {
+                        absorb_server_timing(&frame, &rt_span, &id);
+                        rt_span.attr("frames_received", frames);
+                        rt_span.attr("bytes_received", bytes);
+                        rt_span.attr("results", out.len());
                         return Ok(out);
                     }
                 }
-                status::NO_CONTENT => return Ok(out),
+                status::NO_CONTENT => {
+                    absorb_server_timing(&frame, &rt_span, &id);
+                    rt_span.attr("frames_received", frames);
+                    rt_span.attr("bytes_received", bytes);
+                    return Ok(out);
+                }
                 _ => return Err(ProtoError::Server(msg)),
             }
+        }
+    }
+}
+
+/// Graft the server's echoed `result.meta.serverTiming` phases into the
+/// round-trip span as remote spans on the server track, placed relative to
+/// the round trip's start.
+fn absorb_server_timing(frame: &Json, rt_span: &SpanHandle, request_id: &str) {
+    if !rt_span.is_active() {
+        return;
+    }
+    let Some(st) = frame.get("result").and_then(|r| r.get("meta")).and_then(|m| m.get("serverTiming")) else {
+        return;
+    };
+    if let Some(total) = st.get("total_ns").and_then(|t| t.as_u64()) {
+        rt_span.attr("server_total_ns", total);
+    }
+    if let Some(spans) = st.get("spans").and_then(|s| s.as_arr()) {
+        for s in spans {
+            let name = s.get("name").and_then(|n| n.as_str()).unwrap_or("server");
+            let off = s.get("offset_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+            let dur = s.get("dur_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+            rt_span.remote_span(name, off, dur, TRACK_SERVER, vec![("requestId".to_string(), request_id.to_string())]);
         }
     }
 }

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use nepal_graph::Uid;
+use nepal_obs::SpanHandle;
 use nepal_rpe::{BoundAtom, BoundPred, EvalOptions, Label, Norm, Pathway, RpePlan, Seeds};
 use nepal_schema::{ClassKind, Schema, Ts, Value};
 
@@ -108,6 +109,8 @@ struct GremlinEval<'a, T: Transport> {
     elems: HashMap<u64, ElemInfo>,
     out_cache: HashMap<u64, Vec<(u64, u64)>>,
     in_cache: HashMap<u64, Vec<(u64, u64)>>,
+    /// Parent span for all round trips this evaluation performs.
+    span: &'a SpanHandle,
 }
 
 impl<'a, T: Transport> GremlinEval<'a, T> {
@@ -135,7 +138,9 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
             }
         }
         steps.extend(self.alive_steps());
-        let results = self.client.submit(&steps)?;
+        let sel_span = self.span.child("Select");
+        sel_span.attr("atom", &atom.display);
+        let results = self.client.submit_spanned(&steps, &sel_span)?;
         let mut ids = Vec::new();
         for r in &results {
             if let Some((id, info)) = ElemInfo::from_json(r) {
@@ -146,6 +151,8 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
                 }
             }
         }
+        sel_span.attr("rows_in", results.len());
+        sel_span.attr("rows_out", ids.len());
         Ok(ids)
     }
 
@@ -169,7 +176,9 @@ impl<'a, T: Transport> GremlinEval<'a, T> {
         let hop = if outgoing { GStep::OutE(None) } else { GStep::InE(None) };
         let next = if outgoing { GStep::InV } else { GStep::OutV };
         let steps = vec![GStep::V(missing.clone()), hop, next, GStep::Path];
-        let results = self.client.submit(&steps)?;
+        let adj_span = self.span.child(if outgoing { "Extend(fwd)" } else { "Extend(bwd)" });
+        adj_span.attr("frontier", missing.len());
+        let results = self.client.submit_spanned(&steps, &adj_span)?;
         for r in &results {
             let Some(path) = r.get("path").and_then(|p| p.as_arr()) else { continue };
             if path.len() != 3 {
@@ -347,6 +356,22 @@ pub fn evaluate_gremlin<T: Transport>(
     opts: &EvalOptions,
     use_extend_block: bool,
 ) -> Result<GremlinExecResult, ProtoError> {
+    evaluate_gremlin_spanned(client, schema, plan, time, seeds, opts, use_extend_block, &SpanHandle::none())
+}
+
+/// [`evaluate_gremlin`] under a live span: every protocol round trip
+/// becomes a child span, with server-reported phases grafted in.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_gremlin_spanned<T: Transport>(
+    client: &mut GremlinClient<T>,
+    schema: &Schema,
+    plan: &RpePlan,
+    time: GremlinTime,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    use_extend_block: bool,
+    span: &SpanHandle,
+) -> Result<GremlinExecResult, ProtoError> {
     let start_trips = client.round_trips;
     let prefixes: Vec<String> = plan.atoms.iter().map(|a| schema.path_name(a.class)).collect();
     let mut ev = GremlinEval {
@@ -357,6 +382,7 @@ pub fn evaluate_gremlin<T: Transport>(
         elems: HashMap::new(),
         out_cache: HashMap::new(),
         in_cache: HashMap::new(),
+        span,
     };
     let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let mut results: HashSet<Vec<u64>> = HashSet::new();
@@ -378,7 +404,12 @@ pub fn evaluate_gremlin<T: Transport>(
                     body.extend(ev.alive_steps());
                     body.push(GStep::SimplePath);
                     let steps = vec![GStep::V(ids), GStep::Repeat(body, min, max), GStep::Path];
-                    let raw = ev.client.submit(&steps)?;
+                    let eb_span = ev.span.child("ExtendBlock");
+                    eb_span.attr("min", min);
+                    eb_span.attr("max", max);
+                    let raw = ev.client.submit_spanned(&steps, &eb_span)?;
+                    eb_span.attr("paths", raw.len());
+                    drop(eb_span);
                     let other = &plan.atoms[other_atom as usize];
                     let other_prefix = ev.prefixes[other_atom as usize].clone();
                     for r in &raw {
@@ -471,7 +502,7 @@ pub fn evaluate_gremlin<T: Transport>(
             let ids: Vec<u64> = srcs.iter().map(|u| u.0).collect();
             // Prime the element cache.
             let steps = vec![GStep::V(ids.clone())];
-            for r in ev.client.submit(&steps)? {
+            for r in ev.client.submit_spanned(&steps, ev.span)? {
                 if let Some((id, info)) = ElemInfo::from_json(&r) {
                     ev.elems.insert(id, info);
                 }
@@ -489,7 +520,7 @@ pub fn evaluate_gremlin<T: Transport>(
         Seeds::Targets(tgts) => {
             let ids: Vec<u64> = tgts.iter().map(|u| u.0).collect();
             let steps = vec![GStep::V(ids.clone())];
-            for r in ev.client.submit(&steps)? {
+            for r in ev.client.submit_spanned(&steps, ev.span)? {
                 if let Some((id, info)) = ElemInfo::from_json(&r) {
                     ev.elems.insert(id, info);
                 }

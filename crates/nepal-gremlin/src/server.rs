@@ -6,7 +6,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
+use nepal_obs::{Tracer, TRACK_SERVER};
 use parking_lot::RwLock;
 
 use crate::graph::PropertyGraph;
@@ -51,6 +53,18 @@ pub type SharedGraph = Arc<RwLock<PropertyGraph>>;
 
 /// Handle one request message, producing the full response frame sequence.
 pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
+    handle_request_timed(graph, req, None)
+}
+
+/// [`handle_request`] optionally recording per-phase timings as
+/// `(name, offset_ns, dur_ns)` triples relative to request receipt. Error
+/// paths skip timing — only successfully evaluated requests report phases.
+pub fn handle_request_timed(
+    graph: &SharedGraph,
+    req: &Json,
+    mut timing: Option<&mut Vec<(String, u64, u64)>>,
+) -> Vec<Json> {
+    let t0 = timing.is_some().then(Instant::now);
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
     let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("");
     let gremlin = match req.get("args").and_then(|a| a.get("gremlin")) {
@@ -85,19 +99,59 @@ pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
             return vec![response(&request_id, status::SERVER_ERROR, &format!("unsupported op `{other}`"), Vec::new())]
         }
     };
+    if let (Some(t), Some(tm)) = (t0, timing.as_deref_mut()) {
+        tm.push(("decode".to_string(), 0, t.elapsed().as_nanos() as u64));
+    }
+    let eval_off = t0.map(|t| t.elapsed().as_nanos() as u64);
     let g = graph.read();
-    match evaluate(&g, &steps) {
+    let outcome = evaluate(&g, &steps);
+    if let (Some(t), Some(off), Some(tm)) = (t0, eval_off, timing) {
+        tm.push(("evaluate".to_string(), off, (t.elapsed().as_nanos() as u64).saturating_sub(off)));
+    }
+    match outcome {
         Ok(results) => batch_responses(&request_id, results),
         Err(e) => vec![response(&request_id, status::SERVER_ERROR, &e, Vec::new())],
     }
+}
+
+/// Attach a `serverTiming` object to the final frame's `result.meta` so the
+/// client can graft the server's view of the request into its own trace.
+pub fn attach_server_timing(frames: &mut [Json], total_ns: u64, spans: &[(String, u64, u64)]) {
+    let Some(Json::Obj(m)) = frames.last_mut() else { return };
+    let Some(Json::Obj(result)) = m.get_mut("result") else { return };
+    let Some(Json::Obj(meta)) = result.get_mut("meta") else { return };
+    let span_objs: Vec<Json> = spans
+        .iter()
+        .map(|(name, off, dur)| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("offset_ns", Json::Num(*off as f64)),
+                ("dur_ns", Json::Num(*dur as f64)),
+            ])
+        })
+        .collect();
+    meta.insert(
+        "serverTiming".into(),
+        Json::obj(vec![("total_ns", Json::Num(total_ns as f64)), ("spans", Json::Arr(span_objs))]),
+    );
 }
 
 /// [`handle_request`] with a panic barrier: a panicking evaluation is
 /// answered with a status-500 frame instead of killing the connection
 /// thread, so one poisoned request cannot take the server down.
 pub fn handle_request_guarded(graph: &SharedGraph, req: &Json, stats: &ServerStats) -> Vec<Json> {
+    handle_request_guarded_timed(graph, req, stats, None)
+}
+
+/// [`handle_request_guarded`] optionally recording per-phase timings.
+pub fn handle_request_guarded_timed(
+    graph: &SharedGraph,
+    req: &Json,
+    stats: &ServerStats,
+    timing: Option<&mut Vec<(String, u64, u64)>>,
+) -> Vec<Json> {
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request(graph, req)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request_timed(graph, req, timing)));
     match result {
         Ok(frames) => frames,
         Err(_) => {
@@ -116,7 +170,25 @@ pub fn serve_connection(graph: SharedGraph, conn: impl Transport) {
 /// that fails to decode is answered with a status-597 error frame before
 /// the connection closes (the byte stream is desynchronized past it); an
 /// evaluation panic is answered with status 500 and the connection lives on.
-pub fn serve_connection_stats(graph: SharedGraph, mut conn: impl Transport, stats: &ServerStats) {
+pub fn serve_connection_stats(graph: SharedGraph, conn: impl Transport, stats: &ServerStats) {
+    serve_connection_traced(graph, conn, stats, None)
+}
+
+/// [`serve_connection_stats`] with request tracing. Two independent layers:
+///
+/// 1. A request whose `args.trace` flag is set gets its decode/evaluate
+///    phases measured and echoed back as `result.meta.serverTiming` on the
+///    final frame, regardless of whether this server has a tracer — so an
+///    in-process pipe still yields cross-wire traces for the *client's*
+///    tracer.
+/// 2. If `tracer` is given, every request also records its own server-side
+///    trace (`gremlin:request` on the server track) into that tracer's ring.
+pub fn serve_connection_traced(
+    graph: SharedGraph,
+    mut conn: impl Transport,
+    stats: &ServerStats,
+    tracer: Option<&Tracer>,
+) {
     loop {
         let req = match read_frame_counted(&mut conn) {
             Ok((r, n)) => {
@@ -134,7 +206,32 @@ pub fn serve_connection_stats(graph: SharedGraph, mut conn: impl Transport, stat
             Err(_) => return, // EOF or I/O error → close connection
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
-        for frame in handle_request_guarded(&graph, &req, stats) {
+        let want_timing = matches!(req.get("args").and_then(|a| a.get("trace")), Some(Json::Bool(true)));
+        let srv_span = match tracer {
+            Some(t) => t.start_trace_on("gremlin:request", TRACK_SERVER),
+            None => nepal_obs::SpanHandle::none(),
+        };
+        let measure = want_timing || srv_span.is_active();
+        let t0 = measure.then(Instant::now);
+        let mut timing: Vec<(String, u64, u64)> = Vec::new();
+        let timing_slot = if measure { Some(&mut timing) } else { None };
+        let mut frames = handle_request_guarded_timed(&graph, &req, stats, timing_slot);
+        if let Some(t) = t0 {
+            let total_ns = t.elapsed().as_nanos() as u64;
+            if srv_span.is_active() {
+                let rid = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("");
+                srv_span.attr("requestId", rid);
+                srv_span.attr("total_ns", total_ns);
+                for (name, off, dur) in &timing {
+                    srv_span.remote_span(name, *off, *dur, TRACK_SERVER, Vec::new());
+                }
+            }
+            if want_timing {
+                attach_server_timing(&mut frames, total_ns, &timing);
+            }
+        }
+        drop(srv_span);
+        for frame in frames {
             match write_frame_counted(&mut conn, &frame) {
                 Ok(n) => {
                     stats.frames_sent.fetch_add(1, Ordering::Relaxed);
@@ -159,7 +256,13 @@ impl GremlinServer {
     /// Bind to `127.0.0.1:0` (ephemeral port) and serve `graph` with a
     /// thread per connection.
     pub fn start(graph: SharedGraph) -> std::io::Result<GremlinServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        GremlinServer::start_addr(graph, "127.0.0.1:0", None)
+    }
+
+    /// [`GremlinServer::start`] on an explicit address, optionally recording
+    /// per-request server-side traces into `tracer`'s ring.
+    pub fn start_addr(graph: SharedGraph, bind: &str, tracer: Option<Tracer>) -> std::io::Result<GremlinServer> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
@@ -178,7 +281,8 @@ impl GremlinServer {
                         stream.set_nonblocking(false).ok();
                         let g = graph.clone();
                         let st = server_stats.clone();
-                        workers.push(thread::spawn(move || serve_connection_stats(g, stream, &st)));
+                        let tr = tracer.clone();
+                        workers.push(thread::spawn(move || serve_connection_traced(g, stream, &st, tr.as_ref())));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(std::time::Duration::from_millis(2));
@@ -260,6 +364,16 @@ pub fn serve_in_process_stats(graph: SharedGraph) -> (PipeEnd, Arc<ServerStats>)
     let stats = Arc::new(ServerStats::default());
     let st = stats.clone();
     thread::spawn(move || serve_connection_stats(graph, server, &st));
+    (client, stats)
+}
+
+/// [`serve_in_process_stats`] with the server recording its own traces
+/// into `tracer`'s ring.
+pub fn serve_in_process_traced(graph: SharedGraph, tracer: Tracer) -> (PipeEnd, Arc<ServerStats>) {
+    let (client, server) = pipe_pair();
+    let stats = Arc::new(ServerStats::default());
+    let st = stats.clone();
+    thread::spawn(move || serve_connection_traced(graph, server, &st, Some(&tracer)));
     (client, stats)
 }
 

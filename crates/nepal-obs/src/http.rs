@@ -1,0 +1,350 @@
+//! Std-only HTTP/1.1 telemetry endpoint.
+//!
+//! [`Telemetry`] bundles the observable state of a running engine — the
+//! [`MetricsRegistry`], the [`SlowQueryLog`] ring, the [`Tracer`] store,
+//! plus pluggable per-backend health checks — and maps `GET` paths onto
+//! it:
+//!
+//! | path             | body                                            |
+//! |------------------|-------------------------------------------------|
+//! | `/metrics`       | Prometheus text exposition format               |
+//! | `/metrics.json`  | the registry as JSON                            |
+//! | `/healthz`       | per-backend health, 200 all-ok / 503 otherwise  |
+//! | `/slow`          | slow-query ring as JSON                         |
+//! | `/traces`        | stored trace summaries                          |
+//! | `/traces/latest` | newest trace as Chrome trace-event JSON         |
+//! | `/traces/<id>`   | one trace as Chrome trace-event JSON            |
+//!
+//! [`TelemetryServer`] is the listener: a nonblocking accept loop on a
+//! background thread, one short-lived request per connection
+//! (`Connection: close`), mirroring the Gremlin server's shutdown
+//! protocol. Request handling is pure (`Telemetry::handle`) so the routing
+//! is testable without a socket.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+use crate::profile::SlowQueryLog;
+use crate::trace::{esc, summaries_json, Tracer};
+
+type HealthCheck = Box<dyn Fn() -> Result<String, String> + Send>;
+type Refresher = Box<dyn Fn() + Send>;
+
+/// Everything the telemetry endpoint can serve.
+pub struct Telemetry {
+    pub metrics: Arc<MetricsRegistry>,
+    pub slow: Arc<SlowQueryLog>,
+    pub tracer: Tracer,
+    health: Mutex<Vec<(String, HealthCheck)>>,
+    refreshers: Mutex<Vec<Refresher>>,
+}
+
+const CT_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+const CT_JSON: &str = "application/json";
+
+impl Telemetry {
+    pub fn new(metrics: Arc<MetricsRegistry>, slow: Arc<SlowQueryLog>, tracer: Tracer) -> Telemetry {
+        Telemetry { metrics, slow, tracer, health: Mutex::new(Vec::new()), refreshers: Mutex::new(Vec::new()) }
+    }
+
+    /// Register a named health check. `Ok(detail)` is healthy, `Err(why)`
+    /// is not; `/healthz` runs all of them on every request.
+    pub fn add_health(&self, name: &str, check: impl Fn() -> Result<String, String> + Send + 'static) {
+        self.health.lock().unwrap_or_else(|e| e.into_inner()).push((name.to_string(), Box::new(check)));
+    }
+
+    /// Register a callback run before each `/metrics` render — the hook
+    /// point for pull-style gauges (store sizes, ring lengths, …).
+    pub fn add_refresher(&self, refresh: impl Fn() + Send + 'static) {
+        self.refreshers.lock().unwrap_or_else(|e| e.into_inner()).push(Box::new(refresh));
+    }
+
+    fn refresh(&self) {
+        for r in self.refreshers.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            r();
+        }
+    }
+
+    fn healthz(&self) -> (u16, String) {
+        let checks = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all_ok = true;
+        let mut items = Vec::new();
+        for (name, check) in checks.iter() {
+            match check() {
+                Ok(detail) => items.push(format!("\"{}\":{{\"ok\":true,\"detail\":\"{}\"}}", esc(name), esc(&detail))),
+                Err(why) => {
+                    all_ok = false;
+                    items.push(format!("\"{}\":{{\"ok\":false,\"error\":\"{}\"}}", esc(name), esc(&why)));
+                }
+            }
+        }
+        let status = if all_ok { 200 } else { 503 };
+        let body = format!(
+            "{{\"status\":\"{}\",\"checks\":{{{}}}}}\n",
+            if all_ok { "ok" } else { "unhealthy" },
+            items.join(",")
+        );
+        (status, body)
+    }
+
+    /// Route a request path to `(status, content-type, body)`.
+    pub fn handle(&self, path: &str) -> (u16, &'static str, String) {
+        let path = path.split('?').next().unwrap_or(path);
+        match path {
+            "/metrics" => {
+                self.refresh();
+                (200, CT_TEXT, self.metrics.render_prometheus())
+            }
+            "/metrics.json" => {
+                self.refresh();
+                let mut body = self.metrics.render_json();
+                body.push('\n');
+                (200, CT_JSON, body)
+            }
+            "/healthz" => {
+                let (status, body) = self.healthz();
+                (status, CT_JSON, body)
+            }
+            "/slow" => (200, CT_JSON, self.slow.render_json()),
+            "/traces" => (200, CT_JSON, summaries_json(&self.tracer.summaries())),
+            "/traces/latest" => match self.tracer.export_latest_chrome() {
+                Some(json) => (200, CT_JSON, json),
+                None => (404, CT_JSON, "{\"error\":\"no traces stored\"}\n".to_string()),
+            },
+            _ => {
+                if let Some(id) = path.strip_prefix("/traces/").and_then(|s| s.parse::<u64>().ok()) {
+                    return match self.tracer.export_chrome(id) {
+                        Some(json) => (200, CT_JSON, json),
+                        None => (404, CT_JSON, format!("{{\"error\":\"no trace with id {id}\"}}\n")),
+                    };
+                }
+                (404, CT_TEXT, "not found\n".to_string())
+            }
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        code,
+        status_text(code),
+        content_type,
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Read a request head (through the blank line), bounded at 8 KiB.
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while buf.len() < 8192 {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+fn serve_connection(telemetry: &Telemetry, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let head = match read_head(&mut stream) {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(&mut stream, 405, CT_TEXT, "only GET is supported\n");
+        return;
+    }
+    if path.is_empty() {
+        respond(&mut stream, 400, CT_TEXT, "malformed request line\n");
+        return;
+    }
+    let (code, content_type, body) = telemetry.handle(path);
+    respond(&mut stream, code, content_type, &body);
+}
+
+/// The background HTTP listener.
+pub struct TelemetryServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `telemetry` until the returned handle is dropped.
+    pub fn start(telemetry: Arc<Telemetry>, addr: &str) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        serve_connection(&telemetry, stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(TelemetryServer { addr: local, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry() -> Arc<Telemetry> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.counter("nepal_queries_total", "Total queries").add(5);
+        let slow = Arc::new(SlowQueryLog::new(0, 8));
+        slow.record("Retrieve P …", 1234, 1);
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        tracer.set_slow_threshold_ns(u64::MAX);
+        drop(tracer.start_trace("q"));
+        Arc::new(Telemetry::new(metrics, slow, tracer))
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn routing_covers_all_endpoints() {
+        let t = telemetry();
+        t.add_health("native", || Ok("2194 entities".to_string()));
+        let (code, ct, body) = t.handle("/metrics");
+        assert_eq!(code, 200);
+        assert!(ct.starts_with("text/plain"));
+        assert!(body.contains("nepal_queries_total 5"));
+        let (code, _, body) = t.handle("/metrics.json");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"nepal_queries_total\":5"));
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"native\":{\"ok\":true"));
+        let (code, _, body) = t.handle("/slow");
+        assert_eq!(code, 200);
+        assert!(body.contains("Retrieve P"));
+        let (code, _, body) = t.handle("/traces");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"name\":\"q\""));
+        let id = t.tracer.latest_id().unwrap();
+        let (code, _, body) = t.handle(&format!("/traces/{id}"));
+        assert_eq!(code, 200);
+        assert!(body.contains("traceEvents"));
+        let (code, _, _) = t.handle("/traces/latest");
+        assert_eq!(code, 200);
+        assert_eq!(t.handle("/traces/999999").0, 404);
+        assert_eq!(t.handle("/nope").0, 404);
+    }
+
+    #[test]
+    fn healthz_reports_503_when_a_check_fails() {
+        let t = telemetry();
+        t.add_health("native", || Ok("fine".to_string()));
+        t.add_health("gremlin", || Err("connection refused".to_string()));
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"unhealthy\""));
+        assert!(body.contains("\"gremlin\":{\"ok\":false"));
+    }
+
+    #[test]
+    fn refreshers_run_before_metrics_render() {
+        let t = telemetry();
+        let g = t.metrics.gauge("nepal_store_entities", "entities");
+        t.add_refresher(move || g.set(42));
+        let (_, _, body) = t.handle("/metrics");
+        assert!(body.contains("nepal_store_entities 42"));
+    }
+
+    #[test]
+    fn metrics_and_healthz_round_trip_over_a_real_socket() {
+        let t = telemetry();
+        t.add_health("native", || Ok("ok".to_string()));
+        let server = TelemetryServer::start(t, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Content-Type: text/plain"));
+        assert!(!body.is_empty());
+        assert!(body.contains("nepal_queries_total 5"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (head, _) = get(addr, "/unknown");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        drop(server); // joins the accept thread
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let t = telemetry();
+        let server = TelemetryServer::start(t, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -1,22 +1,34 @@
-//! Observability for Nepal: engine metrics and query profiling.
+//! Observability for Nepal: engine metrics, query profiling, span tracing,
+//! and the live telemetry endpoint.
 //!
-//! Dependency-free by design (the build environment is offline). Two
+//! Dependency-free by design (the build environment is offline). Four
 //! halves:
 //!
 //! - [`metrics`] — atomic [`Counter`]/[`Gauge`]/[`Histogram`] primitives in
 //!   a [`MetricsRegistry`], renderable as Prometheus text exposition format
-//!   or JSON. Histograms use log₂ buckets, sized for nanosecond latencies.
+//!   or JSON. Histograms use log₂ buckets, sized for nanosecond latencies,
+//!   with estimated p50/p95/p99 quantiles.
 //! - [`profile`] — the [`QueryProfile`] trace threaded through the query
 //!   pipeline: parse/plan/execute phase timings, the anchor candidates the
 //!   planner considered with their costs, per-operator
 //!   rows-in/rows-out/duration for every `Select`/`Extend`/`Union`, join
 //!   build/probe sizes, and free-form backend counters. Plus the bounded
 //!   [`SlowQueryLog`] ring buffer.
+//! - [`trace`] — hierarchical [`SpanHandle`] spans under a [`Tracer`] with
+//!   head-based sampling, a bounded trace ring, and a Chrome trace-event
+//!   JSON exporter (Perfetto / `chrome://tracing`). Disabled tracing takes
+//!   no clock reads on the hot path.
+//! - [`http`] — a std-only HTTP listener ([`TelemetryServer`]) serving
+//!   `/metrics`, `/metrics.json`, `/healthz`, `/slow`, and `/traces/<id>`.
 
+pub mod http;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 
+pub use http::{Telemetry, TelemetryServer};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{
     fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,
 };
+pub use trace::{chrome_trace_json, SpanHandle, SpanRecord, Trace, TraceSummary, Tracer, TRACK_CLIENT, TRACK_SERVER};

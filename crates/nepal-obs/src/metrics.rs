@@ -88,6 +88,31 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimated `q`-quantile (0 < q ≤ 1) with log-linear interpolation
+    /// inside the log₂ bucket holding the rank: the rank's fractional
+    /// position `f` in the bucket `(lo, hi]` maps to `lo · (hi/lo)^f`
+    /// (plain linear `hi · f` for the first bucket, whose lower bound is
+    /// 0). Exact at bucket boundaries, within a factor ~2 inside.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (bound, n) in self.buckets() {
+            if cum + n >= rank {
+                let hi = bound as f64;
+                let lo = if bound <= 1 { 0.0 } else { (bound / 2) as f64 };
+                let frac = (rank - cum) as f64 / n as f64;
+                let v = if lo == 0.0 { hi * frac } else { lo * (hi / lo).powf(frac) };
+                return v.round() as u64;
+            }
+            cum += n;
+        }
+        self.buckets().last().map(|(b, _)| *b).unwrap_or(0)
+    }
+
     /// Per-bucket counts with their inclusive upper bounds, up to and
     /// including the last non-empty bucket.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -194,6 +219,9 @@ impl MetricsRegistry {
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
                     out.push_str(&format!("{name}_sum {}\n", h.sum()));
                     out.push_str(&format!("{name}_count {}\n", h.count()));
+                    out.push_str(&format!("{name}_p50 {}\n", h.quantile(0.50)));
+                    out.push_str(&format!("{name}_p95 {}\n", h.quantile(0.95)));
+                    out.push_str(&format!("{name}_p99 {}\n", h.quantile(0.99)));
                 }
             }
         }
@@ -215,7 +243,14 @@ impl MetricsRegistry {
                 Metric::Counter(c) => out.push_str(&format!("\"{name}\":{}", c.get())),
                 Metric::Gauge(g) => out.push_str(&format!("\"{name}\":{}", g.get())),
                 Metric::Histogram(h) => {
-                    out.push_str(&format!("\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[", h.count(), h.sum()));
+                    out.push_str(&format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
+                    ));
                     let mut bfirst = true;
                     for (bound, n) in h.buckets() {
                         if !bfirst {
@@ -323,7 +358,39 @@ mod tests {
         let json = reg.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"a_total\":3"));
-        assert!(json.contains("\"b_ns\":{\"count\":1,\"sum\":9,\"buckets\":[[16,1]]}"));
+        // 9 lands in the (8, 16] bucket; rank 1 of 1 interpolates to the
+        // bucket's upper bound for every quantile.
+        assert!(json.contains("\"b_ns\":{\"count\":1,\"sum\":9,\"p50\":16,\"p95\":16,\"p99\":16,\"buckets\":[[16,1]]}"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_log_linearly() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..100 {
+            h.observe(1000); // (512, 1024] bucket
+        }
+        // Every observation in one bucket: p50 interpolates halfway up in
+        // log space (512·2^0.5 ≈ 724), p99/p100 approach the upper bound.
+        let p50 = h.quantile(0.5);
+        assert!((700..=750).contains(&p50), "{p50}");
+        assert_eq!(h.quantile(1.0), 1024);
+        // Exact at boundaries for a uniform two-bucket split.
+        let h2 = Histogram::default();
+        h2.observe(2);
+        h2.observe(4);
+        assert_eq!(h2.quantile(0.5), 2);
+        assert_eq!(h2.quantile(1.0), 4);
+    }
+
+    #[test]
+    fn prometheus_includes_quantile_samples() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("q_ns", "q").observe(9);
+        let text = reg.render_prometheus();
+        assert!(text.contains("q_ns_p50 16"));
+        assert!(text.contains("q_ns_p95 16"));
+        assert!(text.contains("q_ns_p99 16"));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! read.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Stats for one operator instance in the §5 operator DAG.
 #[derive(Debug, Clone, Default)]
@@ -217,11 +219,15 @@ pub struct SlowQuery {
 }
 
 /// Bounded ring buffer of the most recent queries slower than a threshold.
+///
+/// All methods take `&self`: the threshold is an atomic and the ring sits
+/// behind a mutex, so the log can be shared between the engine and the
+/// telemetry endpoint without wrapping it in another lock.
 #[derive(Debug)]
 pub struct SlowQueryLog {
-    threshold_ns: u64,
+    threshold_ns: AtomicU64,
     capacity: usize,
-    entries: VecDeque<SlowQuery>,
+    entries: Mutex<VecDeque<SlowQuery>>,
 }
 
 impl Default for SlowQueryLog {
@@ -233,40 +239,63 @@ impl Default for SlowQueryLog {
 
 impl SlowQueryLog {
     pub fn new(threshold_ns: u64, capacity: usize) -> Self {
-        SlowQueryLog { threshold_ns, capacity: capacity.max(1), entries: VecDeque::new() }
+        SlowQueryLog {
+            threshold_ns: AtomicU64::new(threshold_ns),
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
     }
 
     pub fn threshold_ns(&self) -> u64 {
-        self.threshold_ns
+        self.threshold_ns.load(Ordering::Relaxed)
     }
 
-    pub fn set_threshold_ns(&mut self, ns: u64) {
-        self.threshold_ns = ns;
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Record a query if it crossed the threshold; evicts the oldest entry
     /// once full. Returns whether it was recorded.
-    pub fn record(&mut self, query: &str, total_ns: u64, result_rows: u64) -> bool {
-        if total_ns < self.threshold_ns {
+    pub fn record(&self, query: &str, total_ns: u64, result_rows: u64) -> bool {
+        if total_ns < self.threshold_ns() {
             return false;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() == self.capacity {
+            entries.pop_front();
         }
-        self.entries.push_back(SlowQuery { query: query.to_string(), total_ns, result_rows });
+        entries.push_back(SlowQuery { query: query.to_string(), total_ns, result_rows });
         true
     }
 
-    pub fn entries(&self) -> impl Iterator<Item = &SlowQuery> {
-        self.entries.iter()
+    /// Snapshot of the ring, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// JSON array of the ring (the `/slow` endpoint body).
+    pub fn render_json(&self) -> String {
+        let items: Vec<String> = self
+            .entries()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"query\":\"{}\",\"total_ns\":{},\"result_rows\":{}}}",
+                    crate::trace::esc(&e.query),
+                    e.total_ns,
+                    e.result_rows
+                )
+            })
+            .collect();
+        format!("{{\"threshold_ns\":{},\"entries\":[{}]}}\n", self.threshold_ns(), items.join(","))
     }
 }
 
@@ -289,14 +318,18 @@ mod tests {
 
     #[test]
     fn slow_query_log_is_a_bounded_ring() {
-        let mut log = SlowQueryLog::new(1000, 2);
+        let log = SlowQueryLog::new(1000, 2);
         assert!(!log.record("fast", 999, 0));
         assert!(log.record("q1", 1000, 1));
         assert!(log.record("q2", 2000, 2));
         assert!(log.record("q3", 3000, 3));
-        let queries: Vec<&str> = log.entries().map(|e| e.query.as_str()).collect();
+        let entries = log.entries();
+        let queries: Vec<&str> = entries.iter().map(|e| e.query.as_str()).collect();
         assert_eq!(queries, vec!["q2", "q3"], "oldest entry evicted");
         assert_eq!(log.len(), 2);
+        let json = log.render_json();
+        assert!(json.contains("\"threshold_ns\":1000"));
+        assert!(json.contains("\"query\":\"q3\""));
     }
 
     #[test]

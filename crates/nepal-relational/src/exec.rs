@@ -14,6 +14,7 @@
 use std::collections::{HashMap, HashSet};
 
 use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid, FOREVER};
+use nepal_obs::SpanHandle;
 use nepal_rpe::{EvalOptions, Label, Pathway, RpePlan, Seeds};
 use nepal_schema::{format_ts, Schema, Ts, Value};
 
@@ -66,6 +67,9 @@ struct Evaluator<'a> {
     temp_counter: u32,
     rows_scanned: u64,
     rows_joined: u64,
+    /// Live span the scans and join passes attach child spans to; inert
+    /// outside a traced execution.
+    span: &'a SpanHandle,
 }
 
 impl<'a> Evaluator<'a> {
@@ -116,6 +120,9 @@ impl<'a> Evaluator<'a> {
         let atom = self.plan.atoms[atom_idx as usize].clone();
         let label = Label::Atom(atom_idx);
         let is_node = atom.is_node;
+        let scan_span = self.span.child("Scan");
+        scan_span.attr("atom", &atom.display);
+        let scanned_before = self.rows_scanned;
         let mut rows = Vec::new();
         let tables = self.tables_for_label(label);
         for (tname, _) in &tables {
@@ -159,6 +166,8 @@ impl<'a> Evaluator<'a> {
             preds_sql(&atom),
             self.temporal_sql(),
         ));
+        scan_span.attr("rows_scanned", self.rows_scanned - scanned_before);
+        scan_span.attr("rows_out", rows.len());
         rows
     }
 
@@ -296,6 +305,8 @@ impl<'a> Evaluator<'a> {
 
     /// One directional pass: returns accepting rows keyed by (seed, tr).
     fn pass(&mut self, seeds_by_state: HashMap<u32, Vec<Row>>, forwards: bool) -> Vec<Row> {
+        let join_span = self.span.child(if forwards { "Join(fwd)" } else { "Join(bwd)" });
+        let joined_before = self.rows_joined;
         // Topological order of the NFA DAG.
         let order = topo_order(self.plan, forwards);
         let mut tables: HashMap<u32, Vec<Row>> = seeds_by_state;
@@ -348,6 +359,8 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        join_span.attr("rows_joined", self.rows_joined - joined_before);
+        join_span.attr("accepted", accepted.len());
         accepted
     }
 }
@@ -475,8 +488,23 @@ pub fn evaluate_relational(
     seeds: Seeds,
     opts: &EvalOptions,
 ) -> Result<RelResult> {
+    evaluate_relational_spanned(db, schema, plan, filter, seeds, opts, &SpanHandle::none())
+}
+
+/// [`evaluate_relational`] under a live span: table scans become `Scan`
+/// child spans and each directional frontier pass a `Join(fwd)`/`Join(bwd)`
+/// span, carrying rows-scanned/rows-joined attributes.
+pub fn evaluate_relational_spanned(
+    db: &mut RelDb,
+    schema: &Schema,
+    plan: &RpePlan,
+    filter: TimeFilter,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    span: &SpanHandle,
+) -> Result<RelResult> {
     let mut ev =
-        Evaluator { db, schema, plan, filter, sql: Vec::new(), temp_counter: 0, rows_scanned: 0, rows_joined: 0 };
+        Evaluator { db, schema, plan, filter, sql: Vec::new(), temp_counter: 0, rows_scanned: 0, rows_joined: 0, span };
     let range = filter.is_range();
     let init_times = |rows: &mut Vec<Row>| {
         if !range {

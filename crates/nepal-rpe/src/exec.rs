@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use nepal_graph::FOREVER;
 use nepal_graph::{GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
-use nepal_obs::{ExecTrace, OpStats};
+use nepal_obs::{ExecTrace, OpStats, SpanHandle};
 use nepal_schema::Schema;
 
 use crate::anchor::{apply_selectivity, CardinalityEstimator};
@@ -414,9 +414,25 @@ pub fn evaluate_traced(
     plan: &RpePlan,
     seeds: Seeds,
     opts: &EvalOptions,
-    mut trace: Option<&mut ExecTrace>,
+    trace: Option<&mut ExecTrace>,
 ) -> Vec<Pathway> {
-    let enabled = trace.is_some();
+    evaluate_obs(view, plan, seeds, opts, trace, &SpanHandle::none())
+}
+
+/// The fully observable evaluator: optional profiling trace *and* an
+/// optional live span. Operator instances become child spans of `span`
+/// (the `Select` as a real child, the accumulated `Extend`/`Union` work as
+/// duration spans) in addition to the [`OpStats`] rows. An inactive span
+/// plus `trace == None` keeps the no-clock-reads contract.
+pub fn evaluate_obs(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    mut trace: Option<&mut ExecTrace>,
+    span: &SpanHandle,
+) -> Vec<Pathway> {
+    let enabled = trace.is_some() || span.is_active();
     let schema = view.graph.schema().clone();
     let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let ctx = Ctx { view, plan, cap };
@@ -432,7 +448,12 @@ pub fn evaluate_traced(
             for &occ in &plan.anchor.atoms {
                 let atom = &plan.atoms[occ as usize];
                 let t_sel = enabled.then(Instant::now);
+                let sel_span = span.child("Select");
+                sel_span.attr("atom", &atom.display);
                 let (candidates, scanned) = anchor_scan_counted(view, &schema, atom);
+                sel_span.attr("rows_in", scanned);
+                sel_span.attr("rows_out", candidates.len());
+                drop(sel_span);
                 if let Some(trc) = trace.as_deref_mut() {
                     let mut op = OpStats::new("Select", &atom.display);
                     op.rows_in = scanned;
@@ -609,6 +630,19 @@ pub fn evaluate_traced(
                     op.depth = 1;
                     trc.ops.push(op);
                 }
+                // The extend/union work is interleaved across the candidate
+                // loop; report the accumulated durations as completed spans.
+                span.span_dur(
+                    "Extend(fwd)",
+                    fwd_ns,
+                    &[("atom", atom.display.clone()), ("halves", fwd_halves.to_string())],
+                );
+                span.span_dur(
+                    "Extend(bwd)",
+                    bwd_ns,
+                    &[("atom", atom.display.clone()), ("halves", bwd_halves.to_string())],
+                );
+                span.span_dur("Union", union_ns, &[("atom", atom.display.clone()), ("pairs_in", union_in.to_string())]);
             }
         }
         Seeds::Sources(srcs) => {
@@ -634,6 +668,7 @@ pub fn evaluate_traced(
                     add_result(h.elems, h.times, &mut results);
                 }
             }
+            let elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
             if let Some(trc) = trace.as_deref_mut() {
                 let mut op = OpStats::new("Select", "imported source seeds");
                 op.rows_in = srcs.len() as u64;
@@ -642,10 +677,15 @@ pub fn evaluate_traced(
                 let mut op = OpStats::new("Extend(fwd)", "from imported sources");
                 op.rows_in = seeded;
                 op.rows_out = halves;
-                op.elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                op.elapsed_ns = elapsed_ns;
                 op.depth = 1;
                 trc.ops.push(op);
             }
+            span.span_dur(
+                "Extend(fwd)",
+                elapsed_ns,
+                &[("seeds", format!("{seeded}/{}", srcs.len())), ("halves", halves.to_string())],
+            );
         }
         Seeds::Targets(tgts) => {
             let t0 = enabled.then(Instant::now);
@@ -674,6 +714,7 @@ pub fn evaluate_traced(
                     add_result(elems, h.times, &mut results);
                 }
             }
+            let elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
             if let Some(trc) = trace.as_deref_mut() {
                 let mut op = OpStats::new("Select", "imported target seeds");
                 op.rows_in = tgts.len() as u64;
@@ -682,10 +723,15 @@ pub fn evaluate_traced(
                 let mut op = OpStats::new("Extend(bwd)", "from imported targets");
                 op.rows_in = seeded;
                 op.rows_out = halves;
-                op.elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                op.elapsed_ns = elapsed_ns;
                 op.depth = 1;
                 trc.ops.push(op);
             }
+            span.span_dur(
+                "Extend(bwd)",
+                elapsed_ns,
+                &[("seeds", format!("{seeded}/{}", tgts.len())), ("halves", halves.to_string())],
+            );
         }
     }
 
@@ -693,6 +739,8 @@ pub fn evaluate_traced(
         trc.bump("temporal_prunes", m.temporal_prunes);
         trc.bump("match_memo_entries", m.memo.len() as u64);
     }
+    span.attr("temporal_prunes", m.temporal_prunes);
+    span.attr("match_memo_entries", m.memo.len());
 
     let mut out: Vec<Pathway> = Vec::new();
     for (elems, times) in results {

@@ -60,8 +60,8 @@ pub use anchor::{AnchorSet, CardinalityEstimator, HintEstimator};
 pub use ast::{Atom, CmpOp, Pred, Rpe};
 pub use bind::{bind, BoundAtom, BoundPred, BoundRpe, Norm};
 pub use error::{Result, RpeError};
-pub use exec::{anchor_scan, evaluate, evaluate_traced, EvalOptions, GraphEstimator, Seeds};
+pub use exec::{anchor_scan, evaluate, evaluate_obs, evaluate_traced, EvalOptions, GraphEstimator, Seeds};
 pub use nfa::{compile, Label, Nfa, Transition};
 pub use parser::parse_rpe;
 pub use path::Pathway;
-pub use plan::{plan_rpe, RpePlan};
+pub use plan::{plan_rpe, plan_rpe_spanned, RpePlan};

@@ -5,6 +5,7 @@
 //! taken during evaluation is an `Extend` (forwards or backwards), and the
 //! per-seed result merge is the `Union`.
 
+use nepal_obs::SpanHandle;
 use nepal_schema::{ClassId, Schema, NODE};
 
 use crate::anchor::{select_anchor, AnchorSet, CardinalityEstimator};
@@ -63,10 +64,30 @@ fn lca_of_labels(schema: &Schema, atoms: &[BoundAtom], labels: &[Label]) -> Clas
 
 /// Bind, normalize, compile, and anchor an RPE.
 pub fn plan_rpe(schema: &Schema, rpe: &Rpe, est: &dyn CardinalityEstimator) -> Result<RpePlan> {
+    plan_rpe_spanned(schema, rpe, est, &SpanHandle::none())
+}
+
+/// [`plan_rpe`] under a live span: binding/compilation and the cost-based
+/// anchor selection become child spans carrying candidate counts and the
+/// chosen anchor's cost. An inactive span adds no work.
+pub fn plan_rpe_spanned(
+    schema: &Schema,
+    rpe: &Rpe,
+    est: &dyn CardinalityEstimator,
+    span: &SpanHandle,
+) -> Result<RpePlan> {
+    let bind_span = span.child("bind+compile");
     let bound = bind(schema, rpe)?;
     let kinds: Vec<bool> = bound.atoms.iter().map(|a| a.is_node).collect();
     let nfa = compile(&bound.norm, &kinds);
+    bind_span.attr("atoms", bound.atoms.len());
+    bind_span.attr("nfa_states", nfa.n_states);
+    drop(bind_span);
+    let anchor_span = span.child("anchor-select");
     let (anchor, candidates) = select_anchor(&bound.norm, &bound.atoms, schema, est)?;
+    anchor_span.attr("candidates", candidates.len());
+    anchor_span.attr("cost", format!("{:.1}", anchor.cost));
+    drop(anchor_span);
     let max_elements = nfa.max_elements();
     let source_class = lca_of_labels(schema, &bound.atoms, &nfa.first_labels());
     let target_class = lca_of_labels(schema, &bound.atoms, &nfa.last_labels());

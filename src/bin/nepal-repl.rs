@@ -14,6 +14,9 @@
 //! :profile <query>       run with profiling and print the operator trace
 //! :metrics               engine metrics in Prometheus text format
 //! :slow                  recent slow queries (ring buffer)
+//! :trace                 tracing status and buffered traces
+//! :trace on|off          enable/disable hierarchical span tracing
+//! :trace export <file>   write the latest trace as Chrome trace-event JSON
 //! :stats                 graph statistics
 //! :quit                  exit
 //! EXPLAIN ANALYZE <q>    execute <q> and print its profile
@@ -67,6 +70,7 @@ fn main() {
         if line == ":help" {
             println!(
                 ":schema | :stats | :plan <rpe> | :sql <query> | :profile <query> | :metrics | :slow | :quit\n\
+                 :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
                  <anything else>           executed as a Nepal query\n\
                  example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)\n\
@@ -112,6 +116,10 @@ fn main() {
                     println!("{:>10}  {:>6} row(s)  {}", fmt_ns(e.total_ns), e.result_rows, e.query);
                 }
             }
+            continue;
+        }
+        if line == ":trace" || line.starts_with(":trace ") {
+            run_trace_command(&engine, line.strip_prefix(":trace").unwrap_or("").trim());
             continue;
         }
         if let Some(q) = line.strip_prefix(":profile ") {
@@ -177,6 +185,47 @@ fn main() {
                 }
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn run_trace_command(engine: &Engine, arg: &str) {
+    match arg {
+        "" => {
+            let t = &engine.tracer;
+            println!(
+                "tracing: {}  sample: 1-in-{}  slow keep: {}  buffered traces: {}",
+                if t.enabled() { "on" } else { "off" },
+                t.sample_every(),
+                fmt_ns(t.slow_threshold_ns()),
+                t.len()
+            );
+            for s in t.summaries() {
+                println!("  #{:<4} {:>10}  {:>3} span(s)  {}", s.id, fmt_ns(s.dur_ns), s.spans, s.name);
+            }
+        }
+        "on" => {
+            engine.tracer.set_enabled(true);
+            println!("tracing on (1-in-{} sampling; slow queries always kept)", engine.tracer.sample_every());
+        }
+        "off" => {
+            engine.tracer.set_enabled(false);
+            println!("tracing off");
+        }
+        _ => {
+            if let Some(file) = arg.strip_prefix("export").map(str::trim).filter(|f| !f.is_empty()) {
+                match engine.tracer.export_latest_chrome() {
+                    Some(json) => match std::fs::write(file, &json) {
+                        Ok(()) => {
+                            println!("wrote {file} ({} bytes); open in chrome://tracing or ui.perfetto.dev", json.len())
+                        }
+                        Err(e) => println!("error: could not write {file}: {e}"),
+                    },
+                    None => println!("no traces buffered; :trace on, run a query, then export"),
+                }
+            } else {
+                println!("usage: :trace | :trace on | :trace off | :trace export <file>");
+            }
         }
     }
 }

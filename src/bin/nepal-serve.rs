@@ -1,0 +1,126 @@
+//! Long-running Nepal demo server: Gremlin wire endpoint + telemetry HTTP.
+//!
+//! ```text
+//! cargo run --release --bin nepal-serve                  # defaults
+//! cargo run --release --bin nepal-serve -- --http 9464 --gremlin 8182 --ttl 120
+//! ```
+//!
+//! Starts a Gremlin server over the virtualized demo inventory, an engine
+//! with native / relational / gremlin backends and span tracing enabled,
+//! and a std-only telemetry HTTP listener serving:
+//!
+//! ```text
+//! GET /metrics        Prometheus text format (engine + store gauges)
+//! GET /metrics.json   the same registry as JSON
+//! GET /healthz        liveness + registered health checks
+//! GET /slow           slow-query ring buffer
+//! GET /traces         buffered trace summaries
+//! GET /traces/<id>    one trace as Chrome trace-event JSON
+//! ```
+//!
+//! `--ttl <seconds>` exits after that many seconds (0 = run forever) so CI
+//! can start the server in the background without leaking it.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend};
+use nepal::graph::{StoreGauges, TemporalGraph};
+use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer};
+use nepal::obs::{Telemetry, TelemetryServer};
+use nepal::workload::{generate_virtualized, VirtParams};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let http_port: u16 = arg_value(&args, "--http").and_then(|v| v.parse().ok()).unwrap_or(9464);
+    let gremlin_port: u16 = arg_value(&args, "--gremlin").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ttl_secs: u64 = arg_value(&args, "--ttl").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
+    let graph: Arc<TemporalGraph> = Arc::new(generate_virtualized(VirtParams::default()).graph);
+
+    // Engine with all three backends; tracing on so every request is
+    // eligible for the trace ring served at /traces.
+    let mut registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
+    match RelationalBackend::from_graph(&graph) {
+        Ok(pg) => registry.add("pg", Box::new(pg)),
+        Err(e) => eprintln!("warning: relational backend unavailable ({e})"),
+    }
+    let mut engine = Engine::new(registry);
+    engine.tracer.set_enabled(true);
+    engine.tracer.set_sample_every(1);
+
+    // Gremlin wire endpoint over a property-graph mirror, sharing the
+    // engine's tracer so server-side request spans land in the same ring.
+    let pg = Arc::new(RwLock::new(property_graph_from(&graph)));
+    let server = match GremlinServer::start_addr(pg, &format!("127.0.0.1:{gremlin_port}"), Some(engine.tracer.clone()))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind gremlin server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let gremlin_addr = server.addr;
+    match server.connect() {
+        Ok(stream) => {
+            let client = GremlinClient::new(stream);
+            engine.registry.add("gremlin", Box::new(GremlinBackend::new(client, graph.schema().clone())));
+        }
+        Err(e) => eprintln!("warning: gremlin backend unavailable ({e})"),
+    }
+
+    // Telemetry endpoint: engine metrics + store gauges, health checks,
+    // slow log and the trace ring.
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    let gauges = Arc::new(StoreGauges::register(&engine.metrics));
+    {
+        let (gauges, graph) = (gauges.clone(), graph.clone());
+        telemetry.add_refresher(move || gauges.refresh(&graph));
+    }
+    {
+        let graph = graph.clone();
+        telemetry.add_health("store", move || Ok(format!("{} entities", graph.num_entities())));
+    }
+    {
+        let stats = server.stats.clone();
+        telemetry.add_health("gremlin", move || {
+            Ok(format!("{} request(s) served", stats.requests.load(std::sync::atomic::Ordering::Relaxed)))
+        });
+    }
+    let http = match TelemetryServer::start(telemetry, &format!("127.0.0.1:{http_port}")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind telemetry server: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Warm the metrics with one traced query through each backend.
+    for backend in ["native", "pg", "gremlin"] {
+        let q = format!(
+            "Retrieve P From PATHS P USING {backend} Where P MATCHES VM()->[Vertical()]{{1,4}}->Host(host_id=1015)"
+        );
+        match engine.query(&q) {
+            Ok(r) => eprintln!("warm-up ({backend}): {} row(s)", r.rows.len()),
+            Err(e) => eprintln!("warm-up ({backend}) failed: {e}"),
+        }
+    }
+
+    println!("gremlin: {gremlin_addr}");
+    println!("telemetry: http://{}", http.local_addr());
+    println!("try: curl -s http://{}/metrics | head", http.local_addr());
+
+    if ttl_secs == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(ttl_secs));
+    eprintln!("ttl reached; shutting down");
+}

@@ -1,0 +1,201 @@
+//! End-to-end observability acceptance tests: hierarchical traces through
+//! the full engine, cross-wire client/server correlation over a real TCP
+//! Gremlin server, Chrome trace-event export validity, and the telemetry
+//! HTTP endpoint over a real socket.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use nepal::core::{engine_over, BackendRegistry, Engine, GremlinBackend, NativeBackend};
+use nepal::graph::TemporalGraph;
+use nepal::gremlin::{parse_json, property_graph_from, GremlinClient, GremlinServer};
+use nepal::obs::{Telemetry, TelemetryServer, TRACK_SERVER};
+use nepal::schema::dsl::parse_schema;
+use nepal::schema::Value;
+
+const QUERY: &str = "Retrieve P From PATHS P Where P MATCHES VM()->HostedOn()->Host(host_id=7)";
+
+fn demo_graph() -> Arc<TemporalGraph> {
+    let schema = Arc::new(
+        parse_schema(
+            r#"
+            node VM { vm_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            allow HostedOn (VM -> Host)
+            "#,
+        )
+        .unwrap(),
+    );
+    let vm_class = schema.class_by_name("VM").unwrap();
+    let host_class = schema.class_by_name("Host").unwrap();
+    let hosted = schema.class_by_name("HostedOn").unwrap();
+    let mut g = TemporalGraph::new(schema);
+    let host = g.insert_node(host_class, vec![Value::Int(7)], 0).unwrap();
+    for i in 0..4 {
+        let vm = g.insert_node(vm_class, vec![Value::Int(50 + i)], 0).unwrap();
+        g.insert_edge(hosted, vm, host, vec![], 0).unwrap();
+    }
+    Arc::new(g)
+}
+
+/// Chrome trace-event "X" events must parse as JSON and be well nested:
+/// every child span's interval lies within its parent's.
+#[test]
+fn chrome_export_is_valid_json_with_well_nested_spans() {
+    let mut engine = engine_over(demo_graph());
+    engine.tracer.set_enabled(true);
+    engine.tracer.set_sample_every(1);
+    let rows = engine.query(QUERY).unwrap().rows.len();
+    assert_eq!(rows, 4);
+
+    let json = engine.tracer.export_latest_chrome().expect("a trace was recorded");
+    let doc = parse_json(&json).expect("export is valid JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+
+    // Collect complete events keyed by span id.
+    let mut by_id = std::collections::BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let id = ev.get("args").and_then(|a| a.get("span_id")).and_then(|v| v.as_u64()).expect("span_id");
+        let parent = ev.get("args").and_then(|a| a.get("parent_id")).and_then(|v| v.as_u64()).expect("parent_id");
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("dur");
+        by_id.insert(id, (parent, ts, dur));
+    }
+    assert!(by_id.len() >= 5, "expected a span tree, got {} spans", by_id.len());
+
+    let names: Vec<&str> = events.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+    for phase in ["parse", "plan", "execute", "join", "head"] {
+        assert!(names.contains(&phase), "missing {phase} span in {names:?}");
+    }
+
+    let mut roots = 0;
+    for (id, (parent, ts, dur)) in &by_id {
+        if *parent == 0 {
+            roots += 1;
+            continue;
+        }
+        let (_, pts, pdur) = by_id.get(parent).unwrap_or_else(|| panic!("span {id} has unknown parent {parent}"));
+        // 3-decimal µs rounding in the exporter → allow a 1ns slop.
+        assert!(*ts + 0.002 >= *pts, "span {id} starts before parent {parent}");
+        assert!(ts + dur <= pts + pdur + 0.002, "span {id} ends after parent {parent}");
+    }
+    assert_eq!(roots, 1, "exactly one root span");
+}
+
+/// Acceptance: a query through the Gremlin backend against a real TCP
+/// server yields ONE trace holding both the client round-trip spans and
+/// the server-side request spans (correlated via the requestId echo), and
+/// that trace exports as Chrome JSON with distinct client/server threads.
+#[test]
+fn gremlin_query_produces_single_cross_wire_trace() {
+    let graph = demo_graph();
+    let registry = BackendRegistry::new("native", Box::new(NativeBackend::new(graph.clone())));
+    let mut engine = Engine::new(registry);
+    engine.tracer.set_enabled(true);
+    engine.tracer.set_sample_every(1);
+
+    let pg = Arc::new(RwLock::new(property_graph_from(&graph)));
+    let server = GremlinServer::start_addr(pg, "127.0.0.1:0", Some(engine.tracer.clone())).unwrap();
+    let client = GremlinClient::new(server.connect().unwrap());
+    engine.registry.add("gremlin", Box::new(GremlinBackend::new(client, graph.schema().clone())));
+
+    let q = QUERY.replace("From PATHS P", "From PATHS P USING gremlin");
+    let rows = engine.query(&q).unwrap().rows.len();
+    assert_eq!(rows, 4);
+
+    // Find the engine's trace for the query (the ring also holds the
+    // server's own gremlin:request traces).
+    let summaries = engine.tracer.summaries();
+    let qt = summaries.iter().find(|s| s.name.contains("USING gremlin")).expect("query trace recorded");
+    let trace = engine.tracer.get(qt.id).unwrap();
+
+    let round_trips: Vec<_> = trace.spans.iter().filter(|s| s.name == "gremlin:round-trip").collect();
+    assert!(!round_trips.is_empty(), "client round-trip spans in the query trace");
+    let server_spans: Vec<_> = trace.spans.iter().filter(|s| s.track == TRACK_SERVER).collect();
+    assert!(!server_spans.is_empty(), "server-side spans grafted into the same trace");
+    assert!(
+        server_spans.iter().any(|s| s.name == "evaluate"),
+        "server evaluate phase present: {:?}",
+        server_spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    // Correlation: each grafted server span carries the request id of a
+    // client round trip.
+    for s in &server_spans {
+        let rid = s.attrs.iter().find(|(k, _)| k == "requestId").map(|(_, v)| v.as_str()).expect("requestId attr");
+        assert!(
+            round_trips.iter().any(|rt| rt.attrs.iter().any(|(k, v)| k == "request_id" && v == rid)),
+            "server span {} correlates with a client round trip",
+            s.name
+        );
+    }
+
+    // The server also recorded its own request trace.
+    assert!(summaries.iter().any(|s| s.name == "gremlin:request"), "server-side request trace in the ring");
+
+    // Chrome export shows both sides as separate named threads.
+    let json = engine.tracer.export_chrome(qt.id).unwrap();
+    let doc = parse_json(&json).unwrap();
+    let thread_names: Vec<&str> = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+        .collect();
+    assert!(thread_names.contains(&"client"), "client thread in {thread_names:?}");
+    assert!(thread_names.contains(&"server"), "server thread in {thread_names:?}");
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    let status: u16 = resp.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = resp.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// The telemetry endpoint answers real HTTP over a real socket.
+#[test]
+fn telemetry_endpoint_serves_metrics_and_health_over_socket() {
+    let mut engine = engine_over(demo_graph());
+    engine.tracer.set_enabled(true);
+    engine.tracer.set_sample_every(1);
+    engine.query(QUERY).unwrap();
+
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    telemetry.add_health("store", || Ok("ok".into()));
+    let server = TelemetryServer::start(telemetry, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("nepal_queries_total 1"), "{body}");
+    assert!(body.contains("nepal_query_duration_ns_p50"), "quantiles exported: {body}");
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"store\""), "{body}");
+
+    let (status, body) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    assert!(parse_json(&body).is_ok(), "metrics.json parses: {body}");
+
+    // The trace ring is reachable through the endpoint too.
+    let id = engine.tracer.latest_id().unwrap();
+    let (status, body) = http_get(addr, &format!("/traces/{id}"));
+    assert_eq!(status, 200);
+    assert!(body.contains("traceEvents"), "{body}");
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+}
