@@ -1,15 +1,16 @@
 //! Regenerate every table of the paper's evaluation section.
 //!
 //! ```text
-//! reproduce [table1] [table2] [table3] [storage] [all]
+//! reproduce [table1] [table2] [table3] [storage] [scaling] [all]
 //!           [--full]          # paper-scale legacy graph (1.6M/7.1M)
 //!           [--instances N]   # query instances per type (default 50, as §6)
-//!           [--json]          # also write BENCH_table1.json / BENCH_table2.json
+//!           [--json]          # also write BENCH_table1.json / BENCH_table2.json /
+//!                             # BENCH_scaling.json
 //! ```
 
 use nepal_bench::{
-    format_ablation, format_query_table, format_storage, metrics_snapshot_json, query_rows_json, run_storage,
-    run_table1, run_table2, run_table3,
+    format_ablation, format_query_table, format_scaling, format_storage, metrics_snapshot_json, query_rows_json,
+    run_scaling, run_storage, run_table1, run_table2, run_table3, scaling_json,
 };
 use nepal_workload::LegacyParams;
 
@@ -70,6 +71,15 @@ fn main() {
     if wants("storage") {
         let rows = run_storage(legacy_params);
         println!("{}", format_storage(&rows));
+    }
+    if wants("scaling") {
+        // The sweep re-runs every family once per thread count; cap the
+        // instance count so the default `reproduce` stays bounded.
+        let rows = run_scaling(instances.min(10), 42);
+        println!("{}", format_scaling(&rows));
+        if json {
+            write_json("BENCH_scaling.json", &scaling_json(&rows));
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
 use nepal_gremlin::{evaluate_gremlin_spanned, GremlinClient, GremlinTime};
-use nepal_obs::{ExecTrace, OpStats, SpanHandle};
+use nepal_obs::{ExecTrace, MetricsRegistry, OpStats, SpanHandle};
 use nepal_relational::{db_from_graph, evaluate_relational_spanned, RelDb};
 use nepal_rpe::anchor::apply_selectivity;
 use nepal_rpe::{BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
@@ -20,8 +20,10 @@ use nepal_schema::{ClassId, Schema, Value};
 
 use crate::error::{NepalError, Result};
 
-/// A query-evaluation target.
-pub trait Backend: Send {
+/// A query-evaluation target. `Send + Sync` so the engine can evaluate
+/// independent range variables against the same backend from scoped
+/// worker threads (see [`Backend::eval_shared`]).
+pub trait Backend: Send + Sync {
     /// Human-readable backend kind.
     fn kind(&self) -> &'static str;
 
@@ -64,6 +66,32 @@ pub trait Backend: Send {
         }
     }
 
+    /// Whether this backend can evaluate through a shared reference
+    /// ([`Backend::eval_shared`]), allowing the engine to run several
+    /// range variables against it concurrently.
+    fn supports_shared_eval(&self) -> bool {
+        false
+    }
+
+    /// Evaluate through `&self` (no translator state to mutate). Backends
+    /// that buffer generated code or wire statistics per call cannot offer
+    /// this; the native store can.
+    fn eval_shared(
+        &self,
+        _plan: &RpePlan,
+        _filter: TimeFilter,
+        _seeds: Seeds,
+        _opts: &EvalOptions,
+        _span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        Err(NepalError::Unsupported("backend does not support shared-reference evaluation".into()))
+    }
+
+    /// Attach the engine's metrics registry so evaluation-level counters
+    /// (parallel chunks, steals, worker busy time) land in engine metrics.
+    /// Default: ignore.
+    fn attach_metrics(&mut self, _metrics: &Arc<MetricsRegistry>) {}
+
     /// Field values (and runtime class) of an element, for Select
     /// post-processing.
     fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)>;
@@ -85,11 +113,12 @@ pub trait Backend: Send {
 /// Backend over the in-process temporal graph store.
 pub struct NativeBackend {
     pub graph: Arc<TemporalGraph>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl NativeBackend {
     pub fn new(graph: Arc<TemporalGraph>) -> Self {
-        NativeBackend { graph }
+        NativeBackend { graph, metrics: None }
     }
 }
 
@@ -129,7 +158,27 @@ impl Backend for NativeBackend {
         span: &SpanHandle,
     ) -> Result<Vec<Pathway>> {
         let view = GraphView::new(&self.graph, filter);
-        Ok(nepal_rpe::evaluate_obs(&view, plan, seeds, opts, trace, span))
+        Ok(nepal_rpe::evaluate_metered(&view, plan, seeds, opts, trace, span, self.metrics.as_deref()))
+    }
+
+    fn supports_shared_eval(&self) -> bool {
+        true
+    }
+
+    fn eval_shared(
+        &self,
+        plan: &RpePlan,
+        filter: TimeFilter,
+        seeds: Seeds,
+        opts: &EvalOptions,
+        span: &SpanHandle,
+    ) -> Result<Vec<Pathway>> {
+        let view = GraphView::new(&self.graph, filter);
+        Ok(nepal_rpe::evaluate_metered(&view, plan, seeds, opts, None, span, self.metrics.as_deref()))
+    }
+
+    fn attach_metrics(&mut self, metrics: &Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics.clone());
     }
 
     fn fields(&mut self, uid: Uid, filter: TimeFilter) -> Option<(ClassId, Vec<Value>)> {
@@ -292,7 +341,7 @@ impl<T: nepal_gremlin::server::Transport> GremlinBackend<T> {
     }
 }
 
-impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
+impl<T: nepal_gremlin::server::Transport + Sync> Backend for GremlinBackend<T> {
     fn kind(&self) -> &'static str {
         "gremlin"
     }
@@ -402,6 +451,7 @@ impl<T: nepal_gremlin::server::Transport> Backend for GremlinBackend<T> {
 pub struct BackendRegistry {
     backends: HashMap<String, Box<dyn Backend>>,
     default: String,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl BackendRegistry {
@@ -409,11 +459,23 @@ impl BackendRegistry {
         let default = default_name.into();
         let mut backends = HashMap::new();
         backends.insert(default.clone(), backend);
-        BackendRegistry { backends, default }
+        BackendRegistry { backends, default, metrics: None }
     }
 
     pub fn add(&mut self, name: impl Into<String>, backend: Box<dyn Backend>) {
+        let mut backend = backend;
+        if let Some(m) = &self.metrics {
+            backend.attach_metrics(m);
+        }
         self.backends.insert(name.into(), backend);
+    }
+
+    /// Attach a metrics registry to every current and future backend.
+    pub fn attach_metrics(&mut self, metrics: &Arc<MetricsRegistry>) {
+        for b in self.backends.values_mut() {
+            b.attach_metrics(metrics);
+        }
+        self.metrics = Some(metrics.clone());
     }
 
     pub fn default_name(&self) -> &str {

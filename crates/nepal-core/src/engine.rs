@@ -23,11 +23,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid};
+use nepal_graph::{FxHashMap, Interval, IntervalSet, TimeFilter, Uid};
 use nepal_obs::{
     AnchorCandidate, JoinStep, MetricsRegistry, QueryProfile, SlowQueryLog, SpanHandle, Tracer, VarProfile,
 };
-use nepal_rpe::{plan_rpe_spanned, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds};
+use nepal_rpe::{
+    plan_rpe_threads, resolved_threads, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds,
+};
 use nepal_schema::{Schema, Ts, Value};
 
 use crate::ast::{AggFn, Cond, Expr, Head, PathFn, QCmp, Query, SelectItem, TimeSpec};
@@ -121,11 +123,13 @@ fn spec_to_filter(spec: &TimeSpec) -> TimeFilter {
 }
 
 impl Engine {
-    pub fn new(registry: BackendRegistry) -> Engine {
+    pub fn new(mut registry: BackendRegistry) -> Engine {
+        let metrics = Arc::new(MetricsRegistry::new());
+        registry.attach_metrics(&metrics);
         Engine {
             registry,
             eval_options: EvalOptions::default(),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             slow_log: Arc::new(SlowQueryLog::default()),
             tracer: Tracer::new(),
             views: HashMap::new(),
@@ -240,6 +244,7 @@ impl Engine {
         };
 
         // --- per-variable planning ---
+        let threads = resolved_threads(self.eval_options.threads);
         let profiled = profile.is_some();
         let tplan_phase = profiled.then(Instant::now);
         let plan_span = span.child("plan");
@@ -292,7 +297,7 @@ impl Engine {
             let backend = self.registry.get(s.backend.as_deref())?;
             let tplan = profiled.then(Instant::now);
             let var_span = plan_span.child(&format!("plan:{}", s.var));
-            let plan = plan_rpe_spanned(backend.schema(), rpe, &BackendEstimator(backend), &var_span)?;
+            let plan = plan_rpe_threads(backend.schema(), rpe, &BackendEstimator(backend), &var_span, threads)?;
             var_span.attr("anchor_cost", format!("{:.1}", plan.anchor.cost));
             drop(var_span);
             if let Some(p) = profile.as_deref_mut() {
@@ -349,7 +354,61 @@ impl Engine {
             .collect();
 
         let mut evaluated: HashSet<String> = HashSet::new();
+        // When the query ranges over several independent variables (no
+        // anchor-import links between path ends), there is no profiling
+        // trace to thread through, and every involved backend can evaluate
+        // through a shared reference, fan the per-variable evaluations out
+        // over scoped threads. Results are identical to the sequential
+        // path — each variable's evaluation is already deterministic — only
+        // wall-clock time changes.
+        let pending: Vec<usize> = order.iter().copied().filter(|&i| !evals[i].prefilled).collect();
+        let fan_out = threads > 1
+            && !profiled
+            && end_links.is_empty()
+            && pending.len() >= 2
+            && pending
+                .iter()
+                .all(|&i| self.registry.get(evals[i].backend.as_deref()).is_ok_and(|b| b.supports_shared_eval()));
+        if fan_out {
+            exec_span.attr("parallel_vars", pending.len());
+            let opts = &self.eval_options;
+            let mut outs: Vec<(usize, Result<Vec<Pathway>>)> = Vec::with_capacity(pending.len());
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(pending.len());
+                for &i in &pending {
+                    let e = &evals[i];
+                    let backend = self.registry.get(e.backend.as_deref()).expect("eligibility checked above");
+                    let var_span = exec_span.child(&format!("eval:{}", e.var));
+                    var_span.attr("backend", backend.kind());
+                    let plan = e.plan.as_ref().expect("non-view variables have plans");
+                    let filter = e.filter;
+                    handles.push((
+                        i,
+                        s.spawn(move || {
+                            let r = backend.eval_shared(plan, filter, Seeds::Anchor, opts, &var_span);
+                            if let Ok(p) = &r {
+                                var_span.attr("pathways", p.len());
+                            }
+                            r
+                        }),
+                    ));
+                }
+                for (i, h) in handles {
+                    match h.join() {
+                        Ok(r) => outs.push((i, r)),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            });
+            for (i, r) in outs {
+                evals[i].pathways = r?;
+                evaluated.insert(evals[i].var.clone());
+            }
+        }
         for &i in &order {
+            if evaluated.contains(&evals[i].var) {
+                continue;
+            }
             if evals[i].prefilled {
                 evaluated.insert(evals[i].var.clone());
                 continue;
@@ -499,23 +558,82 @@ impl Engine {
                     }
                 })
                 .collect();
-            for row in &rows {
-                'cand: for (pi, _p) in evals[i].pathways.iter().enumerate() {
-                    let mut trial = row.clone();
-                    trial[i] = pi;
-                    for cond in &applicable {
-                        if let Cond::Cmp(a, op, b) = **cond {
-                            let binding = self.binding_of(&evals, &trial);
-                            let lhs = self.eval_expr_b(a, &binding, &evals, &trial)?;
-                            let rhs = self.eval_expr_b(b, &binding, &evals, &trial)?;
-                            let eq = lhs == rhs;
-                            let ok = (*op == QCmp::Eq && eq) || (*op == QCmp::Ne && !eq);
-                            if !ok {
-                                continue 'cand;
-                            }
+            // Hash-join fast path: when every applicable condition is a
+            // `source/target(X) = source/target(Y)` equality, build a hash
+            // table over the joining variable's pathway ends and probe it
+            // per row instead of testing the cross product. Emission order
+            // (rows outer, pathway index ascending inner) matches the
+            // nested loop exactly.
+            let mut key_specs: Vec<(PathFn, PathFn, usize)> = Vec::new(); // (my end, other end, other idx)
+            let hashable = !applicable.is_empty()
+                && applicable.iter().all(|c| {
+                    if let Cond::Cmp(Expr::PathEnd(fa, va), QCmp::Eq, Expr::PathEnd(fb, vb)) = **c {
+                        let spec = if *va == evals[i].var {
+                            evals.iter().position(|e| e.var == *vb).map(|j| (*fa, *fb, j))
+                        } else if *vb == evals[i].var {
+                            evals.iter().position(|e| e.var == *va).map(|j| (*fb, *fa, j))
+                        } else {
+                            None
+                        };
+                        if let Some(s) = spec {
+                            key_specs.push(s);
+                            return true;
                         }
                     }
-                    next_rows.push(trial);
+                    false
+                });
+            if hashable {
+                join_span.attr("strategy", "hash");
+                let end_of = |p: &Pathway, f: PathFn| match f {
+                    PathFn::Source => p.source().0,
+                    PathFn::Target => p.target().0,
+                };
+                // Build keys (in parallel for large pathway sets), then the
+                // table: key → ascending pathway indices.
+                let build = &evals[i].pathways;
+                let extract = |p: &Pathway| -> Vec<u64> { key_specs.iter().map(|&(my, _, _)| end_of(p, my)).collect() };
+                let keys: Vec<Vec<u64>> = if threads > 1 && build.len() >= 4096 {
+                    let (keys, _, _) =
+                        nepal_rpe::par::run_jobs(build.len(), threads, false, |_| (), |_, j| extract(&build[j]));
+                    keys
+                } else {
+                    build.iter().map(extract).collect()
+                };
+                let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+                for (pi, k) in keys.into_iter().enumerate() {
+                    table.entry(k).or_default().push(pi);
+                }
+                for row in &rows {
+                    let probe: Vec<u64> =
+                        key_specs.iter().map(|&(_, other, j)| end_of(&evals[j].pathways[row[j]], other)).collect();
+                    if let Some(cands) = table.get(&probe) {
+                        for &pi in cands {
+                            let mut trial = row.clone();
+                            trial[i] = pi;
+                            next_rows.push(trial);
+                        }
+                    }
+                }
+            } else {
+                join_span.attr("strategy", "nested");
+                for row in &rows {
+                    'cand: for (pi, _p) in evals[i].pathways.iter().enumerate() {
+                        let mut trial = row.clone();
+                        trial[i] = pi;
+                        for cond in &applicable {
+                            if let Cond::Cmp(a, op, b) = **cond {
+                                let binding = self.binding_of(&evals, &trial);
+                                let lhs = self.eval_expr_b(a, &binding, &evals, &trial)?;
+                                let rhs = self.eval_expr_b(b, &binding, &evals, &trial)?;
+                                let eq = lhs == rhs;
+                                let ok = (*op == QCmp::Eq && eq) || (*op == QCmp::Ne && !eq);
+                                if !ok {
+                                    continue 'cand;
+                                }
+                            }
+                        }
+                        next_rows.push(trial);
+                    }
                 }
             }
             rows = next_rows;

@@ -101,7 +101,7 @@ fn select_deduplicates_value_rows() {
 #[test]
 fn eval_limit_is_respected() {
     let (mut eng, _g) = fixture();
-    eng.eval_options = EvalOptions { limit: Some(1), max_elements: None };
+    eng.eval_options = EvalOptions { limit: Some(1), ..Default::default() };
     let r = eng.query("Retrieve P From PATHS P Where P MATCHES VNF()->[HostedOn()]{1,4}->Host()").unwrap();
     assert_eq!(r.rows.len(), 1);
 }

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod error;
+pub mod fxmap;
 pub mod interval;
 pub mod journal;
 pub mod metrics;
@@ -42,11 +43,12 @@ pub mod store;
 pub mod view;
 
 pub use error::{GraphError, Result};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interval::{Interval, IntervalSet, FOREVER};
 pub use journal::{
     journal_lines, load_from_file, load_graph as load_journal, save_graph as save_journal, save_to_file,
 };
 pub use metrics::StoreGauges;
 pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};
-pub use store::{AdjEntry, EdgeEntry, NodeEntry, StoreCounts, TemporalGraph, Uid, Version};
+pub use store::{AdjEntry, AdjList, EdgeEntry, NodeEntry, StoreCounts, TemporalGraph, Uid, Version};
 pub use view::{GraphView, MatchTime, TimeFilter};

@@ -81,11 +81,66 @@ impl Entry {
     }
 }
 
-/// An adjacency record: the connecting edge and the opposite endpoint.
+/// An adjacency record: the connecting edge, the opposite endpoint, and —
+/// denormalized for the evaluator's hot path — the edge's exact class and
+/// direction, so `Extend` can match a neighbor without an `edge()` lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdjEntry {
     pub edge: Uid,
     pub other: Uid,
+    /// Exact class of `edge` (classes are immutable per entity).
+    pub class: ClassId,
+    /// `true` when this entry sits in an out-adjacency list (edge leaves
+    /// the owning node), `false` for in-adjacency.
+    pub out: bool,
+}
+
+/// One class run inside an [`AdjList`]: entries `[start, start+len)` all
+/// have exactly `class`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AdjBucket {
+    class: ClassId,
+    start: u32,
+    len: u32,
+}
+
+/// A node's adjacency list, kept grouped by exact edge class so the
+/// evaluator can skip whole classes that no NFA transition can match
+/// (two array reads instead of a per-neighbor lookup).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdjList {
+    entries: Vec<AdjEntry>,
+    buckets: Vec<AdjBucket>,
+}
+
+/// Shared empty list for uids without an adjacency slot.
+static EMPTY_ADJ: AdjList = AdjList { entries: Vec::new(), buckets: Vec::new() };
+
+impl AdjList {
+    /// All entries, grouped by exact edge class (insertion order within a
+    /// class, classes in first-seen order).
+    pub fn entries(&self) -> &[AdjEntry] {
+        &self.entries
+    }
+
+    /// Iterate `(exact edge class, entries of that class)` runs.
+    pub fn buckets(&self) -> impl Iterator<Item = (ClassId, &[AdjEntry])> {
+        self.buckets.iter().map(|b| (b.class, &self.entries[b.start as usize..(b.start + b.len) as usize]))
+    }
+
+    fn insert(&mut self, e: AdjEntry) {
+        if let Some(i) = self.buckets.iter().position(|b| b.class == e.class) {
+            let at = (self.buckets[i].start + self.buckets[i].len) as usize;
+            self.entries.insert(at, e);
+            self.buckets[i].len += 1;
+            for b in &mut self.buckets[i + 1..] {
+                b.start += 1;
+            }
+        } else {
+            self.buckets.push(AdjBucket { class: e.class, start: self.entries.len() as u32, len: 1 });
+            self.entries.push(e);
+        }
+    }
 }
 
 /// Per-kind storage totals (see [`TemporalGraph::counts`]).
@@ -109,8 +164,8 @@ pub struct TemporalGraph {
     entries: Vec<Entry>,
     /// uid → adjacency slot (nodes only; `u32::MAX` for edges).
     adj_slot: Vec<u32>,
-    out_adj: Vec<Vec<AdjEntry>>,
-    in_adj: Vec<Vec<AdjEntry>>,
+    out_adj: Vec<AdjList>,
+    in_adj: Vec<AdjList>,
     /// Per exact class: every uid ever created with that class.
     extents: Vec<Vec<Uid>>,
     /// Per exact class: number of currently asserted entities (statistics
@@ -254,8 +309,8 @@ impl TemporalGraph {
         }));
         let slot = self.out_adj.len() as u32;
         self.adj_slot.push(slot);
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.out_adj.push(AdjList::default());
+        self.in_adj.push(AdjList::default());
         self.extents[class.0 as usize].push(uid);
         self.alive[class.0 as usize] += 1;
         self.version_count += 1;
@@ -297,8 +352,8 @@ impl TemporalGraph {
         }));
         self.adj_slot.push(u32::MAX);
         let (ss, ds) = (self.adj_slot[src.0 as usize] as usize, self.adj_slot[dst.0 as usize] as usize);
-        self.out_adj[ss].push(AdjEntry { edge: uid, other: dst });
-        self.in_adj[ds].push(AdjEntry { edge: uid, other: src });
+        self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
+        self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
         self.extents[class.0 as usize].push(uid);
         self.alive[class.0 as usize] += 1;
         self.version_count += 1;
@@ -375,7 +430,7 @@ impl TemporalGraph {
         if is_node {
             let slot = self.adj_slot[uid.0 as usize] as usize;
             let incident: Vec<Uid> =
-                self.out_adj[slot].iter().chain(self.in_adj[slot].iter()).map(|a| a.edge).collect();
+                self.out_adj[slot].entries.iter().chain(self.in_adj[slot].entries.iter()).map(|a| a.edge).collect();
             for e in incident {
                 if self.current_version(e).is_some() {
                     self.close_entry(e, ts)?;
@@ -494,16 +549,26 @@ impl TemporalGraph {
     }
 
     pub fn out_adj(&self, uid: Uid) -> &[AdjEntry] {
-        match self.adj_slot.get(uid.0 as usize) {
-            Some(&s) if s != u32::MAX => &self.out_adj[s as usize],
-            _ => &[],
-        }
+        self.out_adj_list(uid).entries()
     }
 
     pub fn in_adj(&self, uid: Uid) -> &[AdjEntry] {
+        self.in_adj_list(uid).entries()
+    }
+
+    /// Out-adjacency of `uid` grouped by exact edge class.
+    pub fn out_adj_list(&self, uid: Uid) -> &AdjList {
+        match self.adj_slot.get(uid.0 as usize) {
+            Some(&s) if s != u32::MAX => &self.out_adj[s as usize],
+            _ => &EMPTY_ADJ,
+        }
+    }
+
+    /// In-adjacency of `uid` grouped by exact edge class.
+    pub fn in_adj_list(&self, uid: Uid) -> &AdjList {
         match self.adj_slot.get(uid.0 as usize) {
             Some(&s) if s != u32::MAX => &self.in_adj[s as usize],
-            _ => &[],
+            _ => &EMPTY_ADJ,
         }
     }
 
@@ -560,8 +625,8 @@ impl TemporalGraph {
             self.entries.push(Entry::Node(NodeEntry { uid, class, versions: vs.clone() }));
             let slot = self.out_adj.len() as u32;
             self.adj_slot.push(slot);
-            self.out_adj.push(Vec::new());
-            self.in_adj.push(Vec::new());
+            self.out_adj.push(AdjList::default());
+            self.in_adj.push(AdjList::default());
         } else {
             if src.0 >= uid.0 || dst.0 >= uid.0 {
                 return Err(GraphError::BadClass(format!("edge {} references not-yet-restored endpoint", uid.0)));
@@ -572,8 +637,8 @@ impl TemporalGraph {
             self.adj_slot.push(u32::MAX);
             let ss = self.adj_slot[src.0 as usize] as usize;
             let ds = self.adj_slot[dst.0 as usize] as usize;
-            self.out_adj[ss].push(AdjEntry { edge: uid, other: dst });
-            self.in_adj[ds].push(AdjEntry { edge: uid, other: src });
+            self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
+            self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
         }
         self.extents[class.0 as usize].push(uid);
         if alive {
@@ -743,6 +808,47 @@ mod tests {
         g.update(u, &[(1, Value::Str("Red".into()))], 100).unwrap();
         assert_eq!(g.versions(u).len(), 1);
         assert_eq!(g.current_version(u).unwrap().fields[1], Value::Str("Red".into()));
+    }
+
+    #[test]
+    fn adjacency_buckets_group_by_exact_edge_class() {
+        let s = Arc::new(
+            parse_schema(
+                r#"
+                node VM { vm_id: int unique, status: str }
+                node Host { host_id: int unique }
+                edge HostedOn { }
+                edge Linked : HostedOn { }
+                allow HostedOn (VM -> Host)
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut g = TemporalGraph::new(s.clone());
+        let v = vm(&mut g, 1, 0);
+        let hc = s.class_by_name("Host").unwrap();
+        let hosted = s.class_by_name("HostedOn").unwrap();
+        let linked = s.class_by_name("Linked").unwrap();
+        let hosts: Vec<Uid> = (0..4).map(|i| g.insert_node(hc, vec![Value::Int(i)], 0).unwrap()).collect();
+        // Interleave the two edge classes; buckets must re-group them.
+        let e0 = g.insert_edge(hosted, v, hosts[0], vec![], 1).unwrap();
+        let e1 = g.insert_edge(linked, v, hosts[1], vec![], 2).unwrap();
+        let e2 = g.insert_edge(hosted, v, hosts[2], vec![], 3).unwrap();
+        let e3 = g.insert_edge(linked, v, hosts[3], vec![], 4).unwrap();
+
+        let list = g.out_adj_list(v);
+        let runs: Vec<(ClassId, Vec<Uid>)> =
+            list.buckets().map(|(c, es)| (c, es.iter().map(|a| a.edge).collect())).collect();
+        assert_eq!(runs, vec![(hosted, vec![e0, e2]), (linked, vec![e1, e3])]);
+        // The flat view covers the same entries, grouped.
+        assert_eq!(list.entries().len(), 4);
+        assert!(list.entries().iter().all(|a| a.out && a.class == g.edge(a.edge).unwrap().class));
+        // In-adjacency carries direction = false and the same denormalized class.
+        let in0 = g.in_adj(hosts[0]);
+        assert_eq!(in0.len(), 1);
+        assert!(!in0[0].out);
+        assert_eq!(in0[0].class, hosted);
+        assert_eq!(in0[0].other, v);
     }
 
     #[test]

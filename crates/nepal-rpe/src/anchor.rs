@@ -25,10 +25,12 @@ use nepal_schema::Schema;
 
 use crate::bind::{BoundAtom, Norm};
 use crate::error::{Result, RpeError};
+use crate::par;
 
 /// Estimates the number of elements matching an atom. Implemented by the
 /// native graph store (live statistics) and by a schema-hint fallback.
-pub trait CardinalityEstimator {
+/// `Sync` so per-atom cost probes can fan out across the worker pool.
+pub trait CardinalityEstimator: Sync {
     fn estimate(&self, schema: &Schema, atom: &BoundAtom) -> f64;
 }
 
@@ -70,21 +72,34 @@ pub struct AnchorSet {
 }
 
 impl AnchorSet {
-    fn of(mut atoms: Vec<u32>, all: &[BoundAtom], schema: &Schema, est: &dyn CardinalityEstimator) -> AnchorSet {
+    fn of(mut atoms: Vec<u32>, costs: &[f64]) -> AnchorSet {
         atoms.sort_unstable();
         atoms.dedup();
-        let cost = atoms.iter().map(|&a| est.estimate(schema, &all[a as usize])).sum();
+        let cost = atoms.iter().map(|&a| costs[a as usize]).sum();
         AnchorSet { atoms, cost }
     }
 }
 
-fn candidates(norm: &Norm, atoms: &[BoundAtom], schema: &Schema, est: &dyn CardinalityEstimator) -> Vec<AnchorSet> {
+/// Probe the per-atom cardinalities once up front. An atom occurrence can
+/// appear in many candidate sets (and did get re-estimated per set before
+/// this table existed); with `threads > 1` the probes fan out across the
+/// worker pool — useful when the estimator goes to a remote backend.
+fn atom_costs(atoms: &[BoundAtom], schema: &Schema, est: &dyn CardinalityEstimator, threads: usize) -> Vec<f64> {
+    if threads > 1 && atoms.len() >= 4 {
+        let (costs, _, _) = par::run_jobs(atoms.len(), threads, false, |_| (), |_, i| est.estimate(schema, &atoms[i]));
+        costs
+    } else {
+        atoms.iter().map(|a| est.estimate(schema, a)).collect()
+    }
+}
+
+fn candidates(norm: &Norm, costs: &[f64]) -> Vec<AnchorSet> {
     match norm {
-        Norm::Atom(a) => vec![AnchorSet::of(vec![*a], atoms, schema, est)],
+        Norm::Atom(a) => vec![AnchorSet::of(vec![*a], costs)],
         Norm::Seq(parts) => {
             let mut out = Vec::new();
             for p in parts {
-                out.extend(candidates(p, atoms, schema, est));
+                out.extend(candidates(p, costs));
             }
             out
         }
@@ -92,11 +107,11 @@ fn candidates(norm: &Norm, atoms: &[BoundAtom], schema: &Schema, est: &dyn Cardi
             // Union of the best candidate of each alternative.
             let mut union: Vec<u32> = Vec::new();
             for p in parts {
-                let cands = candidates(p, atoms, schema, est);
+                let cands = candidates(p, costs);
                 let best = cands.into_iter().min_by(|a, b| a.cost.total_cmp(&b.cost)).expect("non-empty alternative");
                 union.extend(best.atoms);
             }
-            vec![AnchorSet::of(union, atoms, schema, est)]
+            vec![AnchorSet::of(union, costs)]
         }
     }
 }
@@ -108,7 +123,21 @@ pub fn select_anchor(
     schema: &Schema,
     est: &dyn CardinalityEstimator,
 ) -> Result<(AnchorSet, Vec<AnchorSet>)> {
-    let mut cands = candidates(norm, atoms, schema, est);
+    select_anchor_threads(norm, atoms, schema, est, 1)
+}
+
+/// [`select_anchor`] with the per-atom cost probes run on up to `threads`
+/// pool workers. Selection itself is deterministic either way — the cost
+/// table is fully materialized before enumeration starts.
+pub fn select_anchor_threads(
+    norm: &Norm,
+    atoms: &[BoundAtom],
+    schema: &Schema,
+    est: &dyn CardinalityEstimator,
+    threads: usize,
+) -> Result<(AnchorSet, Vec<AnchorSet>)> {
+    let costs = atom_costs(atoms, schema, est, threads);
+    let mut cands = candidates(norm, &costs);
     // Deduplicate identical candidate sets, keeping the cheapest ordering
     // stable for deterministic plans.
     cands.sort_by(|a, b| a.cost.total_cmp(&b.cost).then_with(|| a.atoms.cmp(&b.atoms)));

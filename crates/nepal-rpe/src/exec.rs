@@ -10,17 +10,19 @@
 //! its elements' maximal assertion intervals and is pruned the moment that
 //! intersection becomes empty.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use nepal_graph::FOREVER;
-use nepal_graph::{GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
-use nepal_obs::{ExecTrace, OpStats, SpanHandle};
-use nepal_schema::Schema;
+use nepal_graph::{FxHashMap, GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
+use nepal_obs::{ExecTrace, MetricsRegistry, OpStats, SpanHandle};
+use nepal_schema::{ClassId, Schema};
 
 use crate::anchor::{apply_selectivity, CardinalityEstimator};
 use crate::bind::BoundAtom;
 use crate::nfa::Label;
+use crate::par;
 use crate::path::Pathway;
 use crate::plan::RpePlan;
 
@@ -43,6 +45,27 @@ pub struct EvalOptions {
     pub limit: Option<usize>,
     /// Additional element-count cap on top of the RPE's own length limit.
     pub max_elements: Option<usize>,
+    /// Worker threads for the parallel evaluator. `0` (the default)
+    /// resolves via [`resolved_threads`]: the `NEPAL_THREADS` environment
+    /// variable if set, otherwise the host's available parallelism.
+    /// `1` forces the sequential path. When a `limit` is set evaluation
+    /// also stays sequential, because the limit's early exit is
+    /// traversal-order-dependent.
+    pub threads: usize,
+}
+
+/// Resolve an [`EvalOptions::threads`] value to a concrete worker count:
+/// any explicit `n >= 1` wins; `0` falls back to `NEPAL_THREADS` (cached
+/// after the first read) or, failing that, `available_parallelism()`.
+pub fn resolved_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("NEPAL_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    })
 }
 
 /// Times attached to a partial match: `None` in point mode (Current/AsOf),
@@ -93,7 +116,7 @@ struct ElemMatcher<'a> {
     schema: &'a Schema,
     atoms: &'a [BoundAtom],
     range_mode: bool,
-    memo: HashMap<(Uid, Label), Option<Times>>,
+    memo: FxHashMap<(Uid, Label), Option<Times>>,
     /// Partial matches dropped because their interval intersection became
     /// empty (§5 temporal pruning). A plain increment — counted even
     /// untraced, and only reported when a trace is attached.
@@ -107,7 +130,7 @@ impl<'a> ElemMatcher<'a> {
             schema,
             atoms,
             range_mode: view.filter.is_range(),
-            memo: HashMap::new(),
+            memo: FxHashMap::default(),
             temporal_prunes: 0,
         }
     }
@@ -261,6 +284,38 @@ struct Ctx<'a> {
     cap: usize,
 }
 
+/// Can an edge of exact `class` satisfy *any* edge-label transition out of
+/// (`fwd`) or into (`!fwd`) the live states? When not, the whole adjacency
+/// bucket is skipped without touching per-neighbor state. The test mirrors
+/// [`ElemMatcher::matches`]'s fast-path rejections exactly (kind + class
+/// only), so skipping a bucket never changes match results or prune counts
+/// — every skipped neighbor would have produced `None` without counting.
+fn class_viable(
+    plan: &RpePlan,
+    atoms: &[BoundAtom],
+    schema: &Schema,
+    states: &StateSet,
+    class: ClassId,
+    fwd: bool,
+) -> bool {
+    let table = if fwd { &plan.nfa.trans } else { &plan.nfa.rev };
+    for (s, _) in states {
+        for &(label, _) in &table[*s as usize] {
+            match label {
+                Label::AnyEdge => return true,
+                Label::AnyNode => {}
+                Label::Atom(a) => {
+                    let atom = &atoms[a as usize];
+                    if !atom.is_node && schema.is_subclass(class, atom.class) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Depth-first forward extension. `path` ends with a node; `states` are the
 /// NFA states after consuming all of `path`.
 fn fwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &StateSet, out: &mut Vec<Half>) {
@@ -271,23 +326,28 @@ fn fwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &Stat
         return;
     }
     let last = *path.last().unwrap();
-    for adj in ctx.view.graph.out_adj(last) {
-        if path.contains(&adj.edge) || path.contains(&adj.other) {
+    for (class, entries) in ctx.view.graph.out_adj_list(last).buckets() {
+        if !class_viable(ctx.plan, m.atoms, m.schema, states, class, true) {
             continue;
         }
-        let s1 = step_fwd(ctx.plan, m, states, adj.edge, false);
-        if s1.is_empty() {
-            continue;
+        for adj in entries {
+            if path.contains(&adj.edge) || path.contains(&adj.other) {
+                continue;
+            }
+            let s1 = step_fwd(ctx.plan, m, states, adj.edge, false);
+            if s1.is_empty() {
+                continue;
+            }
+            let s2 = step_fwd(ctx.plan, m, &s1, adj.other, true);
+            if s2.is_empty() {
+                continue;
+            }
+            path.push(adj.edge);
+            path.push(adj.other);
+            fwd_search(ctx, m, path, &s2, out);
+            path.pop();
+            path.pop();
         }
-        let s2 = step_fwd(ctx.plan, m, &s1, adj.other, true);
-        if s2.is_empty() {
-            continue;
-        }
-        path.push(adj.edge);
-        path.push(adj.other);
-        fwd_search(ctx, m, path, &s2, out);
-        path.pop();
-        path.pop();
     }
 }
 
@@ -314,23 +374,28 @@ fn bwd_search(
         Some(&u) => u,
         None => return, // caller seeds with at least the anchor-adjacent node
     };
-    for adj in ctx.view.graph.in_adj(leftmost) {
-        if path.contains(&adj.edge) || path.contains(&adj.other) {
+    for (class, entries) in ctx.view.graph.in_adj_list(leftmost).buckets() {
+        if !class_viable(ctx.plan, m.atoms, m.schema, states, class, false) {
             continue;
         }
-        let s1 = step_bwd(ctx.plan, m, states, adj.edge, false);
-        if s1.is_empty() {
-            continue;
+        for adj in entries {
+            if path.contains(&adj.edge) || path.contains(&adj.other) {
+                continue;
+            }
+            let s1 = step_bwd(ctx.plan, m, states, adj.edge, false);
+            if s1.is_empty() {
+                continue;
+            }
+            let s2 = step_bwd(ctx.plan, m, &s1, adj.other, true);
+            if s2.is_empty() {
+                continue;
+            }
+            path.push(adj.edge);
+            path.push(adj.other);
+            bwd_search(ctx, m, path, &s2, true, out);
+            path.pop();
+            path.pop();
         }
-        let s2 = step_bwd(ctx.plan, m, &s1, adj.other, true);
-        if s2.is_empty() {
-            continue;
-        }
-        path.push(adj.edge);
-        path.push(adj.other);
-        bwd_search(ctx, m, path, &s2, true, out);
-        path.pop();
-        path.pop();
     }
 }
 
@@ -399,6 +464,16 @@ fn finalize(view: &GraphView, times: Times) -> Option<Times> {
     }
 }
 
+/// Accumulated results: elems → merged times. Both evaluator paths insert
+/// through [`add_result`], whose merge (`IntervalSet::union`, re-normalized)
+/// is commutative and associative — final contents are independent of
+/// insertion order, which is what makes the parallel merge deterministic.
+type ResultMap = FxHashMap<Vec<Uid>, Times>;
+
+fn add_result(elems: Vec<Uid>, times: Times, results: &mut ResultMap) {
+    results.entry(elems).and_modify(|t| *t = times_union(std::mem::take(t), &times)).or_insert(times);
+}
+
 /// Evaluate a planned RPE under a time-filtered view.
 pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptions) -> Vec<Pathway> {
     evaluate_traced(view, plan, seeds, opts, None)
@@ -429,6 +504,47 @@ pub fn evaluate_obs(
     plan: &RpePlan,
     seeds: Seeds,
     opts: &EvalOptions,
+    trace: Option<&mut ExecTrace>,
+    span: &SpanHandle,
+) -> Vec<Pathway> {
+    evaluate_metered(view, plan, seeds, opts, trace, span, None)
+}
+
+/// [`evaluate_obs`] plus an optional [`MetricsRegistry`] receiving the
+/// parallel evaluator's counters (`rpe_parallel_chunks`, `rpe_steal_count`)
+/// and the per-worker busy-time histogram. Dispatches to the parallel
+/// evaluator when [`EvalOptions::threads`] resolves above 1 and no result
+/// `limit` is set; the parallel path produces bit-identical pathways,
+/// `OpStats` rows, and temporal-prune counts (see DESIGN.md).
+pub fn evaluate_metered(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    trace: Option<&mut ExecTrace>,
+    span: &SpanHandle,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<Pathway> {
+    let threads = resolved_threads(opts.threads);
+    let parallel = threads > 1
+        && opts.limit.is_none()
+        && match seeds {
+            Seeds::Anchor => true,
+            Seeds::Sources(s) => s.len() >= 2,
+            Seeds::Targets(t) => t.len() >= 2,
+        };
+    if parallel {
+        evaluate_parallel(view, plan, seeds, opts, trace, span, metrics, threads)
+    } else {
+        evaluate_sequential(view, plan, seeds, opts, trace, span)
+    }
+}
+
+fn evaluate_sequential(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
     mut trace: Option<&mut ExecTrace>,
     span: &SpanHandle,
 ) -> Vec<Pathway> {
@@ -438,10 +554,7 @@ pub fn evaluate_obs(
     let ctx = Ctx { view, plan, cap };
     let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
     // elems → merged times. BTreeMap-free: HashMap then sort at the end.
-    let mut results: HashMap<Vec<Uid>, Times> = HashMap::new();
-    let add_result = |elems: Vec<Uid>, times: Times, results: &mut HashMap<Vec<Uid>, Times>| {
-        results.entry(elems).and_modify(|t| *t = times_union(std::mem::take(t), &times)).or_insert(times);
-    };
+    let mut results: ResultMap = ResultMap::default();
 
     match seeds {
         Seeds::Anchor => {
@@ -741,6 +854,602 @@ pub fn evaluate_obs(
     }
     span.attr("temporal_prunes", m.temporal_prunes);
     span.attr("match_memo_entries", m.memo.len());
+
+    let mut out: Vec<Pathway> = Vec::new();
+    for (elems, times) in results {
+        if let Some(t) = finalize(view, times) {
+            out.push(Pathway { elems, times: t });
+        }
+    }
+    out.sort_by(|a, b| a.elems.cmp(&b.elems));
+    if let Some(limit) = opts.limit {
+        out.truncate(limit);
+    }
+    out
+}
+
+/// One search unit during parallel evaluation: every frontier root of one
+/// `(candidate, NFA seed transition)` extension tree, plus the halves
+/// already completed on the coordinator (root accepts collected while
+/// carving out the frontier). After the search pool runs, `halves` holds
+/// the unit's full half-match list.
+struct ParUnit {
+    fwd: bool,
+    roots: Vec<(Vec<Uid>, StateSet)>,
+    halves: Vec<Half>,
+}
+
+/// Consume search-tree levels breadth-first on the coordinator until the
+/// frontier holds at least `want` independent subtrees (or the tree is
+/// exhausted). Accepts found at consumed roots go to `prefix`; the
+/// returned frontier items become pool jobs. The step calls made here are
+/// exactly the ones the depth-first search would have made for the same
+/// prefix paths, so match results and prune counts are unchanged — the
+/// work is split, not redone.
+fn expand_frontier(
+    ctx: &Ctx,
+    m: &mut ElemMatcher,
+    roots: Vec<(Vec<Uid>, StateSet)>,
+    fwd: bool,
+    want: usize,
+    prefix: &mut Vec<Half>,
+) -> Vec<(Vec<Uid>, StateSet)> {
+    let mut queue: VecDeque<(Vec<Uid>, StateSet)> = roots.into();
+    let mut popped = 0usize;
+    while queue.len() < want && popped < want.saturating_mul(4) {
+        let Some((path, states)) = queue.pop_front() else { break };
+        popped += 1;
+        let accept = if fwd { accepting_times(ctx.plan, &states) } else { start_times(ctx.plan, &states) };
+        if let Some(times) = accept {
+            prefix.push(Half { elems: path.clone(), times });
+        }
+        if path.len() + 2 > ctx.cap {
+            continue;
+        }
+        let last = *path.last().expect("expansion roots are non-empty");
+        let adj = if fwd { ctx.view.graph.out_adj_list(last) } else { ctx.view.graph.in_adj_list(last) };
+        for (class, entries) in adj.buckets() {
+            if !class_viable(ctx.plan, m.atoms, m.schema, &states, class, fwd) {
+                continue;
+            }
+            for a in entries {
+                if path.contains(&a.edge) || path.contains(&a.other) {
+                    continue;
+                }
+                let step = if fwd { step_fwd } else { step_bwd };
+                let s1 = step(ctx.plan, m, &states, a.edge, false);
+                if s1.is_empty() {
+                    continue;
+                }
+                let s2 = step(ctx.plan, m, &s1, a.other, true);
+                if s2.is_empty() {
+                    continue;
+                }
+                let mut p = path.clone();
+                p.push(a.edge);
+                p.push(a.other);
+                queue.push_back((p, s2));
+            }
+        }
+    }
+    queue.into_iter().collect()
+}
+
+/// Record one pool run's observability: total chunks/steals, a child span
+/// per worker, and the per-worker busy-time histogram.
+fn note_pool<W>(
+    span: &SpanHandle,
+    metrics: Option<&MetricsRegistry>,
+    reports: &[par::WorkerReport<W>],
+    stats: &par::PoolStats,
+    stage: &str,
+    chunks: &mut u64,
+    steals: &mut u64,
+) {
+    *chunks += stats.jobs;
+    *steals += stats.steals;
+    for (i, r) in reports.iter().enumerate() {
+        if r.busy_ns > 0 {
+            span.span_dur(
+                "worker",
+                r.busy_ns,
+                &[
+                    ("stage", stage.to_string()),
+                    ("worker", i.to_string()),
+                    ("jobs", r.jobs.to_string()),
+                    ("steals", r.steals.to_string()),
+                ],
+            );
+        }
+        if let Some(reg) = metrics {
+            reg.histogram("rpe_worker_busy_ns", "Per-worker busy time per parallel evaluation stage (ns)")
+                .observe(r.busy_ns);
+        }
+    }
+}
+
+/// The parallel evaluator. Produces bit-identical output to
+/// [`evaluate_sequential`]: the anchor seed set is partitioned into
+/// independent extension subtrees run on a work-stealing pool (each worker
+/// with a private [`ElemMatcher`] memo), and the `Union` merges per-chunk
+/// results in seed order through the same commutative [`add_result`]
+/// merge, followed by the same final sort. Only called with no `limit`
+/// set — the limit's early exit is traversal-order-dependent.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_parallel(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    mut trace: Option<&mut ExecTrace>,
+    span: &SpanHandle,
+    metrics: Option<&MetricsRegistry>,
+    threads: usize,
+) -> Vec<Pathway> {
+    let enabled = trace.is_some() || span.is_active();
+    let timed = enabled || metrics.is_some();
+    let schema = view.graph.schema().clone();
+    let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
+    let ctx = Ctx { view, plan, cap };
+    let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
+    let mut results: ResultMap = ResultMap::default();
+    let (mut total_chunks, mut total_steals) = (0u64, 0u64);
+    // Per-worker memo entries: workers re-derive matches the coordinator
+    // or a sibling may also hold (the memo-locality trade-off), so this
+    // can exceed the sequential memo size.
+    let mut worker_memo = 0u64;
+
+    match seeds {
+        Seeds::Anchor => {
+            for &occ in &plan.anchor.atoms {
+                let atom = &plan.atoms[occ as usize];
+                let t_sel = enabled.then(Instant::now);
+                let sel_span = span.child("Select");
+                sel_span.attr("atom", &atom.display);
+                let (candidates, scanned) = anchor_scan_counted(view, &schema, atom);
+                sel_span.attr("rows_in", scanned);
+                sel_span.attr("rows_out", candidates.len());
+                drop(sel_span);
+                if let Some(trc) = trace.as_deref_mut() {
+                    let mut op = OpStats::new("Select", &atom.display);
+                    op.rows_in = scanned;
+                    op.rows_out = candidates.len() as u64;
+                    op.elapsed_ns = t_sel.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    trc.ops.push(op);
+                }
+                let seed_trans = plan.nfa.seeds_for(occ);
+                let (mut fwd_halves, mut bwd_halves) = (0u64, 0u64);
+                let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
+                let (mut union_in, mut union_ns) = (0u64, 0u64);
+                let union_before = results.len() as u64;
+
+                // Pass 1: replay the sequential seeding steps, but collect
+                // search units instead of recursing. Units and pairs are
+                // enumerated in candidate order, so the later merge replays
+                // the sequential union order.
+                let mut units: Vec<ParUnit> = Vec::new();
+                let mut pairs: Vec<(usize, usize)> = Vec::new(); // (bwd unit, fwd unit)
+                for (elem, times0) in &candidates {
+                    let edge_ends = if atom.is_node {
+                        None
+                    } else {
+                        match view.graph.edge(*elem) {
+                            Ok(e) => Some((e.src, e.dst)),
+                            Err(_) => continue,
+                        }
+                    };
+                    // Same dedup as the sequential path: distinct (from, to)
+                    // pairs, one forward unit per distinct target state
+                    // (`None` marks a state the edge seed cannot step into).
+                    let mut fwd_units: Vec<(u32, Option<usize>)> = Vec::new();
+                    let mut seen_pairs: Vec<(u32, u32)> = Vec::new();
+                    for tr in &seed_trans {
+                        if seen_pairs.contains(&(tr.from, tr.to)) {
+                            continue;
+                        }
+                        seen_pairs.push((tr.from, tr.to));
+                        let fu = match fwd_units.iter().find(|(s, _)| *s == tr.to) {
+                            Some(&(_, u)) => u,
+                            None => {
+                                let states: StateSet = vec![(tr.to, times0.clone())];
+                                let u = if let Some((_, dst)) = edge_ends {
+                                    // Edge seed: forward must consume the
+                                    // edge's target node first.
+                                    let s2 = step_fwd(plan, &mut m, &states, dst, true);
+                                    if s2.is_empty() {
+                                        None
+                                    } else {
+                                        units.push(ParUnit {
+                                            fwd: true,
+                                            roots: vec![(vec![*elem, dst], s2)],
+                                            halves: Vec::new(),
+                                        });
+                                        Some(units.len() - 1)
+                                    }
+                                } else {
+                                    units.push(ParUnit {
+                                        fwd: true,
+                                        roots: vec![(vec![*elem], states)],
+                                        halves: Vec::new(),
+                                    });
+                                    Some(units.len() - 1)
+                                };
+                                fwd_units.push((tr.to, u));
+                                u
+                            }
+                        };
+                        let Some(fu) = fu else { continue };
+                        let bstates: StateSet = vec![(tr.from, times0.clone())];
+                        let bu = if let Some((src, _)) = edge_ends {
+                            let b1 = step_bwd(plan, &mut m, &bstates, src, true);
+                            if b1.is_empty() {
+                                continue;
+                            }
+                            units.push(ParUnit { fwd: false, roots: vec![(vec![src], b1)], halves: Vec::new() });
+                            units.len() - 1
+                        } else {
+                            // Node seed: the seed itself is the (current)
+                            // leftmost element; acceptance before extending
+                            // is legal, and the first hop left of the seed
+                            // happens here — exactly as the sequential path
+                            // does it — so every root below is a standard
+                            // bwd_search root.
+                            let mut halves = Vec::new();
+                            if let Some(t) = start_times(plan, &bstates) {
+                                halves.push(Half { elems: Vec::new(), times: t });
+                            }
+                            let mut roots = Vec::new();
+                            for adj in view.graph.in_adj(*elem) {
+                                if adj.edge == *elem || adj.other == *elem {
+                                    continue;
+                                }
+                                let s1 = step_bwd(plan, &mut m, &bstates, adj.edge, false);
+                                if s1.is_empty() {
+                                    continue;
+                                }
+                                let s2 = step_bwd(plan, &mut m, &s1, adj.other, true);
+                                if s2.is_empty() {
+                                    continue;
+                                }
+                                roots.push((vec![adj.edge, adj.other], s2));
+                            }
+                            units.push(ParUnit { fwd: false, roots, halves });
+                            units.len() - 1
+                        };
+                        pairs.push((bu, fu));
+                    }
+                }
+
+                // Pass 2: with few candidates (unique anchors — the common
+                // Table-1 shape) there are too few roots to keep a pool
+                // busy; carve deeper frontiers out of each unit's tree.
+                let total_roots: usize = units.iter().map(|u| u.roots.len()).sum();
+                let target = threads * 3;
+                if total_roots < target && !units.is_empty() {
+                    let want = (target.div_ceil(units.len())).max(2);
+                    for u in units.iter_mut() {
+                        if u.roots.len() >= want {
+                            continue;
+                        }
+                        let t0 = enabled.then(Instant::now);
+                        let roots = std::mem::take(&mut u.roots);
+                        u.roots = expand_frontier(&ctx, &mut m, roots, u.fwd, want, &mut u.halves);
+                        if let Some(t) = t0 {
+                            let ns = t.elapsed().as_nanos() as u64;
+                            if u.fwd {
+                                fwd_ns += ns;
+                            } else {
+                                bwd_ns += ns;
+                            }
+                        }
+                    }
+                }
+
+                // Pass 3: run every frontier subtree on the pool, each
+                // worker carrying its own memo across the jobs it executes.
+                let mut jobs: Vec<(usize, Vec<Uid>, StateSet, bool)> = Vec::new();
+                for (ui, u) in units.iter_mut().enumerate() {
+                    for (path, states) in std::mem::take(&mut u.roots) {
+                        jobs.push((ui, path, states, u.fwd));
+                    }
+                }
+                let (outs, reports, stats) = par::run_jobs(
+                    jobs.len(),
+                    threads,
+                    timed,
+                    |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                    |mw: &mut ElemMatcher, j: usize| {
+                        let (_, path, states, fwd) = &jobs[j];
+                        let mut out = Vec::new();
+                        let mut p = path.clone();
+                        let t0 = enabled.then(Instant::now);
+                        if *fwd {
+                            fwd_search(&ctx, mw, &mut p, states, &mut out);
+                        } else {
+                            bwd_search(&ctx, mw, &mut p, states, true, &mut out);
+                        }
+                        (out, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                    },
+                );
+                for r in &reports {
+                    m.temporal_prunes += r.state.temporal_prunes;
+                    worker_memo += r.state.memo.len() as u64;
+                }
+                note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+                for (j, (halves, ns)) in outs.into_iter().enumerate() {
+                    let (ui, _, _, fwd) = &jobs[j];
+                    if *fwd {
+                        fwd_ns += ns;
+                    } else {
+                        bwd_ns += ns;
+                    }
+                    units[*ui].halves.extend(halves);
+                }
+                for u in &units {
+                    if u.fwd {
+                        fwd_halves += u.halves.len() as u64;
+                    } else {
+                        bwd_halves += u.halves.len() as u64;
+                    }
+                }
+
+                // Pass 4: Union. Cross-combines are independent per
+                // (backward half, forward half) pair; big pairs are split
+                // over backward-half ranges. Results merge in job order —
+                // and add_result's merge is commutative anyway.
+                let mut ujobs: Vec<(usize, usize, usize)> = Vec::new(); // (pair, b_lo, b_hi)
+                for (pi, &(bu, fu)) in pairs.iter().enumerate() {
+                    let (b, f) = (units[bu].halves.len(), units[fu].halves.len());
+                    union_in += (b * f) as u64;
+                    if b == 0 || f == 0 {
+                        continue;
+                    }
+                    let splits = if b * f > 2048 { threads.min(b) } else { 1 };
+                    for c in 0..splits {
+                        let (lo, hi) = (c * b / splits, (c + 1) * b / splits);
+                        if lo < hi {
+                            ujobs.push((pi, lo, hi));
+                        }
+                    }
+                }
+                let (uouts, ureports, ustats) = par::run_jobs(
+                    ujobs.len(),
+                    threads,
+                    timed,
+                    |_| (),
+                    |_: &mut (), j: usize| {
+                        let (pi, lo, hi) = ujobs[j];
+                        let (bu, fu) = pairs[pi];
+                        let bwd = &units[bu].halves[lo..hi];
+                        let fwd = &units[fu].halves;
+                        let mut out: Vec<(Vec<Uid>, Times)> = Vec::new();
+                        let mut prunes = 0u64;
+                        let t0 = enabled.then(Instant::now);
+                        for b in bwd {
+                            'combine: for fh in fwd {
+                                // Cycle check across the two halves.
+                                for u in &b.elems {
+                                    if fh.elems.contains(u) {
+                                        continue 'combine;
+                                    }
+                                }
+                                let (t, ok) = times_intersect(&b.times, &fh.times);
+                                if !ok {
+                                    prunes += 1;
+                                    continue;
+                                }
+                                let mut elems = b.elems.clone();
+                                elems.reverse();
+                                elems.extend_from_slice(&fh.elems);
+                                if elems.len() > cap {
+                                    continue;
+                                }
+                                out.push((elems, t));
+                            }
+                        }
+                        (out, prunes, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                    },
+                );
+                note_pool(span, metrics, &ureports, &ustats, "union", &mut total_chunks, &mut total_steals);
+                for (out, prunes, ns) in uouts {
+                    m.temporal_prunes += prunes;
+                    union_ns += ns;
+                    for (e, t) in out {
+                        add_result(e, t, &mut results);
+                    }
+                }
+
+                if let Some(trc) = trace.as_deref_mut() {
+                    let n_cand = candidates.len() as u64;
+                    let mut op = OpStats::new("Extend(fwd)", &atom.display);
+                    op.rows_in = n_cand;
+                    op.rows_out = fwd_halves;
+                    op.elapsed_ns = fwd_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                    let mut op = OpStats::new("Extend(bwd)", &atom.display);
+                    op.rows_in = n_cand;
+                    op.rows_out = bwd_halves;
+                    op.elapsed_ns = bwd_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                    let mut op = OpStats::new("Union", &atom.display);
+                    op.rows_in = union_in;
+                    op.rows_out = results.len() as u64 - union_before;
+                    op.elapsed_ns = union_ns;
+                    op.depth = 1;
+                    trc.ops.push(op);
+                }
+                span.span_dur(
+                    "Extend(fwd)",
+                    fwd_ns,
+                    &[("atom", atom.display.clone()), ("halves", fwd_halves.to_string())],
+                );
+                span.span_dur(
+                    "Extend(bwd)",
+                    bwd_ns,
+                    &[("atom", atom.display.clone()), ("halves", bwd_halves.to_string())],
+                );
+                span.span_dur("Union", union_ns, &[("atom", atom.display.clone()), ("pairs_in", union_in.to_string())]);
+            }
+        }
+        Seeds::Sources(srcs) => {
+            let t0 = enabled.then(Instant::now);
+            let n_chunks = (threads * 4).min(srcs.len());
+            let bounds: Vec<(usize, usize)> =
+                (0..n_chunks).map(|c| (c * srcs.len() / n_chunks, (c + 1) * srcs.len() / n_chunks)).collect();
+            let (outs, reports, stats) = par::run_jobs(
+                n_chunks,
+                threads,
+                timed,
+                |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                |mw: &mut ElemMatcher, ci: usize| {
+                    let (lo, hi) = bounds[ci];
+                    let mut res: Vec<(Vec<Uid>, Times)> = Vec::new();
+                    let (mut seeded, mut halves) = (0u64, 0u64);
+                    for &src in &srcs[lo..hi] {
+                        if !view.graph.is_node(src) {
+                            continue;
+                        }
+                        let init: StateSet =
+                            vec![(plan.nfa.start, if view.filter.is_range() { Some(universal()) } else { None })];
+                        let s1 = step_fwd(plan, mw, &init, src, true);
+                        if s1.is_empty() {
+                            continue;
+                        }
+                        seeded += 1;
+                        let mut path = vec![src];
+                        let mut fwd = Vec::new();
+                        fwd_search(&ctx, mw, &mut path, &s1, &mut fwd);
+                        halves += fwd.len() as u64;
+                        for h in fwd {
+                            res.push((h.elems, h.times));
+                        }
+                    }
+                    (res, seeded, halves)
+                },
+            );
+            for r in &reports {
+                m.temporal_prunes += r.state.temporal_prunes;
+                worker_memo += r.state.memo.len() as u64;
+            }
+            note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+            let (mut seeded, mut halves) = (0u64, 0u64);
+            for (res, s, h) in outs {
+                seeded += s;
+                halves += h;
+                for (e, t) in res {
+                    add_result(e, t, &mut results);
+                }
+            }
+            let elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            if let Some(trc) = trace.as_deref_mut() {
+                let mut op = OpStats::new("Select", "imported source seeds");
+                op.rows_in = srcs.len() as u64;
+                op.rows_out = seeded;
+                trc.ops.push(op);
+                let mut op = OpStats::new("Extend(fwd)", "from imported sources");
+                op.rows_in = seeded;
+                op.rows_out = halves;
+                op.elapsed_ns = elapsed_ns;
+                op.depth = 1;
+                trc.ops.push(op);
+            }
+            span.span_dur(
+                "Extend(fwd)",
+                elapsed_ns,
+                &[("seeds", format!("{seeded}/{}", srcs.len())), ("halves", halves.to_string())],
+            );
+        }
+        Seeds::Targets(tgts) => {
+            let t0 = enabled.then(Instant::now);
+            let accept_states: StateSet = (0..plan.nfa.n_states as u32)
+                .filter(|&s| plan.nfa.accepts[s as usize])
+                .map(|s| (s, if view.filter.is_range() { Some(universal()) } else { None }))
+                .collect();
+            let n_chunks = (threads * 4).min(tgts.len());
+            let bounds: Vec<(usize, usize)> =
+                (0..n_chunks).map(|c| (c * tgts.len() / n_chunks, (c + 1) * tgts.len() / n_chunks)).collect();
+            let (outs, reports, stats) = par::run_jobs(
+                n_chunks,
+                threads,
+                timed,
+                |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                |mw: &mut ElemMatcher, ci: usize| {
+                    let (lo, hi) = bounds[ci];
+                    let mut res: Vec<(Vec<Uid>, Times)> = Vec::new();
+                    let (mut seeded, mut halves) = (0u64, 0u64);
+                    for &tgt in &tgts[lo..hi] {
+                        if !view.graph.is_node(tgt) {
+                            continue;
+                        }
+                        let b1 = step_bwd(plan, mw, &accept_states, tgt, true);
+                        if b1.is_empty() {
+                            continue;
+                        }
+                        seeded += 1;
+                        let mut path = vec![tgt];
+                        let mut bwd = Vec::new();
+                        bwd_search(&ctx, mw, &mut path, &b1, true, &mut bwd);
+                        halves += bwd.len() as u64;
+                        for h in bwd {
+                            let mut elems = h.elems;
+                            elems.reverse();
+                            res.push((elems, h.times));
+                        }
+                    }
+                    (res, seeded, halves)
+                },
+            );
+            for r in &reports {
+                m.temporal_prunes += r.state.temporal_prunes;
+                worker_memo += r.state.memo.len() as u64;
+            }
+            note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+            let (mut seeded, mut halves) = (0u64, 0u64);
+            for (res, s, h) in outs {
+                seeded += s;
+                halves += h;
+                for (e, t) in res {
+                    add_result(e, t, &mut results);
+                }
+            }
+            let elapsed_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            if let Some(trc) = trace.as_deref_mut() {
+                let mut op = OpStats::new("Select", "imported target seeds");
+                op.rows_in = tgts.len() as u64;
+                op.rows_out = seeded;
+                trc.ops.push(op);
+                let mut op = OpStats::new("Extend(bwd)", "from imported targets");
+                op.rows_in = seeded;
+                op.rows_out = halves;
+                op.elapsed_ns = elapsed_ns;
+                op.depth = 1;
+                trc.ops.push(op);
+            }
+            span.span_dur(
+                "Extend(bwd)",
+                elapsed_ns,
+                &[("seeds", format!("{seeded}/{}", tgts.len())), ("halves", halves.to_string())],
+            );
+        }
+    }
+
+    if let Some(trc) = trace {
+        trc.bump("temporal_prunes", m.temporal_prunes);
+        trc.bump("match_memo_entries", m.memo.len() as u64 + worker_memo);
+        trc.bump("rpe_parallel_chunks", total_chunks);
+        trc.bump("rpe_steal_count", total_steals);
+    }
+    span.attr("temporal_prunes", m.temporal_prunes);
+    span.attr("match_memo_entries", m.memo.len() as u64 + worker_memo);
+    span.attr("threads", threads);
+    span.attr("rpe_parallel_chunks", total_chunks);
+    span.attr("rpe_steal_count", total_steals);
+    if let Some(reg) = metrics {
+        reg.counter("rpe_parallel_chunks", "Parallel evaluation chunks (pool jobs) executed").add(total_chunks);
+        reg.counter("rpe_steal_count", "Cross-worker steals in the parallel evaluator").add(total_steals);
+    }
 
     let mut out: Vec<Pathway> = Vec::new();
     for (elems, times) in results {

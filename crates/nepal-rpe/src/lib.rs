@@ -52,16 +52,20 @@ pub mod bind;
 pub mod error;
 pub mod exec;
 pub mod nfa;
+pub mod par;
 pub mod parser;
 pub mod path;
 pub mod plan;
 
-pub use anchor::{AnchorSet, CardinalityEstimator, HintEstimator};
+pub use anchor::{select_anchor, select_anchor_threads, AnchorSet, CardinalityEstimator, HintEstimator};
 pub use ast::{Atom, CmpOp, Pred, Rpe};
 pub use bind::{bind, BoundAtom, BoundPred, BoundRpe, Norm};
 pub use error::{Result, RpeError};
-pub use exec::{anchor_scan, evaluate, evaluate_obs, evaluate_traced, EvalOptions, GraphEstimator, Seeds};
+pub use exec::{
+    anchor_scan, evaluate, evaluate_metered, evaluate_obs, evaluate_traced, resolved_threads, EvalOptions,
+    GraphEstimator, Seeds,
+};
 pub use nfa::{compile, Label, Nfa, Transition};
 pub use parser::parse_rpe;
 pub use path::Pathway;
-pub use plan::{plan_rpe, plan_rpe_spanned, RpePlan};
+pub use plan::{plan_rpe, plan_rpe_spanned, plan_rpe_threads, RpePlan};

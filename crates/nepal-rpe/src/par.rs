@@ -1,0 +1,199 @@
+//! Scoped work-stealing worker pool.
+//!
+//! The evaluator's unit of work is independent and read-only against the
+//! graph, so the pool is deliberately simple: jobs are dealt into
+//! per-worker deques up front (contiguous blocks, preserving locality of
+//! neighbouring seeds), each worker pops from the front of its own deque
+//! and steals from the back of a sibling's when it runs dry. Results are
+//! returned over the vendored `crossbeam` channel and re-ordered by job
+//! index, so callers observe a deterministic result order regardless of
+//! which worker ran which job.
+//!
+//! Built on `std::thread::scope` — workers may borrow the caller's stack
+//! (graph views, plans, job lists) without any `'static` gymnastics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crossbeam::channel;
+
+/// Per-worker accounting returned by [`run_jobs`], including the worker's
+/// final state (e.g. its private memo, for cache-size reporting).
+pub struct WorkerReport<W> {
+    pub state: W,
+    /// Wall time spent inside job bodies (0 unless `timed`).
+    pub busy_ns: u64,
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Jobs this worker stole from a sibling's deque.
+    pub steals: u64,
+}
+
+/// Pool-level accounting returned by [`run_jobs`].
+pub struct PoolStats {
+    /// Total jobs executed (= chunks of parallel work).
+    pub jobs: u64,
+    /// Total cross-worker steals.
+    pub steals: u64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `n_jobs` jobs on up to `threads` scoped workers and return the
+/// results indexed by job id, plus per-worker and pool totals.
+///
+/// `make_worker` builds one private state per worker (its memo); `run`
+/// executes a single job against that state. Job bodies must not panic —
+/// a panicking job takes the whole pool down (propagated to the caller).
+/// With `timed == false` no clock is ever read.
+pub fn run_jobs<T, W, FW, F>(
+    n_jobs: usize,
+    threads: usize,
+    timed: bool,
+    make_worker: FW,
+    run: F,
+) -> (Vec<T>, Vec<WorkerReport<W>>, PoolStats)
+where
+    T: Send,
+    W: Send,
+    FW: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    if n_jobs == 0 {
+        return (Vec::new(), Vec::new(), PoolStats { jobs: 0, steals: 0 });
+    }
+    let workers = threads.min(n_jobs).max(1);
+    // Deal jobs as contiguous blocks: worker i owns [i*n/w, (i+1)*n/w).
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|i| Mutex::new((i * n_jobs / workers..(i + 1) * n_jobs / workers).collect())).collect();
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let steal_total = AtomicU64::new(0);
+    let mut reports: Vec<WorkerReport<W>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let tx = tx.clone();
+            let (deques, steal_total) = (&deques, &steal_total);
+            let (make_worker, run) = (&make_worker, &run);
+            handles.push(s.spawn(move || {
+                let mut state = make_worker(wi);
+                let (mut busy, mut jobs, mut steals) = (0u64, 0u64, 0u64);
+                loop {
+                    // Bind before matching: the guard temporary would
+                    // otherwise live for the whole `match`, holding this
+                    // worker's deque lock while the steal arm locks a
+                    // sibling's — a circular wait once every worker runs
+                    // dry at the same time.
+                    let own = lock(&deques[wi]).pop_front();
+                    let job = match own {
+                        Some(j) => j,
+                        None => {
+                            // Own deque dry: steal from the back of the
+                            // next sibling that still has work.
+                            let mut stolen = None;
+                            for off in 1..workers {
+                                if let Some(j) = lock(&deques[(wi + off) % workers]).pop_back() {
+                                    stolen = Some(j);
+                                    break;
+                                }
+                            }
+                            match stolen {
+                                Some(j) => {
+                                    steals += 1;
+                                    j
+                                }
+                                None => break,
+                            }
+                        }
+                    };
+                    let t0 = timed.then(Instant::now);
+                    let out = run(&mut state, job);
+                    if let Some(t) = t0 {
+                        busy += t.elapsed().as_nanos() as u64;
+                    }
+                    jobs += 1;
+                    let _ = tx.send((job, out));
+                }
+                steal_total.fetch_add(steals, Ordering::Relaxed);
+                WorkerReport { state, busy_ns: busy, jobs, steals }
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(r) => reports.push(r),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    while let Ok((j, t)) = rx.try_recv() {
+        slots[j] = Some(t);
+    }
+    let results = slots.into_iter().map(|o| o.expect("every job ran exactly once")).collect();
+    (results, reports, PoolStats { jobs: n_jobs as u64, steals: steal_total.load(Ordering::Relaxed) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_job_index() {
+        let (results, reports, stats) = run_jobs(100, 4, false, |_| (), |_, j| j * 2);
+        assert_eq!(results, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        assert_eq!(stats.jobs, 100);
+        assert_eq!(reports.iter().map(|r| r.jobs).sum::<u64>(), 100);
+        assert_eq!(reports.iter().map(|r| r.steals).sum::<u64>(), stats.steals);
+    }
+
+    #[test]
+    fn worker_state_accumulates_across_jobs() {
+        let (results, reports, _) = run_jobs(
+            10,
+            3,
+            true,
+            |_| 0u64,
+            |seen, j| {
+                *seen += 1;
+                j
+            },
+        );
+        assert_eq!(results, (0..10).collect::<Vec<_>>());
+        assert_eq!(reports.iter().map(|r| r.state).sum::<u64>(), 10);
+        assert_eq!(reports.iter().map(|r| r.jobs).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_and_zero_jobs() {
+        let (results, reports, _) = run_jobs(2, 8, false, |_| (), |_, j| j);
+        assert_eq!(results, vec![0, 1]);
+        assert_eq!(reports.len(), 2);
+        let (results, reports, stats) = run_jobs(0, 4, false, |_| (), |_, j| j);
+        assert!(results.is_empty() && reports.is_empty());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_work() {
+        // Worker 0 owns a slow job first; its remaining jobs should be
+        // stolen by the other workers, and all results still land in order.
+        let (results, _, _) = run_jobs(
+            16,
+            4,
+            false,
+            |_| (),
+            |_, j| {
+                if j == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                j
+            },
+        );
+        assert_eq!(results, (0..16).collect::<Vec<_>>());
+    }
+}

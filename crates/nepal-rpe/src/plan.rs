@@ -8,7 +8,7 @@
 use nepal_obs::SpanHandle;
 use nepal_schema::{ClassId, Schema, NODE};
 
-use crate::anchor::{select_anchor, AnchorSet, CardinalityEstimator};
+use crate::anchor::{select_anchor_threads, AnchorSet, CardinalityEstimator};
 use crate::ast::Rpe;
 use crate::bind::{bind, BoundAtom, Norm};
 use crate::error::Result;
@@ -76,6 +76,20 @@ pub fn plan_rpe_spanned(
     est: &dyn CardinalityEstimator,
     span: &SpanHandle,
 ) -> Result<RpePlan> {
+    plan_rpe_threads(schema, rpe, est, span, 1)
+}
+
+/// [`plan_rpe_spanned`] with the per-atom anchor cost probes fanned out
+/// over up to `threads` pool workers (see
+/// [`select_anchor_threads`]). The produced plan is identical at any
+/// thread count.
+pub fn plan_rpe_threads(
+    schema: &Schema,
+    rpe: &Rpe,
+    est: &dyn CardinalityEstimator,
+    span: &SpanHandle,
+    threads: usize,
+) -> Result<RpePlan> {
     let bind_span = span.child("bind+compile");
     let bound = bind(schema, rpe)?;
     let kinds: Vec<bool> = bound.atoms.iter().map(|a| a.is_node).collect();
@@ -84,7 +98,7 @@ pub fn plan_rpe_spanned(
     bind_span.attr("nfa_states", nfa.n_states);
     drop(bind_span);
     let anchor_span = span.child("anchor-select");
-    let (anchor, candidates) = select_anchor(&bound.norm, &bound.atoms, schema, est)?;
+    let (anchor, candidates) = select_anchor_threads(&bound.norm, &bound.atoms, schema, est, threads)?;
     anchor_span.attr("candidates", candidates.len());
     anchor_span.attr("cost", format!("{:.1}", anchor.cost));
     drop(anchor_span);

@@ -40,7 +40,7 @@ fn max_elements_option_caps_expansion() {
         &view,
         &plan,
         Seeds::Anchor,
-        &EvalOptions { limit: None, max_elements: Some(5) }, // ≤ 2 hops (5 elems)
+        &EvalOptions { max_elements: Some(5), ..Default::default() }, // ≤ 2 hops (5 elems)
     );
     assert_eq!(capped.len(), 2);
     assert!(capped.iter().all(|p| p.elems.len() <= 5));
@@ -52,7 +52,7 @@ fn limit_option_truncates_deterministically() {
     let plan =
         plan_rpe(g.schema(), &parse_rpe("N(nid=0)->[L()]{1,8}->N()").unwrap(), &GraphEstimator { graph: &g }).unwrap();
     let view = GraphView::new(&g, TimeFilter::Current);
-    let l3 = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(3), max_elements: None });
+    let l3 = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(3), ..Default::default() });
     assert_eq!(l3.len(), 3);
     // Results are sorted, so the limited set is a prefix of the full set.
     let all = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default());

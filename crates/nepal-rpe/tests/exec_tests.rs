@@ -221,7 +221,7 @@ fn limit_truncates_results() {
     )
     .unwrap();
     let view = GraphView::new(&f.g, TimeFilter::Current);
-    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(1), max_elements: None });
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions { limit: Some(1), ..Default::default() });
     assert_eq!(paths.len(), 1);
 }
 

@@ -18,6 +18,7 @@
 //! :trace on|off          enable/disable hierarchical span tracing
 //! :trace export <file>   write the latest trace as Chrome trace-event JSON
 //! :stats                 graph statistics
+//! :threads [N]           show or set evaluator worker threads (0 = auto)
 //! :quit                  exit
 //! EXPLAIN ANALYZE <q>    execute <q> and print its profile
 //! <anything else>        executed as a Nepal query
@@ -70,6 +71,7 @@ fn main() {
         if line == ":help" {
             println!(
                 ":schema | :stats | :plan <rpe> | :sql <query> | :profile <query> | :metrics | :slow | :quit\n\
+                 :threads [N]              show or set evaluator worker threads (0 = auto from NEPAL_THREADS/cores)\n\
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
                  <anything else>           executed as a Nepal query\n\
@@ -102,6 +104,26 @@ fn main() {
                 graph.alive_count(nepal::schema::NODE),
                 graph.alive_count(nepal::schema::EDGE)
             );
+            continue;
+        }
+        if line == ":threads" || line.starts_with(":threads ") {
+            let arg = line.strip_prefix(":threads").unwrap_or("").trim();
+            if arg.is_empty() {
+                let setting = engine.eval_options.threads;
+                println!(
+                    "threads: {} (resolved: {})",
+                    if setting == 0 { "auto".to_string() } else { setting.to_string() },
+                    nepal::rpe::resolved_threads(setting)
+                );
+            } else {
+                match arg.parse::<usize>() {
+                    Ok(n) => {
+                        engine.eval_options.threads = n;
+                        println!("threads set to {} (resolved: {})", n, nepal::rpe::resolved_threads(n));
+                    }
+                    Err(_) => println!("usage: :threads [N]   (0 = auto)"),
+                }
+            }
             continue;
         }
         if line == ":metrics" {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release --bin nepal-serve                  # defaults
-//! cargo run --release --bin nepal-serve -- --http 9464 --gremlin 8182 --ttl 120
+//! cargo run --release --bin nepal-serve -- --http 9464 --gremlin 8182 --ttl 120 --threads 4
 //! ```
 //!
 //! Starts a Gremlin server over the virtualized demo inventory, an engine
@@ -40,6 +40,8 @@ fn main() {
     let http_port: u16 = arg_value(&args, "--http").and_then(|v| v.parse().ok()).unwrap_or(9464);
     let gremlin_port: u16 = arg_value(&args, "--gremlin").and_then(|v| v.parse().ok()).unwrap_or(0);
     let ttl_secs: u64 = arg_value(&args, "--ttl").and_then(|v| v.parse().ok()).unwrap_or(0);
+    // Evaluator worker threads: 0 = auto (NEPAL_THREADS or core count).
+    let threads: usize = arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
     let graph: Arc<TemporalGraph> = Arc::new(generate_virtualized(VirtParams::default()).graph);
@@ -52,8 +54,10 @@ fn main() {
         Err(e) => eprintln!("warning: relational backend unavailable ({e})"),
     }
     let mut engine = Engine::new(registry);
+    engine.eval_options.threads = threads;
     engine.tracer.set_enabled(true);
     engine.tracer.set_sample_every(1);
+    eprintln!("evaluator threads: {}", nepal::rpe::resolved_threads(threads));
 
     // Gremlin wire endpoint over a property-graph mirror, sharing the
     // engine's tracer so server-side request spans land in the same ring.
