@@ -6,11 +6,19 @@
 //!           [--instances N]   # query instances per type (default 50, as §6)
 //!           [--json]          # also write BENCH_table1.json / BENCH_table2.json /
 //!                             # BENCH_scaling.json
+//! reproduce capture [--qlog FILE] [--instances N]
+//!           # run the deterministic workload with the durable query log on,
+//!           # writing a JSONL baseline (default nepal-qlog.jsonl)
+//! reproduce replay [--qlog FILE] [--json]
+//!           # re-run a captured qlog against the current build and compare
+//!           # result digests; exits 1 on any mismatch; --json writes
+//!           # BENCH_replay.json
 //! ```
 
 use nepal_bench::{
-    format_ablation, format_query_table, format_scaling, format_storage, metrics_snapshot_json, query_rows_json,
-    run_scaling, run_storage, run_table1, run_table2, run_table3, scaling_json,
+    capture_workload, format_ablation, format_query_table, format_replay, format_scaling, format_storage,
+    metrics_snapshot_json, query_rows_json, replay_json, replay_qlog, run_scaling, run_storage, run_table1, run_table2,
+    run_table3, scaling_json,
 };
 use nepal_workload::LegacyParams;
 
@@ -25,6 +33,43 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50usize);
     let named: Vec<&String> = args.iter().filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err()).collect();
+    let qlog_path = args
+        .iter()
+        .position(|a| a == "--qlog")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "nepal-qlog.jsonl".to_string());
+
+    // Workload capture/replay run standalone (they build their own engine
+    // and never mix with the table sweeps).
+    if named.iter().any(|a| *a == "capture") {
+        match capture_workload(&qlog_path, instances.min(8), 42) {
+            Ok(n) => println!("captured {n} queries into {qlog_path}"),
+            Err(e) => {
+                eprintln!("capture failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if named.iter().any(|a| *a == "replay") {
+        let report = match replay_qlog(&qlog_path, 42) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay failed: cannot read {qlog_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", format_replay(&report));
+        if json {
+            write_json("BENCH_replay.json", &replay_json(&report));
+        }
+        if !report.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let wants = |t: &str| named.is_empty() || named.iter().any(|a| *a == t || *a == "all");
     let legacy_params = if full { LegacyParams::full_scale() } else { LegacyParams::default() };
 

@@ -9,6 +9,10 @@
 //! time — once against the freshly loaded snapshot and once against the
 //! database carrying a 60-day history.
 
+pub mod replay;
+
+pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, ReplayReport, ReplayRow};
+
 use std::time::Instant;
 
 use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};

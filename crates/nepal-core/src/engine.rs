@@ -24,8 +24,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nepal_graph::{FxHashMap, Interval, IntervalSet, TimeFilter, Uid};
+use nepal_obs::qlog::Fnv64;
 use nepal_obs::{
-    AnchorCandidate, JoinStep, MetricsRegistry, QueryProfile, SlowQueryLog, SpanHandle, Tracer, VarProfile,
+    fingerprint, AnchorCandidate, EstimateFeedback, JoinStep, MetricsRegistry, PlanFeedback, QlogRecord, QueryLog,
+    QueryProfile, SlowQueryLog, SpanHandle, Tracer, VarProfile,
 };
 use nepal_rpe::{
     plan_rpe_threads, resolved_threads, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds,
@@ -97,6 +99,14 @@ pub struct Engine {
     /// Span tracer: every `query` call becomes a hierarchical trace when
     /// enabled; when disabled the whole span machinery is a no-op.
     pub tracer: Tracer,
+    /// Durable query log (JSONL, bounded rotation). `None` — the default —
+    /// leaves the unprofiled hot path untouched: no clock reads beyond the
+    /// existing latency pair, no hashing, no I/O.
+    pub qlog: Option<Arc<QueryLog>>,
+    /// Per-fingerprint planner estimate-vs-actual aggregate. Fed by every
+    /// profiled execution (and by every query while the qlog is enabled);
+    /// exports q-error metrics into [`Engine::metrics`].
+    pub feedback: Arc<EstimateFeedback>,
     /// Named pathway views (§3.4: "Additional views can be defined").
     views: HashMap<String, Query>,
     view_depth: u8,
@@ -126,15 +136,37 @@ impl Engine {
     pub fn new(mut registry: BackendRegistry) -> Engine {
         let metrics = Arc::new(MetricsRegistry::new());
         registry.attach_metrics(&metrics);
+        let feedback = Arc::new(EstimateFeedback::with_metrics(&metrics));
         Engine {
             registry,
             eval_options: EvalOptions::default(),
             metrics,
             slow_log: Arc::new(SlowQueryLog::default()),
             tracer: Tracer::new(),
+            qlog: None,
+            feedback,
             views: HashMap::new(),
             view_depth: 0,
         }
+    }
+
+    /// Open (or create, appending) a durable query log at `path`, rotating
+    /// once the live file exceeds `max_bytes` and keeping `max_files`
+    /// rotated generations. While enabled, every [`Engine::query`] runs
+    /// through the profiled path so the log carries per-operator actuals.
+    pub fn enable_qlog(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        max_bytes: u64,
+        max_files: usize,
+    ) -> std::io::Result<()> {
+        self.qlog = Some(Arc::new(QueryLog::open(path, max_bytes, max_files)?));
+        Ok(())
+    }
+
+    /// Close the durable query log, restoring the zero-overhead hot path.
+    pub fn disable_qlog(&mut self) {
+        self.qlog = None;
     }
 
     /// Register a named pathway view: a stored query whose first retrieved
@@ -154,7 +186,15 @@ impl Engine {
     /// engine's tracer is enabled, the whole call becomes one hierarchical
     /// trace (parse → plan → execute, down to backend operator spans).
     pub fn query(&mut self, text: &str) -> Result<QueryResult> {
+        // With the durable query log enabled, every query takes the
+        // profiled path — the log needs per-operator actuals. When it is
+        // off (the default) this branch is one `Option` check and the hot
+        // path below is exactly the pre-qlog code.
+        if self.qlog.is_some() {
+            return self.query_profiled(text).map(|(r, _)| r);
+        }
         let root = self.tracer.start_trace(text);
+        let trace_id = root.trace_id();
         let t0 = Instant::now();
         let parse_span = root.child("parse");
         let parsed = parse_query(text);
@@ -164,7 +204,7 @@ impl Engine {
         if let Ok(r) = &result {
             root.attr("rows", r.rows.len());
         }
-        self.record_query_metrics(text, total_ns, result.as_ref().ok().map(|r| r.rows.len() as u64));
+        self.record_query_metrics(text, total_ns, result.as_ref().ok().map(|r| r.rows.len() as u64), trace_id);
         result
     }
 
@@ -172,6 +212,7 @@ impl Engine {
     /// path): phase timings, anchor candidates, per-operator statistics.
     pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, QueryProfile)> {
         let root = self.tracer.start_trace(text);
+        let trace_id = root.trace_id();
         let t0 = Instant::now();
         let parse_span = root.child("parse");
         let parsed = parse_query(text);
@@ -189,21 +230,53 @@ impl Engine {
         if let Ok((r, _)) = &outcome {
             root.attr("rows", r.rows.len());
         }
-        self.record_query_metrics(text, total_ns, outcome.as_ref().ok().map(|(r, _)| r.rows.len() as u64));
-        let (result, mut profile) = outcome?;
+        self.record_query_metrics(text, total_ns, outcome.as_ref().ok().map(|(r, _)| r.rows.len() as u64), trace_id);
+        let threads = resolved_threads(self.eval_options.threads) as u64;
+        let (result, mut profile) = match outcome {
+            Ok(v) => v,
+            Err(e) => {
+                if let Some(qlog) = &self.qlog {
+                    let mut rec = QlogRecord::for_error(text, total_ns, &e.to_string(), trace_id, threads);
+                    rec.ts_ms = unix_ms();
+                    rec.parse_ns = parse_ns;
+                    self.feedback.observe(&rec);
+                    qlog.append(&rec);
+                }
+                return Err(e);
+            }
+        };
         profile.query = text.to_string();
         profile.parse_ns = parse_ns;
         profile.total_ns = total_ns;
+        let rec = QlogRecord {
+            ts_ms: if self.qlog.is_some() { unix_ms() } else { 0 },
+            query: text.to_string(),
+            fingerprint: fingerprint(text),
+            trace_id,
+            threads,
+            parse_ns,
+            plan_ns: profile.plan_ns,
+            exec_ns: profile.exec_ns,
+            total_ns,
+            rows: result.rows.len() as u64,
+            digest: digest_result(&result),
+            error: None,
+            feedback: PlanFeedback::from_profile(&profile),
+        };
+        self.feedback.observe(&rec);
+        if let Some(qlog) = &self.qlog {
+            qlog.append(&rec);
+        }
         Ok((result, profile))
     }
 
-    fn record_query_metrics(&mut self, text: &str, total_ns: u64, rows: Option<u64>) {
+    fn record_query_metrics(&mut self, text: &str, total_ns: u64, rows: Option<u64>, trace_id: Option<u64>) {
         self.metrics.counter("nepal_queries_total", "Queries executed").inc();
         match rows {
             Some(n) => {
                 self.metrics.histogram("nepal_query_duration_ns", "Query latency in nanoseconds").observe(total_ns);
                 self.metrics.histogram("nepal_query_result_rows", "Result rows per query").observe(n);
-                self.slow_log.record(text, total_ns, n);
+                self.slow_log.record_traced(text, total_ns, n, trace_id);
                 let len = self.slow_log.len() as i64;
                 self.metrics.gauge("nepal_slow_log_len", "Entries in the slow-query log").set(len);
             }
@@ -1065,6 +1138,56 @@ impl Engine {
             }
         }
     }
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Deterministic FNV-1a digest of a full query result: columns, then every
+/// row's select values (via `Display`), pathway bindings (variable name +
+/// element uids), and assertion intervals. Stable across builds — the
+/// replay tool compares these digests between a captured qlog and a
+/// re-execution.
+pub fn digest_result(result: &QueryResult) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(result.columns.len() as u64);
+    for c in &result.columns {
+        h.write_str(c);
+        h.write_u8(0);
+    }
+    h.write_u64(result.rows.len() as u64);
+    for row in &result.rows {
+        h.write_u8(b'r');
+        for (var, p) in &row.pathways {
+            h.write_u8(b'p');
+            h.write_str(var);
+            h.write_u8(0);
+            h.write_u64(p.elems.len() as u64);
+            for u in &p.elems {
+                h.write_u64(u.0);
+            }
+            if let Some(times) = &p.times {
+                for iv in times.intervals() {
+                    h.write_u64(iv.from as u64);
+                    h.write_u64(iv.to as u64);
+                }
+            }
+        }
+        for v in &row.values {
+            h.write_u8(b'v');
+            h.write_str(&v.to_string());
+            h.write_u8(0);
+        }
+        if let Some(times) = &row.times {
+            h.write_u8(b't');
+            for iv in times.intervals() {
+                h.write_u64(iv.from as u64);
+                h.write_u64(iv.to as u64);
+            }
+        }
+    }
+    h.finish()
 }
 
 fn expr_name(e: &Expr) -> String {

@@ -11,6 +11,8 @@
 //! | `/metrics.json`  | the registry as JSON                            |
 //! | `/healthz`       | per-backend health, 200 all-ok / 503 otherwise  |
 //! | `/slow`          | slow-query ring as JSON                         |
+//! | `/qlog`          | worst-estimated fingerprints, human-readable    |
+//! | `/qlog.json`     | qlog status + per-fingerprint q-error as JSON   |
 //! | `/traces`        | stored trace summaries                          |
 //! | `/traces/latest` | newest trace as Chrome trace-event JSON         |
 //! | `/traces/<id>`   | one trace as Chrome trace-event JSON            |
@@ -30,10 +32,18 @@ use std::time::Duration;
 
 use crate::metrics::MetricsRegistry;
 use crate::profile::SlowQueryLog;
+use crate::qlog::{EstimateFeedback, QueryLog};
 use crate::trace::{esc, summaries_json, Tracer};
 
 type HealthCheck = Box<dyn Fn() -> Result<String, String> + Send>;
 type Refresher = Box<dyn Fn() + Send>;
+
+/// The query-log state the endpoint serves: the estimate-vs-actual
+/// aggregator plus, when durable logging is on, the log file handle.
+struct QlogState {
+    feedback: Arc<EstimateFeedback>,
+    log: Option<Arc<QueryLog>>,
+}
 
 /// Everything the telemetry endpoint can serve.
 pub struct Telemetry {
@@ -42,6 +52,7 @@ pub struct Telemetry {
     pub tracer: Tracer,
     health: Mutex<Vec<(String, HealthCheck)>>,
     refreshers: Mutex<Vec<Refresher>>,
+    qlog: Mutex<Option<QlogState>>,
 }
 
 const CT_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
@@ -49,7 +60,20 @@ const CT_JSON: &str = "application/json";
 
 impl Telemetry {
     pub fn new(metrics: Arc<MetricsRegistry>, slow: Arc<SlowQueryLog>, tracer: Tracer) -> Telemetry {
-        Telemetry { metrics, slow, tracer, health: Mutex::new(Vec::new()), refreshers: Mutex::new(Vec::new()) }
+        Telemetry {
+            metrics,
+            slow,
+            tracer,
+            health: Mutex::new(Vec::new()),
+            refreshers: Mutex::new(Vec::new()),
+            qlog: Mutex::new(None),
+        }
+    }
+
+    /// Attach the engine's plan-feedback aggregator (and the durable log
+    /// handle when one is open) so `/qlog` and `/qlog.json` can serve them.
+    pub fn set_qlog(&self, feedback: Arc<EstimateFeedback>, log: Option<Arc<QueryLog>>) {
+        *self.qlog.lock().unwrap_or_else(|e| e.into_inner()) = Some(QlogState { feedback, log });
     }
 
     /// Register a named health check. `Ok(detail)` is healthy, `Err(why)`
@@ -111,6 +135,21 @@ impl Telemetry {
                 (status, CT_JSON, body)
             }
             "/slow" => (200, CT_JSON, self.slow.render_json()),
+            "/qlog" => match &*self.qlog.lock().unwrap_or_else(|e| e.into_inner()) {
+                Some(q) => (200, CT_TEXT, q.feedback.render_text(20)),
+                None => (404, CT_TEXT, "query log not attached\n".to_string()),
+            },
+            "/qlog.json" => match &*self.qlog.lock().unwrap_or_else(|e| e.into_inner()) {
+                Some(q) => {
+                    let status = match &q.log {
+                        Some(log) => format!("\"enabled\":true,{}", log.status_json()),
+                        None => "\"enabled\":false".to_string(),
+                    };
+                    let body = format!("{{{},\"fingerprints\":{}}}\n", status, q.feedback.render_json());
+                    (200, CT_JSON, body)
+                }
+                None => (404, CT_JSON, "{\"error\":\"query log not attached\"}\n".to_string()),
+            },
             "/traces" => (200, CT_JSON, summaries_json(&self.tracer.summaries())),
             "/traces/latest" => match self.tracer.export_latest_chrome() {
                 Some(json) => (200, CT_JSON, json),
@@ -293,6 +332,22 @@ mod tests {
         assert_eq!(code, 200);
         assert_eq!(t.handle("/traces/999999").0, 404);
         assert_eq!(t.handle("/nope").0, 404);
+    }
+
+    #[test]
+    fn qlog_routes_require_attachment_then_serve_feedback() {
+        let t = telemetry();
+        assert_eq!(t.handle("/qlog").0, 404);
+        assert_eq!(t.handle("/qlog.json").0, 404);
+        let feedback = Arc::new(EstimateFeedback::new());
+        t.set_qlog(feedback.clone(), None);
+        let (code, _, body) = t.handle("/qlog");
+        assert_eq!(code, 200);
+        assert!(body.contains("no plan feedback"), "{body}");
+        let (code, _, body) = t.handle("/qlog.json");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"enabled\":false"), "{body}");
+        assert!(body.contains("\"fingerprints\":[]"), "{body}");
     }
 
     #[test]

@@ -19,16 +19,25 @@
 //!   JSON exporter (Perfetto / `chrome://tracing`). Disabled tracing takes
 //!   no clock reads on the hot path.
 //! - [`http`] — a std-only HTTP listener ([`TelemetryServer`]) serving
-//!   `/metrics`, `/metrics.json`, `/healthz`, `/slow`, and `/traces/<id>`.
+//!   `/metrics`, `/metrics.json`, `/healthz`, `/slow`, `/qlog`, and
+//!   `/traces/<id>`.
+//! - [`qlog`] — the durable query log: append-only JSONL records
+//!   ([`QlogRecord`]) with bounded rotation ([`QueryLog`]), normalized
+//!   query [`fingerprint`]s, and the per-fingerprint planner
+//!   estimate-vs-actual q-error aggregator ([`EstimateFeedback`]).
 
 pub mod http;
 pub mod metrics;
 pub mod profile;
+pub mod qlog;
 pub mod trace;
 
 pub use http::{Telemetry, TelemetryServer};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{
     fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,
+};
+pub use qlog::{
+    fingerprint, qerror, EstimateFeedback, FingerprintStats, PlanFeedback, QlogRecord, QueryLog, VarFeedback,
 };
 pub use trace::{chrome_trace_json, SpanHandle, SpanRecord, Trace, TraceSummary, Tracer, TRACK_CLIENT, TRACK_SERVER};

@@ -216,6 +216,10 @@ pub struct SlowQuery {
     pub query: String,
     pub total_ns: u64,
     pub result_rows: u64,
+    /// Trace id when the query also produced a trace — the key that keeps
+    /// `/slow` and the trace ring deduplicated (one entry per trace, even
+    /// when a query is both sampled and slow).
+    pub trace_id: Option<u64>,
 }
 
 /// Bounded ring buffer of the most recent queries slower than a threshold.
@@ -257,14 +261,30 @@ impl SlowQueryLog {
     /// Record a query if it crossed the threshold; evicts the oldest entry
     /// once full. Returns whether it was recorded.
     pub fn record(&self, query: &str, total_ns: u64, result_rows: u64) -> bool {
+        self.record_traced(query, total_ns, result_rows, None)
+    }
+
+    /// Like [`SlowQueryLog::record`], keyed by trace id: if an entry with
+    /// the same trace id is already in the ring (e.g. the sampled and the
+    /// slow path both reported the query), it is updated in place rather
+    /// than duplicated.
+    pub fn record_traced(&self, query: &str, total_ns: u64, result_rows: u64, trace_id: Option<u64>) -> bool {
         if total_ns < self.threshold_ns() {
             return false;
         }
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(id) = trace_id {
+            if let Some(existing) = entries.iter_mut().find(|e| e.trace_id == Some(id)) {
+                existing.query = query.to_string();
+                existing.total_ns = total_ns;
+                existing.result_rows = result_rows;
+                return true;
+            }
+        }
         if entries.len() == self.capacity {
             entries.pop_front();
         }
-        entries.push_back(SlowQuery { query: query.to_string(), total_ns, result_rows });
+        entries.push_back(SlowQuery { query: query.to_string(), total_ns, result_rows, trace_id });
         true
     }
 
@@ -288,10 +308,11 @@ impl SlowQueryLog {
             .iter()
             .map(|e| {
                 format!(
-                    "{{\"query\":\"{}\",\"total_ns\":{},\"result_rows\":{}}}",
+                    "{{\"query\":\"{}\",\"total_ns\":{},\"result_rows\":{},\"trace_id\":{}}}",
                     crate::trace::esc(&e.query),
                     e.total_ns,
-                    e.result_rows
+                    e.result_rows,
+                    e.trace_id.map(|t| t.to_string()).unwrap_or_else(|| "null".into())
                 )
             })
             .collect();
@@ -330,6 +351,23 @@ mod tests {
         let json = log.render_json();
         assert!(json.contains("\"threshold_ns\":1000"));
         assert!(json.contains("\"query\":\"q3\""));
+    }
+
+    #[test]
+    fn slow_query_log_dedupes_by_trace_id() {
+        let log = SlowQueryLog::new(1000, 4);
+        assert!(log.record_traced("q1", 2000, 1, Some(7)));
+        // Same trace reported again (sampled AND slow): updated in place.
+        assert!(log.record_traced("q1", 2500, 1, Some(7)));
+        assert_eq!(log.len(), 1, "one entry per trace id");
+        assert_eq!(log.entries()[0].total_ns, 2500);
+        assert_eq!(log.entries()[0].trace_id, Some(7));
+        // Untraced entries never dedupe against each other.
+        assert!(log.record_traced("q2", 3000, 2, None));
+        assert!(log.record_traced("q2", 3000, 2, None));
+        assert_eq!(log.len(), 3);
+        assert!(log.render_json().contains("\"trace_id\":7"));
+        assert!(log.render_json().contains("\"trace_id\":null"));
     }
 
     #[test]

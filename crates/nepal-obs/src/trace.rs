@@ -244,17 +244,19 @@ impl Tracer {
             return;
         }
         let mut ring = lock(&inner.store);
+        let trace =
+            Trace { id: buf.id, name: buf.name.clone(), sampled: buf.sampled, start_ns: buf.start_ns, dur_ns, spans };
+        // The ring is keyed by trace id: if this id is already stored
+        // (a trace reported through more than one keep path, e.g. both
+        // sampled and slow), replace it in place instead of duplicating.
+        if let Some(existing) = ring.traces.iter_mut().find(|t| t.id == buf.id) {
+            *existing = trace;
+            return;
+        }
         if ring.traces.len() == ring.cap {
             ring.traces.pop_front();
         }
-        ring.traces.push_back(Trace {
-            id: buf.id,
-            name: buf.name.clone(),
-            sampled: buf.sampled,
-            start_ns: buf.start_ns,
-            dur_ns,
-            spans,
-        });
+        ring.traces.push_back(trace);
     }
 }
 
@@ -606,6 +608,30 @@ mod tests {
         assert_eq!(t.len(), 4);
         let names: Vec<String> = t.summaries().iter().map(|s| s.name.clone()).collect();
         assert_eq!(names, vec!["q6", "q7", "q8", "q9"]);
+    }
+
+    #[test]
+    fn trace_ring_keeps_one_entry_per_trace_id() {
+        let t = enabled_tracer();
+        let root = t.start_trace("q");
+        let id = root.trace_id().unwrap();
+        drop(root);
+        assert_eq!(t.len(), 1);
+        // A second report of the same trace id (e.g. the sampled and the
+        // slow keep-paths both firing) replaces the stored entry in place.
+        let stored = t.get(id).unwrap();
+        let buf = TraceBuf {
+            tracer: t.0.clone(),
+            id,
+            name: "q".into(),
+            sampled: false,
+            start_ns: stored.start_ns,
+            spans: Mutex::new(Vec::new()),
+        };
+        t.set_slow_threshold_ns(0); // second report arrives via the slow keep-path
+        Tracer::finish_trace(&t.0, &buf, stored.start_ns + 999, Vec::new());
+        assert_eq!(t.len(), 1, "no duplicate entry for the same trace id");
+        assert_eq!(t.get(id).unwrap().dur_ns, 999, "replaced in place");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! :profile <query>       run with profiling and print the operator trace
 //! :metrics               engine metrics in Prometheus text format
 //! :slow                  recent slow queries (ring buffer)
+//! :qlog                  query-log status and worst-estimated fingerprints
+//! :qlog on [file]        enable the durable query log (default nepal-qlog.jsonl)
+//! :qlog off              disable the durable query log
+//! :qlog top N            N worst q-error fingerprints, chosen vs hindsight anchor
 //! :trace                 tracing status and buffered traces
 //! :trace on|off          enable/disable hierarchical span tracing
 //! :trace export <file>   write the latest trace as Chrome trace-event JSON
@@ -73,6 +77,7 @@ fn main() {
                 ":schema | :stats | :plan <rpe> | :sql <query> | :profile <query> | :metrics | :slow | :quit\n\
                  :threads [N]              show or set evaluator worker threads (0 = auto from NEPAL_THREADS/cores)\n\
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
+                 :qlog | :qlog on [file] | :qlog off | :qlog top N   durable query log + planner q-error feedback\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
                  <anything else>           executed as a Nepal query\n\
                  example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)\n\
@@ -135,9 +140,14 @@ fn main() {
                 println!("no queries above {} yet", fmt_ns(engine.slow_log.threshold_ns()));
             } else {
                 for e in engine.slow_log.entries() {
-                    println!("{:>10}  {:>6} row(s)  {}", fmt_ns(e.total_ns), e.result_rows, e.query);
+                    let trace = e.trace_id.map(|t| format!("trace #{t}")).unwrap_or_else(|| "-".to_string());
+                    println!("{:>10}  {:>6} row(s)  {:>10}  {}", fmt_ns(e.total_ns), e.result_rows, trace, e.query);
                 }
             }
+            continue;
+        }
+        if line == ":qlog" || line.starts_with(":qlog ") {
+            run_qlog_command(&mut engine, line.strip_prefix(":qlog").unwrap_or("").trim());
             continue;
         }
         if line == ":trace" || line.starts_with(":trace ") {
@@ -247,6 +257,45 @@ fn run_trace_command(engine: &Engine, arg: &str) {
                 }
             } else {
                 println!("usage: :trace | :trace on | :trace off | :trace export <file>");
+            }
+        }
+    }
+}
+
+fn run_qlog_command(engine: &mut Engine, arg: &str) {
+    match arg {
+        "" => {
+            match &engine.qlog {
+                Some(log) => println!(
+                    "query log: on  file: {}  records: {}  bytes: {}  rotations: {}",
+                    log.path().display(),
+                    log.records(),
+                    log.bytes(),
+                    log.rotations()
+                ),
+                None => println!("query log: off (:qlog on [file] to enable)"),
+            }
+            print!("{}", engine.feedback.render_text(10));
+        }
+        "off" => {
+            engine.disable_qlog();
+            println!("query log off");
+        }
+        _ => {
+            if let Some(rest) = arg.strip_prefix("top") {
+                match rest.trim().parse::<usize>() {
+                    Ok(n) if n > 0 => print!("{}", engine.feedback.render_text(n)),
+                    _ => println!("usage: :qlog top N"),
+                }
+            } else if let Some(rest) = arg.strip_prefix("on") {
+                let file = rest.trim();
+                let file = if file.is_empty() { "nepal-qlog.jsonl" } else { file };
+                match engine.enable_qlog(file, 16 * 1024 * 1024, 4) {
+                    Ok(()) => println!("query log on: appending JSONL records to {file}"),
+                    Err(e) => println!("error: could not open {file}: {e}"),
+                }
+            } else {
+                println!("usage: :qlog | :qlog on [file] | :qlog off | :qlog top N");
             }
         }
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --bin nepal-serve                  # defaults
 //! cargo run --release --bin nepal-serve -- --http 9464 --gremlin 8182 --ttl 120 --threads 4
+//! cargo run --release --bin nepal-serve -- --qlog nepal-qlog.jsonl   # durable query log
 //! ```
 //!
 //! Starts a Gremlin server over the virtualized demo inventory, an engine
@@ -14,6 +15,8 @@
 //! GET /metrics.json   the same registry as JSON
 //! GET /healthz        liveness + registered health checks
 //! GET /slow           slow-query ring buffer
+//! GET /qlog           worst-estimated query fingerprints (planner q-error)
+//! GET /qlog.json      query-log status + per-fingerprint feedback as JSON
 //! GET /traces         buffered trace summaries
 //! GET /traces/<id>    one trace as Chrome trace-event JSON
 //! ```
@@ -42,6 +45,8 @@ fn main() {
     let ttl_secs: u64 = arg_value(&args, "--ttl").and_then(|v| v.parse().ok()).unwrap_or(0);
     // Evaluator worker threads: 0 = auto (NEPAL_THREADS or core count).
     let threads: usize = arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+    // Durable query-log file (off unless given).
+    let qlog_path = arg_value(&args, "--qlog");
 
     eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
     let graph: Arc<TemporalGraph> = Arc::new(generate_virtualized(VirtParams::default()).graph);
@@ -58,6 +63,12 @@ fn main() {
     engine.tracer.set_enabled(true);
     engine.tracer.set_sample_every(1);
     eprintln!("evaluator threads: {}", nepal::rpe::resolved_threads(threads));
+    if let Some(path) = &qlog_path {
+        match engine.enable_qlog(path, 16 * 1024 * 1024, 4) {
+            Ok(()) => eprintln!("query log: appending JSONL records to {path}"),
+            Err(e) => eprintln!("warning: could not open query log {path}: {e}"),
+        }
+    }
 
     // Gremlin wire endpoint over a property-graph mirror, sharing the
     // engine's tracer so server-side request spans land in the same ring.
@@ -82,6 +93,7 @@ fn main() {
     // Telemetry endpoint: engine metrics + store gauges, health checks,
     // slow log and the trace ring.
     let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    telemetry.set_qlog(engine.feedback.clone(), engine.qlog.clone());
     let gauges = Arc::new(StoreGauges::register(&engine.metrics));
     {
         let (gauges, graph) = (gauges.clone(), graph.clone());

@@ -1,0 +1,168 @@
+//! Durable query log acceptance tests: records written through the full
+//! engine round-trip from JSONL with stable result digests, the `/qlog`
+//! telemetry routes serve planner feedback once attached, and the query
+//! fingerprint is invariant under literal and whitespace changes (checked
+//! on a corpus and property-tested over generated RPE shapes).
+
+use std::sync::Arc;
+
+use nepal::core::{digest_result, engine_over, Engine};
+use nepal::graph::TemporalGraph;
+use nepal::obs::{fingerprint, QueryLog, Telemetry};
+use nepal::schema::dsl::parse_schema;
+use nepal::schema::Value;
+use proptest::prelude::*;
+
+fn demo_graph() -> Arc<TemporalGraph> {
+    let schema = Arc::new(
+        parse_schema(
+            r#"
+            node VM { vm_id: int unique }
+            node Host { host_id: int unique }
+            edge HostedOn { }
+            allow HostedOn (VM -> Host)
+            "#,
+        )
+        .unwrap(),
+    );
+    let vm_class = schema.class_by_name("VM").unwrap();
+    let host_class = schema.class_by_name("Host").unwrap();
+    let hosted = schema.class_by_name("HostedOn").unwrap();
+    let mut g = TemporalGraph::new(schema);
+    let host = g.insert_node(host_class, vec![Value::Int(7)], 0).unwrap();
+    for i in 0..4 {
+        let vm = g.insert_node(vm_class, vec![Value::Int(50 + i)], 0).unwrap();
+        g.insert_edge(hosted, vm, host, vec![], 0).unwrap();
+    }
+    Arc::new(g)
+}
+
+fn demo_engine() -> Engine {
+    engine_over(demo_graph())
+}
+
+const OK_QUERY: &str = "Retrieve P From PATHS P Where P MATCHES VM()->HostedOn()->Host(host_id=7)";
+const AGG_QUERY: &str = "Select count(P) From PATHS P Where P MATCHES VM()->HostedOn()->Host()";
+const BAD_QUERY: &str = "Retrieve P From PATHS P Where P MATCHES Phantom()->HostedOn()->Host()";
+
+/// Queries run with the qlog enabled land in the JSONL file, round-trip
+/// through the parser, and carry digests that a fresh engine over the
+/// same graph reproduces exactly.
+#[test]
+fn qlog_records_roundtrip_with_reproducible_digests() {
+    let dir = std::env::temp_dir().join(format!("nepal-qlog-facade-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("qlog.jsonl");
+    let path = path.to_str().unwrap();
+    let _ = std::fs::remove_file(path);
+
+    let mut engine = demo_engine();
+    engine.enable_qlog(path, 1 << 20, 2).unwrap();
+    assert_eq!(engine.query(OK_QUERY).unwrap().rows.len(), 4);
+    assert_eq!(engine.query(AGG_QUERY).unwrap().rows.len(), 1);
+    assert!(engine.query(BAD_QUERY).is_err());
+    engine.disable_qlog();
+
+    let records = QueryLog::read_records(path).unwrap();
+    assert_eq!(records.len(), 3, "one record per query, errors included");
+    assert_eq!(records[0].query, OK_QUERY);
+    assert_eq!(records[0].rows, 4);
+    assert!(records[0].error.is_none());
+    assert!(records[0].total_ns > 0);
+    assert!(records[0].ts_ms > 0, "wall-clock stamped while qlog on");
+    assert!(!records[0].feedback.vars.is_empty(), "plan feedback captured");
+    assert!(records[2].error.is_some(), "failed query recorded with its error");
+
+    // A fresh engine over the same graph must reproduce each digest.
+    let mut fresh = demo_engine();
+    for rec in records.iter().filter(|r| r.error.is_none()) {
+        let (result, _) = fresh.query_profiled(&rec.query).unwrap();
+        assert_eq!(digest_result(&result), rec.digest, "digest drift for {}", rec.query);
+        assert_eq!(result.rows.len() as u64, rec.rows);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/qlog` and `/qlog.json` 404 until planner feedback is attached, then
+/// serve per-fingerprint estimate accuracy and log status.
+#[test]
+fn telemetry_qlog_routes_serve_feedback_after_queries() {
+    let dir = std::env::temp_dir().join(format!("nepal-qlog-http-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("qlog.jsonl");
+    let path = path.to_str().unwrap();
+    let _ = std::fs::remove_file(path);
+
+    let mut engine = demo_engine();
+    let telemetry = Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone());
+    let (status, _, _) = telemetry.handle("/qlog");
+    assert_eq!(status, 404, "route 404s before attachment");
+
+    engine.enable_qlog(path, 1 << 20, 2).unwrap();
+    engine.query(OK_QUERY).unwrap();
+    telemetry.set_qlog(engine.feedback.clone(), engine.qlog.clone());
+
+    let (status, _, body) = telemetry.handle("/qlog");
+    assert_eq!(status, 200);
+    assert!(body.contains("fingerprint"), "{body}");
+    let (status, _, body) = telemetry.handle("/qlog.json");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"enabled\":true"), "{body}");
+    assert!(body.contains("\"records\":1"), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fingerprint folds literals and whitespace but preserves structure:
+/// the same query shape with different constants collides, a different
+/// repetition bound does not.
+#[test]
+fn fingerprint_ignores_literals_and_whitespace() {
+    let a = fingerprint("Retrieve P From PATHS P Where P MATCHES VM()->[Vertical()]{1,4}->Host(host_id=1015)");
+    let b = fingerprint("Retrieve  P  From PATHS P Where P MATCHES VM() -> [Vertical()]{1,4} -> Host(host_id=7)");
+    let c = fingerprint("Retrieve P From PATHS P Where P MATCHES VM()->[Vertical()]{1,6}->Host(host_id=1015)");
+    let d = fingerprint("Retrieve P From PATHS P Where P MATCHES VM()->[Vertical()]{1,4}->Host(name='x-7')");
+    assert_eq!(a, b, "literals and spacing must not change the fingerprint");
+    assert_ne!(a, c, "repetition bounds are structural");
+    assert_ne!(a, d, "predicate field names are structural");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated two-atom RPE keeps its fingerprint when the predicate
+    /// literal and the padding around arrows change, and changes it when
+    /// the repetition bounds change.
+    #[test]
+    fn fingerprint_stable_over_generated_rpes(
+        // src (3) x dst (2) x pad_a (3) x pad_b (3) shapes, mixed-radix.
+        shape in 0usize..54,
+        lo in 1u32..3,
+        extra in 0u32..4,
+        lits in (0i64..1_000_000, 0i64..1_000_000),
+    ) {
+        let src = ["VM", "Host", "VNF"][shape % 3];
+        let dst = ["Host", "Server"][(shape / 3) % 2];
+        let pad_a = ["", " ", "  "][(shape / 6) % 3];
+        let pad_b = ["", " ", "\t"][(shape / 18) % 3];
+        let (lit_a, lit_b) = lits;
+        let hi = lo + extra;
+        let q = |lit: i64, pad: &str| {
+            format!(
+                "Retrieve P From PATHS P Where P MATCHES {src}(){pad}->{pad}[Vertical()]{{{lo},{hi}}}{pad}->{pad}{dst}(x={lit})"
+            )
+        };
+        prop_assert_eq!(
+            fingerprint(&q(lit_a, pad_a)),
+            fingerprint(&q(lit_b, pad_b)),
+            "literal/pad variants must share a fingerprint"
+        );
+        let bumped = format!(
+            "Retrieve P From PATHS P Where P MATCHES {src}()->[Vertical()]{{{lo},{}}}->{dst}(x={lit_a})",
+            hi + 1
+        );
+        prop_assert!(
+            fingerprint(&q(lit_a, pad_a)) != fingerprint(&bumped),
+            "changing a repetition bound must change the fingerprint"
+        );
+    }
+}
