@@ -13,12 +13,17 @@
 //!           # re-run a captured qlog against the current build and compare
 //!           # result digests; exits 1 on any mismatch; --json writes
 //!           # BENCH_replay.json
+//! reproduce obs-report [--instances N]
+//!           # resource accounting + SLO alert experiment: memory growth
+//!           # under churn, report-vs-recount agreement, accounting
+//!           # overhead over the Table-1 workload, healthy/overload alert
+//!           # outcomes; always writes BENCH_memory.json
 //! ```
 
 use nepal_bench::{
-    capture_workload, format_ablation, format_query_table, format_replay, format_scaling, format_storage,
-    metrics_snapshot_json, query_rows_json, replay_json, replay_qlog, run_scaling, run_storage, run_table1, run_table2,
-    run_table3, scaling_json,
+    capture_workload, format_ablation, format_obs_report, format_query_table, format_replay, format_scaling,
+    format_storage, metrics_snapshot_json, obs_report_json, query_rows_json, replay_json, replay_qlog, run_obs_report,
+    run_scaling, run_storage, run_table1, run_table2, run_table3, scaling_json,
 };
 use nepal_workload::LegacyParams;
 
@@ -67,6 +72,13 @@ fn main() {
         if !report.passed() {
             std::process::exit(1);
         }
+        return;
+    }
+
+    if named.iter().any(|a| *a == "obs-report") {
+        let report = run_obs_report(instances, 42);
+        print!("{}", format_obs_report(&report));
+        write_json("BENCH_memory.json", &obs_report_json(&report));
         return;
     }
 

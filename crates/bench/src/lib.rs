@@ -9,8 +9,10 @@
 //! time — once against the freshly loaded snapshot and once against the
 //! database carrying a 60-day history.
 
+pub mod obs_report;
 pub mod replay;
 
+pub use obs_report::{format_obs_report, obs_report_json, run_obs_report, ChurnPoint, ObsReport};
 pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, ReplayReport, ReplayRow};
 
 use std::time::Instant;

@@ -27,7 +27,7 @@ use nepal_graph::{FxHashMap, Interval, IntervalSet, TimeFilter, Uid};
 use nepal_obs::qlog::Fnv64;
 use nepal_obs::{
     fingerprint, AnchorCandidate, EstimateFeedback, JoinStep, MetricsRegistry, PlanFeedback, QlogRecord, QueryLog,
-    QueryProfile, SlowQueryLog, SpanHandle, Tracer, VarProfile,
+    QueryProfile, SloEngine, SloRule, SlowQueryLog, SpanHandle, Tracer, VarProfile,
 };
 use nepal_rpe::{
     plan_rpe_threads, resolved_threads, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds,
@@ -82,6 +82,23 @@ struct BackendEstimator<'a>(&'a dyn Backend);
 impl CardinalityEstimator for BackendEstimator<'_> {
     fn estimate(&self, _schema: &Schema, atom: &BoundAtom) -> f64 {
         self.0.estimate(atom)
+    }
+}
+
+/// Thresholds for [`Engine::install_standard_slos`]. The defaults suit an
+/// interactive inventory store: 50ms p99, 1% errors, 1GiB store heap,
+/// planner q-error within 64×.
+#[derive(Debug, Clone)]
+pub struct StandardSlos {
+    pub max_p99_ns: u64,
+    pub max_error_ratio: f64,
+    pub max_store_bytes: i64,
+    pub max_qerror: f64,
+}
+
+impl Default for StandardSlos {
+    fn default() -> StandardSlos {
+        StandardSlos { max_p99_ns: 50_000_000, max_error_ratio: 0.01, max_store_bytes: 1 << 30, max_qerror: 64.0 }
     }
 }
 
@@ -167,6 +184,39 @@ impl Engine {
     /// Close the durable query log, restoring the zero-overhead hot path.
     pub fn disable_qlog(&mut self) {
         self.qlog = None;
+    }
+
+    /// Build an [`SloEngine`] over this engine's metrics with the standard
+    /// rule set:
+    ///
+    /// - `query-latency-p99` — windowed p99 of `nepal_query_duration_ns`
+    ///   at most `slos.max_p99_ns`;
+    /// - `query-error-rate` — `nepal_query_errors_total` over
+    ///   `nepal_queries_total` at most `slos.max_error_ratio` per window;
+    /// - `store-memory` — `nepal_store_total_bytes` watermark at most
+    ///   `slos.max_store_bytes` (kept current by a `StoreGauges`
+    ///   refresher);
+    /// - `planner-qerror` — worst per-fingerprint q-error from
+    ///   [`Engine::feedback`] at most `slos.max_qerror`.
+    ///
+    /// Pull-time evaluation only: hand the result to
+    /// `Telemetry::set_slo` (and/or call `evaluate()` yourself); nothing
+    /// here spawns a thread.
+    pub fn install_standard_slos(&self, slos: &StandardSlos) -> Arc<SloEngine> {
+        let engine = Arc::new(SloEngine::new(self.metrics.clone()));
+        engine.add(SloRule::latency("query-latency-p99", "nepal_query_duration_ns", 0.99, slos.max_p99_ns));
+        engine.add(SloRule::error_rate(
+            "query-error-rate",
+            "nepal_query_errors_total",
+            "nepal_queries_total",
+            slos.max_error_ratio,
+        ));
+        engine.add(SloRule::gauge_max("store-memory", "nepal_store_total_bytes", slos.max_store_bytes));
+        let feedback = self.feedback.clone();
+        engine.add(SloRule::probe("planner-qerror", slos.max_qerror, move || {
+            feedback.top(1).first().map(|s| s.max_qerror).unwrap_or(0.0)
+        }));
+        engine
     }
 
     /// Register a named pathway view: a stored query whose first retrieved

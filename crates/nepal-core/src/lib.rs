@@ -29,7 +29,7 @@ pub mod parser;
 pub use analysis::{footprint, induced_paths, shared_fate, InducedSegment};
 pub use ast::{AggFn, Cond, Expr, Head, PathFn, QCmp, Query, SelectItem, SourceDecl, TimeSpec};
 pub use backend::{Backend, BackendRegistry, GremlinBackend, NativeBackend, RelationalBackend};
-pub use engine::{digest_result, Engine, QueryResult, ResultRow, FULL_RANGE};
+pub use engine::{digest_result, Engine, QueryResult, ResultRow, StandardSlos, FULL_RANGE};
 pub use error::{NepalError, Result};
 pub use evolution::{change_log, path_evolution, ChangeEvent, ChangeKind, ElementEvolution};
 pub use parser::{parse_query, parse_statement, Statement};

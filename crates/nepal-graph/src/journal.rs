@@ -43,6 +43,25 @@ pub fn journal_lines(g: &TemporalGraph) -> u64 {
     1 + g.num_entities() as u64 + g.num_versions()
 }
 
+/// Exact size in bytes of the journal [`save_graph`] would produce, via a
+/// counting-writer pass over the full serialization (no allocation beyond
+/// per-line formatting).
+pub fn journal_bytes(g: &TemporalGraph) -> u64 {
+    struct CountWriter(u64);
+    impl Write for CountWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0 += buf.len() as u64;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut w = CountWriter(0);
+    save_graph(g, &mut w).expect("counting writer cannot fail");
+    w.0
+}
+
 /// Write the complete graph to `w`.
 pub fn save_graph<W: Write>(g: &TemporalGraph, w: &mut W) -> Result<()> {
     let schema = g.schema();

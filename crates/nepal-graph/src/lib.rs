@@ -46,9 +46,12 @@ pub use error::{GraphError, Result};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interval::{Interval, IntervalSet, FOREVER};
 pub use journal::{
-    journal_lines, load_from_file, load_graph as load_journal, save_graph as save_journal, save_to_file,
+    journal_bytes, journal_lines, load_from_file, load_graph as load_journal, save_graph as save_journal, save_to_file,
 };
-pub use metrics::StoreGauges;
+pub use metrics::{resource_summary, StoreGauges};
 pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};
-pub use store::{AdjEntry, AdjList, EdgeEntry, NodeEntry, StoreCounts, TemporalGraph, Uid, Version};
+pub use store::{
+    value_heap_bytes, AdjEntry, AdjList, ClassAccounting, ClassMemory, EdgeEntry, MemoryReport, NodeEntry, StoreCounts,
+    TemporalGraph, Uid, Version,
+};
 pub use view::{GraphView, MatchTime, TimeFilter};

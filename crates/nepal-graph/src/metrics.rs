@@ -1,19 +1,30 @@
-//! Store-level gauges: the temporal store's size and churn, exported
-//! through a [`MetricsRegistry`] so the telemetry endpoint can serve them
-//! alongside the engine's query metrics.
+//! Store-level gauges: the temporal store's size, churn, and estimated
+//! memory footprint, exported through a [`MetricsRegistry`] so the
+//! telemetry endpoint can serve them alongside the engine's query metrics.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use nepal_obs::{Gauge, MetricsRegistry};
+use nepal_obs::{Gauge, MetricsRegistry, ResourceClass, ResourceSummary};
+use nepal_schema::ClassId;
 
 use crate::journal::journal_lines;
 use crate::snapshot::SnapshotLoader;
-use crate::store::TemporalGraph;
+use nepal_schema::ClassKind;
+
+use crate::store::{MemoryReport, TemporalGraph};
 
 /// Gauges describing one [`TemporalGraph`]. Register once, then call
 /// [`StoreGauges::refresh`] whenever current values are wanted (e.g. from a
 /// telemetry refresher hook before rendering `/metrics`).
+///
+/// [`refresh`](StoreGauges::refresh) is the cheap path — O(classes) reads
+/// of the incremental accounting, safe to run per scrape or even per
+/// query. [`refresh_deep`](StoreGauges::refresh_deep) additionally walks
+/// the store for the version-chain length distribution and the journal /
+/// unique-index sizes; run it on scrape, not per query.
 pub struct StoreGauges {
+    metrics: Arc<MetricsRegistry>,
     nodes: Arc<Gauge>,
     edges: Arc<Gauge>,
     node_versions: Arc<Gauge>,
@@ -21,14 +32,35 @@ pub struct StoreGauges {
     alive_nodes: Arc<Gauge>,
     alive_edges: Arc<Gauge>,
     journal_lines: Arc<Gauge>,
+    total_bytes: Arc<Gauge>,
+    entity_bytes: Arc<Gauge>,
+    adjacency_bytes: Arc<Gauge>,
+    unique_index_bytes: Arc<Gauge>,
+    journal_bytes: Arc<Gauge>,
     snapshot_hits: Arc<Gauge>,
     snapshot_misses: Arc<Gauge>,
+    /// Labeled-series handles resolved once per class: registry lookups
+    /// allocate and take the registry lock, so the per-query-safe
+    /// [`refresh`](Self::refresh) path must not repeat them.
+    per_class: Mutex<HashMap<ClassId, ClassSeries>>,
 }
 
+struct ClassSeries {
+    bytes: Arc<Gauge>,
+    alive_ratio: Arc<Gauge>,
+}
+
+const BYTES_HELP: &str = "Estimated heap bytes per class (version chains + property payloads)";
+const ALIVE_HELP: &str = "Currently-asserted entities per thousand ever created, per class";
+const CHAIN_HELP: &str = "Entities whose version chain is at most `le` versions long";
+
 impl StoreGauges {
-    /// Create the gauge family inside `metrics`.
-    pub fn register(metrics: &MetricsRegistry) -> StoreGauges {
+    /// Create the gauge family inside `metrics`. Keeps a handle on the
+    /// registry: per-class series are created lazily as classes first
+    /// appear in the store.
+    pub fn register(metrics: &Arc<MetricsRegistry>) -> StoreGauges {
         StoreGauges {
+            metrics: metrics.clone(),
             nodes: metrics.gauge("nepal_store_nodes", "Node uids ever created"),
             edges: metrics.gauge("nepal_store_edges", "Edge uids ever created"),
             node_versions: metrics.gauge("nepal_store_node_versions", "Stored node versions, current + history"),
@@ -36,12 +68,22 @@ impl StoreGauges {
             alive_nodes: metrics.gauge("nepal_store_alive_nodes", "Nodes currently asserted"),
             alive_edges: metrics.gauge("nepal_store_alive_edges", "Edges currently asserted"),
             journal_lines: metrics.gauge("nepal_store_journal_lines", "Lines a full journal save would emit"),
+            total_bytes: metrics
+                .gauge("nepal_store_total_bytes", "Estimated store heap bytes (entities + adjacency + indexes)"),
+            entity_bytes: metrics
+                .gauge("nepal_store_entity_bytes", "Estimated heap bytes across all version chains and payloads"),
+            adjacency_bytes: metrics.gauge("nepal_store_adjacency_bytes", "Estimated adjacency-structure heap bytes"),
+            unique_index_bytes: metrics.gauge("nepal_store_unique_index_bytes", "Estimated unique-index heap bytes"),
+            journal_bytes: metrics.gauge("nepal_store_journal_bytes", "Bytes a full journal save would write"),
             snapshot_hits: metrics.gauge("nepal_snapshot_cache_hits", "Snapshot upserts resolved to live entities"),
             snapshot_misses: metrics.gauge("nepal_snapshot_cache_misses", "Snapshot upserts that inserted fresh"),
+            per_class: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Update the store gauges from the graph's current state.
+    /// Update the cheap store gauges from the incremental accounting:
+    /// totals, per-class `nepal_store_bytes{class=...}`, and per-class
+    /// alive ratios. O(classes) — no walk over entities.
     pub fn refresh(&self, g: &TemporalGraph) {
         let c = g.counts();
         self.nodes.set(c.nodes as i64);
@@ -51,12 +93,80 @@ impl StoreGauges {
         self.alive_nodes.set(c.alive_nodes as i64);
         self.alive_edges.set(c.alive_edges as i64);
         self.journal_lines.set(journal_lines(g) as i64);
+
+        let mut entity_bytes = 0u64;
+        let mut series = self.per_class.lock().unwrap_or_else(|e| e.into_inner());
+        for row in g.class_memory() {
+            entity_bytes += row.bytes;
+            let s = series.entry(row.class).or_insert_with(|| {
+                let labels = [("class", row.name.as_str())];
+                ClassSeries {
+                    bytes: self.metrics.gauge_labeled("nepal_store_bytes", &labels, BYTES_HELP),
+                    alive_ratio: self.metrics.gauge_labeled("nepal_store_alive_ratio_x1000", &labels, ALIVE_HELP),
+                }
+            });
+            s.bytes.set(row.bytes as i64);
+            let ratio = (row.alive * 1000).checked_div(row.entities).unwrap_or(0);
+            s.alive_ratio.set(ratio as i64);
+        }
+        drop(series);
+        self.entity_bytes.set(entity_bytes as i64);
+        self.adjacency_bytes.set(g.adjacency_bytes() as i64);
+    }
+
+    /// [`refresh`](Self::refresh), plus the store-walking figures: total /
+    /// unique-index / journal bytes and the version-chain length
+    /// distribution (`nepal_store_chain_entities{le=...}`).
+    pub fn refresh_deep(&self, g: &TemporalGraph) -> MemoryReport {
+        self.refresh(g);
+        let report = g.memory_report();
+        self.total_bytes.set(report.total_bytes as i64);
+        self.unique_index_bytes.set(report.unique_index_bytes as i64);
+        self.journal_bytes.set(report.journal_bytes as i64);
+        for (bound, count) in &report.chain_histogram {
+            let le = if *bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+            self.metrics
+                .gauge_labeled("nepal_store_chain_entities", &[("le", le.as_str())], CHAIN_HELP)
+                .set(*count as i64);
+        }
+        report
     }
 
     /// Update the snapshot-cache gauges from a loader's counters.
     pub fn observe_snapshot(&self, loader: &SnapshotLoader) {
         self.snapshot_hits.set(loader.cache_hits() as i64);
         self.snapshot_misses.set(loader.cache_misses() as i64);
+    }
+}
+
+/// Convert a store [`MemoryReport`] into the store-agnostic
+/// [`ResourceSummary`] the telemetry endpoint serves on `/healthz` and
+/// `/dashboard` (via [`Telemetry::set_resources`]).
+///
+/// [`Telemetry::set_resources`]: nepal_obs::Telemetry::set_resources
+pub fn resource_summary(report: &MemoryReport) -> ResourceSummary {
+    ResourceSummary {
+        classes: report
+            .classes
+            .iter()
+            .map(|c| ResourceClass {
+                name: c.name.clone(),
+                kind: match c.kind {
+                    ClassKind::Node => "node",
+                    ClassKind::Edge => "edge",
+                },
+                entities: c.entities,
+                alive: c.alive,
+                versions: c.versions,
+                bytes: c.bytes,
+            })
+            .collect(),
+        entity_bytes: report.entity_bytes,
+        adjacency_bytes: report.adjacency_bytes,
+        unique_index_bytes: report.unique_index_bytes,
+        journal_bytes: report.journal_bytes,
+        total_bytes: report.total_bytes,
+        chain_histogram: report.chain_histogram.clone(),
     }
 }
 
@@ -76,7 +186,7 @@ mod tests {
         let b = g.insert_node(vm, vec![Value::Str("Green".into())], 100).unwrap();
         g.delete(b, 300).unwrap();
 
-        let metrics = MetricsRegistry::new();
+        let metrics = Arc::new(MetricsRegistry::new());
         let gauges = StoreGauges::register(&metrics);
         gauges.refresh(&g);
         let text = metrics.render_prometheus();
@@ -85,6 +195,9 @@ mod tests {
         assert!(text.contains("nepal_store_alive_nodes 1"), "{text}");
         // 1 header + 2 entities + 3 versions.
         assert!(text.contains("nepal_store_journal_lines 6"), "{text}");
+        // Per-class byte + alive-ratio series (1 of 2 VMs alive = 500).
+        assert!(text.contains("nepal_store_bytes{class=\"VM\"}"), "{text}");
+        assert!(text.contains("nepal_store_alive_ratio_x1000{class=\"VM\"} 500"), "{text}");
 
         let mut loader = SnapshotLoader::new();
         let node =
@@ -95,5 +208,35 @@ mod tests {
         let text = metrics.render_prometheus();
         assert!(text.contains("nepal_snapshot_cache_hits 1"), "{text}");
         assert!(text.contains("nepal_snapshot_cache_misses 1"), "{text}");
+    }
+
+    #[test]
+    fn deep_refresh_exports_footprint_and_chain_distribution() {
+        let schema = Arc::new(parse_schema("node VM { status: str }").unwrap());
+        let vm = schema.class_by_name("VM").unwrap();
+        let mut g = TemporalGraph::new(schema);
+        let a = g.insert_node(vm, vec![Value::Str("Green".into())], 0).unwrap();
+        for ts in 1..=5 {
+            g.update(a, &[(0, Value::Str(format!("v{ts}")))], ts).unwrap();
+        }
+        g.insert_node(vm, vec![Value::Str("Green".into())], 0).unwrap();
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let gauges = StoreGauges::register(&metrics);
+        let report = gauges.refresh_deep(&g);
+        assert_eq!(report.total_bytes, g.memory_recount().total_bytes);
+
+        let text = metrics.render_prometheus();
+        assert!(text.contains("nepal_store_total_bytes"), "{text}");
+        assert!(text.contains("nepal_store_journal_bytes"), "{text}");
+        // One entity with a 6-long chain (≤8 bucket), one with 1 (≤1).
+        assert!(text.contains("nepal_store_chain_entities{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("nepal_store_chain_entities{le=\"8\"} 1"), "{text}");
+
+        let summary = resource_summary(&report);
+        assert_eq!(summary.total_bytes, report.total_bytes);
+        assert_eq!(summary.classes.len(), 1);
+        assert_eq!(summary.classes[0].kind, "node");
+        assert_eq!(summary.chain_histogram, report.chain_histogram);
     }
 }

@@ -128,7 +128,9 @@ impl AdjList {
         self.buckets.iter().map(|b| (b.class, &self.entries[b.start as usize..(b.start + b.len) as usize]))
     }
 
-    fn insert(&mut self, e: AdjEntry) {
+    /// Insert an entry, returning whether a new class bucket was created
+    /// (the accounting hook charges bucket overhead on first use).
+    fn insert(&mut self, e: AdjEntry) -> bool {
         if let Some(i) = self.buckets.iter().position(|b| b.class == e.class) {
             let at = (self.buckets[i].start + self.buckets[i].len) as usize;
             self.entries.insert(at, e);
@@ -136,11 +138,113 @@ impl AdjList {
             for b in &mut self.buckets[i + 1..] {
                 b.start += 1;
             }
+            false
         } else {
             self.buckets.push(AdjBucket { class: e.class, start: self.entries.len() as u32, len: 1 });
             self.entries.push(e);
+            true
         }
     }
+
+    /// Estimated heap bytes of this list under the accounting model:
+    /// entry array + bucket array (the `AdjList` header itself is charged
+    /// by the owner).
+    fn heap_bytes(&self) -> u64 {
+        self.entries.len() as u64 * ADJ_ENTRY_BYTES + self.buckets.len() as u64 * ADJ_BUCKET_BYTES
+    }
+}
+
+// ----------------------------------------------------------------------
+// Resource accounting (estimated heap bytes)
+// ----------------------------------------------------------------------
+
+/// Inline size of one [`Value`] slot (vector element / field cell).
+const VALUE_SLOT_BYTES: u64 = std::mem::size_of::<Value>() as u64;
+/// Inline size of one [`Version`] inside an entity's version vector.
+const VERSION_BYTES: u64 = std::mem::size_of::<Version>() as u64;
+/// Per-entity overhead: the `Entry` slot in the entry table, the
+/// adjacency-slot index, and the extent-list uid.
+const ENTRY_OVERHEAD_BYTES: u64 =
+    (std::mem::size_of::<Entry>() + std::mem::size_of::<u32>() + std::mem::size_of::<Uid>()) as u64;
+const ADJ_ENTRY_BYTES: u64 = std::mem::size_of::<AdjEntry>() as u64;
+const ADJ_BUCKET_BYTES: u64 = std::mem::size_of::<AdjBucket>() as u64;
+/// Per-node adjacency base: one out and one in `AdjList` header.
+const ADJ_NODE_BYTES: u64 = 2 * std::mem::size_of::<AdjList>() as u64;
+/// Flat estimate for a hash-map header (unique-index accounting).
+const MAP_HEADER_BYTES: u64 = 48;
+
+/// Estimated heap bytes owned by `v` beyond its inline enum slot.
+/// Strings are charged at `len` (capacity is unobservable), containers at
+/// one slot per element plus their elements' own heap.
+pub fn value_heap_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => s.len() as u64,
+        Value::List(vs) | Value::Set(vs) | Value::Composite(vs) => {
+            vs.len() as u64 * VALUE_SLOT_BYTES + vs.iter().map(value_heap_bytes).sum::<u64>()
+        }
+        Value::Map(m) => {
+            m.iter().map(|(k, val)| 2 * VALUE_SLOT_BYTES + value_heap_bytes(k) + value_heap_bytes(val)).sum()
+        }
+        _ => 0,
+    }
+}
+
+/// Heap owned by one field vector: the slots plus each value's own heap.
+fn fields_heap_bytes(fields: &[Value]) -> u64 {
+    fields.len() as u64 * VALUE_SLOT_BYTES + fields.iter().map(value_heap_bytes).sum::<u64>()
+}
+
+/// Bytes one stored version contributes: its slot in the version vector
+/// plus its field payload.
+fn version_heap_bytes(fields: &[Value]) -> u64 {
+    VERSION_BYTES + fields_heap_bytes(fields)
+}
+
+/// Incrementally maintained per-class accounting (one entry per exact
+/// class; future partitions split along the same axis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassAccounting {
+    /// Uids ever created with this exact class.
+    pub entities: u64,
+    /// Stored versions, current + history.
+    pub versions: u64,
+    /// Estimated heap bytes: entry slots, version chains, field payloads.
+    pub bytes: u64,
+}
+
+/// Per-class footprint inside a [`MemoryReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassMemory {
+    pub class: ClassId,
+    pub name: String,
+    pub kind: ClassKind,
+    pub entities: u64,
+    pub alive: u64,
+    pub versions: u64,
+    pub bytes: u64,
+}
+
+/// A point-in-time snapshot of the store's estimated memory footprint.
+/// Produced incrementally by [`TemporalGraph::memory_report`] and by the
+/// brute-force [`TemporalGraph::memory_recount`] walk (the two must agree
+/// — see the churn proptest).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Classes with at least one entity, in class-id order.
+    pub classes: Vec<ClassMemory>,
+    /// Σ class bytes.
+    pub entity_bytes: u64,
+    /// Adjacency lists: headers, entry arrays, class-run buckets.
+    pub adjacency_bytes: u64,
+    /// Unique indexes: map headers plus key/uid payloads.
+    pub unique_index_bytes: u64,
+    /// Size in bytes of a full journal save (durability, not heap).
+    pub journal_bytes: u64,
+    /// entity + adjacency + unique-index bytes.
+    pub total_bytes: u64,
+    /// Version-chain length distribution as log₂ `(≤ bound, entities)`
+    /// pairs over non-empty buckets.
+    pub chain_histogram: Vec<(u64, u64)>,
 }
 
 /// Per-kind storage totals (see [`TemporalGraph::counts`]).
@@ -175,6 +279,10 @@ pub struct TemporalGraph {
     unique: HashMap<(ClassId, usize), HashMap<Value, Uid>>,
     /// Total number of versions ever stored (history accounting, §6.1).
     version_count: u64,
+    /// Per exact class: incremental entity/version/byte accounting.
+    acct: Vec<ClassAccounting>,
+    /// Incremental adjacency-structure bytes (lists, entries, buckets).
+    adj_bytes: u64,
 }
 
 impl TemporalGraph {
@@ -190,6 +298,8 @@ impl TemporalGraph {
             alive: vec![0; n],
             unique: HashMap::new(),
             version_count: 0,
+            acct: vec![ClassAccounting::default(); n],
+            adj_bytes: 0,
         }
     }
 
@@ -207,26 +317,33 @@ impl TemporalGraph {
         self.version_count
     }
 
-    /// Per-kind storage totals, for metric export.
+    /// Per-kind storage totals, for metric export. O(classes), derived
+    /// from the incrementally maintained per-class accounting — cheap
+    /// enough to refresh per query, not just per scrape.
     pub fn counts(&self) -> StoreCounts {
         let mut c = StoreCounts::default();
-        for entry in &self.entries {
-            let versions = entry.versions();
-            let alive = versions.last().is_some_and(|v| v.span.is_current());
-            match entry {
-                Entry::Node(_) => {
-                    c.nodes += 1;
-                    c.node_versions += versions.len() as u64;
-                    c.alive_nodes += alive as u64;
+        for (i, acct) in self.acct.iter().enumerate() {
+            let class = ClassId(i as u32);
+            match self.schema.kind(class) {
+                ClassKind::Node => {
+                    c.nodes += acct.entities;
+                    c.node_versions += acct.versions;
+                    c.alive_nodes += self.alive[i];
                 }
-                Entry::Edge(_) => {
-                    c.edges += 1;
-                    c.edge_versions += versions.len() as u64;
-                    c.alive_edges += alive as u64;
+                ClassKind::Edge => {
+                    c.edges += acct.entities;
+                    c.edge_versions += acct.versions;
+                    c.alive_edges += self.alive[i];
                 }
             }
         }
         c
+    }
+
+    /// The incrementally maintained per-class accounting, indexed by
+    /// exact [`ClassId`]. O(1) access for pull-time gauges.
+    pub fn class_accounting(&self) -> &[ClassAccounting] {
+        &self.acct
     }
 
     /// The class that declares layout index `idx` for `class` (the ancestor
@@ -302,6 +419,7 @@ impl TemporalGraph {
         self.check_unique_free(class, &fields)?;
         let uid = Uid(self.entries.len() as u64);
         self.index_unique(class, &fields, uid);
+        let heap = ENTRY_OVERHEAD_BYTES + version_heap_bytes(&fields);
         self.entries.push(Entry::Node(NodeEntry {
             uid,
             class,
@@ -314,6 +432,11 @@ impl TemporalGraph {
         self.extents[class.0 as usize].push(uid);
         self.alive[class.0 as usize] += 1;
         self.version_count += 1;
+        let acct = &mut self.acct[class.0 as usize];
+        acct.entities += 1;
+        acct.versions += 1;
+        acct.bytes += heap;
+        self.adj_bytes += ADJ_NODE_BYTES;
         Ok(uid)
     }
 
@@ -343,6 +466,7 @@ impl TemporalGraph {
         self.check_unique_free(class, &fields)?;
         let uid = Uid(self.entries.len() as u64);
         self.index_unique(class, &fields, uid);
+        let heap = ENTRY_OVERHEAD_BYTES + version_heap_bytes(&fields);
         self.entries.push(Entry::Edge(EdgeEntry {
             uid,
             class,
@@ -352,11 +476,16 @@ impl TemporalGraph {
         }));
         self.adj_slot.push(u32::MAX);
         let (ss, ds) = (self.adj_slot[src.0 as usize] as usize, self.adj_slot[dst.0 as usize] as usize);
-        self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
-        self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
+        let new_out = self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
+        let new_in = self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
         self.extents[class.0 as usize].push(uid);
         self.alive[class.0 as usize] += 1;
         self.version_count += 1;
+        let acct = &mut self.acct[class.0 as usize];
+        acct.entities += 1;
+        acct.versions += 1;
+        acct.bytes += heap;
+        self.adj_bytes += 2 * ADJ_ENTRY_BYTES + (new_out as u64 + new_in as u64) * ADJ_BUCKET_BYTES;
         Ok(uid)
     }
 
@@ -407,16 +536,21 @@ impl TemporalGraph {
                 m.insert(new_fields[idx].clone(), uid);
             }
         }
+        let new_heap = fields_heap_bytes(&new_fields);
         let entry = &mut self.entries[uid.0 as usize];
         let versions = entry.versions_mut();
         let last = versions.last_mut().unwrap();
+        let acct = &mut self.acct[class.0 as usize];
         if last.span.from == ts {
             // Same-instant update: replace in place (no zero-length version).
+            acct.bytes = acct.bytes + new_heap - fields_heap_bytes(&last.fields);
             last.fields = new_fields;
         } else {
             last.span = Interval::new(last.span.from, ts);
             versions.push(Version { fields: new_fields, span: Interval::since(ts) });
             self.version_count += 1;
+            acct.versions += 1;
+            acct.bytes += VERSION_BYTES + new_heap;
         }
         Ok(())
     }
@@ -454,8 +588,11 @@ impl TemporalGraph {
         let last = versions.last_mut().unwrap();
         if last.span.from == ts {
             // Inserted and deleted at the same instant: drop the version.
-            versions.pop();
+            let dropped = versions.pop().expect("current version exists");
             self.version_count -= 1;
+            let acct = &mut self.acct[class.0 as usize];
+            acct.versions -= 1;
+            acct.bytes -= version_heap_bytes(&dropped.fields);
             if versions.is_empty() {
                 // Entity never observable; keep the tombstone entry.
             }
@@ -621,12 +758,14 @@ impl TemporalGraph {
             vs.push(Version { fields, span: Interval::new(from, to) });
         }
         let alive = vs.last().is_some_and(|v| v.span.is_current());
+        let heap = ENTRY_OVERHEAD_BYTES + vs.iter().map(|v| version_heap_bytes(&v.fields)).sum::<u64>();
         if is_node {
             self.entries.push(Entry::Node(NodeEntry { uid, class, versions: vs.clone() }));
             let slot = self.out_adj.len() as u32;
             self.adj_slot.push(slot);
             self.out_adj.push(AdjList::default());
             self.in_adj.push(AdjList::default());
+            self.adj_bytes += ADJ_NODE_BYTES;
         } else {
             if src.0 >= uid.0 || dst.0 >= uid.0 {
                 return Err(GraphError::BadClass(format!("edge {} references not-yet-restored endpoint", uid.0)));
@@ -637,14 +776,19 @@ impl TemporalGraph {
             self.adj_slot.push(u32::MAX);
             let ss = self.adj_slot[src.0 as usize] as usize;
             let ds = self.adj_slot[dst.0 as usize] as usize;
-            self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
-            self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
+            let new_out = self.out_adj[ss].insert(AdjEntry { edge: uid, other: dst, class, out: true });
+            let new_in = self.in_adj[ds].insert(AdjEntry { edge: uid, other: src, class, out: false });
+            self.adj_bytes += 2 * ADJ_ENTRY_BYTES + (new_out as u64 + new_in as u64) * ADJ_BUCKET_BYTES;
         }
         self.extents[class.0 as usize].push(uid);
         if alive {
             self.alive[class.0 as usize] += 1;
         }
         self.version_count += vs.len() as u64;
+        let acct = &mut self.acct[class.0 as usize];
+        acct.entities += 1;
+        acct.versions += vs.len() as u64;
+        acct.bytes += heap;
         Ok(())
     }
 
@@ -675,6 +819,135 @@ impl TemporalGraph {
             total += 48; // entry overhead
         }
         total
+    }
+
+    // ------------------------------------------------------------------
+    // Memory reporting
+    // ------------------------------------------------------------------
+
+    /// Estimated unique-index bytes: one map header per index plus each
+    /// key's slot, heap, and uid payload. Computed on demand (indexes are
+    /// small relative to version chains).
+    fn unique_index_bytes(&self) -> u64 {
+        MAP_HEADER_BYTES
+            + self
+                .unique
+                .values()
+                .map(|m| {
+                    MAP_HEADER_BYTES
+                        + m.keys()
+                            .map(|k| VALUE_SLOT_BYTES + value_heap_bytes(k) + std::mem::size_of::<Uid>() as u64)
+                            .sum::<u64>()
+                })
+                .sum::<u64>()
+    }
+
+    /// Version-chain length distribution in log₂ buckets, as
+    /// `(≤ bound, entities)` over non-empty buckets. O(entities).
+    fn chain_histogram(&self) -> Vec<(u64, u64)> {
+        let mut counts = [0u64; 64];
+        for e in &self.entries {
+            let len = e.versions().len() as u64;
+            // Same bucketing as the obs histogram: smallest i with len ≤ 2^i.
+            let idx = ((64 - len.saturating_sub(1).leading_zeros()) as usize).min(63);
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i >= 63 { u64::MAX } else { 1u64 << i }, n))
+            .collect()
+    }
+
+    fn assemble_report(&self, classes: Vec<ClassMemory>, adjacency_bytes: u64) -> MemoryReport {
+        let entity_bytes = classes.iter().map(|c| c.bytes).sum();
+        let unique_index_bytes = self.unique_index_bytes();
+        MemoryReport {
+            total_bytes: entity_bytes + adjacency_bytes + unique_index_bytes,
+            entity_bytes,
+            adjacency_bytes,
+            unique_index_bytes,
+            journal_bytes: crate::journal::journal_bytes(self),
+            chain_histogram: self.chain_histogram(),
+            classes,
+        }
+    }
+
+    /// Cheap per-class memory rows straight from the incremental
+    /// accounting — O(classes), no store walk. The fast path behind
+    /// [`StoreGauges::refresh`](crate::metrics::StoreGauges::refresh).
+    pub fn class_memory(&self) -> Vec<ClassMemory> {
+        let mut classes = Vec::new();
+        for (i, acct) in self.acct.iter().enumerate() {
+            if acct.entities == 0 {
+                continue;
+            }
+            let class = ClassId(i as u32);
+            classes.push(ClassMemory {
+                class,
+                name: self.schema.class(class).name.clone(),
+                kind: self.schema.kind(class),
+                entities: acct.entities,
+                alive: self.alive[i],
+                versions: acct.versions,
+                bytes: acct.bytes,
+            });
+        }
+        classes
+    }
+
+    /// Estimated adjacency-structure bytes, maintained incrementally.
+    pub fn adjacency_bytes(&self) -> u64 {
+        self.adj_bytes
+    }
+
+    /// Snapshot of the store's estimated memory footprint, assembled from
+    /// the incrementally maintained per-class accounting. The per-class
+    /// byte figures are O(classes); the chain histogram and journal size
+    /// walk the store once.
+    pub fn memory_report(&self) -> MemoryReport {
+        self.assemble_report(self.class_memory(), self.adj_bytes)
+    }
+
+    /// Brute-force recount: rebuild the entire [`MemoryReport`] by walking
+    /// every entry, version, and adjacency list, ignoring the incremental
+    /// accounting. The churn proptest pins `memory_report` to this walk.
+    pub fn memory_recount(&self) -> MemoryReport {
+        let n = self.schema.num_classes();
+        let mut per = vec![ClassAccounting::default(); n];
+        let mut alive = vec![0u64; n];
+        for e in &self.entries {
+            let c = e.class().0 as usize;
+            per[c].entities += 1;
+            per[c].versions += e.versions().len() as u64;
+            per[c].bytes +=
+                ENTRY_OVERHEAD_BYTES + e.versions().iter().map(|v| version_heap_bytes(&v.fields)).sum::<u64>();
+            alive[c] += e.versions().last().is_some_and(|v| v.span.is_current()) as u64;
+        }
+        let mut classes = Vec::new();
+        for (i, acct) in per.iter().enumerate() {
+            if acct.entities == 0 {
+                continue;
+            }
+            let class = ClassId(i as u32);
+            classes.push(ClassMemory {
+                class,
+                name: self.schema.class(class).name.clone(),
+                kind: self.schema.kind(class),
+                entities: acct.entities,
+                alive: alive[i],
+                versions: acct.versions,
+                bytes: acct.bytes,
+            });
+        }
+        let adjacency_bytes = self
+            .out_adj
+            .iter()
+            .chain(self.in_adj.iter())
+            .map(|l| std::mem::size_of::<AdjList>() as u64 + l.heap_bytes())
+            .sum();
+        self.assemble_report(classes, adjacency_bytes)
     }
 }
 
@@ -862,5 +1135,101 @@ mod tests {
         assert_eq!(vs.len(), 2); // [0,10) and [10,20)
         let vs = g.versions_overlapping(u, &Interval::new(25, 30));
         assert_eq!(vs.len(), 1); // [20, ∞)
+    }
+
+    fn assert_report_matches_recount(g: &TemporalGraph) {
+        let report = g.memory_report();
+        let recount = g.memory_recount();
+        assert_eq!(report.entity_bytes, recount.entity_bytes, "entity bytes drifted from recount");
+        assert_eq!(report.adjacency_bytes, recount.adjacency_bytes, "adjacency bytes drifted");
+        assert_eq!(report.unique_index_bytes, recount.unique_index_bytes);
+        assert_eq!(report.total_bytes, recount.total_bytes);
+        assert_eq!(report.chain_histogram, recount.chain_histogram);
+        assert_eq!(report.classes.len(), recount.classes.len());
+        for (a, b) in report.classes.iter().zip(recount.classes.iter()) {
+            assert_eq!(
+                (a.class, a.entities, a.alive, a.versions, a.bytes),
+                (b.class, b.entities, b.alive, b.versions, b.bytes),
+                "class {} accounting drifted",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_every_mutation_path() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        assert_eq!(g.memory_report().entity_bytes, 0);
+
+        // Inserts: nodes, then an edge (adjacency bytes appear).
+        let v = vm(&mut g, 1, 0);
+        let hc = s.class_by_name("Host").unwrap();
+        let h = g.insert_node(hc, vec![Value::Int(7)], 0).unwrap();
+        let ec = s.class_by_name("HostedOn").unwrap();
+        let e = g.insert_edge(ec, v, h, vec![], 10).unwrap();
+        assert_report_matches_recount(&g);
+        let after_edges = g.memory_report();
+        assert!(after_edges.adjacency_bytes > 0);
+        assert!(after_edges.journal_bytes > 0);
+
+        // Update grows the chain; a longer string grows the payload bytes.
+        let before = g.memory_report().entity_bytes;
+        g.update(v, &[(1, Value::Str("a much longer status string".into()))], 20).unwrap();
+        assert!(g.memory_report().entity_bytes > before);
+        assert_report_matches_recount(&g);
+
+        // Same-instant update rewrites in place (no extra version).
+        g.update(v, &[(1, Value::Str("Red".into()))], 20).unwrap();
+        assert_report_matches_recount(&g);
+
+        // Deletes close version chains (cascade closes the edge too).
+        g.delete(h, 50).unwrap();
+        assert!(g.current_version(e).is_none());
+        assert_report_matches_recount(&g);
+
+        // Same-instant insert+delete pops the version entirely.
+        let v2 = vm(&mut g, 2, 100);
+        g.delete(v2, 100).unwrap();
+        assert_report_matches_recount(&g);
+
+        // Per-class split: VM vs Host vs HostedOn all present.
+        let report = g.memory_report();
+        let names: Vec<&str> = report.classes.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"VM") && names.contains(&"Host") && names.contains(&"HostedOn"));
+        let vm_row = report.classes.iter().find(|c| c.name == "VM").unwrap();
+        assert_eq!(vm_row.kind, ClassKind::Node);
+        assert_eq!(vm_row.entities, 2);
+        assert_eq!(vm_row.alive, 1);
+    }
+
+    #[test]
+    fn accounting_survives_journal_round_trip() {
+        let s = schema();
+        let mut g = TemporalGraph::new(s.clone());
+        let v = vm(&mut g, 1, 0);
+        let hc = s.class_by_name("Host").unwrap();
+        let h = g.insert_node(hc, vec![Value::Int(7)], 0).unwrap();
+        let ec = s.class_by_name("HostedOn").unwrap();
+        g.insert_edge(ec, v, h, vec![], 10).unwrap();
+        g.update(v, &[(1, Value::Str("Red".into()))], 20).unwrap();
+
+        let mut buf = Vec::new();
+        crate::journal::save_graph(&g, &mut buf).unwrap();
+        assert_eq!(crate::journal::journal_bytes(&g), buf.len() as u64);
+        let restored = crate::journal::load_graph(s, &mut buf.as_slice()).unwrap();
+        // restore_entity must maintain the same incremental accounting.
+        assert_report_matches_recount(&restored);
+        assert_eq!(restored.memory_report().total_bytes, g.memory_report().total_bytes);
+    }
+
+    #[test]
+    fn value_heap_bytes_covers_nested_containers() {
+        assert_eq!(value_heap_bytes(&Value::Int(7)), 0);
+        assert_eq!(value_heap_bytes(&Value::Str("abcd".into())), 4);
+        let list = Value::List(vec![Value::Str("ab".into()), Value::Int(1)]);
+        assert_eq!(value_heap_bytes(&list), 2 * VALUE_SLOT_BYTES + 2);
+        let nested = Value::List(vec![list.clone()]);
+        assert_eq!(value_heap_bytes(&nested), VALUE_SLOT_BYTES + value_heap_bytes(&list));
     }
 }

@@ -2,14 +2,17 @@
 //!
 //! [`Telemetry`] bundles the observable state of a running engine — the
 //! [`MetricsRegistry`], the [`SlowQueryLog`] ring, the [`Tracer`] store,
-//! plus pluggable per-backend health checks — and maps `GET` paths onto
-//! it:
+//! plus pluggable per-backend health checks, the [`SloEngine`] and a
+//! store resource provider — and maps `GET` paths onto it:
 //!
 //! | path             | body                                            |
 //! |------------------|-------------------------------------------------|
 //! | `/metrics`       | Prometheus text exposition format               |
 //! | `/metrics.json`  | the registry as JSON                            |
-//! | `/healthz`       | per-backend health, 200 all-ok / 503 otherwise  |
+//! | `/healthz`       | deep readiness: checks + firing alerts + store  |
+//! | `/alerts`        | SLO rule states, human-readable                 |
+//! | `/alerts.json`   | the same as JSON                                |
+//! | `/dashboard`     | self-contained HTML overview                    |
 //! | `/slow`          | slow-query ring as JSON                         |
 //! | `/qlog`          | worst-estimated fingerprints, human-readable    |
 //! | `/qlog.json`     | qlog status + per-fingerprint q-error as JSON   |
@@ -17,26 +20,64 @@
 //! | `/traces/latest` | newest trace as Chrome trace-event JSON         |
 //! | `/traces/<id>`   | one trace as Chrome trace-event JSON            |
 //!
+//! `/healthz` is a *deep* readiness check: it runs every registered
+//! health check, refreshes pull-gauges, evaluates the attached SLO rules,
+//! and answers 503 when a check fails **or** any alert is firing — so a
+//! load balancer sheds traffic on the same signal an operator would page
+//! on.
+//!
 //! [`TelemetryServer`] is the listener: a nonblocking accept loop on a
-//! background thread, one short-lived request per connection
-//! (`Connection: close`), mirroring the Gremlin server's shutdown
-//! protocol. Request handling is pure (`Telemetry::handle`) so the routing
-//! is testable without a socket.
+//! background thread that hands each connection to its own short-lived
+//! thread (`Connection: close`), so a stalled or slow client cannot block
+//! concurrent scrapes. Request handling is pure (`Telemetry::handle`) so
+//! the routing is testable without a socket.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::metrics::MetricsRegistry;
-use crate::profile::SlowQueryLog;
+use crate::profile::{fmt_ns, SlowQueryLog};
 use crate::qlog::{EstimateFeedback, QueryLog};
+use crate::slo::{alerts_json, alerts_text, AlertStatus, SloEngine};
 use crate::trace::{esc, summaries_json, Tracer};
 
 type HealthCheck = Box<dyn Fn() -> Result<String, String> + Send>;
 type Refresher = Box<dyn Fn() + Send>;
+type ResourceProvider = Box<dyn Fn() -> ResourceSummary + Send>;
+
+/// Per-class store footprint as served on `/dashboard` and `/healthz`.
+/// Deliberately store-agnostic: nepal-graph converts its `MemoryReport`
+/// into this shape (the dependency points graph → obs).
+#[derive(Debug, Clone)]
+pub struct ResourceClass {
+    pub name: String,
+    /// `"node"` or `"edge"`.
+    pub kind: &'static str,
+    pub entities: u64,
+    pub alive: u64,
+    pub versions: u64,
+    pub bytes: u64,
+}
+
+/// A point-in-time store resource summary.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceSummary {
+    pub classes: Vec<ResourceClass>,
+    /// Σ class bytes (version chains + property payloads + entry slots).
+    pub entity_bytes: u64,
+    pub adjacency_bytes: u64,
+    pub unique_index_bytes: u64,
+    /// Size of a full journal save (durability estimate, not heap).
+    pub journal_bytes: u64,
+    /// entity + adjacency + unique-index bytes.
+    pub total_bytes: u64,
+    /// Version-chain length distribution: (≤ length bound, entities).
+    pub chain_histogram: Vec<(u64, u64)>,
+}
 
 /// The query-log state the endpoint serves: the estimate-vs-actual
 /// aggregator plus, when durable logging is on, the log file handle.
@@ -53,10 +94,13 @@ pub struct Telemetry {
     health: Mutex<Vec<(String, HealthCheck)>>,
     refreshers: Mutex<Vec<Refresher>>,
     qlog: Mutex<Option<QlogState>>,
+    slo: Mutex<Option<Arc<SloEngine>>>,
+    resources: Mutex<Option<ResourceProvider>>,
 }
 
 const CT_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
 const CT_JSON: &str = "application/json";
+const CT_HTML: &str = "text/html; charset=utf-8";
 
 impl Telemetry {
     pub fn new(metrics: Arc<MetricsRegistry>, slow: Arc<SlowQueryLog>, tracer: Tracer) -> Telemetry {
@@ -67,6 +111,8 @@ impl Telemetry {
             health: Mutex::new(Vec::new()),
             refreshers: Mutex::new(Vec::new()),
             qlog: Mutex::new(None),
+            slo: Mutex::new(None),
+            resources: Mutex::new(None),
         }
     }
 
@@ -74,6 +120,18 @@ impl Telemetry {
     /// handle when one is open) so `/qlog` and `/qlog.json` can serve them.
     pub fn set_qlog(&self, feedback: Arc<EstimateFeedback>, log: Option<Arc<QueryLog>>) {
         *self.qlog.lock().unwrap_or_else(|e| e.into_inner()) = Some(QlogState { feedback, log });
+    }
+
+    /// Attach the SLO engine: `/alerts` serves its rule states and
+    /// `/healthz` turns 503 while any rule fires.
+    pub fn set_slo(&self, slo: Arc<SloEngine>) {
+        *self.slo.lock().unwrap_or_else(|e| e.into_inner()) = Some(slo);
+    }
+
+    /// Attach a store resource provider feeding `/dashboard` and the
+    /// store section of `/healthz`.
+    pub fn set_resources(&self, provider: impl Fn() -> ResourceSummary + Send + 'static) {
+        *self.resources.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(provider));
     }
 
     /// Register a named health check. `Ok(detail)` is healthy, `Err(why)`
@@ -94,7 +152,22 @@ impl Telemetry {
         }
     }
 
+    fn evaluate_slo(&self) -> Option<Vec<AlertStatus>> {
+        let slo = self.slo.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        slo.map(|s| s.evaluate())
+    }
+
+    fn resource_summary(&self) -> Option<ResourceSummary> {
+        let resources = self.resources.lock().unwrap_or_else(|e| e.into_inner());
+        resources.as_ref().map(|p| p())
+    }
+
+    /// Deep readiness: health checks + pull-gauge refresh + SLO
+    /// evaluation + store totals. 503 when a check fails or an alert
+    /// fires.
     fn healthz(&self) -> (u16, String) {
+        // Refresh pull gauges first so watermark rules see current values.
+        self.refresh();
         let checks = self.health.lock().unwrap_or_else(|e| e.into_inner());
         let mut all_ok = true;
         let mut items = Vec::new();
@@ -107,13 +180,172 @@ impl Telemetry {
                 }
             }
         }
+        drop(checks);
+        let mut extra = String::new();
+        if let Some(statuses) = self.evaluate_slo() {
+            let firing = statuses.iter().filter(|a| a.state.is_firing()).count();
+            if firing > 0 {
+                all_ok = false;
+            }
+            extra.push_str(&format!(",\"alerts\":{}", alerts_json(&statuses).trim_end()));
+        }
+        if let Some(r) = self.resource_summary() {
+            extra.push_str(&format!(
+                ",\"store\":{{\"total_bytes\":{},\"entity_bytes\":{},\"adjacency_bytes\":{},\"unique_index_bytes\":{},\"journal_bytes\":{},\"classes\":{}}}",
+                r.total_bytes,
+                r.entity_bytes,
+                r.adjacency_bytes,
+                r.unique_index_bytes,
+                r.journal_bytes,
+                r.classes.len()
+            ));
+        }
         let status = if all_ok { 200 } else { 503 };
         let body = format!(
-            "{{\"status\":\"{}\",\"checks\":{{{}}}}}\n",
+            "{{\"status\":\"{}\",\"checks\":{{{}}}{}}}\n",
             if all_ok { "ok" } else { "unhealthy" },
-            items.join(",")
+            items.join(","),
+            extra
         );
         (status, body)
+    }
+
+    fn dashboard(&self) -> String {
+        let mut b = String::from(
+            "<!doctype html><html><head><meta charset=\"utf-8\"><title>nepal dashboard</title><style>\
+             body{font-family:system-ui,sans-serif;margin:2em;max-width:70em}\
+             table{border-collapse:collapse;margin:0.5em 0}\
+             td,th{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}\
+             th{background:#f4f4f4}td.l,th.l{text-align:left}\
+             .firing{color:#b00020;font-weight:bold}.pending{color:#b07000}\
+             .resolved{color:#3a7}.ok{color:#373}\
+             h2{margin-top:1.2em;border-bottom:1px solid #ddd}\
+             </style></head><body><h1>nepal dashboard</h1>",
+        );
+        // Alerts.
+        b.push_str("<h2>alerts</h2>");
+        match self.evaluate_slo() {
+            Some(statuses) => {
+                let firing = statuses.iter().filter(|a| a.state.is_firing()).count();
+                b.push_str(&format!(
+                    "<p>{} rule(s), <span class=\"{}\">{} firing</span></p>",
+                    statuses.len(),
+                    if firing > 0 { "firing" } else { "ok" },
+                    firing
+                ));
+                b.push_str("<table><tr><th class=l>rule</th><th>state</th><th>measured</th><th>burn</th><th class=l>detail</th></tr>");
+                for a in &statuses {
+                    b.push_str(&format!(
+                        "<tr><td class=l>{}</td><td class=\"{}\">{}</td><td>{:.1}</td><td>{:.2}</td><td class=l>{}</td></tr>",
+                        html_esc(&a.name),
+                        a.state.name(),
+                        a.state.name(),
+                        a.measured,
+                        a.burn,
+                        html_esc(&a.detail)
+                    ));
+                }
+                b.push_str("</table>");
+            }
+            None => b.push_str("<p>no SLO engine attached</p>"),
+        }
+        // Store footprint.
+        b.push_str("<h2>store footprint</h2>");
+        match self.resource_summary() {
+            Some(r) => {
+                b.push_str(&format!(
+                    "<p>total <b>{}</b> — entities {}, adjacency {}, unique index {}; journal save ≈ {}</p>",
+                    fmt_bytes(r.total_bytes),
+                    fmt_bytes(r.entity_bytes),
+                    fmt_bytes(r.adjacency_bytes),
+                    fmt_bytes(r.unique_index_bytes),
+                    fmt_bytes(r.journal_bytes)
+                ));
+                b.push_str("<table><tr><th class=l>class</th><th class=l>kind</th><th>entities</th><th>alive</th><th>versions</th><th>bytes</th></tr>");
+                let mut classes = r.classes.clone();
+                classes.sort_by_key(|c| std::cmp::Reverse(c.bytes));
+                for c in classes.iter().take(20) {
+                    b.push_str(&format!(
+                        "<tr><td class=l>{}</td><td class=l>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                        html_esc(&c.name),
+                        c.kind,
+                        c.entities,
+                        c.alive,
+                        c.versions,
+                        fmt_bytes(c.bytes)
+                    ));
+                }
+                b.push_str("</table>");
+                if !r.chain_histogram.is_empty() {
+                    b.push_str("<p>version-chain length: ");
+                    for (bound, n) in &r.chain_histogram {
+                        b.push_str(&format!("≤{bound}: {n} &nbsp; "));
+                    }
+                    b.push_str("</p>");
+                }
+            }
+            None => b.push_str("<p>no resource provider attached</p>"),
+        }
+        // Query latency quantiles.
+        b.push_str("<h2>query latency</h2>");
+        match self.metrics.histogram_handle("nepal_query_duration_ns") {
+            Some(h) if h.count() > 0 => b.push_str(&format!(
+                "<p>{} queries — p50 {} · p95 {} · p99 {}</p>",
+                h.count(),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.95)),
+                fmt_ns(h.quantile(0.99))
+            )),
+            _ => b.push_str("<p>no queries recorded</p>"),
+        }
+        // Slow queries with trace links.
+        b.push_str("<h2>top slow queries</h2>");
+        let mut slow = self.slow.entries();
+        if slow.is_empty() {
+            b.push_str("<p>slow-query ring is empty</p>");
+        } else {
+            slow.sort_by_key(|q| std::cmp::Reverse(q.total_ns));
+            b.push_str("<table><tr><th class=l>query</th><th>duration</th><th>rows</th><th class=l>trace</th></tr>");
+            for q in slow.iter().take(10) {
+                let trace = match q.trace_id {
+                    Some(id) => format!("<a href=\"/traces/{id}\">{id}</a>"),
+                    None => "—".to_string(),
+                };
+                b.push_str(&format!(
+                    "<tr><td class=l><code>{}</code></td><td>{}</td><td>{}</td><td class=l>{}</td></tr>",
+                    html_esc(&truncate(&q.query, 100)),
+                    fmt_ns(q.total_ns),
+                    q.result_rows,
+                    trace
+                ));
+            }
+            b.push_str("</table>");
+        }
+        // Recent traces.
+        b.push_str("<h2>recent traces</h2>");
+        let summaries = self.tracer.summaries();
+        if summaries.is_empty() {
+            b.push_str("<p>trace ring is empty</p>");
+        } else {
+            b.push_str("<ul>");
+            for s in summaries.iter().rev().take(10) {
+                b.push_str(&format!(
+                    "<li><a href=\"/traces/{}\">#{}</a> {} — {} ({} spans)</li>",
+                    s.id,
+                    s.id,
+                    html_esc(&truncate(&s.name, 90)),
+                    fmt_ns(s.dur_ns),
+                    s.spans
+                ));
+            }
+            b.push_str("</ul>");
+        }
+        b.push_str(
+            "<p><a href=\"/metrics\">/metrics</a> · <a href=\"/alerts\">/alerts</a> · \
+             <a href=\"/healthz\">/healthz</a> · <a href=\"/slow\">/slow</a> · \
+             <a href=\"/qlog\">/qlog</a> · <a href=\"/traces\">/traces</a></p></body></html>",
+        );
+        b
     }
 
     /// Route a request path to `(status, content-type, body)`.
@@ -133,6 +365,18 @@ impl Telemetry {
             "/healthz" => {
                 let (status, body) = self.healthz();
                 (status, CT_JSON, body)
+            }
+            "/alerts" => match self.evaluate_slo() {
+                Some(statuses) => (200, CT_TEXT, alerts_text(&statuses)),
+                None => (404, CT_TEXT, "no slo engine attached\n".to_string()),
+            },
+            "/alerts.json" => match self.evaluate_slo() {
+                Some(statuses) => (200, CT_JSON, alerts_json(&statuses)),
+                None => (404, CT_JSON, "{\"error\":\"no slo engine attached\"}\n".to_string()),
+            },
+            "/dashboard" => {
+                self.refresh();
+                (200, CT_HTML, self.dashboard())
             }
             "/slow" => (200, CT_JSON, self.slow.render_json()),
             "/qlog" => match &*self.qlog.lock().unwrap_or_else(|e| e.into_inner()) {
@@ -165,6 +409,35 @@ impl Telemetry {
                 (404, CT_TEXT, "not found\n".to_string())
             }
         }
+    }
+}
+
+fn html_esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max).collect();
+        format!("{cut}…")
+    }
+}
+
+/// `1536` → `"1.5 KiB"`.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut i = 0;
+    while v >= 1024.0 && i < UNITS.len() - 1 {
+        v /= 1024.0;
+        i += 1;
+    }
+    if i == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[i])
     }
 }
 
@@ -231,6 +504,10 @@ fn serve_connection(telemetry: &Telemetry, mut stream: TcpStream) {
     respond(&mut stream, code, content_type, &body);
 }
 
+/// Per-listener cap on concurrently served connections; excess clients
+/// get an immediate 503 instead of queueing behind a stalled reader.
+const MAX_CONNECTIONS: usize = 64;
+
 /// The background HTTP listener.
 pub struct TelemetryServer {
     addr: std::net::SocketAddr,
@@ -240,7 +517,9 @@ pub struct TelemetryServer {
 
 impl TelemetryServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-    /// `telemetry` until the returned handle is dropped.
+    /// `telemetry` until the returned handle is dropped. Each accepted
+    /// connection runs on its own thread so one slow client never blocks
+    /// a concurrent scrape.
     pub fn start(telemetry: Arc<Telemetry>, addr: &str) -> std::io::Result<TelemetryServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -248,11 +527,22 @@ impl TelemetryServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = shutdown.clone();
         let accept_thread = std::thread::spawn(move || {
+            let active = Arc::new(AtomicUsize::new(0));
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
                         let _ = stream.set_nonblocking(false);
-                        serve_connection(&telemetry, stream);
+                        if active.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
+                            respond(&mut stream, 503, CT_TEXT, "connection limit reached\n");
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::Relaxed);
+                        let telemetry = telemetry.clone();
+                        let active = active.clone();
+                        std::thread::spawn(move || {
+                            serve_connection(&telemetry, stream);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -281,6 +571,7 @@ impl Drop for TelemetryServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slo::SloRule;
 
     fn telemetry() -> Arc<Telemetry> {
         let metrics = Arc::new(MetricsRegistry::new());
@@ -310,7 +601,7 @@ mod tests {
         t.add_health("native", || Ok("2194 entities".to_string()));
         let (code, ct, body) = t.handle("/metrics");
         assert_eq!(code, 200);
-        assert!(ct.starts_with("text/plain"));
+        assert!(ct.starts_with("text/plain; version=0.0.4"));
         assert!(body.contains("nepal_queries_total 5"));
         let (code, _, body) = t.handle("/metrics.json");
         assert_eq!(code, 200);
@@ -321,6 +612,10 @@ mod tests {
         let (code, _, body) = t.handle("/slow");
         assert_eq!(code, 200);
         assert!(body.contains("Retrieve P"));
+        let (code, ct, body) = t.handle("/dashboard");
+        assert_eq!(code, 200);
+        assert!(ct.starts_with("text/html"));
+        assert!(body.contains("nepal dashboard"));
         let (code, _, body) = t.handle("/traces");
         assert_eq!(code, 200);
         assert!(body.contains("\"name\":\"q\""));
@@ -332,6 +627,84 @@ mod tests {
         assert_eq!(code, 200);
         assert_eq!(t.handle("/traces/999999").0, 404);
         assert_eq!(t.handle("/nope").0, 404);
+    }
+
+    #[test]
+    fn alerts_routes_require_engine_then_serve_states() {
+        let t = telemetry();
+        assert_eq!(t.handle("/alerts").0, 404);
+        assert_eq!(t.handle("/alerts.json").0, 404);
+        let slo = Arc::new(SloEngine::new(t.metrics.clone()));
+        slo.add(SloRule::gauge_max("noop", "missing_gauge", 1));
+        t.set_slo(slo);
+        let (code, _, body) = t.handle("/alerts");
+        assert_eq!(code, 200);
+        assert!(body.contains("noop"), "{body}");
+        let (code, _, body) = t.handle("/alerts.json");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"firing\":0"), "{body}");
+    }
+
+    #[test]
+    fn healthz_deepens_with_alerts_and_resources() {
+        let t = telemetry();
+        t.add_health("store", || Ok("fine".to_string()));
+        let g = t.metrics.gauge("pressure", "p");
+        let slo = Arc::new(SloEngine::new(t.metrics.clone()));
+        slo.add(SloRule::gauge_max("pressure-watermark", "pressure", 100));
+        t.set_slo(slo);
+        t.set_resources(|| ResourceSummary {
+            classes: vec![ResourceClass {
+                name: "VM".into(),
+                kind: "node",
+                entities: 2,
+                alive: 2,
+                versions: 3,
+                bytes: 640,
+            }],
+            entity_bytes: 640,
+            adjacency_bytes: 64,
+            unique_index_bytes: 32,
+            journal_bytes: 128,
+            total_bytes: 736,
+            chain_histogram: vec![(1, 1), (2, 1)],
+        });
+
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"alerts\":{\"firing\":0"), "{body}");
+        assert!(body.contains("\"total_bytes\":736"), "{body}");
+
+        // A firing alert flips readiness to 503.
+        g.set(500);
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 503, "{body}");
+        assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
+        assert!(body.contains("\"alerts\":{\"firing\":1"), "{body}");
+
+        // Recovery resolves and readiness returns.
+        g.set(0);
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"state\":\"resolved\"") || body.contains("\"state\":\"ok\""), "{body}");
+
+        // Dashboard renders the store table and alert states.
+        let (code, _, body) = t.handle("/dashboard");
+        assert_eq!(code, 200);
+        assert!(body.contains("VM"), "{body}");
+        assert!(body.contains("pressure-watermark"), "{body}");
+    }
+
+    #[test]
+    fn healthz_reports_503_when_a_check_fails() {
+        let t = telemetry();
+        t.add_health("native", || Ok("fine".to_string()));
+        t.add_health("gremlin", || Err("connection refused".to_string()));
+        let (code, _, body) = t.handle("/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"unhealthy\""));
+        assert!(body.contains("\"gremlin\":{\"ok\":false"));
     }
 
     #[test]
@@ -348,17 +721,6 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"enabled\":false"), "{body}");
         assert!(body.contains("\"fingerprints\":[]"), "{body}");
-    }
-
-    #[test]
-    fn healthz_reports_503_when_a_check_fails() {
-        let t = telemetry();
-        t.add_health("native", || Ok("fine".to_string()));
-        t.add_health("gremlin", || Err("connection refused".to_string()));
-        let (code, _, body) = t.handle("/healthz");
-        assert_eq!(code, 503);
-        assert!(body.contains("\"status\":\"unhealthy\""));
-        assert!(body.contains("\"gremlin\":{\"ok\":false"));
     }
 
     #[test]
@@ -379,7 +741,7 @@ mod tests {
 
         let (head, body) = get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
-        assert!(head.contains("Content-Type: text/plain"));
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
         assert!(!body.is_empty());
         assert!(body.contains("nepal_queries_total 5"));
 
@@ -401,5 +763,30 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    /// A client that connects and stalls mid-request must not block a
+    /// concurrent scrape (connections are served on their own threads).
+    #[test]
+    fn stalled_connection_does_not_block_scrapes() {
+        let t = telemetry();
+        let server = TelemetryServer::start(t, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Send half a request line and hold the socket open.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /met").unwrap();
+        stalled.flush().unwrap();
+
+        let start = std::time::Instant::now();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("nepal_queries_total"));
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "scrape blocked behind stalled client: {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
     }
 }

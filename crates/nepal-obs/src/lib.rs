@@ -25,19 +25,26 @@
 //!   ([`QlogRecord`]) with bounded rotation ([`QueryLog`]), normalized
 //!   query [`fingerprint`]s, and the per-fingerprint planner
 //!   estimate-vs-actual q-error aggregator ([`EstimateFeedback`]).
+//! - [`slo`] — declarative SLO rules ([`SloRule`]) evaluated by the
+//!   pull-time burn-rate engine ([`SloEngine`]): latency-quantile,
+//!   error-rate, memory-watermark and probe ceilings with
+//!   firing/pending/resolved alert state, exported as
+//!   `nepal_alerts_firing` and served at `/alerts`.
 
 pub mod http;
 pub mod metrics;
 pub mod profile;
 pub mod qlog;
+pub mod slo;
 pub mod trace;
 
-pub use http::{Telemetry, TelemetryServer};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use http::{fmt_bytes, ResourceClass, ResourceSummary, Telemetry, TelemetryServer};
+pub use metrics::{quantile_from_counts, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use profile::{
     fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,
 };
 pub use qlog::{
     fingerprint, qerror, EstimateFeedback, FingerprintStats, PlanFeedback, QlogRecord, QueryLog, VarFeedback,
 };
+pub use slo::{alerts_json, alerts_text, AlertState, AlertStatus, SloEngine, SloRule, SloSignal};
 pub use trace::{chrome_trace_json, SpanHandle, SpanRecord, Trace, TraceSummary, Tracer, TRACK_CLIENT, TRACK_SERVER};

@@ -2,7 +2,12 @@
 //!
 //! All primitives are lock-free on the hot path (a single
 //! `fetch_add(Relaxed)`); the registry itself takes a mutex only on
-//! registration and rendering.
+//! registration, lookup and rendering.
+//!
+//! A metric *family* is one name plus a set of label combinations
+//! (`nepal_store_bytes{class="VM"}`, …). The unlabeled family is the
+//! common case and keeps the original `counter`/`gauge`/`histogram`
+//! entry points; `*_labeled` variants add one handle per label set.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -67,6 +72,34 @@ impl Default for Histogram {
     }
 }
 
+/// Estimated `q`-quantile over raw per-bucket counts (see
+/// [`Histogram::quantile`] for the interpolation and its error bound).
+/// Exposed so callers holding a *delta* between two bucket snapshots (a
+/// windowed view) can reuse the estimator.
+pub fn quantile_from_counts(counts: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    let count: u64 = counts.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let bound = if i >= 63 { u64::MAX } else { 1u64 << i };
+        if cum + n >= rank {
+            let hi = bound as f64;
+            let lo = if bound <= 1 { 0.0 } else { (bound / 2) as f64 };
+            let frac = (rank - cum) as f64 / n as f64;
+            let v = if lo == 0.0 { hi * frac } else { lo * (hi / lo).powf(frac) };
+            return v.round() as u64;
+        }
+        cum += n;
+    }
+    0
+}
+
 impl Histogram {
     fn bucket_index(v: u64) -> usize {
         // Smallest i with v <= 2^i.
@@ -88,29 +121,28 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Raw per-bucket counts — the cumulative snapshot a windowed consumer
+    /// (e.g. the SLO burn-rate engine) diffs between evaluations.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Estimated `q`-quantile (0 < q ≤ 1) with log-linear interpolation
     /// inside the log₂ bucket holding the rank: the rank's fractional
     /// position `f` in the bucket `(lo, hi]` maps to `lo · (hi/lo)^f`
     /// (plain linear `hi · f` for the first bucket, whose lower bound is
-    /// 0). Exact at bucket boundaries, within a factor ~2 inside.
+    /// 0).
+    ///
+    /// Error bound: the estimate is exact at bucket boundaries; inside a
+    /// bucket the true value and the estimate both lie in `(lo, 2·lo]`, so
+    /// the worst-case *relative* error is the bucket width ratio — the
+    /// estimate is within a factor of 2 of the true quantile (at most
+    /// +100% / −50%), hit only when all of a bucket's mass sits at the
+    /// opposite end from where the interpolation places the rank. For
+    /// smooth distributions the log-linear assumption lands within a few
+    /// percent (see the pinning test below).
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut cum = 0u64;
-        for (bound, n) in self.buckets() {
-            if cum + n >= rank {
-                let hi = bound as f64;
-                let lo = if bound <= 1 { 0.0 } else { (bound / 2) as f64 };
-                let frac = (rank - cum) as f64 / n as f64;
-                let v = if lo == 0.0 { hi * frac } else { lo * (hi / lo).powf(frac) };
-                return v.round() as u64;
-            }
-            cum += n;
-        }
-        self.buckets().last().map(|(b, _)| *b).unwrap_or(0)
+        quantile_from_counts(&self.bucket_counts(), q)
     }
 
     /// Per-bucket counts with their inclusive upper bounds, up to and
@@ -128,10 +160,12 @@ impl Histogram {
     }
 }
 
+/// One family: all label sets of one name, keyed by the rendered label
+/// pairs (`class="VM"`; the empty string is the unlabeled sample).
 enum Metric {
-    Counter(Arc<Counter>),
-    Gauge(Arc<Gauge>),
-    Histogram(Arc<Histogram>),
+    Counter(BTreeMap<String, Arc<Counter>>),
+    Gauge(BTreeMap<String, Arc<Gauge>>),
+    Histogram(BTreeMap<String, Arc<Histogram>>),
 }
 
 struct Entry {
@@ -139,7 +173,8 @@ struct Entry {
     metric: Metric,
 }
 
-/// Named metrics, rendered in Prometheus text exposition format or JSON.
+/// Named metric families, rendered in Prometheus text exposition format
+/// or JSON.
 ///
 /// Cheap to share: handles returned by `counter`/`gauge`/`histogram` are
 /// `Arc`s that bypass the registry lock entirely on update.
@@ -152,114 +187,221 @@ fn sanitize(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' }).collect()
 }
 
+/// Escape a label value per the exposition format: backslash, quote, LF.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render `[("class", "VM")]` as `class="VM"` (empty for no labels).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    labels.iter().map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v))).collect::<Vec<_>>().join(",")
+}
+
+/// `name` or `name{labels}` for a sample line.
+fn series(name: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{labels}}}")
+    }
+}
+
+/// `{le="…"}` merged with any family labels.
+fn series_le(name: &str, labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{name}_bucket{{le=\"{le}\"}}")
+    } else {
+        format!("{name}_bucket{{{labels},le=\"{le}\"}}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 impl MetricsRegistry {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Get or create a counter. The help text of the first registration
-    /// wins; registering an existing name with a different metric type
-    /// panics (a programming error, not runtime input).
+    /// Get or create the unlabeled counter of a family. The help text of
+    /// the first registration wins; registering an existing name with a
+    /// different metric type panics (a programming error, not runtime
+    /// input).
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_labeled(name, &[], help)
+    }
+
+    /// Get or create the counter for one label set of a family.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let entry = entries
             .entry(sanitize(name))
-            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Counter(Arc::new(Counter::default())) });
-        match &entry.metric {
-            Metric::Counter(c) => c.clone(),
+            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Counter(BTreeMap::new()) });
+        match &mut entry.metric {
+            Metric::Counter(m) => m.entry(label_key(labels)).or_default().clone(),
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_labeled(name, &[], help)
+    }
+
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let entry = entries
             .entry(sanitize(name))
-            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Gauge(Arc::new(Gauge::default())) });
-        match &entry.metric {
-            Metric::Gauge(g) => g.clone(),
+            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Gauge(BTreeMap::new()) });
+        match &mut entry.metric {
+            Metric::Gauge(m) => m.entry(label_key(labels)).or_default().clone(),
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
     pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_labeled(name, &[], help)
+    }
+
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = entries.entry(sanitize(name)).or_insert_with(|| Entry {
-            help: help.to_string(),
-            metric: Metric::Histogram(Arc::new(Histogram::default())),
-        });
-        match &entry.metric {
-            Metric::Histogram(h) => h.clone(),
+        let entry = entries
+            .entry(sanitize(name))
+            .or_insert_with(|| Entry { help: help.to_string(), metric: Metric::Histogram(BTreeMap::new()) });
+        match &mut entry.metric {
+            Metric::Histogram(m) => m.entry(label_key(labels)).or_default().clone(),
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
-    /// Prometheus text exposition format: `# HELP` / `# TYPE` headers
-    /// followed by samples, histograms as cumulative `_bucket{le="…"}`
-    /// series plus `_sum` and `_count`.
+    /// Sum of a counter family across all its label sets, if registered.
+    /// The read-by-name hook for pull-time consumers (the SLO engine).
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match &entries.get(&sanitize(name))?.metric {
+            Metric::Counter(m) => Some(m.values().map(|c| c.get()).sum()),
+            _ => None,
+        }
+    }
+
+    /// Sum of a gauge family across all its label sets, if registered.
+    pub fn gauge_total(&self, name: &str) -> Option<i64> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match &entries.get(&sanitize(name))?.metric {
+            Metric::Gauge(m) => Some(m.values().map(|g| g.get()).sum()),
+            _ => None,
+        }
+    }
+
+    /// A handle on a histogram family: the unlabeled member when present,
+    /// otherwise the family's sole member.
+    pub fn histogram_handle(&self, name: &str) -> Option<Arc<Histogram>> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match &entries.get(&sanitize(name))?.metric {
+            Metric::Histogram(m) => {
+                m.get("").cloned().or_else(|| (m.len() == 1).then(|| m.values().next().unwrap().clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition format: every family gets `# HELP` /
+    /// `# TYPE` headers followed by its samples, histograms as cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`. The estimated
+    /// p50/p95/p99 of each histogram are exported as three derived gauge
+    /// families (`<name>_p50`, …) with their own headers.
     pub fn render_prometheus(&self) -> String {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, entry) in entries.iter() {
-            out.push_str(&format!("# HELP {name} {}\n", entry.help.replace('\n', " ")));
+            let help = entry.help.replace('\n', " ");
             match &entry.metric {
-                Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
-                }
-                Metric::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
-                    let mut cumulative = 0u64;
-                    for (bound, n) in h.buckets() {
-                        cumulative += n;
-                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                Metric::Counter(m) => {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                    for (labels, c) in m {
+                        out.push_str(&format!("{} {}\n", series(name, labels), c.get()));
                     }
-                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
-                    out.push_str(&format!("{name}_count {}\n", h.count()));
-                    out.push_str(&format!("{name}_p50 {}\n", h.quantile(0.50)));
-                    out.push_str(&format!("{name}_p95 {}\n", h.quantile(0.95)));
-                    out.push_str(&format!("{name}_p99 {}\n", h.quantile(0.99)));
+                }
+                Metric::Gauge(m) => {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+                    for (labels, g) in m {
+                        out.push_str(&format!("{} {}\n", series(name, labels), g.get()));
+                    }
+                }
+                Metric::Histogram(m) => {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+                    for (labels, h) in m {
+                        let mut cumulative = 0u64;
+                        for (bound, n) in h.buckets() {
+                            cumulative += n;
+                            out.push_str(&format!("{} {cumulative}\n", series_le(name, labels, &bound.to_string())));
+                        }
+                        out.push_str(&format!("{} {}\n", series_le(name, labels, "+Inf"), h.count()));
+                        out.push_str(&format!("{} {}\n", series(&format!("{name}_sum"), labels), h.sum()));
+                        out.push_str(&format!("{} {}\n", series(&format!("{name}_count"), labels), h.count()));
+                    }
+                    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        let qname = format!("{name}_{suffix}");
+                        out.push_str(&format!(
+                            "# HELP {qname} Estimated {q} quantile of {name}\n# TYPE {qname} gauge\n"
+                        ));
+                        for (labels, h) in m {
+                            out.push_str(&format!("{} {}\n", series(&qname, labels), h.quantile(q)));
+                        }
+                    }
                 }
             }
         }
         out
     }
 
-    /// JSON object keyed by metric name. Histograms carry
-    /// `{"count", "sum", "buckets": [[le, n], …]}`.
+    /// JSON object keyed by series (`name` or `name{labels}`). Histograms
+    /// carry `{"count", "sum", "buckets": [[le, n], …]}`.
     pub fn render_json(&self) -> String {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::from("{");
         let mut first = true;
-        for (name, entry) in entries.iter() {
-            if !first {
+        let mut emit = |s: String, first: &mut bool| {
+            if !*first {
                 out.push(',');
             }
-            first = false;
+            *first = false;
+            out.push_str(&s);
+        };
+        for (name, entry) in entries.iter() {
             match &entry.metric {
-                Metric::Counter(c) => out.push_str(&format!("\"{name}\":{}", c.get())),
-                Metric::Gauge(g) => out.push_str(&format!("\"{name}\":{}", g.get())),
-                Metric::Histogram(h) => {
-                    out.push_str(&format!(
-                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
-                        h.count(),
-                        h.sum(),
-                        h.quantile(0.50),
-                        h.quantile(0.95),
-                        h.quantile(0.99)
-                    ));
-                    let mut bfirst = true;
-                    for (bound, n) in h.buckets() {
-                        if !bfirst {
-                            out.push(',');
-                        }
-                        bfirst = false;
-                        out.push_str(&format!("[{bound},{n}]"));
+                Metric::Counter(m) => {
+                    for (labels, c) in m {
+                        emit(format!("\"{}\":{}", json_escape(&series(name, labels)), c.get()), &mut first);
                     }
-                    out.push_str("]}");
+                }
+                Metric::Gauge(m) => {
+                    for (labels, g) in m {
+                        emit(format!("\"{}\":{}", json_escape(&series(name, labels)), g.get()), &mut first);
+                    }
+                }
+                Metric::Histogram(m) => {
+                    for (labels, h) in m {
+                        let mut s = format!(
+                            "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                            json_escape(&series(name, labels)),
+                            h.count(),
+                            h.sum(),
+                            h.quantile(0.50),
+                            h.quantile(0.95),
+                            h.quantile(0.99)
+                        );
+                        let mut bfirst = true;
+                        for (bound, n) in h.buckets() {
+                            if !bfirst {
+                                s.push(',');
+                            }
+                            bfirst = false;
+                            s.push_str(&format!("[{bound},{n}]"));
+                        }
+                        s.push_str("]}");
+                        emit(s, &mut first);
+                    }
                 }
             }
         }
@@ -312,7 +454,9 @@ mod tests {
         h.observe(5000);
         let text = reg.render_prometheus();
 
-        // Line-oriented: every line is a comment or `name{labels} value`.
+        // Line-oriented: every line is a comment or `name{labels} value`,
+        // and every family (incl. the derived quantile gauges) carries
+        // both headers.
         let mut help_seen = 0;
         let mut type_seen = 0;
         for line in text.lines() {
@@ -338,8 +482,9 @@ mod tests {
                 "bad metric name {name_part:?}"
             );
         }
-        assert_eq!(help_seen, 3);
-        assert_eq!(type_seen, 3);
+        // counter + gauge + histogram + three derived quantile families.
+        assert_eq!(help_seen, 6);
+        assert_eq!(type_seen, 6);
 
         // Histogram series are cumulative and end with +Inf == count.
         assert!(text.contains("nepal_query_ns_bucket{le=\"+Inf\"} 2"));
@@ -348,6 +493,47 @@ mod tests {
         // Specific samples.
         assert!(text.contains("nepal_queries_total 7"));
         assert!(text.contains("nepal_slow_log_len 2"));
+    }
+
+    #[test]
+    fn labeled_families_share_headers_and_sum_in_totals() {
+        let reg = MetricsRegistry::new();
+        let a = reg.gauge_labeled("nepal_store_bytes", &[("class", "VM")], "Estimated heap bytes");
+        let b = reg.gauge_labeled("nepal_store_bytes", &[("class", "Host")], "ignored");
+        a.set(100);
+        b.set(40);
+        // Same (name, labels) returns the same handle.
+        reg.gauge_labeled("nepal_store_bytes", &[("class", "VM")], "x").add(1);
+        assert_eq!(a.get(), 101);
+        assert_eq!(reg.gauge_total("nepal_store_bytes"), Some(141));
+        assert_eq!(reg.gauge_total("nope"), None);
+
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# HELP nepal_store_bytes ").count(), 1, "one header per family:\n{text}");
+        assert_eq!(text.matches("# TYPE nepal_store_bytes ").count(), 1);
+        assert!(text.contains("nepal_store_bytes{class=\"Host\"} 40"), "{text}");
+        assert!(text.contains("nepal_store_bytes{class=\"VM\"} 101"), "{text}");
+
+        let json = reg.render_json();
+        assert!(json.contains("\"nepal_store_bytes{class=\\\"VM\\\"}\":101"), "{json}");
+
+        // Label values are escaped, label names sanitized.
+        reg.counter_labeled("hits_total", &[("pa th", "a\"b\\c")], "h").inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("hits_total{pa_th=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn counter_total_and_histogram_handle_lookups() {
+        let reg = MetricsRegistry::new();
+        reg.counter("errs_total", "e").add(3);
+        assert_eq!(reg.counter_total("errs_total"), Some(3));
+        assert_eq!(reg.counter_total("missing"), None);
+        let h = reg.histogram("lat_ns", "l");
+        h.observe(7);
+        let again = reg.histogram_handle("lat_ns").expect("registered");
+        assert_eq!(again.count(), 1);
+        assert!(reg.histogram_handle("errs_total").is_none(), "type mismatch yields None");
     }
 
     #[test]
@@ -383,6 +569,37 @@ mod tests {
         assert_eq!(h2.quantile(1.0), 4);
     }
 
+    /// Pin p50/p95/p99 on a known distribution (uniform 1..=1000) and
+    /// check the documented worst-case factor-2 bound on an adversarial
+    /// single-point distribution.
+    #[test]
+    fn quantile_estimates_pinned_on_known_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // True quantiles: 500 / 950 / 990. Log-linear interpolation on the
+        // uniform distribution lands within a few percent.
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!((480..=520).contains(&p50), "p50 {p50}");
+        assert!((920..=990).contains(&p95), "p95 {p95}");
+        assert!((960..=1030).contains(&p99), "p99 {p99}");
+        // Never the plain bucket upper bound (the pre-interpolation bug
+        // reported 512 / 1024 / 1024 here).
+        assert_ne!(p50, 512);
+
+        // Worst case: all mass at one end of the (512, 1024] bucket. Any
+        // quantile estimate must stay within a factor 2 of the true 1000.
+        let w = Histogram::default();
+        for _ in 0..1000 {
+            w.observe(1000);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            let est = w.quantile(q);
+            assert!((512..=1024).contains(&est), "q={q} est={est} outside factor-2 band");
+        }
+    }
+
     #[test]
     fn prometheus_includes_quantile_samples() {
         let reg = MetricsRegistry::new();
@@ -391,6 +608,8 @@ mod tests {
         assert!(text.contains("q_ns_p50 16"));
         assert!(text.contains("q_ns_p95 16"));
         assert!(text.contains("q_ns_p99 16"));
+        // Derived quantile families are proper gauge families.
+        assert!(text.contains("# TYPE q_ns_p50 gauge"), "{text}");
     }
 
     #[test]

@@ -511,8 +511,9 @@ pub fn evaluate_obs(
 }
 
 /// [`evaluate_obs`] plus an optional [`MetricsRegistry`] receiving the
-/// parallel evaluator's counters (`rpe_parallel_chunks`, `rpe_steal_count`)
-/// and the per-worker busy-time histogram. Dispatches to the parallel
+/// parallel evaluator's counters (`nepal_rpe_parallel_chunks_total`,
+/// `nepal_rpe_steals_total`) and the per-worker busy-time histogram
+/// (`nepal_rpe_worker_busy_ns`). Dispatches to the parallel
 /// evaluator when [`EvalOptions::threads`] resolves above 1 and no result
 /// `limit` is set; the parallel path produces bit-identical pathways,
 /// `OpStats` rows, and temporal-prune counts (see DESIGN.md).
@@ -962,7 +963,7 @@ fn note_pool<W>(
             );
         }
         if let Some(reg) = metrics {
-            reg.histogram("rpe_worker_busy_ns", "Per-worker busy time per parallel evaluation stage (ns)")
+            reg.histogram("nepal_rpe_worker_busy_ns", "Per-worker busy time per parallel evaluation stage (ns)")
                 .observe(r.busy_ns);
         }
     }
@@ -1447,8 +1448,9 @@ fn evaluate_parallel(
     span.attr("rpe_parallel_chunks", total_chunks);
     span.attr("rpe_steal_count", total_steals);
     if let Some(reg) = metrics {
-        reg.counter("rpe_parallel_chunks", "Parallel evaluation chunks (pool jobs) executed").add(total_chunks);
-        reg.counter("rpe_steal_count", "Cross-worker steals in the parallel evaluator").add(total_steals);
+        reg.counter("nepal_rpe_parallel_chunks_total", "Parallel evaluation chunks (pool jobs) executed")
+            .add(total_chunks);
+        reg.counter("nepal_rpe_steals_total", "Cross-worker steals in the parallel evaluator").add(total_steals);
     }
 
     let mut out: Vec<Pathway> = Vec::new();

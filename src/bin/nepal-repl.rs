@@ -21,6 +21,8 @@
 //! :trace                 tracing status and buffered traces
 //! :trace on|off          enable/disable hierarchical span tracing
 //! :trace export <file>   write the latest trace as Chrome trace-event JSON
+//! :health                deep health: SLO alert states over the standard rules
+//! :mem                   store memory report: per-class bytes, chains, indexes
 //! :stats                 graph statistics
 //! :threads [N]           show or set evaluator worker threads (0 = auto)
 //! :quit                  exit
@@ -31,9 +33,11 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use nepal::core::{parse_statement, BackendRegistry, Engine, NativeBackend, RelationalBackend, Statement};
-use nepal::graph::TemporalGraph;
-use nepal::obs::fmt_ns;
+use nepal::core::{
+    parse_statement, BackendRegistry, Engine, NativeBackend, RelationalBackend, StandardSlos, Statement,
+};
+use nepal::graph::{StoreGauges, TemporalGraph};
+use nepal::obs::{alerts_text, fmt_bytes, fmt_ns};
 use nepal::rpe::{parse_rpe, plan_rpe, GraphEstimator};
 use nepal::workload::{generate_legacy, generate_virtualized, LegacyParams, VirtParams};
 
@@ -52,6 +56,10 @@ fn main() {
         Err(e) => eprintln!("warning: relational backend unavailable ({e}); :sql disabled"),
     }
     let mut engine = Engine::new(registry);
+    // Standard SLO rules + store gauges back :health / :mem; the gauge
+    // refresh keeps the memory-watermark rule reading current bytes.
+    let slo = engine.install_standard_slos(&StandardSlos::default());
+    let gauges = StoreGauges::register(&engine.metrics);
     eprintln!("ready. :help for commands.\n");
 
     let stdin = std::io::stdin();
@@ -78,6 +86,7 @@ fn main() {
                  :threads [N]              show or set evaluator worker threads (0 = auto from NEPAL_THREADS/cores)\n\
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  :qlog | :qlog on [file] | :qlog off | :qlog top N   durable query log + planner q-error feedback\n\
+                 :health | :mem            SLO alert states / store memory report\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
                  <anything else>           executed as a Nepal query\n\
                  example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)\n\
@@ -132,7 +141,51 @@ fn main() {
             continue;
         }
         if line == ":metrics" {
+            gauges.refresh_deep(&graph);
             print!("{}", engine.metrics.render_prometheus());
+            continue;
+        }
+        if line == ":health" {
+            gauges.refresh_deep(&graph);
+            let statuses = slo.evaluate();
+            let firing = statuses.iter().filter(|s| s.state.is_firing()).count();
+            println!("{}", if firing == 0 { "healthy" } else { "DEGRADED" });
+            print!("{}", alerts_text(&statuses));
+            continue;
+        }
+        if line == ":mem" {
+            let report = gauges.refresh_deep(&graph);
+            println!(
+                "total {}  (entities {}  adjacency {}  unique indexes {})  journal {}",
+                fmt_bytes(report.total_bytes),
+                fmt_bytes(report.entity_bytes),
+                fmt_bytes(report.adjacency_bytes),
+                fmt_bytes(report.unique_index_bytes),
+                fmt_bytes(report.journal_bytes),
+            );
+            let mut rows = report.classes.clone();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+            println!(
+                "{:<24} {:>5} {:>9} {:>9} {:>9} {:>10}",
+                "class", "kind", "entities", "alive", "versions", "bytes"
+            );
+            for c in &rows {
+                println!(
+                    "{:<24} {:>5} {:>9} {:>9} {:>9} {:>10}",
+                    c.name,
+                    format!("{:?}", c.kind).to_lowercase(),
+                    c.entities,
+                    c.alive,
+                    c.versions,
+                    fmt_bytes(c.bytes)
+                );
+            }
+            let chain: Vec<String> = report
+                .chain_histogram
+                .iter()
+                .map(|(b, n)| format!("≤{}:{n}", if *b == u64::MAX { "∞".to_string() } else { b.to_string() }))
+                .collect();
+            println!("version-chain lengths: {}", chain.join("  "));
             continue;
         }
         if line == ":slow" {

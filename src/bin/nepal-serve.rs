@@ -13,7 +13,9 @@
 //! ```text
 //! GET /metrics        Prometheus text format (engine + store gauges)
 //! GET /metrics.json   the same registry as JSON
-//! GET /healthz        liveness + registered health checks
+//! GET /healthz        deep readiness: checks + store watermarks + alerts
+//! GET /alerts         SLO alert states as text (also /alerts.json)
+//! GET /dashboard      self-contained HTML operations dashboard
 //! GET /slow           slow-query ring buffer
 //! GET /qlog           worst-estimated query fingerprints (planner q-error)
 //! GET /qlog.json      query-log status + per-fingerprint feedback as JSON
@@ -28,8 +30,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend};
-use nepal::graph::{StoreGauges, TemporalGraph};
+use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend, StandardSlos};
+use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
 use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer};
 use nepal::obs::{Telemetry, TelemetryServer};
 use nepal::workload::{generate_virtualized, VirtParams};
@@ -96,8 +98,18 @@ fn main() {
     telemetry.set_qlog(engine.feedback.clone(), engine.qlog.clone());
     let gauges = Arc::new(StoreGauges::register(&engine.metrics));
     {
+        // Deep refresh per scrape: per-class bytes, watermarks, and the
+        // chain-length distribution stay current for the SLO engine.
         let (gauges, graph) = (gauges.clone(), graph.clone());
-        telemetry.add_refresher(move || gauges.refresh(&graph));
+        telemetry.add_refresher(move || {
+            gauges.refresh_deep(&graph);
+        });
+    }
+    let slo = engine.install_standard_slos(&StandardSlos::default());
+    telemetry.set_slo(slo.clone());
+    {
+        let graph = graph.clone();
+        telemetry.set_resources(move || resource_summary(&graph.memory_report()));
     }
     {
         let graph = graph.clone();
@@ -127,6 +139,9 @@ fn main() {
             Err(e) => eprintln!("warm-up ({backend}) failed: {e}"),
         }
     }
+    // Drain the cold-start warm-up latencies out of the SLO windows so the
+    // first external probe scores only real traffic.
+    slo.evaluate();
 
     println!("gremlin: {gremlin_addr}");
     println!("telemetry: http://{}", http.local_addr());

@@ -112,6 +112,77 @@ fn telemetry_qlog_routes_serve_feedback_after_queries() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Rotation boundary: a record whose line lands exactly on the size
+/// threshold is never split — rotation only ever moves whole files, so
+/// every generation holds complete JSONL lines and a replay across all
+/// generations sees every record exactly once, in order.
+#[test]
+fn rotation_never_splits_a_record_and_replay_sees_all_generations() {
+    use nepal::obs::{PlanFeedback, QlogRecord};
+
+    let dir = std::env::temp_dir().join(format!("nepal-qlog-rotate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("qlog.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let rec = |i: usize| QlogRecord {
+        ts_ms: 1000,
+        query: format!("Retrieve P From PATHS P Where P MATCHES VM(vm_id={i})"),
+        fingerprint: 7,
+        trace_id: None,
+        threads: 1,
+        parse_ns: 10,
+        plan_ns: 10,
+        exec_ns: 10,
+        total_ns: 30,
+        rows: 1,
+        digest: 9,
+        error: None,
+        feedback: PlanFeedback::default(),
+    };
+    // All single-digit ids → identical line lengths.
+    let line_len = (rec(0).to_json_line().len() + 1) as u64;
+
+    // Capacity of exactly three lines per generation.
+    let log = QueryLog::open(&path, 3 * line_len, 2).unwrap();
+    for i in 0..3 {
+        log.append(&rec(i));
+    }
+    // The third record ends exactly at the threshold: no rotation, and the
+    // live file holds three whole records.
+    assert_eq!(log.rotations(), 0, "bytes == max must not rotate");
+    assert_eq!(log.bytes(), 3 * line_len);
+    assert_eq!(QueryLog::read_records(&path).unwrap().len(), 3);
+
+    // Push through two rotations (rotation fires on the append that
+    // crosses the bound, after the record is fully written).
+    for i in 3..10 {
+        log.append(&rec(i));
+    }
+    assert_eq!(log.rotations(), 2);
+    assert_eq!(log.records(), 10);
+
+    // Every generation holds only whole lines (every line parses), and
+    // the oldest-to-newest concatenation replays all ten records in order.
+    let mut replayed = Vec::new();
+    for gen in [Some(2), Some(1), None] {
+        let gen_path = match gen {
+            Some(n) => dir.join(format!("qlog.jsonl.{n}")),
+            None => path.clone(),
+        };
+        let text = std::fs::read_to_string(&gen_path).unwrap();
+        let parsed = QueryLog::read_records(&gen_path).unwrap();
+        assert_eq!(parsed.len(), text.lines().count(), "unparseable (split?) line in {}", gen_path.display());
+        assert!(text.ends_with('\n'), "generation must end on a record boundary");
+        replayed.extend(parsed);
+    }
+    assert_eq!(replayed.len(), 10, "replay across generations sees every record");
+    for (i, r) in replayed.iter().enumerate() {
+        assert_eq!(r.query, rec(i).query, "order preserved across rotation");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The fingerprint folds literals and whitespace but preserves structure:
 /// the same query shape with different constants collides, a different
 /// repetition bound does not.

@@ -8,10 +8,10 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use nepal::core::{engine_over, BackendRegistry, Engine, GremlinBackend, NativeBackend};
-use nepal::graph::TemporalGraph;
+use nepal::core::{engine_over, BackendRegistry, Engine, GremlinBackend, NativeBackend, StandardSlos};
+use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
 use nepal::gremlin::{parse_json, property_graph_from, GremlinClient, GremlinServer};
-use nepal::obs::{Telemetry, TelemetryServer, TRACK_SERVER};
+use nepal::obs::{SloRule, Telemetry, TelemetryServer, TRACK_SERVER};
 use nepal::schema::dsl::parse_schema;
 use nepal::schema::Value;
 
@@ -198,4 +198,144 @@ fn telemetry_endpoint_serves_metrics_and_health_over_socket() {
 
     let (status, _) = http_get(addr, "/nope");
     assert_eq!(status, 404);
+}
+
+/// Satellite: `/metrics` must be a conformant Prometheus 0.0.4 exposition
+/// — versioned Content-Type, one HELP/TYPE per family, `_total` counter
+/// names — and stay intact under many concurrent scrapes.
+#[test]
+fn metrics_exposition_survives_concurrent_scrapes() {
+    let mut engine = engine_over(demo_graph());
+    for _ in 0..3 {
+        engine.query(QUERY).unwrap();
+    }
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    let server = TelemetryServer::start(telemetry, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Content-Type conformance on a raw response.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.contains("Content-Type: text/plain; version=0.0.4"), "{resp}");
+
+    // 8 scraping threads, 5 scrapes each; every body must be complete and
+    // internally consistent (every sample's family has HELP and TYPE).
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let (status, body) = http_get(addr, "/metrics");
+                    assert_eq!(status, 200);
+                    assert!(body.contains("nepal_queries_total 3"), "truncated body: {body}");
+                    for line in body.lines() {
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let name = line.split(['{', ' ']).next().unwrap();
+                        let family = name
+                            .strip_suffix("_bucket")
+                            .or_else(|| name.strip_suffix("_sum"))
+                            .or_else(|| name.strip_suffix("_count"))
+                            .unwrap_or(name);
+                        assert!(
+                            body.contains(&format!("# HELP {family} ")) || body.contains(&format!("# HELP {name} ")),
+                            "no HELP for {name}"
+                        );
+                        assert!(
+                            body.contains(&format!("# TYPE {family} ")) || body.contains(&format!("# TYPE {name} ")),
+                            "no TYPE for {name}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// A client that sends half a request and stalls must not block other
+/// scrapers (thread-per-connection with a read timeout).
+#[test]
+fn slow_client_does_not_starve_other_scrapers() {
+    let engine = engine_over(demo_graph());
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    let server = TelemetryServer::start(telemetry, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Hold a half-written request open on one connection…
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /metr").unwrap();
+    // …and a second one that connects but never writes at all.
+    let _silent = std::net::TcpStream::connect(addr).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("nepal_"), "{body}");
+    assert!(t0.elapsed() < std::time::Duration::from_millis(1500), "scrape blocked behind stalled clients");
+}
+
+/// Acceptance: induced overload (an impossible latency SLO) flips
+/// `/healthz` to 503 and `/alerts` to firing; once the breach window
+/// drains, both recover.
+#[test]
+fn induced_overload_flips_healthz_and_alerts_then_resolves() {
+    let graph = demo_graph();
+    let mut engine = engine_over(graph.clone());
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+
+    // Standard rules (healthy thresholds) plus one impossible latency rule.
+    let slo = engine.install_standard_slos(&StandardSlos::default());
+    slo.add(SloRule::latency("induced-overload", "nepal_query_duration_ns", 0.99, 1));
+    telemetry.set_slo(slo.clone());
+    let gauges = Arc::new(StoreGauges::register(&engine.metrics));
+    {
+        let (gauges, graph) = (gauges.clone(), graph.clone());
+        telemetry.add_refresher(move || {
+            gauges.refresh_deep(&graph);
+        });
+    }
+    {
+        let graph = graph.clone();
+        telemetry.set_resources(move || resource_summary(&graph.memory_report()));
+    }
+    let server = TelemetryServer::start(telemetry, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Before any query: empty window, healthy.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"store\""), "deep healthz carries store watermarks: {body}");
+
+    // Breach: any real query's p99 exceeds 1ns. Every endpoint hit
+    // evaluates (and thereby drains) the window, so re-breach before each
+    // probe of the firing phase.
+    engine.query(QUERY).unwrap();
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 503, "overload must flip healthz: {body}");
+    assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
+    engine.query(QUERY).unwrap();
+    let (status, body) = http_get(addr, "/alerts");
+    assert_eq!(status, 200);
+    assert!(body.contains("induced-overload") && body.contains("firing"), "{body}");
+    engine.query(QUERY).unwrap();
+    let (_, json) = http_get(addr, "/alerts.json");
+    assert!(json.contains("\"firing\":1"), "{json}");
+
+    // No new observations: the next evaluation sees an empty window and
+    // the alert resolves; healthz recovers.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "alert must resolve once the window drains: {body}");
+    let (_, body) = http_get(addr, "/alerts");
+    assert!(!body.contains("firing"), "{body}");
+
+    // The dashboard renders through all of this.
+    let (status, body) = http_get(addr, "/dashboard");
+    assert_eq!(status, 200);
+    assert!(body.contains("<html") || body.contains("<!doctype"), "{body}");
+    assert!(body.contains("induced-overload"), "dashboard lists alert rules: {body}");
 }
