@@ -18,12 +18,18 @@
 //!           # under churn, report-vs-recount agreement, accounting
 //!           # overhead over the Table-1 workload, healthy/overload alert
 //!           # outcomes; always writes BENCH_memory.json
+//! reproduce serve-load [--workers N] [--queue-depth N] [--requests N]
+//!           [--overload-x N] [--deadline-ms MS]
+//!           # overload benchmark: concurrent clients at and beyond the
+//!           # bounded server's capacity — throughput, p50/p95/p99, shed
+//!           # rate; always writes BENCH_serve.json
 //! ```
 
 use nepal_bench::{
     capture_workload, format_ablation, format_obs_report, format_query_table, format_replay, format_scaling,
-    format_storage, metrics_snapshot_json, obs_report_json, query_rows_json, replay_json, replay_qlog, run_obs_report,
-    run_scaling, run_storage, run_table1, run_table2, run_table3, scaling_json,
+    format_serve_load, format_storage, metrics_snapshot_json, obs_report_json, query_rows_json, replay_json,
+    replay_qlog, run_obs_report, run_scaling, run_serve_load, run_storage, run_table1, run_table2, run_table3,
+    scaling_json, serve_load_json, ServeLoadConfig,
 };
 use nepal_workload::LegacyParams;
 
@@ -79,6 +85,34 @@ fn main() {
         let report = run_obs_report(instances, 42);
         print!("{}", format_obs_report(&report));
         write_json("BENCH_memory.json", &obs_report_json(&report));
+        return;
+    }
+
+    if named.iter().any(|a| *a == "serve-load") {
+        let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+        let mut cfg = ServeLoadConfig::default();
+        if let Some(n) = flag("--workers").and_then(|v| v.parse().ok()) {
+            cfg.workers = n;
+        }
+        if let Some(n) = flag("--queue-depth").and_then(|v| v.parse().ok()) {
+            cfg.queue_depth = n;
+        }
+        if let Some(n) = flag("--requests").and_then(|v| v.parse().ok()) {
+            cfg.requests_per_client = n;
+        }
+        if let Some(n) = flag("--overload-x").and_then(|v| v.parse().ok()) {
+            cfg.overload_x = n;
+        }
+        if let Some(ms) = flag("--deadline-ms").and_then(|v| v.parse().ok()) {
+            cfg.deadline = Some(std::time::Duration::from_millis(ms));
+        }
+        let (rows, panics) = run_serve_load(&cfg, 42);
+        print!("{}", format_serve_load(&rows, panics));
+        write_json("BENCH_serve.json", &serve_load_json(&rows, &cfg, panics));
+        if panics != 0 {
+            eprintln!("serve-load observed {panics} evaluation panic(s)");
+            std::process::exit(1);
+        }
         return;
     }
 

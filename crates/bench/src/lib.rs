@@ -11,9 +11,11 @@
 
 pub mod obs_report;
 pub mod replay;
+pub mod serve_load;
 
 pub use obs_report::{format_obs_report, obs_report_json, run_obs_report, ChurnPoint, ObsReport};
 pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, ReplayReport, ReplayRow};
+pub use serve_load::{format_serve_load, run_serve_load, serve_load_json, ServeLoadConfig, ServeLoadRow};
 
 use std::time::Instant;
 

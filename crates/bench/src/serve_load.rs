@@ -1,0 +1,253 @@
+//! Overload benchmark for the serving path: drive N concurrent clients
+//! against a bounded [`GremlinServer`] at and beyond its admission
+//! capacity, measuring throughput, latency quantiles, and shed rate.
+//!
+//! Two phases share one server: **at-capacity** (as many clients as
+//! serving workers — nothing should shed) and **overload** (several times
+//! the worker count — excess arrivals must be shed with explicit 503
+//! frames, and everything that *is* admitted must still complete). Each
+//! request uses a fresh connection, since admission is per-connection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nepal_gremlin::{property_graph_from, shared_graph, GStep, GremlinClient, GremlinServer, ProtoError, ServeConfig};
+
+use crate::build_virtualized;
+
+/// Knobs for one serve-load run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadConfig {
+    /// Serving worker pool size (`--max-inflight`).
+    pub workers: usize,
+    /// Bounded admission queue depth.
+    pub queue_depth: usize,
+    /// Requests each client issues per phase.
+    pub requests_per_client: usize,
+    /// Overload multiplier: the second phase runs `workers * overload_x`
+    /// concurrent clients.
+    pub overload_x: usize,
+    /// Optional per-request deadline forwarded to the server.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig { workers: 2, queue_depth: 2, requests_per_client: 40, overload_x: 4, deadline: None }
+    }
+}
+
+/// One phase of the load run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadRow {
+    pub phase: &'static str,
+    pub clients: usize,
+    pub ok: u64,
+    pub shed: u64,
+    pub timeouts: u64,
+    pub errors: u64,
+    pub elapsed_ms: f64,
+    pub throughput_rps: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    /// Shed requests / total requests attempted.
+    pub shed_rate: f64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one phase: `clients` threads, each issuing `requests` count
+/// traversals over fresh connections.
+fn run_phase(phase: &'static str, addr: std::net::SocketAddr, clients: usize, requests: usize) -> ServeLoadRow {
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let (ok, shed, timeouts, errors) = (ok.clone(), shed.clone(), timeouts.clone(), errors.clone());
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let r0 = Instant::now();
+                    let outcome = std::net::TcpStream::connect(addr)
+                        .map_err(ProtoError::Io)
+                        .and_then(|s| GremlinClient::new(s).submit(&[GStep::V(vec![]), GStep::Count]));
+                    match outcome {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            lat.push(r0.elapsed().as_micros() as u64);
+                        }
+                        Err(ProtoError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ProtoError::Timeout(_)) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A shed frame racing our request write surfaces as
+                        // a broken pipe; count it as an error, not a shed —
+                        // the server-side counter is authoritative.
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("load client panicked"));
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    let total = (clients * requests) as u64;
+    ServeLoadRow {
+        phase,
+        clients,
+        ok,
+        shed,
+        timeouts: timeouts.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput_rps: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: quantile(&latencies, 0.50),
+        p95_us: quantile(&latencies, 0.95),
+        p99_us: quantile(&latencies, 0.99),
+        shed_rate: shed as f64 / total.max(1) as f64,
+    }
+}
+
+/// Start a bounded server over the virtualized inventory and run the
+/// at-capacity and overload phases against it. Returns the phase rows and
+/// the server's evaluation-panic count (must be zero).
+pub fn run_serve_load(cfg: &ServeLoadConfig, seed: u64) -> (Vec<ServeLoadRow>, u64) {
+    let (snap, _) = build_virtualized(seed);
+    let pg = shared_graph(property_graph_from(&snap.graph));
+    let server_cfg = ServeConfig {
+        workers: cfg.workers.max(1),
+        queue_depth: cfg.queue_depth.max(1),
+        deadline: cfg.deadline,
+        ..ServeConfig::default()
+    };
+    let mut server = GremlinServer::start_cfg(pg, "127.0.0.1:0", None, server_cfg).expect("bind serve-load server");
+    let addr = server.addr;
+
+    let rows = vec![
+        run_phase("at-capacity", addr, cfg.workers.max(1), cfg.requests_per_client),
+        run_phase("overload", addr, cfg.workers.max(1) * cfg.overload_x.max(2), cfg.requests_per_client),
+    ];
+    let panics = server.stats.evaluation_panics.load(Ordering::Relaxed);
+    let report = server.drain(Duration::from_millis(2000));
+    assert!(report.clean, "serve-load drain must finish within its budget");
+    (rows, panics)
+}
+
+/// Human-readable table.
+pub fn format_serve_load(rows: &[ServeLoadRow], stats_panics: u64) -> String {
+    let mut s = String::new();
+    s.push_str("Serve-load: bounded admission under concurrent clients (fresh connection per request).\n");
+    s.push_str(&format!(
+        "{:<12} {:>8} {:>7} {:>6} {:>9} {:>7} {:>10} {:>9} {:>9} {:>9} {:>10}\n",
+        "phase",
+        "clients",
+        "ok",
+        "shed",
+        "timeouts",
+        "errors",
+        "thr(req/s)",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)",
+        "shed rate"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>8} {:>7} {:>6} {:>9} {:>7} {:>10.1} {:>9} {:>9} {:>9} {:>9.1}%\n",
+            r.phase,
+            r.clients,
+            r.ok,
+            r.shed,
+            r.timeouts,
+            r.errors,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.shed_rate * 100.0
+        ));
+    }
+    s.push_str(&format!("evaluation panics: {stats_panics}\n"));
+    s
+}
+
+/// The `BENCH_serve.json` document.
+pub fn serve_load_json(rows: &[ServeLoadRow], cfg: &ServeLoadConfig, panics: u64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"workers\": {}, \"queue_depth\": {}, \"requests_per_client\": {}, \"overload_x\": {}, \
+         \"deadline_ms\": {}}},\n",
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.requests_per_client,
+        cfg.overload_x,
+        cfg.deadline.map(|d| d.as_millis() as u64).map_or("null".to_string(), |m| m.to_string())
+    ));
+    s.push_str(&format!("  \"evaluation_panics\": {panics},\n"));
+    s.push_str("  \"phases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"clients\": {}, \"ok\": {}, \"shed\": {}, \"timeouts\": {}, \"errors\": {}, \
+             \"elapsed_ms\": {:.3}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"shed_rate\": {:.4}}}{}\n",
+            r.phase,
+            r.clients,
+            r.ok,
+            r.shed,
+            r.timeouts,
+            r.errors,
+            r.elapsed_ms,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.shed_rate,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_serve_load_completes_and_reports() {
+        let cfg = ServeLoadConfig { workers: 2, queue_depth: 2, requests_per_client: 6, overload_x: 3, deadline: None };
+        let (rows, panics) = run_serve_load(&cfg, 42);
+        assert_eq!(panics, 0);
+        assert_eq!(rows.len(), 2);
+        // At capacity every request is admitted and completes.
+        assert_eq!(rows[0].ok, (rows[0].clients * cfg.requests_per_client) as u64);
+        // Overload: every attempt is accounted for, and admitted work done.
+        let r = &rows[1];
+        assert_eq!(r.ok + r.shed + r.timeouts + r.errors, (r.clients * cfg.requests_per_client) as u64);
+        assert!(r.ok > 0, "admitted requests must still complete under overload");
+        let json = serve_load_json(&rows, &cfg, panics);
+        assert!(json.contains("\"phase\": \"overload\""));
+        assert!(json.contains("\"evaluation_panics\": 0"));
+    }
+}

@@ -158,7 +158,8 @@ impl Backend for NativeBackend {
         span: &SpanHandle,
     ) -> Result<Vec<Pathway>> {
         let view = GraphView::new(&self.graph, filter);
-        Ok(nepal_rpe::evaluate_metered(&view, plan, seeds, opts, trace, span, self.metrics.as_deref()))
+        nepal_rpe::evaluate_metered(&view, plan, seeds, opts, trace, span, self.metrics.as_deref())
+            .map_err(NepalError::from)
     }
 
     fn supports_shared_eval(&self) -> bool {
@@ -174,7 +175,8 @@ impl Backend for NativeBackend {
         span: &SpanHandle,
     ) -> Result<Vec<Pathway>> {
         let view = GraphView::new(&self.graph, filter);
-        Ok(nepal_rpe::evaluate_metered(&view, plan, seeds, opts, None, span, self.metrics.as_deref()))
+        nepal_rpe::evaluate_metered(&view, plan, seeds, opts, None, span, self.metrics.as_deref())
+            .map_err(NepalError::from)
     }
 
     fn attach_metrics(&mut self, metrics: &Arc<MetricsRegistry>) {
@@ -246,8 +248,14 @@ impl Backend for RelationalBackend {
         span: &SpanHandle,
     ) -> Result<Vec<Pathway>> {
         let t0 = trace.is_some().then(Instant::now);
-        let res = evaluate_relational_spanned(&mut self.db, &self.schema, plan, filter, seeds, opts, span)
-            .map_err(|e| NepalError::Backend(e.to_string()))?;
+        let res =
+            evaluate_relational_spanned(&mut self.db, &self.schema, plan, filter, seeds, opts, span).map_err(|e| {
+                match e {
+                    nepal_relational::RelError::DeadlineExceeded => NepalError::DeadlineExceeded,
+                    nepal_relational::RelError::Cancelled => NepalError::Cancelled,
+                    other => NepalError::Backend(other.to_string()),
+                }
+            })?;
         if let Some(trace) = trace {
             trace.bump("rel_rows_scanned", res.rows_scanned);
             trace.bump("rel_rows_joined", res.rows_joined);

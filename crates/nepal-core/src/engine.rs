@@ -30,7 +30,8 @@ use nepal_obs::{
     QueryProfile, SloEngine, SloRule, SlowQueryLog, SpanHandle, Tracer, VarProfile,
 };
 use nepal_rpe::{
-    plan_rpe_threads, resolved_threads, BoundAtom, CardinalityEstimator, EvalOptions, Pathway, RpePlan, Seeds,
+    plan_rpe_threads, resolved_threads, BoundAtom, CancelCause, CancelToken, CardinalityEstimator, EvalOptions,
+    Pathway, RpePlan, Seeds,
 };
 use nepal_schema::{Schema, Ts, Value};
 
@@ -105,8 +106,17 @@ impl Default for StandardSlos {
 /// The engine: a backend registry plus the query pipeline.
 pub struct Engine {
     pub registry: BackendRegistry,
-    /// Options applied to every RPE evaluation.
+    /// Options applied to every RPE evaluation. When
+    /// [`EvalOptions::cancel`] is set here it acts as a *session/server
+    /// parent token*: each query gets a fresh child of it, so cancelling
+    /// the parent (REPL `:cancel`, server drain) trips every in-flight and
+    /// future query while [`Engine::default_deadline`] still applies
+    /// per-query.
     pub eval_options: EvalOptions,
+    /// Per-query deadline applied to every query as a fresh child token
+    /// (`None` = unbounded). A tripped deadline surfaces as
+    /// [`NepalError::DeadlineExceeded`].
+    pub default_deadline: Option<std::time::Duration>,
     /// Engine-level metrics: query counts, latency histograms, slow-log
     /// depth. Render with [`MetricsRegistry::render_prometheus`]. Shared
     /// (`Arc`) so a telemetry endpoint can serve it concurrently.
@@ -149,6 +159,28 @@ fn spec_to_filter(spec: &TimeSpec) -> TimeFilter {
     }
 }
 
+/// Rate-limited cancellation poll for the engine's own join/coexistence
+/// loops: polls the token once per `mask`+1 calls.
+#[inline]
+fn poll_every(cancel: &Option<CancelToken>, ctr: &mut u64, mask: u64) -> Option<CancelCause> {
+    let tok = cancel.as_ref()?;
+    *ctr = ctr.wrapping_add(1);
+    if *ctr & mask != 0 {
+        return None;
+    }
+    tok.poll()
+}
+
+fn cancel_to_err(cause: CancelCause) -> NepalError {
+    match cause {
+        CancelCause::Deadline => NepalError::DeadlineExceeded,
+        CancelCause::Explicit => NepalError::Cancelled,
+    }
+}
+
+/// Poll frequency for the engine's row loops (joins, coexistence).
+const ENGINE_CANCEL_MASK: u64 = 0x3FF; // every 1024 rows
+
 impl Engine {
     pub fn new(mut registry: BackendRegistry) -> Engine {
         let metrics = Arc::new(MetricsRegistry::new());
@@ -157,6 +189,7 @@ impl Engine {
         Engine {
             registry,
             eval_options: EvalOptions::default(),
+            default_deadline: None,
             metrics,
             slow_log: Arc::new(SlowQueryLog::default()),
             tracer: Tracer::new(),
@@ -255,6 +288,9 @@ impl Engine {
             root.attr("rows", r.rows.len());
         }
         self.record_query_metrics(text, total_ns, result.as_ref().ok().map(|r| r.rows.len() as u64), trace_id);
+        if let Err(e) = &result {
+            self.note_cancellation_metrics(e);
+        }
         result
     }
 
@@ -285,6 +321,7 @@ impl Engine {
         let (result, mut profile) = match outcome {
             Ok(v) => v,
             Err(e) => {
+                self.note_cancellation_metrics(&e);
                 if let Some(qlog) = &self.qlog {
                     let mut rec = QlogRecord::for_error(text, total_ns, &e.to_string(), trace_id, threads);
                     rec.ts_ms = unix_ms();
@@ -318,6 +355,22 @@ impl Engine {
             qlog.append(&rec);
         }
         Ok((result, profile))
+    }
+
+    /// Count cancellation outcomes so the serving layer's shed/cancel rates
+    /// are observable (`nepal_query_deadline_total` /
+    /// `nepal_query_cancelled_total`).
+    fn note_cancellation_metrics(&self, e: &NepalError) {
+        match e {
+            NepalError::DeadlineExceeded => self
+                .metrics
+                .counter("nepal_query_deadline_total", "Queries abandoned because their deadline passed")
+                .inc(),
+            NepalError::Cancelled => {
+                self.metrics.counter("nepal_query_cancelled_total", "Queries abandoned by explicit cancellation").inc()
+            }
+            _ => {}
+        }
     }
 
     fn record_query_metrics(&mut self, text: &str, total_ns: u64, rows: Option<u64>, trace_id: Option<u64>) {
@@ -357,6 +410,19 @@ impl Engine {
         mut profile: Option<&mut QueryProfile>,
         span: &SpanHandle,
     ) -> Result<QueryResult> {
+        // Per-query cancellation: a fresh child of the session/server
+        // parent token (if any) carrying the engine's default deadline.
+        // A child per query avoids the one-shot-expired-token bug — the
+        // deadline clock starts at query start, not engine construction.
+        let mut qopts = self.eval_options.clone();
+        qopts.cancel = match (&self.eval_options.cancel, self.default_deadline) {
+            (None, None) => None,
+            (Some(parent), deadline) => Some(parent.child(deadline)),
+            (None, Some(deadline)) => Some(CancelToken::with_deadline(deadline)),
+        };
+        let qopts = qopts;
+        let mut cancel_ctr = 0u64;
+
         let aggregate = matches!(q.head, Head::FirstTimeWhenExists | Head::LastTimeWhenExists | Head::WhenExists);
         // Temporal aggregates need interval sets: default to the full
         // history range when no AT clause is present.
@@ -494,7 +560,7 @@ impl Engine {
                 .all(|&i| self.registry.get(evals[i].backend.as_deref()).is_ok_and(|b| b.supports_shared_eval()));
         if fan_out {
             exec_span.attr("parallel_vars", pending.len());
-            let opts = &self.eval_options;
+            let opts = &qopts;
             let mut outs: Vec<(usize, Result<Vec<Pathway>>)> = Vec::with_capacity(pending.len());
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(pending.len());
@@ -586,10 +652,8 @@ impl Engine {
             let var_span = exec_span.child(&format!("eval:{var}"));
             var_span.attr("backend", backend.kind());
             let pathways = match profile.as_deref_mut() {
-                Some(p) => {
-                    backend.eval_obs(plan, filter, seeds, &self.eval_options, Some(&mut p.vars[i].trace), &var_span)?
-                }
-                None => backend.eval_obs(plan, filter, seeds, &self.eval_options, None, &var_span)?,
+                Some(p) => backend.eval_obs(plan, filter, seeds, &qopts, Some(&mut p.vars[i].trace), &var_span)?,
+                None => backend.eval_obs(plan, filter, seeds, &qopts, None, &var_span)?,
             };
             var_span.attr("pathways", pathways.len());
             drop(var_span);
@@ -630,6 +694,9 @@ impl Engine {
                 let pathways = std::mem::take(&mut evals[idx].pathways);
                 let mut kept = Vec::new();
                 for p in pathways {
+                    if let Some(cause) = poll_every(&qopts.cancel, &mut cancel_ctr, ENGINE_CANCEL_MASK) {
+                        return Err(cancel_to_err(cause));
+                    }
                     let binding = vec![(var.clone(), &p)];
                     let lhs = self.eval_expr(a, &binding, filter, backend_name.as_deref())?;
                     let rhs = self.eval_expr(b, &binding, filter, backend_name.as_deref())?;
@@ -727,6 +794,9 @@ impl Engine {
                     table.entry(k).or_default().push(pi);
                 }
                 for row in &rows {
+                    if let Some(cause) = poll_every(&qopts.cancel, &mut cancel_ctr, ENGINE_CANCEL_MASK) {
+                        return Err(cancel_to_err(cause));
+                    }
                     let probe: Vec<u64> =
                         key_specs.iter().map(|&(_, other, j)| end_of(&evals[j].pathways[row[j]], other)).collect();
                     if let Some(cands) = table.get(&probe) {
@@ -740,6 +810,9 @@ impl Engine {
             } else {
                 join_span.attr("strategy", "nested");
                 for row in &rows {
+                    if let Some(cause) = poll_every(&qopts.cancel, &mut cancel_ctr, ENGINE_CANCEL_MASK) {
+                        return Err(cancel_to_err(cause));
+                    }
                     'cand: for (pi, _p) in evals[i].pathways.iter().enumerate() {
                         let mut trial = row.clone();
                         trial[i] = pi;
@@ -786,6 +859,9 @@ impl Engine {
         let mut out_rows: Vec<ResultRow> = Vec::new();
         let mut coexistence_pruned = 0u64;
         'row: for row in &rows {
+            if let Some(cause) = poll_every(&qopts.cancel, &mut cancel_ctr, ENGINE_CANCEL_MASK) {
+                return Err(cancel_to_err(cause));
+            }
             let mut joint: Option<IntervalSet> = None;
             for (i, &pi) in row.iter().enumerate() {
                 if pi == usize::MAX {

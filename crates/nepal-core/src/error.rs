@@ -27,6 +27,12 @@ pub enum NepalError {
     Backend(String),
     /// The feature is not supported by the chosen backend.
     Unsupported(String),
+    /// The query's deadline passed; evaluation was abandoned at a
+    /// cancellation checkpoint and partial work discarded.
+    DeadlineExceeded,
+    /// The query was cancelled (REPL `:cancel`, server drain, client
+    /// disconnect) at a cancellation checkpoint.
+    Cancelled,
 }
 
 impl fmt::Display for NepalError {
@@ -45,6 +51,8 @@ impl fmt::Display for NepalError {
             NepalError::UnknownBackend(b) => write!(f, "unknown backend `{b}`"),
             NepalError::Backend(m) => write!(f, "backend error: {m}"),
             NepalError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            NepalError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            NepalError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -53,7 +61,22 @@ impl std::error::Error for NepalError {}
 
 impl From<RpeError> for NepalError {
     fn from(e: RpeError) -> Self {
-        NepalError::Rpe(e)
+        // Cancellation is a serving condition, not an RPE defect: keep it
+        // typed at the top level so servers can map it to overload/timeout
+        // responses without string matching.
+        match e {
+            RpeError::DeadlineExceeded => NepalError::DeadlineExceeded,
+            RpeError::Cancelled => NepalError::Cancelled,
+            other => NepalError::Rpe(other),
+        }
+    }
+}
+
+impl NepalError {
+    /// Is this a cooperative-cancellation outcome (deadline or explicit
+    /// cancel) rather than a query/backend defect?
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, NepalError::DeadlineExceeded | NepalError::Cancelled)
     }
 }
 

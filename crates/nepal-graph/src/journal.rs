@@ -88,17 +88,57 @@ pub fn save_graph<W: Write>(g: &TemporalGraph, w: &mut W) -> Result<()> {
     Ok(())
 }
 
+/// A torn (partially written) journal tail dropped by lenient recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line where the tear was detected.
+    pub line: usize,
+    /// Why that line failed to parse.
+    pub reason: String,
+    /// Lines dropped (the torn line plus any incomplete entity block it
+    /// belongs to).
+    pub dropped_lines: usize,
+    /// Byte length of the intact journal prefix — truncate the file to
+    /// this length to repair it in place.
+    pub keep_bytes: u64,
+}
+
 /// Load a graph saved by [`save_graph`], validating against `schema`.
 pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<TemporalGraph> {
-    let mut lines = r.lines().enumerate();
-    let (_, first) = lines.next().ok_or_else(|| format_err(1, "empty journal"))?;
-    let first = first.map_err(io_err)?;
-    if first.trim() != MAGIC {
+    load_graph_inner(schema, r, false).map(|(g, _)| g)
+}
+
+/// [`load_graph`] tolerating a torn tail: a crash mid-append leaves a
+/// partial final record, which strict loading rejects wholesale. Lenient
+/// loading recovers every complete entity before the tear and reports the
+/// dropped tail (so the caller can warn and truncate). Corruption that is
+/// *followed* by valid records is still a hard error — only a trailing
+/// tear is recoverable.
+pub fn load_graph_lenient<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<(TemporalGraph, Option<TornTail>)> {
+    load_graph_inner(schema, r, true)
+}
+
+fn load_graph_inner<R: BufRead>(
+    schema: Arc<Schema>,
+    r: &mut R,
+    lenient: bool,
+) -> Result<(TemporalGraph, Option<TornTail>)> {
+    let all: Vec<String> = r.lines().collect::<std::io::Result<_>>().map_err(io_err)?;
+    if all.is_empty() {
+        return Err(format_err(1, "empty journal"));
+    }
+    if all[0].trim() != MAGIC {
         return Err(format_err(1, "bad magic"));
     }
+    // Byte offset of each line start (journal lines are `\n`-terminated).
+    let offset_of = |idx: usize| -> u64 { all[..idx].iter().map(|l| l.len() as u64 + 1).sum() };
     let mut g = TemporalGraph::new(schema.clone());
     let mut pending: Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)> = None;
+    // Line index of the pending entity's header — the start of the block
+    // a torn version line belongs to.
+    let mut pending_start: usize = 0;
     let mut versions: Vec<(i64, i64, Vec<Value>)> = Vec::new();
+    let mut torn: Option<TornTail> = None;
     let flush = |g: &mut TemporalGraph,
                  pending: &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
                  versions: &mut Vec<(i64, i64, Vec<Value>)>,
@@ -112,17 +152,85 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
         }
         Ok(())
     };
-    for (idx, line) in lines {
+    // A parse error is a recoverable tear only if nothing meaningful
+    // follows it.
+    let tail_is_blank = |from: usize| all[from..].iter().all(|l| l.trim().is_empty());
+    let mut idx = 1;
+    'parse: while idx < all.len() {
         let lineno = idx + 1;
-        let line = line.map_err(io_err)?;
-        let line = line.trim_end();
+        let line = all[idx].trim_end();
         if line.is_empty() {
+            idx += 1;
             continue;
         }
+        // Run one line; on a tail tear in lenient mode, drop the torn
+        // entity block instead of failing.
+        let step = |g: &mut TemporalGraph,
+                    pending: &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
+                    pending_start: &mut usize,
+                    versions: &mut Vec<(i64, i64, Vec<Value>)>|
+         -> Result<()> {
+            parse_line(&schema, g, line, lineno, idx, pending, pending_start, versions, &flush)
+        };
+        if let Err(e) = step(&mut g, &mut pending, &mut pending_start, &mut versions) {
+            if lenient && tail_is_blank(idx + 1) {
+                let drop_start = if pending.is_some() { pending_start } else { idx };
+                torn = Some(TornTail {
+                    line: lineno,
+                    reason: e.to_string(),
+                    dropped_lines: all.len() - drop_start,
+                    keep_bytes: offset_of(drop_start),
+                });
+                pending = None;
+                versions.clear();
+                break 'parse;
+            }
+            return Err(e);
+        }
+        idx += 1;
+    }
+    if torn.is_none() {
+        if let Err(e) = flush(&mut g, &mut pending, &mut versions, usize::MAX) {
+            // EOF mid-entity: the file ends before the declared version
+            // count was reached — the canonical torn tail.
+            if !lenient {
+                return Err(e);
+            }
+            torn = Some(TornTail {
+                line: all.len(),
+                reason: e.to_string(),
+                dropped_lines: all.len() - pending_start,
+                keep_bytes: offset_of(pending_start),
+            });
+        }
+    }
+    g.rebuild_unique_index()?;
+    Ok((g, torn))
+}
+
+/// Parse one journal line, updating the in-progress entity block.
+#[allow(clippy::too_many_arguments)]
+fn parse_line(
+    schema: &Arc<Schema>,
+    g: &mut TemporalGraph,
+    line: &str,
+    lineno: usize,
+    idx: usize,
+    pending: &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
+    pending_start: &mut usize,
+    versions: &mut Vec<(i64, i64, Vec<Value>)>,
+    flush: &impl Fn(
+        &mut TemporalGraph,
+        &mut Option<(bool, u64, nepal_schema::ClassId, u64, u64, usize)>,
+        &mut Vec<(i64, i64, Vec<Value>)>,
+        usize,
+    ) -> Result<()>,
+) -> Result<()> {
+    {
         let mut parts = line.split(' ');
         match parts.next() {
             Some("N") | Some("E") => {
-                flush(&mut g, &mut pending, &mut versions, lineno)?;
+                flush(g, pending, versions, lineno)?;
                 let is_node = line.starts_with('N');
                 let uid: u64 =
                     parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| format_err(lineno, "bad uid"))?;
@@ -144,7 +252,8 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
                 };
                 let n: usize =
                     parts.next().and_then(|x| x.parse().ok()).ok_or_else(|| format_err(lineno, "bad version count"))?;
-                pending = Some((is_node, uid, class, src, dst, n));
+                *pending = Some((is_node, uid, class, src, dst, n));
+                *pending_start = idx;
             }
             Some("V") => {
                 let from: i64 =
@@ -184,9 +293,7 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
             other => return Err(format_err(lineno, &format!("unknown record {other:?}"))),
         }
     }
-    flush(&mut g, &mut pending, &mut versions, usize::MAX)?;
-    g.rebuild_unique_index()?;
-    Ok(g)
+    Ok(())
 }
 
 /// Save to a file path.
@@ -200,6 +307,33 @@ pub fn save_to_file(g: &TemporalGraph, path: &std::path::Path) -> Result<()> {
 pub fn load_from_file(schema: Arc<Schema>, path: &std::path::Path) -> Result<TemporalGraph> {
     let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
     load_graph(schema, &mut f)
+}
+
+/// Load from a file path, repairing a torn tail in place: every complete
+/// entity before the tear is recovered, a warning is printed to stderr,
+/// and the file is truncated back to its intact prefix so the next append
+/// starts from a clean boundary. Returns the recovered graph and the tear
+/// description (if any).
+pub fn load_from_file_lenient(
+    schema: Arc<Schema>,
+    path: &std::path::Path,
+) -> Result<(TemporalGraph, Option<TornTail>)> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    let (g, torn) = load_graph_lenient(schema, &mut f)?;
+    drop(f);
+    if let Some(t) = &torn {
+        eprintln!(
+            "warning: journal `{}` has a torn tail at line {} ({}); dropping {} line(s), truncating to {} bytes",
+            path.display(),
+            t.line,
+            t.reason,
+            t.dropped_lines,
+            t.keep_bytes
+        );
+        let file = std::fs::OpenOptions::new().write(true).open(path).map_err(io_err)?;
+        file.set_len(t.keep_bytes).map_err(io_err)?;
+    }
+    Ok((g, torn))
 }
 
 const _: () = {
@@ -307,6 +441,70 @@ mod tests {
         assert!(try_load("NEPALJ1\nN 0 NoSuchClass 0\n").is_err());
         assert!(try_load("NEPALJ1\nN 0 Node:VM 2\nV 0 100 0\n").is_err()); // count mismatch
         assert!(try_load("NEPALJ1\nN 0 Node:VM 1\nV 0 100 1 zz\n").is_err()); // bad value
+    }
+
+    #[test]
+    fn lenient_load_recovers_before_a_torn_tail() {
+        let g = fixture();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Tear the journal mid-final-line, as a crash during append would.
+        // (Cutting just the trailing newline is still a valid journal, so
+        // every cut here slices into the final line's content.)
+        for cut in [2usize, 5, 12] {
+            let torn_text = &text[..text.len() - cut];
+            let mut cursor = std::io::Cursor::new(torn_text.as_bytes().to_vec());
+            // Strict load rejects it…
+            assert!(load_graph(g.schema().clone(), &mut std::io::Cursor::new(torn_text.as_bytes().to_vec())).is_err());
+            // …lenient load recovers the intact prefix and reports the tear.
+            let (g2, torn) = load_graph_lenient(g.schema().clone(), &mut cursor).unwrap();
+            let torn = torn.expect("tear must be reported");
+            assert!(torn.dropped_lines >= 1);
+            assert!(g2.num_entities() < g.num_entities(), "the torn entity must be dropped");
+            // Everything recovered matches the original exactly.
+            for raw in 0..g2.num_entities() as u64 {
+                let uid = Uid(raw);
+                assert_eq!(g.class_of(uid), g2.class_of(uid));
+                assert_eq!(g.versions(uid).len(), g2.versions(uid).len());
+            }
+            // keep_bytes points at an intact prefix: reloading it strictly works.
+            let intact = &text.as_bytes()[..torn.keep_bytes as usize];
+            load_graph(g.schema().clone(), &mut std::io::Cursor::new(intact.to_vec())).unwrap();
+        }
+    }
+
+    #[test]
+    fn lenient_load_still_rejects_mid_file_corruption() {
+        let s = fixture().schema().clone();
+        // Garbage followed by a valid record is NOT a torn tail.
+        let text = "NEPALJ1\nX garbage here\nN 0 Node:Host 1\nV 100 200 1 i7\n";
+        assert!(load_graph_lenient(s.clone(), &mut std::io::Cursor::new(text.as_bytes().to_vec())).is_err());
+        // An intact journal reports no tear.
+        let g = fixture();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        let (_, torn) = load_graph_lenient(g.schema().clone(), &mut std::io::Cursor::new(buf)).unwrap();
+        assert!(torn.is_none());
+    }
+
+    #[test]
+    fn lenient_file_load_truncates_and_appends_cleanly() {
+        let g = fixture();
+        let dir = std::env::temp_dir().join(format!("nepal-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.nj");
+        save_to_file(&g, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap(); // torn tail
+        let (g2, torn) = load_from_file_lenient(g.schema().clone(), &path).unwrap();
+        let torn = torn.expect("tear must be reported");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), torn.keep_bytes, "file must be truncated in place");
+        // The repaired file now loads strictly and matches the recovery.
+        let g3 = load_from_file(g.schema().clone(), &path).unwrap();
+        assert_eq!(g2.num_entities(), g3.num_entities());
+        assert_eq!(g2.num_versions(), g3.num_versions());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

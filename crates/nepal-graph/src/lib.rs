@@ -46,7 +46,8 @@ pub use error::{GraphError, Result};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interval::{Interval, IntervalSet, FOREVER};
 pub use journal::{
-    journal_bytes, journal_lines, load_from_file, load_graph as load_journal, save_graph as save_journal, save_to_file,
+    journal_bytes, journal_lines, load_from_file, load_from_file_lenient, load_graph as load_journal,
+    load_graph_lenient, save_graph as save_journal, save_to_file, TornTail,
 };
 pub use metrics::{resource_summary, StoreGauges};
 pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};

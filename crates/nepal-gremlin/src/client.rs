@@ -104,12 +104,24 @@ impl<T: Transport> GremlinClient<T> {
             frames += 1;
             bytes += received;
             let rid = frame.get("requestId").and_then(|j| j.as_str()).unwrap_or("");
-            if rid != id {
-                return Err(ProtoError::BadFrame(format!("response for `{rid}`, expected `{id}`")));
-            }
             let code = frame.get("status").and_then(|s| s.get("code")).and_then(|c| c.as_u64()).unwrap_or(0) as u32;
             let msg =
                 frame.get("status").and_then(|s| s.get("message")).and_then(|m| m.as_str()).unwrap_or("").to_string();
+            // Admission sheds happen before the server reads the request,
+            // so the overload frame can't echo our request id — classify
+            // it by status before the id check.
+            if code == status::OVERLOADED {
+                let retry_after_ms = frame
+                    .get("status")
+                    .and_then(|s| s.get("attributes"))
+                    .and_then(|a| a.get("retryAfterMs"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                return Err(ProtoError::Overloaded { message: msg, retry_after_ms });
+            }
+            if rid != id {
+                return Err(ProtoError::BadFrame(format!("response for `{rid}`, expected `{id}`")));
+            }
             match code {
                 status::PARTIAL_CONTENT | status::SUCCESS => {
                     if code == status::PARTIAL_CONTENT {
@@ -132,9 +144,116 @@ impl<T: Transport> GremlinClient<T> {
                     rt_span.attr("bytes_received", bytes);
                     return Ok(out);
                 }
+                status::SERVER_TIMEOUT => return Err(ProtoError::Timeout(msg)),
                 _ => return Err(ProtoError::Server(msg)),
             }
         }
+    }
+}
+
+/// Bounded jittered exponential backoff for transient failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based) is `base * 2^(k-1)` capped at
+    /// `max_delay`, jittered down by up to half.
+    pub base_delay: std::time::Duration,
+    pub max_delay: std::time::Duration,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: std::time::Duration::from_millis(20),
+            max_delay: std::time::Duration::from_millis(500),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based): exponential, capped,
+    /// jittered down by up to 50% so synchronized clients spread out.
+    /// Deterministic in (seed, attempt) — tests can assert exact values.
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_delay);
+        // splitmix64 round over (seed, attempt) for the jitter fraction.
+        let mut z = self.jitter_seed.wrapping_add(attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter_permille = (z % 500) as u32; // 0..=499 → up to 50% off
+        capped.mul_f64(1.0 - jitter_permille as f64 / 1000.0)
+    }
+}
+
+/// A [`GremlinClient`] that reconnects and retries transient failures
+/// (connect/IO errors, explicit 503 sheds) with jittered exponential
+/// backoff. Only safe for idempotent requests — which every read-only
+/// traversal here is. Non-transient errors (malformed frames, evaluation
+/// errors, deadline timeouts) surface immediately.
+pub struct RetryingClient<T: Transport, F: FnMut() -> std::io::Result<T>> {
+    connect: F,
+    client: Option<GremlinClient<T>>,
+    policy: RetryPolicy,
+    /// Retries performed (excludes first attempts) — the retry counter
+    /// metric source.
+    pub retries: u64,
+    /// Sheds (503) observed across all attempts.
+    pub sheds_seen: u64,
+}
+
+impl<T: Transport, F: FnMut() -> std::io::Result<T>> RetryingClient<T, F> {
+    pub fn new(connect: F, policy: RetryPolicy) -> Self {
+        RetryingClient { connect, client: None, policy, retries: 0, sheds_seen: 0 }
+    }
+
+    /// Wire counters of the current underlying connection, if any.
+    pub fn wire_stats(&self) -> Option<WireStats> {
+        self.client.as_ref().map(|c| c.wire)
+    }
+
+    /// Submit with retries. On a transient failure the connection is torn
+    /// down, the policy's backoff (or the server's `Retry-After` hint, if
+    /// larger) is slept, and the request is resubmitted on a fresh
+    /// connection — up to `max_attempts` total tries.
+    pub fn submit(&mut self, steps: &[GStep]) -> Result<Vec<Json>, ProtoError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self.try_once(steps);
+            let err = match result {
+                Ok(out) => return Ok(out),
+                Err(e) => e,
+            };
+            if matches!(err, ProtoError::Overloaded { .. }) {
+                self.sheds_seen += 1;
+            }
+            if !err.is_transient() || attempt >= self.policy.max_attempts {
+                return Err(err);
+            }
+            // A failed transport is not trustworthy for the next attempt.
+            self.client = None;
+            self.retries += 1;
+            let mut delay = self.policy.backoff(attempt);
+            if let ProtoError::Overloaded { retry_after_ms, .. } = &err {
+                delay = delay.max(std::time::Duration::from_millis(*retry_after_ms));
+            }
+            std::thread::sleep(delay);
+        }
+    }
+
+    fn try_once(&mut self, steps: &[GStep]) -> Result<Vec<Json>, ProtoError> {
+        if self.client.is_none() {
+            let conn = (self.connect)().map_err(ProtoError::Io)?;
+            self.client = Some(GremlinClient::new(conn));
+        }
+        self.client.as_mut().expect("client just ensured").submit(steps)
     }
 }
 
@@ -243,6 +362,74 @@ mod tests {
         let mut client = GremlinClient::new(server.connect().unwrap());
         let results = client.submit(&[GStep::V(vec![]), GStep::Limit(5), GStep::Id]).unwrap();
         assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let p = RetryPolicy::default();
+        let mut prev_uncapped = std::time::Duration::ZERO;
+        for attempt in 1..=8 {
+            let d = p.backoff(attempt);
+            assert!(d <= p.max_delay, "attempt {attempt}: {d:?} exceeds cap");
+            // Jitter keeps at least half the nominal delay.
+            let nominal = p.base_delay.saturating_mul(1 << (attempt - 1)).min(p.max_delay);
+            assert!(d >= nominal / 2, "attempt {attempt}: {d:?} under-jittered");
+            prev_uncapped = prev_uncapped.max(d);
+        }
+        // Deterministic per (seed, attempt).
+        assert_eq!(p.backoff(3), p.backoff(3));
+        let other = RetryPolicy { jitter_seed: 7, ..RetryPolicy::default() };
+        assert!((1..=8).any(|a| other.backoff(a) != p.backoff(a)), "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn retrying_client_survives_connect_failures() {
+        let g = shared();
+        let mut failures_left = 2;
+        let mut client = RetryingClient::new(
+            move || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    return Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "flaky"));
+                }
+                Ok(serve_in_process(g.clone()))
+            },
+            RetryPolicy {
+                max_attempts: 4,
+                base_delay: std::time::Duration::from_millis(1),
+                max_delay: std::time::Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+        );
+        let results = client.submit(&[GStep::V(vec![]), GStep::Count]).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(client.retries, 2);
+    }
+
+    #[test]
+    fn retrying_client_gives_up_after_max_attempts() {
+        let mut client: RetryingClient<crate::server::PipeEnd, _> = RetryingClient::new(
+            || Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "down")),
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay: std::time::Duration::from_millis(1),
+                max_delay: std::time::Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        );
+        let err = client.submit(&[GStep::V(vec![]), GStep::Count]).unwrap_err();
+        assert!(matches!(err, ProtoError::Io(_)));
+        assert_eq!(client.retries, 2); // 3 attempts = 2 retries
+    }
+
+    #[test]
+    fn retrying_client_does_not_retry_evaluation_errors() {
+        let g = shared();
+        let mut client = RetryingClient::new(move || Ok(serve_in_process(g.clone())), RetryPolicy::default());
+        // InV without V() is a server-side evaluation error: permanent.
+        let err = client.submit(&[GStep::InV]).unwrap_err();
+        assert!(matches!(err, ProtoError::Server(_)));
+        assert_eq!(client.retries, 0);
     }
 
     #[test]

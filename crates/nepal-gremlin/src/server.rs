@@ -1,20 +1,31 @@
 //! The mock Gremlin server: serves bytecode requests over TCP or an
 //! in-process duplex transport, streaming batched result frames.
+//!
+//! Serving is overload-safe: connections are admitted through a bounded
+//! queue into a fixed worker pool (excess connections are shed with an
+//! explicit status-503 frame carrying a retry hint), every request can run
+//! under a deadline enforced by cooperative cancellation checkpoints, and
+//! shutdown drains gracefully — stop accepting, finish in-flight work
+//! within a drain budget, then cancel stragglers through the same token.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nepal_obs::{Tracer, TRACK_SERVER};
+use nepal_rpe::{CancelCause, CancelToken};
 use parking_lot::RwLock;
 
 use crate::graph::PropertyGraph;
 use crate::json::Json;
-use crate::protocol::{batch_responses, read_frame_counted, response, status, write_frame_counted, ProtoError};
-use crate::traversal::{bytecode_from_json, evaluate};
+use crate::protocol::{
+    batch_responses, overload_response, response, status, write_frame_counted, FrameReader, ProtoError,
+};
+use crate::traversal::{bytecode_from_json, evaluate_cancel, EvalError};
 
 /// Shared server-side wire counters (one instance per server, updated by
 /// every connection thread).
@@ -28,6 +39,17 @@ pub struct ServerStats {
     pub malformed_frames: AtomicU64,
     /// Requests whose evaluation panicked (answered with status 500).
     pub evaluation_panics: AtomicU64,
+    /// Connections refused at admission (queue full) or dropped during
+    /// drain — each answered with an explicit status-503 overload frame.
+    pub shed: AtomicU64,
+    /// Requests abandoned because their deadline passed (status 598).
+    pub deadline_timeouts: AtomicU64,
+    /// In-flight requests cancelled by drain/explicit cancel (status 598).
+    pub cancelled_inflight: AtomicU64,
+    /// Gauge: connections waiting for a worker right now.
+    pub queue_depth: AtomicU64,
+    /// Gauge: requests being evaluated right now.
+    pub inflight: AtomicU64,
 }
 
 impl ServerStats {
@@ -40,7 +62,72 @@ impl ServerStats {
             ("bytes_sent", self.bytes_sent.load(Ordering::Relaxed)),
             ("malformed_frames", self.malformed_frames.load(Ordering::Relaxed)),
             ("evaluation_panics", self.evaluation_panics.load(Ordering::Relaxed)),
+            ("shed", self.shed.load(Ordering::Relaxed)),
+            ("deadline_timeouts", self.deadline_timeouts.load(Ordering::Relaxed)),
+            ("cancelled_inflight", self.cancelled_inflight.load(Ordering::Relaxed)),
+            ("queue_depth", self.queue_depth.load(Ordering::Relaxed)),
+            ("inflight", self.inflight.load(Ordering::Relaxed)),
         ]
+    }
+}
+
+/// Admission-control and overload-safety knobs for a serving loop.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads — the hard cap on concurrently served connections.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before new arrivals are
+    /// shed with a status-503 frame.
+    pub queue_depth: usize,
+    /// Per-request evaluation deadline (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// How long a graceful drain lets in-flight work finish before
+    /// cancelling stragglers through the drain token.
+    pub drain: Duration,
+    /// Retry hint echoed in shed frames, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 16,
+            deadline: None,
+            drain: Duration::from_millis(2000),
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// Per-connection serving controls: the drain signal pair plus the
+/// per-request deadline. All fields default to "off", which reproduces the
+/// legacy serve-until-EOF behavior.
+#[derive(Debug, Clone, Default)]
+pub struct ConnCtl {
+    /// Soft drain: when set and true, the connection stops reading new
+    /// requests and closes once idle (the in-flight request still runs).
+    pub draining: Option<Arc<AtomicBool>>,
+    /// Hard cancel: parent token tripped when the drain budget expires;
+    /// in-flight evaluation observes it at its next checkpoint.
+    pub cancel: Option<CancelToken>,
+    /// Per-request evaluation deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl ConnCtl {
+    /// Build the per-request cancel token: a child of the drain token (so
+    /// drain reaches in-flight work) whose deadline clock starts now.
+    fn request_token(&self) -> Option<CancelToken> {
+        match (&self.cancel, self.deadline) {
+            (None, None) => None,
+            (Some(parent), d) => Some(parent.child(d)),
+            (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.as_ref().is_some_and(|d| d.load(Ordering::SeqCst))
     }
 }
 
@@ -50,6 +137,12 @@ impl<T: Read + Write + Send> Transport for T {}
 
 /// Shared handle to a served graph.
 pub type SharedGraph = Arc<RwLock<PropertyGraph>>;
+
+/// Wrap a [`PropertyGraph`] for serving, without the caller having to
+/// name the lock type.
+pub fn shared_graph(pg: PropertyGraph) -> SharedGraph {
+    Arc::new(RwLock::new(pg))
+}
 
 /// Handle one request message, producing the full response frame sequence.
 pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
@@ -62,55 +155,68 @@ pub fn handle_request(graph: &SharedGraph, req: &Json) -> Vec<Json> {
 pub fn handle_request_timed(
     graph: &SharedGraph,
     req: &Json,
-    mut timing: Option<&mut Vec<(String, u64, u64)>>,
+    timing: Option<&mut Vec<(String, u64, u64)>>,
 ) -> Vec<Json> {
+    handle_request_cancel_timed(graph, req, None, timing).0
+}
+
+/// [`handle_request_timed`] under an optional cancel token. Returns the
+/// response frames plus the cancellation cause if evaluation was abandoned
+/// at a checkpoint — the caller maps the cause to the right counter. A
+/// cancelled request is answered with a status-598 frame, never a partial
+/// result set posing as complete.
+pub fn handle_request_cancel_timed(
+    graph: &SharedGraph,
+    req: &Json,
+    cancel: Option<&CancelToken>,
+    mut timing: Option<&mut Vec<(String, u64, u64)>>,
+) -> (Vec<Json>, Option<CancelCause>) {
     let t0 = timing.is_some().then(Instant::now);
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
     let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("");
+    let err = |msg: &str| (vec![response(&request_id, status::SERVER_ERROR, msg, Vec::new())], None);
     let gremlin = match req.get("args").and_then(|a| a.get("gremlin")) {
         Some(b) => b,
-        None => return vec![response(&request_id, status::SERVER_ERROR, "missing args.gremlin", Vec::new())],
+        None => return err("missing args.gremlin"),
     };
     // `bytecode` carries a step array; `eval` carries a textual traversal
     // (the op every Gremlin console/driver uses).
     let steps = match op {
         "bytecode" => match bytecode_from_json(gremlin) {
             Ok(s) => s,
-            Err(e) => return vec![response(&request_id, status::SERVER_ERROR, &e, Vec::new())],
+            Err(e) => return err(&e),
         },
         "eval" => {
             let text = match gremlin {
                 crate::json::Json::Str(t) => t,
-                _ => {
-                    return vec![response(
-                        &request_id,
-                        status::SERVER_ERROR,
-                        "eval expects a string traversal",
-                        Vec::new(),
-                    )]
-                }
+                _ => return err("eval expects a string traversal"),
             };
             match crate::lang::parse_traversal(text) {
                 Ok(s) => s,
-                Err(e) => return vec![response(&request_id, status::SERVER_ERROR, &e.to_string(), Vec::new())],
+                Err(e) => return err(&e.to_string()),
             }
         }
-        other => {
-            return vec![response(&request_id, status::SERVER_ERROR, &format!("unsupported op `{other}`"), Vec::new())]
-        }
+        other => return err(&format!("unsupported op `{other}`")),
     };
     if let (Some(t), Some(tm)) = (t0, timing.as_deref_mut()) {
         tm.push(("decode".to_string(), 0, t.elapsed().as_nanos() as u64));
     }
     let eval_off = t0.map(|t| t.elapsed().as_nanos() as u64);
     let g = graph.read();
-    let outcome = evaluate(&g, &steps);
+    let outcome = evaluate_cancel(&g, &steps, cancel);
     if let (Some(t), Some(off), Some(tm)) = (t0, eval_off, timing) {
         tm.push(("evaluate".to_string(), off, (t.elapsed().as_nanos() as u64).saturating_sub(off)));
     }
     match outcome {
-        Ok(results) => batch_responses(&request_id, results),
-        Err(e) => vec![response(&request_id, status::SERVER_ERROR, &e, Vec::new())],
+        Ok(results) => (batch_responses(&request_id, results), None),
+        Err(EvalError::Cancelled(cause)) => {
+            let msg = match cause {
+                CancelCause::Deadline => "deadline exceeded during evaluation",
+                CancelCause::Explicit => "request cancelled (server drain)",
+            };
+            (vec![response(&request_id, status::SERVER_TIMEOUT, msg, Vec::new())], Some(cause))
+        }
+        Err(EvalError::Other(e)) => err(&e),
     }
 }
 
@@ -150,10 +256,37 @@ pub fn handle_request_guarded_timed(
     stats: &ServerStats,
     timing: Option<&mut Vec<(String, u64, u64)>>,
 ) -> Vec<Json> {
+    handle_request_ctl(graph, req, stats, None, timing)
+}
+
+/// The full-fat request handler: panic barrier + cancel token + timings +
+/// cancellation counters. Everything else delegates here.
+pub fn handle_request_ctl(
+    graph: &SharedGraph,
+    req: &Json,
+    stats: &ServerStats,
+    cancel: Option<&CancelToken>,
+    timing: Option<&mut Vec<(String, u64, u64)>>,
+) -> Vec<Json> {
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request_timed(graph, req, timing)));
+    stats.inflight.fetch_add(1, Ordering::Relaxed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_request_cancel_timed(graph, req, cancel, timing)
+    }));
+    stats.inflight.fetch_sub(1, Ordering::Relaxed);
     match result {
-        Ok(frames) => frames,
+        Ok((frames, cause)) => {
+            match cause {
+                Some(CancelCause::Deadline) => {
+                    stats.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(CancelCause::Explicit) => {
+                    stats.cancelled_inflight.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+            frames
+        }
         Err(_) => {
             stats.evaluation_panics.fetch_add(1, Ordering::Relaxed);
             vec![response(&request_id, status::SERVER_ERROR, "internal error: request evaluation panicked", Vec::new())]
@@ -183,27 +316,44 @@ pub fn serve_connection_stats(graph: SharedGraph, conn: impl Transport, stats: &
 ///    tracer.
 /// 2. If `tracer` is given, every request also records its own server-side
 ///    trace (`gremlin:request` on the server track) into that tracer's ring.
-pub fn serve_connection_traced(
+pub fn serve_connection_traced(graph: SharedGraph, conn: impl Transport, stats: &ServerStats, tracer: Option<&Tracer>) {
+    serve_connection_ctl(graph, conn, stats, tracer, &ConnCtl::default())
+}
+
+/// [`serve_connection_traced`] under serving controls: an incremental
+/// [`FrameReader`] (stall-tolerant on transports with a read timeout),
+/// per-request deadline tokens, and drain observation between requests.
+pub fn serve_connection_ctl(
     graph: SharedGraph,
     mut conn: impl Transport,
     stats: &ServerStats,
     tracer: Option<&Tracer>,
+    ctl: &ConnCtl,
 ) {
+    let mut reader = FrameReader::new();
     loop {
-        let req = match read_frame_counted(&mut conn) {
-            Ok((r, n)) => {
-                stats.bytes_received.fetch_add(n, Ordering::Relaxed);
-                r
-            }
-            Err(ProtoError::BadFrame(m)) => {
-                // Decodable framing failed: tell the peer why, then close —
-                // we can no longer find the next frame boundary.
-                stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
-                let frame = response("", status::MALFORMED_REQUEST, &format!("malformed frame: {m}"), Vec::new());
-                let _ = write_frame_counted(&mut conn, &frame);
+        // Pull the next request; between read timeouts, observe drain so
+        // idle connections release their worker promptly.
+        let req = loop {
+            if ctl.is_draining() {
                 return;
             }
-            Err(_) => return, // EOF or I/O error → close connection
+            match reader.poll_frame(&mut conn) {
+                Ok(Some((r, n))) => {
+                    stats.bytes_received.fetch_add(n, Ordering::Relaxed);
+                    break r;
+                }
+                Ok(None) => continue, // read timed out mid-wait; re-check drain
+                Err(ProtoError::BadFrame(m)) => {
+                    // Decodable framing failed: tell the peer why, then close —
+                    // we can no longer find the next frame boundary.
+                    stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    let frame = response("", status::MALFORMED_REQUEST, &format!("malformed frame: {m}"), Vec::new());
+                    let _ = write_frame_counted(&mut conn, &frame);
+                    return;
+                }
+                Err(_) => return, // EOF or I/O error → close connection
+            }
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let want_timing = matches!(req.get("args").and_then(|a| a.get("trace")), Some(Json::Bool(true)));
@@ -215,7 +365,8 @@ pub fn serve_connection_traced(
         let t0 = measure.then(Instant::now);
         let mut timing: Vec<(String, u64, u64)> = Vec::new();
         let timing_slot = if measure { Some(&mut timing) } else { None };
-        let mut frames = handle_request_guarded_timed(&graph, &req, stats, timing_slot);
+        let token = ctl.request_token();
+        let mut frames = handle_request_ctl(&graph, &req, stats, token.as_ref(), timing_slot);
         if let Some(t) = t0 {
             let total_ns = t.elapsed().as_nanos() as u64;
             if srv_span.is_active() {
@@ -243,18 +394,91 @@ pub fn serve_connection_traced(
     }
 }
 
-/// A running TCP Gremlin server.
+/// Bounded connection queue: the accept loop pushes, workers pop. `push`
+/// fails (returning the stream) when full — the caller sheds it.
+struct ConnQueue {
+    q: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    closed: AtomicBool,
+    cap: usize,
+    /// Live depth mirror (`stats.queue_depth`), written under the queue
+    /// lock so the gauge can never be left stale by a push/pop store race.
+    stats: Arc<ServerStats>,
+}
+
+impl ConnQueue {
+    fn new(cap: usize, stats: Arc<ServerStats>) -> ConnQueue {
+        ConnQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new(), closed: AtomicBool::new(false), cap, stats }
+    }
+
+    fn push(&self, s: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.q.lock().unwrap();
+        if q.len() >= self.cap || self.closed.load(Ordering::SeqCst) {
+            return Err(s);
+        }
+        q.push_back(s);
+        self.stats.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection is available or the queue is closed and
+    /// empty (worker shutdown). The wait is bounded so workers also notice
+    /// `closed` flipped without a notify.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(s) = q.pop_front() {
+                self.stats.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+                return Some(s);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(q, Duration::from_millis(50)).unwrap();
+            q = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn drain_pending(&self) -> Vec<TcpStream> {
+        self.q.lock().unwrap().drain(..).collect()
+    }
+}
+
+/// Outcome of a graceful drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Every worker finished its in-flight work within the drain budget.
+    pub clean: bool,
+    /// Queued (never-served) connections shed during drain.
+    pub shed_queued: u64,
+}
+
+/// A running TCP Gremlin server: bounded-queue admission into a fixed
+/// worker pool, per-request deadlines, graceful drain on shutdown.
 pub struct GremlinServer {
     pub addr: std::net::SocketAddr,
     /// Wire counters aggregated across all connections.
     pub stats: Arc<ServerStats>,
-    handle: Option<thread::JoinHandle<()>>,
-    shutdown: Arc<std::sync::atomic::AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    drain_cancel: CancelToken,
+    queue: Arc<ConnQueue>,
+    drain_budget: Duration,
+    retry_after_ms: u64,
 }
 
 impl GremlinServer {
-    /// Bind to `127.0.0.1:0` (ephemeral port) and serve `graph` with a
-    /// thread per connection.
+    /// Bind to `127.0.0.1:0` (ephemeral port) and serve `graph` with the
+    /// default admission limits.
     pub fn start(graph: SharedGraph) -> std::io::Result<GremlinServer> {
         GremlinServer::start_addr(graph, "127.0.0.1:0", None)
     }
@@ -262,37 +486,86 @@ impl GremlinServer {
     /// [`GremlinServer::start`] on an explicit address, optionally recording
     /// per-request server-side traces into `tracer`'s ring.
     pub fn start_addr(graph: SharedGraph, bind: &str, tracer: Option<Tracer>) -> std::io::Result<GremlinServer> {
+        GremlinServer::start_cfg(graph, bind, tracer, ServeConfig::default())
+    }
+
+    /// [`GremlinServer::start_addr`] with explicit serving limits.
+    pub fn start_cfg(
+        graph: SharedGraph,
+        bind: &str,
+        tracer: Option<Tracer>,
+        cfg: ServeConfig,
+    ) -> std::io::Result<GremlinServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let drain_cancel = CancelToken::new();
         let stats = Arc::new(ServerStats::default());
-        let sd = shutdown.clone();
-        let server_stats = stats.clone();
+        let queue = Arc::new(ConnQueue::new(cfg.queue_depth.max(1), stats.clone()));
         listener.set_nonblocking(true)?;
-        let handle = thread::spawn(move || {
-            let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+
+        // Accept loop: admit into the bounded queue or shed with a 503.
+        let sd = shutdown.clone();
+        let q = queue.clone();
+        let st = stats.clone();
+        let retry_ms = cfg.retry_after_ms;
+        let accept_handle = thread::spawn(move || {
             loop {
-                if sd.load(std::sync::atomic::Ordering::SeqCst) {
+                if sd.load(Ordering::SeqCst) {
                     break;
                 }
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nodelay(true).ok();
                         stream.set_nonblocking(false).ok();
-                        let g = graph.clone();
-                        let st = server_stats.clone();
-                        let tr = tracer.clone();
-                        workers.push(thread::spawn(move || serve_connection_traced(g, stream, &st, tr.as_ref())));
+                        // Bounded read so serving loops can interleave
+                        // drain checks; bounded write so a stalled client
+                        // can't wedge a worker (or this accept loop).
+                        stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+                        stream.set_write_timeout(Some(Duration::from_millis(1000))).ok();
+                        if let Err(mut s) = q.push(stream) {
+                            shed_connection(&mut s, &st, retry_ms);
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(std::time::Duration::from_millis(2));
+                        thread::sleep(Duration::from_millis(2));
                     }
                     Err(_) => break,
                 }
             }
-            // Workers exit when their peers hang up.
         });
-        Ok(GremlinServer { addr, stats, handle: Some(handle), shutdown })
+
+        // Worker pool: each thread serves one connection at a time.
+        let ctl =
+            ConnCtl { draining: Some(draining.clone()), cancel: Some(drain_cancel.clone()), deadline: cfg.deadline };
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let g = graph.clone();
+                let st = stats.clone();
+                let q = queue.clone();
+                let tr = tracer.clone();
+                let ctl = ctl.clone();
+                thread::spawn(move || {
+                    while let Some(stream) = q.pop() {
+                        serve_connection_ctl(g.clone(), stream, &st, tr.as_ref(), &ctl);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(GremlinServer {
+            addr,
+            stats,
+            accept_handle: Some(accept_handle),
+            workers,
+            shutdown,
+            draining,
+            drain_cancel,
+            queue,
+            drain_budget: cfg.drain,
+            retry_after_ms: cfg.retry_after_ms,
+        })
     }
 
     /// Connect a new client stream to this server.
@@ -301,13 +574,56 @@ impl GremlinServer {
         s.set_nodelay(true)?;
         Ok(s)
     }
+
+    /// Graceful shutdown: stop accepting, shed queued connections with
+    /// overload frames, let in-flight work finish within `budget`, then
+    /// cancel stragglers through the drain token and join every worker.
+    pub fn drain(&mut self, budget: Duration) -> DrainReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        let mut shed_queued = 0u64;
+        for mut s in self.queue.drain_pending() {
+            shed_connection(&mut s, &self.stats, self.retry_after_ms);
+            shed_queued += 1;
+        }
+        self.stats.queue_depth.store(0, Ordering::Relaxed);
+        // Soft drain: idle connections close at their next read timeout;
+        // in-flight requests keep running.
+        self.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + budget;
+        let mut clean = true;
+        while self.workers.iter().any(|w| !w.is_finished()) {
+            if Instant::now() >= deadline {
+                // Hard drain: cancel in-flight evaluation cooperatively.
+                clean = false;
+                self.drain_cancel.cancel();
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        DrainReport { clean, shed_queued }
+    }
+}
+
+/// Answer a shed connection with an explicit 503 overload frame (best
+/// effort — the client may already be gone) and count it.
+fn shed_connection(s: &mut TcpStream, stats: &ServerStats, retry_after_ms: u64) {
+    stats.shed.fetch_add(1, Ordering::Relaxed);
+    s.set_write_timeout(Some(Duration::from_millis(200))).ok();
+    let frame = overload_response("", "server overloaded: connection queue full", retry_after_ms);
+    let _ = write_frame_counted(s, &frame);
 }
 
 impl Drop for GremlinServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        if self.accept_handle.is_some() || !self.workers.is_empty() {
+            self.drain(self.drain_budget);
         }
     }
 }
@@ -374,6 +690,16 @@ pub fn serve_in_process_traced(graph: SharedGraph, tracer: Tracer) -> (PipeEnd, 
     let stats = Arc::new(ServerStats::default());
     let st = stats.clone();
     thread::spawn(move || serve_connection_traced(graph, server, &st, Some(&tracer)));
+    (client, stats)
+}
+
+/// [`serve_in_process_stats`] under explicit serving controls (deadline,
+/// drain signals) — the zero-socket path for overload/fault tests.
+pub fn serve_in_process_ctl(graph: SharedGraph, ctl: ConnCtl) -> (PipeEnd, Arc<ServerStats>) {
+    let (client, server) = pipe_pair();
+    let stats = Arc::new(ServerStats::default());
+    let st = stats.clone();
+    thread::spawn(move || serve_connection_ctl(graph, server, &st, None, &ctl));
     (client, stats)
 }
 

@@ -10,8 +10,60 @@
 
 use std::collections::BTreeMap;
 
+use nepal_rpe::{CancelCause, CancelToken};
+
 use crate::graph::{label_matches_prefix, PropertyGraph};
 use crate::json::Json;
+
+/// Errors from cancellable traversal evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Evaluation abandoned at a cancellation checkpoint.
+    Cancelled(CancelCause),
+    /// Malformed traversal or unsupported step.
+    Other(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Cancelled(CancelCause::Deadline) => write!(f, "traversal deadline exceeded"),
+            EvalError::Cancelled(CancelCause::Explicit) => write!(f, "traversal cancelled"),
+            EvalError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Rate-limited cancellation checker for the traversal interpreter:
+/// `tick` polls the token once per `mask + 1` calls so hot per-traverser
+/// loops stay cheap, `check` polls immediately (used once per step).
+struct Ticker<'a> {
+    tok: Option<&'a CancelToken>,
+    n: u64,
+}
+
+const TRAVERSAL_CANCEL_MASK: u64 = 0x3F; // poll every 64 traversers
+
+impl Ticker<'_> {
+    fn tick(&mut self) -> Result<(), EvalError> {
+        let Some(t) = self.tok else { return Ok(()) };
+        self.n = self.n.wrapping_add(1);
+        if self.n & TRAVERSAL_CANCEL_MASK != 0 {
+            return Ok(());
+        }
+        match t.poll() {
+            Some(c) => Err(EvalError::Cancelled(c)),
+            None => Ok(()),
+        }
+    }
+
+    fn check(&self) -> Result<(), EvalError> {
+        match self.tok.and_then(|t| t.poll()) {
+            Some(c) => Err(EvalError::Cancelled(c)),
+            None => Ok(()),
+        }
+    }
+}
 
 /// Property comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,12 +229,27 @@ fn get_label(g: &PropertyGraph, e: ElemRef) -> Option<&str> {
 /// Evaluate a bytecode program against a graph. Returns one JSON result
 /// per surviving traverser.
 pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String> {
+    evaluate_cancel(g, steps, None).map_err(|e| e.to_string())
+}
+
+/// [`evaluate`] with cooperative cancellation: the token is polled once
+/// per step and at bounded intervals inside the fan-out loops (edge hops,
+/// repeat frontiers), so a deadline or drain interrupts evaluation within
+/// a bounded amount of work — returning a typed error, never a partial
+/// result set masquerading as complete.
+pub fn evaluate_cancel(
+    g: &PropertyGraph,
+    steps: &[GStep],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<Json>, EvalError> {
     let mut ts: Vec<Traverser> = Vec::new();
     let mut started = false;
     let mut want_path = false;
     let mut terminator: Option<&GStep> = None;
+    let mut ticker = Ticker { tok: cancel, n: 0 };
 
     for step in steps {
+        ticker.check()?;
         match step {
             GStep::V(ids) => {
                 started = true;
@@ -214,7 +281,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                     .map(|id| Traverser { elem: ElemRef::E(id), path: vec![ElemRef::E(id)] })
                     .collect();
             }
-            _ if !started => return Err("traversal must start with V() or E()".into()),
+            _ if !started => return Err(EvalError::Other("traversal must start with V() or E()".into())),
             GStep::HasLabelPrefix(p) => {
                 ts.retain(|t| get_label(g, t.elem).is_some_and(|l| label_matches_prefix(l, p)));
             }
@@ -225,6 +292,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                 let outgoing = matches!(step, GStep::OutE(_));
                 let mut next = Vec::new();
                 for t in &ts {
+                    ticker.tick()?;
                     if let ElemRef::V(v) = t.elem {
                         let edges = if outgoing { g.out_edges(v) } else { g.in_edges(v) };
                         for &eid in edges {
@@ -246,6 +314,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                 let head = matches!(step, GStep::InV);
                 let mut next = Vec::new();
                 for t in &ts {
+                    ticker.tick()?;
                     if let ElemRef::E(eid) = t.elem {
                         let Some(e) = g.edge(eid) else { continue };
                         let v = if head { e.dst } else { e.src };
@@ -258,7 +327,7 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
             }
             GStep::Repeat(body, min, max) => {
                 if *max == 0 || min > max {
-                    return Err("bad repeat bounds".into());
+                    return Err(EvalError::Other("bad repeat bounds".into()));
                 }
                 let mut emitted: Vec<Traverser> = Vec::new();
                 let mut frontier = ts.clone();
@@ -268,7 +337,8 @@ pub fn evaluate(g: &PropertyGraph, steps: &[GStep]) -> Result<Vec<Json>, String>
                 for depth in 1..=*max {
                     let mut next = Vec::new();
                     for t in &frontier {
-                        let sub = run_body(g, body, t)?;
+                        ticker.tick()?;
+                        let sub = run_body(g, body, t).map_err(EvalError::Other)?;
                         next.extend(sub);
                     }
                     if depth >= *min {

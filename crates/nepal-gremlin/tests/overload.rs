@@ -1,0 +1,182 @@
+//! Overload and fault-injection tests: the server must shed excess load
+//! with explicit frames, enforce deadlines via cooperative cancellation,
+//! tolerate stalled and vanishing clients, and drain gracefully — never
+//! panicking, hanging, or leaking a worker.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nepal_gremlin::protocol::encode_frame;
+use nepal_gremlin::{
+    bytecode_to_json, GStep, GremlinClient, GremlinServer, PropertyGraph, ProtoError, RetryPolicy, RetryingClient,
+    ServeConfig,
+};
+use parking_lot::RwLock;
+
+fn shared(n: u64) -> nepal_gremlin::SharedGraph {
+    let mut g = PropertyGraph::new();
+    for i in 0..n {
+        g.add_vertex(i, "Node:VM", BTreeMap::new());
+    }
+    for i in 1..n {
+        g.add_edge(n + i, "Edge:HostedOn", i, i - 1, BTreeMap::new());
+    }
+    Arc::new(RwLock::new(g))
+}
+
+fn count_req() -> Vec<GStep> {
+    vec![GStep::V(vec![]), GStep::Count]
+}
+
+#[test]
+fn admission_sheds_with_explicit_overload_frame() {
+    let cfg = ServeConfig { workers: 1, queue_depth: 1, retry_after_ms: 123, ..ServeConfig::default() };
+    let server = GremlinServer::start_cfg(shared(8), "127.0.0.1:0", None, cfg).unwrap();
+
+    // Occupy the single worker with a held-open connection, and fill the
+    // one queue slot with a second. Connections hold a worker until EOF,
+    // so these pin the pool deterministically once admitted.
+    let mut held = GremlinClient::new(server.connect().unwrap());
+    held.submit(&count_req()).unwrap(); // proves the worker picked it up
+    let _queued = server.connect().unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let the acceptor queue it
+
+    // The next arrival must be shed with a typed 503 + retry hint.
+    let mut shed = GremlinClient::new(server.connect().unwrap());
+    match shed.submit(&count_req()) {
+        Err(ProtoError::Overloaded { retry_after_ms, .. }) => assert_eq!(retry_after_ms, 123),
+        // The shed frame races our request write; a broken pipe is also a
+        // valid shed observation, but the counter must confirm it below.
+        Err(ProtoError::Io(_)) => {}
+        other => panic!("expected overload shed, got {other:?}"),
+    }
+    assert!(server.stats.shed.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    // The held connection still works: shedding is per-arrival, not global.
+    held.submit(&count_req()).unwrap();
+}
+
+#[test]
+fn deadline_storm_times_out_cleanly() {
+    // A zero deadline trips the very first cancellation checkpoint: every
+    // request must come back as a typed 598, never a panic or a hang.
+    let cfg = ServeConfig { workers: 2, queue_depth: 8, deadline: Some(Duration::ZERO), ..ServeConfig::default() };
+    let server = GremlinServer::start_cfg(shared(64), "127.0.0.1:0", None, cfg).unwrap();
+    let mut clients: Vec<GremlinClient<_>> = (0..2).map(|_| GremlinClient::new(server.connect().unwrap())).collect();
+    let mut timeouts = 0;
+    for round in 0..6 {
+        let c = &mut clients[round % 2];
+        match c.submit(&count_req()) {
+            Err(ProtoError::Timeout(_)) => timeouts += 1,
+            other => panic!("expected server timeout, got {other:?}"),
+        }
+    }
+    assert_eq!(timeouts, 6);
+    let stats = server.stats.clone();
+    assert_eq!(stats.deadline_timeouts.load(std::sync::atomic::Ordering::Relaxed), 6);
+    assert_eq!(stats.evaluation_panics.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
+
+#[test]
+fn slow_client_dribbling_a_frame_is_served() {
+    let server = GremlinServer::start(shared(8)).unwrap();
+    let mut conn = server.connect().unwrap();
+    let req = {
+        let mut r = nepal_gremlin::protocol::request("slow", bytecode_to_json(&count_req()));
+        if let nepal_gremlin::Json::Obj(m) = &mut r {
+            m.insert("op".into(), nepal_gremlin::Json::Str("bytecode".into()));
+        }
+        r
+    };
+    let bytes = encode_frame(&req);
+    // Dribble the frame a few bytes at a time with pauses longer than the
+    // server's read timeout — the incremental reader must hold partial
+    // bytes across stalls instead of desynchronizing.
+    for chunk in bytes.chunks(7) {
+        conn.write_all(chunk).unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(8));
+    }
+    let resp = nepal_gremlin::protocol::read_frame(&mut conn).unwrap();
+    assert_eq!(resp.get("requestId").unwrap().as_str(), Some("slow"));
+    assert_eq!(resp.get("status").unwrap().get("code").unwrap().as_u64(), Some(200));
+}
+
+#[test]
+fn mid_query_disconnect_does_not_poison_the_server() {
+    let server = GremlinServer::start_cfg(
+        shared(256),
+        "127.0.0.1:0",
+        None,
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    )
+    .unwrap();
+    // Fire a request and vanish before reading the response — repeatedly.
+    for _ in 0..4 {
+        let mut conn = server.connect().unwrap();
+        let req = nepal_gremlin::protocol::request("gone", bytecode_to_json(&[GStep::V(vec![]), GStep::Id]));
+        nepal_gremlin::protocol::write_frame(&mut conn, &req).unwrap();
+        drop(conn);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    // The server survives and serves a well-behaved client afterwards.
+    let mut client = GremlinClient::new(server.connect().unwrap());
+    let out = client.submit(&count_req()).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(server.stats.evaluation_panics.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_and_refuses_new_work() {
+    let mut server =
+        GremlinServer::start_cfg(shared(64), "127.0.0.1:0", None, ServeConfig { workers: 2, ..ServeConfig::default() })
+            .unwrap();
+    let addr = server.addr;
+    let mut client = GremlinClient::new(server.connect().unwrap());
+    client.submit(&count_req()).unwrap();
+
+    let report = server.drain(Duration::from_millis(2000));
+    assert!(report.clean, "idle connections must release workers within the drain budget");
+
+    // After drain: no acceptor. A fresh connect is refused outright, or
+    // accepted by the OS backlog and then never served (EOF/ignored).
+    if let Ok(s) = std::net::TcpStream::connect(addr) {
+        s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let mut c = GremlinClient::new(s);
+        assert!(c.submit(&count_req()).is_err(), "drained server must not serve new requests");
+    }
+}
+
+#[test]
+fn retrying_client_rides_out_a_shed() {
+    // Single worker + zero queue: with the worker pinned, every new
+    // arrival sheds. After the pinned connection ends, retries succeed.
+    let cfg = ServeConfig { workers: 1, queue_depth: 1, retry_after_ms: 10, ..ServeConfig::default() };
+    let server = GremlinServer::start_cfg(shared(8), "127.0.0.1:0", None, cfg).unwrap();
+    let mut held = GremlinClient::new(server.connect().unwrap());
+    held.submit(&count_req()).unwrap();
+    let queued = server.connect().unwrap(); // fills the single queue slot
+    std::thread::sleep(Duration::from_millis(100));
+
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        // Free the worker and the queue slot so retries can land.
+        drop(held);
+        drop(queued);
+    });
+    let addr = server.addr;
+    let mut client = RetryingClient::new(
+        move || std::net::TcpStream::connect(addr),
+        RetryPolicy {
+            max_attempts: 40,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(60),
+            ..RetryPolicy::default()
+        },
+    );
+    let out = client.submit(&count_req()).unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(client.retries >= 1, "the first attempts should have been shed");
+    release.join().unwrap();
+}

@@ -453,13 +453,21 @@ fn status_text(code: u16) -> &'static str {
 }
 
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond_with(stream, code, content_type, body, &[]);
+}
+
+fn respond_with(stream: &mut TcpStream, code: u16, content_type: &str, body: &str, extra_headers: &[(&str, &str)]) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         code,
         status_text(code),
         content_type,
         body.len()
     );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
@@ -501,7 +509,12 @@ fn serve_connection(telemetry: &Telemetry, mut stream: TcpStream) {
         return;
     }
     let (code, content_type, body) = telemetry.handle(path);
-    respond(&mut stream, code, content_type, &body);
+    if code == 503 {
+        // Not-ready/firing responses carry a retry hint like shed ones.
+        respond_with(&mut stream, code, content_type, &body, &[("Retry-After", "1")]);
+    } else {
+        respond(&mut stream, code, content_type, &body);
+    }
 }
 
 /// Per-listener cap on concurrently served connections; excess clients
@@ -533,7 +546,15 @@ impl TelemetryServer {
                     Ok((mut stream, _)) => {
                         let _ = stream.set_nonblocking(false);
                         if active.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
-                            respond(&mut stream, 503, CT_TEXT, "connection limit reached\n");
+                            // Overload shed: tell scrapers when to come back
+                            // instead of letting them hammer the listener.
+                            respond_with(
+                                &mut stream,
+                                503,
+                                CT_TEXT,
+                                "connection limit reached\n",
+                                &[("Retry-After", "1")],
+                            );
                             continue;
                         }
                         active.fetch_add(1, Ordering::Relaxed);

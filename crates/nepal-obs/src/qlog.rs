@@ -545,9 +545,33 @@ impl QueryLog {
     }
 
     /// Read every parseable record from a log file (live generation only).
+    /// A torn trailing line — a crash mid-append — is skipped with a
+    /// warning rather than silently dropped like any other unparseable
+    /// line, so replay tooling can tell recovery from corruption.
     pub fn read_records(path: impl AsRef<Path>) -> std::io::Result<Vec<QlogRecord>> {
+        let path = path.as_ref();
         let text = std::fs::read_to_string(path)?;
-        Ok(text.lines().filter_map(QlogRecord::parse).collect())
+        let mut out = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match QlogRecord::parse(line) {
+                Some(r) => out.push(r),
+                None if i + 1 == lines.len() && !text.ends_with('\n') => {
+                    // Unterminated final line: a partial append, not data
+                    // corruption. Recover everything before it.
+                    eprintln!(
+                        "warning: query log `{}` has a torn trailing line ({} bytes); skipping it",
+                        path.display(),
+                        line.len()
+                    );
+                }
+                None => {} // malformed interior line: drop, as before
+            }
+        }
+        Ok(out)
     }
 
     /// Status fields for `/qlog.json`.
@@ -1061,6 +1085,26 @@ mod tests {
                 joins: vec![JoinFeedback { var: "P".into(), probe: 1, build: 5, emitted: 5 }],
             },
         }
+    }
+
+    #[test]
+    fn read_records_skips_torn_trailing_line() {
+        let dir = std::env::temp_dir().join(format!("nepal-qlog-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qlog.jsonl");
+        let rec = sample_record();
+        let full = format!("{}\n{}\n", rec.to_json_line(), rec.to_json_line());
+        // Chop into the middle of the second record, no trailing newline —
+        // exactly what a crash mid-append leaves behind.
+        let torn = &full[..full.len() - 25];
+        std::fs::write(&path, torn).unwrap();
+        let recs = QueryLog::read_records(&path).unwrap();
+        assert_eq!(recs.len(), 1, "the intact record before the tear survives");
+        assert_eq!(recs[0], rec);
+        // A fully terminated log still reads both.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(QueryLog::read_records(&path).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

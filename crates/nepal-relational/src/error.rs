@@ -13,6 +13,19 @@ pub enum RelError {
     Arity { table: String, expected: usize, got: usize },
     /// A table with this name already exists.
     DuplicateTable(String),
+    /// Evaluation abandoned at a cancellation checkpoint: deadline passed.
+    DeadlineExceeded,
+    /// Evaluation abandoned at a cancellation checkpoint: explicit cancel.
+    Cancelled,
+}
+
+impl From<nepal_rpe::CancelCause> for RelError {
+    fn from(c: nepal_rpe::CancelCause) -> RelError {
+        match c {
+            nepal_rpe::CancelCause::Deadline => RelError::DeadlineExceeded,
+            nepal_rpe::CancelCause::Explicit => RelError::Cancelled,
+        }
+    }
 }
 
 impl fmt::Display for RelError {
@@ -26,6 +39,8 @@ impl fmt::Display for RelError {
                 write!(f, "row arity mismatch on `{table}`: expected {expected}, got {got}")
             }
             RelError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            RelError::DeadlineExceeded => write!(f, "query deadline exceeded during relational evaluation"),
+            RelError::Cancelled => write!(f, "query cancelled during relational evaluation"),
         }
     }
 }

@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 
 use nepal_graph::{Interval, IntervalSet, TimeFilter, Uid, FOREVER};
 use nepal_obs::SpanHandle;
-use nepal_rpe::{EvalOptions, Label, Pathway, RpePlan, Seeds};
+use nepal_rpe::{CancelCause, CancelToken, EvalOptions, Label, Pathway, RpePlan, Seeds};
 use nepal_schema::{format_ts, Schema, Ts, Value};
 
 use crate::db::RelDb;
@@ -70,6 +70,37 @@ struct Evaluator<'a> {
     /// Live span the scans and join passes attach child spans to; inert
     /// outside a traced execution.
     span: &'a SpanHandle,
+    /// Cooperative cancellation: token, rate-limiting counter, and the
+    /// sticky trip cause once observed.
+    cancel: Option<CancelToken>,
+    cancel_ctr: u64,
+    tripped: Option<CancelCause>,
+}
+
+/// Poll the cancel token once per this many scanned/probed rows.
+const REL_CANCEL_MASK: u64 = 0x3FF; // every 1024 rows
+
+/// One scan/probe checkpoint: `true` → abandon work, the caller surfaces
+/// [`crate::error::RelError::DeadlineExceeded`] /
+/// [`crate::error::RelError::Cancelled`]. Free-standing over the cancel
+/// fields so scan loops can poll while a table borrow is live.
+#[inline]
+fn rel_checkpoint(cancel: &Option<CancelToken>, ctr: &mut u64, tripped: &mut Option<CancelCause>) -> bool {
+    if tripped.is_some() {
+        return true;
+    }
+    let Some(tok) = cancel else { return false };
+    *ctr = ctr.wrapping_add(1);
+    if *ctr & REL_CANCEL_MASK != 0 {
+        return false;
+    }
+    match tok.poll() {
+        Some(cause) => {
+            *tripped = Some(cause);
+            true
+        }
+        None => false,
+    }
 }
 
 impl<'a> Evaluator<'a> {
@@ -134,6 +165,9 @@ impl<'a> Evaluator<'a> {
             let concept = tname.trim_end_matches("__history").to_string();
             self.rows_scanned += t.rows.len() as u64;
             for r in &t.rows {
+                if rel_checkpoint(&self.cancel, &mut self.cancel_ctr, &mut self.tripped) {
+                    break;
+                }
                 let (from, to) = (as_ts(&r[n - 2]), as_ts(&r[n - 1]));
                 if !version_ok(self.filter, from, to) || !preds_ok(self.plan, label, r, is_node) {
                     continue;
@@ -190,6 +224,9 @@ impl<'a> Evaluator<'a> {
             let probe_col = if forwards { 1 } else { 2 };
             let other_col = if forwards { 2 } else { 1 };
             for row in rows {
+                if rel_checkpoint(&self.cancel, &mut self.cancel_ctr, &mut self.tripped) {
+                    return out;
+                }
                 if row.pending.is_some() {
                     continue; // must consume the pending node first
                 }
@@ -248,6 +285,9 @@ impl<'a> Evaluator<'a> {
             let t = self.db.table_mut(tname).unwrap();
             let n = t.cols.len();
             for row in rows {
+                if rel_checkpoint(&self.cancel, &mut self.cancel_ctr, &mut self.tripped) {
+                    return out;
+                }
                 let p = match row.pending {
                     Some(p) => p,
                     None => continue,
@@ -317,6 +357,9 @@ impl<'a> Evaluator<'a> {
         let mut accepted: Vec<Row> = Vec::new();
         let mut table_no = 0u32;
         for &state in &order {
+            if self.tripped.is_some() {
+                break; // cancelled: stop joining, the caller surfaces it
+            }
             let rows = match tables.get(&state) {
                 Some(r) if !r.is_empty() => r.clone(),
                 _ => continue,
@@ -503,8 +546,20 @@ pub fn evaluate_relational_spanned(
     opts: &EvalOptions,
     span: &SpanHandle,
 ) -> Result<RelResult> {
-    let mut ev =
-        Evaluator { db, schema, plan, filter, sql: Vec::new(), temp_counter: 0, rows_scanned: 0, rows_joined: 0, span };
+    let mut ev = Evaluator {
+        db,
+        schema,
+        plan,
+        filter,
+        sql: Vec::new(),
+        temp_counter: 0,
+        rows_scanned: 0,
+        rows_joined: 0,
+        span,
+        cancel: opts.cancel.clone(),
+        cancel_ctr: 0,
+        tripped: None,
+    };
     let range = filter.is_range();
     let init_times = |rows: &mut Vec<Row>| {
         if !range {
@@ -519,9 +574,12 @@ pub fn evaluate_relational_spanned(
     let mut merged: HashMap<Vec<i64>, Vec<TimeCombo>> = HashMap::new();
     match seeds {
         Seeds::Anchor => {
-            for &occ in &plan.anchor.atoms {
+            'anchors: for &occ in &plan.anchor.atoms {
                 let seed_trans = plan.nfa.seeds_for(occ);
                 for (tr_idx, tr) in seed_trans.iter().enumerate() {
+                    if ev.tripped.is_some() {
+                        break 'anchors;
+                    }
                     let seed_pairs = ev.select_atom(occ, tr_idx as u32);
                     if seed_pairs.is_empty() {
                         continue;
@@ -660,6 +718,13 @@ pub fn evaluate_relational_spanned(
                 merged.entry(elems).or_default().push((b.t_from, b.t_to));
             }
         }
+    }
+
+    // A tripped checkpoint anywhere above means the frontier (and thus
+    // `merged`) is partial: drop temps and surface the typed error.
+    if let Some(cause) = ev.tripped {
+        ev.db.drop_temps();
+        return Err(cause.into());
     }
 
     let mut pathways = Vec::new();

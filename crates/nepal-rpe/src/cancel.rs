@@ -1,0 +1,218 @@
+//! Cooperative cancellation: a shared deadline/flag token polled at
+//! bounded intervals by every evaluation loop.
+//!
+//! A [`CancelToken`] is a cheap `Arc` handle carrying three independent
+//! trip conditions:
+//!
+//! * an **explicit flag** ([`CancelToken::cancel`]) — set by a REPL
+//!   `:cancel`, a server drain, or any other controller;
+//! * a **deadline** (fixed at construction) — the wall-clock instant after
+//!   which every poll reports [`CancelCause::Deadline`];
+//! * a **poll budget** ([`CancelToken::cancel_after_polls`]) — trips after
+//!   a fixed number of polls, giving tests a deterministic way to cancel
+//!   "at the N-th checkpoint" without any clock involved.
+//!
+//! Tokens form chains: a child token created with [`CancelToken::child`]
+//! trips when *either* it or its parent trips, so a server can hold one
+//! drain token and hand each request a child with its own deadline.
+//!
+//! Polling is designed for hot loops: the explicit flag is one relaxed
+//! atomic load, and the clock is only read when a deadline is actually
+//! set. Callers are expected to poll every few hundred work items (the
+//! evaluator polls every 64 node expansions), keeping the cancellation
+//! latency bounded by checkpoint granularity, not by luck.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The deadline passed.
+    Deadline,
+    /// Someone called [`CancelToken::cancel`] (or a poll budget ran out).
+    Explicit,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Explicit cancellation (also set when the poll budget runs out, so
+    /// later polls stay tripped without re-counting).
+    flag: AtomicBool,
+    /// Cause recorded when `flag` was set; meaningful only once it is.
+    flag_cause: AtomicBool, // true = deadline
+    /// Absolute deadline, fixed at construction.
+    deadline: Option<Instant>,
+    /// Remaining polls before an automatic trip; `u64::MAX` = disabled.
+    budget: AtomicU64,
+    /// Chained parent: a tripped parent trips this token too.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn poll(&self) -> Option<CancelCause> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(if self.flag_cause.load(Ordering::Relaxed) {
+                CancelCause::Deadline
+            } else {
+                CancelCause::Explicit
+            });
+        }
+        if self.budget.load(Ordering::Relaxed) != u64::MAX {
+            // Saturating decrement: the first poll to observe 0 trips.
+            let prev = self.budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1)).ok();
+            if prev == Some(0) || prev.is_none() {
+                self.flag.store(true, Ordering::Relaxed);
+                return Some(CancelCause::Explicit);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.flag_cause.store(true, Ordering::Relaxed);
+                self.flag.store(true, Ordering::Relaxed);
+                return Some(CancelCause::Deadline);
+            }
+        }
+        match &self.parent {
+            Some(p) => p.poll(),
+            None => None,
+        }
+    }
+}
+
+/// Shared cancellation handle (see module docs). Clones share state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    fn build(deadline: Option<Instant>, budget: u64, parent: Option<Arc<Inner>>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                flag_cause: AtomicBool::new(false),
+                deadline,
+                budget: AtomicU64::new(budget),
+                parent,
+            }),
+        }
+    }
+
+    /// A token that only trips on an explicit [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::build(None, u64::MAX, None)
+    }
+
+    /// A token that trips once `deadline` has elapsed from now.
+    pub fn with_deadline(deadline: Duration) -> CancelToken {
+        CancelToken::build(Some(Instant::now() + deadline), u64::MAX, None)
+    }
+
+    /// A token that trips on the `n`-th poll — deterministic cancellation
+    /// for tests ("cancel at checkpoint N"), no clock involved.
+    pub fn cancel_after_polls(n: u64) -> CancelToken {
+        CancelToken::build(None, n, None)
+    }
+
+    /// A child that trips when either it or `self` trips. `deadline`
+    /// bounds the child only.
+    pub fn child(&self, deadline: Option<Duration>) -> CancelToken {
+        CancelToken::build(deadline.map(|d| Instant::now() + d), u64::MAX, Some(self.inner.clone()))
+    }
+
+    /// Trip the token explicitly. Idempotent; never overrides an earlier
+    /// deadline trip.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// One cancellation checkpoint: `None` → keep going, `Some(cause)` →
+    /// abandon work and surface the typed error.
+    #[inline]
+    pub fn poll(&self) -> Option<CancelCause> {
+        self.inner.poll()
+    }
+
+    /// Has the token tripped? (Polls, so a deadline is noticed here too.)
+    pub fn is_cancelled(&self) -> bool {
+        self.poll().is_some()
+    }
+
+    /// Remaining time before the deadline (`None` when no deadline is set;
+    /// zero once passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_trips() {
+        let t = CancelToken::new();
+        assert_eq!(t.poll(), None);
+        t.cancel();
+        assert_eq!(t.poll(), Some(CancelCause::Explicit));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_and_is_sticky() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(t.poll(), Some(CancelCause::Deadline));
+        // Sticky: an explicit cancel after the fact keeps the deadline cause.
+        t.cancel();
+        assert_eq!(t.poll(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn poll_budget_is_deterministic() {
+        let t = CancelToken::cancel_after_polls(3);
+        assert_eq!(t.poll(), None);
+        assert_eq!(t.poll(), None);
+        assert_eq!(t.poll(), None);
+        assert_eq!(t.poll(), Some(CancelCause::Explicit));
+        assert_eq!(t.poll(), Some(CancelCause::Explicit)); // stays tripped
+    }
+
+    #[test]
+    fn child_observes_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        assert_eq!(child.poll(), None);
+        parent.cancel();
+        assert_eq!(child.poll(), Some(CancelCause::Explicit));
+        // Sibling unaffected by a child trip.
+        let child2 = CancelToken::new().child(None);
+        child2.cancel();
+        assert_eq!(child2.poll(), Some(CancelCause::Explicit));
+    }
+
+    #[test]
+    fn child_deadline_does_not_leak_upward() {
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(child.poll(), Some(CancelCause::Deadline));
+        assert_eq!(parent.poll(), None);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let t = CancelToken::with_deadline(Duration::from_secs(60));
+        let r = t.remaining().unwrap();
+        assert!(r <= Duration::from_secs(60) && r > Duration::from_secs(50));
+        assert_eq!(CancelToken::new().remaining(), None);
+    }
+}

@@ -23,6 +23,21 @@ pub enum RpeError {
     BadRepetition { min: u32, max: u32 },
     /// The expanded RPE exceeds internal size limits.
     TooLarge(usize),
+    /// Evaluation abandoned at a cancellation checkpoint because the
+    /// query's deadline passed.
+    DeadlineExceeded,
+    /// Evaluation abandoned at a cancellation checkpoint after an explicit
+    /// cancel (REPL `:cancel`, server drain, …).
+    Cancelled,
+}
+
+impl From<crate::cancel::CancelCause> for RpeError {
+    fn from(c: crate::cancel::CancelCause) -> RpeError {
+        match c {
+            crate::cancel::CancelCause::Deadline => RpeError::DeadlineExceeded,
+            crate::cancel::CancelCause::Explicit => RpeError::Cancelled,
+        }
+    }
 }
 
 impl fmt::Display for RpeError {
@@ -48,6 +63,8 @@ impl fmt::Display for RpeError {
                 write!(f, "bad repetition bounds {{{min},{max}}}")
             }
             RpeError::TooLarge(n) => write!(f, "expanded RPE too large ({n} nodes)"),
+            RpeError::DeadlineExceeded => write!(f, "query deadline exceeded during evaluation"),
+            RpeError::Cancelled => write!(f, "query cancelled during evaluation"),
         }
     }
 }

@@ -21,6 +21,8 @@ use nepal_schema::{ClassId, Schema};
 
 use crate::anchor::{apply_selectivity, CardinalityEstimator};
 use crate::bind::BoundAtom;
+use crate::cancel::{CancelCause, CancelToken};
+use crate::error::RpeError;
 use crate::nfa::Label;
 use crate::par;
 use crate::path::Pathway;
@@ -39,7 +41,7 @@ pub enum Seeds<'a> {
 }
 
 /// Evaluation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalOptions {
     /// Stop after collecting this many pathways.
     pub limit: Option<usize>,
@@ -52,6 +54,20 @@ pub struct EvalOptions {
     /// also stays sequential, because the limit's early exit is
     /// traversal-order-dependent.
     pub threads: usize,
+    /// Cooperative cancellation: polled at bounded intervals (anchor
+    /// scans, every few node expansions, pool job boundaries). A tripped
+    /// token surfaces as [`RpeError::DeadlineExceeded`] /
+    /// [`RpeError::Cancelled`] from the fallible entry points
+    /// ([`evaluate_obs`] / [`evaluate_metered`]) — never as a panic or a
+    /// silently truncated result.
+    pub cancel: Option<CancelToken>,
+}
+
+impl EvalOptions {
+    /// Options carrying a fresh deadline token.
+    pub fn with_deadline(deadline: std::time::Duration) -> EvalOptions {
+        EvalOptions { cancel: Some(CancelToken::with_deadline(deadline)), ..Default::default() }
+    }
 }
 
 /// Resolve an [`EvalOptions::threads`] value to a concrete worker count:
@@ -121,10 +137,25 @@ struct ElemMatcher<'a> {
     /// empty (§5 temporal pruning). A plain increment — counted even
     /// untraced, and only reported when a trace is attached.
     temporal_prunes: u64,
+    /// Cooperative cancellation: the token (if any), a checkpoint counter
+    /// bounding poll frequency, and the sticky cause once tripped.
+    cancel: Option<CancelToken>,
+    cancel_ctr: u32,
+    cancel_cause: Option<CancelCause>,
 }
 
+/// Poll the cancel token once per this many search checkpoints (node
+/// expansions / scanned elements), bounding both the poll overhead and the
+/// cancellation latency.
+const CANCEL_CHECK_MASK: u32 = 0x3F; // every 64 checkpoints
+
 impl<'a> ElemMatcher<'a> {
-    fn new(view: &'a GraphView<'a>, schema: &'a Schema, atoms: &'a [BoundAtom]) -> Self {
+    fn with_cancel(
+        view: &'a GraphView<'a>,
+        schema: &'a Schema,
+        atoms: &'a [BoundAtom],
+        cancel: Option<CancelToken>,
+    ) -> Self {
         ElemMatcher {
             view,
             schema,
@@ -132,6 +163,31 @@ impl<'a> ElemMatcher<'a> {
             range_mode: view.filter.is_range(),
             memo: FxHashMap::default(),
             temporal_prunes: 0,
+            cancel,
+            cancel_ctr: 0,
+            cancel_cause: None,
+        }
+    }
+
+    /// One search checkpoint: `true` → the token tripped, abandon work and
+    /// unwind. Sticky, and rate-limited to one token poll per
+    /// [`CANCEL_CHECK_MASK`]+1 calls.
+    #[inline]
+    fn checkpoint(&mut self) -> bool {
+        if self.cancel_cause.is_some() {
+            return true;
+        }
+        let Some(tok) = &self.cancel else { return false };
+        self.cancel_ctr = self.cancel_ctr.wrapping_add(1);
+        if self.cancel_ctr & CANCEL_CHECK_MASK != 0 {
+            return false;
+        }
+        match tok.poll() {
+            Some(cause) => {
+                self.cancel_cause = Some(cause);
+                true
+            }
+            None => false,
         }
     }
 
@@ -319,6 +375,9 @@ fn class_viable(
 /// Depth-first forward extension. `path` ends with a node; `states` are the
 /// NFA states after consuming all of `path`.
 fn fwd_search(ctx: &Ctx, m: &mut ElemMatcher, path: &mut Vec<Uid>, states: &StateSet, out: &mut Vec<Half>) {
+    if m.checkpoint() {
+        return; // cancelled: unwind quickly, caller surfaces the cause
+    }
     if let Some(times) = accepting_times(ctx.plan, states) {
         out.push(Half { elems: path.clone(), times });
     }
@@ -362,6 +421,9 @@ fn bwd_search(
     leftmost_is_node: bool,
     out: &mut Vec<Half>,
 ) {
+    if m.checkpoint() {
+        return; // cancelled: unwind quickly, caller surfaces the cause
+    }
     if leftmost_is_node {
         if let Some(times) = start_times(ctx.plan, states) {
             out.push(Half { elems: path.clone(), times });
@@ -409,6 +471,17 @@ pub fn anchor_scan(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> Vec<(
 /// can report the `Select` operator's input cardinality (1 on the
 /// unique-index fast path, the extent size on the scan path).
 pub fn anchor_scan_counted(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> (Vec<(Uid, Times)>, u64) {
+    anchor_scan_cancel(view, schema, atom, None).expect("no cancel token supplied")
+}
+
+/// [`anchor_scan_counted`] polling `cancel` every 1024 scanned elements;
+/// returns the trip cause instead of a truncated candidate set.
+fn anchor_scan_cancel(
+    view: &GraphView,
+    schema: &Schema,
+    atom: &BoundAtom,
+    cancel: Option<&CancelToken>,
+) -> std::result::Result<(Vec<(Uid, Times)>, u64), CancelCause> {
     let range_mode = view.filter.is_range();
     let to_times = |mt: MatchTime| -> Times {
         match mt {
@@ -428,11 +501,11 @@ pub fn anchor_scan_counted(view: &GraphView, schema: &Schema, atom: &BoundAtom) 
         if let Some((idx, value)) = atom.unique_eq_pred(schema) {
             if let Some(uid) = view.graph.find_unique(atom.class, idx, value) {
                 if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
-                    return (vec![(uid, to_times(mt))], 1);
+                    return Ok((vec![(uid, to_times(mt))], 1));
                 }
-                return (Vec::new(), 1);
+                return Ok((Vec::new(), 1));
             }
-            return (Vec::new(), 0);
+            return Ok((Vec::new(), 0));
         }
     }
     let mut out = Vec::new();
@@ -440,12 +513,17 @@ pub fn anchor_scan_counted(view: &GraphView, schema: &Schema, atom: &BoundAtom) 
     for c in schema.descendants(atom.class) {
         for &uid in view.graph.extent_exact(c) {
             scanned += 1;
+            if scanned & 0x3FF == 0 {
+                if let Some(cause) = cancel.and_then(|t| t.poll()) {
+                    return Err(cause);
+                }
+            }
             if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
                 out.push((uid, to_times(mt)));
             }
         }
     }
-    (out, scanned)
+    Ok((out, scanned))
 }
 
 fn finalize(view: &GraphView, times: Times) -> Option<Times> {
@@ -475,6 +553,10 @@ fn add_result(elems: Vec<Uid>, times: Times, results: &mut ResultMap) {
 }
 
 /// Evaluate a planned RPE under a time-filtered view.
+///
+/// Infallible convenience wrapper for token-free options: panics if
+/// `opts.cancel` trips mid-evaluation. Callers that set a cancel token
+/// must use the fallible [`evaluate_obs`] / [`evaluate_metered`].
 pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptions) -> Vec<Pathway> {
     evaluate_traced(view, plan, seeds, opts, None)
 }
@@ -483,7 +565,8 @@ pub fn evaluate(view: &GraphView, plan: &RpePlan, seeds: Seeds, opts: &EvalOptio
 /// per §5 operator instance plus free-form counters (temporal prunes, memo
 /// size). With `trace == None` no clock is ever read; the only residual
 /// cost of instrumentation on the untraced path is plain integer
-/// increments.
+/// increments. Infallible like [`evaluate`]: use the fallible entry points
+/// when a cancel token is set.
 pub fn evaluate_traced(
     view: &GraphView,
     plan: &RpePlan,
@@ -492,6 +575,7 @@ pub fn evaluate_traced(
     trace: Option<&mut ExecTrace>,
 ) -> Vec<Pathway> {
     evaluate_obs(view, plan, seeds, opts, trace, &SpanHandle::none())
+        .expect("evaluation with a cancel token must go through evaluate_obs/evaluate_metered")
 }
 
 /// The fully observable evaluator: optional profiling trace *and* an
@@ -506,7 +590,7 @@ pub fn evaluate_obs(
     opts: &EvalOptions,
     trace: Option<&mut ExecTrace>,
     span: &SpanHandle,
-) -> Vec<Pathway> {
+) -> Result<Vec<Pathway>, RpeError> {
     evaluate_metered(view, plan, seeds, opts, trace, span, None)
 }
 
@@ -525,7 +609,14 @@ pub fn evaluate_metered(
     trace: Option<&mut ExecTrace>,
     span: &SpanHandle,
     metrics: Option<&MetricsRegistry>,
-) -> Vec<Pathway> {
+) -> Result<Vec<Pathway>, RpeError> {
+    // Fast-fail: a request arriving with an already-tripped token (server
+    // drain, expired deadline) must not seed any work, however small the
+    // graph — checkpoint polls inside the evaluator are rate-limited and
+    // may never fire on tiny inputs.
+    if let Some(cause) = opts.cancel.as_ref().and_then(|t| t.poll()) {
+        return Err(RpeError::from(cause));
+    }
     let threads = resolved_threads(opts.threads);
     let parallel = threads > 1
         && opts.limit.is_none()
@@ -548,12 +639,12 @@ fn evaluate_sequential(
     opts: &EvalOptions,
     mut trace: Option<&mut ExecTrace>,
     span: &SpanHandle,
-) -> Vec<Pathway> {
+) -> Result<Vec<Pathway>, RpeError> {
     let enabled = trace.is_some() || span.is_active();
     let schema = view.graph.schema().clone();
     let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let ctx = Ctx { view, plan, cap };
-    let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
+    let mut m = ElemMatcher::with_cancel(view, &schema, &plan.atoms, opts.cancel.clone());
     // elems → merged times. BTreeMap-free: HashMap then sort at the end.
     let mut results: ResultMap = ResultMap::default();
 
@@ -564,7 +655,8 @@ fn evaluate_sequential(
                 let t_sel = enabled.then(Instant::now);
                 let sel_span = span.child("Select");
                 sel_span.attr("atom", &atom.display);
-                let (candidates, scanned) = anchor_scan_counted(view, &schema, atom);
+                let (candidates, scanned) =
+                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref()).map_err(RpeError::from)?;
                 sel_span.attr("rows_in", scanned);
                 sel_span.attr("rows_out", candidates.len());
                 drop(sel_span);
@@ -581,6 +673,9 @@ fn evaluate_sequential(
                 let (mut union_in, mut union_ns) = (0u64, 0u64);
                 let union_before = results.len() as u64;
                 for (elem, times0) in &candidates {
+                    if m.cancel_cause.is_some() {
+                        break; // cancelled: stop seeding, surface below
+                    }
                     let edge_ends = if atom.is_node {
                         None
                     } else {
@@ -692,6 +787,9 @@ fn evaluate_sequential(
                         // Union: cross-combine halves.
                         let t0 = enabled.then(Instant::now);
                         for b in &bwd {
+                            if m.checkpoint() {
+                                break;
+                            }
                             'combine: for fh in fwd {
                                 // Cycle check across the two halves.
                                 for u in &b.elems {
@@ -764,6 +862,9 @@ fn evaluate_sequential(
             let mut seeded = 0u64;
             let mut halves = 0u64;
             for &src in srcs {
+                if m.cancel_cause.is_some() {
+                    break;
+                }
                 if !view.graph.is_node(src) {
                     continue;
                 }
@@ -810,6 +911,9 @@ fn evaluate_sequential(
                 .map(|s| (s, if view.filter.is_range() { Some(universal()) } else { None }))
                 .collect();
             for &tgt in tgts {
+                if m.cancel_cause.is_some() {
+                    break;
+                }
                 if !view.graph.is_node(tgt) {
                     continue;
                 }
@@ -856,6 +960,12 @@ fn evaluate_sequential(
     span.attr("temporal_prunes", m.temporal_prunes);
     span.attr("match_memo_entries", m.memo.len());
 
+    // A tripped checkpoint anywhere above means the accumulated results
+    // are partial — surface the typed error, never a truncated Ok.
+    if let Some(cause) = m.cancel_cause {
+        return Err(cause.into());
+    }
+
     let mut out: Vec<Pathway> = Vec::new();
     for (elems, times) in results {
         if let Some(t) = finalize(view, times) {
@@ -866,7 +976,7 @@ fn evaluate_sequential(
     if let Some(limit) = opts.limit {
         out.truncate(limit);
     }
-    out
+    Ok(out)
 }
 
 /// One search unit during parallel evaluation: every frontier root of one
@@ -898,6 +1008,9 @@ fn expand_frontier(
     let mut queue: VecDeque<(Vec<Uid>, StateSet)> = roots.into();
     let mut popped = 0usize;
     while queue.len() < want && popped < want.saturating_mul(4) {
+        if m.checkpoint() {
+            break; // cancelled: the caller checks the cause before merging
+        }
         let Some((path, states)) = queue.pop_front() else { break };
         popped += 1;
         let accept = if fwd { accepting_times(ctx.plan, &states) } else { start_times(ctx.plan, &states) };
@@ -986,13 +1099,13 @@ fn evaluate_parallel(
     span: &SpanHandle,
     metrics: Option<&MetricsRegistry>,
     threads: usize,
-) -> Vec<Pathway> {
+) -> Result<Vec<Pathway>, RpeError> {
     let enabled = trace.is_some() || span.is_active();
     let timed = enabled || metrics.is_some();
     let schema = view.graph.schema().clone();
     let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let ctx = Ctx { view, plan, cap };
-    let mut m = ElemMatcher::new(view, &schema, &plan.atoms);
+    let mut m = ElemMatcher::with_cancel(view, &schema, &plan.atoms, opts.cancel.clone());
     let mut results: ResultMap = ResultMap::default();
     let (mut total_chunks, mut total_steals) = (0u64, 0u64);
     // Per-worker memo entries: workers re-derive matches the coordinator
@@ -1007,7 +1120,8 @@ fn evaluate_parallel(
                 let t_sel = enabled.then(Instant::now);
                 let sel_span = span.child("Select");
                 sel_span.attr("atom", &atom.display);
-                let (candidates, scanned) = anchor_scan_counted(view, &schema, atom);
+                let (candidates, scanned) =
+                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref()).map_err(RpeError::from)?;
                 sel_span.attr("rows_in", scanned);
                 sel_span.attr("rows_out", candidates.len());
                 drop(sel_span);
@@ -1031,6 +1145,9 @@ fn evaluate_parallel(
                 let mut units: Vec<ParUnit> = Vec::new();
                 let mut pairs: Vec<(usize, usize)> = Vec::new(); // (bwd unit, fwd unit)
                 for (elem, times0) in &candidates {
+                    if m.cancel_cause.is_some() {
+                        break; // cancelled: stop seeding, surface below
+                    }
                     let edge_ends = if atom.is_node {
                         None
                     } else {
@@ -1154,11 +1271,12 @@ fn evaluate_parallel(
                         jobs.push((ui, path, states, u.fwd));
                     }
                 }
-                let (outs, reports, stats) = par::run_jobs(
+                let (outs, reports, stats) = par::run_jobs_cancel(
                     jobs.len(),
                     threads,
                     timed,
-                    |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                    opts.cancel.as_ref(),
+                    |_| ElemMatcher::with_cancel(view, &schema, &plan.atoms, opts.cancel.clone()),
                     |mw: &mut ElemMatcher, j: usize| {
                         let (_, path, states, fwd) = &jobs[j];
                         let mut out = Vec::new();
@@ -1175,9 +1293,18 @@ fn evaluate_parallel(
                 for r in &reports {
                     m.temporal_prunes += r.state.temporal_prunes;
                     worker_memo += r.state.memo.len() as u64;
+                    if m.cancel_cause.is_none() {
+                        m.cancel_cause = r.state.cancel_cause;
+                    }
+                }
+                // Abandoned slots mean the pool observed a tripped token
+                // between jobs; the flag is sticky, so this poll records it.
+                if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
+                    m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
                 }
                 note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
-                for (j, (halves, ns)) in outs.into_iter().enumerate() {
+                for (j, slot) in outs.into_iter().enumerate() {
+                    let Some((halves, ns)) = slot else { continue };
                     let (ui, _, _, fwd) = &jobs[j];
                     if *fwd {
                         fwd_ns += ns;
@@ -1213,12 +1340,13 @@ fn evaluate_parallel(
                         }
                     }
                 }
-                let (uouts, ureports, ustats) = par::run_jobs(
+                let (uouts, ureports, ustats) = par::run_jobs_cancel(
                     ujobs.len(),
                     threads,
                     timed,
-                    |_| (),
-                    |_: &mut (), j: usize| {
+                    opts.cancel.as_ref(),
+                    |_| None::<CancelCause>,
+                    |tripped: &mut Option<CancelCause>, j: usize| {
                         let (pi, lo, hi) = ujobs[j];
                         let (bu, fu) = pairs[pi];
                         let bwd = &units[bu].halves[lo..hi];
@@ -1226,7 +1354,13 @@ fn evaluate_parallel(
                         let mut out: Vec<(Vec<Uid>, Times)> = Vec::new();
                         let mut prunes = 0u64;
                         let t0 = enabled.then(Instant::now);
-                        for b in bwd {
+                        'rows: for (bi, b) in bwd.iter().enumerate() {
+                            if bi as u32 & CANCEL_CHECK_MASK == 0 {
+                                if let Some(cause) = opts.cancel.as_ref().and_then(|t| t.poll()) {
+                                    *tripped = Some(cause);
+                                    break 'rows;
+                                }
+                            }
                             'combine: for fh in fwd {
                                 // Cycle check across the two halves.
                                 for u in &b.elems {
@@ -1251,8 +1385,17 @@ fn evaluate_parallel(
                         (out, prunes, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
                     },
                 );
+                for r in &ureports {
+                    if m.cancel_cause.is_none() {
+                        m.cancel_cause = r.state;
+                    }
+                }
+                if m.cancel_cause.is_none() && uouts.iter().any(|o| o.is_none()) {
+                    m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
+                }
                 note_pool(span, metrics, &ureports, &ustats, "union", &mut total_chunks, &mut total_steals);
-                for (out, prunes, ns) in uouts {
+                for slot in uouts {
+                    let Some((out, prunes, ns)) = slot else { continue };
                     m.temporal_prunes += prunes;
                     union_ns += ns;
                     for (e, t) in out {
@@ -1299,16 +1442,20 @@ fn evaluate_parallel(
             let n_chunks = (threads * 4).min(srcs.len());
             let bounds: Vec<(usize, usize)> =
                 (0..n_chunks).map(|c| (c * srcs.len() / n_chunks, (c + 1) * srcs.len() / n_chunks)).collect();
-            let (outs, reports, stats) = par::run_jobs(
+            let (outs, reports, stats) = par::run_jobs_cancel(
                 n_chunks,
                 threads,
                 timed,
-                |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                opts.cancel.as_ref(),
+                |_| ElemMatcher::with_cancel(view, &schema, &plan.atoms, opts.cancel.clone()),
                 |mw: &mut ElemMatcher, ci: usize| {
                     let (lo, hi) = bounds[ci];
                     let mut res: Vec<(Vec<Uid>, Times)> = Vec::new();
                     let (mut seeded, mut halves) = (0u64, 0u64);
                     for &src in &srcs[lo..hi] {
+                        if mw.cancel_cause.is_some() {
+                            break;
+                        }
                         if !view.graph.is_node(src) {
                             continue;
                         }
@@ -1333,10 +1480,17 @@ fn evaluate_parallel(
             for r in &reports {
                 m.temporal_prunes += r.state.temporal_prunes;
                 worker_memo += r.state.memo.len() as u64;
+                if m.cancel_cause.is_none() {
+                    m.cancel_cause = r.state.cancel_cause;
+                }
+            }
+            if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
+                m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
             }
             note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
             let (mut seeded, mut halves) = (0u64, 0u64);
-            for (res, s, h) in outs {
+            for slot in outs {
+                let Some((res, s, h)) = slot else { continue };
                 seeded += s;
                 halves += h;
                 for (e, t) in res {
@@ -1371,16 +1525,20 @@ fn evaluate_parallel(
             let n_chunks = (threads * 4).min(tgts.len());
             let bounds: Vec<(usize, usize)> =
                 (0..n_chunks).map(|c| (c * tgts.len() / n_chunks, (c + 1) * tgts.len() / n_chunks)).collect();
-            let (outs, reports, stats) = par::run_jobs(
+            let (outs, reports, stats) = par::run_jobs_cancel(
                 n_chunks,
                 threads,
                 timed,
-                |_| ElemMatcher::new(view, &schema, &plan.atoms),
+                opts.cancel.as_ref(),
+                |_| ElemMatcher::with_cancel(view, &schema, &plan.atoms, opts.cancel.clone()),
                 |mw: &mut ElemMatcher, ci: usize| {
                     let (lo, hi) = bounds[ci];
                     let mut res: Vec<(Vec<Uid>, Times)> = Vec::new();
                     let (mut seeded, mut halves) = (0u64, 0u64);
                     for &tgt in &tgts[lo..hi] {
+                        if mw.cancel_cause.is_some() {
+                            break;
+                        }
                         if !view.graph.is_node(tgt) {
                             continue;
                         }
@@ -1405,10 +1563,17 @@ fn evaluate_parallel(
             for r in &reports {
                 m.temporal_prunes += r.state.temporal_prunes;
                 worker_memo += r.state.memo.len() as u64;
+                if m.cancel_cause.is_none() {
+                    m.cancel_cause = r.state.cancel_cause;
+                }
+            }
+            if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
+                m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
             }
             note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
             let (mut seeded, mut halves) = (0u64, 0u64);
-            for (res, s, h) in outs {
+            for slot in outs {
+                let Some((res, s, h)) = slot else { continue };
                 seeded += s;
                 halves += h;
                 for (e, t) in res {
@@ -1453,6 +1618,12 @@ fn evaluate_parallel(
         reg.counter("nepal_rpe_steals_total", "Cross-worker steals in the parallel evaluator").add(total_steals);
     }
 
+    // Any trip — coordinator checkpoint, worker checkpoint, or abandoned
+    // pool jobs — means partial results: surface the typed error.
+    if let Some(cause) = m.cancel_cause {
+        return Err(cause.into());
+    }
+
     let mut out: Vec<Pathway> = Vec::new();
     for (elems, times) in results {
         if let Some(t) = finalize(view, times) {
@@ -1463,7 +1634,7 @@ fn evaluate_parallel(
     if let Some(limit) = opts.limit {
         out.truncate(limit);
     }
-    out
+    Ok(out)
 }
 
 /// Live-statistics estimator backed by the store (§5.1: "database

@@ -49,6 +49,7 @@
 pub mod anchor;
 pub mod ast;
 pub mod bind;
+pub mod cancel;
 pub mod error;
 pub mod exec;
 pub mod nfa;
@@ -60,6 +61,7 @@ pub mod plan;
 pub use anchor::{select_anchor, select_anchor_threads, AnchorSet, CardinalityEstimator, HintEstimator};
 pub use ast::{Atom, CmpOp, Pred, Rpe};
 pub use bind::{bind, BoundAtom, BoundPred, BoundRpe, Norm};
+pub use cancel::{CancelCause, CancelToken};
 pub use error::{Result, RpeError};
 pub use exec::{
     anchor_scan, evaluate, evaluate_metered, evaluate_obs, evaluate_traced, resolved_threads, EvalOptions,

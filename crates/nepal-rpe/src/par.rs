@@ -19,6 +19,8 @@ use std::time::Instant;
 
 use crossbeam::channel;
 
+use crate::cancel::CancelToken;
+
 /// Per-worker accounting returned by [`run_jobs`], including the worker's
 /// final state (e.g. its private memo, for cache-size reporting).
 pub struct WorkerReport<W> {
@@ -63,6 +65,31 @@ where
     FW: Fn(usize) -> W + Sync,
     F: Fn(&mut W, usize) -> T + Sync,
 {
+    let (slots, reports, stats) = run_jobs_cancel(n_jobs, threads, timed, None, make_worker, run);
+    let results = slots.into_iter().map(|o| o.expect("every job ran exactly once")).collect();
+    (results, reports, stats)
+}
+
+/// [`run_jobs`] observing a [`CancelToken`] between jobs: a worker polls
+/// the token before claiming its next job (own deque or a steal) and
+/// stops claiming once it trips, abandoning the remaining dealt blocks
+/// cleanly — the job currently running finishes (its body carries its own
+/// checkpoints). Unrun jobs come back as `None` slots; `PoolStats::jobs`
+/// counts jobs actually executed.
+pub fn run_jobs_cancel<T, W, FW, F>(
+    n_jobs: usize,
+    threads: usize,
+    timed: bool,
+    cancel: Option<&CancelToken>,
+    make_worker: FW,
+    run: F,
+) -> (Vec<Option<T>>, Vec<WorkerReport<W>>, PoolStats)
+where
+    T: Send,
+    W: Send,
+    FW: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
     if n_jobs == 0 {
         return (Vec::new(), Vec::new(), PoolStats { jobs: 0, steals: 0 });
     }
@@ -83,6 +110,11 @@ where
                 let mut state = make_worker(wi);
                 let (mut busy, mut jobs, mut steals) = (0u64, 0u64, 0u64);
                 loop {
+                    // Cancellation boundary: stop claiming work (own block
+                    // or steals) once the token trips.
+                    if cancel.is_some_and(|t| t.is_cancelled()) {
+                        break;
+                    }
                     // Bind before matching: the guard temporary would
                     // otherwise live for the whole `match`, holding this
                     // worker's deque lock while the steal arm locks a
@@ -131,11 +163,12 @@ where
     });
     drop(tx);
     let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    let mut executed = 0u64;
     while let Ok((j, t)) = rx.try_recv() {
         slots[j] = Some(t);
+        executed += 1;
     }
-    let results = slots.into_iter().map(|o| o.expect("every job ran exactly once")).collect();
-    (results, reports, PoolStats { jobs: n_jobs as u64, steals: steal_total.load(Ordering::Relaxed) })
+    (slots, reports, PoolStats { jobs: executed, steals: steal_total.load(Ordering::Relaxed) })
 }
 
 #[cfg(test)]
@@ -176,6 +209,46 @@ mod tests {
         let (results, reports, stats) = run_jobs(0, 4, false, |_| (), |_, j| j);
         assert!(results.is_empty() && reports.is_empty());
         assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_pool_runs_nothing() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let (slots, reports, stats) = run_jobs_cancel(64, 4, false, Some(&tok), |_| (), |_, j| j);
+        assert_eq!(slots.len(), 64);
+        assert!(slots.iter().all(|s| s.is_none()));
+        assert_eq!(stats.jobs, 0);
+        assert!(reports.iter().all(|r| r.jobs == 0));
+    }
+
+    #[test]
+    fn mid_run_cancel_abandons_remaining_jobs() {
+        // Single worker: the first job trips the token, so exactly one job
+        // runs and the rest of the dealt block is abandoned.
+        let tok = CancelToken::new();
+        let (slots, _, stats) = run_jobs_cancel(
+            16,
+            1,
+            false,
+            Some(&tok),
+            |_| (),
+            |_, j| {
+                tok.cancel();
+                j
+            },
+        );
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(slots.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn uncancelled_cancel_variant_matches_run_jobs() {
+        let tok = CancelToken::new();
+        let (slots, _, stats) = run_jobs_cancel(20, 3, false, Some(&tok), |_| (), |_, j| j * 3);
+        assert_eq!(stats.jobs, 20);
+        let vals: Vec<usize> = slots.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(vals, (0..20).map(|j| j * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -25,21 +25,58 @@
 //! :mem                   store memory report: per-class bytes, chains, indexes
 //! :stats                 graph statistics
 //! :threads [N]           show or set evaluator worker threads (0 = auto)
+//! :timeout [ms|off]      show or set the per-query deadline
+//! :cancel                trip the session cancel token (Ctrl-C does this
+//!                        mid-query); the running/next query aborts with a
+//!                        typed error and the token re-arms automatically
 //! :quit                  exit
 //! EXPLAIN ANALYZE <q>    execute <q> and print its profile
 //! <anything else>        executed as a Nepal query
 //! ```
 
 use std::io::{BufRead, Write};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use nepal::core::{
     parse_statement, BackendRegistry, Engine, NativeBackend, RelationalBackend, StandardSlos, Statement,
 };
 use nepal::graph::{StoreGauges, TemporalGraph};
 use nepal::obs::{alerts_text, fmt_bytes, fmt_ns};
-use nepal::rpe::{parse_rpe, plan_rpe, GraphEstimator};
+use nepal::rpe::{parse_rpe, plan_rpe, CancelToken, GraphEstimator};
 use nepal::workload::{generate_legacy, generate_virtualized, LegacyParams, VirtParams};
+
+/// Ctrl-C lands here; a watcher thread trips the session cancel token so
+/// the query running on the main thread aborts at its next checkpoint
+/// instead of the whole REPL dying.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2 /* SIGINT */, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Replace a tripped session token with a fresh one (tokens are sticky by
+/// design, so cancellation would otherwise outlive the query it aimed at).
+fn rearm_cancel(engine: &mut Engine, holder: &Arc<Mutex<CancelToken>>) {
+    let fresh = CancelToken::new();
+    *holder.lock().unwrap() = fresh.clone();
+    engine.eval_options.cancel = Some(fresh);
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +97,22 @@ fn main() {
     // refresh keeps the memory-watermark rule reading current bytes.
     let slo = engine.install_standard_slos(&StandardSlos::default());
     let gauges = StoreGauges::register(&engine.metrics);
+
+    // Session cancellation: every query runs as a child of this token
+    // (plus the :timeout deadline, if set). Ctrl-C sets a flag; the
+    // watcher thread trips the current token within ~20 ms.
+    let session_cancel = Arc::new(Mutex::new(CancelToken::new()));
+    engine.eval_options.cancel = Some(session_cancel.lock().unwrap().clone());
+    install_sigint_handler();
+    {
+        let holder = session_cancel.clone();
+        std::thread::spawn(move || loop {
+            if INTERRUPTED.load(Ordering::SeqCst) {
+                holder.lock().unwrap().cancel();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+    }
     eprintln!("ready. :help for commands.\n");
 
     let stdin = std::io::stdin();
@@ -84,6 +137,8 @@ fn main() {
             println!(
                 ":schema | :stats | :plan <rpe> | :sql <query> | :profile <query> | :metrics | :slow | :quit\n\
                  :threads [N]              show or set evaluator worker threads (0 = auto from NEPAL_THREADS/cores)\n\
+                 :timeout [ms|off]         show or set the per-query deadline (typed error on expiry)\n\
+                 :cancel                   trip the session cancel token (Ctrl-C does this mid-query)\n\
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  :qlog | :qlog on [file] | :qlog off | :qlog top N   durable query log + planner q-error feedback\n\
                  :health | :mem            SLO alert states / store memory report\n\
@@ -138,6 +193,32 @@ fn main() {
                     Err(_) => println!("usage: :threads [N]   (0 = auto)"),
                 }
             }
+            continue;
+        }
+        if line == ":timeout" || line.starts_with(":timeout ") {
+            let arg = line.strip_prefix(":timeout").unwrap_or("").trim();
+            if arg.is_empty() {
+                match engine.default_deadline {
+                    Some(d) => println!("timeout: {} ms", d.as_millis()),
+                    None => println!("timeout: off (:timeout <ms> to set)"),
+                }
+            } else if arg == "off" || arg == "0" {
+                engine.default_deadline = None;
+                println!("timeout off");
+            } else {
+                match arg.parse::<u64>() {
+                    Ok(ms) => {
+                        engine.default_deadline = Some(Duration::from_millis(ms));
+                        println!("timeout set to {ms} ms (queries exceeding it return a typed error)");
+                    }
+                    Err(_) => println!("usage: :timeout [ms|off]"),
+                }
+            }
+            continue;
+        }
+        if line == ":cancel" {
+            session_cancel.lock().unwrap().cancel();
+            println!("session cancel token tripped; the next query aborts with a typed error");
             continue;
         }
         if line == ":metrics" {
@@ -270,6 +351,12 @@ fn main() {
                 }
             }
             Err(e) => println!("error: {e}"),
+        }
+        // A tripped token is sticky: re-arm so one cancellation does not
+        // poison every subsequent query in the session.
+        if session_cancel.lock().unwrap().is_cancelled() {
+            rearm_cancel(&mut engine, &session_cancel);
+            println!("(cancel token re-armed)");
         }
     }
 }

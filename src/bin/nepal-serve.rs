@@ -25,20 +25,61 @@
 //!
 //! `--ttl <seconds>` exits after that many seconds (0 = run forever) so CI
 //! can start the server in the background without leaking it.
+//!
+//! Serving limits (see DESIGN.md §5e):
+//!
+//! ```text
+//! --deadline-ms <ms>   per-request deadline (Gremlin wire + engine queries)
+//! --max-inflight <n>   serving worker pool size (default 4)
+//! --queue-depth <n>    bounded admission queue; excess arrivals are shed
+//!                      with an explicit 503 overload frame (default 16)
+//! --drain-ms <ms>      graceful-drain budget on SIGTERM/SIGINT (default 2000)
+//! ```
+//!
+//! On SIGTERM (or SIGINT / ttl expiry) the server stops accepting, lets
+//! in-flight work finish within the drain budget, cancels stragglers via
+//! the cooperative token, and exits cleanly.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
 use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend, StandardSlos};
 use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
-use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer};
+use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer, ServeConfig};
 use nepal::obs::{Telemetry, TelemetryServer};
 use nepal::workload::{generate_virtualized, VirtParams};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
+
+/// SIGTERM/SIGINT land here; the main loop polls the flag and drains.
+/// std links libc on every supported target, so declaring `signal`
+/// directly avoids a dependency for two lines of handler registration.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +90,11 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
     // Durable query-log file (off unless given).
     let qlog_path = arg_value(&args, "--qlog");
+    // Serving limits: deadline, worker pool, admission queue, drain budget.
+    let deadline_ms: Option<u64> = arg_value(&args, "--deadline-ms").and_then(|v| v.parse().ok());
+    let max_inflight: usize = arg_value(&args, "--max-inflight").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let queue_depth: usize = arg_value(&args, "--queue-depth").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let drain_ms: u64 = arg_value(&args, "--drain-ms").and_then(|v| v.parse().ok()).unwrap_or(2000);
 
     eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
     let graph: Arc<TemporalGraph> = Arc::new(generate_virtualized(VirtParams::default()).graph);
@@ -62,6 +108,10 @@ fn main() {
     }
     let mut engine = Engine::new(registry);
     engine.eval_options.threads = threads;
+    engine.default_deadline = deadline_ms.map(Duration::from_millis);
+    if let Some(ms) = deadline_ms {
+        eprintln!("per-request deadline: {ms} ms");
+    }
     engine.tracer.set_enabled(true);
     engine.tracer.set_sample_every(1);
     eprintln!("evaluator threads: {}", nepal::rpe::resolved_threads(threads));
@@ -75,14 +125,26 @@ fn main() {
     // Gremlin wire endpoint over a property-graph mirror, sharing the
     // engine's tracer so server-side request spans land in the same ring.
     let pg = Arc::new(RwLock::new(property_graph_from(&graph)));
-    let server = match GremlinServer::start_addr(pg, &format!("127.0.0.1:{gremlin_port}"), Some(engine.tracer.clone()))
-    {
+    let serve_cfg = ServeConfig {
+        workers: max_inflight.max(1),
+        queue_depth,
+        deadline: deadline_ms.map(Duration::from_millis),
+        drain: Duration::from_millis(drain_ms),
+        ..ServeConfig::default()
+    };
+    let mut server = match GremlinServer::start_cfg(
+        pg,
+        &format!("127.0.0.1:{gremlin_port}"),
+        Some(engine.tracer.clone()),
+        serve_cfg,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind gremlin server: {e}");
             std::process::exit(1);
         }
     };
+    eprintln!("serving limits: {} worker(s), queue depth {}", max_inflight.max(1), queue_depth);
     let gremlin_addr = server.addr;
     match server.connect() {
         Ok(stream) => {
@@ -121,6 +183,38 @@ fn main() {
             Ok(format!("{} request(s) served", stats.requests.load(std::sync::atomic::Ordering::Relaxed)))
         });
     }
+    {
+        // Serving-limit metrics: gauges mirror the live values; monotonic
+        // counters advance by the delta since the previous scrape so
+        // Prometheus `rate()` works even though the source is a snapshot.
+        let stats = server.stats.clone();
+        let m = &engine.metrics;
+        let shed = m.counter("nepal_serve_shed_total", "Connections shed at admission with a 503 overload frame");
+        let deadlines =
+            m.counter("nepal_serve_deadline_total", "Requests abandoned because the serving deadline passed");
+        let cancelled = m.counter("nepal_serve_cancelled_total", "In-flight requests cancelled by drain");
+        let requests = m.counter("nepal_serve_requests_total", "Requests served on the Gremlin wire endpoint");
+        let queue = m.gauge("nepal_serve_queue_depth", "Connections waiting for a serving worker");
+        let inflight = m.gauge("nepal_serve_inflight", "Requests being evaluated right now");
+        let prev = std::sync::Mutex::new([0u64; 4]);
+        telemetry.add_refresher(move || {
+            use std::sync::atomic::Ordering::Relaxed;
+            let now = [
+                stats.shed.load(Relaxed),
+                stats.deadline_timeouts.load(Relaxed),
+                stats.cancelled_inflight.load(Relaxed),
+                stats.requests.load(Relaxed),
+            ];
+            let mut p = prev.lock().unwrap();
+            shed.add(now[0].saturating_sub(p[0]));
+            deadlines.add(now[1].saturating_sub(p[1]));
+            cancelled.add(now[2].saturating_sub(p[2]));
+            requests.add(now[3].saturating_sub(p[3]));
+            *p = now;
+            queue.set(stats.queue_depth.load(Relaxed) as i64);
+            inflight.set(stats.inflight.load(Relaxed) as i64);
+        });
+    }
     let http = match TelemetryServer::start(telemetry, &format!("127.0.0.1:{http_port}")) {
         Ok(s) => s,
         Err(e) => {
@@ -147,11 +241,32 @@ fn main() {
     println!("telemetry: http://{}", http.local_addr());
     println!("try: curl -s http://{}/metrics | head", http.local_addr());
 
-    if ttl_secs == 0 {
-        loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
+    install_signal_handlers();
+
+    // Run until SIGTERM/SIGINT (or ttl expiry), polling the flag so the
+    // drain starts within ~100 ms of the signal.
+    let deadline = (ttl_secs > 0).then(|| std::time::Instant::now() + Duration::from_secs(ttl_secs));
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("signal received; draining (budget {drain_ms} ms)");
+            break;
         }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            eprintln!("ttl reached; draining (budget {drain_ms} ms)");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
     }
-    std::thread::sleep(std::time::Duration::from_secs(ttl_secs));
-    eprintln!("ttl reached; shutting down");
+
+    // Graceful drain: stop accepting, finish in-flight work within the
+    // budget, cancel stragglers through the cooperative token.
+    let report = server.drain(Duration::from_millis(drain_ms));
+    if report.clean {
+        eprintln!("drain complete: all in-flight work finished");
+    } else {
+        eprintln!("drain budget exceeded: stragglers cancelled via token");
+    }
+    if report.shed_queued > 0 {
+        eprintln!("drain shed {} queued connection(s) with overload frames", report.shed_queued);
+    }
 }
