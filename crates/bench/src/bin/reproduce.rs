@@ -19,17 +19,25 @@
 //!           # overhead over the Table-1 workload, healthy/overload alert
 //!           # outcomes; always writes BENCH_memory.json
 //! reproduce serve-load [--workers N] [--queue-depth N] [--requests N]
-//!           [--overload-x N] [--deadline-ms MS]
+//!           [--overload-x N] [--deadline-ms MS] [--overhead-gate PCT]
 //!           # overload benchmark: concurrent clients at and beyond the
 //!           # bounded server's capacity — throughput, p50/p95/p99, shed
-//!           # rate; always writes BENCH_serve.json
+//!           # rate, plus the flight-recorder on/off overhead comparison;
+//!           # always writes BENCH_serve.json; --overhead-gate exits 1 if
+//!           # the recorder costs more than PCT percent throughput
+//! reproduce crash-forensics [--dir DIR]
+//!           # crash drill: induce a caught worker panic under concurrent
+//!           # load and verify the panic hook leaves a parseable
+//!           # diagnostics bundle with events from >=2 threads; exits 1
+//!           # on any failed check (default DIR: nepal-crash-forensics)
 //! ```
 
 use nepal_bench::{
-    capture_workload, format_ablation, format_obs_report, format_query_table, format_replay, format_scaling,
-    format_serve_load, format_storage, metrics_snapshot_json, obs_report_json, query_rows_json, replay_json,
-    replay_qlog, run_obs_report, run_scaling, run_serve_load, run_storage, run_table1, run_table2, run_table3,
-    scaling_json, serve_load_json, ServeLoadConfig,
+    capture_workload, format_ablation, format_crash_report, format_flight_overhead, format_obs_report,
+    format_query_table, format_replay, format_scaling, format_serve_load, format_storage, metrics_snapshot_json,
+    obs_report_json, query_rows_json, replay_json, replay_qlog, run_crash_forensics, run_flight_overhead,
+    run_obs_report, run_scaling, run_serve_load, run_storage, run_table1, run_table2, run_table3, scaling_json,
+    serve_load_json_with_overhead, ServeLoadConfig,
 };
 use nepal_workload::LegacyParams;
 
@@ -108,10 +116,40 @@ fn main() {
         }
         let (rows, panics) = run_serve_load(&cfg, 42);
         print!("{}", format_serve_load(&rows, panics));
-        write_json("BENCH_serve.json", &serve_load_json(&rows, &cfg, panics));
+        let overhead = run_flight_overhead(&cfg, 42);
+        print!("{}", format_flight_overhead(&overhead));
+        write_json("BENCH_serve.json", &serve_load_json_with_overhead(&rows, &cfg, panics, Some(&overhead)));
         if panics != 0 {
             eprintln!("serve-load observed {panics} evaluation panic(s)");
             std::process::exit(1);
+        }
+        if let Some(gate) = flag("--overhead-gate").and_then(|v| v.parse::<f64>().ok()) {
+            if overhead.overhead_pct > gate {
+                eprintln!("flight-recorder overhead {:.2}% exceeds the {:.2}% gate", overhead.overhead_pct, gate);
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if named.iter().any(|a| *a == "crash-forensics") {
+        let dir = args
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "nepal-crash-forensics".to_string());
+        match run_crash_forensics(std::path::Path::new(&dir), 42) {
+            Ok(report) => {
+                print!("{}", format_crash_report(&report));
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("crash-forensics drill failed: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

@@ -9,13 +9,18 @@
 //! time — once against the freshly loaded snapshot and once against the
 //! database carrying a 60-day history.
 
+pub mod crash;
 pub mod obs_report;
 pub mod replay;
 pub mod serve_load;
 
+pub use crash::{format_crash_report, run_crash_forensics, CrashReport};
 pub use obs_report::{format_obs_report, obs_report_json, run_obs_report, ChurnPoint, ObsReport};
 pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, ReplayReport, ReplayRow};
-pub use serve_load::{format_serve_load, run_serve_load, serve_load_json, ServeLoadConfig, ServeLoadRow};
+pub use serve_load::{
+    format_flight_overhead, format_serve_load, run_flight_overhead, run_serve_load, serve_load_json,
+    serve_load_json_with_overhead, FlightOverhead, ServeLoadConfig, ServeLoadRow,
+};
 
 use std::time::Instant;
 

@@ -154,6 +154,76 @@ pub fn run_serve_load(cfg: &ServeLoadConfig, seed: u64) -> (Vec<ServeLoadRow>, u
     (rows, panics)
 }
 
+/// Flight-recorder overhead at capacity: the same at-capacity phase run
+/// back-to-back with the process-wide recorder off and on.
+#[derive(Debug, Clone)]
+pub struct FlightOverhead {
+    pub off: ServeLoadRow,
+    pub on: ServeLoadRow,
+    /// Throughput lost with the recorder on, percent (negative = noise in
+    /// the recorder's favour).
+    pub overhead_pct: f64,
+    /// Wide events captured during the recorder-on phase.
+    pub events_recorded: u64,
+}
+
+/// Measure the flight recorder's serving overhead: one bounded server, the
+/// at-capacity phase run twice (recorder off, then on), comparing
+/// throughput. An interleaved warm-up phase runs first so neither timed
+/// phase pays first-touch costs. Restores the recorder's previous
+/// enablement before returning.
+pub fn run_flight_overhead(cfg: &ServeLoadConfig, seed: u64) -> FlightOverhead {
+    let (snap, _) = build_virtualized(seed);
+    let pg = shared_graph(property_graph_from(&snap.graph));
+    let server_cfg = ServeConfig {
+        workers: cfg.workers.max(1),
+        queue_depth: cfg.queue_depth.max(1),
+        deadline: cfg.deadline,
+        ..ServeConfig::default()
+    };
+    let mut server = GremlinServer::start_cfg(pg, "127.0.0.1:0", None, server_cfg).expect("bind overhead server");
+    let addr = server.addr;
+    let clients = cfg.workers.max(1);
+
+    let rec = nepal_obs::flight::recorder();
+    let was_enabled = rec.is_enabled();
+    rec.set_enabled(false);
+    run_phase("warm-up", addr, clients, (cfg.requests_per_client / 4).max(2));
+    let off = run_phase("recorder-off", addr, clients, cfg.requests_per_client);
+    rec.set_enabled(true);
+    let before = rec.stats().total_written;
+    let on = run_phase("recorder-on", addr, clients, cfg.requests_per_client);
+    let events_recorded = rec.stats().total_written.saturating_sub(before);
+    rec.set_enabled(was_enabled);
+    let report = server.drain(Duration::from_millis(2000));
+    assert!(report.clean, "overhead drain must finish within its budget");
+
+    let overhead_pct = if off.throughput_rps > 0.0 {
+        (off.throughput_rps - on.throughput_rps) / off.throughput_rps * 100.0
+    } else {
+        0.0
+    };
+    FlightOverhead { off, on, overhead_pct, events_recorded }
+}
+
+/// Render the overhead comparison for the terminal.
+pub fn format_flight_overhead(o: &FlightOverhead) -> String {
+    format!(
+        "Flight-recorder overhead (at capacity, {} client(s), {} ok request(s) per phase):\n\
+         recorder off: {:>8.1} req/s  p95 {:>6} us\n\
+         recorder on:  {:>8.1} req/s  p95 {:>6} us  ({} wide event(s) captured)\n\
+         overhead: {:.2}% throughput\n",
+        o.off.clients,
+        o.off.ok,
+        o.off.throughput_rps,
+        o.off.p95_us,
+        o.on.throughput_rps,
+        o.on.p95_us,
+        o.events_recorded,
+        o.overhead_pct
+    )
+}
+
 /// Human-readable table.
 pub fn format_serve_load(rows: &[ServeLoadRow], stats_panics: u64) -> String {
     let mut s = String::new();
@@ -194,6 +264,17 @@ pub fn format_serve_load(rows: &[ServeLoadRow], stats_panics: u64) -> String {
 
 /// The `BENCH_serve.json` document.
 pub fn serve_load_json(rows: &[ServeLoadRow], cfg: &ServeLoadConfig, panics: u64) -> String {
+    serve_load_json_with_overhead(rows, cfg, panics, None)
+}
+
+/// [`serve_load_json`] optionally embedding a flight-recorder overhead
+/// comparison (the `"flight_overhead"` key).
+pub fn serve_load_json_with_overhead(
+    rows: &[ServeLoadRow],
+    cfg: &ServeLoadConfig,
+    panics: u64,
+    overhead: Option<&FlightOverhead>,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"config\": {{\"workers\": {}, \"queue_depth\": {}, \"requests_per_client\": {}, \"overload_x\": {}, \
@@ -226,7 +307,16 @@ pub fn serve_load_json(rows: &[ServeLoadRow], cfg: &ServeLoadConfig, panics: u64
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    match overhead {
+        Some(o) => s.push_str(&format!(
+            "  \"flight_overhead\": {{\"off_rps\": {:.1}, \"on_rps\": {:.1}, \"off_p95_us\": {}, \
+             \"on_p95_us\": {}, \"events_recorded\": {}, \"overhead_pct\": {:.2}}}\n",
+            o.off.throughput_rps, o.on.throughput_rps, o.off.p95_us, o.on.p95_us, o.events_recorded, o.overhead_pct
+        )),
+        None => s.push_str("  \"flight_overhead\": null\n"),
+    }
+    s.push_str("}\n");
     s
 }
 

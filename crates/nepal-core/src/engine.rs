@@ -137,6 +137,9 @@ pub struct Engine {
     /// Named pathway views (§3.4: "Additional views can be defined").
     views: HashMap<String, Query>,
     view_depth: u8,
+    /// Chosen anchor of the most recently planned variable — carried into
+    /// the flight recorder's `query_end` wide event.
+    last_anchor: String,
 }
 
 struct VarEval {
@@ -197,6 +200,7 @@ impl Engine {
             feedback,
             views: HashMap::new(),
             view_depth: 0,
+            last_anchor: String::new(),
         }
     }
 
@@ -276,6 +280,9 @@ impl Engine {
         if self.qlog.is_some() {
             return self.query_profiled(text).map(|(r, _)| r);
         }
+        if nepal_obs::flight::recorder().is_enabled() {
+            nepal_obs::flight::emit(nepal_obs::FlightKind::QueryStart, fingerprint(text), 0, 0, "");
+        }
         let root = self.tracer.start_trace(text);
         let trace_id = root.trace_id();
         let t0 = Instant::now();
@@ -297,6 +304,9 @@ impl Engine {
     /// Parse and execute a query with full profiling (the `EXPLAIN ANALYZE`
     /// path): phase timings, anchor candidates, per-operator statistics.
     pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, QueryProfile)> {
+        if nepal_obs::flight::recorder().is_enabled() {
+            nepal_obs::flight::emit(nepal_obs::FlightKind::QueryStart, fingerprint(text), 0, 0, "");
+        }
         let root = self.tracer.start_trace(text);
         let trace_id = root.trace_id();
         let t0 = Instant::now();
@@ -362,12 +372,15 @@ impl Engine {
     /// `nepal_query_cancelled_total`).
     fn note_cancellation_metrics(&self, e: &NepalError) {
         match e {
-            NepalError::DeadlineExceeded => self
-                .metrics
-                .counter("nepal_query_deadline_total", "Queries abandoned because their deadline passed")
-                .inc(),
+            NepalError::DeadlineExceeded => {
+                self.metrics
+                    .counter("nepal_query_deadline_total", "Queries abandoned because their deadline passed")
+                    .inc();
+                nepal_obs::flight::emit(nepal_obs::FlightKind::DeadlineTrip, 0, 0, 0, "engine");
+            }
             NepalError::Cancelled => {
-                self.metrics.counter("nepal_query_cancelled_total", "Queries abandoned by explicit cancellation").inc()
+                self.metrics.counter("nepal_query_cancelled_total", "Queries abandoned by explicit cancellation").inc();
+                nepal_obs::flight::emit(nepal_obs::FlightKind::CancelTrip, 0, 0, 0, "engine");
             }
             _ => {}
         }
@@ -375,6 +388,15 @@ impl Engine {
 
     fn record_query_metrics(&mut self, text: &str, total_ns: u64, rows: Option<u64>, trace_id: Option<u64>) {
         self.metrics.counter("nepal_queries_total", "Queries executed").inc();
+        if nepal_obs::flight::recorder().is_enabled() {
+            let fp = fingerprint(text);
+            match rows {
+                Some(n) => {
+                    nepal_obs::flight::emit(nepal_obs::FlightKind::QueryEnd, fp, total_ns / 1_000, n, &self.last_anchor)
+                }
+                None => nepal_obs::flight::emit(nepal_obs::FlightKind::QueryError, fp, total_ns / 1_000, 0, ""),
+            }
+        }
         match rows {
             Some(n) => {
                 self.metrics.histogram("nepal_query_duration_ns", "Query latency in nanoseconds").observe(total_ns);
@@ -488,6 +510,9 @@ impl Engine {
             let var_span = plan_span.child(&format!("plan:{}", s.var));
             let plan = plan_rpe_threads(backend.schema(), rpe, &BackendEstimator(backend), &var_span, threads)?;
             var_span.attr("anchor_cost", format!("{:.1}", plan.anchor.cost));
+            if nepal_obs::flight::recorder().is_enabled() {
+                self.last_anchor = plan.anchor_desc(&plan.anchor);
+            }
             drop(var_span);
             if let Some(p) = profile.as_deref_mut() {
                 let anchors = plan

@@ -115,7 +115,14 @@ pub fn load_graph<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<Temporal
 /// *followed* by valid records is still a hard error — only a trailing
 /// tear is recoverable.
 pub fn load_graph_lenient<R: BufRead>(schema: Arc<Schema>, r: &mut R) -> Result<(TemporalGraph, Option<TornTail>)> {
-    load_graph_inner(schema, r, true)
+    let (g, torn) = load_graph_inner(schema, r, true)?;
+    if let Some(t) = &torn {
+        // Recovery is an operational event, not just a warning: bump the
+        // process counter behind `nepal_journal_torn_tail_total` and leave
+        // a wide event in the flight recorder.
+        nepal_obs::flight::note_journal_torn_tail(t.line as u64, t.dropped_lines as u64);
+    }
+    Ok((g, torn))
 }
 
 fn load_graph_inner<R: BufRead>(

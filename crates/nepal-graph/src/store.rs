@@ -437,6 +437,7 @@ impl TemporalGraph {
         acct.versions += 1;
         acct.bytes += heap;
         self.adj_bytes += ADJ_NODE_BYTES;
+        nepal_obs::flight::emit(nepal_obs::FlightKind::JournalMutation, uid.0, class.0 as u64, 0, "insert_node");
         Ok(uid)
     }
 
@@ -486,6 +487,7 @@ impl TemporalGraph {
         acct.versions += 1;
         acct.bytes += heap;
         self.adj_bytes += 2 * ADJ_ENTRY_BYTES + (new_out as u64 + new_in as u64) * ADJ_BUCKET_BYTES;
+        nepal_obs::flight::emit(nepal_obs::FlightKind::JournalMutation, uid.0, class.0 as u64, 0, "insert_edge");
         Ok(uid)
     }
 
@@ -552,6 +554,7 @@ impl TemporalGraph {
             acct.versions += 1;
             acct.bytes += VERSION_BYTES + new_heap;
         }
+        nepal_obs::flight::emit(nepal_obs::FlightKind::JournalMutation, uid.0, class.0 as u64, 0, "update");
         Ok(())
     }
 
@@ -600,6 +603,7 @@ impl TemporalGraph {
             last.span = Interval::new(last.span.from, ts);
         }
         self.alive[class.0 as usize] = self.alive[class.0 as usize].saturating_sub(1);
+        nepal_obs::flight::emit(nepal_obs::FlightKind::JournalMutation, uid.0, class.0 as u64, 0, "delete");
         Ok(())
     }
 

@@ -16,7 +16,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use nepal_obs::{Tracer, TRACK_SERVER};
+use nepal_obs::{FlightKind, Tracer, TRACK_SERVER};
 use nepal_rpe::{CancelCause, CancelToken};
 use parking_lot::RwLock;
 
@@ -26,6 +26,12 @@ use crate::protocol::{
     batch_responses, overload_response, response, status, write_frame_counted, FrameReader, ProtoError,
 };
 use crate::traversal::{bytecode_from_json, evaluate_cancel, EvalError};
+
+/// Magic `requestId` that makes evaluation panic inside the worker's panic
+/// barrier — the induced-fault hook used by crash-forensics drills (the
+/// request is answered with status 500; the process-wide panic hook still
+/// runs, so a flight-recorder snapshot is written if one is installed).
+pub const CHAOS_PANIC_REQUEST_ID: &str = "__chaos_panic__";
 
 /// Shared server-side wire counters (one instance per server, updated by
 /// every connection thread).
@@ -173,6 +179,13 @@ pub fn handle_request_cancel_timed(
 ) -> (Vec<Json>, Option<CancelCause>) {
     let t0 = timing.is_some().then(Instant::now);
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
+    // Chaos hook for crash-forensics drills: a request carrying this magic
+    // id panics inside the worker's panic barrier, exercising the flight
+    // recorder's panic-triggered snapshot path end to end while the server
+    // answers 500 and lives on.
+    if request_id == CHAOS_PANIC_REQUEST_ID {
+        panic!("chaos: induced evaluation panic ({CHAOS_PANIC_REQUEST_ID})");
+    }
     let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("");
     let err = |msg: &str| (vec![response(&request_id, status::SERVER_ERROR, msg, Vec::new())], None);
     let gremlin = match req.get("args").and_then(|a| a.get("gremlin")) {
@@ -269,12 +282,13 @@ pub fn handle_request_ctl(
     timing: Option<&mut Vec<(String, u64, u64)>>,
 ) -> Vec<Json> {
     let request_id = req.get("requestId").and_then(|j| j.as_str()).unwrap_or("").to_string();
+    let t0 = Instant::now();
     stats.inflight.fetch_add(1, Ordering::Relaxed);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         handle_request_cancel_timed(graph, req, cancel, timing)
     }));
     stats.inflight.fetch_sub(1, Ordering::Relaxed);
-    match result {
+    let frames = match result {
         Ok((frames, cause)) => {
             match cause {
                 Some(CancelCause::Deadline) => {
@@ -291,7 +305,23 @@ pub fn handle_request_ctl(
             stats.evaluation_panics.fetch_add(1, Ordering::Relaxed);
             vec![response(&request_id, status::SERVER_ERROR, "internal error: request evaluation panicked", Vec::new())]
         }
+    };
+    if nepal_obs::flight::recorder().is_enabled() {
+        let code = frames
+            .last()
+            .and_then(|f| f.get("status"))
+            .and_then(|s| s.get("code"))
+            .and_then(|c| c.as_u64())
+            .unwrap_or(0);
+        nepal_obs::flight::emit(
+            FlightKind::RequestDone,
+            code,
+            t0.elapsed().as_micros() as u64,
+            frames.len() as u64,
+            &request_id,
+        );
     }
+    frames
 }
 
 /// Serve one connection until EOF.
@@ -526,6 +556,14 @@ impl GremlinServer {
                         stream.set_write_timeout(Some(Duration::from_millis(1000))).ok();
                         if let Err(mut s) = q.push(stream) {
                             shed_connection(&mut s, &st, retry_ms);
+                        } else if nepal_obs::flight::recorder().is_enabled() {
+                            nepal_obs::flight::emit(
+                                FlightKind::AdmissionAccept,
+                                st.queue_depth.load(Ordering::Relaxed),
+                                0,
+                                0,
+                                "accept",
+                            );
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -579,6 +617,14 @@ impl GremlinServer {
     /// overload frames, let in-flight work finish within `budget`, then
     /// cancel stragglers through the drain token and join every worker.
     pub fn drain(&mut self, budget: Duration) -> DrainReport {
+        let t0 = Instant::now();
+        nepal_obs::flight::emit(
+            FlightKind::DrainStart,
+            budget.as_millis() as u64,
+            self.stats.inflight.load(Ordering::Relaxed),
+            self.stats.queue_depth.load(Ordering::Relaxed),
+            "drain",
+        );
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
@@ -607,6 +653,13 @@ impl GremlinServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        nepal_obs::flight::emit(
+            FlightKind::DrainEnd,
+            clean as u64,
+            shed_queued,
+            t0.elapsed().as_millis() as u64,
+            if clean { "clean" } else { "forced" },
+        );
         DrainReport { clean, shed_queued }
     }
 }
@@ -615,6 +668,13 @@ impl GremlinServer {
 /// effort — the client may already be gone) and count it.
 fn shed_connection(s: &mut TcpStream, stats: &ServerStats, retry_after_ms: u64) {
     stats.shed.fetch_add(1, Ordering::Relaxed);
+    nepal_obs::flight::emit(
+        FlightKind::AdmissionShed,
+        stats.queue_depth.load(Ordering::Relaxed),
+        retry_after_ms,
+        0,
+        "queue-full",
+    );
     s.set_write_timeout(Some(Duration::from_millis(200))).ok();
     let frame = overload_response("", "server overloaded: connection queue full", retry_after_ms);
     let _ = write_frame_counted(s, &frame);

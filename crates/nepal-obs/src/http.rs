@@ -19,6 +19,9 @@
 //! | `/traces`        | stored trace summaries                          |
 //! | `/traces/latest` | newest trace as Chrome trace-event JSON         |
 //! | `/traces/<id>`   | one trace as Chrome trace-event JSON            |
+//! | `/flight`        | flight-recorder wide events (`?secs=`, `?limit=`) |
+//! | `/snapshot`      | GET lists bundles; POST writes one on demand    |
+//! | `/drain`         | the final drain report, once recorded           |
 //!
 //! `/healthz` is a *deep* readiness check: it runs every registered
 //! health check, refreshes pull-gauges, evaluates the attached SLO rules,
@@ -32,13 +35,16 @@
 //! concurrent scrapes. Request handling is pure (`Telemetry::handle`) so
 //! the routing is testable without a socket.
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
+use crate::flight::{self, FlightKind, FlightRecorder};
 use crate::metrics::MetricsRegistry;
 use crate::profile::{fmt_ns, SlowQueryLog};
 use crate::qlog::{EstimateFeedback, QueryLog};
@@ -86,6 +92,24 @@ struct QlogState {
     log: Option<Arc<QueryLog>>,
 }
 
+/// Where anomaly-triggered diagnostics bundles land, and how much flight
+/// history each carries.
+#[derive(Debug, Clone)]
+pub struct SnapshotConfig {
+    /// Directory for `snapshot-*.json` bundles (created on first write).
+    pub dir: PathBuf,
+    /// Bundles retained; the oldest are deleted past this (0 = unbounded).
+    pub keep: usize,
+    /// Trailing window of wide events included in each bundle.
+    pub window: Duration,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig { dir: PathBuf::from("nepal-snapshots"), keep: 8, window: Duration::from_secs(30) }
+    }
+}
+
 /// Everything the telemetry endpoint can serve.
 pub struct Telemetry {
     pub metrics: Arc<MetricsRegistry>,
@@ -96,6 +120,19 @@ pub struct Telemetry {
     qlog: Mutex<Option<QlogState>>,
     slo: Mutex<Option<Arc<SloEngine>>>,
     resources: Mutex<Option<ResourceProvider>>,
+    flight: Mutex<Option<FlightRecorder>>,
+    snapshots: Mutex<Option<SnapshotConfig>>,
+    /// Static config/build facts embedded in every bundle.
+    build_info: Mutex<Vec<(String, String)>>,
+    /// Final drain report (JSON object), set at shutdown; served on `/drain`.
+    drain: Mutex<Option<String>>,
+    /// Alert names currently firing — tracks *entry* into firing so the
+    /// alert trigger snapshots once per episode, not per scrape.
+    firing_seen: Mutex<HashSet<String>>,
+    /// Epoch ms of the last alert-triggered snapshot (debounce).
+    alert_snap_ms: AtomicU64,
+    /// Monotonic suffix keeping bundle filenames unique within one ms.
+    snap_counter: AtomicU64,
 }
 
 const CT_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
@@ -104,7 +141,7 @@ const CT_HTML: &str = "text/html; charset=utf-8";
 
 impl Telemetry {
     pub fn new(metrics: Arc<MetricsRegistry>, slow: Arc<SlowQueryLog>, tracer: Tracer) -> Telemetry {
-        Telemetry {
+        let t = Telemetry {
             metrics,
             slow,
             tracer,
@@ -113,7 +150,54 @@ impl Telemetry {
             qlog: Mutex::new(None),
             slo: Mutex::new(None),
             resources: Mutex::new(None),
-        }
+            flight: Mutex::new(None),
+            snapshots: Mutex::new(None),
+            build_info: Mutex::new(Vec::new()),
+            drain: Mutex::new(None),
+            firing_seen: Mutex::new(HashSet::new()),
+            alert_snap_ms: AtomicU64::new(0),
+            snap_counter: AtomicU64::new(0),
+        };
+        // Torn-tail recoveries happen at load time, before any registry
+        // exists, so they live in process-global counters; export them as
+        // real metrics via a delta refresher.
+        let journal =
+            t.metrics.counter("nepal_journal_torn_tail_total", "Journal loads that dropped a torn trailing record");
+        let qlog =
+            t.metrics.counter("nepal_qlog_torn_tail_total", "Query-log reads that dropped a torn trailing record");
+        let (prev_j, prev_q) = (AtomicU64::new(0), AtomicU64::new(0));
+        t.add_refresher(move || {
+            let cur = flight::JOURNAL_TORN_TAIL.load(Ordering::Relaxed);
+            journal.add(cur.saturating_sub(prev_j.swap(cur, Ordering::Relaxed)));
+            let cur = flight::QLOG_TORN_TAIL.load(Ordering::Relaxed);
+            qlog.add(cur.saturating_sub(prev_q.swap(cur, Ordering::Relaxed)));
+        });
+        t
+    }
+
+    /// Attach the flight recorder: `/flight` serves its stitched stream
+    /// and every snapshot bundle embeds the trailing event window.
+    pub fn set_flight(&self, recorder: FlightRecorder) {
+        *self.flight.lock().unwrap_or_else(|e| e.into_inner()) = Some(recorder);
+    }
+
+    /// Enable anomaly-triggered snapshot bundles (see [`SnapshotConfig`]).
+    /// Once set, `POST /snapshot`, a firing alert, the panic hook, and
+    /// SIGQUIT all dump bundles into `cfg.dir`.
+    pub fn set_snapshots(&self, cfg: SnapshotConfig) {
+        *self.snapshots.lock().unwrap_or_else(|e| e.into_inner()) = Some(cfg);
+    }
+
+    /// Static config/build facts (`version`, flags, …) embedded in every
+    /// snapshot bundle under `"build"`.
+    pub fn set_build_info(&self, info: Vec<(String, String)>) {
+        *self.build_info.lock().unwrap_or_else(|e| e.into_inner()) = info;
+    }
+
+    /// Record the final drain report (a JSON object string) so `/drain`
+    /// and the shutdown snapshot can serve it.
+    pub fn set_drain_json(&self, json: String) {
+        *self.drain.lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
     }
 
     /// Attach the engine's plan-feedback aggregator (and the durable log
@@ -152,9 +236,151 @@ impl Telemetry {
         }
     }
 
-    fn evaluate_slo(&self) -> Option<Vec<AlertStatus>> {
+    /// Evaluate the attached SLO engine without triggering the snapshot
+    /// hook — used from inside `snapshot()` to avoid recursion.
+    fn evaluate_slo_raw(&self) -> Option<Vec<AlertStatus>> {
         let slo = self.slo.lock().unwrap_or_else(|e| e.into_inner()).clone();
         slo.map(|s| s.evaluate())
+    }
+
+    fn evaluate_slo(&self) -> Option<Vec<AlertStatus>> {
+        let statuses = self.evaluate_slo_raw();
+        if let Some(sts) = &statuses {
+            self.maybe_snapshot_on_firing(sts);
+        }
+        statuses
+    }
+
+    /// An alert *entering* firing dumps one diagnostics bundle, debounced
+    /// to at most one alert-triggered snapshot per 30 s.
+    fn maybe_snapshot_on_firing(&self, statuses: &[AlertStatus]) {
+        let firing: HashSet<String> = statuses.iter().filter(|a| a.state.is_firing()).map(|a| a.name.clone()).collect();
+        let newly: Vec<String> = {
+            let mut seen = self.firing_seen.lock().unwrap_or_else(|e| e.into_inner());
+            let newly = firing.difference(&seen).cloned().collect();
+            *seen = firing;
+            newly
+        };
+        if newly.is_empty() || self.snapshots.lock().unwrap_or_else(|e| e.into_inner()).is_none() {
+            return;
+        }
+        let now = unix_ms();
+        let last = self.alert_snap_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < 30_000 {
+            return;
+        }
+        if self.alert_snap_ms.compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            let _ = self.snapshot(&format!("alert-{}", newly[0]));
+        }
+    }
+
+    /// List snapshot bundles on disk, oldest first: `(file name, bytes,
+    /// modified unix ms)`.
+    pub fn list_snapshots(&self) -> Vec<(String, u64, u64)> {
+        let dir = match &*self.snapshots.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(cfg) => cfg.dir.clone(),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.starts_with("snapshot-") || !name.ends_with(".json") {
+                    continue;
+                }
+                let (bytes, modified) = entry
+                    .metadata()
+                    .map(|m| {
+                        let ms = m
+                            .modified()
+                            .ok()
+                            .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+                            .map(|d| d.as_millis() as u64)
+                            .unwrap_or(0);
+                        (m.len(), ms)
+                    })
+                    .unwrap_or((0, 0));
+                out.push((name, bytes, modified));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Write one diagnostics bundle and rotate the directory. Returns the
+    /// bundle path, or an error when snapshots are not configured.
+    pub fn snapshot(&self, trigger: &str) -> std::io::Result<PathBuf> {
+        let cfg = match &*self.snapshots.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(cfg) => cfg.clone(),
+            None => {
+                return Err(std::io::Error::new(std::io::ErrorKind::NotFound, "snapshots not configured"));
+            }
+        };
+        self.refresh();
+        let body = self.render_bundle(trigger, &cfg);
+        std::fs::create_dir_all(&cfg.dir)?;
+        let safe: String =
+            trigger.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' }).collect();
+        let n = self.snap_counter.fetch_add(1, Ordering::Relaxed);
+        let path = cfg.dir.join(format!("snapshot-{:013}-{n:04}-{safe}.json", unix_ms()));
+        std::fs::write(&path, body)?;
+        if cfg.keep > 0 {
+            let bundles = self.list_snapshots();
+            for (name, _, _) in bundles.iter().take(bundles.len().saturating_sub(cfg.keep)) {
+                let _ = std::fs::remove_file(cfg.dir.join(name));
+            }
+        }
+        flight::emit(FlightKind::Snapshot, 0, 0, 0, trigger);
+        Ok(path)
+    }
+
+    /// Compose the bundle document: everything an on-call engineer needs
+    /// to reconstruct the seconds before an anomaly, in one JSON file.
+    fn render_bundle(&self, trigger: &str, cfg: &SnapshotConfig) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("\"trigger\":\"{}\",\n\"written_unix_ms\":{},\n", esc(trigger), unix_ms()));
+        let build = self.build_info.lock().unwrap_or_else(|e| e.into_inner());
+        s.push_str("\"build\":{");
+        for (i, (k, v)) in build.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":\"{}\"", esc(k), esc(v)));
+        }
+        drop(build);
+        s.push_str("},\n");
+        let flight = self.flight.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match flight {
+            Some(rec) => {
+                s.push_str("\"flight\":");
+                s.push_str(rec.render_json(cfg.window, 5000).trim_end());
+                s.push_str(",\n");
+            }
+            None => s.push_str("\"flight\":null,\n"),
+        }
+        s.push_str("\"metrics\":");
+        s.push_str(self.metrics.render_json().trim_end());
+        s.push_str(",\n\"alerts\":");
+        match self.evaluate_slo_raw() {
+            Some(statuses) => s.push_str(alerts_json(&statuses).trim_end()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\n\"slow\":");
+        s.push_str(self.slow.render_json().trim_end());
+        s.push_str(",\n\"traces\":");
+        s.push_str(summaries_json(&self.tracer.summaries()).trim_end());
+        s.push_str(",\n\"resources\":");
+        match self.resource_summary() {
+            Some(r) => s.push_str(&resources_json(&r)),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\n\"drain\":");
+        match &*self.drain.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(d) => s.push_str(d.trim_end()),
+            None => s.push_str("null"),
+        }
+        s.push_str("\n}\n");
+        s
     }
 
     fn resource_summary(&self) -> Option<ResourceSummary> {
@@ -340,18 +566,128 @@ impl Telemetry {
             }
             b.push_str("</ul>");
         }
+        // Flight recorder: the newest wide events, stitched across threads.
+        b.push_str("<h2>flight recorder</h2>");
+        match self.flight.lock().unwrap_or_else(|e| e.into_inner()).clone() {
+            Some(rec) => {
+                let stats = rec.stats();
+                b.push_str(&format!(
+                    "<p>{} thread ring(s), {} event(s) recorded ({} dropped by wrap-around)</p>",
+                    stats.rings.len(),
+                    stats.total_written,
+                    stats.total_dropped
+                ));
+                let events = rec.events_since(Duration::from_secs(60));
+                if events.is_empty() {
+                    b.push_str("<p>no wide events in the last 60s</p>");
+                } else {
+                    b.push_str("<table><tr><th>seq</th><th>age</th><th>thread</th><th class=l>kind</th><th class=l>detail</th></tr>");
+                    let now = rec.now_us();
+                    for e in events.iter().rev().take(15) {
+                        b.push_str(&format!(
+                            "<tr><td>{}</td><td>{:.1}s</td><td>{}</td><td class=l>{}</td><td class=l><code>{}</code></td></tr>",
+                            e.seq,
+                            now.saturating_sub(e.ts_us) as f64 / 1e6,
+                            e.thread,
+                            e.kind.name(),
+                            html_esc(&e.describe())
+                        ));
+                    }
+                    b.push_str("</table>");
+                }
+            }
+            None => b.push_str("<p>no flight recorder attached</p>"),
+        }
+        // Snapshot bundles on disk.
+        b.push_str("<h2>diagnostics snapshots</h2>");
+        if self.snapshots.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+            let bundles = self.list_snapshots();
+            if bundles.is_empty() {
+                b.push_str("<p>no bundles written (POST /snapshot to force one)</p>");
+            } else {
+                b.push_str("<table><tr><th class=l>bundle</th><th>size</th></tr>");
+                for (name, bytes, _) in bundles.iter().rev().take(10) {
+                    b.push_str(&format!(
+                        "<tr><td class=l><code>{}</code></td><td>{}</td></tr>",
+                        html_esc(name),
+                        fmt_bytes(*bytes)
+                    ));
+                }
+                b.push_str("</table>");
+            }
+        } else {
+            b.push_str("<p>snapshots not configured</p>");
+        }
+        if let Some(d) = &*self.drain.lock().unwrap_or_else(|e| e.into_inner()) {
+            b.push_str("<h2>drain report</h2>");
+            b.push_str(&format!("<p><code>{}</code></p>", html_esc(d.trim_end())));
+        }
         b.push_str(
             "<p><a href=\"/metrics\">/metrics</a> · <a href=\"/alerts\">/alerts</a> · \
              <a href=\"/healthz\">/healthz</a> · <a href=\"/slow\">/slow</a> · \
-             <a href=\"/qlog\">/qlog</a> · <a href=\"/traces\">/traces</a></p></body></html>",
+             <a href=\"/qlog\">/qlog</a> · <a href=\"/traces\">/traces</a> · \
+             <a href=\"/flight\">/flight</a> · <a href=\"/snapshot\">/snapshot</a></p></body></html>",
         );
         b
     }
 
-    /// Route a request path to `(status, content-type, body)`.
-    pub fn handle(&self, path: &str) -> (u16, &'static str, String) {
+    /// Route a `POST` request path to `(status, content-type, body)`.
+    /// Only `/snapshot` accepts POST: it writes a bundle on demand.
+    pub fn handle_post(&self, path: &str) -> (u16, &'static str, String) {
         let path = path.split('?').next().unwrap_or(path);
         match path {
+            "/snapshot" => match self.snapshot("http") {
+                Ok(p) => (200, CT_JSON, format!("{{\"written\":\"{}\"}}\n", esc(&p.display().to_string()))),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    (404, CT_JSON, "{\"error\":\"snapshots not configured\"}\n".to_string())
+                }
+                Err(e) => (500, CT_JSON, format!("{{\"error\":\"{}\"}}\n", esc(&e.to_string()))),
+            },
+            _ => (405, CT_TEXT, "POST is supported only on /snapshot\n".to_string()),
+        }
+    }
+
+    /// Route a request path to `(status, content-type, body)`.
+    pub fn handle(&self, path: &str) -> (u16, &'static str, String) {
+        let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
+        let path = path.split('?').next().unwrap_or(path);
+        match path {
+            "/flight" => match self.flight.lock().unwrap_or_else(|e| e.into_inner()).clone() {
+                Some(rec) => {
+                    let secs = query_param(query, "secs").and_then(|v| v.parse().ok()).unwrap_or(60);
+                    let limit = query_param(query, "limit").and_then(|v| v.parse().ok()).unwrap_or(500);
+                    (200, CT_JSON, rec.render_json(Duration::from_secs(secs), limit))
+                }
+                None => (404, CT_JSON, "{\"error\":\"no flight recorder attached\"}\n".to_string()),
+            },
+            "/snapshot" => {
+                if self.snapshots.lock().unwrap_or_else(|e| e.into_inner()).is_none() {
+                    return (404, CT_JSON, "{\"error\":\"snapshots not configured\"}\n".to_string());
+                }
+                let dir = self
+                    .snapshots
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                    .map(|c| c.dir.display().to_string())
+                    .unwrap_or_default();
+                let mut s = format!("{{\"dir\":\"{}\",\"bundles\":[", esc(&dir));
+                for (i, (name, bytes, modified)) in self.list_snapshots().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"file\":\"{}\",\"bytes\":{bytes},\"modified_unix_ms\":{modified}}}",
+                        esc(name)
+                    ));
+                }
+                s.push_str("]}\n");
+                (200, CT_JSON, s)
+            }
+            "/drain" => match &*self.drain.lock().unwrap_or_else(|e| e.into_inner()) {
+                Some(d) => (200, CT_JSON, format!("{}\n", d.trim_end())),
+                None => (404, CT_JSON, "{\"error\":\"no drain recorded\"}\n".to_string()),
+            },
             "/metrics" => {
                 self.refresh();
                 (200, CT_TEXT, self.metrics.render_prometheus())
@@ -414,6 +750,55 @@ impl Telemetry {
 
 fn html_esc(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// `query_param("secs=5&limit=9", "secs")` → `Some("5")`.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+}
+
+fn resources_json(r: &ResourceSummary) -> String {
+    format!(
+        "{{\"total_bytes\":{},\"entity_bytes\":{},\"adjacency_bytes\":{},\"unique_index_bytes\":{},\
+         \"journal_bytes\":{},\"classes\":{}}}",
+        r.total_bytes,
+        r.entity_bytes,
+        r.adjacency_bytes,
+        r.unique_index_bytes,
+        r.journal_bytes,
+        r.classes.len()
+    )
+}
+
+static PANIC_HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Install a chaining panic hook that emits a `panic` wide event and
+/// dumps a diagnostics bundle before the previous hook (backtrace print)
+/// runs. Panics *caught* downstream (e.g. the serving panic barrier)
+/// still pass through here, so an evaluation panic under load leaves a
+/// bundle behind. Installs at most once per process; later calls are
+/// no-ops.
+pub fn install_panic_hook(telemetry: Arc<Telemetry>) {
+    if PANIC_HOOK_INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let current = std::thread::current();
+        flight::emit(FlightKind::Panic, 0, 0, 0, current.name().unwrap_or("anon"));
+        // Re-entrancy guard: a panic inside the snapshot writer must not
+        // recurse into another snapshot.
+        static IN_HOOK: AtomicBool = AtomicBool::new(false);
+        if !IN_HOOK.swap(true, Ordering::SeqCst) {
+            let _ = telemetry.snapshot("panic");
+            IN_HOOK.store(false, Ordering::SeqCst);
+        }
+        prev(info);
+    }));
 }
 
 fn truncate(s: &str, max: usize) -> String {
@@ -500,15 +885,16 @@ fn serve_connection(telemetry: &Telemetry, mut stream: TcpStream) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    if method != "GET" {
-        respond(&mut stream, 405, CT_TEXT, "only GET is supported\n");
+    if method != "GET" && method != "POST" {
+        respond(&mut stream, 405, CT_TEXT, "only GET and POST are supported\n");
         return;
     }
     if path.is_empty() {
         respond(&mut stream, 400, CT_TEXT, "malformed request line\n");
         return;
     }
-    let (code, content_type, body) = telemetry.handle(path);
+    let (code, content_type, body) =
+        if method == "POST" { telemetry.handle_post(path) } else { telemetry.handle(path) };
     if code == 503 {
         // Not-ready/firing responses carry a retry hint like shed ones.
         respond_with(&mut stream, code, content_type, &body, &[("Retry-After", "1")]);

@@ -25,12 +25,17 @@
 //!   ([`QlogRecord`]) with bounded rotation ([`QueryLog`]), normalized
 //!   query [`fingerprint`]s, and the per-fingerprint planner
 //!   estimate-vs-actual q-error aggregator ([`EstimateFeedback`]).
+//! - [`flight`] — the black-box flight recorder: per-thread lock-free
+//!   rings of compact wide events ([`WideEvent`]) stitched into one
+//!   chronological stream, plus anomaly-triggered diagnostics snapshot
+//!   bundles (panic hook, firing alert, SIGQUIT, `POST /snapshot`).
 //! - [`slo`] — declarative SLO rules ([`SloRule`]) evaluated by the
 //!   pull-time burn-rate engine ([`SloEngine`]): latency-quantile,
 //!   error-rate, memory-watermark and probe ceilings with
 //!   firing/pending/resolved alert state, exported as
 //!   `nepal_alerts_firing` and served at `/alerts`.
 
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod profile;
@@ -38,7 +43,10 @@ pub mod qlog;
 pub mod slo;
 pub mod trace;
 
-pub use http::{fmt_bytes, ResourceClass, ResourceSummary, Telemetry, TelemetryServer};
+pub use flight::{FlightHandle, FlightKind, FlightRecorder, FlightStats, WideEvent, DEFAULT_RING_EVENTS};
+pub use http::{
+    fmt_bytes, install_panic_hook, ResourceClass, ResourceSummary, SnapshotConfig, Telemetry, TelemetryServer,
+};
 pub use metrics::{quantile_from_counts, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use profile::{
     fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,

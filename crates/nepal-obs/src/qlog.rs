@@ -561,7 +561,11 @@ impl QueryLog {
                 Some(r) => out.push(r),
                 None if i + 1 == lines.len() && !text.ends_with('\n') => {
                     // Unterminated final line: a partial append, not data
-                    // corruption. Recover everything before it.
+                    // corruption. Recover everything before it, and make
+                    // the recovery observable (`nepal_qlog_torn_tail_total`
+                    // plus a flight-recorder wide event) instead of
+                    // warn-only.
+                    crate::flight::note_qlog_torn_tail(i as u64 + 1);
                     eprintln!(
                         "warning: query log `{}` has a torn trailing line ({} bytes); skipping it",
                         path.display(),

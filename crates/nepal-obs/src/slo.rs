@@ -119,6 +119,16 @@ impl AlertState {
     pub fn is_firing(&self) -> bool {
         matches!(self, AlertState::Firing { .. })
     }
+
+    /// Compact numeric code used in flight-recorder event payloads.
+    pub fn code(&self) -> u64 {
+        match self {
+            AlertState::Ok => 0,
+            AlertState::Pending { .. } => 1,
+            AlertState::Firing { .. } => 2,
+            AlertState::Resolved { .. } => 3,
+        }
+    }
 }
 
 /// One rule's outcome at an evaluation.
@@ -192,6 +202,13 @@ impl SloEngine {
             rs.state = step(rs.state, breach, now_ms, rs.rule.for_ms, rs.rule.clear_ms);
             if rs.state != before {
                 self.transitions.inc();
+                crate::flight::emit(
+                    crate::flight::FlightKind::AlertTransition,
+                    before.code(),
+                    rs.state.code(),
+                    0,
+                    &rs.rule.name,
+                );
             }
             if rs.state.is_firing() {
                 firing += 1;

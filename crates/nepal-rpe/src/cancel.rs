@@ -63,14 +63,18 @@ impl Inner {
             // Saturating decrement: the first poll to observe 0 trips.
             let prev = self.budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1)).ok();
             if prev == Some(0) || prev.is_none() {
-                self.flag.store(true, Ordering::Relaxed);
+                if !self.flag.swap(true, Ordering::Relaxed) {
+                    nepal_obs::flight::emit(nepal_obs::FlightKind::CancelTrip, 0, 0, 0, "poll-budget");
+                }
                 return Some(CancelCause::Explicit);
             }
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
                 self.flag_cause.store(true, Ordering::Relaxed);
-                self.flag.store(true, Ordering::Relaxed);
+                if !self.flag.swap(true, Ordering::Relaxed) {
+                    nepal_obs::flight::emit(nepal_obs::FlightKind::DeadlineTrip, 0, 0, 0, "token");
+                }
                 return Some(CancelCause::Deadline);
             }
         }
@@ -125,7 +129,9 @@ impl CancelToken {
     /// Trip the token explicitly. Idempotent; never overrides an earlier
     /// deadline trip.
     pub fn cancel(&self) {
-        self.inner.flag.store(true, Ordering::Relaxed);
+        if !self.inner.flag.swap(true, Ordering::Relaxed) {
+            nepal_obs::flight::emit(nepal_obs::FlightKind::CancelTrip, 0, 0, 0, "explicit");
+        }
     }
 
     /// One cancellation checkpoint: `None` → keep going, `Some(cause)` →

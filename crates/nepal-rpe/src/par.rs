@@ -168,6 +168,14 @@ where
         slots[j] = Some(t);
         executed += 1;
     }
+    // Flight-recorder pool activity: one park event per worker, emitted
+    // from the (long-lived) caller thread so ephemeral scoped workers
+    // never register rings of their own.
+    if nepal_obs::flight::recorder().is_enabled() {
+        for r in &reports {
+            nepal_obs::flight::emit(nepal_obs::FlightKind::PoolPark, r.jobs, r.steals, r.busy_ns / 1_000, "rpe-pool");
+        }
+    }
     (slots, reports, PoolStats { jobs: executed, steals: steal_total.load(Ordering::Relaxed) })
 }
 

@@ -23,6 +23,8 @@
 //! :trace export <file>   write the latest trace as Chrome trace-event JSON
 //! :health                deep health: SLO alert states over the standard rules
 //! :mem                   store memory report: per-class bytes, chains, indexes
+//! :flight                recent flight-recorder wide events (per-thread rings)
+//! :snapshot              write a diagnostics bundle to nepal-snapshots/
 //! :stats                 graph statistics
 //! :threads [N]           show or set evaluator worker threads (0 = auto)
 //! :timeout [ms|off]      show or set the per-query deadline
@@ -43,7 +45,7 @@ use nepal::core::{
     parse_statement, BackendRegistry, Engine, NativeBackend, RelationalBackend, StandardSlos, Statement,
 };
 use nepal::graph::{StoreGauges, TemporalGraph};
-use nepal::obs::{alerts_text, fmt_bytes, fmt_ns};
+use nepal::obs::{alerts_text, fmt_bytes, fmt_ns, SnapshotConfig, Telemetry};
 use nepal::rpe::{parse_rpe, plan_rpe, CancelToken, GraphEstimator};
 use nepal::workload::{generate_legacy, generate_virtualized, LegacyParams, VirtParams};
 
@@ -98,6 +100,19 @@ fn main() {
     let slo = engine.install_standard_slos(&StandardSlos::default());
     let gauges = StoreGauges::register(&engine.metrics);
 
+    // Flight recorder on for the session (queries, cancellations, journal
+    // mutations land in the per-thread rings); :snapshot composes the same
+    // diagnostics bundle the server writes on a panic or firing alert.
+    nepal::obs::flight::recorder().set_enabled(true);
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    telemetry.set_slo(slo.clone());
+    telemetry.set_flight(nepal::obs::flight::recorder().clone());
+    telemetry.set_snapshots(SnapshotConfig::default());
+    telemetry.set_build_info(vec![
+        ("bin".to_string(), "nepal-repl".to_string()),
+        ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+    ]);
+
     // Session cancellation: every query runs as a child of this token
     // (plus the :timeout deadline, if set). Ctrl-C sets a flag; the
     // watcher thread trips the current token within ~20 ms.
@@ -142,6 +157,7 @@ fn main() {
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  :qlog | :qlog on [file] | :qlog off | :qlog top N   durable query log + planner q-error feedback\n\
                  :health | :mem            SLO alert states / store memory report\n\
+                 :flight | :snapshot       recent wide events / write a diagnostics bundle\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
                  <anything else>           executed as a Nepal query\n\
                  example: Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{{1,6}}->Host(host_id=1015)\n\
@@ -267,6 +283,35 @@ fn main() {
                 .map(|(b, n)| format!("≤{}:{n}", if *b == u64::MAX { "∞".to_string() } else { b.to_string() }))
                 .collect();
             println!("version-chain lengths: {}", chain.join("  "));
+            continue;
+        }
+        if line == ":flight" {
+            let rec = nepal::obs::flight::recorder();
+            let stats = rec.stats();
+            let (written, dropped) = (stats.total_written, stats.total_dropped);
+            println!(
+                "flight recorder: {} ring(s), {written} event(s) written, {dropped} overwritten",
+                stats.rings.len()
+            );
+            let events = rec.events();
+            let now = rec.now_us();
+            for e in events.iter().rev().take(20).rev() {
+                println!(
+                    "{:>8}  {:>9.3}s ago  [{}] {:<16} {}",
+                    e.seq,
+                    now.saturating_sub(e.ts_us) as f64 / 1e6,
+                    e.thread,
+                    e.kind.name(),
+                    e.describe()
+                );
+            }
+            continue;
+        }
+        if line == ":snapshot" {
+            match telemetry.snapshot("repl") {
+                Ok(path) => println!("diagnostics bundle written: {}", path.display()),
+                Err(e) => println!("snapshot failed: {e}"),
+            }
             continue;
         }
         if line == ":slow" {

@@ -21,6 +21,10 @@
 //! GET /qlog.json      query-log status + per-fingerprint feedback as JSON
 //! GET /traces         buffered trace summaries
 //! GET /traces/<id>    one trace as Chrome trace-event JSON
+//! GET /flight         recent flight-recorder wide events as JSON
+//! GET /snapshot       list of on-disk diagnostics bundles
+//! POST /snapshot      write a diagnostics bundle now
+//! GET /drain          final drain report (404 until shutdown)
 //! ```
 //!
 //! `--ttl <seconds>` exits after that many seconds (0 = run forever) so CI
@@ -36,6 +40,21 @@
 //! --drain-ms <ms>      graceful-drain budget on SIGTERM/SIGINT (default 2000)
 //! ```
 //!
+//! Flight recorder (see DESIGN.md §5f):
+//!
+//! ```text
+//! --flight-events <n>       per-thread ring capacity in events, 0 = off
+//!                           (default 4096)
+//! --flight-dir <dir>        diagnostics-bundle directory (default
+//!                           nepal-snapshots)
+//! --flight-keep <n>         bundles kept before rotation (default 8)
+//! --flight-window-secs <s>  seconds of wide events included per bundle
+//!                           (default 30)
+//! ```
+//!
+//! Snapshots are triggered by a panic anywhere in the process, an SLO
+//! alert entering `firing`, SIGQUIT, `POST /snapshot`, and shutdown.
+//!
 //! On SIGTERM (or SIGINT / ttl expiry) the server stops accepting, lets
 //! in-flight work finish within the drain budget, cancels stragglers via
 //! the cooperative token, and exits cleanly.
@@ -49,7 +68,7 @@ use parking_lot::RwLock;
 use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend, StandardSlos};
 use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
 use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer, ServeConfig};
-use nepal::obs::{Telemetry, TelemetryServer};
+use nepal::obs::{install_panic_hook, SnapshotConfig, Telemetry, TelemetryServer};
 use nepal::workload::{generate_virtualized, VirtParams};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -60,9 +79,16 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 /// std links libc on every supported target, so declaring `signal`
 /// directly avoids a dependency for two lines of handler registration.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// SIGQUIT requests a diagnostics snapshot without shutting down; the main
+/// loop polls this flag and writes a bundle when it flips.
+static SNAPSHOT_REQ: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_sig: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn on_sigquit(_sig: i32) {
+    SNAPSHOT_REQ.store(true, Ordering::SeqCst);
 }
 
 #[cfg(unix)]
@@ -71,10 +97,12 @@ fn install_signal_handlers() {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGQUIT: i32 = 3;
     const SIGTERM: i32 = 15;
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
+        signal(SIGQUIT, on_sigquit);
     }
 }
 
@@ -95,6 +123,22 @@ fn main() {
     let max_inflight: usize = arg_value(&args, "--max-inflight").and_then(|v| v.parse().ok()).unwrap_or(4);
     let queue_depth: usize = arg_value(&args, "--queue-depth").and_then(|v| v.parse().ok()).unwrap_or(16);
     let drain_ms: u64 = arg_value(&args, "--drain-ms").and_then(|v| v.parse().ok()).unwrap_or(2000);
+    // Flight recorder + diagnostics snapshots (see DESIGN.md §5f).
+    let flight_events: usize = arg_value(&args, "--flight-events").and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let flight_dir = arg_value(&args, "--flight-dir").unwrap_or_else(|| "nepal-snapshots".to_string());
+    let flight_keep: usize = arg_value(&args, "--flight-keep").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let flight_window_secs: u64 = arg_value(&args, "--flight-window-secs").and_then(|v| v.parse().ok()).unwrap_or(30);
+
+    // Enable the process-wide flight recorder before any subsystem starts,
+    // so even startup activity (journal replay, warm-up) is on the record.
+    if flight_events > 0 {
+        let rec = nepal::obs::flight::recorder();
+        rec.set_capacity(flight_events);
+        rec.set_enabled(true);
+        eprintln!("flight recorder: {flight_events} events/thread, snapshots in {flight_dir}/ (keep {flight_keep})");
+    } else {
+        eprintln!("flight recorder: off (--flight-events 0)");
+    }
 
     eprintln!("loading virtualized service inventory (~2k nodes / ~11k edges)…");
     let graph: Arc<TemporalGraph> = Arc::new(generate_virtualized(VirtParams::default()).graph);
@@ -158,6 +202,24 @@ fn main() {
     // slow log and the trace ring.
     let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
     telemetry.set_qlog(engine.feedback.clone(), engine.qlog.clone());
+    if flight_events > 0 {
+        telemetry.set_flight(nepal::obs::flight::recorder().clone());
+        telemetry.set_snapshots(SnapshotConfig {
+            dir: flight_dir.clone().into(),
+            keep: flight_keep.max(1),
+            window: Duration::from_secs(flight_window_secs.max(1)),
+        });
+        telemetry.set_build_info(vec![
+            ("bin".to_string(), "nepal-serve".to_string()),
+            ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+            ("workers".to_string(), max_inflight.max(1).to_string()),
+            ("queue_depth".to_string(), queue_depth.to_string()),
+            ("deadline_ms".to_string(), deadline_ms.map_or("none".to_string(), |d| d.to_string())),
+        ]);
+        // A panicking worker (or any thread) leaves a diagnostics bundle
+        // behind before the panic propagates.
+        install_panic_hook(telemetry.clone());
+    }
     let gauges = Arc::new(StoreGauges::register(&engine.metrics));
     {
         // Deep refresh per scrape: per-class bytes, watermarks, and the
@@ -215,7 +277,7 @@ fn main() {
             inflight.set(stats.inflight.load(Relaxed) as i64);
         });
     }
-    let http = match TelemetryServer::start(telemetry, &format!("127.0.0.1:{http_port}")) {
+    let http = match TelemetryServer::start(telemetry.clone(), &format!("127.0.0.1:{http_port}")) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind telemetry server: {e}");
@@ -255,11 +317,18 @@ fn main() {
             eprintln!("ttl reached; draining (budget {drain_ms} ms)");
             break;
         }
+        if SNAPSHOT_REQ.swap(false, Ordering::SeqCst) {
+            match telemetry.snapshot("sigquit") {
+                Ok(path) => eprintln!("snapshot written: {}", path.display()),
+                Err(e) => eprintln!("snapshot failed: {e}"),
+            }
+        }
         std::thread::sleep(Duration::from_millis(100));
     }
 
     // Graceful drain: stop accepting, finish in-flight work within the
     // budget, cancel stragglers through the cooperative token.
+    let t_drain = std::time::Instant::now();
     let report = server.drain(Duration::from_millis(drain_ms));
     if report.clean {
         eprintln!("drain complete: all in-flight work finished");
@@ -268,5 +337,20 @@ fn main() {
     }
     if report.shed_queued > 0 {
         eprintln!("drain shed {} queued connection(s) with overload frames", report.shed_queued);
+    }
+    // Publish the final drain report through telemetry and leave one last
+    // diagnostics bundle behind as the flight recorder's shutdown record.
+    telemetry.set_drain_json(format!(
+        "{{\"clean\":{},\"shed_queued\":{},\"budget_ms\":{},\"waited_ms\":{}}}",
+        report.clean,
+        report.shed_queued,
+        drain_ms,
+        t_drain.elapsed().as_millis()
+    ));
+    if flight_events > 0 {
+        match telemetry.snapshot("shutdown") {
+            Ok(path) => eprintln!("shutdown snapshot: {}", path.display()),
+            Err(e) => eprintln!("shutdown snapshot failed: {e}"),
+        }
     }
 }

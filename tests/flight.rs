@@ -1,0 +1,135 @@
+//! Property tests for the flight recorder's lock-free per-thread rings:
+//! whatever the thread count, per-thread event volume, and ring capacity,
+//! the stitched stream must carry no duplicated or invented events, retain
+//! exactly the newest `capacity` events per ring, and preserve emission
+//! order — and a reader racing live writers must never observe a torn
+//! event (the seqlock either yields a consistent record or skips the slot).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use nepal::obs::{FlightKind, FlightRecorder};
+use proptest::prelude::*;
+
+/// Payload invariant every emitted event satisfies: `b = a + 1`,
+/// `c = a ^ 0xA5A5`. A torn read (payload half-old, half-new) would break
+/// it, since every event carries a distinct `a`.
+fn emit_checked(h: &nepal::obs::FlightHandle, a: u64) {
+    h.emit(FlightKind::QueryStart, a, a + 1, a ^ 0xA5A5, "prop");
+}
+
+fn payload_consistent(e: &nepal::obs::WideEvent) -> bool {
+    e.b == e.a + 1 && e.c == (e.a ^ 0xA5A5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Quiescent correctness: after all writers join, the stitched stream
+    /// has unique seqs, strictly increasing order, the newest
+    /// `min(per_thread, capacity)` events of each thread in emission
+    /// order, and ring stats that account for every emit.
+    #[test]
+    fn stitched_stream_is_complete_and_ordered(
+        threads in 2usize..6,
+        per_thread in 1usize..200,
+        capacity in 8usize..96,
+    ) {
+        let rec = FlightRecorder::new(capacity);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let h = rec.handle(&format!("w{t}"));
+                    for i in 0..per_thread {
+                        // Thread id in the high bits, local index low.
+                        emit_checked(&h, ((t as u64) << 32) | i as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let events = rec.events();
+        // No duplicates, strictly ordered by seq (events() sorts; equal
+        // seqs would mean a duplicated slot).
+        for w in events.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "duplicate or unordered seq {}", w[1].seq);
+        }
+        prop_assert!(events.iter().all(payload_consistent));
+
+        // Retention: each thread keeps exactly its newest min(n, cap)
+        // events, in emission order.
+        let keep = per_thread.min(capacity);
+        for t in 0..threads as u64 {
+            let mine: Vec<u64> =
+                events.iter().filter(|e| e.a >> 32 == t).map(|e| e.a & 0xFFFF_FFFF).collect();
+            let expect: Vec<u64> = ((per_thread - keep) as u64..per_thread as u64).collect();
+            prop_assert_eq!(&mine, &expect, "thread {} retained wrong events", t);
+        }
+
+        let stats = rec.stats();
+        prop_assert_eq!(stats.total_written, (threads * per_thread) as u64);
+        let dropped_expect = (threads * per_thread.saturating_sub(capacity)) as u64;
+        prop_assert_eq!(stats.total_dropped, dropped_expect);
+    }
+
+    /// Live contention: a reader stitching while writers wrap their rings
+    /// never sees a torn payload or a duplicated seq. (Events may be
+    /// missed mid-overwrite — that is the design — but never invented.)
+    #[test]
+    fn racing_reader_never_observes_torn_events(
+        threads in 2usize..5,
+        capacity in 8usize..32,
+    ) {
+        let rec = FlightRecorder::new(capacity);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                let rec = rec.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let h = rec.handle(&format!("w{t}"));
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        emit_checked(&h, ((t as u64) << 32) | (i & 0xFFFF_FFFF));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        // Read hard while the rings are wrapping underneath.
+        for _ in 0..50 {
+            let events = rec.events();
+            prop_assert!(events.iter().all(payload_consistent), "torn event observed");
+            let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+            seqs.dedup();
+            prop_assert_eq!(seqs.len(), events.len(), "duplicated seq observed");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}
+
+/// Ring reuse keeps the registry bounded: threads that exit hand their
+/// ring back, so churning many short-lived threads through the recorder
+/// registers no more rings than the peak concurrency.
+#[test]
+fn short_lived_threads_reuse_rings_via_global_recorder() {
+    let rec = nepal::obs::flight::recorder();
+    rec.set_enabled(true);
+    let before = rec.stats().rings.len();
+    for batch in 0..8 {
+        let h = std::thread::spawn(move || {
+            nepal::obs::flight::emit(FlightKind::PoolPark, batch, 0, 0, "churn");
+        });
+        h.join().unwrap();
+    }
+    let after = rec.stats().rings.len();
+    assert!(after <= before + 1, "sequential short-lived threads must share one reused ring: {before} -> {after}");
+    rec.set_enabled(false);
+}
