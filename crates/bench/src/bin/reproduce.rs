@@ -6,6 +6,16 @@
 //!           [--instances N]   # query instances per type (default 50, as §6)
 //!           [--json]          # also write BENCH_table1.json / BENCH_table2.json /
 //!                             # BENCH_scaling.json
+//! reproduce scaling [--tiers toy,small,medium,large] [--storage-only]
+//!           [--gate-speedup X] [--gate-recovery X] [--gate-delta-savings PCT]
+//!           # tiered scaling sweep: threads x size tiers over the churned
+//!           # ONAP-style generator graph, plus per-tier storage bytes,
+//!           # delta-encoding savings, and journal-vs-binary recovery
+//!           # times (default tiers: toy,small,medium; --full adds large).
+//!           # --storage-only skips the query sweep (CI recovery smoke).
+//!           # Gates exit 1 when unmet; the speedup gate (aggregate at 4
+//!           # threads on the largest tier) is skipped on hosts with <4
+//!           # cores.
 //! reproduce capture [--qlog FILE] [--instances N]
 //!           # run the deterministic workload with the durable query log on,
 //!           # writing a JSONL baseline (default nepal-qlog.jsonl)
@@ -33,13 +43,13 @@
 //! ```
 
 use nepal_bench::{
-    capture_workload, format_ablation, format_crash_report, format_flight_overhead, format_obs_report,
-    format_query_table, format_replay, format_scaling, format_serve_load, format_storage, metrics_snapshot_json,
+    capture_workload, check_gates, format_ablation, format_crash_report, format_flight_overhead, format_obs_report,
+    format_query_table, format_replay, format_serve_load, format_storage, format_tier_scaling, metrics_snapshot_json,
     obs_report_json, query_rows_json, replay_json, replay_qlog, run_crash_forensics, run_flight_overhead,
-    run_obs_report, run_scaling, run_serve_load, run_storage, run_table1, run_table2, run_table3, scaling_json,
-    serve_load_json_with_overhead, ServeLoadConfig,
+    run_obs_report, run_scaling_tiers, run_serve_load, run_storage, run_table1, run_table2, run_table3,
+    scaling_thread_counts, serve_load_json_with_overhead, tier_scaling_json, ServeLoadConfig,
 };
-use nepal_workload::LegacyParams;
+use nepal_workload::{LegacyParams, SizeTier};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -202,12 +212,40 @@ fn main() {
         println!("{}", format_storage(&rows));
     }
     if wants("scaling") {
-        // The sweep re-runs every family once per thread count; cap the
-        // instance count so the default `reproduce` stays bounded.
-        let rows = run_scaling(instances.min(10), 42);
-        println!("{}", format_scaling(&rows));
+        let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+        let tiers: Vec<SizeTier> = match flag("--tiers") {
+            Some(list) => list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    SizeTier::from_name(s).unwrap_or_else(|| {
+                        eprintln!("unknown tier {s:?} (expected toy|small|medium|large)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+            // Default stays bounded; --full promotes the sweep to the
+            // million-entity headline tier.
+            None if full => vec![SizeTier::Toy, SizeTier::Small, SizeTier::Medium, SizeTier::Large],
+            None => vec![SizeTier::Toy, SizeTier::Small, SizeTier::Medium],
+        };
+        let counts = if args.iter().any(|a| a == "--storage-only") { Vec::new() } else { scaling_thread_counts() };
+        let reports = run_scaling_tiers(&tiers, 42, &counts);
+        println!("{}", format_tier_scaling(&reports));
         if json {
-            write_json("BENCH_scaling.json", &scaling_json(&rows));
+            write_json("BENCH_scaling.json", &tier_scaling_json(&reports, &counts));
+        }
+        let gate = |name: &str| flag(name).and_then(|v| v.parse::<f64>().ok());
+        let outcome =
+            check_gates(&reports, gate("--gate-speedup"), gate("--gate-recovery"), gate("--gate-delta-savings"));
+        for s in &outcome.skipped {
+            eprintln!("gate skipped: {s}");
+        }
+        if !outcome.passed() {
+            for f in &outcome.failures {
+                eprintln!("gate FAILED: {f}");
+            }
+            std::process::exit(1);
         }
     }
 }

@@ -13,6 +13,7 @@ pub mod crash;
 pub mod obs_report;
 pub mod replay;
 pub mod serve_load;
+pub mod tiers;
 
 pub use crash::{format_crash_report, run_crash_forensics, CrashReport};
 pub use obs_report::{format_obs_report, obs_report_json, run_obs_report, ChurnPoint, ObsReport};
@@ -20,6 +21,10 @@ pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, Repl
 pub use serve_load::{
     format_flight_overhead, format_serve_load, run_flight_overhead, run_serve_load, serve_load_json,
     serve_load_json_with_overhead, FlightOverhead, ServeLoadConfig, ServeLoadRow,
+};
+pub use tiers::{
+    check_gates, format_tier_scaling, run_scaling_tiers, tier_aggregates, tier_scaling_json, GateOutcome, TierReport,
+    TierScalingRow, TierStorageRow,
 };
 
 use std::time::Instant;
@@ -75,7 +80,7 @@ fn run_instances_opts(g: &TemporalGraph, rpes: &[String], opts: &EvalOptions) ->
 }
 
 fn int_field(g: &TemporalGraph, uid: Uid, idx: usize) -> i64 {
-    match &g.current_version(uid).expect("alive").fields[idx] {
+    match &g.current_version(uid).expect("alive").fields()[idx] {
         Value::Int(i) => *i,
         other => panic!("expected int field, got {other:?}"),
     }

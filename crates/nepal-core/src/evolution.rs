@@ -46,14 +46,13 @@ pub fn path_evolution(graph: &TemporalGraph, pathway: &Pathway, window: Option<(
     let mut out = Vec::new();
     for &uid in &pathway.elems {
         let Some(class) = graph.class_of(uid) else { continue };
-        let versions: Vec<(Interval, Vec<Value>)> = match window {
-            None => graph.versions(uid).iter().map(|v| (v.span, v.fields.clone())).collect(),
-            Some((a, b)) => graph
-                .versions_overlapping(uid, &Interval::new(a, b.saturating_add(1)))
-                .iter()
-                .map(|v| (v.span, v.fields.clone()))
-                .collect(),
+        let range = match window {
+            None => 0..graph.versions(uid).len(),
+            Some((a, b)) => graph.overlap_range(uid, &Interval::new(a, b.saturating_add(1))),
         };
+        let vs = graph.versions(uid);
+        let versions: Vec<(Interval, Vec<Value>)> =
+            range.map(|i| (vs[i].span, graph.fields_of(uid, i).into_owned())).collect();
         out.push(ElementEvolution { uid, class, class_name: schema.class(class).name.clone(), versions });
     }
     out
@@ -79,11 +78,11 @@ pub fn change_log(graph: &TemporalGraph, pathway: &Pathway) -> Vec<ChangeEvent> 
                     kind: ChangeKind::Inserted,
                 });
             } else {
-                let prev = &versions[i - 1];
-                let changed: Vec<(String, Value, Value)> = prev
-                    .fields
+                let prev_fields = graph.fields_of(uid, i - 1);
+                let cur_fields = graph.fields_of(uid, i);
+                let changed: Vec<(String, Value, Value)> = prev_fields
                     .iter()
-                    .zip(&v.fields)
+                    .zip(cur_fields.iter())
                     .enumerate()
                     .filter(|(_, (a, b))| a != b)
                     .map(|(idx, (a, b))| (fields[idx].name.clone(), a.clone(), b.clone()))

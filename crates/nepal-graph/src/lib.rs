@@ -29,10 +29,11 @@
 //! g.update(vm, &[(0, Value::Str("Red".into()))], 200).unwrap();
 //!
 //! // The current snapshot sees Red; time travel to 150 sees Green.
-//! assert_eq!(g.current_version(vm).unwrap().fields[0], Value::Str("Red".into()));
-//! assert_eq!(g.version_at(vm, 150).unwrap().fields[0], Value::Str("Green".into()));
+//! assert_eq!(g.current_fields(vm).unwrap()[0], Value::Str("Red".into()));
+//! assert_eq!(g.fields_at(vm, 150).unwrap()[0], Value::Str("Green".into()));
 //! ```
 
+pub mod binsnap;
 pub mod error;
 pub mod fxmap;
 pub mod interval;
@@ -42,6 +43,10 @@ pub mod snapshot;
 pub mod store;
 pub mod view;
 
+pub use binsnap::{
+    binary_snapshot_bytes, load_binary, load_binary_from_file, load_binary_from_file_lenient, load_binary_lenient,
+    save_binary, save_binary_to_file, schema_fingerprint, TornSnap, BIN_MAGIC,
+};
 pub use error::{GraphError, Result};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interval::{Interval, IntervalSet, FOREVER};
@@ -52,7 +57,7 @@ pub use journal::{
 pub use metrics::{resource_summary, StoreGauges};
 pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};
 pub use store::{
-    value_heap_bytes, AdjEntry, AdjList, ClassAccounting, ClassMemory, EdgeEntry, MemoryReport, NodeEntry, StoreCounts,
-    TemporalGraph, Uid, Version,
+    materialize_version, value_heap_bytes, AdjEntry, AdjList, ClassAccounting, ClassMemory, EdgeEntry, MemoryReport,
+    NodeEntry, StoreCounts, TemporalGraph, Uid, Version, VersionData, KEYFRAME_INTERVAL,
 };
 pub use view::{GraphView, MatchTime, TimeFilter};

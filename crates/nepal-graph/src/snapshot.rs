@@ -119,7 +119,7 @@ impl SnapshotLoader {
             match self.nodes.get(&n.ext_id).copied() {
                 Some(uid) if g.class_of(uid) == Some(n.class) && g.current_version(uid).is_some() => {
                     self.cache_hits += 1;
-                    let cur = g.current_version(uid).unwrap().fields.clone();
+                    let cur = g.current_version(uid).unwrap().fields().to_vec();
                     let changes: Vec<(usize, Value)> = cur
                         .iter()
                         .zip(&n.fields)
@@ -168,7 +168,7 @@ impl SnapshotLoader {
                         && g.edge(uid)?.dst == dst =>
                 {
                     self.cache_hits += 1;
-                    let cur = g.current_version(uid).unwrap().fields.clone();
+                    let cur = g.current_version(uid).unwrap().fields().to_vec();
                     let changes: Vec<(usize, Value)> = cur
                         .iter()
                         .zip(&e.fields)
@@ -251,7 +251,7 @@ mod tests {
         assert_eq!(s3.updated, 1);
         assert_eq!(s3.deleted, 2); // edge ab + node b
         let a = loader.node_uid("a").unwrap();
-        assert_eq!(g.current_version(a).unwrap().fields[0], Value::Str("Red".into()));
+        assert_eq!(g.current_version(a).unwrap().fields()[0], Value::Str("Red".into()));
         // Time travel to 250: b still exists.
         let b_uid_gone = loader.node_uid("b");
         assert!(b_uid_gone.is_none());

@@ -6,10 +6,12 @@
 //! - [`TimeFilter::Range`] — a time-range query (`AT 't1' : 't2'`), whose
 //!   results carry maximal assertion intervals.
 
+use std::borrow::Cow;
+
 use nepal_schema::{ClassId, Ts, Value};
 
 use crate::interval::{Interval, IntervalSet};
-use crate::store::{AdjEntry, TemporalGraph, Uid};
+use crate::store::{materialize_version, AdjEntry, TemporalGraph, Uid};
 
 /// The temporal scope a query (or one range variable) executes under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,13 +68,21 @@ impl<'g> GraphView<'g> {
     /// relevant version; for range filters: the *latest* version overlapping
     /// the range — selection expressions on range queries are evaluated per
     /// pathway result via [`GraphView::matching`]).
-    pub fn fields(&self, uid: Uid) -> Option<&'g [Value]> {
+    ///
+    /// Borrowed for full-stored versions (the current snapshot always is);
+    /// owned when a delta-encoded history version had to be materialized.
+    pub fn fields(&self, uid: Uid) -> Option<Cow<'g, [Value]>> {
         match self.filter {
-            TimeFilter::Current => self.graph.current_version(uid).map(|v| v.fields.as_slice()),
-            TimeFilter::AsOf(t) => self.graph.version_at(uid, t).map(|v| v.fields.as_slice()),
+            TimeFilter::Current => self.graph.current_version(uid).map(|v| Cow::Borrowed(v.fields())),
+            TimeFilter::AsOf(t) => {
+                let i = self.graph.version_index_at(uid, t)?;
+                Some(materialize_version(self.graph.versions(uid), i))
+            }
             TimeFilter::Range(a, b) => {
                 let probe = Interval::new(a, b.saturating_add(1));
-                self.graph.versions_overlapping(uid, &probe).last().map(|v| v.fields.as_slice())
+                let range = self.graph.overlap_range(uid, &probe);
+                let i = range.end.checked_sub(1).filter(|i| range.contains(i))?;
+                Some(materialize_version(self.graph.versions(uid), i))
             }
         }
     }
@@ -87,19 +97,21 @@ impl<'g> GraphView<'g> {
     {
         match self.filter {
             TimeFilter::Current => {
+                // Hot path: the chain head is always stored full.
                 let v = self.graph.current_version(uid)?;
-                pred(&v.fields).then_some(MatchTime::Point)
+                pred(v.fields()).then_some(MatchTime::Point)
             }
             TimeFilter::AsOf(t) => {
-                let v = self.graph.version_at(uid, t)?;
-                pred(&v.fields).then_some(MatchTime::Point)
+                let i = self.graph.version_index_at(uid, t)?;
+                pred(&materialize_version(self.graph.versions(uid), i)).then_some(MatchTime::Point)
             }
             TimeFilter::Range(a, b) => {
                 let probe = Interval::new(a, b.saturating_add(1));
+                let vs = self.graph.versions(uid);
                 let mut set = IntervalSet::empty();
-                for v in self.graph.versions_overlapping(uid, &probe) {
-                    if pred(&v.fields) {
-                        set.push(v.span);
+                for i in self.graph.overlap_range(uid, &probe) {
+                    if pred(&materialize_version(vs, i)) {
+                        set.push(vs[i].span);
                     }
                 }
                 if set.is_empty() {
@@ -121,9 +133,10 @@ impl<'g> GraphView<'g> {
         F: Fn(&[Value]) -> bool,
     {
         let mut all = IntervalSet::empty();
-        for v in self.graph.versions(uid) {
-            if pred(&v.fields) {
-                all.push(v.span);
+        let vs = self.graph.versions(uid);
+        for i in 0..vs.len() {
+            if pred(&materialize_version(vs, i)) {
+                all.push(vs[i].span);
             }
         }
         // Keep the maximal components that contain any satisfying-in-window

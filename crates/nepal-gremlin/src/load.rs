@@ -45,8 +45,10 @@ pub fn property_graph_from(g: &TemporalGraph) -> PropertyGraph {
                 let versions = g.versions(uid);
                 let Some(last) = versions.last() else { continue };
                 let first = versions.first().unwrap();
+                // The chain head is always stored full, so this never
+                // materializes a delta.
                 let mut props: BTreeMap<String, Json> =
-                    field_names.iter().zip(&last.fields).map(|(n, v)| (n.clone(), value_to_json(v))).collect();
+                    field_names.iter().zip(last.fields()).map(|(n, v)| (n.clone(), value_to_json(v))).collect();
                 props.insert("sys_from".into(), Json::Num(clamp_ts(first.span.from) as f64));
                 props.insert("sys_to".into(), Json::Num(clamp_ts(last.span.to) as f64));
                 if is_node {

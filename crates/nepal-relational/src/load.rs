@@ -103,13 +103,13 @@ pub fn load_graph(db: &mut RelDb, g: &TemporalGraph) -> Result<()> {
                     let e = g.edge(uid).expect("edge extent");
                     Some((e.src, e.dst))
                 };
-                for v in g.versions(uid) {
+                for (i, v) in g.versions(uid).iter().enumerate() {
                     let mut row = vec![Value::Int(uid.0 as i64)];
                     if let Some((s, d)) = endpoints {
                         row.push(Value::Int(s.0 as i64));
                         row.push(Value::Int(d.0 as i64));
                     }
-                    row.extend(v.fields.iter().cloned());
+                    row.extend(g.fields_of(uid, i).iter().cloned());
                     row.push(Value::Ts(v.span.from));
                     row.push(Value::Ts(v.span.to));
                     let target = if v.span.to == FOREVER { &name } else { &hist };

@@ -101,7 +101,7 @@ fn edge_field_predicates_filter_traversal() {
     assert!(!paths.is_empty());
     for p in &paths {
         for e in p.edges() {
-            match &g.current_version(e).unwrap().fields[0] {
+            match &g.current_version(e).unwrap().fields()[0] {
                 Value::Int(w) => assert!(*w >= 5),
                 other => panic!("unexpected {other:?}"),
             }

@@ -41,7 +41,7 @@ fn ids(g: &TemporalGraph, rpe: &str) -> Vec<i64> {
     let view = GraphView::new(g, TimeFilter::Current);
     let mut out: Vec<i64> = evaluate(&view, &plan, Seeds::Anchor, &EvalOptions::default())
         .iter()
-        .map(|p| match &g.current_version(p.source()).unwrap().fields[0] {
+        .map(|p| match &g.current_version(p.source()).unwrap().fields()[0] {
             Value::Int(i) => *i,
             _ => unreachable!(),
         })

@@ -199,6 +199,181 @@ pub fn decode_value(text: &str) -> Result<(Value, usize), CodecError> {
     Ok((v, d.i))
 }
 
+// ----------------------------------------------------------------------
+// Binary codec
+// ----------------------------------------------------------------------
+//
+// A compact, self-delimiting binary encoding used by the graph's binary
+// snapshot format. Lengths and small integers are LEB128 varints; i64
+// payloads (ints, timestamps) are zigzag varints so small magnitudes stay
+// short; floats are their raw bit pattern (exact round-trips, NaN
+// included); strings are length-prefixed UTF-8.
+//
+// ```text
+// 0x00 null        0x01/0x02 bool     0x03 int (zigzag varint)
+// 0x04 float (8B)  0x05 ts (zigzag)   0x06 ip (len + text)
+// 0x07 str         0x08 list          0x09 set
+// 0x0A map         0x0B composite
+// ```
+
+/// Append `n` as an unsigned LEB128 varint.
+#[inline]
+pub fn write_uvarint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let b = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint from `buf` starting at `*pos`.
+#[inline]
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut n = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos).ok_or(CodecError { pos: *pos, msg: "varint eof".into() })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError { pos: *pos, msg: "varint overflow".into() });
+        }
+        n |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(n);
+        }
+        shift += 7;
+    }
+}
+
+/// Append `n` as a zigzag-encoded signed varint.
+#[inline]
+pub fn write_ivarint(n: i64, out: &mut Vec<u8>) {
+    write_uvarint(((n << 1) ^ (n >> 63)) as u64, out);
+}
+
+/// Read a zigzag-encoded signed varint.
+#[inline]
+pub fn read_ivarint(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    let z = read_uvarint(buf, pos)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+/// Append the binary encoding of `v`.
+pub fn encode_value_bin(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Bool(false) => out.push(0x01),
+        Value::Bool(true) => out.push(0x02),
+        Value::Int(i) => {
+            out.push(0x03);
+            write_ivarint(*i, out);
+        }
+        Value::Float(f) => {
+            out.push(0x04);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Ts(t) => {
+            out.push(0x05);
+            write_ivarint(*t, out);
+        }
+        Value::Ip(ip) => {
+            out.push(0x06);
+            let s = ip.to_string();
+            write_uvarint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x07);
+            write_uvarint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::List(items) => bin_seq(0x08, items, out),
+        Value::Set(items) => bin_seq(0x09, items, out),
+        Value::Map(m) => {
+            out.push(0x0A);
+            write_uvarint(m.len() as u64, out);
+            for (k, val) in m {
+                encode_value_bin(k, out);
+                encode_value_bin(val, out);
+            }
+        }
+        Value::Composite(items) => bin_seq(0x0B, items, out),
+    }
+}
+
+fn bin_seq(tag: u8, items: &[Value], out: &mut Vec<u8>) {
+    out.push(tag);
+    write_uvarint(items.len() as u64, out);
+    for it in items {
+        encode_value_bin(it, out);
+    }
+}
+
+#[inline]
+fn bin_take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+    let end = pos.checked_add(n).filter(|&e| e <= buf.len());
+    let end = end.ok_or(CodecError { pos: *pos, msg: "truncated payload".into() })?;
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+/// Decode one binary value from `buf` starting at `*pos`, advancing it.
+pub fn decode_value_bin(buf: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
+    let tag = *buf.get(*pos).ok_or(CodecError { pos: *pos, msg: "value eof".into() })?;
+    *pos += 1;
+    match tag {
+        0x00 => Ok(Value::Null),
+        0x01 => Ok(Value::Bool(false)),
+        0x02 => Ok(Value::Bool(true)),
+        0x03 => Ok(Value::Int(read_ivarint(buf, pos)?)),
+        0x04 => {
+            let bytes = bin_take(buf, pos, 8)?;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap()))))
+        }
+        0x05 => Ok(Value::Ts(read_ivarint(buf, pos)?)),
+        0x06 => {
+            let n = read_uvarint(buf, pos)? as usize;
+            let s = std::str::from_utf8(bin_take(buf, pos, n)?)
+                .map_err(|_| CodecError { pos: *pos, msg: "bad utf8".into() })?;
+            s.parse().map(Value::Ip).map_err(|_| CodecError { pos: *pos, msg: "bad ip".into() })
+        }
+        0x07 => {
+            let n = read_uvarint(buf, pos)? as usize;
+            let s = std::str::from_utf8(bin_take(buf, pos, n)?)
+                .map_err(|_| CodecError { pos: *pos, msg: "bad utf8".into() })?;
+            Ok(Value::Str(s.to_string()))
+        }
+        tag @ (0x08 | 0x09 | 0x0B) => {
+            let n = read_uvarint(buf, pos)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_value_bin(buf, pos)?);
+            }
+            Ok(match tag {
+                0x08 => Value::List(items),
+                0x09 => Value::Set(items),
+                _ => Value::Composite(items),
+            })
+        }
+        0x0A => {
+            let n = read_uvarint(buf, pos)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let k = decode_value_bin(buf, pos)?;
+                let v = decode_value_bin(buf, pos)?;
+                m.insert(k, v);
+            }
+            Ok(Value::Map(m))
+        }
+        other => Err(CodecError { pos: *pos, msg: format!("unknown binary tag 0x{other:02X}") }),
+    }
+}
+
 /// Decode a value that must span the whole input.
 pub fn value_from_text(text: &str) -> Result<Value, CodecError> {
     let (v, used) = decode_value(text)?;
@@ -269,5 +444,82 @@ mod tests {
     fn strings_never_need_escaping() {
         // Adversarial content that would break delimiter-based formats.
         rt(Value::Str(value_to_text(&Value::List(vec![Value::Int(1)]))));
+    }
+
+    fn rt_bin(v: Value) {
+        let mut buf = Vec::new();
+        encode_value_bin(&v, &mut buf);
+        let mut pos = 0;
+        let back = decode_value_bin(&buf, &mut pos).unwrap_or_else(|e| panic!("{e} for {v:?}"));
+        assert_eq!(pos, buf.len(), "did not consume whole encoding of {v:?}");
+        if let (Value::Float(a), Value::Float(b)) = (&v, &back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        } else {
+            assert_eq!(v, back, "binary round trip failed for {v:?}");
+        }
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_variant() {
+        let mut m = BTreeMap::new();
+        m.insert(Value::Str("k".into()), Value::List(vec![Value::Int(1)]));
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.1),
+            Value::Float(f64::NAN),
+            Value::Str("".into()),
+            Value::Str("unicode ☃ héllo".into()),
+            Value::Ts(1_486_800_000_000_000),
+            Value::Ts(i64::MAX), // FOREVER sentinel must survive zigzag
+            Value::Ip("10.0.0.1".parse().unwrap()),
+            Value::Ip("::1".parse().unwrap()),
+            Value::List(vec![Value::Null, Value::Str("x".into())]),
+            Value::set(vec![Value::Int(2), Value::Int(1)]),
+            Value::Map(m),
+            Value::Composite(vec![Value::Composite(vec![Value::Int(1)])]),
+        ] {
+            rt_bin(v);
+        }
+    }
+
+    #[test]
+    fn binary_codec_is_compact_for_small_ints() {
+        let mut buf = Vec::new();
+        encode_value_bin(&Value::Int(42), &mut buf);
+        assert_eq!(buf.len(), 2); // tag + single varint byte
+    }
+
+    #[test]
+    fn varints_round_trip_edge_values() {
+        for n in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(n, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), n);
+            assert_eq!(pos, buf.len());
+        }
+        for n in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_ivarint(n, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn malformed_binary_inputs_rejected() {
+        for bad in [&[][..], &[0xFF], &[0x03], &[0x07, 0x05, b'a'], &[0x04, 1, 2, 3]] {
+            let mut pos = 0;
+            assert!(decode_value_bin(bad, &mut pos).is_err(), "accepted {bad:?}");
+        }
+        // Varint longer than 64 bits.
+        let mut pos = 0;
+        assert!(read_uvarint(&[0x80u8; 11], &mut pos).is_err());
     }
 }

@@ -85,7 +85,7 @@ pub fn apply_churn(
             let Ok(entry) = g.edge(e) else { continue };
             let (class, src, dst) = (entry.class, entry.src, entry.dst);
             let fields = match g.current_version(e) {
-                Some(v) => v.fields.clone(),
+                Some(v) => v.fields().to_vec(),
                 None => continue,
             };
             let ts = ts0 + 500_000 + k as Ts;
@@ -178,7 +178,7 @@ mod tests {
         let mut topo = generate_virtualized(VirtParams::default());
         let updatable = updatable_entities(&topo.graph, "status");
         let (uid, field) = updatable[0];
-        let before_value = topo.graph.current_version(uid).unwrap().fields[field].clone();
+        let before_value = topo.graph.current_version(uid).unwrap().fields()[field].clone();
         apply_churn(
             &mut topo.graph,
             &[(uid, field)],
@@ -187,9 +187,9 @@ mod tests {
             &ChurnParams { days: 5, daily_update_fraction: 1.0, daily_rewire_fraction: 0.0, seed: 1 },
         );
         // The day-0 snapshot still shows the original value.
-        let v = topo.graph.version_at(uid, topo.params.start_ts).unwrap();
-        assert_eq!(v.fields[field], before_value);
+        let f = topo.graph.fields_at(uid, topo.params.start_ts).unwrap();
+        assert_eq!(f[field], before_value);
         // The current value changed.
-        assert_ne!(topo.graph.current_version(uid).unwrap().fields[field], before_value);
+        assert_ne!(topo.graph.current_version(uid).unwrap().fields()[field], before_value);
     }
 }

@@ -70,7 +70,7 @@ impl InventoryFeed {
                         if tgt_node.is_some_and(|t| schema.is_subclass(class, t)) {
                             migration_targets.push(ext_id.clone());
                         }
-                        nodes.push(SnapshotNode { ext_id, class, fields: v.fields.clone() });
+                        nodes.push(SnapshotNode { ext_id, class, fields: v.fields().to_vec() });
                     } else {
                         let e = g.edge(uid).expect("edge extent");
                         if mig_edge.is_some_and(|m| schema.is_subclass(class, m)) {
@@ -81,7 +81,7 @@ impl InventoryFeed {
                             class,
                             src_ext: format!("n{}", e.src.0),
                             dst_ext: format!("n{}", e.dst.0),
-                            fields: v.fields.clone(),
+                            fields: v.fields().to_vec(),
                         });
                     }
                 }

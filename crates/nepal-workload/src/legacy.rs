@@ -250,7 +250,7 @@ mod tests {
         let g = &topo.graph;
         // Top-down: anchored at a specific top node, three typed hops.
         let top = topo.levels[0][0];
-        let top_id = match &g.current_version(top).unwrap().fields[0] {
+        let top_id = match &g.current_version(top).unwrap().fields()[0] {
             Value::Int(i) => *i,
             _ => unreachable!(),
         };

@@ -17,6 +17,7 @@ pub mod churn;
 pub mod feed;
 pub mod legacy;
 pub mod onap;
+pub mod scale;
 pub mod virtualized;
 
 pub use churn::{alive_edges, apply_churn, updatable_entities, ChurnParams, ChurnStats};
@@ -25,4 +26,5 @@ pub use legacy::{
     edge_class_for, generate_legacy, legacy_schema, LegacyParams, LegacyTopology, TI_SVC, TI_VERT, TYPE_INDICATORS,
 };
 pub use onap::{onap_schema, ONAP_SCHEMA};
+pub use scale::{churn_tier, generate_tier, generate_tier_churned, SizeTier, TierChurnStats};
 pub use virtualized::{generate_virtualized, VirtParams, VirtTopology};

@@ -24,7 +24,7 @@ fn main() {
     let mut engine = engine_over(graph.clone());
 
     // A service-layer data flow: two VNFs of the same service.
-    let vnf_id = |u| match &graph.current_version(u).unwrap().fields[0] {
+    let vnf_id = |u| match &graph.current_version(u).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };

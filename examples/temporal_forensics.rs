@@ -34,7 +34,7 @@ fn main() {
     let graph = Arc::new(topo.graph);
     let mut engine = engine_over(graph.clone());
 
-    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields[0] {
+    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };

@@ -33,7 +33,7 @@ fn main() {
     // Find one container under the VNF via a query.
     let graph_tmp = Arc::new(g);
     let mut engine = engine_over(graph_tmp.clone());
-    let vnf_id = match &graph_tmp.current_version(vnf).unwrap().fields[0] {
+    let vnf_id = match &graph_tmp.current_version(vnf).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };
@@ -116,7 +116,7 @@ fn main() {
     }
 
     println!("\n== Shared fate: what else depends on the new host? ==");
-    let host_id = match &graph.current_version(new_host).unwrap().fields[0] {
+    let host_id = match &graph.current_version(new_host).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };

@@ -76,7 +76,7 @@ fn translator_snapshots() {
     let graph = Arc::new(topo.graph);
     let rel = RelationalBackend::from_graph(&graph).unwrap();
     let mut engine = Engine::new(BackendRegistry::new("pg", Box::new(rel)));
-    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields[0] {
+    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };
@@ -143,7 +143,7 @@ fn engine_handles_onap_scale_default_topology() {
     // host_id 1015 may or may not exist depending on id assignment; the
     // query must simply run. Check a guaranteed-nonempty one as well.
     let _ = r;
-    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields[0] {
+    let vnf_id = match &graph.current_version(topo.vnfs[0]).unwrap().fields()[0] {
         Value::Int(i) => *i,
         _ => unreachable!(),
     };

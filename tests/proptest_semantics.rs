@@ -38,7 +38,7 @@ fn ref_matches_norm(g: &TemporalGraph, atoms: &[BoundAtom], norm: &Norm, path: &
                 return false;
             }
             match g.current_version(uid) {
-                Some(v) => atom.matches_fields(&v.fields),
+                Some(v) => atom.matches_fields(v.fields()),
                 None => false,
             }
         }

@@ -131,7 +131,7 @@ proptest! {
                 }
             }
             for &u in &uids {
-                let got = g.version_at(u, probe).map(|v| match &v.fields[0] {
+                let got = g.fields_at(u, probe).map(|f| match &f[0] {
                     Value::Str(s) => s.clone(),
                     _ => unreachable!(),
                 });
