@@ -30,11 +30,21 @@
 //!           # outcomes; always writes BENCH_memory.json
 //! reproduce serve-load [--workers N] [--queue-depth N] [--requests N]
 //!           [--overload-x N] [--deadline-ms MS] [--overhead-gate PCT]
+//!           [--attribution-gate PCT]
 //!           # overload benchmark: concurrent clients at and beyond the
 //!           # bounded server's capacity — throughput, p50/p95/p99, shed
-//!           # rate, plus the flight-recorder on/off overhead comparison;
-//!           # always writes BENCH_serve.json; --overhead-gate exits 1 if
-//!           # the recorder costs more than PCT percent throughput
+//!           # rate, plus the flight-recorder on/off overhead comparison
+//!           # and the statement-attribution meters-off/on comparison;
+//!           # always writes BENCH_serve.json; --overhead-gate /
+//!           # --attribution-gate exit 1 if the recorder / the meters
+//!           # cost more than PCT percent throughput
+//! reproduce introspect [--tier toy|small|medium|large]
+//!           # workload-introspection drill (default tier: medium): run
+//!           # the sweep families through an instrumented engine and
+//!           # verify /top.json attributes per-fingerprint cpu/rows/bytes,
+//!           # every generated class has nonzero nepal_heat_* gauges, and
+//!           # /history.json holds >=2 snapshots; writes
+//!           # BENCH_introspect.json; exits 1 on any cold surface
 //! reproduce crash-forensics [--dir DIR]
 //!           # crash drill: induce a caught worker panic under concurrent
 //!           # load and verify the panic hook leaves a parseable
@@ -43,11 +53,12 @@
 //! ```
 
 use nepal_bench::{
-    capture_workload, check_gates, format_ablation, format_crash_report, format_flight_overhead, format_obs_report,
-    format_query_table, format_replay, format_serve_load, format_storage, format_tier_scaling, metrics_snapshot_json,
-    obs_report_json, query_rows_json, replay_json, replay_qlog, run_crash_forensics, run_flight_overhead,
+    capture_workload, check_gates, format_ablation, format_attribution_overhead, format_crash_report,
+    format_flight_overhead, format_introspect, format_obs_report, format_query_table, format_replay, format_serve_load,
+    format_storage, format_tier_scaling, introspect_json, metrics_snapshot_json, obs_report_json, query_rows_json,
+    replay_json, replay_qlog, run_attribution_overhead, run_crash_forensics, run_flight_overhead, run_introspect,
     run_obs_report, run_scaling_tiers, run_serve_load, run_storage, run_table1, run_table2, run_table3,
-    scaling_thread_counts, serve_load_json_with_overhead, tier_scaling_json, ServeLoadConfig,
+    scaling_thread_counts, serve_load_json_full, tier_scaling_json, ServeLoadConfig,
 };
 use nepal_workload::{LegacyParams, SizeTier};
 
@@ -128,7 +139,9 @@ fn main() {
         print!("{}", format_serve_load(&rows, panics));
         let overhead = run_flight_overhead(&cfg, 42);
         print!("{}", format_flight_overhead(&overhead));
-        write_json("BENCH_serve.json", &serve_load_json_with_overhead(&rows, &cfg, panics, Some(&overhead)));
+        let attribution = run_attribution_overhead(&cfg, 42);
+        print!("{}", format_attribution_overhead(&attribution));
+        write_json("BENCH_serve.json", &serve_load_json_full(&rows, &cfg, panics, Some(&overhead), Some(&attribution)));
         if panics != 0 {
             eprintln!("serve-load observed {panics} evaluation panic(s)");
             std::process::exit(1);
@@ -138,6 +151,36 @@ fn main() {
                 eprintln!("flight-recorder overhead {:.2}% exceeds the {:.2}% gate", overhead.overhead_pct, gate);
                 std::process::exit(1);
             }
+        }
+        if let Some(gate) = flag("--attribution-gate").and_then(|v| v.parse::<f64>().ok()) {
+            if attribution.overhead_pct > gate {
+                eprintln!(
+                    "statement-attribution overhead {:.2}% exceeds the {:.2}% gate",
+                    attribution.overhead_pct, gate
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if named.iter().any(|a| *a == "introspect") {
+        let tier = args
+            .iter()
+            .position(|a| a == "--tier")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| {
+                SizeTier::from_name(s).unwrap_or_else(|| {
+                    eprintln!("unknown tier {s:?} (expected toy|small|medium|large)");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(SizeTier::Medium);
+        let report = run_introspect(tier, 42);
+        print!("{}", format_introspect(&report));
+        write_json("BENCH_introspect.json", &introspect_json(&report));
+        if !report.passed() {
+            std::process::exit(1);
         }
         return;
     }

@@ -24,7 +24,7 @@ use nepal_gremlin::{
     bytecode_to_json, parse_json, property_graph_from, shared_graph, GStep, GremlinClient, GremlinServer, Json,
     ProtoError, ServeConfig, CHAOS_PANIC_REQUEST_ID,
 };
-use nepal_obs::{install_panic_hook, SnapshotConfig, Telemetry};
+use nepal_obs::{install_panic_hook, HistoryRing, SnapshotConfig, Telemetry};
 
 use crate::build_virtualized;
 
@@ -45,6 +45,10 @@ pub struct CrashReport {
     pub evaluation_panics: u64,
     /// The status code the chaos request was answered with (expected 500).
     pub chaos_status: u64,
+    /// Statements attributed in the bundle's top-queries section.
+    pub stmt_tracked: usize,
+    /// Metrics-history snapshots embedded in the bundle.
+    pub history_len: usize,
 }
 
 impl CrashReport {
@@ -55,6 +59,8 @@ impl CrashReport {
             && self.distinct_threads >= 2
             && self.evaluation_panics == 1
             && self.chaos_status == 500
+            && self.stmt_tracked >= 1
+            && self.history_len >= 1
     }
 }
 
@@ -79,6 +85,13 @@ pub fn run_crash_forensics(dir: &Path, seed: u64) -> Result<CrashReport, String>
     telemetry.set_flight(rec.clone());
     telemetry.set_snapshots(SnapshotConfig { dir: dir.to_path_buf(), keep: 4, window: Duration::from_secs(60) });
     telemetry.set_build_info(vec![("bin".to_string(), "crash-forensics".to_string())]);
+    // Statement attribution and metrics history ride along in the bundle:
+    // the post-crash story should say *what* was running and *how* the
+    // gauges were trending, not just that a panic happened.
+    let stmt = engine.enable_stmt(64);
+    telemetry.set_stmt(stmt);
+    let history = Arc::new(HistoryRing::new(Duration::from_millis(0), 32));
+    telemetry.set_history(history);
     install_panic_hook(telemetry.clone());
 
     // A few engine queries so the query-lifecycle events are on the record
@@ -88,6 +101,16 @@ pub fn run_crash_forensics(dir: &Path, seed: u64) -> Result<CrashReport, String>
         "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()",
     ] {
         let _ = engine.query(q);
+    }
+    // Two history ticks (1ms apart — the ring's minimum resolution) so the
+    // bundle's history tail is non-trivial before the anomaly.
+    let mut admitted = 0;
+    while admitted < 2 {
+        if telemetry.tick_history() {
+            admitted += 1;
+        } else {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     let pg = shared_graph(property_graph_from(&graph));
@@ -149,6 +172,11 @@ pub fn run_crash_forensics(dir: &Path, seed: u64) -> Result<CrashReport, String>
     let mut threads: Vec<u64> = events.iter().filter_map(|e| e.get("thread").and_then(|t| t.as_u64())).collect();
     threads.sort_unstable();
     threads.dedup();
+    let stmt_tracked = match doc.get("stmt").and_then(|s| s.get("statements")) {
+        Some(Json::Arr(a)) => a.len(),
+        _ => 0,
+    };
+    let history_len = doc.get("history").and_then(|h| h.get("len")).and_then(|l| l.as_u64()).unwrap_or(0) as usize;
 
     Ok(CrashReport {
         bundle_path,
@@ -158,6 +186,8 @@ pub fn run_crash_forensics(dir: &Path, seed: u64) -> Result<CrashReport, String>
         load_ok,
         evaluation_panics,
         chaos_status,
+        stmt_tracked,
+        history_len,
     })
 }
 
@@ -169,6 +199,7 @@ pub fn format_crash_report(r: &CrashReport) -> String {
          chaos request answered with status {} (server survived; {} evaluation panic(s) counted)\n\
          bundle: {}\n\
          trigger: {:?}  wide events: {}  distinct threads: {}\n\
+         workload context: {} statement(s) attributed, {} history snapshot(s)\n\
          verdict: {}\n",
         r.load_ok,
         r.chaos_status,
@@ -177,6 +208,8 @@ pub fn format_crash_report(r: &CrashReport) -> String {
         r.trigger,
         r.events,
         r.distinct_threads,
+        r.stmt_tracked,
+        r.history_len,
         if r.passed() { "PASS" } else { "FAIL" }
     )
 }
@@ -194,6 +227,8 @@ mod tests {
         assert_eq!(report.evaluation_panics, 1);
         assert!(report.events > 0, "bundle must carry pre-anomaly wide events");
         assert!(report.distinct_threads >= 2, "events must come from >=2 threads, got {}", report.distinct_threads);
+        assert!(report.stmt_tracked >= 1, "bundle must attribute the pre-crash statements");
+        assert!(report.history_len >= 1, "bundle must carry the metrics-history tail");
         assert!(report.passed());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,17 +10,20 @@
 //! database carrying a 60-day history.
 
 pub mod crash;
+pub mod introspect;
 pub mod obs_report;
 pub mod replay;
 pub mod serve_load;
 pub mod tiers;
 
 pub use crash::{format_crash_report, run_crash_forensics, CrashReport};
+pub use introspect::{format_introspect, introspect_json, run_introspect, IntrospectReport};
 pub use obs_report::{format_obs_report, obs_report_json, run_obs_report, ChurnPoint, ObsReport};
 pub use replay::{capture_workload, format_replay, replay_json, replay_qlog, ReplayReport, ReplayRow};
 pub use serve_load::{
-    format_flight_overhead, format_serve_load, run_flight_overhead, run_serve_load, serve_load_json,
-    serve_load_json_with_overhead, FlightOverhead, ServeLoadConfig, ServeLoadRow,
+    format_attribution_overhead, format_flight_overhead, format_serve_load, run_attribution_overhead,
+    run_flight_overhead, run_serve_load, serve_load_json, serve_load_json_full, serve_load_json_with_overhead,
+    AttributionOverhead, FlightOverhead, ServeLoadConfig, ServeLoadRow,
 };
 pub use tiers::{
     check_gates, format_tier_scaling, run_scaling_tiers, tier_aggregates, tier_scaling_json, GateOutcome, TierReport,

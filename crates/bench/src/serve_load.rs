@@ -206,6 +206,80 @@ pub fn run_flight_overhead(cfg: &ServeLoadConfig, seed: u64) -> FlightOverhead {
     FlightOverhead { off, on, overhead_pct, events_recorded }
 }
 
+/// Cost-attribution overhead at capacity: the same at-capacity phase run
+/// back-to-back with the per-fingerprint statement meters off and on.
+#[derive(Debug, Clone)]
+pub struct AttributionOverhead {
+    pub off: ServeLoadRow,
+    pub on: ServeLoadRow,
+    /// Throughput lost with the meters on, percent (negative = noise in
+    /// the meters' favour).
+    pub overhead_pct: f64,
+    /// Distinct fingerprints tracked during the meters-on phase.
+    pub fingerprints_tracked: usize,
+    /// Statement records captured during the meters-on phase.
+    pub calls_recorded: u64,
+}
+
+/// Measure the cost-attribution overhead on the serving path: one bounded
+/// server with a statement-stats table attached, the at-capacity phase run
+/// twice (meters disabled, then enabled), comparing throughput. The
+/// disabled phase skips the CPU-clock samples and the record call — the
+/// same fast path a server without attribution runs.
+pub fn run_attribution_overhead(cfg: &ServeLoadConfig, seed: u64) -> AttributionOverhead {
+    let (snap, _) = build_virtualized(seed);
+    let pg = shared_graph(property_graph_from(&snap.graph));
+    let stmt = Arc::new(nepal_obs::StmtStats::new(512));
+    let server_cfg = ServeConfig {
+        workers: cfg.workers.max(1),
+        queue_depth: cfg.queue_depth.max(1),
+        deadline: cfg.deadline,
+        stmt: Some(stmt.clone()),
+        ..ServeConfig::default()
+    };
+    let mut server = GremlinServer::start_cfg(pg, "127.0.0.1:0", None, server_cfg).expect("bind attribution server");
+    let addr = server.addr;
+    let clients = cfg.workers.max(1);
+
+    stmt.set_enabled(false);
+    run_phase("warm-up", addr, clients, (cfg.requests_per_client / 4).max(2));
+    let off = run_phase("meters-off", addr, clients, cfg.requests_per_client);
+    let calls_before = stmt.totals().calls;
+    assert_eq!(calls_before, 0, "disabled meters must record nothing");
+    stmt.set_enabled(true);
+    let on = run_phase("meters-on", addr, clients, cfg.requests_per_client);
+    let fingerprints_tracked = stmt.tracked();
+    let calls_recorded = stmt.totals().calls;
+    let report = server.drain(Duration::from_millis(2000));
+    assert!(report.clean, "attribution drain must finish within its budget");
+
+    let overhead_pct = if off.throughput_rps > 0.0 {
+        (off.throughput_rps - on.throughput_rps) / off.throughput_rps * 100.0
+    } else {
+        0.0
+    };
+    AttributionOverhead { off, on, overhead_pct, fingerprints_tracked, calls_recorded }
+}
+
+/// Render the attribution-overhead comparison for the terminal.
+pub fn format_attribution_overhead(o: &AttributionOverhead) -> String {
+    format!(
+        "Cost-attribution overhead (at capacity, {} client(s), {} ok request(s) per phase):\n\
+         meters off: {:>8.1} req/s  p95 {:>6} us\n\
+         meters on:  {:>8.1} req/s  p95 {:>6} us  ({} record(s), {} fingerprint(s))\n\
+         overhead: {:.2}% throughput\n",
+        o.off.clients,
+        o.off.ok,
+        o.off.throughput_rps,
+        o.off.p95_us,
+        o.on.throughput_rps,
+        o.on.p95_us,
+        o.calls_recorded,
+        o.fingerprints_tracked,
+        o.overhead_pct
+    )
+}
+
 /// Render the overhead comparison for the terminal.
 pub fn format_flight_overhead(o: &FlightOverhead) -> String {
     format!(
@@ -275,6 +349,18 @@ pub fn serve_load_json_with_overhead(
     panics: u64,
     overhead: Option<&FlightOverhead>,
 ) -> String {
+    serve_load_json_full(rows, cfg, panics, overhead, None)
+}
+
+/// [`serve_load_json_with_overhead`] also embedding a cost-attribution
+/// overhead comparison (the `"attribution_overhead"` key).
+pub fn serve_load_json_full(
+    rows: &[ServeLoadRow],
+    cfg: &ServeLoadConfig,
+    panics: u64,
+    overhead: Option<&FlightOverhead>,
+    attribution: Option<&AttributionOverhead>,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"config\": {{\"workers\": {}, \"queue_depth\": {}, \"requests_per_client\": {}, \"overload_x\": {}, \
@@ -311,10 +397,24 @@ pub fn serve_load_json_with_overhead(
     match overhead {
         Some(o) => s.push_str(&format!(
             "  \"flight_overhead\": {{\"off_rps\": {:.1}, \"on_rps\": {:.1}, \"off_p95_us\": {}, \
-             \"on_p95_us\": {}, \"events_recorded\": {}, \"overhead_pct\": {:.2}}}\n",
+             \"on_p95_us\": {}, \"events_recorded\": {}, \"overhead_pct\": {:.2}}},\n",
             o.off.throughput_rps, o.on.throughput_rps, o.off.p95_us, o.on.p95_us, o.events_recorded, o.overhead_pct
         )),
-        None => s.push_str("  \"flight_overhead\": null\n"),
+        None => s.push_str("  \"flight_overhead\": null,\n"),
+    }
+    match attribution {
+        Some(a) => s.push_str(&format!(
+            "  \"attribution_overhead\": {{\"off_rps\": {:.1}, \"on_rps\": {:.1}, \"off_p95_us\": {}, \
+             \"on_p95_us\": {}, \"fingerprints_tracked\": {}, \"calls_recorded\": {}, \"overhead_pct\": {:.2}}}\n",
+            a.off.throughput_rps,
+            a.on.throughput_rps,
+            a.off.p95_us,
+            a.on.p95_us,
+            a.fingerprints_tracked,
+            a.calls_recorded,
+            a.overhead_pct
+        )),
+        None => s.push_str("  \"attribution_overhead\": null\n"),
     }
     s.push_str("}\n");
     s
@@ -339,5 +439,19 @@ mod tests {
         let json = serve_load_json(&rows, &cfg, panics);
         assert!(json.contains("\"phase\": \"overload\""));
         assert!(json.contains("\"evaluation_panics\": 0"));
+    }
+
+    #[test]
+    fn attribution_overhead_records_only_when_enabled() {
+        let cfg = ServeLoadConfig { workers: 2, queue_depth: 2, requests_per_client: 6, overload_x: 2, deadline: None };
+        let o = run_attribution_overhead(&cfg, 7);
+        // The meters-off phase asserts zero records internally; the on
+        // phase must have captured every admitted request.
+        assert_eq!(o.calls_recorded, o.on.ok);
+        assert!(o.fingerprints_tracked >= 1, "the shared count() shape tracks one fingerprint");
+        let json = serve_load_json_full(&[o.off.clone(), o.on.clone()], &cfg, 0, None, Some(&o));
+        assert!(json.contains("\"attribution_overhead\""), "{json}");
+        assert!(json.contains("\"calls_recorded\""), "{json}");
+        assert!(format_attribution_overhead(&o).contains("meters on"));
     }
 }

@@ -27,7 +27,8 @@ use nepal_graph::{FxHashMap, Interval, IntervalSet, TimeFilter, Uid};
 use nepal_obs::qlog::Fnv64;
 use nepal_obs::{
     fingerprint, AnchorCandidate, EstimateFeedback, JoinStep, MetricsRegistry, PlanFeedback, QlogRecord, QueryLog,
-    QueryProfile, SloEngine, SloRule, SlowQueryLog, SpanHandle, Tracer, VarProfile,
+    QueryProfile, ResourceMeter, SloEngine, SloRule, SlowQueryLog, SpanHandle, StmtOutcome, StmtStats, Tracer,
+    VarProfile,
 };
 use nepal_rpe::{
     plan_rpe_threads, resolved_threads, BoundAtom, CancelCause, CancelToken, CardinalityEstimator, EvalOptions,
@@ -134,6 +135,17 @@ pub struct Engine {
     /// profiled execution (and by every query while the qlog is enabled);
     /// exports q-error metrics into [`Engine::metrics`].
     pub feedback: Arc<EstimateFeedback>,
+    /// Per-fingerprint statement statistics (cost attribution). While
+    /// enabled, every [`Engine::query`] runs through the profiled path
+    /// with a [`ResourceMeter`] attached, and each query's wall / CPU /
+    /// row / byte totals are folded into its fingerprint's entry. `None`
+    /// — the default — adds one `Option` check to the hot path.
+    pub stmt: Option<Arc<StmtStats>>,
+    /// Meter of the query currently executing: created by the outermost
+    /// profiled `execute_inner` and shared with nested sub-executions
+    /// (views, decorrelated EXISTS), so their scans are charged to the
+    /// outer query. Taken (and cleared) by the caller that created it.
+    cur_meter: Option<Arc<ResourceMeter>>,
     /// Named pathway views (§3.4: "Additional views can be defined").
     views: HashMap<String, Query>,
     view_depth: u8,
@@ -198,6 +210,8 @@ impl Engine {
             tracer: Tracer::new(),
             qlog: None,
             feedback,
+            stmt: None,
+            cur_meter: None,
             views: HashMap::new(),
             view_depth: 0,
             last_anchor: String::new(),
@@ -221,6 +235,20 @@ impl Engine {
     /// Close the durable query log, restoring the zero-overhead hot path.
     pub fn disable_qlog(&mut self) {
         self.qlog = None;
+    }
+
+    /// Enable per-fingerprint statement statistics, bounded at `capacity`
+    /// tracked fingerprints (LRU eviction beyond that). Returns the shared
+    /// table so a telemetry endpoint can serve `/top` from it.
+    pub fn enable_stmt(&mut self, capacity: usize) -> Arc<StmtStats> {
+        let stats = Arc::new(StmtStats::new(capacity));
+        self.stmt = Some(stats.clone());
+        stats
+    }
+
+    /// Disable statement statistics, restoring the unprofiled hot path.
+    pub fn disable_stmt(&mut self) {
+        self.stmt = None;
     }
 
     /// Build an [`SloEngine`] over this engine's metrics with the standard
@@ -273,11 +301,13 @@ impl Engine {
     /// engine's tracer is enabled, the whole call becomes one hierarchical
     /// trace (parse → plan → execute, down to backend operator spans).
     pub fn query(&mut self, text: &str) -> Result<QueryResult> {
-        // With the durable query log enabled, every query takes the
-        // profiled path — the log needs per-operator actuals. When it is
-        // off (the default) this branch is one `Option` check and the hot
-        // path below is exactly the pre-qlog code.
-        if self.qlog.is_some() {
+        // With the durable query log or statement statistics enabled,
+        // every query takes the profiled path — the log needs
+        // per-operator actuals and the stats table needs the resource
+        // meter. When both are off (the default) this branch is two
+        // `Option` checks and the hot path below is exactly the
+        // pre-instrumentation code.
+        if self.qlog.is_some() || self.stmt.is_some() {
             return self.query_profiled(text).map(|(r, _)| r);
         }
         if nepal_obs::flight::recorder().is_enabled() {
@@ -328,10 +358,19 @@ impl Engine {
         }
         self.record_query_metrics(text, total_ns, outcome.as_ref().ok().map(|(r, _)| r.rows.len() as u64), trace_id);
         let threads = resolved_threads(self.eval_options.threads) as u64;
+        let meter_snap = self.cur_meter.take().map(|m| m.snapshot());
         let (result, mut profile) = match outcome {
             Ok(v) => v,
             Err(e) => {
                 self.note_cancellation_metrics(&e);
+                if let Some(stmt) = &self.stmt {
+                    let outcome = match &e {
+                        NepalError::DeadlineExceeded => StmtOutcome::Deadline,
+                        NepalError::Cancelled => StmtOutcome::Cancelled,
+                        _ => StmtOutcome::Error,
+                    };
+                    stmt.record(fingerprint(text), text, outcome, total_ns, 0, meter_snap.as_ref());
+                }
                 if let Some(qlog) = &self.qlog {
                     let mut rec = QlogRecord::for_error(text, total_ns, &e.to_string(), trace_id, threads);
                     rec.ts_ms = unix_ms();
@@ -345,6 +384,17 @@ impl Engine {
         profile.query = text.to_string();
         profile.parse_ns = parse_ns;
         profile.total_ns = total_ns;
+        profile.meter = meter_snap;
+        if let Some(stmt) = &self.stmt {
+            stmt.record(
+                fingerprint(text),
+                text,
+                StmtOutcome::Ok,
+                total_ns,
+                result.rows.len() as u64,
+                meter_snap.as_ref(),
+            );
+        }
         let rec = QlogRecord {
             ts_ms: if self.qlog.is_some() { unix_ms() } else { 0 },
             query: text.to_string(),
@@ -420,9 +470,12 @@ impl Engine {
     pub fn execute_profiled(&mut self, q: &Query) -> Result<(QueryResult, QueryProfile)> {
         let mut profile = QueryProfile::default();
         let t0 = Instant::now();
-        let result = self.execute_inner(q, Some(&mut profile), &SpanHandle::none())?;
+        let result = self.execute_inner(q, Some(&mut profile), &SpanHandle::none());
+        let meter_snap = self.cur_meter.take().map(|m| m.snapshot());
+        let result = result?;
         profile.total_ns = t0.elapsed().as_nanos() as u64;
         profile.result_rows = result.rows.len() as u64;
+        profile.meter = meter_snap;
         Ok((result, profile))
     }
 
@@ -442,6 +495,14 @@ impl Engine {
             (Some(parent), deadline) => Some(parent.child(deadline)),
             (None, Some(deadline)) => Some(CancelToken::with_deadline(deadline)),
         };
+        // Resource metering: the outermost profiled call creates the
+        // query's meter; nested sub-executions (views, EXISTS) find it
+        // already present and share it, charging their work to the outer
+        // query. The creator takes it back via `cur_meter.take()`.
+        if self.cur_meter.is_none() && profile.is_some() {
+            self.cur_meter = Some(ResourceMeter::new());
+        }
+        qopts.meter = self.cur_meter.clone();
         let qopts = qopts;
         let mut cancel_ctr = 0u64;
 
@@ -859,6 +920,9 @@ impl Engine {
             }
             rows = next_rows;
             joined.insert(i);
+            if let Some(mm) = &qopts.meter {
+                mm.add_join_build_rows(evals[i].pathways.len() as u64);
+            }
             join_span.attr("probe_rows", probe_rows);
             join_span.attr("build_rows", evals[i].pathways.len());
             join_span.attr("emitted", rows.len());

@@ -33,7 +33,7 @@
 //! order arrives, overlapping the serial apply with the remaining decode.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use nepal_schema::codec::{
@@ -60,6 +60,18 @@ const BLOCK_TRAILER: u8 = 0x02;
 
 const TAG_FULL: u8 = 0x00;
 const TAG_DELTA: u8 = 0x01;
+
+/// Process-wide decode counters: versions decoded from full (keyframe)
+/// records vs. backward-delta records, across every binary-snapshot load.
+/// Exported as `nepal_binsnap_decoded_{full,delta}` gauges so recovery
+/// telemetry shows how much of a restore rode the delta encoding.
+static DECODED_FULL: AtomicU64 = AtomicU64::new(0);
+static DECODED_DELTA: AtomicU64 = AtomicU64::new(0);
+
+/// `(full, delta)` versions decoded by binary-snapshot loads so far.
+pub fn decode_stats() -> (u64, u64) {
+    (DECODED_FULL.load(Ordering::Relaxed), DECODED_DELTA.load(Ordering::Relaxed))
+}
 
 // ----------------------------------------------------------------------
 // CRC32 (IEEE 802.3), table built at compile time — no dependencies.
@@ -601,6 +613,7 @@ fn decode_run(
     p += 4;
 
     out.reserve(count as usize);
+    let (mut full_seen, mut delta_seen) = (0u64, 0u64);
     for k in 0..count {
         let uid = start_uid + k;
         let (src, dst) = if is_node {
@@ -640,6 +653,7 @@ fn decode_run(
             p += 1;
             let data = match tag {
                 TAG_FULL => {
+                    full_seen += 1;
                     let nf = read_uvarint(payload, &mut p).map_err(|e| bad(p, &e.to_string()))? as usize;
                     if nf != n_fields {
                         return Err(bad(p, &format!("field count {nf} != schema's {n_fields}")));
@@ -651,6 +665,7 @@ fn decode_run(
                     VersionData::Full(fields)
                 }
                 TAG_DELTA => {
+                    delta_seen += 1;
                     let np = read_uvarint(payload, &mut p).map_err(|e| bad(p, &e.to_string()))? as usize;
                     if np >= n_fields.max(1) {
                         // A delta at least as wide as the record would have
@@ -719,6 +734,8 @@ fn decode_run(
         }
         out.push(DecodedEntity { uid, is_node, class, src, dst, versions, stored_heap, full_heap });
     }
+    DECODED_FULL.fetch_add(full_seen, Ordering::Relaxed);
+    DECODED_DELTA.fetch_add(delta_seen, Ordering::Relaxed);
     *pos = p;
     Ok(())
 }

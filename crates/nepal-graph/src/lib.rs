@@ -44,8 +44,8 @@ pub mod store;
 pub mod view;
 
 pub use binsnap::{
-    binary_snapshot_bytes, load_binary, load_binary_from_file, load_binary_from_file_lenient, load_binary_lenient,
-    save_binary, save_binary_to_file, schema_fingerprint, TornSnap, BIN_MAGIC,
+    binary_snapshot_bytes, decode_stats, load_binary, load_binary_from_file, load_binary_from_file_lenient,
+    load_binary_lenient, save_binary, save_binary_to_file, schema_fingerprint, TornSnap, BIN_MAGIC,
 };
 pub use error::{GraphError, Result};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
@@ -57,7 +57,8 @@ pub use journal::{
 pub use metrics::{resource_summary, StoreGauges};
 pub use snapshot::{SnapshotEdge, SnapshotLoader, SnapshotNode, SnapshotStats};
 pub use store::{
-    materialize_version, value_heap_bytes, AdjEntry, AdjList, ClassAccounting, ClassMemory, EdgeEntry, MemoryReport,
-    NodeEntry, StoreCounts, TemporalGraph, Uid, Version, VersionData, KEYFRAME_INTERVAL,
+    materialize_version, value_heap_bytes, AdjEntry, AdjList, ClassAccounting, ClassHeat, ClassHeatSnapshot,
+    ClassMemory, EdgeEntry, MemoryReport, NodeEntry, StoreCounts, TemporalGraph, Uid, Version, VersionData,
+    KEYFRAME_INTERVAL,
 };
-pub use view::{GraphView, MatchTime, TimeFilter};
+pub use view::{AccessCost, GraphView, MatchTime, TimeFilter};

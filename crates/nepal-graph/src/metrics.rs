@@ -39,6 +39,8 @@ pub struct StoreGauges {
     journal_bytes: Arc<Gauge>,
     snapshot_hits: Arc<Gauge>,
     snapshot_misses: Arc<Gauge>,
+    binsnap_full: Arc<Gauge>,
+    binsnap_delta: Arc<Gauge>,
     /// Labeled-series handles resolved once per class: registry lookups
     /// allocate and take the registry lock, so the per-query-safe
     /// [`refresh`](Self::refresh) path must not repeat them.
@@ -48,11 +50,23 @@ pub struct StoreGauges {
 struct ClassSeries {
     bytes: Arc<Gauge>,
     alive_ratio: Arc<Gauge>,
+    heat_scans: Arc<Gauge>,
+    heat_scan_rows: Arc<Gauge>,
+    heat_seeks: Arc<Gauge>,
+    heat_materializations: Arc<Gauge>,
+    heat_keyframe_hits: Arc<Gauge>,
+    heat_bytes_read: Arc<Gauge>,
 }
 
 const BYTES_HELP: &str = "Estimated heap bytes per class (version chains + property payloads)";
 const ALIVE_HELP: &str = "Currently-asserted entities per thousand ever created, per class";
 const CHAIN_HELP: &str = "Entities whose version chain is at most `le` versions long";
+const HEAT_SCANS_HELP: &str = "Extent scans over this class since process start";
+const HEAT_SCAN_ROWS_HELP: &str = "Entity uids yielded by extent scans of this class";
+const HEAT_SEEKS_HELP: &str = "Unique-index point lookups against this class";
+const HEAT_MAT_HELP: &str = "Historical versions materialized by replaying delta chains, per class";
+const HEAT_KF_HELP: &str = "Version reads satisfied directly by a keyframe (no delta replay), per class";
+const HEAT_BYTES_HELP: &str = "Estimated property-value bytes read from this class";
 
 impl StoreGauges {
     /// Create the gauge family inside `metrics`. Keeps a handle on the
@@ -77,6 +91,9 @@ impl StoreGauges {
             journal_bytes: metrics.gauge("nepal_store_journal_bytes", "Bytes a full journal save would write"),
             snapshot_hits: metrics.gauge("nepal_snapshot_cache_hits", "Snapshot upserts resolved to live entities"),
             snapshot_misses: metrics.gauge("nepal_snapshot_cache_misses", "Snapshot upserts that inserted fresh"),
+            binsnap_full: metrics
+                .gauge("nepal_binsnap_decoded_full", "Full (keyframe) versions decoded from binary snapshots"),
+            binsnap_delta: metrics.gauge("nepal_binsnap_decoded_delta", "Delta versions decoded from binary snapshots"),
             per_class: Mutex::new(HashMap::new()),
         }
     }
@@ -103,15 +120,43 @@ impl StoreGauges {
                 ClassSeries {
                     bytes: self.metrics.gauge_labeled("nepal_store_bytes", &labels, BYTES_HELP),
                     alive_ratio: self.metrics.gauge_labeled("nepal_store_alive_ratio_x1000", &labels, ALIVE_HELP),
+                    heat_scans: self.metrics.gauge_labeled("nepal_heat_scans", &labels, HEAT_SCANS_HELP),
+                    heat_scan_rows: self.metrics.gauge_labeled("nepal_heat_scan_rows", &labels, HEAT_SCAN_ROWS_HELP),
+                    heat_seeks: self.metrics.gauge_labeled("nepal_heat_seeks", &labels, HEAT_SEEKS_HELP),
+                    heat_materializations: self.metrics.gauge_labeled(
+                        "nepal_heat_materializations",
+                        &labels,
+                        HEAT_MAT_HELP,
+                    ),
+                    heat_keyframe_hits: self.metrics.gauge_labeled("nepal_heat_keyframe_hits", &labels, HEAT_KF_HELP),
+                    heat_bytes_read: self.metrics.gauge_labeled("nepal_heat_bytes_read", &labels, HEAT_BYTES_HELP),
                 }
             });
             s.bytes.set(row.bytes as i64);
             let ratio = (row.alive * 1000).checked_div(row.entities).unwrap_or(0);
             s.alive_ratio.set(ratio as i64);
+            let heat = g.class_heat(row.class);
+            s.heat_scans.set(heat.scans as i64);
+            s.heat_scan_rows.set(heat.scan_rows as i64);
+            s.heat_seeks.set(heat.seeks as i64);
+            s.heat_materializations.set(heat.materializations as i64);
+            s.heat_keyframe_hits.set(heat.keyframe_hits as i64);
+            s.heat_bytes_read.set(heat.bytes_read as i64);
         }
         drop(series);
         self.entity_bytes.set(entity_bytes as i64);
         self.adjacency_bytes.set(g.adjacency_bytes() as i64);
+        let (full, delta) = crate::binsnap::decode_stats();
+        self.binsnap_full.set(full as i64);
+        self.binsnap_delta.set(delta as i64);
+        // Keep `nepal_store_total_bytes` live on the cheap path too
+        // (satellite of the deep-scrape split): entity + adjacency move per
+        // mutation; unique-index and journal bytes reuse the last deep walk.
+        let total = entity_bytes
+            + g.adjacency_bytes()
+            + self.unique_index_bytes.get().max(0) as u64
+            + self.journal_bytes.get().max(0) as u64;
+        self.total_bytes.set(total as i64);
     }
 
     /// [`refresh`](Self::refresh), plus the store-walking figures: total /
@@ -198,6 +243,16 @@ mod tests {
         // Per-class byte + alive-ratio series (1 of 2 VMs alive = 500).
         assert!(text.contains("nepal_store_bytes{class=\"VM\"}"), "{text}");
         assert!(text.contains("nepal_store_alive_ratio_x1000{class=\"VM\"} 500"), "{text}");
+
+        // Access-heatmap series follow the read path: one extent scan over
+        // two uids, then a refresh re-exports the counters.
+        assert_eq!(g.extent_exact(vm).len(), 2);
+        gauges.refresh(&g);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("nepal_heat_scans{class=\"VM\"} 1"), "{text}");
+        assert!(text.contains("nepal_heat_scan_rows{class=\"VM\"} 2"), "{text}");
+        assert!(text.contains("nepal_heat_seeks{class=\"VM\"} 0"), "{text}");
+        assert!(text.contains("nepal_binsnap_decoded_full"), "{text}");
 
         let mut loader = SnapshotLoader::new();
         let node =

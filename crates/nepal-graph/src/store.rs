@@ -13,6 +13,7 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nepal_schema::{ClassId, ClassKind, Schema, Ts, Value};
@@ -428,6 +429,69 @@ pub struct StoreCounts {
     pub alive_edges: u64,
 }
 
+/// Per-class read-path access counters (the store heatmap): how often each
+/// class partition is scanned, seeked, and how many version reads were
+/// delta materializations vs. keyframe hits. Relaxed atomics so the
+/// shared read path (`&self`) can maintain them; counts are *physical* —
+/// parallel workers re-deriving a read each count it — which is the right
+/// semantics for cumulative monitoring and the omni-index planner input.
+#[derive(Debug, Default)]
+pub struct ClassHeat {
+    /// Extent scans over this exact class.
+    pub scans: AtomicU64,
+    /// Elements yielded by those extent scans.
+    pub scan_rows: AtomicU64,
+    /// Unique-index point lookups attributed to this class.
+    pub seeks: AtomicU64,
+    /// Version reads that had to materialize a delta-encoded version.
+    pub materializations: AtomicU64,
+    /// Version reads satisfied directly by a full (keyframe) version.
+    pub keyframe_hits: AtomicU64,
+    /// Field-slot bytes read (record width x slot size per version read).
+    pub bytes_read: AtomicU64,
+}
+
+impl ClassHeat {
+    #[inline]
+    fn version_read(&self, is_delta: bool, width: usize) {
+        if is_delta {
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.keyframe_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes_read.fetch_add(width as u64 * VALUE_SLOT_BYTES, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ClassHeatSnapshot {
+        ClassHeatSnapshot {
+            scans: self.scans.load(Ordering::Relaxed),
+            scan_rows: self.scan_rows.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+            keyframe_hits: self.keyframe_hits.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of one class's [`ClassHeat`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassHeatSnapshot {
+    pub scans: u64,
+    pub scan_rows: u64,
+    pub seeks: u64,
+    pub materializations: u64,
+    pub keyframe_hits: u64,
+    pub bytes_read: u64,
+}
+
+impl ClassHeatSnapshot {
+    /// Any read-path activity at all on this class?
+    pub fn is_hot(&self) -> bool {
+        self.scans > 0 || self.seeks > 0 || self.materializations > 0 || self.keyframe_hits > 0
+    }
+}
+
 /// The temporal graph store.
 pub struct TemporalGraph {
     schema: Arc<Schema>,
@@ -449,6 +513,9 @@ pub struct TemporalGraph {
     acct: Vec<ClassAccounting>,
     /// Incremental adjacency-structure bytes (lists, entries, buckets).
     adj_bytes: u64,
+    /// Per exact class: read-path access heatmap (scans, seeks,
+    /// materializations, bytes read) — input for the adaptive planner.
+    heat: Vec<ClassHeat>,
 }
 
 impl TemporalGraph {
@@ -466,6 +533,7 @@ impl TemporalGraph {
             version_count: 0,
             acct: vec![ClassAccounting::default(); n],
             adj_bytes: 0,
+            heat: std::iter::repeat_with(ClassHeat::default).take(n).collect(),
         }
     }
 
@@ -881,12 +949,16 @@ impl TemporalGraph {
     /// delta-encoded history versions.
     pub fn fields_at(&self, uid: Uid, ts: Ts) -> Option<Cow<'_, [Value]>> {
         let i = self.version_index_at(uid, ts)?;
-        Some(materialize_version(self.versions(uid), i))
+        let vs = self.versions(uid);
+        self.note_version_read(uid, vs[i].is_delta(), vs.last().map_or(0, |h| h.fields().len()));
+        Some(materialize_version(vs, i))
     }
 
     /// Materialized field values of `versions(uid)[index]`.
     pub fn fields_of(&self, uid: Uid, index: usize) -> Cow<'_, [Value]> {
-        materialize_version(self.versions(uid), index)
+        let vs = self.versions(uid);
+        self.note_version_read(uid, vs[index].is_delta(), vs.last().map_or(0, |h| h.fields().len()));
+        materialize_version(vs, index)
     }
 
     /// Index range into [`TemporalGraph::versions`] of the versions whose
@@ -914,14 +986,20 @@ impl TemporalGraph {
         s
     }
 
-    /// Every uid ever created with *exactly* class `class`.
+    /// Every uid ever created with *exactly* class `class`. Counts one
+    /// scan (plus its yielded rows) on the class heatmap.
     pub fn extent_exact(&self, class: ClassId) -> &[Uid] {
-        &self.extents[class.0 as usize]
+        let ext = &self.extents[class.0 as usize];
+        if let Some(h) = self.heat.get(class.0 as usize) {
+            h.scans.fetch_add(1, Ordering::Relaxed);
+            h.scan_rows.fetch_add(ext.len() as u64, Ordering::Relaxed);
+        }
+        ext
     }
 
     /// Iterate all uids of `class` and its subclasses.
     pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Uid> + '_ {
-        self.schema.descendants(class).into_iter().flat_map(|c| self.extents[c.0 as usize].to_vec())
+        self.schema.descendants(class).into_iter().flat_map(|c| self.extent_exact(c).to_vec())
     }
 
     /// Number of currently asserted entities of `class` incl. subclasses —
@@ -954,9 +1032,32 @@ impl TemporalGraph {
         }
     }
 
+    /// Read-path heatmap hook: one version read on `uid`'s class. Width is
+    /// the record's field count (the chain head is always full).
+    #[inline]
+    pub(crate) fn note_version_read(&self, uid: Uid, is_delta: bool, width: usize) {
+        if let Some(h) = self.class_of(uid).and_then(|c| self.heat.get(c.0 as usize)) {
+            h.version_read(is_delta, width);
+        }
+    }
+
+    /// Per-class heatmap counters, indexed by exact [`ClassId`].
+    pub fn heat_snapshot(&self) -> Vec<ClassHeatSnapshot> {
+        self.heat.iter().map(|h| h.snapshot()).collect()
+    }
+
+    /// One class's heatmap counters.
+    pub fn class_heat(&self, class: ClassId) -> ClassHeatSnapshot {
+        self.heat.get(class.0 as usize).map(|h| h.snapshot()).unwrap_or_default()
+    }
+
     /// Unique-index point lookup: the currently asserted entity of `class`
-    /// (or a subclass) whose unique field `idx` equals `value`.
+    /// (or a subclass) whose unique field `idx` equals `value`. Counts one
+    /// seek on the queried class's heatmap.
     pub fn find_unique(&self, class: ClassId, idx: usize, value: &Value) -> Option<Uid> {
+        if let Some(h) = self.heat.get(class.0 as usize) {
+            h.seeks.fetch_add(1, Ordering::Relaxed);
+        }
         let key = (self.declaring_class(class, idx), idx);
         let uid = *self.unique.get(&key)?.get(value)?;
         // The index only holds alive entities, but the hit might be of a

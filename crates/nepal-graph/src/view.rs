@@ -11,7 +11,7 @@ use std::borrow::Cow;
 use nepal_schema::{ClassId, Ts, Value};
 
 use crate::interval::{Interval, IntervalSet};
-use crate::store::{materialize_version, AdjEntry, TemporalGraph, Uid};
+use crate::store::{materialize_version, AdjEntry, TemporalGraph, Uid, Version};
 
 /// The temporal scope a query (or one range variable) executes under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,30 @@ pub enum MatchTime {
     Intervals(IntervalSet),
 }
 
+/// Deterministic store-access cost of reading one element under a view:
+/// how many version reads the filter implies, split into delta-chain
+/// materializations vs. keyframe hits, plus the field-slot bytes touched.
+///
+/// Unlike the physical per-class heatmap (which counts every actual read,
+/// including re-derivations by parallel workers), this is a *pure function
+/// of store state* — the same element under the same filter always costs
+/// the same — which is what makes per-query resource meters identical
+/// between sequential and parallel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCost {
+    pub materializations: u64,
+    pub keyframe_hits: u64,
+    pub bytes: u64,
+}
+
+impl AccessCost {
+    pub fn add(&mut self, other: AccessCost) {
+        self.materializations += other.materializations;
+        self.keyframe_hits += other.keyframe_hits;
+        self.bytes += other.bytes;
+    }
+}
+
 /// A read-only, time-scoped view of a [`TemporalGraph`].
 #[derive(Clone, Copy)]
 pub struct GraphView<'g> {
@@ -73,18 +97,62 @@ impl<'g> GraphView<'g> {
     /// owned when a delta-encoded history version had to be materialized.
     pub fn fields(&self, uid: Uid) -> Option<Cow<'g, [Value]>> {
         match self.filter {
-            TimeFilter::Current => self.graph.current_version(uid).map(|v| Cow::Borrowed(v.fields())),
+            TimeFilter::Current => self.graph.current_version(uid).map(|v| {
+                self.graph.note_version_read(uid, false, v.fields().len());
+                Cow::Borrowed(v.fields())
+            }),
             TimeFilter::AsOf(t) => {
                 let i = self.graph.version_index_at(uid, t)?;
-                Some(materialize_version(self.graph.versions(uid), i))
+                let vs = self.graph.versions(uid);
+                self.graph.note_version_read(uid, vs[i].is_delta(), record_width(vs));
+                Some(materialize_version(vs, i))
             }
             TimeFilter::Range(a, b) => {
                 let probe = Interval::new(a, b.saturating_add(1));
                 let range = self.graph.overlap_range(uid, &probe);
                 let i = range.end.checked_sub(1).filter(|i| range.contains(i))?;
-                Some(materialize_version(self.graph.versions(uid), i))
+                let vs = self.graph.versions(uid);
+                self.graph.note_version_read(uid, vs[i].is_delta(), record_width(vs));
+                Some(materialize_version(vs, i))
             }
         }
+    }
+
+    /// The deterministic access cost of reading `uid` under this view —
+    /// see [`AccessCost`]. Zero-cost for elements not asserted within the
+    /// filter (only the binary search over spans touches them).
+    pub fn access_cost(&self, uid: Uid) -> AccessCost {
+        let vs = self.graph.versions(uid);
+        let Some(head) = vs.last() else { return AccessCost::default() };
+        let bytes_per = head.fields().len() as u64 * crate::store::VALUE_SLOT_BYTES;
+        let mut cost = AccessCost::default();
+        let mut note = |is_delta: bool| {
+            if is_delta {
+                cost.materializations += 1;
+            } else {
+                cost.keyframe_hits += 1;
+            }
+            cost.bytes += bytes_per;
+        };
+        match self.filter {
+            TimeFilter::Current => {
+                if head.span.is_current() {
+                    note(false); // the chain head is always stored full
+                }
+            }
+            TimeFilter::AsOf(t) => {
+                if let Some(i) = self.graph.version_index_at(uid, t) {
+                    note(vs[i].is_delta());
+                }
+            }
+            TimeFilter::Range(a, b) => {
+                let probe = Interval::new(a, b.saturating_add(1));
+                for i in self.graph.overlap_range(uid, &probe) {
+                    note(vs[i].is_delta());
+                }
+            }
+        }
+        cost
     }
 
     /// Test `uid` against a field predicate under this view.
@@ -99,17 +167,22 @@ impl<'g> GraphView<'g> {
             TimeFilter::Current => {
                 // Hot path: the chain head is always stored full.
                 let v = self.graph.current_version(uid)?;
+                self.graph.note_version_read(uid, false, v.fields().len());
                 pred(v.fields()).then_some(MatchTime::Point)
             }
             TimeFilter::AsOf(t) => {
                 let i = self.graph.version_index_at(uid, t)?;
-                pred(&materialize_version(self.graph.versions(uid), i)).then_some(MatchTime::Point)
+                let vs = self.graph.versions(uid);
+                self.graph.note_version_read(uid, vs[i].is_delta(), record_width(vs));
+                pred(&materialize_version(vs, i)).then_some(MatchTime::Point)
             }
             TimeFilter::Range(a, b) => {
                 let probe = Interval::new(a, b.saturating_add(1));
                 let vs = self.graph.versions(uid);
+                let width = record_width(vs);
                 let mut set = IntervalSet::empty();
                 for i in self.graph.overlap_range(uid, &probe) {
+                    self.graph.note_version_read(uid, vs[i].is_delta(), width);
                     if pred(&materialize_version(vs, i)) {
                         set.push(vs[i].span);
                     }
@@ -184,6 +257,12 @@ impl<'g> GraphView<'g> {
     }
 }
 
+/// Field count of an entity's record: the chain head is always stored
+/// full, so its field vector gives the width without materializing.
+fn record_width(vs: &[Version]) -> usize {
+    vs.last().map_or(0, |h| h.fields().len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +315,43 @@ mod tests {
         let (g, u) = setup();
         let v = GraphView::new(&g, TimeFilter::Range(0, 50));
         assert!(v.matching(u, |_| true).is_none());
+    }
+
+    #[test]
+    fn access_cost_is_deterministic_per_filter() {
+        let (g, u) = setup();
+        let cur = GraphView::new(&g, TimeFilter::Current).access_cost(u);
+        // The chain head is always a full keyframe.
+        assert_eq!(cur.keyframe_hits, 1);
+        assert_eq!(cur.materializations, 0);
+        assert!(cur.bytes > 0);
+        // Pure function of store state: same call, same answer.
+        assert_eq!(cur, GraphView::new(&g, TimeFilter::Current).access_cost(u));
+        // One version read for a timeslice, however it is encoded.
+        let asof = GraphView::new(&g, TimeFilter::AsOf(150)).access_cost(u);
+        assert_eq!(asof.keyframe_hits + asof.materializations, 1);
+        // A range covering the whole history reads all three versions.
+        let range = GraphView::new(&g, TimeFilter::Range(0, 400)).access_cost(u);
+        assert_eq!(range.keyframe_hits + range.materializations, 3);
+        assert_eq!(range.bytes, 3 * cur.bytes);
+        // Before birth: nothing is read.
+        assert_eq!(GraphView::new(&g, TimeFilter::AsOf(50)).access_cost(u), AccessCost::default());
+    }
+
+    #[test]
+    fn read_path_maintains_class_heatmap() {
+        let (g, u) = setup();
+        let class = g.class_of(u).unwrap();
+        let before = g.class_heat(class);
+        let v = GraphView::new(&g, TimeFilter::Current);
+        let _ = v.matching(u, |_| true);
+        let after = g.class_heat(class);
+        assert_eq!(after.keyframe_hits, before.keyframe_hits + 1);
+        assert!(after.bytes_read > before.bytes_read);
+        let _ = v.scan_class(class);
+        let scanned = g.class_heat(class);
+        assert!(scanned.scans > after.scans);
+        assert!(scanned.scan_rows > after.scan_rows);
+        assert!(scanned.is_hot());
     }
 }

@@ -92,6 +92,9 @@ pub struct ServeConfig {
     pub drain: Duration,
     /// Retry hint echoed in shed frames, milliseconds.
     pub retry_after_ms: u64,
+    /// Per-fingerprint statement-stats table: when attached, every served
+    /// request records its wall/CPU time, result rows and outcome.
+    pub stmt: Option<Arc<nepal_obs::StmtStats>>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +105,7 @@ impl Default for ServeConfig {
             deadline: None,
             drain: Duration::from_millis(2000),
             retry_after_ms: 250,
+            stmt: None,
         }
     }
 }
@@ -119,6 +123,9 @@ pub struct ConnCtl {
     pub cancel: Option<CancelToken>,
     /// Per-request evaluation deadline.
     pub deadline: Option<Duration>,
+    /// Statement-stats table recording every served request (see
+    /// [`ServeConfig::stmt`]).
+    pub stmt: Option<Arc<nepal_obs::StmtStats>>,
 }
 
 impl ConnCtl {
@@ -392,11 +399,19 @@ pub fn serve_connection_ctl(
             None => nepal_obs::SpanHandle::none(),
         };
         let measure = want_timing || srv_span.is_active();
-        let t0 = measure.then(Instant::now);
+        let metered = ctl.stmt.as_ref().is_some_and(|s| s.is_enabled());
+        let t0 = (measure || metered).then(Instant::now);
+        // Worker-thread CPU delta around handling: evaluation runs on this
+        // thread, so the pair brackets the request's actual CPU cost.
+        let c0 = metered.then(nepal_obs::thread_cpu_ns);
         let mut timing: Vec<(String, u64, u64)> = Vec::new();
         let timing_slot = if measure { Some(&mut timing) } else { None };
         let token = ctl.request_token();
         let mut frames = handle_request_ctl(&graph, &req, stats, token.as_ref(), timing_slot);
+        if let (true, Some(stmt), Some(t)) = (metered, &ctl.stmt, t0) {
+            let cpu_ns = c0.map(|c| nepal_obs::thread_cpu_ns().saturating_sub(c)).unwrap_or(0);
+            record_stmt(stmt, &req, &frames, t.elapsed().as_nanos() as u64, cpu_ns);
+        }
         if let Some(t) = t0 {
             let total_ns = t.elapsed().as_nanos() as u64;
             if srv_span.is_active() {
@@ -422,6 +437,32 @@ pub fn serve_connection_ctl(
             }
         }
     }
+}
+
+/// Record one served request into the per-fingerprint statement table.
+/// The statement shape is the request's op plus its gremlin payload, rows
+/// are the result items streamed back across all frames, and the outcome
+/// is derived from the final frame's status code.
+fn record_stmt(stmt: &nepal_obs::StmtStats, req: &Json, frames: &[Json], wall_ns: u64, cpu_ns: u64) {
+    let op = req.get("op").and_then(|j| j.as_str()).unwrap_or("bytecode");
+    let gremlin = req.get("args").and_then(|a| a.get("gremlin")).map(|g| g.to_string()).unwrap_or_default();
+    let text = format!("gremlin {op} {gremlin}");
+    let rows: u64 = frames
+        .iter()
+        .filter_map(|f| f.get("result").and_then(|r| r.get("data")).and_then(|d| d.as_arr()))
+        .map(|a| a.len() as u64)
+        .sum();
+    let code =
+        frames.last().and_then(|f| f.get("status")).and_then(|s| s.get("code")).and_then(|c| c.as_u64()).unwrap_or(0)
+            as u32;
+    let outcome = match code {
+        status::SUCCESS | status::NO_CONTENT | status::PARTIAL_CONTENT => nepal_obs::StmtOutcome::Ok,
+        status::SERVER_TIMEOUT => nepal_obs::StmtOutcome::Deadline,
+        _ => nepal_obs::StmtOutcome::Error,
+    };
+    let meter = nepal_obs::ResourceMeter::new();
+    meter.add_cpu_ns(cpu_ns);
+    stmt.record(nepal_obs::fingerprint(&text), &text, outcome, wall_ns, rows, Some(&meter.snapshot()));
 }
 
 /// Bounded connection queue: the accept loop pushes, workers pop. `push`
@@ -575,8 +616,12 @@ impl GremlinServer {
         });
 
         // Worker pool: each thread serves one connection at a time.
-        let ctl =
-            ConnCtl { draining: Some(draining.clone()), cancel: Some(drain_cancel.clone()), deadline: cfg.deadline };
+        let ctl = ConnCtl {
+            draining: Some(draining.clone()),
+            cancel: Some(drain_cancel.clone()),
+            deadline: cfg.deadline,
+            stmt: cfg.stmt.clone(),
+        };
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
                 let g = graph.clone();
@@ -818,6 +863,28 @@ mod tests {
         assert_eq!(resp.get("requestId").unwrap().as_str(), Some("q1"));
         let data = resp.get("result").unwrap().get("data").unwrap().as_arr().unwrap();
         assert_eq!(data[0], Json::Num(1.0));
+    }
+
+    #[test]
+    fn served_requests_land_in_statement_stats() {
+        let g = shared();
+        let stmt = Arc::new(nepal_obs::StmtStats::new(8));
+        let ctl = ConnCtl { stmt: Some(stmt.clone()), ..ConnCtl::default() };
+        let (mut client, _) = serve_in_process_ctl(g, ctl);
+        let req = request("q1", bytecode_to_json(&[GStep::V(vec![]), GStep::Count]));
+        write_frame(&mut client, &req).unwrap();
+        let _ = read_frame(&mut client).unwrap();
+        // Same shape again: aggregates under one fingerprint.
+        let req2 = request("q2", bytecode_to_json(&[GStep::V(vec![]), GStep::Count]));
+        write_frame(&mut client, &req2).unwrap();
+        let _ = read_frame(&mut client).unwrap();
+        drop(client);
+        let top = stmt.top(5, nepal_obs::StmtSort::Calls);
+        assert_eq!(top.len(), 1, "one fingerprint for the repeated shape");
+        assert_eq!(top[0].calls, 2);
+        assert_eq!(top[0].rows, 2, "each count() returns one row");
+        assert!(top[0].text.starts_with("gremlin bytecode"), "{}", top[0].text);
+        assert!(top[0].wall_ns_total > 0);
     }
 
     #[test]

@@ -20,8 +20,15 @@
 //! | `/traces/latest` | newest trace as Chrome trace-event JSON         |
 //! | `/traces/<id>`   | one trace as Chrome trace-event JSON            |
 //! | `/flight`        | flight-recorder wide events (`?secs=`, `?limit=`) |
+//! | `/top`           | per-fingerprint cost table (`?n=`, `?sort=`)    |
+//! | `/top.json`      | the same as JSON                                |
+//! | `/history.json`  | metrics history ring snapshots (`?tail=`)       |
 //! | `/snapshot`      | GET lists bundles; POST writes one on demand    |
 //! | `/drain`         | the final drain report, once recorded           |
+//!
+//! `/metrics` runs only the *cheap* refreshers (O(classes) gauge
+//! updates); `?deep=1` additionally runs the registered deep refreshers
+//! (exact store walks) — never pay the full walk on a default scrape.
 //!
 //! `/healthz` is a *deep* readiness check: it runs every registered
 //! health check, refreshes pull-gauges, evaluates the attached SLO rules,
@@ -45,10 +52,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime};
 
 use crate::flight::{self, FlightKind, FlightRecorder};
+use crate::history::{sparkline, HistoryRing};
 use crate::metrics::MetricsRegistry;
 use crate::profile::{fmt_ns, SlowQueryLog};
 use crate::qlog::{EstimateFeedback, QueryLog};
 use crate::slo::{alerts_json, alerts_text, AlertStatus, SloEngine};
+use crate::stmt::{StmtSort, StmtStats};
 use crate::trace::{esc, summaries_json, Tracer};
 
 type HealthCheck = Box<dyn Fn() -> Result<String, String> + Send>;
@@ -117,7 +126,14 @@ pub struct Telemetry {
     pub tracer: Tracer,
     health: Mutex<Vec<(String, HealthCheck)>>,
     refreshers: Mutex<Vec<Refresher>>,
+    /// Expensive pull-gauge walks (exact store footprint): run only on
+    /// `/metrics?deep=1`, never on a default scrape.
+    deep_refreshers: Mutex<Vec<Refresher>>,
     qlog: Mutex<Option<QlogState>>,
+    /// Per-fingerprint statement cost table, served on `/top[.json]`.
+    stmt: Mutex<Option<Arc<StmtStats>>>,
+    /// Metrics history ring, served on `/history.json`.
+    history: Mutex<Option<Arc<HistoryRing>>>,
     slo: Mutex<Option<Arc<SloEngine>>>,
     resources: Mutex<Option<ResourceProvider>>,
     flight: Mutex<Option<FlightRecorder>>,
@@ -147,7 +163,10 @@ impl Telemetry {
             tracer,
             health: Mutex::new(Vec::new()),
             refreshers: Mutex::new(Vec::new()),
+            deep_refreshers: Mutex::new(Vec::new()),
             qlog: Mutex::new(None),
+            stmt: Mutex::new(None),
+            history: Mutex::new(None),
             slo: Mutex::new(None),
             resources: Mutex::new(None),
             flight: Mutex::new(None),
@@ -225,15 +244,69 @@ impl Telemetry {
     }
 
     /// Register a callback run before each `/metrics` render — the hook
-    /// point for pull-style gauges (store sizes, ring lengths, …).
+    /// point for pull-style gauges (store sizes, ring lengths, …). Keep
+    /// these cheap; anything that walks the whole store belongs in
+    /// [`Telemetry::add_deep_refresher`].
     pub fn add_refresher(&self, refresh: impl Fn() + Send + 'static) {
         self.refreshers.lock().unwrap_or_else(|e| e.into_inner()).push(Box::new(refresh));
+    }
+
+    /// Register an *expensive* pull-gauge walk (exact store footprint,
+    /// chain histograms). Runs only on `/metrics?deep=1`, so a default
+    /// scrape never pays for a full store walk.
+    pub fn add_deep_refresher(&self, refresh: impl Fn() + Send + 'static) {
+        self.deep_refreshers.lock().unwrap_or_else(|e| e.into_inner()).push(Box::new(refresh));
+    }
+
+    /// Attach the per-fingerprint statement cost table: `/top` and
+    /// `/top.json` serve it and `nepal_stmt_*` gauges export on every
+    /// scrape.
+    pub fn set_stmt(&self, stmt: Arc<StmtStats>) {
+        *self.stmt.lock().unwrap_or_else(|e| e.into_inner()) = Some(stmt);
+    }
+
+    /// Attach the metrics history ring served on `/history.json` and
+    /// rendered as dashboard sparklines. The owner drives `tick()`.
+    pub fn set_history(&self, history: Arc<HistoryRing>) {
+        *self.history.lock().unwrap_or_else(|e| e.into_inner()) = Some(history);
+    }
+
+    fn stmt_handle(&self) -> Option<Arc<StmtStats>> {
+        self.stmt.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn history_handle(&self) -> Option<Arc<HistoryRing>> {
+        self.history.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     fn refresh(&self) {
         for r in self.refreshers.lock().unwrap_or_else(|e| e.into_inner()).iter() {
             r();
         }
+        if let Some(stmt) = self.stmt_handle() {
+            stmt.export(&self.metrics);
+        }
+    }
+
+    fn refresh_deep(&self) {
+        self.refresh();
+        for r in self.deep_refreshers.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            r();
+        }
+    }
+
+    /// Drive the attached history ring from a poll loop. When a snapshot
+    /// is due, cheap pull gauges refresh first so the snapshot captures
+    /// current values; off-interval polls cost one lock + compare.
+    pub fn tick_history(&self) -> bool {
+        let Some(h) = self.history_handle() else {
+            return false;
+        };
+        if !h.due() {
+            return false;
+        }
+        self.refresh();
+        h.tick(&self.metrics)
     }
 
     /// Evaluate the attached SLO engine without triggering the snapshot
@@ -372,6 +445,16 @@ impl Telemetry {
         s.push_str(",\n\"resources\":");
         match self.resource_summary() {
             Some(r) => s.push_str(&resources_json(&r)),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\n\"stmt\":");
+        match self.stmt_handle() {
+            Some(stmt) => s.push_str(stmt.render_json(10, StmtSort::default()).trim_end()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\n\"history\":");
+        match self.history_handle() {
+            Some(h) => s.push_str(h.render_json(Some(120)).trim_end()),
             None => s.push_str("null"),
         }
         s.push_str(",\n\"drain\":");
@@ -547,6 +630,80 @@ impl Telemetry {
             }
             b.push_str("</table>");
         }
+        // Per-fingerprint cost attribution.
+        b.push_str("<h2>top queries by cost</h2>");
+        match self.stmt_handle() {
+            Some(stmt) => {
+                let rows = stmt.top(10, StmtSort::default());
+                if rows.is_empty() {
+                    b.push_str("<p>no statements recorded</p>");
+                } else {
+                    b.push_str(&format!(
+                        "<p>{} fingerprint(s) tracked, {} evicted — sorted by cpu</p>",
+                        stmt.tracked(),
+                        stmt.evicted()
+                    ));
+                    b.push_str(
+                        "<table><tr><th class=l>fingerprint</th><th class=l>statement</th><th>calls</th>\
+                         <th>cpu</th><th>wall</th><th>rows</th><th>bytes</th><th>mat</th><th>err</th></tr>",
+                    );
+                    for r in &rows {
+                        b.push_str(&format!(
+                            "<tr><td class=l><code>{:016x}</code></td><td class=l><code>{}</code></td>\
+                             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                            r.fingerprint,
+                            html_esc(&truncate(&r.text, 80)),
+                            r.calls,
+                            fmt_ns(r.cpu_ns_total),
+                            fmt_ns(r.wall_ns_total),
+                            r.rows,
+                            fmt_bytes(r.bytes_scanned),
+                            r.materializations,
+                            r.errors + r.deadline_exceeded + r.cancelled,
+                        ));
+                    }
+                    b.push_str("</table>");
+                }
+                b.push_str("<p><a href=\"/top\">/top</a> · <a href=\"/top.json\">/top.json</a></p>");
+            }
+            None => b.push_str("<p>statement stats not attached</p>"),
+        }
+        // Metrics history sparklines.
+        b.push_str("<h2>metrics history</h2>");
+        match self.history_handle() {
+            Some(h) if !h.is_empty() => {
+                b.push_str(&format!(
+                    "<p>{} snapshot(s) at {} ms resolution ({} downsampled away)</p>",
+                    h.len(),
+                    h.resolution_ms(),
+                    h.downsampled()
+                ));
+                b.push_str("<table><tr><th class=l>metric</th><th class=l>trend</th><th>last</th></tr>");
+                const SPARKS: [&str; 5] = [
+                    "nepal_queries_total",
+                    "nepal_store_total_bytes",
+                    "nepal_stmt_cpu_ns",
+                    "nepal_stmt_rows",
+                    "nepal_requests_total",
+                ];
+                for name in SPARKS {
+                    let series: Vec<f64> = h.series(name).into_iter().map(|(_, v)| v).collect();
+                    if series.is_empty() {
+                        continue;
+                    }
+                    b.push_str(&format!(
+                        "<tr><td class=l><code>{}</code></td><td class=l>{}</td><td>{}</td></tr>",
+                        name,
+                        sparkline(&series),
+                        series.last().copied().unwrap_or(0.0),
+                    ));
+                }
+                b.push_str("</table>");
+                b.push_str("<p><a href=\"/history.json\">/history.json</a></p>");
+            }
+            Some(_) => b.push_str("<p>history ring attached, no snapshots yet</p>"),
+            None => b.push_str("<p>metrics history not attached</p>"),
+        }
         // Recent traces.
         b.push_str("<h2>recent traces</h2>");
         let summaries = self.tracer.summaries();
@@ -625,6 +782,7 @@ impl Telemetry {
         b.push_str(
             "<p><a href=\"/metrics\">/metrics</a> · <a href=\"/alerts\">/alerts</a> · \
              <a href=\"/healthz\">/healthz</a> · <a href=\"/slow\">/slow</a> · \
+             <a href=\"/top\">/top</a> · <a href=\"/history.json\">/history.json</a> · \
              <a href=\"/qlog\">/qlog</a> · <a href=\"/traces\">/traces</a> · \
              <a href=\"/flight\">/flight</a> · <a href=\"/snapshot\">/snapshot</a></p></body></html>",
         );
@@ -689,15 +847,46 @@ impl Telemetry {
                 None => (404, CT_JSON, "{\"error\":\"no drain recorded\"}\n".to_string()),
             },
             "/metrics" => {
-                self.refresh();
+                if query_param(query, "deep").is_some() {
+                    self.refresh_deep();
+                } else {
+                    self.refresh();
+                }
                 (200, CT_TEXT, self.metrics.render_prometheus())
             }
             "/metrics.json" => {
-                self.refresh();
+                if query_param(query, "deep").is_some() {
+                    self.refresh_deep();
+                } else {
+                    self.refresh();
+                }
                 let mut body = self.metrics.render_json();
                 body.push('\n');
                 (200, CT_JSON, body)
             }
+            "/top" => match self.stmt_handle() {
+                Some(stmt) => {
+                    let n = query_param(query, "n").and_then(|v| v.parse().ok()).unwrap_or(20);
+                    let sort = query_param(query, "sort").and_then(StmtSort::parse).unwrap_or_default();
+                    (200, CT_TEXT, stmt.render_text(n, sort))
+                }
+                None => (404, CT_TEXT, "statement stats not attached\n".to_string()),
+            },
+            "/top.json" => match self.stmt_handle() {
+                Some(stmt) => {
+                    let n = query_param(query, "n").and_then(|v| v.parse().ok()).unwrap_or(20);
+                    let sort = query_param(query, "sort").and_then(StmtSort::parse).unwrap_or_default();
+                    (200, CT_JSON, stmt.render_json(n, sort))
+                }
+                None => (404, CT_JSON, "{\"error\":\"statement stats not attached\"}\n".to_string()),
+            },
+            "/history.json" => match self.history_handle() {
+                Some(h) => {
+                    let tail = query_param(query, "tail").and_then(|v| v.parse().ok());
+                    (200, CT_JSON, h.render_json(tail))
+                }
+                None => (404, CT_JSON, "{\"error\":\"metrics history not attached\"}\n".to_string()),
+            },
             "/healthz" => {
                 let (status, body) = self.healthz();
                 (status, CT_JSON, body)
@@ -1128,6 +1317,111 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"enabled\":false"), "{body}");
         assert!(body.contains("\"fingerprints\":[]"), "{body}");
+    }
+
+    #[test]
+    fn top_routes_require_attachment_then_serve_stats() {
+        let t = telemetry();
+        assert_eq!(t.handle("/top").0, 404);
+        assert_eq!(t.handle("/top.json").0, 404);
+        let stmt = Arc::new(StmtStats::new(16));
+        let meter = crate::meter::ResourceMeter::new();
+        meter.add_rows(7);
+        meter.add_bytes(640);
+        stmt.record(0xabcd, "Retrieve VM", crate::stmt::StmtOutcome::Ok, 1_000, 7, Some(&meter.snapshot()));
+        t.set_stmt(stmt);
+        let (code, ct, body) = t.handle("/top?n=5&sort=rows");
+        assert_eq!(code, 200);
+        assert!(ct.starts_with("text/plain"));
+        assert!(body.contains("Retrieve VM"), "{body}");
+        assert!(body.contains("rows"), "{body}");
+        let (code, _, body) = t.handle("/top.json");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"fingerprint\":\"000000000000abcd\""), "{body}");
+        assert!(body.contains("\"rows\":7"), "{body}");
+        // The dashboard grows a top-queries panel and /metrics exports
+        // nepal_stmt_* families once the table is attached.
+        let (_, _, body) = t.handle("/dashboard");
+        assert!(body.contains("top queries by cost"), "missing panel");
+        assert!(body.contains("000000000000abcd"), "{body}");
+        let (_, _, body) = t.handle("/metrics");
+        assert!(body.contains("nepal_stmt_calls 1"), "{body}");
+        assert!(body.contains("nepal_stmt_rows 7"), "{body}");
+    }
+
+    #[test]
+    fn history_route_serves_ring_snapshots_and_sparklines() {
+        let t = telemetry();
+        assert_eq!(t.handle("/history.json").0, 404);
+        let ring = Arc::new(HistoryRing::new(Duration::from_millis(10), 8));
+        assert!(ring.tick_at(10, &t.metrics));
+        assert!(ring.tick_at(20, &t.metrics));
+        assert!(ring.tick_at(30, &t.metrics));
+        t.set_history(ring);
+        let (code, _, body) = t.handle("/history.json");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"len\":3"), "{body}");
+        assert!(body.contains("nepal_queries_total"), "{body}");
+        let (code, _, body) = t.handle("/history.json?tail=1");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"unix_ms\":30"), "{body}");
+        assert!(!body.contains("\"unix_ms\":10"), "{body}");
+        let (_, _, body) = t.handle("/dashboard");
+        assert!(body.contains("metrics history"), "missing panel");
+        assert!(body.contains("nepal_queries_total"), "{body}");
+    }
+
+    #[test]
+    fn deep_refreshers_run_only_on_demand() {
+        let t = telemetry();
+        let cheap = t.metrics.gauge("cheap_runs", "cheap refresher runs");
+        let deep = t.metrics.gauge("deep_runs", "deep refresher runs");
+        {
+            let cheap = cheap.clone();
+            t.add_refresher(move || cheap.set(cheap.get() + 1));
+        }
+        {
+            let deep = deep.clone();
+            t.add_deep_refresher(move || deep.set(deep.get() + 1));
+        }
+        let (_, _, body) = t.handle("/metrics");
+        assert!(body.contains("deep_runs 0"), "{body}");
+        let (_, _, body) = t.handle("/metrics?deep=1");
+        assert!(body.contains("deep_runs 1"), "{body}");
+        assert!(cheap.get() >= 2, "cheap refresher must run on every scrape");
+        let (_, _, body) = t.handle("/metrics.json?deep=1");
+        assert!(body.contains("\"deep_runs\":2"), "{body}");
+    }
+
+    #[test]
+    fn top_and_history_survive_concurrent_scrapes() {
+        let t = telemetry();
+        let stmt = Arc::new(StmtStats::new(32));
+        t.set_stmt(stmt.clone());
+        let ring = Arc::new(HistoryRing::new(Duration::from_millis(1), 64));
+        for i in 0..8 {
+            ring.tick_at(i * 10, &t.metrics);
+        }
+        t.set_history(ring.clone());
+        let server = TelemetryServer::start(t, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let stmt = stmt.clone();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        stmt.record(w * 100 + i, "Retrieve VM", crate::stmt::StmtOutcome::Ok, 500, 1, None);
+                        let (head, body) = get(addr, "/top.json");
+                        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                        assert!(body.contains("\"statements\""), "{body}");
+                        let (head, body) = get(addr, "/history.json");
+                        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                        assert!(body.contains("\"snapshots\""), "{body}");
+                    }
+                });
+            }
+        });
+        drop(server);
     }
 
     #[test]

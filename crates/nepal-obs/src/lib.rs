@@ -36,17 +36,22 @@
 //!   `nepal_alerts_firing` and served at `/alerts`.
 
 pub mod flight;
+pub mod history;
 pub mod http;
+pub mod meter;
 pub mod metrics;
 pub mod profile;
 pub mod qlog;
 pub mod slo;
+pub mod stmt;
 pub mod trace;
 
 pub use flight::{FlightHandle, FlightKind, FlightRecorder, FlightStats, WideEvent, DEFAULT_RING_EVENTS};
+pub use history::{sparkline, HistoryRing, HistorySnapshot};
 pub use http::{
     fmt_bytes, install_panic_hook, ResourceClass, ResourceSummary, SnapshotConfig, Telemetry, TelemetryServer,
 };
+pub use meter::{thread_cpu_ns, MeterSnapshot, ResourceMeter};
 pub use metrics::{quantile_from_counts, Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use profile::{
     fmt_ns, AnchorCandidate, ExecTrace, JoinStep, OpStats, QueryProfile, SlowQuery, SlowQueryLog, VarProfile,
@@ -55,4 +60,5 @@ pub use qlog::{
     fingerprint, qerror, EstimateFeedback, FingerprintStats, PlanFeedback, QlogRecord, QueryLog, VarFeedback,
 };
 pub use slo::{alerts_json, alerts_text, AlertState, AlertStatus, SloEngine, SloRule, SloSignal};
+pub use stmt::{StmtEntry, StmtOutcome, StmtSort, StmtStats};
 pub use trace::{chrome_trace_json, SpanHandle, SpanRecord, Trace, TraceSummary, Tracer, TRACK_CLIENT, TRACK_SERVER};

@@ -1,0 +1,213 @@
+//! Per-query resource metering: a [`ResourceMeter`] threaded through
+//! evaluation via relaxed atomics, accumulating thread-CPU time sampled at
+//! work-stealing job boundaries plus exact counters for rows/bytes scanned,
+//! delta-chain materializations, keyframe hits, classes visited, seeks and
+//! join build sizes.
+//!
+//! The accounting model splits two concerns:
+//!
+//! * **Deterministic (logical) counters** — rows, bytes, materializations,
+//!   keyframe hits, classes, seeks — are bumped at logical points that
+//!   execute identically in sequential and parallel evaluation (anchor
+//!   scans run on the calling thread in both modes), so a query reports the
+//!   same numbers at any thread count. This is what per-fingerprint
+//!   attribution aggregates.
+//! * **CPU nanoseconds** are physical: the calling thread's
+//!   `CLOCK_THREAD_CPUTIME_ID` delta across evaluation plus per-job deltas
+//!   sampled inside the work-stealing pool. CPU is only sanity-bounded
+//!   (&gt; 0, &le; wall &times; threads), never expected to be bit-equal
+//!   across schedules.
+//!
+//! When no meter is attached the cost is a single `Option` check per site —
+//! the same near-zero-overhead pattern the query log uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread CPU time in nanoseconds (`CLOCK_THREAD_CPUTIME_ID`). Returns 0 on
+/// platforms without the clock, so meters degrade to wall-less counters
+/// instead of breaking the build.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: `ts` is a valid, writable timespec; the clock id is a
+    // compile-time constant the kernel supports on every Linux target.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    (ts.tv_sec as u64).saturating_mul(1_000_000_000).saturating_add(ts.tv_nsec as u64)
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    0
+}
+
+/// Shared, thread-safe resource counters for one query evaluation. Cloned
+/// as an `Arc` into evaluation options; workers add into it with relaxed
+/// atomics.
+#[derive(Debug, Default)]
+pub struct ResourceMeter {
+    /// Thread-CPU nanoseconds summed across the coordinator and every
+    /// pool job that ran on behalf of this query.
+    pub cpu_ns: AtomicU64,
+    /// Elements examined by extent scans and unique-index seeks.
+    pub rows_scanned: AtomicU64,
+    /// Field-slot bytes read while scanning (width x slot size per row).
+    pub bytes_scanned: AtomicU64,
+    /// Delta-chain materializations implied by the scanned versions.
+    pub materializations: AtomicU64,
+    /// Reads satisfied directly by a full (keyframe) version.
+    pub keyframe_hits: AtomicU64,
+    /// Class partitions (extents) visited by anchor scans.
+    pub classes_visited: AtomicU64,
+    /// Unique-index point lookups.
+    pub seeks: AtomicU64,
+    /// Rows fed into hash-join builds by the engine.
+    pub join_build_rows: AtomicU64,
+}
+
+impl ResourceMeter {
+    pub fn new() -> Arc<ResourceMeter> {
+        Arc::new(ResourceMeter::default())
+    }
+
+    #[inline]
+    pub fn add_cpu_ns(&self, ns: u64) {
+        self.cpu_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_rows(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_materializations(&self, n: u64) {
+        self.materializations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_keyframe_hits(&self, n: u64) {
+        self.keyframe_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_classes(&self, n: u64) {
+        self.classes_visited.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_seeks(&self, n: u64) {
+        self.seeks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_join_build_rows(&self, n: u64) {
+        self.join_build_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of the counters.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+            keyframe_hits: self.keyframe_hits.load(Ordering::Relaxed),
+            classes_visited: self.classes_visited.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            join_build_rows: self.join_build_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`ResourceMeter`], attached to query profiles
+/// and fed into per-fingerprint statement statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    pub cpu_ns: u64,
+    pub rows_scanned: u64,
+    pub bytes_scanned: u64,
+    pub materializations: u64,
+    pub keyframe_hits: u64,
+    pub classes_visited: u64,
+    pub seeks: u64,
+    pub join_build_rows: u64,
+}
+
+impl MeterSnapshot {
+    /// One-line human rendering, used by profile output.
+    pub fn render(&self) -> String {
+        format!(
+            "cpu {}ns  rows {}  bytes {}  mat {}  keyframes {}  classes {}  seeks {}  join-build {}",
+            self.cpu_ns,
+            self.rows_scanned,
+            self.bytes_scanned,
+            self.materializations,
+            self.keyframe_hits,
+            self.classes_visited,
+            self.seeks,
+            self.join_build_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ResourceMeter::new();
+        m.add_rows(10);
+        m.add_rows(5);
+        m.add_bytes(256);
+        m.add_materializations(3);
+        m.add_keyframe_hits(7);
+        m.add_classes(2);
+        m.add_seeks(1);
+        m.add_join_build_rows(42);
+        m.add_cpu_ns(1000);
+        let s = m.snapshot();
+        assert_eq!(s.rows_scanned, 15);
+        assert_eq!(s.bytes_scanned, 256);
+        assert_eq!(s.materializations, 3);
+        assert_eq!(s.keyframe_hits, 7);
+        assert_eq!(s.classes_visited, 2);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.join_build_rows, 42);
+        assert_eq!(s.cpu_ns, 1000);
+        assert!(s.render().contains("rows 15"));
+    }
+
+    #[test]
+    fn thread_cpu_clock_is_monotonic() {
+        let a = thread_cpu_ns();
+        // Burn a little CPU so the clock has something to advance over.
+        let mut x = 0u64;
+        for i in 0..200_000u64 {
+            x = x.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_ns();
+        assert!(b >= a, "thread CPU clock went backwards: {a} -> {b}");
+        #[cfg(target_os = "linux")]
+        assert!(b > 0, "CLOCK_THREAD_CPUTIME_ID returned 0 on linux");
+    }
+}

@@ -355,6 +355,56 @@ impl MetricsRegistry {
         out
     }
 
+    /// Numeric snapshot of every series, for the metrics history ring:
+    /// counters and gauges yield one `(series, value)` pair each;
+    /// histograms yield `_count`, `_sum` and estimated `_p50`/`_p95`/`_p99`
+    /// per label set. Series names match the Prometheus rendering.
+    pub fn scrape(&self) -> Vec<(String, f64)> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, entry) in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(m) => {
+                    for (labels, c) in m {
+                        out.push((series(name, labels), c.get() as f64));
+                    }
+                }
+                Metric::Gauge(m) => {
+                    for (labels, g) in m {
+                        out.push((series(name, labels), g.get() as f64));
+                    }
+                }
+                Metric::Histogram(m) => {
+                    for (labels, h) in m {
+                        out.push((series(&format!("{name}_count"), labels), h.count() as f64));
+                        out.push((series(&format!("{name}_sum"), labels), h.sum() as f64));
+                        out.push((series(&format!("{name}_p50"), labels), h.quantile(0.50) as f64));
+                        out.push((series(&format!("{name}_p95"), labels), h.quantile(0.95) as f64));
+                        out.push((series(&format!("{name}_p99"), labels), h.quantile(0.99) as f64));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every registered family as `(name, type, help)`, in name order —
+    /// the enumeration the metrics-reference docs test renders.
+    pub fn families(&self) -> Vec<(String, &'static str, String)> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .map(|(name, entry)| {
+                let kind = match &entry.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                (name.clone(), kind, entry.help.clone())
+            })
+            .collect()
+    }
+
     /// JSON object keyed by series (`name` or `name{labels}`). Histograms
     /// carry `{"count", "sum", "buckets": [[le, n], …]}`.
     pub fn render_json(&self) -> String {
@@ -610,6 +660,30 @@ mod tests {
         assert!(text.contains("q_ns_p99 16"));
         // Derived quantile families are proper gauge families.
         assert!(text.contains("# TYPE q_ns_p50 gauge"), "{text}");
+    }
+
+    #[test]
+    fn scrape_and_families_enumerate_every_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("s_total", "scraped counter").add(3);
+        reg.gauge_labeled("s_gauge", &[("class", "VM")], "scraped gauge").set(7);
+        reg.histogram("s_ns", "scraped histogram").observe(9);
+        let snap = reg.scrape();
+        let get = |n: &str| snap.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("s_total"), Some(3.0));
+        assert_eq!(get("s_gauge{class=\"VM\"}"), Some(7.0));
+        assert_eq!(get("s_ns_count"), Some(1.0));
+        assert_eq!(get("s_ns_sum"), Some(9.0));
+        assert_eq!(get("s_ns_p99"), Some(16.0));
+        let fams = reg.families();
+        assert_eq!(
+            fams,
+            vec![
+                ("s_gauge".to_string(), "gauge", "scraped gauge".to_string()),
+                ("s_ns".to_string(), "histogram", "scraped histogram".to_string()),
+                ("s_total".to_string(), "counter", "scraped counter".to_string()),
+            ]
+        );
     }
 
     #[test]

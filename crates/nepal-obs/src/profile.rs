@@ -113,6 +113,9 @@ pub struct QueryProfile {
     /// Result rows dropped by EXISTS / NOT EXISTS conditions.
     pub exists_pruned: u64,
     pub result_rows: u64,
+    /// Resource counters when metering was on for this query (cpu-ns,
+    /// rows/bytes scanned, materializations, keyframe hits, ...).
+    pub meter: Option<crate::meter::MeterSnapshot>,
 }
 
 /// Format nanoseconds with a sensible unit.
@@ -204,6 +207,9 @@ impl QueryProfile {
         }
         if self.exists_pruned > 0 {
             out.push_str(&format!("exists pruned: {} row(s)\n", self.exists_pruned));
+        }
+        if let Some(m) = &self.meter {
+            out.push_str(&format!("resources: {}\n", m.render()));
         }
         out.push_str(&format!("result: {} row(s)\n", self.result_rows));
         out

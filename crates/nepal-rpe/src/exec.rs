@@ -11,12 +11,12 @@
 //! intersection becomes empty.
 
 use std::collections::VecDeque;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use nepal_graph::FOREVER;
 use nepal_graph::{FxHashMap, GraphView, Interval, IntervalSet, MatchTime, TemporalGraph, TimeFilter, Uid};
-use nepal_obs::{ExecTrace, MetricsRegistry, OpStats, SpanHandle};
+use nepal_obs::{thread_cpu_ns, ExecTrace, MetricsRegistry, OpStats, ResourceMeter, SpanHandle};
 use nepal_schema::{ClassId, Schema};
 
 use crate::anchor::{apply_selectivity, CardinalityEstimator};
@@ -61,6 +61,15 @@ pub struct EvalOptions {
     /// ([`evaluate_obs`] / [`evaluate_metered`]) — never as a panic or a
     /// silently truncated result.
     pub cancel: Option<CancelToken>,
+    /// Per-query resource meter. When set, the evaluator charges the
+    /// meter with deterministic work counters (rows / bytes scanned,
+    /// materializations, keyframe hits, classes visited, seeks) at the
+    /// anchor-scan boundary — on the calling thread in both the
+    /// sequential and parallel modes, so the logical counts are identical
+    /// across thread counts — plus thread-CPU time sampled at entry/exit
+    /// and at pool job boundaries (physical, mode-dependent). `None` (the
+    /// default) keeps the no-clock-reads contract.
+    pub meter: Option<Arc<ResourceMeter>>,
 }
 
 impl EvalOptions {
@@ -471,16 +480,21 @@ pub fn anchor_scan(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> Vec<(
 /// can report the `Select` operator's input cardinality (1 on the
 /// unique-index fast path, the extent size on the scan path).
 pub fn anchor_scan_counted(view: &GraphView, schema: &Schema, atom: &BoundAtom) -> (Vec<(Uid, Times)>, u64) {
-    anchor_scan_cancel(view, schema, atom, None).expect("no cancel token supplied")
+    anchor_scan_cancel(view, schema, atom, None, None).expect("no cancel token supplied")
 }
 
 /// [`anchor_scan_counted`] polling `cancel` every 1024 scanned elements;
-/// returns the trip cause instead of a truncated candidate set.
+/// returns the trip cause instead of a truncated candidate set. This is
+/// the deterministic metering boundary: it always runs on the calling
+/// thread (both evaluator modes), and the per-uid access costs it charges
+/// are pure functions of store state, so a metered query reports the same
+/// logical rows / bytes / materializations at any thread count.
 fn anchor_scan_cancel(
     view: &GraphView,
     schema: &Schema,
     atom: &BoundAtom,
     cancel: Option<&CancelToken>,
+    meter: Option<&ResourceMeter>,
 ) -> std::result::Result<(Vec<(Uid, Times)>, u64), CancelCause> {
     let range_mode = view.filter.is_range();
     let to_times = |mt: MatchTime| -> Times {
@@ -499,7 +513,18 @@ fn anchor_scan_cancel(
     // since the index tracks currently asserted holders.
     if view.filter == TimeFilter::Current {
         if let Some((idx, value)) = atom.unique_eq_pred(schema) {
+            if let Some(mm) = meter {
+                mm.add_seeks(1);
+                mm.add_classes(1);
+            }
             if let Some(uid) = view.graph.find_unique(atom.class, idx, value) {
+                if let Some(mm) = meter {
+                    mm.add_rows(1);
+                    let cost = view.access_cost(uid);
+                    mm.add_bytes(cost.bytes);
+                    mm.add_materializations(cost.materializations);
+                    mm.add_keyframe_hits(cost.keyframe_hits);
+                }
                 if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
                     return Ok((vec![(uid, to_times(mt))], 1));
                 }
@@ -510,18 +535,38 @@ fn anchor_scan_cancel(
     }
     let mut out = Vec::new();
     let mut scanned = 0u64;
+    // Local tallies so the metered scan issues one atomic add per counter,
+    // not one per row.
+    let (mut m_bytes, mut m_mat, mut m_kf, mut m_classes) = (0u64, 0u64, 0u64, 0u64);
     for c in schema.descendants(atom.class) {
-        for &uid in view.graph.extent_exact(c) {
+        let ext = view.graph.extent_exact(c);
+        if meter.is_some() && !ext.is_empty() {
+            m_classes += 1;
+        }
+        for &uid in ext {
             scanned += 1;
             if scanned & 0x3FF == 0 {
                 if let Some(cause) = cancel.and_then(|t| t.poll()) {
                     return Err(cause);
                 }
             }
+            if meter.is_some() {
+                let cost = view.access_cost(uid);
+                m_bytes += cost.bytes;
+                m_mat += cost.materializations;
+                m_kf += cost.keyframe_hits;
+            }
             if let Some(mt) = view.matching(uid, |f| atom.matches_fields(f)) {
                 out.push((uid, to_times(mt)));
             }
         }
+    }
+    if let Some(mm) = meter {
+        mm.add_rows(scanned);
+        mm.add_bytes(m_bytes);
+        mm.add_materializations(m_mat);
+        mm.add_keyframe_hits(m_kf);
+        mm.add_classes(m_classes);
     }
     Ok((out, scanned))
 }
@@ -610,6 +655,34 @@ pub fn evaluate_metered(
     span: &SpanHandle,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<Vec<Pathway>, RpeError> {
+    // Coordinator CPU: one clock pair around the whole evaluation, on the
+    // calling thread. Worker CPU is folded in separately at pool
+    // boundaries (note_pool), so the meter's total covers every thread
+    // that touched the query.
+    let cpu0 = opts.meter.as_ref().map(|_| thread_cpu_ns());
+    if let Some(mm) = opts.meter.as_ref() {
+        match seeds {
+            Seeds::Sources(s) => mm.add_rows(s.len() as u64),
+            Seeds::Targets(t) => mm.add_rows(t.len() as u64),
+            Seeds::Anchor => {}
+        }
+    }
+    let result = evaluate_dispatch(view, plan, seeds, opts, trace, span, metrics);
+    if let (Some(mm), Some(c0)) = (opts.meter.as_ref(), cpu0) {
+        mm.add_cpu_ns(thread_cpu_ns().saturating_sub(c0));
+    }
+    result
+}
+
+fn evaluate_dispatch(
+    view: &GraphView,
+    plan: &RpePlan,
+    seeds: Seeds,
+    opts: &EvalOptions,
+    trace: Option<&mut ExecTrace>,
+    span: &SpanHandle,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<Pathway>, RpeError> {
     // Fast-fail: a request arriving with an already-tripped token (server
     // drain, expired deadline) must not seed any work, however small the
     // graph — checkpoint polls inside the evaluator are rate-limited and
@@ -656,7 +729,8 @@ fn evaluate_sequential(
                 let sel_span = span.child("Select");
                 sel_span.attr("atom", &atom.display);
                 let (candidates, scanned) =
-                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref()).map_err(RpeError::from)?;
+                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref(), opts.meter.as_deref())
+                        .map_err(RpeError::from)?;
                 sel_span.attr("rows_in", scanned);
                 sel_span.attr("rows_out", candidates.len());
                 drop(sel_span);
@@ -1051,9 +1125,11 @@ fn expand_frontier(
 
 /// Record one pool run's observability: total chunks/steals, a child span
 /// per worker, and the per-worker busy-time histogram.
+#[allow(clippy::too_many_arguments)]
 fn note_pool<W>(
     span: &SpanHandle,
     metrics: Option<&MetricsRegistry>,
+    meter: Option<&ResourceMeter>,
     reports: &[par::WorkerReport<W>],
     stats: &par::PoolStats,
     stage: &str,
@@ -1062,6 +1138,11 @@ fn note_pool<W>(
 ) {
     *chunks += stats.jobs;
     *steals += stats.steals;
+    if let Some(mm) = meter {
+        // Pool workers sample their own thread-CPU clock at job
+        // boundaries; fold the per-worker totals into the query's meter.
+        mm.add_cpu_ns(reports.iter().map(|r| r.cpu_ns).sum());
+    }
     for (i, r) in reports.iter().enumerate() {
         if r.busy_ns > 0 {
             span.span_dur(
@@ -1101,7 +1182,7 @@ fn evaluate_parallel(
     threads: usize,
 ) -> Result<Vec<Pathway>, RpeError> {
     let enabled = trace.is_some() || span.is_active();
-    let timed = enabled || metrics.is_some();
+    let timed = enabled || metrics.is_some() || opts.meter.is_some();
     let schema = view.graph.schema().clone();
     let cap = opts.max_elements.map(|m| m.min(plan.max_elements)).unwrap_or(plan.max_elements);
     let ctx = Ctx { view, plan, cap };
@@ -1121,7 +1202,8 @@ fn evaluate_parallel(
                 let sel_span = span.child("Select");
                 sel_span.attr("atom", &atom.display);
                 let (candidates, scanned) =
-                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref()).map_err(RpeError::from)?;
+                    anchor_scan_cancel(view, &schema, atom, opts.cancel.as_ref(), opts.meter.as_deref())
+                        .map_err(RpeError::from)?;
                 sel_span.attr("rows_in", scanned);
                 sel_span.attr("rows_out", candidates.len());
                 drop(sel_span);
@@ -1302,7 +1384,16 @@ fn evaluate_parallel(
                 if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
                     m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
                 }
-                note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+                note_pool(
+                    span,
+                    metrics,
+                    opts.meter.as_deref(),
+                    &reports,
+                    &stats,
+                    "search",
+                    &mut total_chunks,
+                    &mut total_steals,
+                );
                 for (j, slot) in outs.into_iter().enumerate() {
                     let Some((halves, ns)) = slot else { continue };
                     let (ui, _, _, fwd) = &jobs[j];
@@ -1393,7 +1484,16 @@ fn evaluate_parallel(
                 if m.cancel_cause.is_none() && uouts.iter().any(|o| o.is_none()) {
                     m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
                 }
-                note_pool(span, metrics, &ureports, &ustats, "union", &mut total_chunks, &mut total_steals);
+                note_pool(
+                    span,
+                    metrics,
+                    opts.meter.as_deref(),
+                    &ureports,
+                    &ustats,
+                    "union",
+                    &mut total_chunks,
+                    &mut total_steals,
+                );
                 for slot in uouts {
                     let Some((out, prunes, ns)) = slot else { continue };
                     m.temporal_prunes += prunes;
@@ -1487,7 +1587,16 @@ fn evaluate_parallel(
             if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
                 m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
             }
-            note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+            note_pool(
+                span,
+                metrics,
+                opts.meter.as_deref(),
+                &reports,
+                &stats,
+                "search",
+                &mut total_chunks,
+                &mut total_steals,
+            );
             let (mut seeded, mut halves) = (0u64, 0u64);
             for slot in outs {
                 let Some((res, s, h)) = slot else { continue };
@@ -1570,7 +1679,16 @@ fn evaluate_parallel(
             if m.cancel_cause.is_none() && outs.iter().any(|o| o.is_none()) {
                 m.cancel_cause = opts.cancel.as_ref().and_then(|t| t.poll());
             }
-            note_pool(span, metrics, &reports, &stats, "search", &mut total_chunks, &mut total_steals);
+            note_pool(
+                span,
+                metrics,
+                opts.meter.as_deref(),
+                &reports,
+                &stats,
+                "search",
+                &mut total_chunks,
+                &mut total_steals,
+            );
             let (mut seeded, mut halves) = (0u64, 0u64);
             for slot in outs {
                 let Some((res, s, h)) = slot else { continue };

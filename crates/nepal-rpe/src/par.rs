@@ -27,6 +27,11 @@ pub struct WorkerReport<W> {
     pub state: W,
     /// Wall time spent inside job bodies (0 unless `timed`).
     pub busy_ns: u64,
+    /// Thread CPU time spent inside job bodies (0 unless `timed`; 0 on
+    /// platforms without a per-thread CPU clock). Sampled at job
+    /// boundaries on the worker's own thread, so it sums cleanly into a
+    /// query's resource meter no matter which worker ran which job.
+    pub cpu_ns: u64,
     /// Jobs this worker executed.
     pub jobs: u64,
     /// Jobs this worker stole from a sibling's deque.
@@ -108,7 +113,7 @@ where
             let (make_worker, run) = (&make_worker, &run);
             handles.push(s.spawn(move || {
                 let mut state = make_worker(wi);
-                let (mut busy, mut jobs, mut steals) = (0u64, 0u64, 0u64);
+                let (mut busy, mut cpu, mut jobs, mut steals) = (0u64, 0u64, 0u64, 0u64);
                 loop {
                     // Cancellation boundary: stop claiming work (own block
                     // or steals) once the token trips.
@@ -143,15 +148,19 @@ where
                         }
                     };
                     let t0 = timed.then(Instant::now);
+                    let c0 = timed.then(nepal_obs::thread_cpu_ns);
                     let out = run(&mut state, job);
                     if let Some(t) = t0 {
                         busy += t.elapsed().as_nanos() as u64;
+                    }
+                    if let Some(c) = c0 {
+                        cpu += nepal_obs::thread_cpu_ns().saturating_sub(c);
                     }
                     jobs += 1;
                     let _ = tx.send((job, out));
                 }
                 steal_total.fetch_add(steals, Ordering::Relaxed);
-                WorkerReport { state, busy_ns: busy, jobs, steals }
+                WorkerReport { state, busy_ns: busy, cpu_ns: cpu, jobs, steals }
             }));
         }
         for h in handles {
@@ -257,6 +266,30 @@ mod tests {
         assert_eq!(stats.jobs, 20);
         let vals: Vec<usize> = slots.into_iter().map(|o| o.unwrap()).collect();
         assert_eq!(vals, (0..20).map(|j| j * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cpu_time_is_sampled_only_when_timed() {
+        let (_, reports, _) = run_jobs(32, 2, false, |_| (), |_, j| j);
+        assert!(reports.iter().all(|r| r.cpu_ns == 0 && r.busy_ns == 0));
+        let (_, reports, _) = run_jobs(
+            32,
+            2,
+            true,
+            |_| (),
+            |_, j: usize| {
+                // Burn a little CPU so the per-thread clock visibly advances.
+                let mut acc = j as u64;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                acc
+            },
+        );
+        // The clock exists on linux; elsewhere the sample is a harmless 0.
+        if nepal_obs::thread_cpu_ns() > 0 {
+            assert!(reports.iter().any(|r| r.cpu_ns > 0), "expected some worker CPU time");
+        }
     }
 
     #[test]

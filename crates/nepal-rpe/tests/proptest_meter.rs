@@ -1,0 +1,179 @@
+//! Meter determinism: the per-query [`ResourceMeter`] counts at *logical*
+//! points of the evaluation (anchor scans on the calling thread, pure
+//! access-cost reads), so every deterministic counter must be bit-identical
+//! between the sequential path and the work-stealing pool — on churned
+//! graphs, across time filters, at any thread count. Only `cpu_ns` is
+//! physical (per-thread clock samples folded at job boundaries); it gets a
+//! sanity bound, not an equality.
+
+use std::sync::Arc;
+
+use nepal_graph::{GraphView, TemporalGraph, TimeFilter, Uid};
+use nepal_obs::{MeterSnapshot, ResourceMeter};
+use nepal_rpe::{evaluate, parse_rpe, plan_rpe, EvalOptions, GraphEstimator, Seeds};
+use nepal_schema::dsl::parse_schema;
+use nepal_schema::{Schema, Value};
+use proptest::prelude::*;
+
+const SCHEMA: &str = r#"
+    node App { app_id: int unique }
+    node Svc { svc_id: int unique }
+    node Box { box_id: int unique }
+    edge RunsOn { }
+    edge Linked { }
+    allow RunsOn (App -> Svc)
+    allow RunsOn (Svc -> Box)
+    allow Linked (Box -> Box)
+    allow Linked (Svc -> Svc)
+"#;
+
+/// Deterministic xorshift so each proptest case maps to one graph.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A layered random graph with temporal churn (same shape as the
+/// parallel-equivalence suite): inserts spread over time, a third of the
+/// edges deleted later, so history reads hit real delta chains.
+fn random_graph(seed: u64) -> TemporalGraph {
+    let schema: Arc<Schema> = Arc::new(parse_schema(SCHEMA).unwrap());
+    let c = |n: &str| schema.class_by_name(n).unwrap();
+    let mut g = TemporalGraph::new(schema.clone());
+    let mut rng = Rng(seed);
+    let n_apps = 3 + rng.below(4) as usize;
+    let n_svcs = 5 + rng.below(5) as usize;
+    let n_boxes = 4 + rng.below(4) as usize;
+    let apps: Vec<Uid> = (0..n_apps)
+        .map(|i| g.insert_node(c("App"), vec![Value::Int(i as i64)], rng.below(10) as i64).unwrap())
+        .collect();
+    let svcs: Vec<Uid> = (0..n_svcs)
+        .map(|i| g.insert_node(c("Svc"), vec![Value::Int(i as i64)], rng.below(10) as i64).unwrap())
+        .collect();
+    let boxes: Vec<Uid> = (0..n_boxes)
+        .map(|i| g.insert_node(c("Box"), vec![Value::Int(i as i64)], rng.below(10) as i64).unwrap())
+        .collect();
+    let mut edges = Vec::new();
+    for &a in &apps {
+        for _ in 0..(1 + rng.below(2)) {
+            let s = svcs[rng.below(n_svcs as u64) as usize];
+            if let Ok(e) = g.insert_edge(c("RunsOn"), a, s, vec![], 10 + rng.below(10) as i64) {
+                edges.push(e);
+            }
+        }
+    }
+    for &s in &svcs {
+        for _ in 0..(1 + rng.below(2)) {
+            let b = boxes[rng.below(n_boxes as u64) as usize];
+            if let Ok(e) = g.insert_edge(c("RunsOn"), s, b, vec![], 10 + rng.below(10) as i64) {
+                edges.push(e);
+            }
+        }
+        let s2 = svcs[rng.below(n_svcs as u64) as usize];
+        if s != s2 {
+            if let Ok(e) = g.insert_edge(c("Linked"), s, s2, vec![], 12 + rng.below(8) as i64) {
+                edges.push(e);
+            }
+        }
+    }
+    for i in 0..n_boxes {
+        let (a, b) = (boxes[i], boxes[rng.below(n_boxes as u64) as usize]);
+        if a != b {
+            if let Ok(e) = g.insert_edge(c("Linked"), a, b, vec![], 12 + rng.below(8) as i64) {
+                edges.push(e);
+            }
+        }
+    }
+    for (i, &e) in edges.iter().enumerate() {
+        if i % 3 == 0 {
+            let _ = g.delete(e, 40 + rng.below(20) as i64);
+        }
+    }
+    g
+}
+
+const RPES: &[&str] = &[
+    "App()->[RunsOn()]{1,4}->Box()",
+    "[RunsOn()]{1,4}->Box(box_id=0)",
+    "Svc()->[Linked()]{1,3}->Svc()",
+    "(App()|Svc())->RunsOn()->(Svc()|Box())",
+];
+
+/// Evaluate one RPE with a fresh meter attached; returns (paths, snapshot).
+fn metered_eval(g: &TemporalGraph, text: &str, filter: TimeFilter, threads: usize) -> (usize, MeterSnapshot) {
+    let view = GraphView::new(g, filter);
+    let rpe = parse_rpe(text).unwrap();
+    let plan = plan_rpe(g.schema(), &rpe, &GraphEstimator { graph: g }).unwrap();
+    let meter = ResourceMeter::new();
+    let opts = EvalOptions { threads, meter: Some(meter.clone()), ..Default::default() };
+    let paths = evaluate(&view, &plan, Seeds::Anchor, &opts);
+    (paths.len(), meter.snapshot())
+}
+
+/// The deterministic projection of a snapshot — everything but `cpu_ns`.
+fn logical(s: &MeterSnapshot) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        s.rows_scanned,
+        s.bytes_scanned,
+        s.materializations,
+        s.keyframe_hits,
+        s.classes_visited,
+        s.seeks,
+        s.join_build_rows,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn parallel_meters_match_sequential(seed in any::<u64>()) {
+        let g = random_graph(seed);
+        for filter in [TimeFilter::Current, TimeFilter::AsOf(30), TimeFilter::Range(5, 60)] {
+            for text in RPES {
+                let (seq_paths, seq) = metered_eval(&g, text, filter, 1);
+                let (par_paths, par) = metered_eval(&g, text, filter, 4);
+                prop_assert_eq!(seq_paths, par_paths, "paths differ: {} {:?} seed {}", text, filter, seed);
+                prop_assert_eq!(
+                    logical(&seq), logical(&par),
+                    "deterministic meters differ: {} {:?} seed {}", text, filter, seed
+                );
+                // A non-empty anchored evaluation must have scanned rows.
+                if seq_paths > 0 {
+                    prop_assert!(seq.rows_scanned > 0, "no rows metered for {} {:?}", text, filter);
+                }
+                // cpu_ns is physical: only sanity-bounded. Zero is legal on
+                // hosts with a coarse thread clock; an hour is not.
+                prop_assert!(seq.cpu_ns < 3_600_000_000_000, "seq cpu_ns insane: {}", seq.cpu_ns);
+                prop_assert!(par.cpu_ns < 3_600_000_000_000, "par cpu_ns insane: {}", par.cpu_ns);
+            }
+        }
+    }
+}
+
+/// Re-running the identical evaluation twice must meter identically — the
+/// deterministic counters are a function of (graph, plan, filter), not of
+/// scheduling. This is what makes per-fingerprint attribution comparable
+/// across runs.
+#[test]
+fn repeated_runs_meter_identically() {
+    let g = random_graph(11);
+    for filter in [TimeFilter::Current, TimeFilter::Range(5, 60)] {
+        for text in RPES {
+            let (_, a) = metered_eval(&g, text, filter, 4);
+            let (_, b) = metered_eval(&g, text, filter, 4);
+            assert_eq!(logical(&a), logical(&b), "re-run meters differ for {text} {filter:?}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! :qlog on [file]        enable the durable query log (default nepal-qlog.jsonl)
 //! :qlog off              disable the durable query log
 //! :qlog top N            N worst q-error fingerprints, chosen vs hindsight anchor
+//! :top [N] [cpu|rows|bytes|calls|wall]   costliest statement fingerprints
 //! :trace                 tracing status and buffered traces
 //! :trace on|off          enable/disable hierarchical span tracing
 //! :trace export <file>   write the latest trace as Chrome trace-event JSON
@@ -99,6 +100,8 @@ fn main() {
     // refresh keeps the memory-watermark rule reading current bytes.
     let slo = engine.install_standard_slos(&StandardSlos::default());
     let gauges = StoreGauges::register(&engine.metrics);
+    // Per-fingerprint cost attribution backing :top (and bundle snapshots).
+    let stmt = engine.enable_stmt(256);
 
     // Flight recorder on for the session (queries, cancellations, journal
     // mutations land in the per-thread rings); :snapshot composes the same
@@ -106,6 +109,7 @@ fn main() {
     nepal::obs::flight::recorder().set_enabled(true);
     let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
     telemetry.set_slo(slo.clone());
+    telemetry.set_stmt(stmt.clone());
     telemetry.set_flight(nepal::obs::flight::recorder().clone());
     telemetry.set_snapshots(SnapshotConfig::default());
     telemetry.set_build_info(vec![
@@ -156,6 +160,7 @@ fn main() {
                  :cancel                   trip the session cancel token (Ctrl-C does this mid-query)\n\
                  :trace | :trace on|off | :trace export <file>   span tracing / Chrome trace-event export\n\
                  :qlog | :qlog on [file] | :qlog off | :qlog top N   durable query log + planner q-error feedback\n\
+                 :top [N] [cpu|rows|bytes|calls|wall]   costliest statement fingerprints (cpu, rows, bytes, …)\n\
                  :health | :mem            SLO alert states / store memory report\n\
                  :flight | :snapshot       recent wide events / write a diagnostics bundle\n\
                  EXPLAIN ANALYZE <query>   execute and print phase/operator timings\n\
@@ -327,6 +332,26 @@ fn main() {
         }
         if line == ":qlog" || line.starts_with(":qlog ") {
             run_qlog_command(&mut engine, line.strip_prefix(":qlog").unwrap_or("").trim());
+            continue;
+        }
+        if line == ":top" || line.starts_with(":top ") {
+            let mut n = 10usize;
+            let mut sort = nepal::obs::StmtSort::default();
+            let mut ok = true;
+            for tok in line.strip_prefix(":top").unwrap_or("").split_whitespace() {
+                if let Ok(v) = tok.parse::<usize>() {
+                    n = v;
+                } else if let Some(s) = nepal::obs::StmtSort::parse(tok) {
+                    sort = s;
+                } else {
+                    ok = false;
+                }
+            }
+            if ok {
+                print!("{}", stmt.render_text(n, sort));
+            } else {
+                println!("usage: :top [N] [cpu|rows|bytes|calls|wall]");
+            }
             continue;
         }
         if line == ":trace" || line.starts_with(":trace ") {

@@ -12,7 +12,12 @@
 //!
 //! ```text
 //! GET /metrics        Prometheus text format (engine + store gauges)
+//!                     (?deep=1 adds the exact store walk; default scrapes
+//!                     run only cheap O(classes) refreshers)
 //! GET /metrics.json   the same registry as JSON
+//! GET /top            per-fingerprint cost attribution (?n=, ?sort=)
+//! GET /top.json       the same as JSON
+//! GET /history.json   metrics history ring (?tail=)
 //! GET /healthz        deep readiness: checks + store watermarks + alerts
 //! GET /alerts         SLO alert states as text (also /alerts.json)
 //! GET /dashboard      self-contained HTML operations dashboard
@@ -68,7 +73,7 @@ use parking_lot::RwLock;
 use nepal::core::{BackendRegistry, Engine, GremlinBackend, NativeBackend, RelationalBackend, StandardSlos};
 use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
 use nepal::gremlin::{property_graph_from, GremlinClient, GremlinServer, ServeConfig};
-use nepal::obs::{install_panic_hook, SnapshotConfig, Telemetry, TelemetryServer};
+use nepal::obs::{install_panic_hook, HistoryRing, SnapshotConfig, Telemetry, TelemetryServer};
 use nepal::workload::{generate_virtualized, VirtParams};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -128,6 +133,10 @@ fn main() {
     let flight_dir = arg_value(&args, "--flight-dir").unwrap_or_else(|| "nepal-snapshots".to_string());
     let flight_keep: usize = arg_value(&args, "--flight-keep").and_then(|v| v.parse().ok()).unwrap_or(8);
     let flight_window_secs: u64 = arg_value(&args, "--flight-window-secs").and_then(|v| v.parse().ok()).unwrap_or(30);
+    // Workload introspection: statement-stats table capacity (0 = off) and
+    // metrics-history resolution in seconds (0 = off).
+    let stmt_capacity: usize = arg_value(&args, "--stmt-capacity").and_then(|v| v.parse().ok()).unwrap_or(512);
+    let history_secs: u64 = arg_value(&args, "--history-secs").and_then(|v| v.parse().ok()).unwrap_or(5);
 
     // Enable the process-wide flight recorder before any subsystem starts,
     // so even startup activity (journal replay, warm-up) is on the record.
@@ -166,6 +175,10 @@ fn main() {
         }
     }
 
+    // Per-fingerprint cost attribution: one shared table aggregates both
+    // engine queries and Gremlin wire requests, served at /top[.json].
+    let stmt = (stmt_capacity > 0).then(|| engine.enable_stmt(stmt_capacity));
+
     // Gremlin wire endpoint over a property-graph mirror, sharing the
     // engine's tracer so server-side request spans land in the same ring.
     let pg = Arc::new(RwLock::new(property_graph_from(&graph)));
@@ -174,6 +187,7 @@ fn main() {
         queue_depth,
         deadline: deadline_ms.map(Duration::from_millis),
         drain: Duration::from_millis(drain_ms),
+        stmt: stmt.clone(),
         ..ServeConfig::default()
     };
     let mut server = match GremlinServer::start_cfg(
@@ -202,6 +216,18 @@ fn main() {
     // slow log and the trace ring.
     let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
     telemetry.set_qlog(engine.feedback.clone(), engine.qlog.clone());
+    // The shared statement table serves /top, /top.json and the
+    // nepal_stmt_* families.
+    if let Some(stmt) = &stmt {
+        telemetry.set_stmt(stmt.clone());
+        eprintln!("statement stats: tracking up to {stmt_capacity} fingerprints (/top)");
+    }
+    // Metrics history ring: self-scrape snapshots driven from the main
+    // poll loop, served at /history.json and embedded in bundles.
+    if history_secs > 0 {
+        telemetry.set_history(Arc::new(HistoryRing::new(Duration::from_secs(history_secs), 720)));
+        eprintln!("metrics history: {history_secs}s resolution, 720 snapshots (/history.json)");
+    }
     if flight_events > 0 {
         telemetry.set_flight(nepal::obs::flight::recorder().clone());
         telemetry.set_snapshots(SnapshotConfig {
@@ -221,11 +247,20 @@ fn main() {
         install_panic_hook(telemetry.clone());
     }
     let gauges = Arc::new(StoreGauges::register(&engine.metrics));
+    // Seed the exact footprint once at startup, then keep the cheap
+    // O(classes) refresh on every scrape; the exact store walk (unique
+    // index, journal estimate, chain histogram) runs only on demand via
+    // /metrics?deep=1 so a default scrape never pays for it.
+    gauges.refresh_deep(&graph);
     {
-        // Deep refresh per scrape: per-class bytes, watermarks, and the
-        // chain-length distribution stay current for the SLO engine.
         let (gauges, graph) = (gauges.clone(), graph.clone());
         telemetry.add_refresher(move || {
+            gauges.refresh(&graph);
+        });
+    }
+    {
+        let (gauges, graph) = (gauges.clone(), graph.clone());
+        telemetry.add_deep_refresher(move || {
             gauges.refresh_deep(&graph);
         });
     }
@@ -323,6 +358,9 @@ fn main() {
                 Err(e) => eprintln!("snapshot failed: {e}"),
             }
         }
+        // Admit a metrics-history snapshot when one is due (no-op between
+        // intervals; one lock + compare per poll).
+        telemetry.tick_history();
         std::thread::sleep(Duration::from_millis(100));
     }
 

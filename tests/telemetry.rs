@@ -11,7 +11,7 @@ use parking_lot::RwLock;
 use nepal::core::{engine_over, BackendRegistry, Engine, GremlinBackend, NativeBackend, StandardSlos};
 use nepal::graph::{resource_summary, StoreGauges, TemporalGraph};
 use nepal::gremlin::{parse_json, property_graph_from, GremlinClient, GremlinServer};
-use nepal::obs::{SloRule, Telemetry, TelemetryServer, TRACK_SERVER};
+use nepal::obs::{HistoryRing, SloRule, Telemetry, TelemetryServer, TRACK_SERVER};
 use nepal::schema::dsl::parse_schema;
 use nepal::schema::Value;
 
@@ -277,6 +277,80 @@ fn slow_client_does_not_starve_other_scrapers() {
     assert_eq!(status, 200);
     assert!(body.contains("nepal_"), "{body}");
     assert!(t0.elapsed() < std::time::Duration::from_millis(1500), "scrape blocked behind stalled clients");
+}
+
+/// Workload introspection end to end: engine queries land in the shared
+/// statement table, `/top.json` attributes per-fingerprint cost,
+/// `/history.json` serves the ticked ring, the statement gauges ride the
+/// scrape, and `?deep=1` is the only path that walks the store.
+#[test]
+fn top_and_history_routes_attribute_workload_over_socket() {
+    let graph = demo_graph();
+    let mut engine = engine_over(graph.clone());
+    let stmt = engine.enable_stmt(32);
+    let gauges = Arc::new(StoreGauges::register(&engine.metrics));
+
+    let telemetry = Arc::new(Telemetry::new(engine.metrics.clone(), engine.slow_log.clone(), engine.tracer.clone()));
+    telemetry.set_stmt(stmt);
+    let history = Arc::new(HistoryRing::new(std::time::Duration::from_millis(0), 16));
+    telemetry.set_history(history);
+    {
+        let (gauges, graph) = (gauges.clone(), graph.clone());
+        telemetry.add_refresher(move || gauges.refresh(&graph));
+    }
+    {
+        let (gauges, graph) = (gauges, graph);
+        telemetry.add_deep_refresher(move || {
+            gauges.refresh_deep(&graph);
+        });
+    }
+
+    for _ in 0..3 {
+        engine.query(QUERY).unwrap();
+    }
+    // Resolution clamps to 1ms, so back-to-back ticks in the same
+    // millisecond are (correctly) rejected — tick until two are admitted.
+    let mut admitted = 0;
+    while admitted < 2 {
+        if telemetry.tick_history() {
+            admitted += 1;
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    let server = TelemetryServer::start(telemetry, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/top.json");
+    assert_eq!(status, 200);
+    let doc = parse_json(&body).expect("top.json parses");
+    let stmts = doc.get("statements").and_then(|s| s.as_arr()).expect("statements array");
+    assert_eq!(stmts.len(), 1, "one fingerprint for the repeated query: {body}");
+    let top = &stmts[0];
+    assert_eq!(top.get("calls").and_then(|c| c.as_u64()), Some(3));
+    assert!(top.get("rows").and_then(|r| r.as_u64()).unwrap_or(0) > 0, "{body}");
+    assert!(top.get("bytes_scanned").and_then(|b| b.as_u64()).unwrap_or(0) > 0, "{body}");
+    assert!(top.get("fingerprint").and_then(|f| f.as_str()).is_some(), "{body}");
+
+    let (status, body) = http_get(addr, "/history.json");
+    assert_eq!(status, 200);
+    let doc = parse_json(&body).expect("history.json parses");
+    let snaps = doc.get("snapshots").and_then(|s| s.as_arr()).expect("snapshots array");
+    assert!(snaps.len() >= 2, "two ticks -> two snapshots: {body}");
+
+    // Cheap scrape carries stmt gauges and live store totals, but not the
+    // deep-walk-only chain distribution; ?deep=1 adds it.
+    let (_, body) = http_get(addr, "/metrics");
+    assert!(body.contains("nepal_stmt_calls 3"), "{body}");
+    assert!(body.contains("nepal_store_total_bytes"), "{body}");
+    assert!(!body.contains("nepal_store_chain_entities"), "deep families must wait for ?deep=1: {body}");
+    let (_, body) = http_get(addr, "/metrics?deep=1");
+    assert!(body.contains("nepal_store_chain_entities"), "{body}");
+
+    let (status, body) = http_get(addr, "/top");
+    assert_eq!(status, 200);
+    assert!(body.contains("calls"), "{body}");
 }
 
 /// Acceptance: induced overload (an impossible latency SLO) flips
